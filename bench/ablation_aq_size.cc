@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Ablation (paper §4.3 sensitivity claim): Atomic Queue depth. The
+ * paper's analysis found 4 entries sufficient; this sweep shows the
+ * saturation on the atomic-intensive applications.
+ */
+
+#include "bench_util.hh"
+
+using namespace fa;
+
+int
+main()
+{
+    bench::BenchConfig cfg;
+    bench::banner(cfg, "Ablation: Atomic Queue size (Free+Fwd)");
+
+    const unsigned sizes[] = {1, 2, 4, 8};
+    std::vector<std::string> headers{"app"};
+    for (unsigned s : sizes)
+        headers.push_back("aq" + std::to_string(s) + "_cycles");
+    headers.push_back("aq4_dispatch_stall");
+    TablePrinter t(headers);
+
+    for (const auto &w : wl::allWorkloads()) {
+        if (!w.atomicIntensive)
+            continue;
+        t.cell(w.name);
+        std::uint64_t stall4 = 0;
+        for (unsigned s : sizes) {
+            auto m = sim::MachineConfig::icelake(cfg.cores);
+            m.core.aqSize = s;
+            auto r = bench::runOnce(cfg, w, m,
+                                    core::AtomicsMode::kFreeFwd);
+            t.cell(r.cycles);
+            if (s == 4)
+                stall4 = r.core.dispatchStallAqCycles;
+        }
+        t.cell(stall4);
+        t.endRow();
+    }
+    bench::emit(cfg, t);
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Ablation (paper §3.3.4): the forwarding-chain cap. Longer chains
+ * improve lock locality but hold the cacheline lock longer; the
+ * paper caps consecutive forwards at 32 to avoid livelock.
+ */
+
+#include "bench_util.hh"
+
+using namespace fa;
+
+int
+main()
+{
+    bench::BenchConfig cfg;
+    bench::banner(cfg, "Ablation: forwarding chain cap (Free+Fwd)");
+
+    const unsigned caps[] = {1, 2, 4, 8, 32, 64};
+    std::vector<std::string> headers{"app"};
+    for (unsigned c : caps)
+        headers.push_back("cap" + std::to_string(c));
+    headers.push_back("fba_pct_cap32");
+    TablePrinter t(headers);
+
+    for (const char *name :
+         {"barnes", "radiosity", "fluidanimate", "TPCC", "AS", "RBT"}) {
+        const auto *w = wl::findWorkload(name);
+        t.cell(name);
+        double fba32 = 0;
+        for (unsigned c : caps) {
+            auto m = sim::MachineConfig::icelake(cfg.cores);
+            m.core.fwdChainCap = c;
+            auto r = bench::runOnce(cfg, *w, m,
+                                    core::AtomicsMode::kFreeFwd);
+            t.cell(r.cycles);
+            if (c == 32)
+                fba32 = r.fwdByAtomicPct();
+        }
+        t.cell(fba32, 2);
+        t.endRow();
+    }
+    bench::emit(cfg, t);
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Ablation: the two prefetchers of Table 1. The at-commit store
+ * prefetch [54] is what keeps SB drains short (and therefore what a
+ * fenced baseline's Figure 1 cost already includes); the L1D stride
+ * prefetcher [7] covers streaming loads.
+ */
+
+#include "bench_util.hh"
+
+using namespace fa;
+
+int
+main()
+{
+    bench::BenchConfig cfg;
+    bench::banner(cfg, "Ablation: store/stride prefetchers (fenced "
+                       "baseline)");
+
+    TablePrinter t({"app", "both_on", "no_store_pf", "no_stride_pf",
+                    "both_off"});
+    for (const char *name :
+         {"fft", "radix", "barnes", "TATP", "canneal", "watersp"}) {
+        const auto *w = wl::findWorkload(name);
+        t.cell(name);
+        for (int variant = 0; variant < 4; ++variant) {
+            auto m = sim::MachineConfig::icelake(cfg.cores);
+            m.core.storePrefetch = variant == 0 || variant == 2;
+            m.core.strideLoadPrefetch = variant == 0 || variant == 1;
+            auto r = bench::runOnce(cfg, *w, m,
+                                    core::AtomicsMode::kFenced);
+            t.cell(r.cycles);
+        }
+        t.endRow();
+    }
+    bench::emit(cfg, t);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: coherence protocol variant. The paper evaluates on MESI;
+ * MESIF's F-state forwarder shortens shared-read fills, and MOESI's
+ * dirty sharing defers writebacks — both mostly help read-shared
+ * working sets and barely move the Free-atomics story (atomics need
+ * exclusive ownership either way).
+ */
+
+#include "bench_util.hh"
+
+using namespace fa;
+
+int
+main()
+{
+    bench::BenchConfig cfg;
+    bench::banner(cfg, "Ablation: MESI vs MESIF vs MOESI");
+
+    TablePrinter t({"app", "mode", "mesi_cycles", "mesif_cycles",
+                    "moesi_cycles", "fwd_hits", "moesi_writebacks"});
+    for (const char *name :
+         {"barnes", "radiosity", "TATP", "fft", "RBT", "seqlock"}) {
+        const auto *w = wl::findWorkload(name);
+        unsigned threads =
+            std::string(name) == "seqlock" && cfg.cores > 8
+                ? 8
+                : cfg.cores;
+        for (auto mode :
+             {core::AtomicsMode::kFenced, core::AtomicsMode::kFreeFwd}) {
+            auto mesi = sim::MachineConfig::icelake(threads);
+            mesi.mem.protocol = mem::Protocol::kMesi;
+            auto r1 = wl::runWorkload(*w, mesi, mode, threads,
+                                      cfg.scale, 0xbe9c5,
+                                      500'000'000);
+            auto mesif = sim::MachineConfig::icelake(threads);
+            mesif.mem.protocol = mem::Protocol::kMesif;
+            auto r2 = wl::runWorkload(*w, mesif, mode, threads,
+                                      cfg.scale, 0xbe9c5,
+                                      500'000'000);
+            auto moesi = sim::MachineConfig::icelake(threads);
+            moesi.mem.protocol = mem::Protocol::kMoesi;
+            auto r3 = wl::runWorkload(*w, moesi, mode, threads,
+                                      cfg.scale, 0xbe9c5,
+                                      500'000'000);
+            t.cell(name)
+                .cell(core::atomicsModeName(mode))
+                .cell(r1.finished ? r1.cycles : 0)
+                .cell(r2.finished ? r2.cycles : 0)
+                .cell(r3.finished ? r3.cycles : 0)
+                .cell(r2.mem.mesifForwards)
+                .cell(r3.mem.writebacks)
+                .endRow();
+        }
+    }
+    bench::emit(cfg, t);
+    return 0;
+}

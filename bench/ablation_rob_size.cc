@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Ablation backing the paper's Figure 1 claim: "the latency of a
+ * fenced implementation of atomic RMWs increases with the ROB size"
+ * (Sandy Bridge 168 -> Skylake 224 -> Icelake 352 entries), while
+ * Free atomics stay flat.
+ */
+
+#include "bench_util.hh"
+
+using namespace fa;
+
+int
+main()
+{
+    bench::BenchConfig cfg;
+    bench::banner(cfg, "Ablation: fenced atomic cost vs ROB size");
+
+    TablePrinter t({"app", "machine", "rob", "fenced_cost",
+                    "fenced_cycles", "freefwd_cycles"});
+    const sim::MachineConfig machines[] = {
+        sim::MachineConfig::sandybridge(cfg.cores),
+        sim::MachineConfig::skylake(cfg.cores),
+        sim::MachineConfig::icelake(cfg.cores),
+    };
+    for (const char *name : {"fft", "radix", "canneal", "barnes"}) {
+        const auto *w = wl::findWorkload(name);
+        for (const auto &m : machines) {
+            auto fenced = bench::runOnce(cfg, *w, m,
+                                         core::AtomicsMode::kFenced);
+            auto fwd = bench::runOnce(cfg, *w, m,
+                                      core::AtomicsMode::kFreeFwd);
+            t.cell(name)
+                .cell(m.name)
+                .cell(std::to_string(m.core.robSize))
+                .cell(fenced.avgAtomicCost(), 1)
+                .cell(fenced.cycles)
+                .cell(fwd.cycles)
+                .endRow();
+        }
+    }
+    bench::emit(cfg, t);
+    return 0;
+}

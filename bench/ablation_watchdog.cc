@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation (§3.2.5): the watchdog timeout threshold. The paper picks
+ * a large value (10000 cycles) so long-latency lock acquisitions are
+ * not squashed spuriously, and reports only a handful of firings.
+ * This sweep runs the deadlock-prone stress generators (with fully
+ * out-of-order lock acquisition, so cycles actually form) across
+ * thresholds: small values recover cheaply but fire often, large
+ * values fire rarely but each recovery stalls longer.
+ */
+
+#include "bench_util.hh"
+
+using namespace fa;
+
+int
+main()
+{
+    bench::BenchConfig cfg;
+    bench::banner(cfg, "Ablation: watchdog threshold "
+                       "(out-of-order lock acquisition)");
+
+    const unsigned thresholds[] = {250, 1000, 4000, 10000, 40000};
+    std::vector<std::string> headers{"workload"};
+    for (unsigned t : thresholds) {
+        headers.push_back("cyc@" + std::to_string(t));
+        headers.push_back("fires@" + std::to_string(t));
+    }
+    TablePrinter t(headers);
+
+    unsigned threads = cfg.cores < 8 ? cfg.cores : 8;
+    for (const char *name :
+         {"dl_rmwrmw", "dl_storermw", "dl_loadrmw"}) {
+        const auto *w = wl::findWorkload(name);
+        t.cell(name);
+        for (unsigned thr : thresholds) {
+            auto m = sim::MachineConfig::icelake(threads);
+            m.core.inOrderLockAcquisition = false;
+            m.core.watchdogThreshold = thr;
+            auto r = wl::runWorkload(*w, m,
+                                     core::AtomicsMode::kFreeFwd,
+                                     threads, 0.5, 0xbe9c5,
+                                     500'000'000);
+            t.cell(r.finished ? r.cycles : 0);
+            t.cell(r.core.watchdogTimeouts);
+        }
+        t.endRow();
+    }
+    bench::emit(cfg, t);
+    return 0;
+}

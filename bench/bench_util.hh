@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses that regenerate the
+ * paper's tables and figures.
+ *
+ * Environment knobs (all optional):
+ *   FA_CORES  - cores to simulate          (default 32, as the paper)
+ *   FA_SCALE  - workload iteration scale   (default 0.5)
+ *   FA_SEEDS  - seeded runs to average     (default 1)
+ *   FA_CSV    - emit CSV instead of an aligned table
+ */
+
+#ifndef FA_BENCH_BENCH_UTIL_HH
+#define FA_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "freeatomics/freeatomics.hh"
+
+namespace fa::bench {
+
+inline unsigned
+envUnsigned(const char *name, unsigned def)
+{
+    const char *v = std::getenv(name);
+    return v && *v ? static_cast<unsigned>(std::strtoul(v, nullptr, 10))
+                   : def;
+}
+
+inline double
+envDouble(const char *name, double def)
+{
+    const char *v = std::getenv(name);
+    return v && *v ? std::strtod(v, nullptr) : def;
+}
+
+struct BenchConfig
+{
+    unsigned cores = envUnsigned("FA_CORES", 32);
+    double scale = envDouble("FA_SCALE", 0.5);
+    unsigned seeds = envUnsigned("FA_SEEDS", 1);
+    bool csv = envUnsigned("FA_CSV", 0) != 0;
+};
+
+/** Mean of a per-run metric over `cfg.seeds` seeded runs. */
+template <typename MetricFn>
+double
+meanOverSeeds(const BenchConfig &cfg, const wl::Workload &w,
+              sim::MachineConfig machine, core::AtomicsMode mode,
+              MetricFn &&metric)
+{
+    double sum = 0;
+    for (unsigned s = 0; s < cfg.seeds; ++s) {
+        auto r = wl::runWorkload(w, machine, mode, cfg.cores, cfg.scale,
+                                 0xbe9c5 + s, 200'000'000);
+        if (!r.finished) {
+            std::cerr << "warn: " << w.name << " ("
+                      << core::atomicsModeName(mode)
+                      << "): " << r.failure << "\n";
+        }
+        sum += metric(r);
+    }
+    return sum / cfg.seeds;
+}
+
+/** One full run (first seed) for multi-metric rows. */
+inline sim::RunResult
+runOnce(const BenchConfig &cfg, const wl::Workload &w,
+        sim::MachineConfig machine, core::AtomicsMode mode,
+        unsigned seed_index = 0)
+{
+    auto r = wl::runWorkload(w, machine, mode, cfg.cores, cfg.scale,
+                             0xbe9c5 + seed_index, 200'000'000);
+    if (!r.finished) {
+        std::cerr << "warn: " << w.name << " ("
+                  << core::atomicsModeName(mode) << "): " << r.failure
+                  << "\n";
+    }
+    return r;
+}
+
+inline void
+emit(const BenchConfig &cfg, const TablePrinter &t)
+{
+    if (cfg.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+}
+
+inline void
+banner(const BenchConfig &cfg, const std::string &what)
+{
+    std::cout << "== " << what << " ==\n"
+              << "(cores=" << cfg.cores << " scale=" << cfg.scale
+              << " seeds=" << cfg.seeds << ")\n";
+}
+
+} // namespace fa::bench
+
+#endif // FA_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Extension bench backing the paper's §2 background: atomic RMW
+ * instructions "always succeed", while LL/SC pairs fail under
+ * interference and must spin. Compares a contended shared counter
+ * implemented with fetch-add (under each atomic flavour) against the
+ * same counter implemented with an LL/SC retry loop.
+ */
+
+#include "bench_util.hh"
+
+using namespace fa;
+
+namespace {
+
+isa::Program
+counterProgram(unsigned threads, std::int64_t iters, bool llsc)
+{
+    isa::ProgramBuilder b(llsc ? "llsc" : "rmw");
+    auto bar = b.alloc();
+    auto n = b.alloc();
+    auto t0 = b.alloc();
+    auto t1 = b.alloc();
+    auto t2 = b.alloc();
+    auto t3 = b.alloc();
+    b.movi(bar, static_cast<std::int64_t>(wl::kBarrierBase));
+    b.movi(n, threads);
+    b.barrier(bar, n, t0, t1, t2, t3);
+
+    auto a = b.alloc();
+    auto one = b.alloc();
+    auto i = b.alloc();
+    auto old = b.alloc();
+    auto tmp = b.alloc();
+    auto f = b.alloc();
+    b.movi(a, static_cast<std::int64_t>(wl::kDataBase));
+    b.movi(one, 1);
+    b.movi(i, iters);
+    isa::Label loop = b.here();
+    if (llsc)
+        b.llscFetchAdd(old, a, one, tmp, f);
+    else
+        b.fetchAdd(old, a, one);
+    b.addi(i, i, -1);
+    b.branch(isa::BranchCond::kNe, i, isa::ProgramBuilder::zero(),
+             loop);
+    b.halt();
+    return b.build();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::BenchConfig cfg;
+    bench::banner(cfg, "Extension: LL/SC vs atomic RMW (contended "
+                       "counter)");
+    constexpr std::int64_t kIters = 64;
+
+    TablePrinter t({"threads", "primitive", "mode", "cycles",
+                    "sc_failure_pct"});
+    for (unsigned threads : {2u, 8u, 16u, 32u}) {
+        if (threads > cfg.cores)
+            continue;
+        for (bool llsc : {false, true}) {
+            for (auto mode :
+                 {core::AtomicsMode::kFenced,
+                  core::AtomicsMode::kFreeFwd}) {
+                if (llsc && mode != core::AtomicsMode::kFenced)
+                    continue;  // LL/SC has no fences to remove
+                std::vector<isa::Program> progs(
+                    threads, counterProgram(threads, kIters, llsc));
+                auto machine = sim::MachineConfig::icelake(threads);
+                machine.core.mode = mode;
+                sim::System sys(machine, progs, 0xbe9c5);
+                auto out = sys.run(200'000'000);
+                auto total = sys.coreTotals();
+                double fail_pct = 0;
+                if (llsc) {
+                    auto attempts =
+                        total.llscSuccesses + total.llscFailures;
+                    fail_pct = attempts
+                        ? 100.0 * static_cast<double>(
+                              total.llscFailures) / attempts
+                        : 0.0;
+                }
+                t.cell(std::to_string(threads))
+                    .cell(llsc ? "ll/sc" : "fetch-add")
+                    .cell(core::atomicsModeName(mode))
+                    .cell(out.finished ? out.cycles : 0)
+                    .cell(fail_pct, 1)
+                    .endRow();
+            }
+        }
+    }
+    bench::emit(cfg, t);
+    return 0;
+}

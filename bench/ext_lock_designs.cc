@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Extension bench: how much of Free atomics' benefit survives
+ * smarter software lock designs? Compares the TTAS mutex the suite
+ * uses against a FIFO ticket lock and an MCS queue lock, each under
+ * the fenced baseline and FreeAtomics+Fwd.
+ */
+
+#include "bench_util.hh"
+
+using namespace fa;
+
+int
+main()
+{
+    bench::BenchConfig cfg;
+    bench::banner(cfg, "Extension: lock designs x atomic flavours");
+
+    TablePrinter t({"lock", "threads", "fenced_cycles",
+                    "freefwd_cycles", "speedup"});
+    unsigned threads = cfg.cores < 16 ? cfg.cores : 16;
+    struct Row
+    {
+        const char *label;
+        const char *workload;
+    };
+    const Row rows[] = {
+        {"ttas (PC kernel)", "PC"},
+        {"ticket", "ticket_lock"},
+        {"mcs", "mcs_lock"},
+    };
+    for (const auto &row : rows) {
+        const auto *w = wl::findWorkload(row.workload);
+        auto machine = sim::MachineConfig::icelake(threads);
+        auto fenced = wl::runWorkload(*w, machine,
+                                      core::AtomicsMode::kFenced,
+                                      threads, cfg.scale, 0xbe9c5,
+                                      500'000'000);
+        auto fwd = wl::runWorkload(*w, machine,
+                                   core::AtomicsMode::kFreeFwd,
+                                   threads, cfg.scale, 0xbe9c5,
+                                   500'000'000);
+        t.cell(row.label)
+            .cell(std::to_string(threads))
+            .cell(fenced.finished ? fenced.cycles : 0)
+            .cell(fwd.finished ? fwd.cycles : 0)
+            .cell(fwd.cycles ? static_cast<double>(fenced.cycles) /
+                      static_cast<double>(fwd.cycles)
+                             : 0.0,
+                  2)
+            .endRow();
+    }
+    bench::emit(cfg, t);
+    return 0;
+}

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Figure 12: committed atomic RMWs per kilo-instruction (APKI) for
+ * the 26-application suite, with the paper's atomic-intensive
+ * classification (>= 0.75 APKI in the paper's runs).
+ */
+
+#include "bench_util.hh"
+
+using namespace fa;
+
+int
+main()
+{
+    bench::BenchConfig cfg;
+    bench::banner(cfg, "Figure 12: frequency of atomic RMWs (APKI)");
+
+    TablePrinter t({"app", "apki", "class"});
+    for (const auto &w : wl::allWorkloads()) {
+        auto r = bench::runOnce(cfg, w,
+                                sim::MachineConfig::icelake(cfg.cores),
+                                core::AtomicsMode::kFenced);
+        t.cell(w.name)
+            .cell(r.apki(), 2)
+            .cell(w.atomicIntensive ? "atomic-intensive" : "non-AI")
+            .endRow();
+    }
+    bench::emit(cfg, t);
+    return 0;
+}

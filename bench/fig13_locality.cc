@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 13: lock locality — how often a load_lock finds its data in
+ * the SQ (store-to-load forwarding) or already held with write
+ * permission in L1/L2, for baseline atomic RMWs vs Free atomics.
+ *
+ * Expected shape: Free atomics raise locality everywhere, with the
+ * forwarded share dominating for barnes/radiosity/fmm-like apps.
+ */
+
+#include "bench_util.hh"
+
+using namespace fa;
+
+int
+main()
+{
+    bench::BenchConfig cfg;
+    bench::banner(cfg, "Figure 13: locality of atomics");
+
+    TablePrinter t({"app", "baseline_l1l2", "free_l1l2",
+                    "free_forwarded", "free_total"});
+    for (const auto &w : wl::allWorkloads()) {
+        auto base = bench::runOnce(cfg, w,
+                                   sim::MachineConfig::icelake(cfg.cores),
+                                   core::AtomicsMode::kFenced);
+        auto fwd = bench::runOnce(cfg, w,
+                                  sim::MachineConfig::icelake(cfg.cores),
+                                  core::AtomicsMode::kFreeFwd);
+        double fwd_share = fwd.lockLocalityFwdRatio();
+        t.cell(w.name)
+            .cell(base.lockLocalityRatio(), 3)
+            .cell(fwd.lockLocalityRatio() - fwd_share, 3)
+            .cell(fwd_share, 3)
+            .cell(fwd.lockLocalityRatio(), 3)
+            .endRow();
+    }
+    bench::emit(cfg, t);
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 14: normalized execution time of the three Free-atomics
+ * flavours relative to the fenced baseline, per application, plus
+ * the all-apps and atomic-intensive averages the paper headlines
+ * (12.5% / 25.2% reductions for FreeAtomics+Fwd).
+ *
+ * The active/sleep split of the slowest thread (the shaded/unshaded
+ * bar portions) is reported for the FreeAtomics+Fwd runs.
+ */
+
+#include "bench_util.hh"
+
+using namespace fa;
+
+int
+main()
+{
+    bench::BenchConfig cfg;
+    bench::banner(cfg, "Figure 14: normalized execution time");
+
+    TablePrinter t({"app", "baseline", "+Spec", "Free", "Free+Fwd",
+                    "fwd_active", "fwd_sleep"});
+    double sum_all[3] = {0, 0, 0};
+    double sum_ai[3] = {0, 0, 0};
+    unsigned n_all = 0;
+    unsigned n_ai = 0;
+    for (const auto &w : wl::allWorkloads()) {
+        auto machine = sim::MachineConfig::icelake(cfg.cores);
+        auto base = bench::runOnce(cfg, w, machine,
+                                   core::AtomicsMode::kFenced);
+        auto spec = bench::runOnce(cfg, w, machine,
+                                   core::AtomicsMode::kSpec);
+        auto free_r = bench::runOnce(cfg, w, machine,
+                                     core::AtomicsMode::kFree);
+        auto fwd = bench::runOnce(cfg, w, machine,
+                                  core::AtomicsMode::kFreeFwd);
+        double d = static_cast<double>(base.cycles);
+        double norm[3] = {spec.cycles / d, free_r.cycles / d,
+                          fwd.cycles / d};
+        double tot = static_cast<double>(fwd.slowestActiveCycles +
+                                         fwd.slowestSleepCycles);
+        t.cell(w.name)
+            .cell(1.0, 3)
+            .cell(norm[0], 3)
+            .cell(norm[1], 3)
+            .cell(norm[2], 3)
+            .cell(tot > 0 ? fwd.slowestActiveCycles / tot : 1.0, 2)
+            .cell(tot > 0 ? fwd.slowestSleepCycles / tot : 0.0, 2)
+            .endRow();
+        for (int i = 0; i < 3; ++i)
+            sum_all[i] += norm[i];
+        ++n_all;
+        if (w.atomicIntensive) {
+            for (int i = 0; i < 3; ++i)
+                sum_ai[i] += norm[i];
+            ++n_ai;
+        }
+    }
+    t.cell("Average(all)").cell(1.0, 3).cell(sum_all[0] / n_all, 3)
+        .cell(sum_all[1] / n_all, 3).cell(sum_all[2] / n_all, 3)
+        .cell("").cell("").endRow();
+    t.cell("Average(AI)").cell(1.0, 3).cell(sum_ai[0] / n_ai, 3)
+        .cell(sum_ai[1] / n_ai, 3).cell(sum_ai[2] / n_ai, 3)
+        .cell("").cell("").endRow();
+    bench::emit(cfg, t);
+
+    std::cout << "\nFreeAtomics+Fwd execution-time reduction: "
+              << fmtDouble(100.0 * (1.0 - sum_all[2] / n_all), 1)
+              << "% (all apps), "
+              << fmtDouble(100.0 * (1.0 - sum_ai[2] / n_ai), 1)
+              << "% (atomic-intensive)\n"
+              << "(paper: 12.5% all, 25.2% atomic-intensive)\n";
+    return 0;
+}

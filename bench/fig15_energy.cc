@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 15: normalized processor energy (dynamic + static split)
+ * of the Free-atomics flavours relative to the fenced baseline.
+ *
+ * Expected shape: static savings track the execution-time savings;
+ * dynamic savings come from less wasted spinning — averages around
+ * 11% (all) and 23% (atomic-intensive) in the paper.
+ */
+
+#include "bench_util.hh"
+
+using namespace fa;
+
+int
+main()
+{
+    bench::BenchConfig cfg;
+    bench::banner(cfg, "Figure 15: normalized energy consumption");
+
+    TablePrinter t({"app", "baseline", "+Spec", "Free", "Free+Fwd",
+                    "fwd_dynamic", "fwd_static"});
+    double sum_all[3] = {0, 0, 0};
+    double sum_ai[3] = {0, 0, 0};
+    unsigned n_all = 0;
+    unsigned n_ai = 0;
+    for (const auto &w : wl::allWorkloads()) {
+        auto machine = sim::MachineConfig::icelake(cfg.cores);
+        auto base = bench::runOnce(cfg, w, machine,
+                                   core::AtomicsMode::kFenced);
+        auto spec = bench::runOnce(cfg, w, machine,
+                                   core::AtomicsMode::kSpec);
+        auto free_r = bench::runOnce(cfg, w, machine,
+                                     core::AtomicsMode::kFree);
+        auto fwd = bench::runOnce(cfg, w, machine,
+                                  core::AtomicsMode::kFreeFwd);
+        double d = base.energy.total();
+        double norm[3] = {spec.energy.total() / d,
+                          free_r.energy.total() / d,
+                          fwd.energy.total() / d};
+        t.cell(w.name)
+            .cell(1.0, 3)
+            .cell(norm[0], 3)
+            .cell(norm[1], 3)
+            .cell(norm[2], 3)
+            .cell(fwd.energy.dynamicPj / fwd.energy.total(), 2)
+            .cell(fwd.energy.staticPj / fwd.energy.total(), 2)
+            .endRow();
+        for (int i = 0; i < 3; ++i)
+            sum_all[i] += norm[i];
+        ++n_all;
+        if (w.atomicIntensive) {
+            for (int i = 0; i < 3; ++i)
+                sum_ai[i] += norm[i];
+            ++n_ai;
+        }
+    }
+    t.cell("Average(all)").cell(1.0, 3).cell(sum_all[0] / n_all, 3)
+        .cell(sum_all[1] / n_all, 3).cell(sum_all[2] / n_all, 3)
+        .cell("").cell("").endRow();
+    t.cell("Average(AI)").cell(1.0, 3).cell(sum_ai[0] / n_ai, 3)
+        .cell(sum_ai[1] / n_ai, 3).cell(sum_ai[2] / n_ai, 3)
+        .cell("").cell("").endRow();
+    bench::emit(cfg, t);
+
+    std::cout << "\nFreeAtomics+Fwd energy reduction: "
+              << fmtDouble(100.0 * (1.0 - sum_all[2] / n_all), 1)
+              << "% (all apps), "
+              << fmtDouble(100.0 * (1.0 - sum_ai[2] / n_ai), 1)
+              << "% (atomic-intensive)\n"
+              << "(paper: ~11% all, ~23% atomic-intensive)\n";
+    return 0;
+}

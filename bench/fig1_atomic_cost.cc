@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 1: average cost in cycles of a fenced atomic RMW, split
+ * into store-buffer drain (Drain_SB) and post-issue (Atomic) cycles,
+ * on Skylake-like (224 ROB) and Icelake-like (352 ROB) cores.
+ *
+ * Expected shape: cost dominated by Drain_SB, growing with ROB size;
+ * store-intensive barrier applications (fft, radix, ocean) highest.
+ */
+
+#include "bench_util.hh"
+
+using namespace fa;
+
+int
+main()
+{
+    bench::BenchConfig cfg;
+    bench::banner(cfg, "Figure 1: cost of fenced atomic RMWs");
+
+    TablePrinter t({"app", "sky_drain", "sky_atomic", "sky_total",
+                    "ice_drain", "ice_atomic", "ice_total"});
+    double sky_sum = 0;
+    double ice_sum = 0;
+    unsigned n = 0;
+    for (const auto &w : wl::allWorkloads()) {
+        auto sky = bench::runOnce(cfg, w,
+                                  sim::MachineConfig::skylake(cfg.cores),
+                                  core::AtomicsMode::kFenced);
+        auto ice = bench::runOnce(cfg, w,
+                                  sim::MachineConfig::icelake(cfg.cores),
+                                  core::AtomicsMode::kFenced);
+        t.cell(w.name)
+            .cell(sky.avgDrainSbCycles(), 1)
+            .cell(sky.avgAtomicCycles(), 1)
+            .cell(sky.avgAtomicCost(), 1)
+            .cell(ice.avgDrainSbCycles(), 1)
+            .cell(ice.avgAtomicCycles(), 1)
+            .cell(ice.avgAtomicCost(), 1)
+            .endRow();
+        sky_sum += sky.avgAtomicCost();
+        ice_sum += ice.avgAtomicCost();
+        ++n;
+    }
+    t.cell("Average").cell("").cell("").cell(sky_sum / n, 1)
+        .cell("").cell("").cell(ice_sum / n, 1).endRow();
+    bench::emit(cfg, t);
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the hardware structures the
+ * proposal adds or stresses: the Atomic Queue CAM searches (paper
+ * §4.3 argues they are tiny), cache tag lookups, SQ forwarding
+ * search, and whole-system simulation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "freeatomics/freeatomics.hh"
+
+using namespace fa;
+
+namespace {
+
+void
+BM_AqLineSearch(benchmark::State &state)
+{
+    core::AtomicQueue aq(static_cast<unsigned>(state.range(0)));
+    for (int i = 0; i < state.range(0); ++i) {
+        int idx = aq.allocate(i + 1);
+        aq.lock(idx, static_cast<Addr>(i) << kLineShift);
+    }
+    Addr probe = 0x12340;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(aq.isLineLocked(probe));
+        probe += kLineBytes;
+    }
+}
+BENCHMARK(BM_AqLineSearch)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_AqBroadcast(benchmark::State &state)
+{
+    core::AtomicQueue aq(4);
+    int idx = aq.allocate(1);
+    SeqNum s = 100;
+    for (auto _ : state) {
+        aq.setForwardedFrom(idx, s);
+        benchmark::DoNotOptimize(
+            aq.broadcastStorePerform(s, 0x1000));
+        ++s;
+    }
+}
+BENCHMARK(BM_AqBroadcast);
+
+void
+BM_CacheLookup(benchmark::State &state)
+{
+    mem::CacheArray l1(64, 12);
+    for (unsigned k = 0; k < 64 * 12; ++k) {
+        l1.insert(static_cast<Addr>(k) << kLineShift,
+                  mem::CacheState::kShared, k, nullptr);
+    }
+    Addr probe = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(l1.stateOf(probe));
+        probe = (probe + kLineBytes) & 0xffff;
+    }
+}
+BENCHMARK(BM_CacheLookup);
+
+void
+BM_SystemThroughput(benchmark::State &state)
+{
+    // Cycles simulated per second on a small atomic-heavy system.
+    const auto *w = wl::findWorkload("atomic_counter");
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        auto r = wl::runWorkload(
+            *w, sim::MachineConfig::icelake(
+                static_cast<unsigned>(state.range(0))),
+            core::AtomicsMode::kFreeFwd,
+            static_cast<unsigned>(state.range(0)), 1.0, 42);
+        cycles += r.cycles;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["sim_cycles"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SystemThroughput)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Table 1: system configuration of the evaluated machine presets.
+ */
+
+#include "bench_util.hh"
+
+using namespace fa;
+
+namespace {
+
+void
+printMachine(const sim::MachineConfig &m)
+{
+    std::cout << "---- " << m.name << " (" << m.cores << " cores) ----\n";
+    TablePrinter t({"parameter", "value"});
+    auto &c = m.core;
+    auto &mm = m.mem;
+    t.cell("Fetch/Decode width").cell(std::to_string(c.fetchWidth) +
+                                      " instr").endRow();
+    t.cell("Issue/Commit width").cell(std::to_string(c.issueWidth) +
+                                      " uops").endRow();
+    t.cell("ROB").cell(std::to_string(c.robSize) + " entries").endRow();
+    t.cell("LQ").cell(std::to_string(c.lqSize) + " entries").endRow();
+    t.cell("SQ").cell(std::to_string(c.sqSize) + " entries").endRow();
+    t.cell("Atomic Queue").cell(std::to_string(c.aqSize) +
+                                " entries").endRow();
+    t.cell("Watchdog timeout").cell(std::to_string(c.watchdogThreshold)
+                                    + " cycles").endRow();
+    t.cell("Fwd chain cap").cell(std::to_string(c.fwdChainCap)).endRow();
+    t.cell("Memdep predictor").cell("store-set style").endRow();
+    t.cell("Branch predictor").cell("bimodal 2^" +
+        std::to_string(c.bpTableBits)).endRow();
+    t.cell("Store prefetch").cell(c.storePrefetch ? "at-commit [54]"
+                                                  : "off").endRow();
+    t.cell("L1D").cell(std::to_string(mm.l1Sets * mm.l1Ways *
+                                      kLineBytes / 1024) + "KB, " +
+        std::to_string(mm.l1Ways) + " ways, " +
+        std::to_string(mm.l1HitLatency) + " cycles").endRow();
+    t.cell("L2").cell(std::to_string(mm.l2Sets * mm.l2Ways *
+                                     kLineBytes / 1024) + "KB, " +
+        std::to_string(mm.l2Ways) + " ways, " +
+        std::to_string(mm.l2HitLatency) + " cycles").endRow();
+    t.cell("L3").cell(std::to_string(mm.l3Sets * mm.l3Ways *
+                                     kLineBytes / 1024 / 1024) +
+        "MB, " + std::to_string(mm.l3Ways) + " ways, " +
+        std::to_string(mm.l3TagLatency) + "+" +
+        std::to_string(mm.l3DataLatency) + " cycles").endRow();
+    t.cell("Directory").cell(
+        std::to_string(static_cast<int>(mm.dirCoverage * 100)) +
+        "% coverage, " + std::to_string(mm.dirWays) + " ways").endRow();
+    t.cell("Crossbar hop").cell(std::to_string(mm.netLatency) +
+                                " cycles").endRow();
+    t.cell("Memory").cell(std::to_string(mm.memLatency) +
+                          " cycles").endRow();
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Table 1: system configuration\n\n";
+    bench::BenchConfig cfg;
+    printMachine(sim::MachineConfig::icelake(cfg.cores));
+    printMachine(sim::MachineConfig::skylake(cfg.cores));
+    return 0;
+}

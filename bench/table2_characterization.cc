@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table 2: characterization of Free atomics (FreeAtomics+Fwd runs) —
+ * percentage of omitted fences, watchdog timeout count, memory
+ * dependence violations as a share of squashes, and the share of
+ * atomics forwarded by an atomic (FbA) or by an ordinary store (FbS).
+ */
+
+#include "bench_util.hh"
+
+using namespace fa;
+
+int
+main()
+{
+    bench::BenchConfig cfg;
+    bench::banner(cfg, "Table 2: characterization of Free atomics");
+
+    TablePrinter t({"app", "omitted_fences_pct", "timeouts",
+                    "mdv_pct_squashes", "fba_pct", "fbs_pct"});
+    double of = 0;
+    double to = 0;
+    double mdv = 0;
+    double fba = 0;
+    double fbs = 0;
+    unsigned n = 0;
+    for (const auto &w : wl::allWorkloads()) {
+        auto r = bench::runOnce(cfg, w,
+                                sim::MachineConfig::icelake(cfg.cores),
+                                core::AtomicsMode::kFreeFwd);
+        t.cell(w.name)
+            .cell(r.omittedFencePct(), 2)
+            .cell(r.core.watchdogTimeouts)
+            .cell(r.mdvPctOfSquashes(), 2)
+            .cell(r.fwdByAtomicPct(), 2)
+            .cell(r.fwdByStorePct(), 3)
+            .endRow();
+        of += r.omittedFencePct();
+        to += static_cast<double>(r.core.watchdogTimeouts);
+        mdv += r.mdvPctOfSquashes();
+        fba += r.fwdByAtomicPct();
+        fbs += r.fwdByStorePct();
+        ++n;
+    }
+    t.cell("Average").cell(of / n, 2).cell(fmtDouble(to / n, 2))
+        .cell(mdv / n, 2).cell(fba / n, 2).cell(fbs / n, 3).endRow();
+    bench::emit(cfg, t);
+    return 0;
+}

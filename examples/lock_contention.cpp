@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Lock-contention study: the scenario the paper's §5.5 highlights —
+ * spinlock-protected critical sections at varying contention levels
+ * (many locks = uncontended, one lock = fully serialized).
+ *
+ * Prints cycles per mode and the Free-atomics speedup as contention
+ * grows, showing where unfencing and forwarding pay off.
+ */
+
+#include <cstdio>
+
+#include "freeatomics/freeatomics.hh"
+
+using namespace fa;
+
+namespace {
+
+isa::Program
+lockProgram(unsigned thread_id, unsigned num_threads, int num_locks)
+{
+    (void)thread_id;
+    isa::ProgramBuilder b("contention");
+    isa::Reg r_bar = b.alloc();
+    isa::Reg r_n = b.alloc();
+    isa::Reg t0 = b.alloc();
+    isa::Reg t1 = b.alloc();
+    isa::Reg t2 = b.alloc();
+    isa::Reg t3 = b.alloc();
+    b.movi(r_bar, 0x10000);
+    b.movi(r_n, num_threads);
+    b.barrier(r_bar, r_n, t0, t1, t2, t3);
+
+    isa::Reg r_i = b.alloc();
+    isa::Reg r_idx = b.alloc();
+    isa::Reg r_addr = b.alloc();
+    isa::Reg r_tmp = b.alloc();
+    isa::Reg r_val = b.alloc();
+    isa::Reg r_six = b.alloc();
+    isa::Reg r_data = b.alloc();
+    b.movi(r_i, 64);
+    b.movi(r_six, 6);
+    b.movi(r_data, 0x200000);
+    isa::Label loop = b.here();
+    b.rand(r_idx, num_locks);
+    b.alu(isa::AluFn::kShl, r_addr, r_idx, r_six);
+    b.alu(isa::AluFn::kAdd, r_addr, r_addr, r_data);
+    b.lockAcquire(r_addr, r_tmp);
+    b.load(r_val, r_addr, 8);
+    b.addi(r_val, r_val, 1);
+    b.store(r_addr, r_val, 8);
+    b.lockRelease(r_addr, r_tmp);
+    b.addi(r_i, r_i, -1);
+    b.branch(isa::BranchCond::kNe, r_i, isa::ProgramBuilder::zero(),
+             loop);
+    b.halt();
+    return b.build();
+}
+
+Cycle
+run(core::AtomicsMode mode, unsigned threads, int num_locks)
+{
+    std::vector<isa::Program> progs;
+    for (unsigned t = 0; t < threads; ++t)
+        progs.push_back(lockProgram(t, threads, num_locks));
+    auto machine = sim::MachineConfig::icelake(threads);
+    machine.core.mode = mode;
+    sim::System sys(machine, progs, 7);
+    auto out = sys.run();
+    if (!out.finished)
+        fatal("run failed: %s", out.failure.c_str());
+    // Verify mutual exclusion: the counters must sum to all updates.
+    std::int64_t sum = 0;
+    for (int n = 0; n < num_locks; ++n)
+        sum += sys.readWord(0x200000 + n * 64 + 8);
+    if (sum != 64 * static_cast<std::int64_t>(threads))
+        fatal("lost update: sum=%lld", static_cast<long long>(sum));
+    return out.cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr unsigned kThreads = 8;
+    std::printf("lock contention sweep: %u threads x 64 critical "
+                "sections\n\n", kThreads);
+    std::printf("%-8s %12s %12s %12s %10s\n", "locks", "baseline",
+                "Free", "Free+Fwd", "speedup");
+    for (int locks : {256, 64, 16, 8, 4, 2}) {
+        Cycle base = run(core::AtomicsMode::kFenced, kThreads, locks);
+        Cycle fr = run(core::AtomicsMode::kFree, kThreads, locks);
+        Cycle fwd = run(core::AtomicsMode::kFreeFwd, kThreads, locks);
+        std::printf("%-8d %12llu %12llu %12llu %9.2fx\n", locks,
+                    static_cast<unsigned long long>(base),
+                    static_cast<unsigned long long>(fr),
+                    static_cast<unsigned long long>(fwd),
+                    static_cast<double>(base) /
+                        static_cast<double>(fwd));
+    }
+    std::printf("\nAll runs verified: no critical-section update was "
+                "lost.\n");
+    return 0;
+}

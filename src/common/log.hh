@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal logging and error-termination helpers, modelled after
+ * gem5's logging.hh: panic() for simulator bugs, fatal() for user
+ * errors, warn()/inform() for status messages.
+ */
+
+#ifndef FA_COMMON_LOG_HH
+#define FA_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace fa {
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Abort the process: something happened that should never happen
+ * regardless of user input, i.e. a simulator bug. Calls abort().
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exit the process with an error: the simulation cannot continue due
+ * to a user-visible condition (bad configuration, invalid program).
+ * Throws FatalError so tests can assert on it.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exception carrying a fatal() message; catchable in tests. */
+struct FatalError
+{
+    std::string message;
+};
+
+/** Non-fatal warning to stderr. */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Informational message to stderr. */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by benches). */
+void setQuiet(bool quiet);
+
+/**
+ * Cycle-level event tracing to stderr, enabled by setTrace(true) or
+ * the FA_TRACE environment variable. Zero cost when disabled beyond
+ * one branch per call site.
+ */
+bool traceEnabled();
+void setTrace(bool enable);
+void tracef(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+#define FA_TRACE(...)                    \
+    do {                                 \
+        if (::fa::traceEnabled())        \
+            ::fa::tracef(__VA_ARGS__);   \
+    } while (0)
+
+} // namespace fa
+
+#endif // FA_COMMON_LOG_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Word-granular functional memory image.
+ *
+ * The simulator separates *data* from *timing*: caches and the
+ * directory hold only tags and coherence state, while all data lives
+ * in one flat image whose update points (store perform, store_unlock
+ * perform) are controlled by the timing models. Coherence guarantees
+ * that whenever a core is permitted to read a word, the image holds
+ * exactly the value its cache copy would hold.
+ */
+
+#ifndef FA_COMMON_MEM_IMAGE_HH
+#define FA_COMMON_MEM_IMAGE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace fa {
+
+/** Sparse word-addressed memory; unset words read as zero. */
+class MemImage
+{
+  public:
+    std::int64_t
+    read(Addr a) const
+    {
+        auto it = words.find(wordIndex(a));
+        return it == words.end() ? 0 : it->second;
+    }
+
+    void
+    write(Addr a, std::int64_t v)
+    {
+        words[wordIndex(a)] = v;
+    }
+
+    /** Equality treating absent words as zero. */
+    bool
+    operator==(const MemImage &other) const
+    {
+        for (const auto &[k, v] : words) {
+            auto it = other.words.find(k);
+            std::int64_t ov = it == other.words.end() ? 0 : it->second;
+            if (v != ov)
+                return false;
+        }
+        for (const auto &[k, v] : other.words) {
+            if (v != 0 && words.find(k) == words.end())
+                return false;
+        }
+        return true;
+    }
+
+    const std::unordered_map<Addr, std::int64_t> &raw() const
+    {
+        return words;
+    }
+
+  private:
+    std::unordered_map<Addr, std::int64_t> words;
+};
+
+} // namespace fa
+
+#endif // FA_COMMON_MEM_IMAGE_HH

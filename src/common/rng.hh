@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The simulator must be bit-reproducible for a given seed, so all
+ * randomness flows through these small, header-only generators rather
+ * than std::random devices.
+ */
+
+#ifndef FA_COMMON_RNG_HH
+#define FA_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace fa {
+
+/**
+ * xorshift64* generator: fast, decent-quality, fully deterministic.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform value in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw with probability num/den. */
+    bool
+    chance(std::uint64_t num, std::uint64_t den)
+    {
+        return below(den) < num;
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * Stateless mixer: a pure function of its inputs, used where a value
+ * must be recomputable (e.g. the RAND instruction's committed value,
+ * which must not depend on how many squashed executions preceded it).
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t x = a * 0x9e3779b97f4a7c15ull + b + 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace fa
+
+#endif // FA_COMMON_RNG_HH

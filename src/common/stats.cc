@@ -1,0 +1,140 @@
+#include "common/stats.hh"
+
+namespace fa {
+
+std::uint64_t
+CoreStats::totalSquashEvents() const
+{
+    std::uint64_t n = 0;
+    for (auto v : squashEvents)
+        n += v;
+    return n;
+}
+
+void
+CoreStats::forEach(
+    const std::function<void(const std::string &, std::uint64_t)> &fn) const
+{
+    fn("committedInsts", committedInsts);
+    fn("committedAtomics", committedAtomics);
+    fn("committedLoads", committedLoads);
+    fn("committedStores", committedStores);
+    fn("committedBranches", committedBranches);
+    fn("committedFences", committedFences);
+    fn("llscSuccesses", llscSuccesses);
+    fn("llscFailures", llscFailures);
+    fn("fetchedInsts", fetchedInsts);
+    fn("squashedInsts", squashedInsts);
+    fn("squashBranch",
+       squashEvents[static_cast<int>(SquashCause::kBranchMispredict)]);
+    fn("squashMemDep",
+       squashEvents[static_cast<int>(SquashCause::kMemDepViolation)]);
+    fn("squashInvalidatedLoad",
+       squashEvents[static_cast<int>(SquashCause::kInvalidatedLoad)]);
+    fn("squashWatchdog",
+       squashEvents[static_cast<int>(SquashCause::kWatchdog)]);
+    fn("branchMispredicts", branchMispredicts);
+    fn("watchdogTimeouts", watchdogTimeouts);
+    fn("activeCycles", activeCycles);
+    fn("haltedCycles", haltedCycles);
+    fn("atomicDrainSbCycles", atomicDrainSbCycles);
+    fn("atomicPostIssueCycles", atomicPostIssueCycles);
+    fn("fence2LoadStallCycles", fence2LoadStallCycles);
+    fn("implicitFencesExecuted", implicitFencesExecuted);
+    fn("implicitFencesOmitted", implicitFencesOmitted);
+    fn("atomicsFwdFromAtomic", atomicsFwdFromAtomic);
+    fn("atomicsFwdFromStore", atomicsFwdFromStore);
+    fn("regularLoadForwards", regularLoadForwards);
+    fn("fwdChainBreaks", fwdChainBreaks);
+    fn("lockSourceSq", lockSourceSq);
+    fn("lockSourceL1WritePerm", lockSourceL1WritePerm);
+    fn("lockSourceL2WritePerm", lockSourceL2WritePerm);
+    fn("lockSourceRemote", lockSourceRemote);
+    fn("dispatchStallAqCycles", dispatchStallAqCycles);
+    fn("dispatchStallRobCycles", dispatchStallRobCycles);
+    fn("dispatchStallLsqCycles", dispatchStallLsqCycles);
+    fn("sbStoresPerformed", sbStoresPerformed);
+    fn("sbCoalescedStores", sbCoalescedStores);
+    fn("issuedUops", issuedUops);
+}
+
+void
+CoreStats::add(const CoreStats &other)
+{
+    committedInsts += other.committedInsts;
+    committedAtomics += other.committedAtomics;
+    committedLoads += other.committedLoads;
+    committedStores += other.committedStores;
+    committedBranches += other.committedBranches;
+    committedFences += other.committedFences;
+    llscSuccesses += other.llscSuccesses;
+    llscFailures += other.llscFailures;
+    fetchedInsts += other.fetchedInsts;
+    squashedInsts += other.squashedInsts;
+    for (int i = 0; i < static_cast<int>(SquashCause::kNumCauses); ++i)
+        squashEvents[i] += other.squashEvents[i];
+    branchMispredicts += other.branchMispredicts;
+    watchdogTimeouts += other.watchdogTimeouts;
+    activeCycles += other.activeCycles;
+    haltedCycles += other.haltedCycles;
+    atomicDrainSbCycles += other.atomicDrainSbCycles;
+    atomicPostIssueCycles += other.atomicPostIssueCycles;
+    fence2LoadStallCycles += other.fence2LoadStallCycles;
+    implicitFencesExecuted += other.implicitFencesExecuted;
+    implicitFencesOmitted += other.implicitFencesOmitted;
+    atomicsFwdFromAtomic += other.atomicsFwdFromAtomic;
+    atomicsFwdFromStore += other.atomicsFwdFromStore;
+    regularLoadForwards += other.regularLoadForwards;
+    fwdChainBreaks += other.fwdChainBreaks;
+    lockSourceSq += other.lockSourceSq;
+    lockSourceL1WritePerm += other.lockSourceL1WritePerm;
+    lockSourceL2WritePerm += other.lockSourceL2WritePerm;
+    lockSourceRemote += other.lockSourceRemote;
+    dispatchStallAqCycles += other.dispatchStallAqCycles;
+    dispatchStallRobCycles += other.dispatchStallRobCycles;
+    dispatchStallLsqCycles += other.dispatchStallLsqCycles;
+    sbStoresPerformed += other.sbStoresPerformed;
+    sbCoalescedStores += other.sbCoalescedStores;
+    issuedUops += other.issuedUops;
+}
+
+void
+MemStats::forEach(
+    const std::function<void(const std::string &, std::uint64_t)> &fn) const
+{
+    fn("l1Hits", l1Hits);
+    fn("l1Misses", l1Misses);
+    fn("l2Hits", l2Hits);
+    fn("l3Hits", l3Hits);
+    fn("memAccesses", memAccesses);
+    fn("transactions", transactions);
+    fn("networkMsgs", networkMsgs);
+    fn("invalidationsSent", invalidationsSent);
+    fn("invBlockedRetries", invBlockedRetries);
+    fn("directoryRecalls", directoryRecalls);
+    fn("writebacks", writebacks);
+    fn("fillBlockedOnLock", fillBlockedOnLock);
+    fn("prefetchesIssued", prefetchesIssued);
+    fn("mesifForwards", mesifForwards);
+}
+
+void
+MemStats::add(const MemStats &other)
+{
+    l1Hits += other.l1Hits;
+    l1Misses += other.l1Misses;
+    l2Hits += other.l2Hits;
+    l3Hits += other.l3Hits;
+    memAccesses += other.memAccesses;
+    transactions += other.transactions;
+    networkMsgs += other.networkMsgs;
+    invalidationsSent += other.invalidationsSent;
+    invBlockedRetries += other.invBlockedRetries;
+    directoryRecalls += other.directoryRecalls;
+    writebacks += other.writebacks;
+    fillBlockedOnLock += other.fillBlockedOnLock;
+    prefetchesIssued += other.prefetchesIssued;
+    mesifForwards += other.mesifForwards;
+}
+
+} // namespace fa

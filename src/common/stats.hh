@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Statistic counters collected by the core and memory models.
+ *
+ * Counters are plain uint64 fields for speed; each struct exposes a
+ * forEach() visitor so tools can dump every counter by name without a
+ * registry object on the hot path.
+ */
+
+#ifndef FA_COMMON_STATS_HH
+#define FA_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.hh"
+
+namespace fa {
+
+/** Why a pipeline squash happened (Table 2 classifies these). */
+enum class SquashCause : std::uint8_t {
+    kBranchMispredict,
+    kMemDepViolation,
+    kInvalidatedLoad,
+    kWatchdog,
+    kNumCauses,
+};
+
+/** Per-core statistic counters. */
+struct CoreStats
+{
+    // Commit-stream counters.
+    std::uint64_t committedInsts = 0;
+    std::uint64_t committedAtomics = 0;
+    std::uint64_t committedLoads = 0;
+    std::uint64_t committedStores = 0;
+    std::uint64_t committedBranches = 0;
+    std::uint64_t committedFences = 0;
+    std::uint64_t llscSuccesses = 0;
+    std::uint64_t llscFailures = 0;
+
+    // Fetch/squash activity.
+    std::uint64_t fetchedInsts = 0;
+    std::uint64_t squashedInsts = 0;
+    std::uint64_t squashEvents[static_cast<int>(
+        SquashCause::kNumCauses)] = {0, 0, 0, 0};
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t watchdogTimeouts = 0;
+
+    // Cycle accounting.
+    std::uint64_t activeCycles = 0;
+    std::uint64_t haltedCycles = 0;
+
+    // Atomic RMW cost decomposition (Figure 1).
+    std::uint64_t atomicDrainSbCycles = 0;
+    std::uint64_t atomicPostIssueCycles = 0;
+    std::uint64_t fence2LoadStallCycles = 0;
+
+    // Fence accounting (Table 2, "Omitted Fences").
+    std::uint64_t implicitFencesExecuted = 0;
+    std::uint64_t implicitFencesOmitted = 0;
+
+    // Store-to-load forwarding involving atomics (Table 2).
+    std::uint64_t atomicsFwdFromAtomic = 0;
+    std::uint64_t atomicsFwdFromStore = 0;
+    std::uint64_t regularLoadForwards = 0;
+    std::uint64_t fwdChainBreaks = 0;
+
+    // load_lock data-source classification (Figure 13).
+    std::uint64_t lockSourceSq = 0;
+    std::uint64_t lockSourceL1WritePerm = 0;
+    std::uint64_t lockSourceL2WritePerm = 0;
+    std::uint64_t lockSourceRemote = 0;
+
+    // Structural stalls.
+    std::uint64_t dispatchStallAqCycles = 0;
+    std::uint64_t dispatchStallRobCycles = 0;
+    std::uint64_t dispatchStallLsqCycles = 0;
+
+    // Store-buffer activity.
+    std::uint64_t sbStoresPerformed = 0;
+    std::uint64_t sbCoalescedStores = 0;
+
+    // Issue activity (energy model input).
+    std::uint64_t issuedUops = 0;
+
+    std::uint64_t totalSquashEvents() const;
+    void forEach(
+        const std::function<void(const std::string &,
+                                 std::uint64_t)> &fn) const;
+    void add(const CoreStats &other);
+};
+
+/** Memory-hierarchy statistic counters (per System). */
+struct MemStats
+{
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l3Hits = 0;
+    std::uint64_t memAccesses = 0;
+    std::uint64_t transactions = 0;
+    std::uint64_t networkMsgs = 0;
+    std::uint64_t invalidationsSent = 0;
+    std::uint64_t invBlockedRetries = 0;
+    std::uint64_t directoryRecalls = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t fillBlockedOnLock = 0;
+    std::uint64_t prefetchesIssued = 0;  ///< store- and stride-prefetch requests
+    std::uint64_t mesifForwards = 0;
+
+    void forEach(
+        const std::function<void(const std::string &,
+                                 std::uint64_t)> &fn) const;
+    void add(const MemStats &other);
+};
+
+} // namespace fa
+
+#endif // FA_COMMON_STATS_HH

@@ -1,0 +1,114 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace fa {
+
+std::string
+fmtDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> hdrs)
+    : headers(std::move(hdrs))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers.size())
+        panic("TablePrinter row has %zu cells, expected %zu",
+              cells.size(), headers.size());
+    rows.push_back(std::move(cells));
+}
+
+TablePrinter &
+TablePrinter::cell(const std::string &value)
+{
+    pending.push_back(value);
+    return *this;
+}
+
+TablePrinter &
+TablePrinter::cell(double value, int precision)
+{
+    return cell(fmtDouble(value, precision));
+}
+
+TablePrinter &
+TablePrinter::cell(std::uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+TablePrinter &
+TablePrinter::cell(std::int64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+TablePrinter &
+TablePrinter::cell(int value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+TablePrinter::endRow()
+{
+    addRow(std::move(pending));
+    pending.clear();
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers.size());
+    for (size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    emit(headers);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows)
+        emit(row);
+}
+
+void
+TablePrinter::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    emit(headers);
+    for (const auto &row : rows)
+        emit(row);
+}
+
+} // namespace fa

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Text table printer used by the benchmark harnesses to emit the
+ * rows/series of the paper's tables and figures.
+ */
+
+#ifndef FA_COMMON_TABLE_HH
+#define FA_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fa {
+
+/**
+ * Accumulates rows of string cells and prints them either aligned for
+ * humans or as CSV for plotting scripts.
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a full row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Start building a row cell by cell. */
+    TablePrinter &cell(const std::string &value);
+    TablePrinter &cell(double value, int precision = 2);
+    TablePrinter &cell(std::uint64_t value);
+    TablePrinter &cell(std::int64_t value);
+    TablePrinter &cell(int value);
+    /** Finish the row started with cell(). */
+    void endRow();
+
+    /** Print with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Print as CSV. */
+    void printCsv(std::ostream &os) const;
+
+    size_t rowCount() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> pending;
+};
+
+/** Format a double with fixed precision. */
+std::string fmtDouble(double v, int precision = 2);
+
+} // namespace fa
+
+#endif // FA_COMMON_TABLE_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fundamental type aliases and address arithmetic shared by every
+ * module of the Free Atomics simulator.
+ */
+
+#ifndef FA_COMMON_TYPES_HH
+#define FA_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace fa {
+
+/** Simulated physical/virtual address (flat address space). */
+using Addr = std::uint64_t;
+
+/** Global simulation cycle count. */
+using Cycle = std::uint64_t;
+
+/** Per-core dynamic instruction sequence number (monotonic). */
+using SeqNum = std::uint64_t;
+
+/** Core identifier within a System. */
+using CoreId = std::uint32_t;
+
+/** Sentinel for "no sequence number". */
+constexpr SeqNum kNoSeq = 0;
+
+/** Sentinel for "no core". */
+constexpr CoreId kNoCore = ~CoreId{0};
+
+/** Cacheline size in bytes. Fixed at 64 as in the paper's system. */
+constexpr unsigned kLineBytes = 64;
+constexpr unsigned kLineShift = 6;
+
+/** All data accesses are aligned 8-byte words. */
+constexpr unsigned kWordBytes = 8;
+constexpr unsigned kWordShift = 3;
+
+/** Align an address down to its cacheline base. */
+constexpr Addr
+lineOf(Addr a)
+{
+    return a & ~Addr{kLineBytes - 1};
+}
+
+/** Align an address down to its word base. */
+constexpr Addr
+wordOf(Addr a)
+{
+    return a & ~Addr{kWordBytes - 1};
+}
+
+/** Word index used as the key of the functional memory image. */
+constexpr Addr
+wordIndex(Addr a)
+{
+    return a >> kWordShift;
+}
+
+} // namespace fa
+
+#endif // FA_COMMON_TYPES_HH

@@ -1,0 +1,128 @@
+#include "core/atomic_queue.hh"
+
+#include "common/log.hh"
+
+namespace fa::core {
+
+AtomicQueue::AtomicQueue(unsigned size)
+    : slots(size)
+{
+    if (size == 0)
+        fatal("atomic queue must have at least one entry");
+}
+
+unsigned
+AtomicQueue::occupancy() const
+{
+    unsigned n = 0;
+    for (const Entry &e : slots)
+        if (e.valid)
+            ++n;
+    return n;
+}
+
+int
+AtomicQueue::allocate(SeqNum seq)
+{
+    for (size_t i = 0; i < slots.size(); ++i) {
+        if (!slots[i].valid) {
+            slots[i] = Entry{};
+            slots[i].valid = true;
+            slots[i].seq = seq;
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+void
+AtomicQueue::release(int idx)
+{
+    Entry &e = slots.at(idx);
+    if (!e.valid)
+        panic("releasing an invalid AQ entry");
+    e = Entry{};
+}
+
+void
+AtomicQueue::lock(int idx, Addr line)
+{
+    Entry &e = slots.at(idx);
+    if (!e.valid)
+        panic("locking through an invalid AQ entry");
+    e.locked = true;
+    e.line = line;
+    e.sqId = kNoSeq;
+}
+
+void
+AtomicQueue::unlock(int idx)
+{
+    Entry &e = slots.at(idx);
+    e.locked = false;
+}
+
+void
+AtomicQueue::setForwardedFrom(int idx, SeqNum store_seq)
+{
+    Entry &e = slots.at(idx);
+    if (!e.valid)
+        panic("forward-marking an invalid AQ entry");
+    e.sqId = store_seq;
+    e.locked = false;
+}
+
+void
+AtomicQueue::clearForward(int idx)
+{
+    Entry &e = slots.at(idx);
+    e.sqId = kNoSeq;
+}
+
+unsigned
+AtomicQueue::broadcastStorePerform(SeqNum store_seq, Addr line)
+{
+    unsigned captured = 0;
+    for (Entry &e : slots) {
+        if (e.valid && e.sqId == store_seq) {
+            e.locked = true;
+            e.line = line;
+            e.sqId = kNoSeq;
+            ++captured;
+        }
+    }
+    return captured;
+}
+
+bool
+AtomicQueue::isLineLocked(Addr line) const
+{
+    for (const Entry &e : slots)
+        if (e.valid && e.locked && e.line == line)
+            return true;
+    return false;
+}
+
+bool
+AtomicQueue::anyLocked() const
+{
+    for (const Entry &e : slots)
+        if (e.valid && e.locked)
+            return true;
+    return false;
+}
+
+SeqNum
+AtomicQueue::oldestLockedSeq() const
+{
+    SeqNum oldest = kNoSeq;
+    for (const Entry &e : slots) {
+        if (e.valid && e.locked &&
+            (oldest == kNoSeq || e.seq < oldest)) {
+            oldest = e.seq;
+        }
+    }
+    return oldest;
+}
+
+} // namespace fa::core

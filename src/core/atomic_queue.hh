@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The Atomic Queue (AQ), the paper's hardware structure (§4): a
+ * small FIFO tracking, per in-flight atomic RMW, whether it holds a
+ * cacheline lock, which line, its sequence number, and the SQ entry
+ * it forwarded from (for do_not_unlock / lock_on_access handling).
+ *
+ * The hardware searches the AQ associatively by set/way (external
+ * requests and replacement), by SQid (forwarding broadcasts) and by
+ * seqNum (flushes). The model stores full line addresses — the same
+ * information a set/way locator provides — and performs the same
+ * associative searches.
+ */
+
+#ifndef FA_CORE_ATOMIC_QUEUE_HH
+#define FA_CORE_ATOMIC_QUEUE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fa::core {
+
+class AtomicQueue
+{
+  public:
+    struct Entry
+    {
+        bool valid = false;
+        bool locked = false;
+        Addr line = 0;
+        SeqNum seq = kNoSeq;
+        SeqNum sqId = kNoSeq;  ///< forwarding store's seq (0 = none)
+    };
+
+    explicit AtomicQueue(unsigned size);
+
+    unsigned size() const { return static_cast<unsigned>(slots.size()); }
+    unsigned occupancy() const;
+    bool full() const { return occupancy() == size(); }
+
+    /** Allocate an entry for a dispatching atomic; -1 when full. */
+    int allocate(SeqNum seq);
+
+    /** Free an entry (store_unlock performed, or squash). */
+    void release(int idx);
+
+    /** Record that the atomic holds the lock on `line`. */
+    void lock(int idx, Addr line);
+
+    /** Drop the lock without freeing the entry. */
+    void unlock(int idx);
+
+    /** Record a forwarding source (Locked bit untouched, §4.2). */
+    void setForwardedFrom(int idx, SeqNum store_seq);
+
+    /** Cancel a pending forward capture (load_lock re-scheduled). */
+    void clearForward(int idx);
+
+    /**
+     * A store left the SQ and wrote `line`: any entry waiting on its
+     * SQid captures the lock (implements both lock_on_access and the
+     * forwarding half of do_not_unlock, §4.2).
+     *
+     * @return number of entries that captured the lock
+     */
+    unsigned broadcastStorePerform(SeqNum store_seq, Addr line);
+
+    /** Is `line` locked by any valid entry? (external request CAM) */
+    bool isLineLocked(Addr line) const;
+
+    /** Any entry currently holding a lock? (watchdog arm condition) */
+    bool anyLocked() const;
+
+    /** Sequence number of the oldest lock-holding atomic (watchdog
+     * flush point); kNoSeq if none. */
+    SeqNum oldestLockedSeq() const;
+
+    const Entry &entry(int idx) const { return slots.at(idx); }
+
+  private:
+    std::vector<Entry> slots;
+};
+
+} // namespace fa::core
+
+#endif // FA_CORE_ATOMIC_QUEUE_HH

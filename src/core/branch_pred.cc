@@ -1,0 +1,38 @@
+#include "core/branch_pred.hh"
+
+namespace fa::core {
+
+BranchPredictor::BranchPredictor(unsigned table_bits)
+    : table(1u << table_bits, 2),  // weakly taken: loops start right
+      mask((1u << table_bits) - 1)
+{
+}
+
+unsigned
+BranchPredictor::index(int pc) const
+{
+    // Cheap hash spreading nearby pcs across the table.
+    std::uint32_t x = static_cast<std::uint32_t>(pc) * 0x9e3779b1u;
+    return (x >> 16) & mask;
+}
+
+bool
+BranchPredictor::predict(int pc) const
+{
+    return table[index(pc)] >= 2;
+}
+
+void
+BranchPredictor::update(int pc, bool taken)
+{
+    std::uint8_t &ctr = table[index(pc)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+} // namespace fa::core

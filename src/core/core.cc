@@ -1,0 +1,1133 @@
+#include "core/core.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace fa::core {
+
+const char *
+atomicsModeName(AtomicsMode mode)
+{
+    switch (mode) {
+      case AtomicsMode::kFenced:  return "baseline";
+      case AtomicsMode::kSpec:    return "baseline+Spec";
+      case AtomicsMode::kFree:    return "FreeAtomics";
+      case AtomicsMode::kFreeFwd: return "FreeAtomics+Fwd";
+    }
+    return "?";
+}
+
+const char *
+atomicsModeIdent(AtomicsMode mode)
+{
+    switch (mode) {
+      case AtomicsMode::kFenced:  return "fenced";
+      case AtomicsMode::kSpec:    return "spec";
+      case AtomicsMode::kFree:    return "free";
+      case AtomicsMode::kFreeFwd: return "freefwd";
+    }
+    return "unknown";
+}
+
+namespace {
+
+bool
+isFencedMode(AtomicsMode m)
+{
+    return m == AtomicsMode::kFenced || m == AtomicsMode::kSpec;
+}
+
+} // namespace
+
+Core::Core(CoreId id, const CoreConfig &config, const isa::Program &prog,
+           mem::MemSystem *mem, std::uint64_t rand_seed)
+    : coreId(id), cfg(config), program(prog), memSys(mem),
+      randSeed(rand_seed),
+      lsq(cfg.lqSize, cfg.sqSize),
+      aq(cfg.aqSize),
+      bp(cfg.bpTableBits)
+{
+    program.validate();
+    renameTable.fill(nullptr);
+    memSys->attachCore(coreId, this);
+}
+
+Core::~Core() = default;
+
+unsigned
+Core::numSrcRegs(const isa::Inst &si)
+{
+    switch (si.op) {
+      case isa::Op::kAlu:
+      case isa::Op::kBranch:
+      case isa::Op::kStore:
+      case isa::Op::kStoreCond:
+        return 2;
+      case isa::Op::kAddi:
+      case isa::Op::kLoad:
+      case isa::Op::kLoadLinked:
+        return 1;
+      case isa::Op::kRmw:
+        return 3;
+      default:
+        return 0;
+    }
+}
+
+isa::Reg
+Core::srcReg(const isa::Inst &si, unsigned slot)
+{
+    switch (slot) {
+      case 0: return si.src1;
+      case 1: return si.src2;
+      default: return si.src3;
+    }
+}
+
+void
+Core::tick(Cycle now)
+{
+    if (haltedFlag) {
+        ++stats.haltedCycles;
+        return;
+    }
+    ++stats.activeCycles;
+    squashedThisCycle = false;
+
+    processEvents(now);
+    commitStage(now);
+    sbDrainStage(now);
+    issueStage(now);
+    dispatchStage(now);
+    watchdogStage(now);
+}
+
+// --------------------------------------------------------------------------
+// Events (writeback / memory perform)
+// --------------------------------------------------------------------------
+
+void
+Core::scheduleEvent(DynInst *inst, EventKind kind, Cycle when)
+{
+    inst->pendingEvent = static_cast<std::uint8_t>(kind);
+    events.emplace(when, inst->seq);
+}
+
+void
+Core::processEvents(Cycle now)
+{
+    while (!events.empty() && events.top().first <= now) {
+        SeqNum seq = events.top().second;
+        events.pop();
+        auto it = inflight.find(seq);
+        if (it == inflight.end())
+            continue;  // squashed or already committed
+        DynInst *inst = it->second;
+        auto kind = static_cast<EventKind>(inst->pendingEvent);
+        inst->pendingEvent = static_cast<std::uint8_t>(EventKind::kNone);
+        if (kind == EventKind::kMemPerform)
+            performLoad(inst, now);
+        else if (kind == EventKind::kExec)
+            finishExec(inst, now);
+    }
+}
+
+void
+Core::wakeDependents(DynInst *inst)
+{
+    for (DynInst *dep : inst->dependents) {
+        for (int i = 0; i < 3; ++i) {
+            if (dep->prod[i] == inst) {
+                dep->prod[i] = nullptr;
+                dep->srcVal[i] = inst->result;
+                --dep->waitingSrcs;
+            }
+        }
+    }
+    inst->dependents.clear();
+}
+
+void
+Core::finishExec(DynInst *inst, Cycle now)
+{
+    const isa::Inst &si = inst->si;
+    switch (si.op) {
+      case isa::Op::kMovi:
+        inst->result = si.imm;
+        break;
+      case isa::Op::kAlu:
+        inst->result = isa::evalAlu(si.fn, inst->srcVal[0],
+                                    inst->srcVal[1]);
+        break;
+      case isa::Op::kAddi:
+        inst->result = inst->srcVal[0] + si.imm;
+        break;
+      case isa::Op::kRand:
+        inst->result = static_cast<std::int64_t>(
+            mix64(randSeed, inst->randSnapshot) %
+            static_cast<std::uint64_t>(si.imm));
+        break;
+      case isa::Op::kBranch: {
+        bool taken = isa::evalCond(si.cond, inst->srcVal[0],
+                                   inst->srcVal[1]);
+        bp.update(inst->pc, taken);
+        inst->executed = true;
+        inst->completed = true;
+        if (taken != inst->predTaken) {
+            ++stats.branchMispredicts;
+            int resume = taken ? si.target : inst->pc + 1;
+            squashFrom(inst->seq + 1, resume,
+                       SquashCause::kBranchMispredict, now);
+        }
+        return;
+      }
+      case isa::Op::kRmw:
+        // The RMW's ALU stage: the old value was bound by
+        // performLoad; the destination result is that old value.
+        break;
+      case isa::Op::kNop:
+      case isa::Op::kPause:
+        break;
+      default:
+        panic("finishExec on unexpected op %d", static_cast<int>(si.op));
+    }
+    inst->executed = true;
+    inst->completed = true;
+    wakeDependents(inst);
+}
+
+// --------------------------------------------------------------------------
+// Memory perform (loads and the load_lock half of atomics)
+// --------------------------------------------------------------------------
+
+void
+Core::requeueMemRead(DynInst *inst)
+{
+    if (inst->isAtomic() && inst->aqIdx >= 0)
+        aq.clearForward(inst->aqIdx);
+    inst->fwdKind = FwdKind::kNone;
+    inst->fwdFromSeq = kNoSeq;
+    inst->fwdChain = 0;
+    inst->issued = false;
+    requeueIq(inst);
+}
+
+void
+Core::performLoad(DynInst *inst, Cycle now)
+{
+    // Re-check the SQ at perform time: an older store to the same
+    // word may have resolved inside the access/forwarding latency
+    // window. The store's resolve-time violation scan only covers
+    // loads that already performed, so this perform-time CAM closes
+    // the gap — re-schedule and let the issue path forward from (or
+    // wait on) the right store.
+    DynInst *src = lsq.youngestOlderStore(inst->seq, inst->addr);
+    if (inst->fwdKind == FwdKind::kNone) {
+        if (src) {
+            requeueMemRead(inst);
+            return;
+        }
+        // Validate residence at perform time: the line may have been
+        // stolen between the hit check and now (remote request in
+        // the access-latency window). A load that performed without
+        // a resident copy could never be snooped afterwards, losing
+        // the TSO load->load safety net — re-schedule instead, as
+        // the hardware's LQ-entry retry does.
+        bool ok = inst->isAtomic() || inst->isLoadLinked()
+            ? memSys->privHasWritePerm(coreId, inst->line())
+            : memSys->privHolds(coreId, inst->line());
+        if (!ok) {
+            requeueMemRead(inst);
+            return;
+        }
+    } else if (src && src->seq > inst->fwdFromSeq) {
+        // A store younger than the forwarding source resolved inside
+        // the forwarding window: the captured value is stale.
+        requeueMemRead(inst);
+        return;
+    }
+    if (inst->isLoadLinked()) {
+        linkValid = true;
+        linkLine = inst->line();
+        linkSeq = inst->seq;
+    }
+    if (inst->isAtomic() && inst->fwdKind == FwdKind::kNone) {
+        aq.lock(inst->aqIdx, inst->line());
+        inst->lockHeld = true;
+        wdLastProgress = now;
+        FA_TRACE("%llu c%u LOCK seq=%llu pc=%d line=%llx",
+                 (unsigned long long)now, coreId,
+                 (unsigned long long)inst->seq, inst->pc,
+                 (unsigned long long)inst->line());
+    }
+
+    if (cfg.strideLoadPrefetch && inst->isLoad() &&
+        inst->fwdKind == FwdKind::kNone) {
+        Addr pf = spf.observe(inst->pc, inst->addr);
+        if (pf != 0 && !memSys->privHolds(coreId, pf) &&
+            !memSys->hasPendingMiss(coreId, pf)) {
+            memSys->access(coreId, pf, false, kNoSeq, now, true);
+        }
+    }
+
+    std::int64_t old_val = inst->fwdKind != FwdKind::kNone
+        ? inst->fwdValue
+        : memSys->readWord(inst->addr);
+    inst->result = old_val;
+    inst->performed = true;
+    FA_TRACE("%llu c%u PERF seq=%llu pc=%d %s addr=%llx val=%lld fwd=%d",
+             (unsigned long long)now, coreId,
+             (unsigned long long)inst->seq, inst->pc,
+             inst->isAtomic() ? "rmw" : "load",
+             (unsigned long long)inst->addr, (long long)old_val,
+             (int)inst->fwdKind);
+
+    if (inst->isAtomic()) {
+        inst->storeData = isa::applyRmw(inst->si.rmw, old_val,
+                                        inst->srcVal[1], inst->srcVal[2]);
+        inst->storeDataValid = true;
+        scheduleEvent(inst, EventKind::kExec, now + cfg.rmwOpLatency);
+    } else {
+        inst->executed = true;
+        inst->completed = true;
+        wakeDependents(inst);
+    }
+}
+
+void
+Core::onFill(SeqNum waiter, Addr line, bool write_perm, Cycle now)
+{
+    (void)line;
+    (void)write_perm;
+    auto it = inflight.find(waiter);
+    if (it == inflight.end())
+        return;  // squashed, or a committed store polled by the SB
+    DynInst *inst = it->second;
+    if (inst->waitingFill) {
+        inst->waitingFill = false;
+        performLoad(inst, now);
+    }
+}
+
+void
+Core::onLineLost(Addr line, Cycle now)
+{
+    if (linkValid && line == linkLine)
+        linkValid = false;
+    FA_TRACE("%llu c%u LOST line=%llx", (unsigned long long)now,
+             coreId, (unsigned long long)line);
+    DynInst *victim = lsq.oldestInvalidatedLoad(line);
+    if (victim)
+        squashFrom(victim->seq, victim->pc,
+                   SquashCause::kInvalidatedLoad, now);
+}
+
+bool
+Core::isLineLocked(Addr line) const
+{
+    return aq.isLineLocked(line);
+}
+
+// --------------------------------------------------------------------------
+// Commit
+// --------------------------------------------------------------------------
+
+void
+Core::commitStage(Cycle now)
+{
+    for (unsigned n = 0; n < cfg.commitWidth && !rob.empty(); ++n) {
+        DynInst *head = rob.front().get();
+        if (!head->completed)
+            break;
+        if (head->isAtomic() && lsq.sbCount() > 0) {
+            // Free atomics commit only once the SB has drained
+            // (store->AtomicRMW order, §3.2.3). In fenced modes the
+            // SB drained before issue, so this never triggers there.
+            break;
+        }
+        if (head->isHalt() && lsq.sbCount() > 0)
+            break;  // all stores must perform before the thread ends
+        commitOne(head, now);
+        if (haltedFlag)
+            break;
+    }
+}
+
+void
+Core::commitOne(DynInst *head, Cycle now)
+{
+    lastCommitAt = now;
+    ++stats.committedInsts;
+    FA_TRACE("%llu c%u COMMIT seq=%llu pc=%d %s res=%lld",
+             (unsigned long long)now, coreId,
+             (unsigned long long)head->seq, head->pc,
+             isa::Program::disasm(head->si).c_str(),
+             (long long)head->result);
+
+    if (head->writesReg()) {
+        archRegsArr[head->si.dst] = head->result;
+        if (renameTable[head->si.dst] == head)
+            renameTable[head->si.dst] = nullptr;
+    }
+
+    switch (head->si.op) {
+      case isa::Op::kLoad:
+        ++stats.committedLoads;
+        if (head->fwdKind != FwdKind::kNone)
+            ++stats.regularLoadForwards;
+        mdp.commitDecay(head->pc);
+        lsq.popFrontLoad(head);
+        break;
+      case isa::Op::kLoadLinked:
+        ++stats.committedLoads;
+        lsq.popFrontLoad(head);
+        break;
+      case isa::Op::kStoreCond:
+        if (head->scFailed)
+            ++stats.llscFailures;
+        else
+            ++stats.llscSuccesses;
+        lsq.removeStore(head);
+        break;
+      case isa::Op::kStore:
+        ++stats.committedStores;
+        break;
+      case isa::Op::kRmw: {
+        ++stats.committedAtomics;
+        stats.atomicPostIssueCycles += now - head->issuedAt;
+        if (isFencedMode(cfg.mode))
+            stats.implicitFencesExecuted += 2;
+        else
+            stats.implicitFencesOmitted += 2;
+        if (head->fwdKind == FwdKind::kAtomic)
+            ++stats.atomicsFwdFromAtomic;
+        else if (head->fwdKind == FwdKind::kStore)
+            ++stats.atomicsFwdFromStore;
+        switch (head->lockSource) {
+          case LockSource::kStoreQueue:
+            ++stats.lockSourceSq;
+            break;
+          case LockSource::kL1WritePerm:
+            ++stats.lockSourceL1WritePerm;
+            break;
+          case LockSource::kL2WritePerm:
+            ++stats.lockSourceL2WritePerm;
+            break;
+          default:
+            ++stats.lockSourceRemote;
+            break;
+        }
+        mdp.commitDecay(head->pc);
+        lsq.popFrontLoad(head);
+        if (uncommittedAtomics.empty() ||
+            uncommittedAtomics.front() != head)
+            panic("atomic commit order violated");
+        uncommittedAtomics.pop_front();
+        wdLastProgress = now;
+        break;
+      }
+      case isa::Op::kBranch:
+        ++stats.committedBranches;
+        break;
+      case isa::Op::kMfence:
+        ++stats.committedFences;
+        break;
+      case isa::Op::kPause:
+        --inflightPauses;
+        break;
+      case isa::Op::kHalt:
+        haltedFlag = true;
+        break;
+      default:
+        break;
+    }
+
+    head->committed = true;
+    inflight.erase(head->seq);
+
+    if (head->usesSq() && !head->isStoreCond()) {
+        // The store (or store_unlock) enters the store buffer and
+        // stays alive until it performs.
+        head->inSb = true;
+        lsq.noteEnteredSb();
+        sbOwner.push_back(std::move(rob.front()));
+    }
+    rob.pop_front();
+}
+
+// --------------------------------------------------------------------------
+// Store buffer drain
+// --------------------------------------------------------------------------
+
+void
+Core::sbDrainStage(Cycle now)
+{
+    auto &sq = lsq.stores();
+    if (sq.empty() || !sq.front()->inSb)
+        return;
+    DynInst *st = sq.front();
+    Addr line = st->line();
+
+    if (!memSys->privHasWritePerm(coreId, line)) {
+        // Re-arm whenever no miss is outstanding: a granted line can
+        // be stolen or evicted again before the store performs.
+        if (!memSys->hasPendingMiss(coreId, line)) {
+            auto r = memSys->access(coreId, line, true, st->seq, now);
+            st->fillRequested = r == mem::AccessOutcome::kMiss;
+        }
+        return;
+    }
+
+    if (!memSys->performStoreWrite(coreId, st->addr, st->storeData, now))
+        return;  // every L1 way locked; retry
+
+    st->performed = true;
+    ++stats.sbStoresPerformed;
+    FA_TRACE("%llu c%u STPERF seq=%llu pc=%d %s addr=%llx val=%lld",
+             (unsigned long long)now, coreId,
+             (unsigned long long)st->seq, st->pc,
+             st->isAtomic() ? "unlock" : "store",
+             (unsigned long long)st->addr, (long long)st->storeData);
+
+    // Broadcast the SQid: a younger forwarded load_lock's AQ entry
+    // captures the lock (lock_on_access / do_not_unlock, §4.2).
+    aq.broadcastStorePerform(st->seq, line);
+
+    if (st->isAtomic()) {
+        // store_unlock: release this atomic's own AQ entry. The line
+        // stays locked iff a younger entry captured it above.
+        aq.release(st->aqIdx);
+        st->aqIdx = -1;
+        st->lockHeld = false;
+        wdLastProgress = now;
+    }
+
+    lsq.popFrontStore(st);
+    lsq.noteLeftSb();
+    if (sbOwner.empty() || sbOwner.front().get() != st)
+        panic("store buffer ownership out of order");
+    sbOwner.pop_front();
+
+    // Non-speculative store coalescing [44]: consecutive committed
+    // stores to the same line drain in the same cycle. The combined
+    // writes surface at one instant, which hides only same-line
+    // intermediate states - a legal TSO interleaving.
+    if (cfg.sbCoalescing && !st->isAtomic()) {
+        while (!sq.empty() && sq.front()->inSb) {
+            DynInst *next_st = sq.front();
+            if (next_st->isAtomic() || next_st->line() != line)
+                break;
+            if (!memSys->performStoreWrite(coreId, next_st->addr,
+                                           next_st->storeData, now)) {
+                break;
+            }
+            next_st->performed = true;
+            ++stats.sbStoresPerformed;
+            ++stats.sbCoalescedStores;
+            aq.broadcastStorePerform(next_st->seq, line);
+            lsq.popFrontStore(next_st);
+            lsq.noteLeftSb();
+            if (sbOwner.empty() || sbOwner.front().get() != next_st)
+                panic("store buffer ownership out of order");
+            sbOwner.pop_front();
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Issue
+// --------------------------------------------------------------------------
+
+void
+Core::issueStage(Cycle now)
+{
+    unsigned issued = 0;
+    for (size_t i = 0; i < iq.size() && issued < cfg.issueWidth;) {
+        DynInst *inst = iq[i];
+        if (tryIssue(inst, now)) {
+            // tryIssue may have erased other entries via a squash;
+            // re-find our slot conservatively.
+            eraseFromIq(inst);
+            ++issued;
+            ++stats.issuedUops;
+            if (squashedThisCycle)
+                break;
+        } else {
+            if (squashedThisCycle)
+                break;
+            ++i;
+        }
+    }
+}
+
+bool
+Core::tryIssue(DynInst *inst, Cycle now)
+{
+    if (inst->waitingSrcs > 0)
+        return false;
+
+    const isa::Inst &si = inst->si;
+    switch (si.op) {
+      case isa::Op::kPause:
+        scheduleEvent(inst, EventKind::kExec, now + cfg.pauseLatency);
+        inst->issued = true;
+        return true;
+      case isa::Op::kNop:
+      case isa::Op::kMovi:
+      case isa::Op::kAddi:
+      case isa::Op::kRand:
+        scheduleEvent(inst, EventKind::kExec, now + cfg.aluLatency);
+        inst->issued = true;
+        return true;
+      case isa::Op::kAlu: {
+        unsigned lat = si.latency ? si.latency
+            : (si.fn == isa::AluFn::kMul ? cfg.mulLatency
+                                         : cfg.aluLatency);
+        scheduleEvent(inst, EventKind::kExec, now + lat);
+        inst->issued = true;
+        return true;
+      }
+      case isa::Op::kBranch:
+        scheduleEvent(inst, EventKind::kExec, now + cfg.aluLatency);
+        inst->issued = true;
+        return true;
+      case isa::Op::kMfence: {
+        // An MFENCE completes once every older memory operation has
+        // performed and the SB is empty.
+        if (!lsq.allOlderLoadsPerformed(inst->seq) ||
+            lsq.anyOlderStore(inst->seq)) {
+            return false;
+        }
+        inst->executed = true;
+        inst->completed = true;
+        if (pendingFences.empty() || pendingFences.front() != inst)
+            panic("fence completion order violated");
+        pendingFences.pop_front();
+        inst->issued = true;
+        return true;
+      }
+      case isa::Op::kStore: {
+        inst->addr = static_cast<Addr>(inst->srcVal[0] + si.imm) &
+            ~Addr{kWordBytes - 1};
+        inst->addrValid = true;
+        inst->storeData = inst->srcVal[1];
+        inst->storeDataValid = true;
+        inst->executed = true;
+        inst->completed = true;
+        inst->issued = true;
+
+        DynInst *violator = lsq.oldestMemDepViolator(inst);
+        if (violator) {
+            mdp.trainViolation(violator->pc);
+            squashFrom(violator->seq, violator->pc,
+                       SquashCause::kMemDepViolation, now);
+        } else if (cfg.storePrefetch && !inst->prefetchSent &&
+                   !memSys->privHasWritePerm(coreId, inst->line())) {
+            // At-commit store prefetch [54]: acquire write permission
+            // ahead of the SB drain.
+            inst->prefetchSent = true;
+            memSys->access(coreId, inst->line(), true, kNoSeq, now,
+                           true);
+        }
+        return true;
+      }
+      case isa::Op::kLoad:
+      case isa::Op::kRmw:
+      case isa::Op::kLoadLinked:
+        return tryIssueMemRead(inst, now);
+      case isa::Op::kStoreCond:
+        return tryIssueStoreCond(inst, now);
+      default:
+        panic("unexpected op %d in issue queue",
+              static_cast<int>(si.op));
+    }
+}
+
+bool
+Core::tryIssueStoreCond(DynInst *inst, Cycle now)
+{
+    // A store-conditional resolves at the head of the ROB, as real
+    // LL/SC implementations do: the success decision and the write
+    // must be indivisible, which holding the reservation plus write
+    // permission at commit time provides.
+    if (!inst->addrValid) {
+        inst->addr = static_cast<Addr>(inst->srcVal[0] + inst->si.imm) &
+            ~Addr{kWordBytes - 1};
+        inst->addrValid = true;
+    }
+    if (rob.empty() || rob.front().get() != inst)
+        return false;
+    // TSO store->store order: the SC's write must not overtake older
+    // stores still draining from the SB.
+    if (lsq.sbCount() > 0)
+        return false;
+
+    Addr line = inst->line();
+    bool link_ok = linkValid && linkLine == line;
+    if (link_ok && !memSys->privHasWritePerm(coreId, line)) {
+        // Acquire write permission while keeping the reservation; if
+        // the fill's invalidation of others races with a remote
+        // write, our link is cleared and the SC fails below.
+        if (!inst->prefetchSent &&
+            !memSys->hasPendingMiss(coreId, line)) {
+            memSys->access(coreId, line, true, kNoSeq, now, true);
+            inst->prefetchSent = true;
+        }
+        if (!memSys->privHasWritePerm(coreId, line))
+            return false;
+    }
+
+    linkValid = false;  // any SC consumes the reservation
+    if (link_ok) {
+        // Perform the write immediately: the line is exclusive and
+        // the reservation guarantees no write intervened since LL.
+        DynInst *violator = lsq.oldestMemDepViolator(inst);
+        if (violator) {
+            mdp.trainViolation(violator->pc);
+            squashFrom(violator->seq, violator->pc,
+                       SquashCause::kMemDepViolation, now);
+        }
+        inst->storeData = inst->srcVal[1];
+        inst->storeDataValid = true;
+        if (!memSys->performStoreWrite(coreId, inst->addr,
+                                       inst->storeData, now)) {
+            return false;  // all L1 ways locked; retry
+        }
+        inst->performed = true;
+        inst->result = 0;
+    } else {
+        inst->scFailed = true;
+        inst->result = 1;
+    }
+    inst->executed = true;
+    inst->completed = true;
+    inst->issued = true;
+    wakeDependents(inst);
+    return true;
+}
+
+bool
+Core::tryIssueMemRead(DynInst *inst, Cycle now)
+{
+    const isa::Inst &si = inst->si;
+    if (!inst->addrValid) {
+        inst->addr = static_cast<Addr>(inst->srcVal[0] + si.imm) &
+            ~Addr{kWordBytes - 1};
+        inst->addrValid = true;
+
+        if (inst->isAtomic()) {
+            // A resolving load_lock may expose a violation by an
+            // already-performed younger load to the same word; the
+            // symmetric store-side check handles ordinary stores.
+            DynInst *violator = lsq.oldestMemDepViolator(inst);
+            if (violator) {
+                mdp.trainViolation(violator->pc);
+                squashFrom(violator->seq, violator->pc,
+                           SquashCause::kMemDepViolation, now);
+                return false;
+            }
+        }
+    }
+
+    // Explicit MFENCE ordering.
+    if (!pendingFences.empty() &&
+        pendingFences.front()->seq < inst->seq) {
+        return false;
+    }
+
+    // Mem_Fence2: with fenced atomics, younger loads (including
+    // younger load_locks) stall until the atomic commits.
+    if (isFencedMode(cfg.mode) && !uncommittedAtomics.empty() &&
+        uncommittedAtomics.front()->seq < inst->seq) {
+        ++stats.fence2LoadStallCycles;
+        return false;
+    }
+
+    if (inst->isAtomic()) {
+        if (cfg.inOrderLockAcquisition) {
+            for (DynInst *a : uncommittedAtomics) {
+                if (a->seq >= inst->seq)
+                    break;
+                if (!a->performed)
+                    return false;
+            }
+        }
+        if (cfg.lockIssueWindow != 0 && !rob.empty() &&
+            inst->seq - rob.front()->seq >= cfg.lockIssueWindow) {
+            return false;
+        }
+        if (cfg.mode == AtomicsMode::kFenced) {
+            // Mem_Fence1: issue only as the oldest instruction with
+            // an empty SB.
+            if (rob.empty() || rob.front().get() != inst)
+                return false;
+            if (lsq.sbCount() > 0 || lsq.anyOlderStore(inst->seq)) {
+                ++stats.atomicDrainSbCycles;
+                return false;
+            }
+        } else if (cfg.mode == AtomicsMode::kSpec) {
+            // §3.1: speculative issue, but every older memory
+            // operation must have performed.
+            if (lsq.anyOlderStore(inst->seq)) {
+                ++stats.atomicDrainSbCycles;
+                return false;
+            }
+            if (!lsq.allOlderLoadsPerformed(inst->seq))
+                return false;
+        }
+    }
+
+    // Store-set predictor: a trained load waits until all older
+    // store addresses are known.
+    if (mdp.mustWait(inst->pc) &&
+        lsq.anyOlderUnresolvedStore(inst->seq)) {
+        return false;
+    }
+
+    DynInst *st = lsq.youngestOlderStore(inst->seq, inst->addr);
+    if (st) {
+        bool can_fwd;
+        if (inst->isAtomic())
+            can_fwd = cfg.mode == AtomicsMode::kFreeFwd;
+        else if (inst->isLoadLinked())
+            can_fwd = false;  // the reservation needs a cache access
+        else
+            can_fwd = true;
+        if (!can_fwd || !st->storeDataValid) {
+            // §3.2.1 footnote: the load_lock (or a load hitting an
+            // unready store) is re-scheduled until the store leaves
+            // the SQ or its data becomes available.
+            return false;
+        }
+        if (inst->isAtomic() && st->isAtomic()) {
+            unsigned chain = st->fwdChain + 1;
+            if (chain > cfg.fwdChainCap) {
+                ++stats.fwdChainBreaks;
+                return false;  // wait for the store to perform
+            }
+            inst->fwdChain = chain;
+        } else if (inst->isAtomic()) {
+            inst->fwdChain = 1;
+        }
+        inst->fwdKind = st->isAtomic() ? FwdKind::kAtomic
+                                       : FwdKind::kStore;
+        inst->fwdFromSeq = st->seq;
+        inst->fwdValue = st->storeData;
+        if (inst->isAtomic()) {
+            aq.setForwardedFrom(inst->aqIdx, st->seq);
+            inst->lockSource = LockSource::kStoreQueue;
+        }
+        if (!inst->issuedAt)
+            inst->issuedAt = now;
+        inst->issued = true;
+        scheduleEvent(inst, EventKind::kMemPerform,
+                      now + cfg.fwdLatency);
+        return true;
+    }
+
+    Addr line = inst->line();
+    if (inst->isAtomic()) {
+        auto state = memSys->privState(coreId, line);
+        if (memSys->l1Holds(coreId, line) && mem::hasWritePerm(state))
+            inst->lockSource = LockSource::kL1WritePerm;
+        else if (mem::hasWritePerm(state))
+            inst->lockSource = LockSource::kL2WritePerm;
+        else
+            inst->lockSource = LockSource::kRemote;
+    }
+
+    bool want_write = inst->isAtomic() || inst->isLoadLinked();
+    auto outcome = memSys->access(coreId, line, want_write, inst->seq,
+                                  now);
+    switch (outcome) {
+      case mem::AccessOutcome::kL1Hit:
+        scheduleEvent(inst, EventKind::kMemPerform,
+                      now + memSys->config().l1HitLatency);
+        break;
+      case mem::AccessOutcome::kL2Hit:
+        scheduleEvent(inst, EventKind::kMemPerform,
+                      now + memSys->config().l1HitLatency +
+                          memSys->config().l2HitLatency);
+        break;
+      case mem::AccessOutcome::kMiss:
+        inst->waitingFill = true;
+        break;
+      case mem::AccessOutcome::kBlocked:
+        return false;
+    }
+    if (!inst->issuedAt)
+        inst->issuedAt = now;
+    inst->issued = true;
+    return true;
+}
+
+// --------------------------------------------------------------------------
+// Dispatch (fetch + rename)
+// --------------------------------------------------------------------------
+
+void
+Core::dispatchStage(Cycle now)
+{
+    if (fetchHalted || now < fetchResumeAt)
+        return;
+    if (inflightPauses > 0)
+        return;  // PAUSE de-pipelines the spin loop (x86 semantics)
+
+    for (unsigned n = 0; n < cfg.fetchWidth; ++n) {
+        if (fetchPc < 0 ||
+            static_cast<size_t>(fetchPc) >= program.code.size()) {
+            return;  // wrong path ran off the program; await squash
+        }
+        if (rob.size() >= cfg.robSize) {
+            ++stats.dispatchStallRobCycles;
+            return;
+        }
+        const isa::Inst &si = program.code[fetchPc];
+        bool uses_iq = si.op != isa::Op::kHalt && si.op != isa::Op::kJump;
+        if (uses_iq && iq.size() >= cfg.iqSize)
+            return;
+        bool is_load = si.op == isa::Op::kLoad ||
+            si.op == isa::Op::kLoadLinked;
+        bool is_store = si.op == isa::Op::kStore ||
+            si.op == isa::Op::kStoreCond;
+        bool is_atomic = si.op == isa::Op::kRmw;
+        if ((is_load || is_atomic) && lsq.lqFull()) {
+            ++stats.dispatchStallLsqCycles;
+            return;
+        }
+        if ((is_store || is_atomic) && lsq.sqFull()) {
+            ++stats.dispatchStallLsqCycles;
+            return;
+        }
+        if (is_atomic && aq.full()) {
+            ++stats.dispatchStallAqCycles;
+            return;
+        }
+
+        auto owned = std::make_unique<DynInst>();
+        DynInst *inst = owned.get();
+        inst->seq = nextSeq++;
+        inst->pc = fetchPc;
+        inst->si = si;
+        inst->dispatchedAt = now;
+        inst->randSnapshot = randCounter;
+        if (si.op == isa::Op::kRand)
+            ++randCounter;
+
+        unsigned nsrc = numSrcRegs(si);
+        for (unsigned s = 0; s < nsrc; ++s) {
+            isa::Reg r = srcReg(si, s);
+            if (r == 0) {
+                inst->srcVal[s] = 0;
+                continue;
+            }
+            DynInst *producer = renameTable[r];
+            if (producer && !producer->executed) {
+                inst->prod[s] = producer;
+                producer->dependents.push_back(inst);
+                ++inst->waitingSrcs;
+            } else if (producer) {
+                inst->srcVal[s] = producer->result;
+            } else {
+                inst->srcVal[s] = archRegsArr[r];
+            }
+        }
+        if (inst->writesReg())
+            renameTable[si.dst] = inst;
+
+        if (inst->usesLq())
+            lsq.pushLoad(inst);
+        if (inst->usesSq())
+            lsq.pushStore(inst);
+        if (is_atomic) {
+            inst->aqIdx = aq.allocate(inst->seq);
+            if (inst->aqIdx < 0)
+                panic("AQ allocation failed after full check");
+            uncommittedAtomics.push_back(inst);
+        }
+        if (si.op == isa::Op::kMfence)
+            pendingFences.push_back(inst);
+        if (si.op == isa::Op::kPause)
+            ++inflightPauses;
+
+        // Next fetch pc (branch prediction happens here).
+        switch (si.op) {
+          case isa::Op::kBranch:
+            inst->predTaken = bp.predict(fetchPc);
+            fetchPc = inst->predTaken ? si.target : fetchPc + 1;
+            break;
+          case isa::Op::kJump:
+            inst->executed = true;
+            inst->completed = true;
+            fetchPc = si.target;
+            break;
+          case isa::Op::kHalt:
+            inst->executed = true;
+            inst->completed = true;
+            fetchHalted = true;
+            break;
+          default:
+            ++fetchPc;
+            break;
+        }
+
+        if (uses_iq) {
+            inst->inIq = true;
+            iq.push_back(inst);
+        }
+        inflight[inst->seq] = inst;
+        rob.push_back(std::move(owned));
+        ++stats.fetchedInsts;
+
+        if (fetchHalted || inflightPauses > 0)
+            return;
+    }
+}
+
+// --------------------------------------------------------------------------
+// Squash
+// --------------------------------------------------------------------------
+
+void
+Core::eraseFromIq(DynInst *inst)
+{
+    if (!inst->inIq)
+        return;
+    auto it = std::find(iq.begin(), iq.end(), inst);
+    if (it != iq.end())
+        iq.erase(it);
+    inst->inIq = false;
+}
+
+void
+Core::requeueIq(DynInst *inst)
+{
+    if (inst->inIq)
+        return;
+    auto it = std::lower_bound(
+        iq.begin(), iq.end(), inst,
+        [](const DynInst *a, const DynInst *b) { return a->seq < b->seq; });
+    iq.insert(it, inst);
+    inst->inIq = true;
+}
+
+void
+Core::squashFrom(SeqNum from_seq, int resume_pc, SquashCause cause,
+                 Cycle now)
+{
+    ++stats.squashEvents[static_cast<int>(cause)];
+    squashedThisCycle = true;
+    FA_TRACE("%llu c%u SQUASH from=%llu resume_pc=%d cause=%d",
+             (unsigned long long)now, coreId,
+             (unsigned long long)from_seq, resume_pc,
+             static_cast<int>(cause));
+
+    std::uint64_t rand_restore = randCounter;
+    while (!rob.empty() && rob.back()->seq >= from_seq) {
+        DynInst *inst = rob.back().get();
+        inst->squashed = true;
+        ++stats.squashedInsts;
+        rand_restore = inst->randSnapshot;
+
+        eraseFromIq(inst);
+        for (int i = 0; i < 3; ++i) {
+            if (inst->prod[i]) {
+                auto &deps = inst->prod[i]->dependents;
+                deps.erase(std::remove(deps.begin(), deps.end(), inst),
+                           deps.end());
+                inst->prod[i] = nullptr;
+            }
+        }
+        if (inst->aqIdx >= 0) {
+            // unlock_on_squash (§3.1) and the §3.3.3 responsibility
+            // take-back: clearing the entry both lifts a held lock
+            // and cancels a pending SQid capture.
+            aq.release(inst->aqIdx);
+            inst->aqIdx = -1;
+            inst->lockHeld = false;
+        }
+        if (inst->isAtomic()) {
+            if (uncommittedAtomics.empty() ||
+                uncommittedAtomics.back() != inst)
+                panic("atomic squash order violated");
+            uncommittedAtomics.pop_back();
+        }
+        if (inst->isFence() && !pendingFences.empty() &&
+            pendingFences.back() == inst) {
+            pendingFences.pop_back();
+        }
+        if (inst->si.op == isa::Op::kPause)
+            --inflightPauses;
+        inflight.erase(inst->seq);
+        rob.pop_back();
+    }
+    lsq.squashFrom(from_seq);
+    randCounter = rand_restore;
+    if (linkValid && linkSeq >= from_seq)
+        linkValid = false;
+
+    // Rebuild the rename table from the surviving window.
+    renameTable.fill(nullptr);
+    for (auto &owned : rob) {
+        DynInst *inst = owned.get();
+        if (inst->writesReg())
+            renameTable[inst->si.dst] = inst;
+    }
+
+    fetchPc = resume_pc;
+    fetchHalted = false;
+    fetchResumeAt = now + cfg.redirectPenalty;
+}
+
+// --------------------------------------------------------------------------
+// Watchdog (§3.2.5)
+// --------------------------------------------------------------------------
+
+void
+Core::watchdogStage(Cycle now)
+{
+    if (!aq.anyLocked()) {
+        wdLastProgress = now;
+        return;
+    }
+    if (now - wdLastProgress <= cfg.watchdogThreshold)
+        return;
+
+    SeqNum victim_seq = aq.oldestLockedSeq();
+    auto it = inflight.find(victim_seq);
+    if (it == inflight.end()) {
+        // The lock-holding atomic already committed; its
+        // store_unlock will perform imminently.
+        wdLastProgress = now;
+        return;
+    }
+    DynInst *victim = it->second;
+    ++stats.watchdogTimeouts;
+    if (traceEnabled() && !rob.empty()) {
+        DynInst *head = rob.front().get();
+        FA_TRACE("%llu c%u WDOG victim=%llu robhead seq=%llu pc=%d "
+                 "%s compl=%d perf=%d issued=%d wsrc=%d sb=%u",
+                 (unsigned long long)now, coreId,
+                 (unsigned long long)victim->seq,
+                 (unsigned long long)head->seq, head->pc,
+                 isa::Program::disasm(head->si).c_str(),
+                 head->completed, head->performed, head->issued,
+                 head->waitingSrcs, lsq.sbCount());
+        if (!lsq.stores().empty()) {
+            DynInst *sh = lsq.stores().front();
+            FA_TRACE("   sbhead seq=%llu pc=%d %s inSb=%d addr=%llx "
+                     "perm=%d fillReq=%d",
+                     (unsigned long long)sh->seq, sh->pc,
+                     isa::Program::disasm(sh->si).c_str(), sh->inSb,
+                     (unsigned long long)sh->addr,
+                     memSys->privHasWritePerm(coreId, sh->line()),
+                     sh->fillRequested);
+        }
+    }
+    squashFrom(victim->seq, victim->pc, SquashCause::kWatchdog, now);
+    wdLastProgress = now;
+}
+
+} // namespace fa::core

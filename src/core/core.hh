@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Out-of-order core model implementing the paper's four atomic-RMW
+ * flavours (Fenced baseline, +Spec, FreeAtomics, FreeAtomics+Fwd).
+ *
+ * The pipeline is modelled at instruction granularity with explicit
+ * ROB / issue queue / LQ / SQ(+SB) / Atomic Queue structures, real
+ * wrong-path fetch past predicted branches, store-set style memory
+ * dependence prediction, TSO load-load speculation with invalidation
+ * squash, store-to-load forwarding, speculative cacheline locking
+ * with unlock_on_squash, and the deadlock-recovery watchdog
+ * (paper §3.2.5).
+ *
+ * Register values are architectural at commit and memory is written
+ * only when stores perform, so the simulated memory image is exactly
+ * what a TSO machine produces — correctness properties (atomicity,
+ * mutual exclusion, litmus outcomes) are checked on real data.
+ */
+
+#ifndef FA_CORE_CORE_HH
+#define FA_CORE_CORE_HH
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/atomic_queue.hh"
+#include "core/branch_pred.hh"
+#include "core/core_config.hh"
+#include "core/dyn_inst.hh"
+#include "core/lsq.hh"
+#include "core/memdep_pred.hh"
+#include "core/stride_pref.hh"
+#include "isa/program.hh"
+#include "mem/mem_system.hh"
+
+namespace fa::core {
+
+class Core : public mem::CoreMemIf
+{
+  public:
+    /**
+     * @param id        core/thread identifier
+     * @param cfg       pipeline configuration
+     * @param prog      validated program this core executes
+     * @param mem       shared memory hierarchy (must outlive the core)
+     * @param rand_seed seed for this thread's kRand stream
+     */
+    Core(CoreId id, const CoreConfig &cfg, const isa::Program &prog,
+         mem::MemSystem *mem, std::uint64_t rand_seed);
+    ~Core() override;
+
+    Core(const Core &) = delete;
+    Core &operator=(const Core &) = delete;
+
+    /** Advance one cycle. Call after MemSystem::tick for the cycle. */
+    void tick(Cycle now);
+
+    /** Has the halt instruction committed and all stores performed? */
+    bool halted() const { return haltedFlag; }
+
+    /** Committed architectural register values. */
+    const std::array<std::int64_t, isa::kNumRegs> &
+    archRegs() const
+    {
+        return archRegsArr;
+    }
+
+    /** Cycle of the most recent commit (global progress check). */
+    Cycle lastCommitCycle() const { return lastCommitAt; }
+
+    CoreId id() const { return coreId; }
+    const CoreConfig &config() const { return cfg; }
+
+    // --- CoreMemIf -------------------------------------------------------
+    void onFill(SeqNum waiter, Addr line, bool write_perm,
+                Cycle now) override;
+    void onLineLost(Addr line, Cycle now) override;
+    bool isLineLocked(Addr line) const override;
+
+    // --- introspection (tests) --------------------------------------------
+    size_t robOccupancy() const { return rob.size(); }
+    unsigned sbOccupancy() const { return lsq.sbCount(); }
+    const AtomicQueue &atomicQueue() const { return aq; }
+
+    CoreStats stats;
+
+  private:
+    /** Deferred-event kinds delivered through the writeback queue. */
+    enum class EventKind : std::uint8_t { kNone, kExec, kMemPerform };
+
+    // --- pipeline stages ----------------------------------------------------
+    void processEvents(Cycle now);
+    void commitStage(Cycle now);
+    void sbDrainStage(Cycle now);
+    void issueStage(Cycle now);
+    void dispatchStage(Cycle now);
+    void watchdogStage(Cycle now);
+
+    // --- helpers ------------------------------------------------------------
+    bool tryIssue(DynInst *inst, Cycle now);
+    bool tryIssueMemRead(DynInst *inst, Cycle now);
+    bool tryIssueStoreCond(DynInst *inst, Cycle now);
+    void finishExec(DynInst *inst, Cycle now);
+    void performLoad(DynInst *inst, Cycle now);
+    void wakeDependents(DynInst *inst);
+    void scheduleEvent(DynInst *inst, EventKind kind, Cycle when);
+    void requeueIq(DynInst *inst);
+    void requeueMemRead(DynInst *inst);
+    void eraseFromIq(DynInst *inst);
+    void commitOne(DynInst *head, Cycle now);
+
+    /**
+     * Flush the pipeline from `from_seq` (inclusive) and refetch at
+     * `resume_pc` after the redirect penalty. Releases AQ entries of
+     * squashed atomics (unlock_on_squash, §3.1/§3.3.3).
+     */
+    void squashFrom(SeqNum from_seq, int resume_pc, SquashCause cause,
+                    Cycle now);
+
+    static unsigned numSrcRegs(const isa::Inst &si);
+    static isa::Reg srcReg(const isa::Inst &si, unsigned slot);
+
+    // --- identity & wiring ---------------------------------------------------
+    CoreId coreId;
+    CoreConfig cfg;
+    isa::Program program;
+    mem::MemSystem *memSys;
+    std::uint64_t randSeed;
+
+    // --- architectural state -------------------------------------------------
+    std::array<std::int64_t, isa::kNumRegs> archRegsArr{};
+
+    // --- pipeline structures ---------------------------------------------------
+    std::deque<std::unique_ptr<DynInst>> rob;
+    std::deque<std::unique_ptr<DynInst>> sbOwner;  ///< committed stores
+    std::vector<DynInst *> iq;                     ///< age-ordered
+    LoadStoreQueue lsq;
+    AtomicQueue aq;
+    BranchPredictor bp;
+    MemDepPredictor mdp;
+    StridePrefetcher spf;
+    std::array<DynInst *, isa::kNumRegs> renameTable{};
+    std::unordered_map<SeqNum, DynInst *> inflight;
+
+    using Event = std::pair<Cycle, SeqNum>;
+    std::priority_queue<Event, std::vector<Event>,
+                        std::greater<Event>> events;
+
+    std::deque<DynInst *> uncommittedAtomics;
+    std::deque<DynInst *> pendingFences;
+
+    // --- frontend state ---------------------------------------------------------
+    SeqNum nextSeq = 1;
+    int fetchPc = 0;
+    Cycle fetchResumeAt = 0;
+    bool fetchHalted = false;
+    bool haltedFlag = false;
+    unsigned inflightPauses = 0;
+    std::uint64_t randCounter = 0;
+
+    // --- LL/SC reservation -----------------------------------------------------
+    bool linkValid = false;
+    Addr linkLine = 0;
+    SeqNum linkSeq = kNoSeq;
+
+    // --- watchdog / progress -------------------------------------------------------
+    Cycle wdLastProgress = 0;
+    Cycle lastCommitAt = 0;
+    bool squashedThisCycle = false;
+};
+
+} // namespace fa::core
+
+#endif // FA_CORE_CORE_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Out-of-order core configuration, including the atomic-RMW
+ * implementation flavour under study (paper §3, Figure 14).
+ */
+
+#ifndef FA_CORE_CORE_CONFIG_HH
+#define FA_CORE_CORE_CONFIG_HH
+
+#include <string>
+
+namespace fa::core {
+
+/**
+ * Atomic RMW implementation flavour. Each value adds one of the
+ * paper's mechanisms on top of the previous one.
+ */
+enum class AtomicsMode {
+    /** Baseline x86: load_lock issues only when the atomic is the
+     * oldest instruction and the SB has drained (Mem_Fence1);
+     * younger loads stall until the atomic commits (Mem_Fence2). */
+    kFenced,
+    /** baseline+Spec (§3.1): the fenced atomic may issue from a
+     * control-speculative path once all older memory operations have
+     * performed; requires unlock_on_squash. */
+    kSpec,
+    /** FreeAtomics (§3.2): both fences removed; atomics execute
+     * speculatively and concurrently, commit once the SB is empty;
+     * AQ + watchdog handle multiple locks and deadlock recovery. */
+    kFree,
+    /** FreeAtomics+Fwd (§3.3): store-to-load forwarding to/from
+     * atomics with the do_not_unlock / lock_on_access
+     * responsibilities and a bounded forwarding chain. */
+    kFreeFwd,
+};
+
+const char *atomicsModeName(AtomicsMode mode);
+
+/** Identifier-safe short name (test names, file names). */
+const char *atomicsModeIdent(AtomicsMode mode);
+
+/** Core pipeline parameters (Table 1, Icelake-like by default). */
+struct CoreConfig
+{
+    unsigned fetchWidth = 5;
+    unsigned issueWidth = 10;
+    unsigned commitWidth = 10;
+    unsigned robSize = 352;
+    unsigned lqSize = 128;
+    unsigned sqSize = 72;
+    unsigned iqSize = 64;
+    unsigned aqSize = 4;          ///< Atomic Queue entries (§4.3)
+    unsigned redirectPenalty = 12;
+    unsigned aluLatency = 1;
+    unsigned mulLatency = 3;
+    unsigned rmwOpLatency = 1;
+    unsigned fwdLatency = 2;      ///< store-to-load forwarding latency
+    /**
+     * PAUSE spin-wait hint latency. While a PAUSE is in flight the
+     * front-end stalls, de-pipelining spin loops exactly as the x86
+     * instruction is documented to do (it bounds the speculative
+     * loop iterations exposed to memory-order squashes).
+     */
+    unsigned pauseLatency = 24;
+    unsigned watchdogThreshold = 10000;  ///< §3.2.5 timeout value
+    unsigned fwdChainCap = 32;    ///< §3.3.4 max consecutive forwards
+    bool storePrefetch = true;    ///< at-commit store prefetch [54]
+    bool strideLoadPrefetch = true;  ///< L1D stride prefetcher [7]
+    /**
+     * Drain consecutive same-line stores from the SB in one cycle
+     * (non-speculative store coalescing in the spirit of [44], cited
+     * by the paper). Hiding the intermediate same-line states is a
+     * legal TSO interleaving; cross-line order is preserved.
+     */
+    bool sbCoalescing = false;
+    /**
+     * Acquire cacheline locks in program order within the core: a
+     * load_lock issues only once every older atomic's load_lock has
+     * performed. This removes the RMW-RMW deadlock class (Figure 5)
+     * at the cost of some atomic MLP; the Store-RMW and Load-RMW
+     * classes (Figures 6/7) remain and rely on the watchdog. With
+     * false, lock acquisition is fully out of order as in the
+     * paper's description, and all deadlock classes can occur.
+     */
+    bool inOrderLockAcquisition = true;
+    /**
+     * A load_lock may issue (and take its cacheline lock) only when
+     * fewer than this many older instructions are still uncommitted.
+     * Locking earlier buys nothing — the lock is held until commit
+     * anyway — but stretches the tenure to the full ROB drain time,
+     * which serializes contended lines machine-wide. 0 disables the
+     * window (fully eager locking, as the paper's prose allows).
+     */
+    unsigned lockIssueWindow = 64;
+    unsigned bpTableBits = 12;    ///< branch predictor table size
+    AtomicsMode mode = AtomicsMode::kFreeFwd;
+};
+
+} // namespace fa::core
+
+#endif // FA_CORE_CORE_CONFIG_HH

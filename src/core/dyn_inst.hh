@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Dynamic (in-flight) instruction state for the out-of-order core.
+ */
+
+#ifndef FA_CORE_DYN_INST_HH
+#define FA_CORE_DYN_INST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/program.hh"
+
+namespace fa::core {
+
+/** Kind of store a load forwarded from (Table 2's FbA/FbS split). */
+enum class FwdKind : std::uint8_t {
+    kNone,
+    kStore,   ///< ordinary store (lock_on_access path for atomics)
+    kAtomic,  ///< store_unlock (do_not_unlock path for atomics)
+};
+
+/** Where a committed load_lock obtained its data (Figure 13). */
+enum class LockSource : std::uint8_t {
+    kNone,
+    kStoreQueue,     ///< forwarded from the SQ
+    kL1WritePerm,    ///< hit in L1 with M/E permission
+    kL2WritePerm,    ///< hit in L2 with M/E permission
+    kRemote,         ///< required a coherence transaction
+};
+
+/**
+ * One in-flight instruction. Owned by the ROB from dispatch until
+ * commit; committed stores and atomics stay alive (owned by the
+ * store-buffer list) until their write performs.
+ */
+struct DynInst
+{
+    SeqNum seq = kNoSeq;
+    int pc = 0;
+    isa::Inst si;
+
+    // --- dataflow -------------------------------------------------------
+    /** Unresolved producers for src1/src2/src3 (null once resolved). */
+    DynInst *prod[3] = {nullptr, nullptr, nullptr};
+    std::int64_t srcVal[3] = {0, 0, 0};
+    int waitingSrcs = 0;
+    /** Consumers to wake when this instruction's result is ready. */
+    std::vector<DynInst *> dependents;
+    std::int64_t result = 0;
+
+    // --- pipeline state ---------------------------------------------------
+    bool inIq = false;
+    bool issued = false;     ///< sent to a functional unit / memory
+    bool executed = false;   ///< result available
+    bool completed = false;  ///< eligible for commit
+    bool committed = false;
+    bool squashed = false;
+    Cycle dispatchedAt = 0;
+    Cycle issuedAt = 0;
+
+    // --- memory -----------------------------------------------------------
+    Addr addr = 0;           ///< word-aligned effective address
+    bool addrValid = false;
+    std::int64_t storeData = 0;  ///< store value / RMW new value
+    bool storeDataValid = false;
+    bool performed = false;  ///< load: value bound; store: wrote cache
+    bool waitingFill = false;
+    bool fillRequested = false;   ///< SB-head GetX already sent
+    bool prefetchSent = false;    ///< at-commit store prefetch sent
+    FwdKind fwdKind = FwdKind::kNone;
+    SeqNum fwdFromSeq = kNoSeq;   ///< forwarding store's sequence number
+    std::int64_t fwdValue = 0;    ///< value captured at forward time
+    unsigned fwdChain = 0;        ///< forwarding chain length (§3.3.4)
+    bool inSb = false;            ///< committed store awaiting perform
+    std::uint8_t pendingEvent = 0;
+
+    bool scFailed = false;     ///< store-conditional lost its link
+
+    // --- atomics ------------------------------------------------------------
+    int aqIdx = -1;
+    bool lockHeld = false;     ///< AQ entry holds the cacheline lock
+    LockSource lockSource = LockSource::kNone;
+
+    // --- branches ----------------------------------------------------------
+    bool predTaken = false;
+
+    // --- bookkeeping --------------------------------------------------------
+    std::uint64_t randSnapshot = 0;  ///< rand counter at dispatch
+
+    bool isLoad() const { return si.op == isa::Op::kLoad; }
+    bool isStore() const { return si.op == isa::Op::kStore; }
+    bool isAtomic() const { return si.op == isa::Op::kRmw; }
+    bool isLoadLinked() const { return si.op == isa::Op::kLoadLinked; }
+    bool isStoreCond() const { return si.op == isa::Op::kStoreCond; }
+    bool isBranch() const { return si.op == isa::Op::kBranch; }
+    bool isFence() const { return si.op == isa::Op::kMfence; }
+    bool isHalt() const { return si.op == isa::Op::kHalt; }
+
+    /** Occupies a load-queue slot? */
+    bool
+    usesLq() const
+    {
+        return isLoad() || isAtomic() || isLoadLinked();
+    }
+    /** Occupies a store-queue slot? */
+    bool
+    usesSq() const
+    {
+        return isStore() || isAtomic() || isStoreCond();
+    }
+
+    /** Does this instruction write a destination register? */
+    bool
+    writesReg() const
+    {
+        switch (si.op) {
+          case isa::Op::kMovi:
+          case isa::Op::kAlu:
+          case isa::Op::kAddi:
+          case isa::Op::kLoad:
+          case isa::Op::kRmw:
+          case isa::Op::kLoadLinked:
+          case isa::Op::kStoreCond:
+          case isa::Op::kRand:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    Addr line() const { return lineOf(addr); }
+};
+
+} // namespace fa::core
+
+#endif // FA_CORE_DYN_INST_HH

@@ -1,0 +1,154 @@
+#include "core/lsq.hh"
+
+#include "common/log.hh"
+
+namespace fa::core {
+
+LoadStoreQueue::LoadStoreQueue(unsigned lq_size, unsigned sq_size)
+    : lqSize(lq_size), sqSize(sq_size)
+{
+}
+
+DynInst *
+LoadStoreQueue::youngestOlderStore(SeqNum load_seq, Addr word) const
+{
+    for (auto it = sq.rbegin(); it != sq.rend(); ++it) {
+        DynInst *st = *it;
+        if (st->seq >= load_seq)
+            continue;
+        if (st->addrValid && st->addr == word)
+            return st;
+    }
+    return nullptr;
+}
+
+bool
+LoadStoreQueue::anyOlderUnresolvedStore(SeqNum seq) const
+{
+    for (const DynInst *st : sq) {
+        if (st->seq >= seq)
+            break;
+        if (!st->addrValid)
+            return true;
+    }
+    return false;
+}
+
+bool
+LoadStoreQueue::anyOlderStore(SeqNum seq) const
+{
+    return !sq.empty() && sq.front()->seq < seq;
+}
+
+bool
+LoadStoreQueue::allOlderLoadsPerformed(SeqNum seq) const
+{
+    for (const DynInst *ld : lq) {
+        if (ld->seq >= seq)
+            break;
+        if (!ld->performed)
+            return false;
+    }
+    return true;
+}
+
+DynInst *
+LoadStoreQueue::oldestInvalidatedLoad(Addr line) const
+{
+    // TSO load->load enforcement: an early-performed load becomes a
+    // visible reordering only if a load OLDER than it has not yet
+    // performed when the remote write arrives (the older load could
+    // then observe the new value while the younger kept the old
+    // one). If every older load has performed, the program-order
+    // read ordering already holds and no squash is needed — this is
+    // the precise filter; squashing every performed load would be
+    // correct but floods spin-heavy workloads with machine clears.
+    //
+    // Forwarded loads are snooped like any other: once their
+    // forwarding store performs, the value is part of the coherence
+    // order. Lock-holding load_locks are exempt only because their
+    // line cannot be invalidated while locked.
+    // Atomics act as barriers until they commit (and leave the LQ):
+    // §3.2.3 enforces AtomicRMW->load order exactly by squashing
+    // younger loads whose line is written remotely while the atomic
+    // is uncommitted.
+    SeqNum oldest_unperformed = kNoSeq;
+    for (DynInst *ld : lq) {
+        if (!ld->performed || ld->isAtomic()) {
+            oldest_unperformed = ld->seq;
+            break;
+        }
+    }
+    if (oldest_unperformed == kNoSeq)
+        return nullptr;
+    for (DynInst *ld : lq) {
+        if (ld->seq < oldest_unperformed || !ld->performed ||
+            ld->lockHeld) {
+            continue;
+        }
+        if (ld->line() == line)
+            return ld;
+    }
+    return nullptr;
+}
+
+DynInst *
+LoadStoreQueue::oldestMemDepViolator(const DynInst *store) const
+{
+    for (DynInst *ld : lq) {
+        if (ld->seq <= store->seq)
+            continue;
+        if (!ld->performed || !ld->addrValid || ld->addr != store->addr)
+            continue;
+        // A load that forwarded from this store, or from a store
+        // younger than it, read the correct value.
+        if (ld->fwdKind != FwdKind::kNone &&
+            ld->fwdFromSeq >= store->seq) {
+            continue;
+        }
+        return ld;
+    }
+    return nullptr;
+}
+
+void
+LoadStoreQueue::popFrontLoad(DynInst *inst)
+{
+    if (lq.empty() || lq.front() != inst)
+        panic("popFrontLoad on a non-head load");
+    lq.pop_front();
+}
+
+void
+LoadStoreQueue::popFrontStore(DynInst *inst)
+{
+    if (sq.empty() || sq.front() != inst)
+        panic("popFrontStore on a non-head store");
+    sq.pop_front();
+}
+
+void
+LoadStoreQueue::removeStore(DynInst *inst)
+{
+    for (auto it = sq.begin(); it != sq.end(); ++it) {
+        if (*it == inst) {
+            sq.erase(it);
+            return;
+        }
+    }
+    panic("removeStore: store not in SQ");
+}
+
+void
+LoadStoreQueue::squashFrom(SeqNum from_seq)
+{
+    while (!lq.empty() && lq.back()->seq >= from_seq)
+        lq.pop_back();
+    while (!sq.empty() && sq.back()->seq >= from_seq) {
+        if (sq.back()->inSb)
+            panic("squashing a committed store-buffer entry");
+        sq.pop_back();
+    }
+}
+
+} // namespace fa::core

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Load queue and store queue. The SQ holds all dispatched stores in
+ * program order; the suffix of committed-but-unperformed entries is
+ * the store buffer (SB) — paper footnote 2. Atomic RMWs occupy one
+ * LQ entry (the load_lock) and one SQ entry (the store_unlock).
+ */
+
+#ifndef FA_CORE_LSQ_HH
+#define FA_CORE_LSQ_HH
+
+#include <deque>
+
+#include "common/types.hh"
+#include "core/dyn_inst.hh"
+
+namespace fa::core {
+
+class LoadStoreQueue
+{
+  public:
+    LoadStoreQueue(unsigned lq_size, unsigned sq_size);
+
+    bool lqFull() const { return lq.size() >= lqSize; }
+    bool sqFull() const { return sq.size() >= sqSize; }
+
+    void pushLoad(DynInst *inst) { lq.push_back(inst); }
+    void pushStore(DynInst *inst) { sq.push_back(inst); }
+
+    std::deque<DynInst *> &loads() { return lq; }
+    std::deque<DynInst *> &stores() { return sq; }
+
+    /** Committed stores awaiting perform (the SB occupancy). */
+    unsigned sbCount() const { return sbEntries; }
+    void noteEnteredSb() { ++sbEntries; }
+    void noteLeftSb() { --sbEntries; }
+
+    /**
+     * Youngest store older than `load_seq` with a resolved address
+     * matching `word`; nullptr if none.
+     */
+    DynInst *youngestOlderStore(SeqNum load_seq, Addr word) const;
+
+    /** Any store older than `seq` with an unresolved address? */
+    bool anyOlderUnresolvedStore(SeqNum seq) const;
+
+    /** Any store (resolved or not) older than `seq` still in SQ? */
+    bool anyOlderStore(SeqNum seq) const;
+
+    /** All loads older than `seq` performed? (Spec-mode gate) */
+    bool allOlderLoadsPerformed(SeqNum seq) const;
+
+    /**
+     * Oldest performed load whose data may be stale after losing
+     * `line`: reads from memory (not forwarded) on that line.
+     * Lock-holding load_locks cannot lose their line and are skipped.
+     */
+    DynInst *oldestInvalidatedLoad(Addr line) const;
+
+    /**
+     * Oldest load younger than the resolving store that performed
+     * against the same word without forwarding from it — a memory
+     * dependence violation (§3.2.1).
+     */
+    DynInst *oldestMemDepViolator(const DynInst *store) const;
+
+    /** Remove a committed load (must be the oldest). */
+    void popFrontLoad(DynInst *inst);
+
+    /** Remove a performed store (must be the oldest SQ entry). */
+    void popFrontStore(DynInst *inst);
+
+    /** Remove a store anywhere in the SQ (store-conditionals leave
+     * at commit rather than draining through the SB). */
+    void removeStore(DynInst *inst);
+
+    /** Drop all entries younger than or equal to `from_seq`. */
+    void squashFrom(SeqNum from_seq);
+
+  private:
+    std::deque<DynInst *> lq;
+    std::deque<DynInst *> sq;
+    unsigned lqSize;
+    unsigned sqSize;
+    unsigned sbEntries = 0;
+};
+
+} // namespace fa::core
+
+#endif // FA_CORE_LSQ_HH

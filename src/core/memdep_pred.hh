@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Memory-dependence predictor in the spirit of store sets [10]:
+ * after a load violates a memory dependence, it is trained to wait
+ * until all older stores have resolved their addresses. Training
+ * decays so incidental conflicts do not penalize a load forever.
+ */
+
+#ifndef FA_CORE_MEMDEP_PRED_HH
+#define FA_CORE_MEMDEP_PRED_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace fa::core {
+
+class MemDepPredictor
+{
+  public:
+    /** Must the load at `pc` wait for older stores to resolve? */
+    bool
+    mustWait(int pc) const
+    {
+        return strength.find(pc) != strength.end();
+    }
+
+    /** A violation was detected for the load at `pc`. */
+    void
+    trainViolation(int pc)
+    {
+        strength[pc] = kTrainStrength;
+    }
+
+    /** The load at `pc` committed without a violation. */
+    void
+    commitDecay(int pc)
+    {
+        auto it = strength.find(pc);
+        if (it == strength.end())
+            return;
+        if (--it->second == 0)
+            strength.erase(it);
+    }
+
+  private:
+    static constexpr std::uint32_t kTrainStrength = 256;
+    std::unordered_map<int, std::uint32_t> strength;
+};
+
+} // namespace fa::core
+
+#endif // FA_CORE_MEMDEP_PRED_HH

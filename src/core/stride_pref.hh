@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Per-PC stride prefetcher (Table 1 lists a stride prefetcher at the
+ * L1D [7]). Classic reference-prediction-table design: a load PC
+ * whose consecutive addresses differ by a stable stride prefetches
+ * ahead once confidence is established.
+ */
+
+#ifndef FA_CORE_STRIDE_PREF_HH
+#define FA_CORE_STRIDE_PREF_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace fa::core {
+
+class StridePrefetcher
+{
+  public:
+    /**
+     * Record a load's address; returns the line to prefetch, or 0
+     * when no confident stride exists yet.
+     *
+     * @param pc     static pc of the load
+     * @param addr   effective address observed
+     * @param degree how many strides ahead to fetch
+     */
+    Addr
+    observe(int pc, Addr addr, unsigned degree = 2)
+    {
+        Entry &e = table[pc];
+        std::int64_t stride =
+            static_cast<std::int64_t>(addr) -
+            static_cast<std::int64_t>(e.last);
+        if (e.valid && stride == e.stride && stride != 0) {
+            if (e.confidence < 3)
+                ++e.confidence;
+        } else {
+            e.stride = stride;
+            e.confidence = 0;
+        }
+        e.last = addr;
+        e.valid = true;
+        if (e.confidence < 2)
+            return 0;
+        return lineOf(addr + static_cast<Addr>(e.stride * degree));
+    }
+
+    size_t tableSize() const { return table.size(); }
+
+  private:
+    struct Entry
+    {
+        Addr last = 0;
+        std::int64_t stride = 0;
+        std::uint8_t confidence = 0;
+        bool valid = false;
+    };
+
+    std::unordered_map<int, Entry> table;
+};
+
+} // namespace fa::core
+
+#endif // FA_CORE_STRIDE_PREF_HH

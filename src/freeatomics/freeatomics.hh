@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Umbrella public header for the Free Atomics simulation library.
+ *
+ * Typical use:
+ * @code
+ *   #include "freeatomics/freeatomics.hh"
+ *
+ *   auto machine = fa::sim::MachineConfig::icelake(8);
+ *   const auto *w = fa::wl::findWorkload("barnes");
+ *   auto r = fa::wl::runWorkload(*w, machine,
+ *                                fa::core::AtomicsMode::kFreeFwd,
+ *                                8, 1.0, 42);
+ * @endcode
+ */
+
+#ifndef FA_FREEATOMICS_HH
+#define FA_FREEATOMICS_HH
+
+#include "common/log.hh"
+#include "common/mem_image.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+#include "core/atomic_queue.hh"
+#include "core/core.hh"
+#include "core/core_config.hh"
+#include "isa/assembler.hh"
+#include "isa/builder.hh"
+#include "isa/interp.hh"
+#include "isa/program.hh"
+#include "mem/cache_array.hh"
+#include "mem/directory.hh"
+#include "mem/mem_system.hh"
+#include "sim/config.hh"
+#include "sim/energy.hh"
+#include "sim/runner.hh"
+#include "sim/system.hh"
+#include "workloads/synthetic.hh"
+#include "workloads/workload.hh"
+
+#endif // FA_FREEATOMICS_HH

@@ -1,0 +1,295 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.hh"
+#include "isa/builder.hh"
+
+namespace fa::isa {
+
+namespace {
+
+/** Tokenizer for one source line: splits on whitespace and commas,
+ * keeps bracketed memory operands together. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    bool in_brackets = false;
+    for (char ch : line) {
+        if (ch == ';' || ch == '#')
+            break;
+        if (ch == '[')
+            in_brackets = true;
+        if (ch == ']')
+            in_brackets = false;
+        if (!in_brackets && (std::isspace(ch) || ch == ',')) {
+            if (!cur.empty()) {
+                out.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur.push_back(ch);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+class Assembler
+{
+  public:
+    Assembler(const std::string &name, const std::string &source)
+        : builder(name), src(source)
+    {
+    }
+
+    Program
+    run()
+    {
+        std::istringstream in(src);
+        std::string line;
+        lineNo = 0;
+        while (std::getline(in, line)) {
+            ++lineNo;
+            parseLine(line);
+        }
+        for (const auto &[label, uses] : pendingUses) {
+            if (bound.find(label) == bound.end())
+                fatal("line %d: undefined label '%s'", uses.front(),
+                      label.c_str());
+        }
+        return builder.build();
+    }
+
+  private:
+    Reg
+    parseReg(const std::string &tok) const
+    {
+        if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R'))
+            fatal("line %d: expected register, got '%s'", lineNo,
+                  tok.c_str());
+        char *end = nullptr;
+        long v = std::strtol(tok.c_str() + 1, &end, 10);
+        if (*end != '\0' || v < 0 ||
+            v >= static_cast<long>(kNumRegs)) {
+            fatal("line %d: bad register '%s'", lineNo, tok.c_str());
+        }
+        return static_cast<Reg>(v);
+    }
+
+    std::int64_t
+    parseImm(const std::string &tok) const
+    {
+        char *end = nullptr;
+        long long v = std::strtoll(tok.c_str(), &end, 0);
+        if (end == tok.c_str() || *end != '\0')
+            fatal("line %d: bad immediate '%s'", lineNo, tok.c_str());
+        return v;
+    }
+
+    /** Parse `[rN]` or `[rN + imm]` / `[rN - imm]`. */
+    void
+    parseMem(const std::string &tok, Reg &base, std::int64_t &imm) const
+    {
+        if (tok.size() < 2 || tok.front() != '[' || tok.back() != ']')
+            fatal("line %d: expected memory operand, got '%s'", lineNo,
+                  tok.c_str());
+        std::string body = tok.substr(1, tok.size() - 2);
+        // Strip inner whitespace.
+        std::string s;
+        for (char ch : body)
+            if (!std::isspace(ch))
+                s.push_back(ch);
+        size_t plus = s.find('+', 1);
+        size_t minus = s.find('-', 1);
+        size_t cut = std::min(plus, minus);
+        if (cut == std::string::npos) {
+            base = parseReg(s);
+            imm = 0;
+        } else {
+            base = parseReg(s.substr(0, cut));
+            imm = parseImm(s.substr(s[cut] == '+' ? cut + 1 : cut));
+        }
+    }
+
+    Label
+    labelRef(const std::string &name)
+    {
+        auto it = labels.find(name);
+        if (it != labels.end())
+            return it->second;
+        Label l = builder.newLabel();
+        labels.emplace(name, l);
+        pendingUses[name].push_back(lineNo);
+        return l;
+    }
+
+    void
+    bindLabel(const std::string &name)
+    {
+        auto it = labels.find(name);
+        if (it == labels.end()) {
+            Label l = builder.newLabel();
+            labels.emplace(name, l);
+            builder.bind(l);
+        } else {
+            if (bound.count(name))
+                fatal("line %d: label '%s' defined twice", lineNo,
+                      name.c_str());
+            builder.bind(it->second);
+        }
+        bound.insert(name);
+        pendingUses.erase(name);
+    }
+
+    void
+    need(const std::vector<std::string> &t, size_t n) const
+    {
+        if (t.size() != n + 1)
+            fatal("line %d: '%s' expects %zu operands", lineNo,
+                  t[0].c_str(), n);
+    }
+
+    void
+    parseLine(const std::string &line)
+    {
+        auto t = tokenize(line);
+        if (t.empty())
+            return;
+        // Label definition?
+        if (t[0].back() == ':') {
+            bindLabel(t[0].substr(0, t[0].size() - 1));
+            t.erase(t.begin());
+            if (t.empty())
+                return;
+        }
+        std::string op = t[0];
+        for (char &ch : op)
+            ch = static_cast<char>(std::tolower(ch));
+
+        Reg base;
+        std::int64_t imm;
+        if (op == "nop") {
+            need(t, 0);
+            builder.nop();
+        } else if (op == "pause") {
+            need(t, 0);
+            builder.pause();
+        } else if (op == "halt") {
+            need(t, 0);
+            builder.halt();
+        } else if (op == "mfence") {
+            need(t, 0);
+            builder.mfence();
+        } else if (op == "movi") {
+            need(t, 2);
+            builder.movi(parseReg(t[1]), parseImm(t[2]));
+        } else if (op == "addi") {
+            need(t, 3);
+            builder.addi(parseReg(t[1]), parseReg(t[2]),
+                         parseImm(t[3]));
+        } else if (op == "rand") {
+            need(t, 2);
+            builder.rand(parseReg(t[1]), parseImm(t[2]));
+        } else if (op == "load") {
+            need(t, 2);
+            parseMem(t[2], base, imm);
+            builder.load(parseReg(t[1]), base, imm);
+        } else if (op == "ll") {
+            need(t, 2);
+            parseMem(t[2], base, imm);
+            builder.loadLinked(parseReg(t[1]), base, imm);
+        } else if (op == "store") {
+            need(t, 2);
+            parseMem(t[1], base, imm);
+            builder.store(base, parseReg(t[2]), imm);
+        } else if (op == "sc") {
+            need(t, 3);
+            parseMem(t[2], base, imm);
+            builder.storeCond(parseReg(t[1]), base, parseReg(t[3]),
+                              imm);
+        } else if (op == "fetchadd") {
+            need(t, 3);
+            parseMem(t[2], base, imm);
+            builder.fetchAdd(parseReg(t[1]), base, parseReg(t[3]),
+                             imm);
+        } else if (op == "tas") {
+            need(t, 2);
+            parseMem(t[2], base, imm);
+            builder.testAndSet(parseReg(t[1]), base, imm);
+        } else if (op == "xchg") {
+            need(t, 3);
+            parseMem(t[2], base, imm);
+            builder.exchange(parseReg(t[1]), base, parseReg(t[3]),
+                             imm);
+        } else if (op == "cas") {
+            need(t, 4);
+            parseMem(t[2], base, imm);
+            builder.compareSwap(parseReg(t[1]), base, parseReg(t[3]),
+                                parseReg(t[4]), imm);
+        } else if (op == "jump") {
+            need(t, 1);
+            builder.jump(labelRef(t[1]));
+        } else if (op == "beq" || op == "bne" || op == "blt" ||
+                   op == "bge") {
+            need(t, 3);
+            BranchCond cond = op == "beq" ? BranchCond::kEq
+                : op == "bne"             ? BranchCond::kNe
+                : op == "blt"             ? BranchCond::kLt
+                                          : BranchCond::kGe;
+            builder.branch(cond, parseReg(t[1]), parseReg(t[2]),
+                           labelRef(t[3]));
+        } else {
+            static const std::unordered_map<std::string, AluFn> kFns =
+                {{"add", AluFn::kAdd}, {"sub", AluFn::kSub},
+                 {"and", AluFn::kAnd}, {"or", AluFn::kOr},
+                 {"xor", AluFn::kXor}, {"mul", AluFn::kMul},
+                 {"shl", AluFn::kShl}, {"shr", AluFn::kShr},
+                 {"lt", AluFn::kLt},   {"eq", AluFn::kEq}};
+            auto it = kFns.find(op);
+            if (it == kFns.end())
+                fatal("line %d: unknown mnemonic '%s'", lineNo,
+                      op.c_str());
+            need(t, 3);
+            builder.alu(it->second, parseReg(t[1]), parseReg(t[2]),
+                        parseReg(t[3]));
+        }
+    }
+
+    ProgramBuilder builder;
+    std::string src;
+    int lineNo = 0;
+    std::unordered_map<std::string, Label> labels;
+    std::unordered_map<std::string, std::vector<int>> pendingUses;
+    std::set<std::string> bound;
+};
+
+} // namespace
+
+Program
+assemble(const std::string &name, const std::string &source)
+{
+    return Assembler(name, source).run();
+}
+
+Program
+assembleFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open program file '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return assemble(path, ss.str());
+}
+
+} // namespace fa::isa

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Text assembler for the workload IR: parse a human-readable program
+ * (the same syntax Program::disasm emits, plus labels and comments)
+ * into a validated Program. Lets users script custom workloads for
+ * fasim without recompiling.
+ *
+ * Syntax, one instruction per line:
+ *
+ *     ; comments run to end of line (also '#')
+ *     start:                      ; label definition
+ *         movi  r1, 0x20000
+ *         movi  r2, 1
+ *     loop:
+ *         fetchadd r3, [r1 + 0], r2
+ *         addi  r4, r4, -1
+ *         bne   r4, r0, loop
+ *         halt
+ *
+ * Mnemonics: nop, pause, movi, add/sub/and/or/xor/mul/shl/shr/lt/eq,
+ * addi, load, store, fetchadd, tas, xchg, cas, ll, sc, beq/bne/blt/
+ * bge, jump, mfence, rand, halt. Memory operands are
+ * `[rN]` or `[rN + imm]` (imm may be negative or hex).
+ */
+
+#ifndef FA_ISA_ASSEMBLER_HH
+#define FA_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace fa::isa {
+
+/**
+ * Assemble `source` into a validated Program.
+ * Calls fatal() (throws FatalError) with a line number on any
+ * syntax, operand, or label error.
+ */
+Program assemble(const std::string &name, const std::string &source);
+
+/** Assemble the contents of a file. */
+Program assembleFile(const std::string &path);
+
+} // namespace fa::isa
+
+#endif // FA_ISA_ASSEMBLER_HH

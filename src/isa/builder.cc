@@ -1,0 +1,377 @@
+#include "isa/builder.hh"
+
+#include "common/log.hh"
+
+namespace fa::isa {
+
+ProgramBuilder::ProgramBuilder(std::string name)
+{
+    prog.name = std::move(name);
+}
+
+Reg
+ProgramBuilder::alloc()
+{
+    if (nextReg >= kNumRegs)
+        fatal("program '%s': out of registers", prog.name.c_str());
+    return static_cast<Reg>(nextReg++);
+}
+
+Label
+ProgramBuilder::newLabel()
+{
+    Label l{static_cast<int>(labelPos.size())};
+    labelPos.push_back(-1);
+    return l;
+}
+
+ProgramBuilder &
+ProgramBuilder::bind(Label l)
+{
+    if (l.id < 0 || static_cast<size_t>(l.id) >= labelPos.size())
+        fatal("program '%s': bind of invalid label", prog.name.c_str());
+    if (labelPos[l.id] != -1)
+        fatal("program '%s': label bound twice", prog.name.c_str());
+    labelPos[l.id] = pc();
+    return *this;
+}
+
+Label
+ProgramBuilder::here()
+{
+    Label l = newLabel();
+    bind(l);
+    return l;
+}
+
+ProgramBuilder &
+ProgramBuilder::emit(Inst inst)
+{
+    prog.code.push_back(inst);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::nop()
+{
+    return emit({});
+}
+
+ProgramBuilder &
+ProgramBuilder::pause()
+{
+    Inst i;
+    i.op = Op::kPause;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::movi(Reg dst, std::int64_t imm)
+{
+    Inst i;
+    i.op = Op::kMovi;
+    i.dst = dst;
+    i.imm = imm;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::alu(AluFn fn, Reg dst, Reg src1, Reg src2,
+                    std::uint8_t latency)
+{
+    Inst i;
+    i.op = Op::kAlu;
+    i.fn = fn;
+    i.dst = dst;
+    i.src1 = src1;
+    i.src2 = src2;
+    i.latency = latency;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::addi(Reg dst, Reg src1, std::int64_t imm)
+{
+    Inst i;
+    i.op = Op::kAddi;
+    i.dst = dst;
+    i.src1 = src1;
+    i.imm = imm;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::load(Reg dst, Reg addr, std::int64_t imm)
+{
+    Inst i;
+    i.op = Op::kLoad;
+    i.dst = dst;
+    i.src1 = addr;
+    i.imm = imm;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::store(Reg addr, Reg src, std::int64_t imm)
+{
+    Inst i;
+    i.op = Op::kStore;
+    i.src1 = addr;
+    i.src2 = src;
+    i.imm = imm;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::fetchAdd(Reg dst, Reg addr, Reg operand, std::int64_t imm)
+{
+    Inst i;
+    i.op = Op::kRmw;
+    i.rmw = RmwKind::kFetchAdd;
+    i.dst = dst;
+    i.src1 = addr;
+    i.src2 = operand;
+    i.imm = imm;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::testAndSet(Reg dst, Reg addr, std::int64_t imm)
+{
+    Inst i;
+    i.op = Op::kRmw;
+    i.rmw = RmwKind::kTestAndSet;
+    i.dst = dst;
+    i.src1 = addr;
+    i.imm = imm;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::exchange(Reg dst, Reg addr, Reg val, std::int64_t imm)
+{
+    Inst i;
+    i.op = Op::kRmw;
+    i.rmw = RmwKind::kExchange;
+    i.dst = dst;
+    i.src1 = addr;
+    i.src2 = val;
+    i.imm = imm;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::compareSwap(Reg dst, Reg addr, Reg expected, Reg desired,
+                            std::int64_t imm)
+{
+    Inst i;
+    i.op = Op::kRmw;
+    i.rmw = RmwKind::kCompareSwap;
+    i.dst = dst;
+    i.src1 = addr;
+    i.src2 = expected;
+    i.src3 = desired;
+    i.imm = imm;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::loadLinked(Reg dst, Reg addr, std::int64_t imm)
+{
+    Inst i;
+    i.op = Op::kLoadLinked;
+    i.dst = dst;
+    i.src1 = addr;
+    i.imm = imm;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::storeCond(Reg dst, Reg addr, Reg src, std::int64_t imm)
+{
+    Inst i;
+    i.op = Op::kStoreCond;
+    i.dst = dst;
+    i.src1 = addr;
+    i.src2 = src;
+    i.imm = imm;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::branch(BranchCond cond, Reg src1, Reg src2, Label l)
+{
+    Inst i;
+    i.op = Op::kBranch;
+    i.cond = cond;
+    i.src1 = src1;
+    i.src2 = src2;
+    i.target = -1 - l.id;  // encoded label reference, fixed in build()
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::jump(Label l)
+{
+    Inst i;
+    i.op = Op::kJump;
+    i.target = -1 - l.id;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::mfence()
+{
+    Inst i;
+    i.op = Op::kMfence;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::rand(Reg dst, std::int64_t range)
+{
+    Inst i;
+    i.op = Op::kRand;
+    i.dst = dst;
+    i.imm = range;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::halt()
+{
+    Inst i;
+    i.op = Op::kHalt;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::lockAcquire(Reg addr_reg, Reg tmp, std::int64_t imm)
+{
+    // Test-and-test-and-set with randomized backoff after a failed
+    // attempt (adaptive spinning, as glibc mutexes do): the backoff
+    // staggers re-attempts so a lock handover does not wake the
+    // whole herd into simultaneous TAS storms.
+    //
+    // try:  tas tmp, [addr]
+    //       beq tmp, r0, done
+    //       rand tmp, 8            ; backoff 0..7 pause slots
+    // bk:   beq tmp, r0, spin
+    //       pause
+    //       addi tmp, tmp, -1
+    //       jump bk
+    // spin: load tmp, [addr]       ; wait on a plain load (TTAS)
+    //       pause
+    //       bne tmp, r0, spin
+    //       jump try
+    // done:
+    Label try_l = here();
+    testAndSet(tmp, addr_reg, imm);
+    Label done = newLabel();
+    branch(BranchCond::kEq, tmp, zero(), done);
+    rand(tmp, 8);
+    Label backoff = here();
+    Label spin = newLabel();
+    branch(BranchCond::kEq, tmp, zero(), spin);
+    pause();
+    addi(tmp, tmp, -1);
+    jump(backoff);
+    bind(spin);
+    load(tmp, addr_reg, imm);
+    pause();
+    branch(BranchCond::kNe, tmp, zero(), spin);
+    jump(try_l);
+    bind(done);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::lockRelease(Reg addr_reg, Reg tmp, std::int64_t imm)
+{
+    return exchange(tmp, addr_reg, zero(), imm);
+}
+
+ProgramBuilder &
+ProgramBuilder::lockReleasePlain(Reg addr_reg, std::int64_t imm)
+{
+    return store(addr_reg, zero(), imm);
+}
+
+ProgramBuilder &
+ProgramBuilder::barrier(Reg bar_reg, Reg n_threads_reg,
+                        Reg t0, Reg t1, Reg t2, Reg t3)
+{
+    // Sense-reversing barrier. The generation word lives one line
+    // past the arrival counter (+64) so waiters' spin reads do not
+    // contend with the arrival fetch-adds' cacheline lock.
+    // t0 = generation before arrival
+    load(t0, bar_reg, 64);
+    // t1 = my arrival index
+    movi(t2, 1);
+    fetchAdd(t1, bar_reg, t2);
+    addi(t1, t1, 1);
+    Label wait = newLabel();
+    Label done = newLabel();
+    branch(BranchCond::kNe, t1, n_threads_reg, wait);
+    // last arriver: reset the counter, bump the generation
+    store(bar_reg, zero(), 0);
+    addi(t3, t0, 1);
+    store(bar_reg, t3, 64);
+    jump(done);
+    bind(wait);
+    load(t3, bar_reg, 64);
+    pause();
+    branch(BranchCond::kEq, t3, t0, wait);
+    bind(done);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::delay(Reg tmp, std::int64_t iters)
+{
+    if (iters <= 0)
+        return *this;
+    movi(tmp, iters);
+    Label loop = here();
+    addi(tmp, tmp, -1);
+    branch(BranchCond::kNe, tmp, zero(), loop);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::llscFetchAdd(Reg dst, Reg addr, Reg operand, Reg tmp,
+                             Reg flag, std::int64_t imm)
+{
+    // retry: ll dst, [addr]
+    //        add tmp, dst, operand
+    //        sc flag, [addr], tmp
+    //        bne flag, r0, retry     ; SC failed: spin
+    Label retry = here();
+    loadLinked(dst, addr, imm);
+    alu(AluFn::kAdd, tmp, dst, operand);
+    storeCond(flag, addr, tmp, imm);
+    branch(BranchCond::kNe, flag, zero(), retry);
+    return *this;
+}
+
+Program
+ProgramBuilder::build()
+{
+    for (size_t pc_i = 0; pc_i < prog.code.size(); ++pc_i) {
+        Inst &inst = prog.code[pc_i];
+        if ((inst.op == Op::kBranch || inst.op == Op::kJump) &&
+            inst.target < 0) {
+            int label_id = -1 - inst.target;
+            if (static_cast<size_t>(label_id) >= labelPos.size() ||
+                labelPos[label_id] < 0) {
+                fatal("program '%s' pc %zu: unbound label",
+                      prog.name.c_str(), pc_i);
+            }
+            inst.target = labelPos[label_id];
+        }
+    }
+    prog.validate();
+    return prog;
+}
+
+} // namespace fa::isa

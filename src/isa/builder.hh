@@ -1,0 +1,138 @@
+/**
+ * @file
+ * ProgramBuilder: a small assembler for the workload IR with label
+ * fixups, a register allocator, and the synchronization idioms the
+ * paper's workloads are built from (test-and-test-and-set spinlocks,
+ * sense-reversing barriers, delay loops).
+ */
+
+#ifndef FA_ISA_BUILDER_HH
+#define FA_ISA_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace fa::isa {
+
+/** Opaque label handle returned by newLabel(). */
+struct Label
+{
+    int id = -1;
+};
+
+/**
+ * Builds a Program instruction by instruction. All emit methods
+ * return *this for chaining. Branch targets are labels, resolved when
+ * build() is called.
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name);
+
+    // --- registers -----------------------------------------------------
+
+    /** The always-zero register (r0). */
+    static Reg zero() { return 0; }
+
+    /** Allocate a fresh scratch register; fatal() when exhausted. */
+    Reg alloc();
+
+    /** Number of registers still available. */
+    unsigned regsLeft() const { return kNumRegs - nextReg; }
+
+    // --- labels --------------------------------------------------------
+
+    Label newLabel();
+    /** Bind a label to the current position. */
+    ProgramBuilder &bind(Label l);
+    /** Create a label bound to the current position. */
+    Label here();
+
+    // --- plain instructions ---------------------------------------------
+
+    ProgramBuilder &nop();
+    ProgramBuilder &pause();
+    ProgramBuilder &movi(Reg dst, std::int64_t imm);
+    ProgramBuilder &alu(AluFn fn, Reg dst, Reg src1, Reg src2,
+                        std::uint8_t latency = 0);
+    ProgramBuilder &addi(Reg dst, Reg src1, std::int64_t imm);
+    ProgramBuilder &load(Reg dst, Reg addr, std::int64_t imm = 0);
+    ProgramBuilder &store(Reg addr, Reg src, std::int64_t imm = 0);
+    ProgramBuilder &fetchAdd(Reg dst, Reg addr, Reg operand,
+                             std::int64_t imm = 0);
+    ProgramBuilder &testAndSet(Reg dst, Reg addr, std::int64_t imm = 0);
+    ProgramBuilder &exchange(Reg dst, Reg addr, Reg val,
+                             std::int64_t imm = 0);
+    ProgramBuilder &compareSwap(Reg dst, Reg addr, Reg expected,
+                                Reg desired, std::int64_t imm = 0);
+    ProgramBuilder &loadLinked(Reg dst, Reg addr, std::int64_t imm = 0);
+    ProgramBuilder &storeCond(Reg dst, Reg addr, Reg src,
+                              std::int64_t imm = 0);
+    ProgramBuilder &branch(BranchCond cond, Reg src1, Reg src2, Label l);
+    ProgramBuilder &jump(Label l);
+    ProgramBuilder &mfence();
+    ProgramBuilder &rand(Reg dst, std::int64_t range);
+    ProgramBuilder &halt();
+
+    // --- synchronization idioms ------------------------------------------
+
+    /**
+     * Acquire a test-and-test-and-set spinlock at [addr_reg + imm].
+     * Clobbers tmp.
+     */
+    ProgramBuilder &lockAcquire(Reg addr_reg, Reg tmp,
+                                std::int64_t imm = 0);
+
+    /**
+     * Release a spinlock at [addr_reg + imm] with an atomic exchange,
+     * as pthread-style mutex unlocks do (e.g. glibc's lock dec /
+     * xchg). Back-to-back RMWs on the lock word are what enable the
+     * paper's atomic-to-atomic forwarding chains (§3.3, §5.3).
+     * Clobbers tmp.
+     */
+    ProgramBuilder &lockRelease(Reg addr_reg, Reg tmp,
+                                std::int64_t imm = 0);
+
+    /** Release a spinlock with a plain store (spinlock-style). */
+    ProgramBuilder &lockReleasePlain(Reg addr_reg, std::int64_t imm = 0);
+
+    /**
+     * Atomic fetch-add built from an LL/SC retry loop (paper §2's
+     * alternative primitive). Leaves the old value in dst.
+     * Clobbers tmp and flag.
+     */
+    ProgramBuilder &llscFetchAdd(Reg dst, Reg addr, Reg operand,
+                                 Reg tmp, Reg flag,
+                                 std::int64_t imm = 0);
+
+    /**
+     * Sense-reversing barrier. Uses two cachelines at [bar_reg]: the
+     * arrival counter at +0 and the generation word at +64.
+     * Clobbers the four scratch registers.
+     */
+    ProgramBuilder &barrier(Reg bar_reg, Reg n_threads_reg,
+                            Reg t0, Reg t1, Reg t2, Reg t3);
+
+    /** Busy-wait for roughly `iters` loop iterations. Clobbers tmp. */
+    ProgramBuilder &delay(Reg tmp, std::int64_t iters);
+
+    /** Number of instructions emitted so far. */
+    int pc() const { return static_cast<int>(prog.code.size()); }
+
+    /** Resolve labels, validate, and return the program. */
+    Program build();
+
+  private:
+    ProgramBuilder &emit(Inst inst);
+
+    Program prog;
+    std::vector<int> labelPos;  ///< label id -> pc (-1 = unbound)
+    unsigned nextReg = 1;       ///< r0 reserved as zero
+};
+
+} // namespace fa::isa
+
+#endif // FA_ISA_BUILDER_HH

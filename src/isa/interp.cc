@@ -1,0 +1,87 @@
+#include "isa/interp.hh"
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace fa::isa {
+
+InterpResult
+interpret(const Program &prog, MemImage &mem, std::uint64_t rand_seed,
+          std::uint64_t max_steps)
+{
+    InterpResult res;
+    std::uint64_t rand_index = 0;
+    size_t pc = 0;
+
+    while (res.instsExecuted < max_steps) {
+        if (pc >= prog.code.size())
+            fatal("interp '%s': pc %zu fell off the end",
+                  prog.name.c_str(), pc);
+        const Inst &inst = prog.code[pc];
+        ++res.instsExecuted;
+        size_t next_pc = pc + 1;
+        auto &regs = res.regs;
+
+        switch (inst.op) {
+          case Op::kNop:
+          case Op::kPause:
+          case Op::kMfence:
+            break;
+          case Op::kMovi:
+            regs[inst.dst] = inst.imm;
+            break;
+          case Op::kAlu:
+            regs[inst.dst] =
+                evalAlu(inst.fn, regs[inst.src1], regs[inst.src2]);
+            break;
+          case Op::kAddi:
+            regs[inst.dst] = regs[inst.src1] + inst.imm;
+            break;
+          case Op::kLoad:
+            regs[inst.dst] = mem.read(
+                static_cast<Addr>(regs[inst.src1] + inst.imm));
+            break;
+          case Op::kStore:
+            mem.write(static_cast<Addr>(regs[inst.src1] + inst.imm),
+                      regs[inst.src2]);
+            break;
+          case Op::kRmw: {
+            Addr a = static_cast<Addr>(regs[inst.src1] + inst.imm);
+            std::int64_t old_val = mem.read(a);
+            mem.write(a, applyRmw(inst.rmw, old_val, regs[inst.src2],
+                                  regs[inst.src3]));
+            regs[inst.dst] = old_val;
+            break;
+          }
+          case Op::kLoadLinked:
+            // Single-threaded reference: the reservation always holds.
+            regs[inst.dst] = mem.read(
+                static_cast<Addr>(regs[inst.src1] + inst.imm));
+            break;
+          case Op::kStoreCond:
+            mem.write(static_cast<Addr>(regs[inst.src1] + inst.imm),
+                      regs[inst.src2]);
+            regs[inst.dst] = 0;
+            break;
+          case Op::kBranch:
+            if (evalCond(inst.cond, regs[inst.src1], regs[inst.src2]))
+                next_pc = static_cast<size_t>(inst.target);
+            break;
+          case Op::kJump:
+            next_pc = static_cast<size_t>(inst.target);
+            break;
+          case Op::kRand:
+            regs[inst.dst] = static_cast<std::int64_t>(
+                mix64(rand_seed, rand_index++) %
+                static_cast<std::uint64_t>(inst.imm));
+            break;
+          case Op::kHalt:
+            res.halted = true;
+            return res;
+        }
+        pc = next_pc;
+    }
+    return res;
+}
+
+} // namespace fa::isa

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Sequential reference interpreter for workload programs.
+ *
+ * Executes a single thread's program with simple in-order semantics
+ * against a word-granular memory image. Used to check that a 1-core
+ * out-of-order simulation commits the exact same architectural state,
+ * and as a fast functional debugger for workload authors.
+ */
+
+#ifndef FA_ISA_INTERP_HH
+#define FA_ISA_INTERP_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/mem_image.hh"
+#include "common/types.hh"
+#include "isa/program.hh"
+
+namespace fa::isa {
+
+using fa::MemImage;
+
+/** Result of a reference interpretation. */
+struct InterpResult
+{
+    std::uint64_t instsExecuted = 0;
+    bool halted = false;   ///< false means the step limit was hit
+    std::array<std::int64_t, kNumRegs> regs{};
+};
+
+/**
+ * Run `prog` to halt (or until max_steps) against `mem`.
+ *
+ * @param prog      validated program
+ * @param mem       memory image, updated in place
+ * @param rand_seed seed for the kRand instruction stream
+ * @param max_steps step limit guarding against livelock
+ */
+InterpResult interpret(const Program &prog, MemImage &mem,
+                       std::uint64_t rand_seed,
+                       std::uint64_t max_steps = 10'000'000);
+
+} // namespace fa::isa
+
+#endif // FA_ISA_INTERP_HH

@@ -1,0 +1,178 @@
+#include "isa/program.hh"
+
+#include "common/log.hh"
+
+namespace fa::isa {
+
+void
+Program::validate() const
+{
+    if (code.empty())
+        fatal("program '%s' is empty", name.c_str());
+
+    bool has_halt = false;
+    for (size_t pc = 0; pc < code.size(); ++pc) {
+        const Inst &inst = code[pc];
+        if (inst.op == Op::kHalt)
+            has_halt = true;
+        if (inst.op == Op::kBranch || inst.op == Op::kJump) {
+            if (inst.target < 0 ||
+                static_cast<size_t>(inst.target) >= code.size()) {
+                fatal("program '%s' pc %zu: branch target %d out of "
+                      "range [0, %zu)", name.c_str(), pc, inst.target,
+                      code.size());
+            }
+        }
+        if (inst.dst >= kNumRegs || inst.src1 >= kNumRegs ||
+            inst.src2 >= kNumRegs || inst.src3 >= kNumRegs) {
+            fatal("program '%s' pc %zu: register out of range",
+                  name.c_str(), pc);
+        }
+        bool writes = inst.op == Op::kMovi || inst.op == Op::kAlu ||
+            inst.op == Op::kAddi || inst.op == Op::kLoad ||
+            inst.op == Op::kRmw || inst.op == Op::kRand ||
+            inst.op == Op::kLoadLinked || inst.op == Op::kStoreCond;
+        if (writes && inst.dst == 0)
+            fatal("program '%s' pc %zu: writes r0 (zero register)",
+                  name.c_str(), pc);
+        if (inst.op == Op::kRand && inst.imm <= 0)
+            fatal("program '%s' pc %zu: rand range must be > 0",
+                  name.c_str(), pc);
+    }
+    if (!has_halt)
+        fatal("program '%s' has no halt", name.c_str());
+}
+
+std::string
+Program::disasm(const Inst &inst)
+{
+    auto reg = [](Reg r) { return "r" + std::to_string(r); };
+    switch (inst.op) {
+      case Op::kNop:
+        return "nop";
+      case Op::kPause:
+        return "pause";
+      case Op::kMovi:
+        return strfmt("movi %s, %lld", reg(inst.dst).c_str(),
+                      static_cast<long long>(inst.imm));
+      case Op::kAlu: {
+        static const char *names[] = {
+            "add", "sub", "and", "or", "xor", "mul", "shl", "shr",
+            "lt", "eq"};
+        return strfmt("%s %s, %s, %s",
+                      names[static_cast<int>(inst.fn)],
+                      reg(inst.dst).c_str(), reg(inst.src1).c_str(),
+                      reg(inst.src2).c_str());
+      }
+      case Op::kAddi:
+        return strfmt("addi %s, %s, %lld", reg(inst.dst).c_str(),
+                      reg(inst.src1).c_str(),
+                      static_cast<long long>(inst.imm));
+      case Op::kLoad:
+        return strfmt("load %s, [%s + %lld]", reg(inst.dst).c_str(),
+                      reg(inst.src1).c_str(),
+                      static_cast<long long>(inst.imm));
+      case Op::kStore:
+        return strfmt("store [%s + %lld], %s", reg(inst.src1).c_str(),
+                      static_cast<long long>(inst.imm),
+                      reg(inst.src2).c_str());
+      case Op::kRmw:
+        switch (inst.rmw) {
+          case RmwKind::kFetchAdd:
+          case RmwKind::kExchange:
+            return strfmt("%s %s, [%s + %lld], %s",
+                          inst.rmw == RmwKind::kFetchAdd ? "fetchadd"
+                                                         : "xchg",
+                          reg(inst.dst).c_str(),
+                          reg(inst.src1).c_str(),
+                          static_cast<long long>(inst.imm),
+                          reg(inst.src2).c_str());
+          case RmwKind::kTestAndSet:
+            return strfmt("tas %s, [%s + %lld]", reg(inst.dst).c_str(),
+                          reg(inst.src1).c_str(),
+                          static_cast<long long>(inst.imm));
+          case RmwKind::kCompareSwap:
+            return strfmt("cas %s, [%s + %lld], %s, %s",
+                          reg(inst.dst).c_str(),
+                          reg(inst.src1).c_str(),
+                          static_cast<long long>(inst.imm),
+                          reg(inst.src2).c_str(),
+                          reg(inst.src3).c_str());
+        }
+        return "<bad>";
+      case Op::kLoadLinked:
+        return strfmt("ll %s, [%s + %lld]", reg(inst.dst).c_str(),
+                      reg(inst.src1).c_str(),
+                      static_cast<long long>(inst.imm));
+      case Op::kStoreCond:
+        return strfmt("sc %s, [%s + %lld], %s", reg(inst.dst).c_str(),
+                      reg(inst.src1).c_str(),
+                      static_cast<long long>(inst.imm),
+                      reg(inst.src2).c_str());
+      case Op::kBranch: {
+        static const char *names[] = {"beq", "bne", "blt", "bge"};
+        return strfmt("%s %s, %s, @%d",
+                      names[static_cast<int>(inst.cond)],
+                      reg(inst.src1).c_str(), reg(inst.src2).c_str(),
+                      inst.target);
+      }
+      case Op::kJump:
+        return strfmt("jump @%d", inst.target);
+      case Op::kMfence:
+        return "mfence";
+      case Op::kRand:
+        return strfmt("rand %s, %lld", reg(inst.dst).c_str(),
+                      static_cast<long long>(inst.imm));
+      case Op::kHalt:
+        return "halt";
+    }
+    return "<bad>";
+}
+
+std::int64_t
+evalAlu(AluFn fn, std::int64_t a, std::int64_t b)
+{
+    switch (fn) {
+      case AluFn::kAdd: return a + b;
+      case AluFn::kSub: return a - b;
+      case AluFn::kAnd: return a & b;
+      case AluFn::kOr:  return a | b;
+      case AluFn::kXor: return a ^ b;
+      case AluFn::kMul: return a * b;
+      case AluFn::kShl: return a << (b & 63);
+      case AluFn::kShr:
+        return static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(a) >> (b & 63));
+      case AluFn::kLt:  return a < b ? 1 : 0;
+      case AluFn::kEq:  return a == b ? 1 : 0;
+    }
+    panic("bad AluFn %d", static_cast<int>(fn));
+}
+
+bool
+evalCond(BranchCond cond, std::int64_t a, std::int64_t b)
+{
+    switch (cond) {
+      case BranchCond::kEq: return a == b;
+      case BranchCond::kNe: return a != b;
+      case BranchCond::kLt: return a < b;
+      case BranchCond::kGe: return a >= b;
+    }
+    panic("bad BranchCond %d", static_cast<int>(cond));
+}
+
+std::int64_t
+applyRmw(RmwKind kind, std::int64_t old_val, std::int64_t operand,
+         std::int64_t desired)
+{
+    switch (kind) {
+      case RmwKind::kFetchAdd:    return old_val + operand;
+      case RmwKind::kTestAndSet:  return 1;
+      case RmwKind::kExchange:    return operand;
+      case RmwKind::kCompareSwap:
+        return old_val == operand ? desired : old_val;
+    }
+    panic("bad RmwKind %d", static_cast<int>(kind));
+}
+
+} // namespace fa::isa

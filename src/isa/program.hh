@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The workload instruction set: a small register machine with loads,
+ * stores, atomic RMWs, branches and fences.
+ *
+ * Programs written in this IR are executed both by the out-of-order
+ * core model (src/core) and by a sequential reference interpreter
+ * (src/isa/interp.hh) used for equivalence testing.
+ */
+
+#ifndef FA_ISA_PROGRAM_HH
+#define FA_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fa::isa {
+
+/** Number of architectural registers. Register 0 is zero by
+ * convention (programs never write it). */
+constexpr unsigned kNumRegs = 32;
+
+using Reg = std::uint8_t;
+
+/** Instruction opcodes. */
+enum class Op : std::uint8_t {
+    kNop,       ///< no operation
+    kPause,     ///< spin-loop hint; executes as a 1-cycle nop
+    kMovi,      ///< dst = imm
+    kAlu,       ///< dst = fn(src1, src2)
+    kAddi,      ///< dst = src1 + imm
+    kLoad,      ///< dst = mem[src1 + imm]
+    kStore,     ///< mem[src1 + imm] = src2
+    kRmw,       ///< atomic read-modify-write of mem[src1 + imm]
+    kLoadLinked,///< dst = mem[src1 + imm], set the link/reservation
+    kStoreCond, ///< if link held: mem[src1+imm]=src2, dst=0; else dst=1
+    kBranch,    ///< conditional branch on (src1 cond src2)
+    kJump,      ///< unconditional jump
+    kMfence,    ///< full memory fence (x86 MFENCE)
+    kRand,      ///< dst = deterministic pseudo-random in [0, imm)
+    kHalt,      ///< stop this thread
+};
+
+/** ALU functions for Op::kAlu. */
+enum class AluFn : std::uint8_t {
+    kAdd, kSub, kAnd, kOr, kXor, kMul, kShl, kShr, kLt, kEq,
+};
+
+/** Atomic read-modify-write kinds (paper §2). */
+enum class RmwKind : std::uint8_t {
+    kFetchAdd,    ///< dst = old; mem = old + src2
+    kTestAndSet,  ///< dst = old; mem = 1
+    kExchange,    ///< dst = old; mem = src2
+    kCompareSwap, ///< dst = old; mem = (old == src2) ? src3 : old
+};
+
+/** Branch conditions (comparing src1 against src2). */
+enum class BranchCond : std::uint8_t {
+    kEq, kNe, kLt, kGe,
+};
+
+/**
+ * One static instruction. A fixed-size POD so programs are cheap to
+ * copy and index.
+ */
+struct Inst
+{
+    Op op = Op::kNop;
+    AluFn fn = AluFn::kAdd;
+    RmwKind rmw = RmwKind::kFetchAdd;
+    BranchCond cond = BranchCond::kEq;
+    Reg dst = 0;
+    Reg src1 = 0;
+    Reg src2 = 0;
+    Reg src3 = 0;
+    std::int64_t imm = 0;
+    std::int32_t target = 0;   ///< branch/jump destination (pc index)
+    std::uint8_t latency = 0;  ///< 0 = class default execution latency
+
+    bool isMemRef() const
+    {
+        return op == Op::kLoad || op == Op::kStore || op == Op::kRmw;
+    }
+};
+
+/**
+ * A static program executed by one thread. Execution starts at pc 0
+ * with all registers zero and runs until kHalt.
+ */
+struct Program
+{
+    std::string name;
+    std::vector<Inst> code;
+
+    /**
+     * Check structural validity (targets in range, registers legal,
+     * a halt is reachable-ish i.e. present). Calls fatal() on error.
+     */
+    void validate() const;
+
+    /** Human-readable disassembly of one instruction. */
+    static std::string disasm(const Inst &inst);
+};
+
+/** Evaluate an ALU function (shared by core and interpreter). */
+std::int64_t evalAlu(AluFn fn, std::int64_t a, std::int64_t b);
+
+/** Evaluate a branch condition (shared by core and interpreter). */
+bool evalCond(BranchCond cond, std::int64_t a, std::int64_t b);
+
+/**
+ * Apply an RMW: returns the new memory value given old value and
+ * operands (shared by core and interpreter).
+ */
+std::int64_t applyRmw(RmwKind kind, std::int64_t old_val,
+                      std::int64_t operand, std::int64_t desired);
+
+} // namespace fa::isa
+
+#endif // FA_ISA_PROGRAM_HH

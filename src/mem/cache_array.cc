@@ -1,0 +1,158 @@
+#include "mem/cache_array.hh"
+
+#include "common/log.hh"
+
+namespace fa::mem {
+
+const char *
+cacheStateName(CacheState s)
+{
+    switch (s) {
+      case CacheState::kInvalid:   return "I";
+      case CacheState::kShared:    return "S";
+      case CacheState::kOwned:     return "O";
+      case CacheState::kExclusive: return "E";
+      case CacheState::kModified:  return "M";
+    }
+    return "?";
+}
+
+CacheArray::CacheArray(unsigned sets, unsigned num_ways)
+    : setsCount(sets), waysCount(num_ways),
+      ways(static_cast<size_t>(sets) * num_ways)
+{
+    if (sets == 0 || num_ways == 0)
+        fatal("cache array must have nonzero sets and ways");
+    if ((sets & (sets - 1)) != 0)
+        fatal("cache array sets must be a power of two (got %u)", sets);
+}
+
+unsigned
+CacheArray::setOf(Addr line) const
+{
+    // XOR-folded index hashing: regular strides (per-thread regions,
+    // power-of-two data layouts) would otherwise alias whole regions
+    // into a handful of sets; real tag arrays hash index bits for
+    // the same reason.
+    Addr idx = line >> kLineShift;
+    idx ^= idx >> 13;
+    idx ^= idx >> 21;
+    return static_cast<unsigned>(idx & (setsCount - 1));
+}
+
+CacheArray::Way *
+CacheArray::findWay(Addr line)
+{
+    unsigned set = setOf(line);
+    Way *base = &ways[static_cast<size_t>(set) * waysCount];
+    for (unsigned w = 0; w < waysCount; ++w) {
+        if (isValid(base[w].state) && base[w].line == line)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const CacheArray::Way *
+CacheArray::findWay(Addr line) const
+{
+    return const_cast<CacheArray *>(this)->findWay(line);
+}
+
+CacheState
+CacheArray::stateOf(Addr line) const
+{
+    const Way *w = findWay(line);
+    return w ? w->state : CacheState::kInvalid;
+}
+
+void
+CacheArray::touch(Addr line, Cycle now)
+{
+    if (Way *w = findWay(line))
+        w->lastUse = now;
+}
+
+void
+CacheArray::setState(Addr line, CacheState st)
+{
+    Way *w = findWay(line);
+    if (!w)
+        panic("setState on absent line %#lx",
+              static_cast<unsigned long>(line));
+    if (st == CacheState::kInvalid)
+        panic("setState to I; use invalidate()");
+    w->state = st;
+}
+
+void
+CacheArray::invalidate(Addr line)
+{
+    if (Way *w = findWay(line))
+        w->state = CacheState::kInvalid;
+}
+
+CacheArray::InsertResult
+CacheArray::insert(Addr line, CacheState st, Cycle now,
+                   const LockedFn &locked)
+{
+    InsertResult res;
+    if (Way *w = findWay(line)) {
+        w->state = st;
+        w->lastUse = now;
+        res.ok = true;
+        return res;
+    }
+
+    unsigned set = setOf(line);
+    Way *base = &ways[static_cast<size_t>(set) * waysCount];
+    Way *victim = nullptr;
+    for (unsigned w = 0; w < waysCount; ++w) {
+        if (!isValid(base[w].state)) {
+            victim = &base[w];
+            break;
+        }
+    }
+    if (!victim) {
+        // Evict the least recently used way whose line is not locked.
+        for (unsigned w = 0; w < waysCount; ++w) {
+            if (locked && locked(base[w].line))
+                continue;
+            if (!victim || base[w].lastUse < victim->lastUse)
+                victim = &base[w];
+        }
+        if (!victim)
+            return res;  // every way locked: caller must retry
+        res.evicted = true;
+        res.victimLine = victim->line;
+        res.victimState = victim->state;
+    }
+
+    victim->line = line;
+    victim->state = st;
+    victim->lastUse = now;
+    res.ok = true;
+    return res;
+}
+
+unsigned
+CacheArray::population() const
+{
+    unsigned n = 0;
+    for (const Way &w : ways)
+        if (isValid(w.state))
+            ++n;
+    return n;
+}
+
+std::vector<Addr>
+CacheArray::linesInSet(unsigned set) const
+{
+    std::vector<Addr> out;
+    const Way *base = &ways[static_cast<size_t>(set) * waysCount];
+    for (unsigned w = 0; w < waysCount; ++w)
+        if (isValid(base[w].state))
+            out.push_back(base[w].line);
+    return out;
+}
+
+} // namespace fa::mem

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Set-associative tag/state array with LRU replacement and support
+ * for excluding locked ways from victim selection (paper §3.2.4:
+ * locked cachelines must never be chosen as replacement victims).
+ *
+ * Data is not stored here: the simulator keeps a single functional
+ * memory image whose timing of updates is controlled by the core and
+ * coherence models, so cache arrays only need tags and MESI state.
+ */
+
+#ifndef FA_MEM_CACHE_ARRAY_HH
+#define FA_MEM_CACHE_ARRAY_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fa::mem {
+
+/** MESI stable states of a private cacheline. */
+enum class CacheState : std::uint8_t {
+    kInvalid,
+    kShared,
+    kOwned,      ///< MOESI O: readable, dirty, serves remote reads
+    kExclusive,
+    kModified,
+};
+
+/** Does this state confer write permission? */
+constexpr bool
+hasWritePerm(CacheState s)
+{
+    return s == CacheState::kExclusive || s == CacheState::kModified;
+}
+
+/** Does this state confer read permission? */
+constexpr bool
+isValid(CacheState s)
+{
+    return s != CacheState::kInvalid;
+}
+
+const char *cacheStateName(CacheState s);
+
+/**
+ * Tag/state array. Line addresses passed in must be line-aligned.
+ */
+class CacheArray
+{
+  public:
+    /** Predicate deciding if a resident line may not be evicted. */
+    using LockedFn = std::function<bool(Addr line)>;
+
+    CacheArray(unsigned sets, unsigned ways);
+
+    unsigned numSets() const { return setsCount; }
+    unsigned numWays() const { return waysCount; }
+
+    /** The set index a line maps to. */
+    unsigned setOf(Addr line) const;
+
+    /** Current state of a line (kInvalid if absent). */
+    CacheState stateOf(Addr line) const;
+
+    bool contains(Addr line) const
+    {
+        return isValid(stateOf(line));
+    }
+
+    /** Update LRU on an access. No-op if absent. */
+    void touch(Addr line, Cycle now);
+
+    /** Change the state of a resident line; panics if absent. */
+    void setState(Addr line, CacheState st);
+
+    /** Drop a line (no-op if absent). */
+    void invalidate(Addr line);
+
+    /** Outcome of insert(). */
+    struct InsertResult
+    {
+        bool ok = false;          ///< false: every way is locked
+        bool evicted = false;
+        Addr victimLine = 0;
+        CacheState victimState = CacheState::kInvalid;
+    };
+
+    /**
+     * Insert a line, evicting the LRU unlocked way if the set is
+     * full. If the line is already resident its state is upgraded
+     * in place. Returns ok=false when all ways hold locked lines.
+     */
+    InsertResult insert(Addr line, CacheState st, Cycle now,
+                        const LockedFn &locked);
+
+    /** Number of valid lines currently resident (for tests). */
+    unsigned population() const;
+
+    /** Enumerate resident lines of a set (for tests). */
+    std::vector<Addr> linesInSet(unsigned set) const;
+
+  private:
+    struct Way
+    {
+        Addr line = 0;
+        CacheState state = CacheState::kInvalid;
+        Cycle lastUse = 0;
+    };
+
+    Way *findWay(Addr line);
+    const Way *findWay(Addr line) const;
+
+    unsigned setsCount;
+    unsigned waysCount;
+    std::vector<Way> ways;  ///< sets * ways, row-major
+};
+
+} // namespace fa::mem
+
+#endif // FA_MEM_CACHE_ARRAY_HH

@@ -1,0 +1,115 @@
+#include "mem/directory.hh"
+
+#include "common/log.hh"
+
+namespace fa::mem {
+
+namespace {
+
+unsigned
+roundUpPow2(unsigned v)
+{
+    unsigned p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+Directory::Directory(unsigned sets, unsigned num_ways)
+    : setsCount(roundUpPow2(sets ? sets : 1)), waysCount(num_ways),
+      entries(static_cast<size_t>(setsCount) * num_ways)
+{
+    if (num_ways == 0)
+        fatal("directory must have nonzero ways");
+}
+
+unsigned
+Directory::setOf(Addr line) const
+{
+    // XOR-folded index hashing, as in CacheArray: an inclusive
+    // directory is especially sensitive to strided aliasing, since a
+    // conflicting set forces recalls of live private lines.
+    Addr idx = line >> kLineShift;
+    idx ^= idx >> 13;
+    idx ^= idx >> 21;
+    return static_cast<unsigned>(idx & (setsCount - 1));
+}
+
+DirEntry *
+Directory::find(Addr line)
+{
+    unsigned set = setOf(line);
+    DirEntry *base = &entries[static_cast<size_t>(set) * waysCount];
+    for (unsigned w = 0; w < waysCount; ++w)
+        if (base[w].valid && base[w].line == line)
+            return &base[w];
+    return nullptr;
+}
+
+const DirEntry *
+Directory::find(Addr line) const
+{
+    return const_cast<Directory *>(this)->find(line);
+}
+
+DirEntry *
+Directory::findFree(Addr line)
+{
+    unsigned set = setOf(line);
+    DirEntry *base = &entries[static_cast<size_t>(set) * waysCount];
+    for (unsigned w = 0; w < waysCount; ++w)
+        if (!base[w].valid)
+            return &base[w];
+    return nullptr;
+}
+
+DirEntry *
+Directory::chooseVictim(Addr line)
+{
+    unsigned set = setOf(line);
+    DirEntry *base = &entries[static_cast<size_t>(set) * waysCount];
+    DirEntry *victim = nullptr;
+    for (unsigned w = 0; w < waysCount; ++w) {
+        if (!base[w].valid)
+            panic("chooseVictim called on a set with free ways");
+        if (!victim || base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    return victim;
+}
+
+DirEntry *
+Directory::allocate(DirEntry *slot, Addr line, Cycle now)
+{
+    if (slot->valid)
+        panic("allocating over a valid directory entry");
+    slot->valid = true;
+    slot->line = line;
+    slot->sharers = 0;
+    slot->exclusive = false;
+    slot->owner = kNoCore;
+    slot->lastUse = now;
+    return slot;
+}
+
+void
+Directory::release(DirEntry *entry)
+{
+    if (entry->sharers != 0)
+        panic("releasing directory entry with live sharers");
+    entry->valid = false;
+}
+
+unsigned
+Directory::population() const
+{
+    unsigned n = 0;
+    for (const DirEntry &e : entries)
+        if (e.valid)
+            ++n;
+    return n;
+}
+
+} // namespace fa::mem

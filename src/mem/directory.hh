@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Inclusive full-map directory over the private cache hierarchies.
+ *
+ * The directory is finite (coverage-parameterized, Table 1), so
+ * allocating an entry can require recalling all private copies of a
+ * victim line — which may be blocked by a locked L1D line. That is
+ * exactly the inclusion-driven deadlock scenario of paper §3.2.5,
+ * resolved there (and here) by the core-side watchdog.
+ */
+
+#ifndef FA_MEM_DIRECTORY_HH
+#define FA_MEM_DIRECTORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fa::mem {
+
+/** Maximum cores a sharer bitmask supports. */
+constexpr unsigned kMaxCores = 64;
+
+/** One directory entry tracking the private holders of a line. */
+struct DirEntry
+{
+    Addr line = 0;
+    bool valid = false;
+    std::uint64_t sharers = 0;  ///< bitmask of cores holding the line
+    bool exclusive = false;     ///< one holder with M/E permission
+    CoreId owner = kNoCore;     ///< valid when exclusive
+    CoreId forwarder = kNoCore; ///< MESIF F-state holder (if sharer)
+    CoreId dirtyOwner = kNoCore;///< MOESI O-state holder (if sharer)
+    Cycle lastUse = 0;
+
+    bool
+    hasSharer(CoreId c) const
+    {
+        return (sharers >> c) & 1;
+    }
+
+    void
+    addSharer(CoreId c)
+    {
+        sharers |= std::uint64_t{1} << c;
+    }
+
+    void
+    removeSharer(CoreId c)
+    {
+        sharers &= ~(std::uint64_t{1} << c);
+        if (exclusive && owner == c) {
+            exclusive = false;
+            owner = kNoCore;
+        }
+    }
+
+    unsigned sharerCount() const
+    {
+        return static_cast<unsigned>(__builtin_popcountll(sharers));
+    }
+};
+
+/**
+ * Finite set-associative directory. A valid entry exists for every
+ * line resident in any private cache (inclusion invariant).
+ */
+class Directory
+{
+  public:
+    Directory(unsigned sets, unsigned ways);
+
+    unsigned numSets() const { return setsCount; }
+    unsigned numWays() const { return waysCount; }
+
+    unsigned setOf(Addr line) const;
+
+    /** Find the entry for a line; nullptr if absent. */
+    DirEntry *find(Addr line);
+    const DirEntry *find(Addr line) const;
+
+    /**
+     * Find a free way in the line's set, or nullptr if the set is
+     * full (the caller must then recall a victim).
+     */
+    DirEntry *findFree(Addr line);
+
+    /**
+     * Pick the LRU valid entry of the line's set as recall victim.
+     * Never returns nullptr on a full set.
+     */
+    DirEntry *chooseVictim(Addr line);
+
+    /** Initialize a (free) entry for a line. */
+    DirEntry *allocate(DirEntry *slot, Addr line, Cycle now);
+
+    /** Invalidate an entry (all copies must already be recalled). */
+    void release(DirEntry *entry);
+
+    /** Number of valid entries (for tests). */
+    unsigned population() const;
+
+    /** Direct slot access by set/way (victim scans). */
+    DirEntry *
+    entryAt(unsigned set, unsigned way)
+    {
+        return &entries[static_cast<size_t>(set) * waysCount + way];
+    }
+
+  private:
+    unsigned setsCount;
+    unsigned waysCount;
+    std::vector<DirEntry> entries;
+};
+
+} // namespace fa::mem
+
+#endif // FA_MEM_DIRECTORY_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Memory-hierarchy configuration (Table 1 of the paper).
+ */
+
+#ifndef FA_MEM_MEM_CONFIG_HH
+#define FA_MEM_MEM_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace fa::mem {
+
+/** Coherence protocol variant. */
+enum class Protocol : std::uint8_t {
+    kMesi,   ///< shared data served by the L3 (the paper's setup)
+    kMesif,  ///< one sharer holds F and forwards cache-to-cache
+    kMoesi,  ///< dirty sharing: the O-state owner forwards and
+             ///< defers the writeback to its own eviction
+};
+
+/**
+ * Parameters of the private L1D/L2, shared L3, inclusive directory,
+ * interconnect and main memory. Latencies are in core cycles.
+ */
+struct MemConfig
+{
+    Protocol protocol = Protocol::kMesi;
+
+    // Private L1D (where cache locking lives).
+    unsigned l1Sets = 64;          ///< 48KB, 12 ways, 64B lines
+    unsigned l1Ways = 12;
+    unsigned l1HitLatency = 4;
+
+    // Private L2 (inclusive of L1).
+    unsigned l2Sets = 512;         ///< 256KB, 8 ways
+    unsigned l2Ways = 8;
+    unsigned l2HitLatency = 14;    ///< 4 tags + 10 data
+
+    // Shared L3 (tags only; data is functional).
+    unsigned l3Sets = 16384;       ///< 16MB, 16 ways
+    unsigned l3Ways = 16;
+    unsigned l3TagLatency = 5;
+    unsigned l3DataLatency = 45;
+
+    // Inclusive directory.
+    double dirCoverage = 4.0;      ///< entries = coverage * cores * L1 lines
+    unsigned dirWays = 16;
+    unsigned dirLatency = 3;
+
+    // Crossbar interconnect: per-hop latency.
+    unsigned netLatency = 12;
+
+    // Main memory access (80 ns at 3 GHz).
+    unsigned memLatency = 240;
+
+    // Outstanding misses per core.
+    unsigned mshrs = 16;
+
+    /** Total directory entries for an n-core system. */
+    unsigned
+    dirEntries(unsigned cores) const
+    {
+        return static_cast<unsigned>(
+            dirCoverage * cores * l1Sets * l1Ways);
+    }
+};
+
+} // namespace fa::mem
+
+#endif // FA_MEM_MEM_CONFIG_HH

@@ -1,0 +1,595 @@
+#include "mem/mem_system.hh"
+
+#include "common/log.hh"
+
+namespace fa::mem {
+
+MemSystem::MemSystem(const MemConfig &config, unsigned num_cores)
+    : cfg(config), numCores(num_cores),
+      l3(cfg.l3Sets, cfg.l3Ways),
+      dir(cfg.dirEntries(num_cores) / cfg.dirWays, cfg.dirWays)
+{
+    if (num_cores == 0 || num_cores > kMaxCores)
+        fatal("core count %u out of range [1, %u]", num_cores, kMaxCores);
+    priv.reserve(num_cores);
+    for (unsigned c = 0; c < num_cores; ++c)
+        priv.emplace_back(cfg);
+    cores.resize(num_cores, nullptr);
+    mshr.resize(num_cores);
+}
+
+void
+MemSystem::attachCore(CoreId core, CoreMemIf *iface)
+{
+    cores.at(core) = iface;
+}
+
+CacheArray::LockedFn
+MemSystem::lockedFn(CoreId core) const
+{
+    const CoreMemIf *iface = cores[core];
+    return [iface](Addr line) {
+        return iface && iface->isLineLocked(line);
+    };
+}
+
+AccessOutcome
+MemSystem::access(CoreId core, Addr line, bool want_write, SeqNum waiter,
+                  Cycle now, bool prefetch)
+{
+    if (line != lineOf(line))
+        panic("access with unaligned line %#lx",
+              static_cast<unsigned long>(line));
+
+    PrivCaches &pc = priv[core];
+    CacheState s1 = pc.l1.stateOf(line);
+    if (isValid(s1) && (!want_write || hasWritePerm(s1))) {
+        if (want_write && s1 == CacheState::kExclusive) {
+            pc.l1.setState(line, CacheState::kModified);
+            pc.l2.setState(line, CacheState::kModified);
+        }
+        pc.l1.touch(line, now);
+        ++stats.l1Hits;
+        return AccessOutcome::kL1Hit;
+    }
+
+    CacheState s2 = pc.l2.stateOf(line);
+    if (isValid(s2) && (!want_write || hasWritePerm(s2))) {
+        CacheState st = s2;
+        if (want_write && st == CacheState::kExclusive) {
+            st = CacheState::kModified;
+            pc.l2.setState(line, st);
+        }
+        auto r1 = pc.l1.insert(line, st, now, lockedFn(core));
+        if (!r1.ok) {
+            ++stats.fillBlockedOnLock;
+            return AccessOutcome::kBlocked;
+        }
+        // An L1 victim silently stays in the (inclusive) L2.
+        pc.l2.touch(line, now);
+        ++stats.l2Hits;
+        return AccessOutcome::kL2Hit;
+    }
+
+    // Miss: coalesce with an outstanding transaction or start one.
+    auto &core_mshr = mshr[core];
+    auto it = core_mshr.find(line);
+    if (it != core_mshr.end()) {
+        Txn *txn = nullptr;
+        for (auto &t : txns) {
+            if (t->id == it->second) {
+                txn = t.get();
+                break;
+            }
+        }
+        if (!txn)
+            panic("MSHR points at a missing transaction");
+        if (want_write && txn->type == TxnType::kGetS)
+            return AccessOutcome::kBlocked;
+        if (!prefetch)
+            txn->waiters.push_back(waiter);
+        return AccessOutcome::kMiss;
+    }
+    if (core_mshr.size() >= cfg.mshrs)
+        return AccessOutcome::kBlocked;
+
+    auto txn = std::make_unique<Txn>();
+    txn->id = nextTxnId++;
+    txn->core = core;
+    txn->line = line;
+    txn->prefetch = prefetch;
+    txn->type = !want_write ? TxnType::kGetS
+        : (isValid(s2) ? TxnType::kUpgrade : TxnType::kGetX);
+    txn->phase = Phase::kToDir;
+    txn->readyAt = now + cfg.l2HitLatency + cfg.netLatency;
+    if (!prefetch)
+        txn->waiters.push_back(waiter);
+    else
+        ++stats.prefetchesIssued;
+    core_mshr[line] = txn->id;
+    ++stats.l1Misses;
+    ++stats.transactions;
+    ++stats.networkMsgs;
+    txns.push_back(std::move(txn));
+    return AccessOutcome::kMiss;
+}
+
+bool
+MemSystem::privHasWritePerm(CoreId core, Addr line) const
+{
+    return hasWritePerm(priv[core].l2.stateOf(line));
+}
+
+bool
+MemSystem::privHolds(CoreId core, Addr line) const
+{
+    return priv[core].l2.contains(line);
+}
+
+bool
+MemSystem::l1Holds(CoreId core, Addr line) const
+{
+    return priv[core].l1.contains(line);
+}
+
+CacheState
+MemSystem::privState(CoreId core, Addr line) const
+{
+    return priv[core].l2.stateOf(line);
+}
+
+bool
+MemSystem::performStoreWrite(CoreId core, Addr addr, std::int64_t value,
+                             Cycle now)
+{
+    Addr line = lineOf(addr);
+    PrivCaches &pc = priv[core];
+    if (!hasWritePerm(pc.l2.stateOf(line)))
+        panic("performStoreWrite without write permission");
+    if (!pc.l1.contains(line)) {
+        auto r = pc.l1.insert(line, CacheState::kModified, now,
+                              lockedFn(core));
+        if (!r.ok) {
+            ++stats.fillBlockedOnLock;
+            return false;
+        }
+    }
+    pc.l1.setState(line, CacheState::kModified);
+    pc.l2.setState(line, CacheState::kModified);
+    pc.l1.touch(line, now);
+    pc.l2.touch(line, now);
+    image.write(addr, value);
+    return true;
+}
+
+void
+MemSystem::touch(CoreId core, Addr line, Cycle now)
+{
+    priv[core].l1.touch(line, now);
+    priv[core].l2.touch(line, now);
+}
+
+bool
+MemSystem::tryInvalidateCore(CoreId core, Addr line, Cycle now)
+{
+    if (cores[core] && cores[core]->isLineLocked(line)) {
+        ++stats.invBlockedRetries;
+        return false;
+    }
+    PrivCaches &pc = priv[core];
+    bool present = pc.l2.contains(line) || pc.l1.contains(line);
+    pc.l1.invalidate(line);
+    pc.l2.invalidate(line);
+    ++stats.invalidationsSent;
+    if (present && cores[core])
+        cores[core]->onLineLost(line, now);
+    return true;
+}
+
+bool
+MemSystem::tryDowngradeCore(CoreId core, Addr line, CacheState target)
+{
+    if (cores[core] && cores[core]->isLineLocked(line)) {
+        ++stats.invBlockedRetries;
+        return false;
+    }
+    PrivCaches &pc = priv[core];
+    if (pc.l2.contains(line))
+        pc.l2.setState(line, target);
+    if (pc.l1.contains(line))
+        pc.l1.setState(line, target);
+    ++stats.invalidationsSent;
+    return true;
+}
+
+void
+MemSystem::dirRemoveSharer(Addr line, CoreId core)
+{
+    DirEntry *entry = dir.find(line);
+    if (!entry)
+        return;
+    bool was_owner = entry->exclusive && entry->owner == core;
+    bool was_dirty_owner = entry->dirtyOwner == core;
+    entry->removeSharer(core);
+    if (was_owner || was_dirty_owner) {
+        ++stats.writebacks;
+        l3Insert(line, entry->lastUse);
+    }
+    if (was_dirty_owner)
+        entry->dirtyOwner = kNoCore;
+}
+
+void
+MemSystem::l3Insert(Addr line, Cycle now)
+{
+    // L3 victims are silently dropped: data is functional and the L3
+    // is not an inclusion point (the directory is).
+    l3.insert(line, CacheState::kShared, now, nullptr);
+}
+
+void
+MemSystem::dumpTxns(Cycle now) const
+{
+    for (const auto &t : txns) {
+        tracef("%llu TXN id=%llu core=%u line=%llx type=%d phase=%d "
+               "readyAt=%llu inv=%llx victim=%llx vmask=%llx done=%d",
+               (unsigned long long)now, (unsigned long long)t->id,
+               t->core, (unsigned long long)t->line,
+               static_cast<int>(t->type), static_cast<int>(t->phase),
+               (unsigned long long)t->readyAt,
+               (unsigned long long)t->invMask,
+               (unsigned long long)t->victimLine,
+               (unsigned long long)t->victimMask, t->done);
+    }
+    for (const auto &[line, id] : lineBusy) {
+        tracef("  busy line=%llx txn=%llu",
+               (unsigned long long)line, (unsigned long long)id);
+    }
+}
+
+void
+MemSystem::tick(Cycle now)
+{
+    if (txns.empty())
+        return;
+    for (size_t i = 0; i < txns.size(); ++i)
+        stepTxn(*txns[i], now);
+    // Sweep completed transactions.
+    size_t keep = 0;
+    for (size_t i = 0; i < txns.size(); ++i) {
+        if (!txns[i]->done) {
+            if (keep != i)
+                txns[keep] = std::move(txns[i]);
+            ++keep;
+        }
+    }
+    txns.resize(keep);
+}
+
+void
+MemSystem::beginDirLookup(Txn &txn, Cycle now)
+{
+    lineBusy[txn.line] = txn.id;
+    txn.phase = Phase::kDirLookup;
+    txn.readyAt = now + cfg.dirLatency;
+}
+
+void
+MemSystem::stepTxn(Txn &txn, Cycle now)
+{
+    if (txn.done || txn.readyAt > now)
+        return;
+
+    switch (txn.phase) {
+      case Phase::kToDir: {
+        auto busy = lineBusy.find(txn.line);
+        if (busy != lineBusy.end()) {
+            txn.phase = Phase::kQueuedAtDir;
+            lineQueue[txn.line].push_back(txn.id);
+        } else {
+            beginDirLookup(txn, now);
+        }
+        break;
+      }
+      case Phase::kQueuedAtDir:
+        break;  // promoted by releaseLine()
+      case Phase::kDirLookup: {
+        DirEntry *entry = dir.find(txn.line);
+        if (!entry) {
+            DirEntry *slot = dir.findFree(txn.line);
+            if (!slot) {
+                // Choose an LRU victim among entries whose line is
+                // not owned by an in-flight transaction; free
+                // zero-sharer entries without a recall.
+                DirEntry *victim = nullptr;
+                unsigned set = dir.setOf(txn.line);
+                for (unsigned w = 0; w < dir.numWays(); ++w) {
+                    DirEntry *cand = dir.entryAt(set, w);
+                    if (lineBusy.count(cand->line))
+                        continue;
+                    if (!victim || cand->lastUse < victim->lastUse)
+                        victim = cand;
+                }
+                if (!victim) {
+                    txn.readyAt = now + 1;  // all candidates busy
+                    return;
+                }
+                if (victim->sharers == 0) {
+                    dir.release(victim);
+                    slot = victim;
+                } else {
+                    txn.victimLine = victim->line;
+                    txn.victimMask = victim->sharers;
+                    txn.victimWasExclusive = victim->exclusive;
+                    txn.holdsVictimBusy = true;
+                    lineBusy[victim->line] = txn.id;
+                    ++stats.directoryRecalls;
+                    txn.phase = Phase::kVictimRecall;
+                    txn.readyAt = now + cfg.netLatency;
+                    return;
+                }
+            }
+            entry = dir.allocate(slot, txn.line, now);
+        }
+        entry->lastUse = now;
+        processAtDir(txn, now);
+        break;
+      }
+      case Phase::kVictimRecall: {
+        for (CoreId c = 0; c < numCores && txn.victimMask; ++c) {
+            std::uint64_t bit = std::uint64_t{1} << c;
+            if ((txn.victimMask & bit) &&
+                tryInvalidateCore(c, txn.victimLine, now)) {
+                txn.victimMask &= ~bit;
+                ++stats.networkMsgs;
+            }
+        }
+        if (txn.victimMask != 0)
+            return;  // retry next cycle (possibly blocked on a lock)
+        DirEntry *victim = dir.find(txn.victimLine);
+        if (victim) {
+            if (txn.victimWasExclusive) {
+                ++stats.writebacks;
+                l3Insert(txn.victimLine, now);
+            }
+            victim->sharers = 0;
+            victim->exclusive = false;
+            victim->owner = kNoCore;
+            dir.release(victim);
+        }
+        releaseLine(txn.victimLine, now);
+        txn.holdsVictimBusy = false;
+        DirEntry *slot = dir.findFree(txn.line);
+        if (!slot)
+            panic("no free directory way after victim recall");
+        DirEntry *entry = dir.allocate(slot, txn.line, now);
+        entry->lastUse = now;
+        processAtDir(txn, now);
+        break;
+      }
+      case Phase::kInvSharers: {
+        for (CoreId c = 0; c < numCores && txn.invMask; ++c) {
+            std::uint64_t bit = std::uint64_t{1} << c;
+            if ((txn.invMask & bit) && tryInvalidateCore(c, txn.line, now)) {
+                txn.invMask &= ~bit;
+                ++stats.networkMsgs;
+            }
+        }
+        if (txn.invMask != 0)
+            return;
+        finishWriteGrant(txn, now);
+        break;
+      }
+      case Phase::kDowngradeOwner: {
+        bool moesi = cfg.protocol == Protocol::kMoesi;
+        bool was_dirty =
+            privState(txn.downgradeCore, txn.line) ==
+            CacheState::kModified;
+        CacheState target = moesi && was_dirty ? CacheState::kOwned
+                                               : CacheState::kShared;
+        if (!tryDowngradeCore(txn.downgradeCore, txn.line, target))
+            return;  // blocked on a locked line; retry
+        ++stats.networkMsgs;
+        DirEntry *entry = dir.find(txn.line);
+        if (!entry)
+            panic("directory entry vanished during downgrade");
+        if (target == CacheState::kOwned) {
+            // MOESI: the dirty owner keeps the only valid copy and
+            // serves future readers; the writeback is deferred to
+            // its own eviction.
+            entry->dirtyOwner = txn.downgradeCore;
+        } else {
+            ++stats.writebacks;
+            l3Insert(txn.line, now);
+        }
+        entry->exclusive = false;
+        entry->owner = kNoCore;
+        entry->addSharer(txn.core);
+        entry->forwarder = txn.core;
+        txn.grantState = CacheState::kShared;
+        txn.phase = Phase::kToRequester;
+        txn.readyAt = now + cfg.netLatency;  // owner -> requester data
+        ++stats.networkMsgs;
+        break;
+      }
+      case Phase::kToRequester:
+        txn.phase = Phase::kFill;
+        [[fallthrough]];
+      case Phase::kFill:
+        if (!installLine(txn, now)) {
+            txn.readyAt = now + 1;
+            return;
+        }
+        for (SeqNum w : txn.waiters) {
+            cores[txn.core]->onFill(w, txn.line,
+                                    hasWritePerm(txn.grantState), now);
+        }
+        mshr[txn.core].erase(txn.line);
+        releaseLine(txn.line, now);
+        txn.done = true;
+        break;
+    }
+}
+
+void
+MemSystem::processAtDir(Txn &txn, Cycle now)
+{
+    DirEntry *entry = dir.find(txn.line);
+    if (!entry)
+        panic("processAtDir without a directory entry");
+
+    std::uint64_t self_bit = std::uint64_t{1} << txn.core;
+
+    if (txn.type == TxnType::kGetS) {
+        if (entry->exclusive && entry->owner != txn.core) {
+            txn.downgradeCore = entry->owner;
+            txn.phase = Phase::kDowngradeOwner;
+            txn.readyAt = now + cfg.netLatency;
+            ++stats.networkMsgs;
+            return;
+        }
+        Cycle data_lat;
+        if (entry->sharers == 0) {
+            data_lat = dataFetchLatency(txn.line, now);
+            txn.grantState = CacheState::kExclusive;
+            entry->exclusive = true;
+            entry->owner = txn.core;
+        } else {
+            // Shared grant. Under MESIF a live forwarder — and
+            // under MOESI the dirty owner — serves the data
+            // cache-to-cache; the requester inherits F.
+            bool fwd_hit = cfg.protocol == Protocol::kMesif &&
+                entry->forwarder != kNoCore &&
+                entry->hasSharer(entry->forwarder);
+            bool owner_hit = cfg.protocol == Protocol::kMoesi &&
+                entry->dirtyOwner != kNoCore &&
+                entry->hasSharer(entry->dirtyOwner);
+            if (fwd_hit || owner_hit) {
+                data_lat = cfg.netLatency;
+                ++stats.mesifForwards;
+                ++stats.networkMsgs;
+            } else {
+                data_lat = dataFetchLatency(txn.line, now);
+            }
+            txn.grantState = CacheState::kShared;
+        }
+        entry->addSharer(txn.core);
+        entry->forwarder = txn.core;
+        txn.phase = Phase::kToRequester;
+        txn.readyAt = now + data_lat + cfg.netLatency;
+        ++stats.networkMsgs;
+        return;
+    }
+
+    // GetX / Upgrade.
+    if (txn.type == TxnType::kUpgrade && !entry->hasSharer(txn.core)) {
+        // Our shared copy was invalidated while the upgrade was in
+        // flight: fall back to a full GetX.
+        txn.type = TxnType::kGetX;
+    }
+    txn.dataFromOwner = entry->exclusive && entry->owner != txn.core;
+    txn.invMask = entry->sharers & ~self_bit;
+    if (txn.invMask != 0) {
+        txn.phase = Phase::kInvSharers;
+        txn.readyAt = now + cfg.netLatency;
+        return;
+    }
+    finishWriteGrant(txn, now);
+}
+
+void
+MemSystem::finishWriteGrant(Txn &txn, Cycle now)
+{
+    DirEntry *entry = dir.find(txn.line);
+    if (!entry)
+        panic("finishWriteGrant without a directory entry");
+
+    Cycle data_lat = 0;
+    bool from_dirty_owner = entry->dirtyOwner != kNoCore &&
+        entry->dirtyOwner != txn.core;
+    if (txn.dataFromOwner || from_dirty_owner) {
+        data_lat = cfg.netLatency;  // cache-to-cache transfer
+        ++stats.networkMsgs;
+    } else if (txn.type == TxnType::kUpgrade) {
+        data_lat = 0;  // requester already holds the data
+    } else {
+        data_lat = dataFetchLatency(txn.line, now);
+    }
+    entry->sharers = std::uint64_t{1} << txn.core;
+    entry->exclusive = true;
+    entry->owner = txn.core;
+    entry->dirtyOwner = kNoCore;
+    txn.grantState = CacheState::kModified;
+    txn.phase = Phase::kToRequester;
+    txn.readyAt = now + data_lat + cfg.netLatency;
+    ++stats.networkMsgs;
+}
+
+Cycle
+MemSystem::dataFetchLatency(Addr line, Cycle now)
+{
+    if (l3.contains(line)) {
+        ++stats.l3Hits;
+        l3.touch(line, now);
+        return cfg.l3TagLatency + cfg.l3DataLatency;
+    }
+    ++stats.memAccesses;
+    l3Insert(line, now);
+    return cfg.l3TagLatency + cfg.memLatency;
+}
+
+bool
+MemSystem::installLine(Txn &txn, Cycle now)
+{
+    PrivCaches &pc = priv[txn.core];
+    auto locked = lockedFn(txn.core);
+
+    auto r2 = pc.l2.insert(txn.line, txn.grantState, now, locked);
+    if (!r2.ok) {
+        ++stats.fillBlockedOnLock;
+        return false;
+    }
+    if (r2.evicted) {
+        Addr v = r2.victimLine;
+        pc.l1.invalidate(v);  // L2 is inclusive of L1
+        dirRemoveSharer(v, txn.core);
+        if (cores[txn.core])
+            cores[txn.core]->onLineLost(v, now);
+    }
+
+    auto r1 = pc.l1.insert(txn.line, txn.grantState, now, locked);
+    if (!r1.ok) {
+        ++stats.fillBlockedOnLock;
+        return false;  // retry; the L2 copy is already installed
+    }
+    // An L1 victim silently remains in the inclusive L2.
+    pc.l2.setState(txn.line, txn.grantState);
+    return true;
+}
+
+void
+MemSystem::releaseLine(Addr line, Cycle now)
+{
+    lineBusy.erase(line);
+    auto it = lineQueue.find(line);
+    if (it == lineQueue.end())
+        return;
+    if (it->second.empty()) {
+        lineQueue.erase(it);
+        return;
+    }
+    std::uint64_t next_id = it->second.front();
+    it->second.pop_front();
+    if (it->second.empty())
+        lineQueue.erase(it);
+    for (auto &t : txns) {
+        if (t->id == next_id) {
+            beginDirLookup(*t, now);
+            return;
+        }
+    }
+    panic("queued transaction %llu not found",
+          static_cast<unsigned long long>(next_id));
+}
+
+} // namespace fa::mem

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * The coherent memory hierarchy: per-core private L1D+L2 (inclusive
+ * pair), a shared L3 tag model, an inclusive finite directory, and a
+ * transaction engine implementing a 3-hop directory protocol (MESI,
+ * MESIF or MOESI) over a fixed-latency crossbar.
+ *
+ * The property Free atomics depend on is implemented here: a remote
+ * coherence request (invalidation or downgrade) that targets a line
+ * locked by a core's Atomic Queue is *denied* and retried until the
+ * line is unlocked (paper §1 step 2, "cache locking"). Locked lines
+ * are also excluded from local victim selection (§3.2.4), and
+ * directory-victim recalls can block on locked lines — the
+ * inclusion-driven deadlock of §3.2.5, broken by the core watchdog.
+ */
+
+#ifndef FA_MEM_MEM_SYSTEM_HH
+#define FA_MEM_MEM_SYSTEM_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mem_image.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache_array.hh"
+#include "mem/directory.hh"
+#include "mem/mem_config.hh"
+
+namespace fa::mem {
+
+/**
+ * Callbacks the memory system makes into a core model. The core
+ * exposes its lock state (Atomic Queue contents) and receives fill
+ * and line-loss notifications.
+ */
+class CoreMemIf
+{
+  public:
+    virtual ~CoreMemIf() = default;
+
+    /**
+     * A previously missed request completed: the line is now resident
+     * in L1 with (at least) the requested permission.
+     */
+    virtual void onFill(SeqNum waiter, Addr line, bool write_perm,
+                        Cycle now) = 0;
+
+    /**
+     * The line left this core's private hierarchy entirely (remote
+     * invalidation or local eviction). The core must snoop its load
+     * queue: performed-but-uncommitted loads to this line can no
+     * longer be monitored and must be squashed (TSO safety net).
+     */
+    virtual void onLineLost(Addr line, Cycle now) = 0;
+
+    /** Is this line locked by the core's Atomic Queue? */
+    virtual bool isLineLocked(Addr line) const = 0;
+};
+
+/** Result of a timed access. */
+enum class AccessOutcome : std::uint8_t {
+    kL1Hit,    ///< data usable after l1HitLatency
+    kL2Hit,    ///< line refilled into L1; usable after l1+l2 latency
+    kMiss,     ///< transaction started; wait for onFill
+    kBlocked,  ///< structural conflict (MSHRs, merge type); retry later
+};
+
+/**
+ * Coherent multi-core memory hierarchy with a flat functional data
+ * image.
+ */
+class MemSystem
+{
+  public:
+    MemSystem(const MemConfig &cfg, unsigned cores);
+
+    /** Wire a core's callback interface (must be done for all cores
+     * before the first access). */
+    void attachCore(CoreId core, CoreMemIf *iface);
+
+    /**
+     * Timed access from a core for a full line.
+     *
+     * @param core       requesting core
+     * @param line       line-aligned address
+     * @param want_write request read-write (GetX) vs read (GetS)
+     * @param waiter     sequence number notified via onFill on a miss
+     * @param prefetch   non-binding: no waiter notification
+     */
+    AccessOutcome access(CoreId core, Addr line, bool want_write,
+                         SeqNum waiter, Cycle now, bool prefetch = false);
+
+    /** Does the private hierarchy hold the line with write perm? */
+    bool privHasWritePerm(CoreId core, Addr line) const;
+
+    /** Is a miss transaction for this line outstanding? */
+    bool hasPendingMiss(CoreId core, Addr line) const
+    {
+        return mshr[core].count(line) > 0;
+    }
+
+    /** Does the private hierarchy hold the line at all? */
+    bool privHolds(CoreId core, Addr line) const;
+
+    /** L1-resident? (locality statistics) */
+    bool l1Holds(CoreId core, Addr line) const;
+
+    /** Private permission state (L2 is authoritative). */
+    CacheState privState(CoreId core, Addr line) const;
+
+    /**
+     * Perform a committed store's write: requires write permission;
+     * ensures L1 residence (refill from L2 if needed), transitions
+     * to M, writes the functional image. Returns false if the L1
+     * refill is blocked because every way of the set is locked.
+     */
+    bool performStoreWrite(CoreId core, Addr addr, std::int64_t value,
+                           Cycle now);
+
+    /** Touch LRU state on a read hit. */
+    void touch(CoreId core, Addr line, Cycle now);
+
+    /** Functional data access. */
+    std::int64_t readWord(Addr addr) const { return image.read(addr); }
+    void writeWord(Addr addr, std::int64_t v) { image.write(addr, v); }
+    MemImage &memImage() { return image; }
+
+    /** Advance all in-flight transactions to cycle `now`. */
+    void tick(Cycle now);
+
+    /** True when no transaction is in flight. */
+    bool quiescent() const { return txns.empty(); }
+
+    unsigned inflightTxns() const
+    {
+        return static_cast<unsigned>(txns.size());
+    }
+
+    /** Trace every in-flight transaction (debugging aid). */
+    void dumpTxns(Cycle now) const;
+
+    const MemConfig &config() const { return cfg; }
+
+    MemStats stats;
+
+  private:
+    enum class TxnType : std::uint8_t { kGetS, kGetX, kUpgrade };
+
+    enum class Phase : std::uint8_t {
+        kToDir,         ///< request travelling to the directory
+        kQueuedAtDir,   ///< waiting for the line to become free
+        kDirLookup,     ///< directory tag access
+        kVictimRecall,  ///< recalling private copies of a dir victim
+        kInvSharers,    ///< invalidating sharers/owner (GetX/Upg)
+        kDowngradeOwner,///< downgrading the exclusive owner (GetS)
+        kToRequester,   ///< response (incl. data latency) travelling back
+        kFill,          ///< installing into the requester's L1/L2
+    };
+
+    struct Txn
+    {
+        std::uint64_t id = 0;
+        TxnType type = TxnType::kGetS;
+        CoreId core = 0;
+        Addr line = 0;
+        bool prefetch = false;
+        Phase phase = Phase::kToDir;
+        Cycle readyAt = 0;
+        std::vector<SeqNum> waiters;
+
+        // Victim recall bookkeeping.
+        Addr victimLine = 0;
+        std::uint64_t victimMask = 0;
+        bool victimWasExclusive = false;
+        bool holdsVictimBusy = false;
+
+        // Invalidation / downgrade bookkeeping.
+        std::uint64_t invMask = 0;
+        CoreId downgradeCore = kNoCore;
+        bool dataFromOwner = false;
+
+        // Grant decided during processing.
+        CacheState grantState = CacheState::kShared;
+
+        bool done = false;
+    };
+
+    struct PrivCaches
+    {
+        PrivCaches(const MemConfig &c)
+            : l1(c.l1Sets, c.l1Ways), l2(c.l2Sets, c.l2Ways)
+        {}
+        CacheArray l1;
+        CacheArray l2;
+    };
+
+    // --- helpers ---------------------------------------------------------
+
+    CacheArray::LockedFn lockedFn(CoreId core) const;
+
+    /** Try to invalidate a line from a core's private caches.
+     * Returns false (and counts a retry) if the line is locked. */
+    bool tryInvalidateCore(CoreId core, Addr line, Cycle now);
+
+    /** Try to downgrade a core's exclusive copy (to S, or to O
+     * under MOESI when dirty). */
+    bool tryDowngradeCore(CoreId core, Addr line, CacheState target);
+
+    /** Remove a core from a line's directory entry, releasing the
+     * entry when it was the last holder. */
+    void dirRemoveSharer(Addr line, CoreId core);
+
+    /** Insert into the shared L3 tags. */
+    void l3Insert(Addr line, Cycle now);
+
+    /** Install a granted line into the requester's L1+L2.
+     * Returns false when blocked by locked ways. */
+    bool installLine(Txn &txn, Cycle now);
+
+    void stepTxn(Txn &txn, Cycle now);
+    void beginDirLookup(Txn &txn, Cycle now);
+    void processAtDir(Txn &txn, Cycle now);
+    void finishWriteGrant(Txn &txn, Cycle now);
+    Cycle dataFetchLatency(Addr line, Cycle now);
+    void releaseLine(Addr line, Cycle now);
+
+    MemConfig cfg;
+    unsigned numCores;
+
+    std::vector<PrivCaches> priv;
+    std::vector<CoreMemIf *> cores;
+    CacheArray l3;
+    Directory dir;
+    MemImage image;
+
+    std::uint64_t nextTxnId = 1;
+    std::vector<std::unique_ptr<Txn>> txns;
+    std::unordered_map<Addr, std::uint64_t> lineBusy;  ///< line -> txn id
+    std::unordered_map<Addr, std::deque<std::uint64_t>> lineQueue;
+    std::vector<std::unordered_map<Addr, std::uint64_t>> mshr;
+};
+
+} // namespace fa::mem
+
+#endif // FA_MEM_MEM_SYSTEM_HH

@@ -1,0 +1,78 @@
+#include "sim/config.hh"
+
+namespace fa::sim {
+
+MachineConfig
+MachineConfig::icelake(unsigned cores)
+{
+    MachineConfig m;
+    m.name = "icelake";
+    m.cores = cores;
+    // Core defaults already match the Icelake-like Table 1 numbers.
+    return m;
+}
+
+MachineConfig
+MachineConfig::skylake(unsigned cores)
+{
+    MachineConfig m;
+    m.name = "skylake";
+    m.cores = cores;
+    m.core.fetchWidth = 4;
+    m.core.issueWidth = 8;
+    m.core.commitWidth = 8;
+    m.core.robSize = 224;
+    m.core.lqSize = 72;
+    m.core.sqSize = 56;
+    m.core.iqSize = 58;
+    m.mem.l1Sets = 64;   // 32KB, 8 ways
+    m.mem.l1Ways = 8;
+    return m;
+}
+
+MachineConfig
+MachineConfig::sandybridge(unsigned cores)
+{
+    MachineConfig m;
+    m.name = "sandybridge";
+    m.cores = cores;
+    m.core.fetchWidth = 4;
+    m.core.issueWidth = 6;
+    m.core.commitWidth = 6;
+    m.core.robSize = 168;
+    m.core.lqSize = 64;
+    m.core.sqSize = 36;
+    m.core.iqSize = 54;
+    m.mem.l1Sets = 64;   // 32KB, 8 ways
+    m.mem.l1Ways = 8;
+    return m;
+}
+
+MachineConfig
+MachineConfig::tiny(unsigned cores)
+{
+    MachineConfig m;
+    m.name = "tiny";
+    m.cores = cores;
+    m.core.robSize = 64;
+    m.core.lqSize = 24;
+    m.core.sqSize = 16;
+    m.core.iqSize = 24;
+    m.core.redirectPenalty = 4;
+    m.core.watchdogThreshold = 2000;
+    m.mem.l1Sets = 4;
+    m.mem.l1Ways = 2;
+    m.mem.l2Sets = 16;
+    m.mem.l2Ways = 4;
+    m.mem.l3Sets = 64;
+    m.mem.l3Ways = 8;
+    m.mem.dirCoverage = 2.0;
+    m.mem.dirWays = 4;
+    m.mem.netLatency = 4;
+    m.mem.memLatency = 40;
+    m.mem.l3DataLatency = 12;
+    m.mem.l2HitLatency = 6;
+    return m;
+}
+
+} // namespace fa::sim

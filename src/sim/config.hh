@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Whole-machine configuration presets (paper Table 1).
+ */
+
+#ifndef FA_SIM_CONFIG_HH
+#define FA_SIM_CONFIG_HH
+
+#include <string>
+
+#include "core/core_config.hh"
+#include "mem/mem_config.hh"
+
+namespace fa::sim {
+
+/** A multicore machine: N identical cores over one hierarchy. */
+struct MachineConfig
+{
+    std::string name = "icelake";
+    unsigned cores = 32;
+    core::CoreConfig core;
+    mem::MemConfig mem;
+
+    /** Icelake-like preset: the paper's evaluated system (Table 1).
+     * 352-entry ROB, 128/72 LQ/SQ, 48KB 12-way L1D. */
+    static MachineConfig icelake(unsigned cores = 32);
+
+    /** Skylake-like preset used in Figure 1: 224-entry ROB. */
+    static MachineConfig skylake(unsigned cores = 32);
+
+    /** Sandy-Bridge-like preset (168-entry ROB) for the ROB-size
+     * ablation; matches the machine of Rajaram et al. [41]. */
+    static MachineConfig sandybridge(unsigned cores = 32);
+
+    /** Small caches and short latencies: unit tests that need to
+     * force evictions, recalls and inclusion victims quickly. */
+    static MachineConfig tiny(unsigned cores = 4);
+};
+
+} // namespace fa::sim
+
+#endif // FA_SIM_CONFIG_HH

@@ -1,0 +1,25 @@
+#include "sim/energy.hh"
+
+namespace fa::sim {
+
+EnergyBreakdown
+computeEnergy(const EnergyParams &p, const CoreStats &c,
+              const MemStats &m)
+{
+    EnergyBreakdown e;
+    double d = 0.0;
+    d += p.issueUop * static_cast<double>(c.issuedUops);
+    d += p.commitUop * static_cast<double>(c.committedInsts);
+    d += p.l1Access * static_cast<double>(m.l1Hits + m.l1Misses);
+    d += p.l2Access * static_cast<double>(m.l2Hits + m.l1Misses);
+    d += p.l3Access * static_cast<double>(m.l3Hits);
+    d += p.memAccess * static_cast<double>(m.memAccesses);
+    d += p.coherenceMsg * static_cast<double>(m.networkMsgs +
+                                              m.invalidationsSent);
+    e.dynamicPj = d;
+    e.staticPj = p.staticActive * static_cast<double>(c.activeCycles) +
+        p.staticHalted * static_cast<double>(c.haltedCycles);
+    return e;
+}
+
+} // namespace fa::sim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Event-based processor energy model (Figure 15).
+ *
+ * The paper integrates McPAT at 22nm/0.6V; the structural effects it
+ * reports are (i) static energy proportional to execution time and
+ * (ii) dynamic energy proportional to the work performed, including
+ * instructions wasted spinning. This model captures both with
+ * per-event energies. Absolute joules are not meaningful — all
+ * results are presented normalized, as in the paper. Uncore
+ * (memory controller, network) is excluded, as in the paper.
+ */
+
+#ifndef FA_SIM_ENERGY_HH
+#define FA_SIM_ENERGY_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fa::sim {
+
+/** Per-event dynamic energies (pJ) and static power (pJ/cycle). */
+struct EnergyParams
+{
+    double commitUop = 6.0;
+    double issueUop = 4.0;       ///< includes squashed (wasted) work
+    double l1Access = 10.0;
+    double l2Access = 25.0;
+    double l3Access = 120.0;
+    double memAccess = 800.0;
+    double coherenceMsg = 15.0;
+    double staticActive = 12.0;  ///< per active core cycle
+    double staticHalted = 3.6;   ///< clock-gated core cycle (30%)
+};
+
+/** Static/dynamic split of a run's processor energy. */
+struct EnergyBreakdown
+{
+    double dynamicPj = 0.0;
+    double staticPj = 0.0;
+
+    double total() const { return dynamicPj + staticPj; }
+};
+
+/**
+ * Compute the energy of a run from aggregated statistics.
+ *
+ * @param params      event energies
+ * @param cores_total core statistics summed over all cores
+ * @param mem_stats   memory-hierarchy statistics
+ */
+EnergyBreakdown computeEnergy(const EnergyParams &params,
+                              const CoreStats &cores_total,
+                              const MemStats &mem_stats);
+
+} // namespace fa::sim
+
+#endif // FA_SIM_ENERGY_HH

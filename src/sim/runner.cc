@@ -1,0 +1,123 @@
+#include "sim/runner.hh"
+
+namespace fa::sim {
+
+namespace {
+
+double
+pct(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0.0
+                    : 100.0 * static_cast<double>(num) /
+            static_cast<double>(den);
+}
+
+} // namespace
+
+double
+RunResult::apki() const
+{
+    return core.committedInsts == 0 ? 0.0
+        : 1000.0 * static_cast<double>(core.committedAtomics) /
+            static_cast<double>(core.committedInsts);
+}
+
+double
+RunResult::avgDrainSbCycles() const
+{
+    return core.committedAtomics == 0 ? 0.0
+        : static_cast<double>(core.atomicDrainSbCycles) /
+            static_cast<double>(core.committedAtomics);
+}
+
+double
+RunResult::avgAtomicCycles() const
+{
+    return core.committedAtomics == 0 ? 0.0
+        : static_cast<double>(core.atomicPostIssueCycles) /
+            static_cast<double>(core.committedAtomics);
+}
+
+double
+RunResult::avgAtomicCost() const
+{
+    return avgDrainSbCycles() + avgAtomicCycles();
+}
+
+double
+RunResult::omittedFencePct() const
+{
+    return pct(core.implicitFencesOmitted,
+               core.implicitFencesOmitted + core.implicitFencesExecuted +
+                   core.committedFences);
+}
+
+double
+RunResult::mdvPctOfSquashes() const
+{
+    return pct(core.squashEvents[static_cast<int>(
+                   SquashCause::kMemDepViolation)],
+               core.totalSquashEvents());
+}
+
+double
+RunResult::fwdByAtomicPct() const
+{
+    return pct(core.atomicsFwdFromAtomic, core.committedAtomics);
+}
+
+double
+RunResult::fwdByStorePct() const
+{
+    return pct(core.atomicsFwdFromStore, core.committedAtomics);
+}
+
+double
+RunResult::lockLocalityRatio() const
+{
+    std::uint64_t local = core.lockSourceSq + core.lockSourceL1WritePerm +
+        core.lockSourceL2WritePerm;
+    return core.committedAtomics == 0 ? 0.0
+        : static_cast<double>(local) /
+            static_cast<double>(core.committedAtomics);
+}
+
+double
+RunResult::lockLocalityFwdRatio() const
+{
+    return core.committedAtomics == 0 ? 0.0
+        : static_cast<double>(core.lockSourceSq) /
+            static_cast<double>(core.committedAtomics);
+}
+
+RunResult
+runPrograms(MachineConfig machine, core::AtomicsMode mode,
+            const std::vector<isa::Program> &progs, const MemInit &init,
+            std::uint64_t seed, Cycle max_cycles)
+{
+    machine.core.mode = mode;
+    machine.cores = static_cast<unsigned>(progs.size());
+    System system(machine, progs, seed);
+    system.initMemory(init);
+    RunOutcome outcome = system.run(max_cycles);
+
+    RunResult res;
+    res.finished = outcome.finished;
+    res.failure = outcome.failure;
+    res.cycles = outcome.cycles;
+    res.core = system.coreTotals();
+    res.mem = system.mem().stats;
+    res.energy = computeEnergy(EnergyParams{}, res.core, res.mem);
+
+    // Slowest thread = the one with the most active cycles.
+    for (unsigned c = 0; c < system.numCores(); ++c) {
+        const CoreStats &cs = system.coreAt(c).stats;
+        if (cs.activeCycles >= res.slowestActiveCycles) {
+            res.slowestActiveCycles = cs.activeCycles;
+            res.slowestSleepCycles = cs.haltedCycles;
+        }
+    }
+    return res;
+}
+
+} // namespace fa::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * One-call experiment runner: build a system, run it, collect the
+ * derived metrics every bench harness needs.
+ */
+
+#ifndef FA_SIM_RUNNER_HH
+#define FA_SIM_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/core_config.hh"
+#include "isa/program.hh"
+#include "sim/config.hh"
+#include "sim/energy.hh"
+#include "sim/system.hh"
+
+namespace fa::sim {
+
+/** Everything a bench needs from one simulation. */
+struct RunResult
+{
+    bool finished = false;
+    std::string failure;
+    Cycle cycles = 0;
+
+    CoreStats core;            ///< summed over all cores
+    MemStats mem;
+    EnergyBreakdown energy;
+
+    /** Active/sleep split of the slowest thread (Figure 14 bars). */
+    Cycle slowestActiveCycles = 0;
+    Cycle slowestSleepCycles = 0;
+
+    // --- derived metrics ---------------------------------------------------
+    double apki() const;               ///< atomics per kilo-instruction
+    double avgAtomicCost() const;      ///< Fig 1: (drain+post)/atomic
+    double avgDrainSbCycles() const;   ///< Fig 1 Drain_SB component
+    double avgAtomicCycles() const;    ///< Fig 1 Atomic component
+    double omittedFencePct() const;    ///< Table 2 column 2
+    double mdvPctOfSquashes() const;   ///< Table 2 column 4
+    double fwdByAtomicPct() const;     ///< Table 2 column 5 (FbA)
+    double fwdByStorePct() const;      ///< Table 2 column 6 (FbS)
+    double lockLocalityRatio() const;  ///< Fig 13
+    double lockLocalityFwdRatio() const;  ///< Fig 13 forwarded share
+};
+
+/**
+ * Build and run a system.
+ *
+ * @param machine    machine preset
+ * @param mode       atomic-RMW flavour (overrides machine.core.mode)
+ * @param progs      one program per core
+ * @param init       initial memory image
+ * @param seed       master seed
+ * @param max_cycles safety limit
+ */
+RunResult runPrograms(MachineConfig machine, core::AtomicsMode mode,
+                      const std::vector<isa::Program> &progs,
+                      const MemInit &init, std::uint64_t seed,
+                      Cycle max_cycles = 50'000'000);
+
+} // namespace fa::sim
+
+#endif // FA_SIM_RUNNER_HH

@@ -1,0 +1,88 @@
+#include "sim/system.hh"
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace fa::sim {
+
+System::System(const MachineConfig &config,
+               const std::vector<isa::Program> &progs, std::uint64_t seed)
+    : cfg(config)
+{
+    if (progs.size() != cfg.cores)
+        fatal("system has %u cores but %zu programs", cfg.cores,
+              progs.size());
+    memSys = std::make_unique<mem::MemSystem>(cfg.mem, cfg.cores);
+    cores.reserve(cfg.cores);
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        cores.push_back(std::make_unique<core::Core>(
+            c, cfg.core, progs[c], memSys.get(), mix64(seed, c + 1)));
+    }
+}
+
+void
+System::initMemory(const MemInit &init)
+{
+    for (const auto &[addr, value] : init)
+        memSys->writeWord(addr, value);
+}
+
+bool
+System::allHalted() const
+{
+    for (const auto &c : cores)
+        if (!c->halted())
+            return false;
+    return true;
+}
+
+void
+System::stepCycle()
+{
+    memSys->tick(now);
+    for (auto &c : cores)
+        c->tick(now);
+    ++now;
+}
+
+RunOutcome
+System::run(Cycle max_cycles)
+{
+    RunOutcome out;
+    Cycle last_progress = now;
+    while (now < max_cycles) {
+        stepCycle();
+        if (allHalted()) {
+            out.finished = true;
+            out.cycles = now;
+            return out;
+        }
+        // Global progress check: some core must commit within the
+        // window, or the watchdog has failed to break a deadlock.
+        for (const auto &c : cores) {
+            if (c->halted() || c->lastCommitCycle() > last_progress)
+                last_progress = std::max(last_progress,
+                                         c->lastCommitCycle());
+        }
+        if (now - last_progress > kProgressWindow) {
+            out.cycles = now;
+            out.failure = "no core committed for " +
+                std::to_string(kProgressWindow) + " cycles";
+            return out;
+        }
+    }
+    out.cycles = now;
+    out.failure = "cycle limit reached";
+    return out;
+}
+
+CoreStats
+System::coreTotals() const
+{
+    CoreStats total;
+    for (const auto &c : cores)
+        total.add(c->stats);
+    return total;
+}
+
+} // namespace fa::sim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * A simulated multicore system: N cores over one coherent hierarchy,
+ * advanced in lock-step cycles until every thread halts.
+ */
+
+#ifndef FA_SIM_SYSTEM_HH
+#define FA_SIM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/core.hh"
+#include "isa/program.hh"
+#include "mem/mem_system.hh"
+#include "sim/config.hh"
+
+namespace fa::sim {
+
+/** Initial memory contents: (address, value) pairs. */
+using MemInit = std::vector<std::pair<Addr, std::int64_t>>;
+
+/** Outcome of System::run. */
+struct RunOutcome
+{
+    bool finished = false;   ///< all threads halted
+    Cycle cycles = 0;
+    std::string failure;     ///< set when finished is false
+};
+
+class System
+{
+  public:
+    /**
+     * @param cfg   machine configuration (cfg.cores must equal the
+     *              number of programs)
+     * @param progs one validated program per core
+     * @param seed  master seed; each thread's kRand stream derives
+     *              from it deterministically
+     */
+    System(const MachineConfig &cfg,
+           const std::vector<isa::Program> &progs, std::uint64_t seed);
+
+    /** Preload the functional memory image. */
+    void initMemory(const MemInit &init);
+
+    /**
+     * Run until all cores halt, the cycle limit is hit, or global
+     * progress stops (a deadlock the watchdog failed to break —
+     * always a simulator bug, reported rather than hidden).
+     */
+    RunOutcome run(Cycle max_cycles = 50'000'000);
+
+    /** Advance exactly one cycle (tests drive this directly). */
+    void stepCycle();
+
+    Cycle cycles() const { return now; }
+    bool allHalted() const;
+
+    std::int64_t readWord(Addr a) const { return memSys->readWord(a); }
+
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(cores.size());
+    }
+    core::Core &coreAt(unsigned i) { return *cores.at(i); }
+    const core::Core &coreAt(unsigned i) const { return *cores.at(i); }
+    mem::MemSystem &mem() { return *memSys; }
+    const mem::MemSystem &mem() const { return *memSys; }
+
+    /** Core statistics summed over all cores. */
+    CoreStats coreTotals() const;
+
+    const MachineConfig &config() const { return cfg; }
+
+  private:
+    MachineConfig cfg;
+    std::unique_ptr<mem::MemSystem> memSys;
+    std::vector<std::unique_ptr<core::Core>> cores;
+    Cycle now = 0;
+
+    static constexpr Cycle kProgressWindow = 2'000'000;
+};
+
+} // namespace fa::sim
+
+#endif // FA_SIM_SYSTEM_HH

@@ -1,0 +1,570 @@
+#include "workloads/kernels.hh"
+
+#include "common/log.hh"
+
+namespace fa::wl {
+
+using isa::AluFn;
+using isa::BranchCond;
+using isa::Label;
+using isa::ProgramBuilder;
+using isa::Reg;
+
+void
+emitStartBarrier(isa::ProgramBuilder &b, const BuildCtx &ctx)
+{
+    Reg r_bar = b.alloc();
+    Reg r_n = b.alloc();
+    Reg t0 = b.alloc();
+    Reg t1 = b.alloc();
+    Reg t2 = b.alloc();
+    Reg t3 = b.alloc();
+    b.movi(r_bar, static_cast<std::int64_t>(kBarrierBase));
+    b.movi(r_n, ctx.numThreads);
+    b.barrier(r_bar, r_n, t0, t1, t2, t3);
+}
+
+namespace {
+
+/** Registers for the shared compute-body emitter. */
+struct BodyRegs
+{
+    Reg acc = 0;   ///< dependent ALU accumulator
+    Reg priv = 0;  ///< thread-private region base
+    Reg off = 0;   ///< streaming offset within the region
+    Reg taddr = 0; ///< scratch address
+};
+
+BodyRegs
+allocBodyRegs(ProgramBuilder &b, const BuildCtx &ctx)
+{
+    BodyRegs r;
+    r.acc = b.alloc();
+    r.priv = b.alloc();
+    r.off = b.alloc();
+    r.taddr = b.alloc();
+    b.movi(r.priv, static_cast<std::int64_t>(
+        kPrivBase + ctx.threadId * kPrivStride));
+    b.movi(r.taddr, 0x3fff8);
+    return r;
+}
+
+/**
+ * Compute body: a dependent ALU chain interleaved with private
+ * loads/stores streaming over a 64KB region (so the SB sees realistic
+ * miss traffic, as the real applications' compute phases do). Cost is
+ * roughly `n` instructions with one memory access every eighth one.
+ */
+void
+emitBody(ProgramBuilder &b, const BodyRegs &r, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        if (i % 4 == 3) {
+            // Stream through the private region, wrapping at 256KB
+            // (the L2 size, so the stream continually misses to L3
+            // and the store buffer sees realistic drain pressure).
+            b.addi(r.off, r.off, 8);
+            b.alu(AluFn::kAnd, r.off, r.off, r.taddr);
+            b.alu(AluFn::kAdd, r.taddr, r.priv, r.off);
+            if (i % 8 == 7)
+                b.load(r.acc, r.taddr);
+            else
+                b.store(r.taddr, r.acc);
+            b.movi(r.taddr, 0x3fff8);
+            i += 4;
+        } else if (i % 7 == 6) {
+            b.alu(AluFn::kMul, r.acc, r.acc, r.acc);
+        } else {
+            b.addi(r.acc, r.acc, i + 1);
+        }
+    }
+}
+
+/** Legacy pure-ALU chain (barriered phase kernels). */
+void
+emitCompute(ProgramBuilder &b, Reg acc, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        if (i % 7 == 6)
+            b.alu(AluFn::kMul, acc, acc, acc);
+        else
+            b.addi(acc, acc, i + 1);
+    }
+}
+
+/** Set `dst` to the address of node `idx_reg` in a 64B-entry table. */
+void
+emitNodeAddr(ProgramBuilder &b, Reg dst, Reg base, Reg idx_reg, Reg six)
+{
+    b.alu(AluFn::kShl, dst, idx_reg, six);
+    b.alu(AluFn::kAdd, dst, dst, base);
+}
+
+} // namespace
+
+isa::Program
+computeKernel(const BuildCtx &ctx, const std::string &name,
+              const ComputeKernelParams &p)
+{
+    ProgramBuilder b(name);
+    emitStartBarrier(b, ctx);
+
+    Reg r_priv = b.alloc();
+    Reg r_acc = b.alloc();
+    Reg r_i = b.alloc();
+    Reg r_tmp = b.alloc();
+    b.movi(r_priv, static_cast<std::int64_t>(
+        kPrivBase + ctx.threadId * kPrivStride));
+    b.movi(r_i, ctx.iters(p.iters));
+
+    Reg r_lockctr = 0;
+    Reg r_lockbase = 0;
+    Reg r_idx = 0;
+    Reg r_addr = 0;
+    Reg r_six = 0;
+    Reg r_val = 0;
+    if (p.lockEvery > 0) {
+        r_lockctr = b.alloc();
+        r_lockbase = b.alloc();
+        r_idx = b.alloc();
+        r_addr = b.alloc();
+        r_six = b.alloc();
+        r_val = b.alloc();
+        b.movi(r_lockctr, p.lockEvery);
+        b.movi(r_lockbase, static_cast<std::int64_t>(kLockBase));
+        b.movi(r_six, 6);
+    }
+
+    Label loop = b.here();
+    emitCompute(b, r_acc, p.aluPerIter);
+    for (int j = 0; j < p.privOpsPerIter; ++j) {
+        std::int64_t off = (j * 24) % 512;
+        if (j % 2 == 0)
+            b.load(r_tmp, r_priv, off);
+        else
+            b.store(r_priv, r_acc, off);
+    }
+    if (p.lockEvery > 0) {
+        Label skip = b.newLabel();
+        b.addi(r_lockctr, r_lockctr, -1);
+        b.branch(BranchCond::kNe, r_lockctr, ProgramBuilder::zero(), skip);
+        b.movi(r_lockctr, p.lockEvery);
+        b.rand(r_idx, p.numLocks);
+        emitNodeAddr(b, r_addr, r_lockbase, r_idx, r_six);
+        b.lockAcquire(r_addr, r_tmp);
+        b.load(r_val, r_addr, 8);
+        b.addi(r_val, r_val, 1);
+        b.store(r_addr, r_val, 8);
+        // Spinlock-style release: a plain store. The next acquire's
+        // load_lock can then forward from an ordinary store (the
+        // paper's FbS case, §3.3.2).
+        b.lockReleasePlain(r_addr);
+        // Persistency-style publication fence (the explicit
+        // store->load MFENCEs that remain in x86 binaries).
+        b.mfence();
+        b.bind(skip);
+    }
+    b.addi(r_i, r_i, -1);
+    b.branch(BranchCond::kNe, r_i, ProgramBuilder::zero(), loop);
+    b.halt();
+    return b.build();
+}
+
+isa::Program
+phaseKernel(const BuildCtx &ctx, const std::string &name,
+            const PhaseKernelParams &p)
+{
+    ProgramBuilder b(name);
+
+    Reg r_bar = b.alloc();
+    Reg r_n = b.alloc();
+    Reg t0 = b.alloc();
+    Reg t1 = b.alloc();
+    Reg t2 = b.alloc();
+    Reg t3 = b.alloc();
+    b.movi(r_bar, static_cast<std::int64_t>(kBarrierBase));
+    b.movi(r_n, ctx.numThreads);
+    b.barrier(r_bar, r_n, t0, t1, t2, t3);
+
+    Reg r_k = b.alloc();
+    Reg r_bound = b.alloc();
+    Reg r_addr = b.alloc();
+    Reg r_val = b.alloc();
+    Reg r_acc = b.alloc();
+    Reg r_nth = b.alloc();
+    Reg r_stride = b.alloc();
+    Reg r_data = b.alloc();
+    Reg r_three = b.alloc();
+    b.movi(r_nth, ctx.numThreads);
+    b.movi(r_stride, p.strideWords * kWordBytes);
+    b.movi(r_data, static_cast<std::int64_t>(kDataBase));
+    b.movi(r_three, 3);
+
+    std::int64_t stores = ctx.iters(p.storesPerPhase);
+    for (int phase = 0; phase < p.phases; ++phase) {
+        b.movi(r_k, 0);
+        b.movi(r_bound, stores);
+        b.movi(t2, 15);
+        b.movi(t3, static_cast<std::int64_t>(
+            kPrivBase + ctx.threadId * kPrivStride + 0x80000));
+        Label loop = b.here();
+        // addr = data + (tid + k*threads) * stride
+        b.alu(AluFn::kMul, r_addr, r_k, r_nth);
+        b.addi(r_addr, r_addr, ctx.threadId);
+        b.alu(AluFn::kMul, r_addr, r_addr, r_stride);
+        b.alu(AluFn::kAdd, r_addr, r_addr, r_data);
+        // value = tid*1000 + k*3 + phase*7 (checked by verify)
+        b.alu(AluFn::kMul, r_val, r_k, r_three);
+        b.addi(r_val, r_val, ctx.threadId * 1000 + phase * 7);
+        b.store(r_addr, r_val);
+        emitCompute(b, r_acc, p.computePerStore);
+        // Every 16th element: atomically bump a per-thread progress
+        // word; every 64th, rewrite it with a plain store right
+        // before the fetch-add, whose load_lock then forwards from
+        // an ordinary store — the paper's FbS case (§3.3.2),
+        // concentrated in exactly these store-heavy applications
+        // (Table 2).
+        Label no_tick = b.newLabel();
+        Label no_store = b.newLabel();
+        b.alu(AluFn::kAnd, t1, r_k, t2);
+        b.branch(BranchCond::kNe, t1, ProgramBuilder::zero(), no_tick);
+        b.movi(t1, 63);
+        b.alu(AluFn::kAnd, t1, r_k, t1);
+        b.branch(BranchCond::kNe, t1, ProgramBuilder::zero(), no_store);
+        b.store(t3, r_k);
+        b.bind(no_store);
+        b.movi(t1, 1);
+        b.fetchAdd(t0, t3, t1);
+        b.bind(no_tick);
+        b.addi(r_k, r_k, 1);
+        b.branch(BranchCond::kLt, r_k, r_bound, loop);
+        b.barrier(r_bar, r_n, t0, t1, t2, t3);
+    }
+    b.halt();
+    return b.build();
+}
+
+isa::Program
+taskQueueKernel(const BuildCtx &ctx, const std::string &name,
+                const TaskQueueKernelParams &p)
+{
+    // Work distribution through an atomic ticket counter, the
+    // standard lock-free task-queue head the real applications'
+    // schedulers converge to.
+    ProgramBuilder b(name);
+    emitStartBarrier(b, ctx);
+
+    Reg r_cnt = b.alloc();
+    Reg r_total = b.alloc();
+    Reg r_one = b.alloc();
+    Reg r_t = b.alloc();
+    BodyRegs body = allocBodyRegs(b, ctx);
+    b.movi(r_cnt, static_cast<std::int64_t>(kDataBase));
+    b.movi(r_one, 1);
+    b.movi(r_total,
+           ctx.iters(p.tasksPerThread) *
+               static_cast<std::int64_t>(ctx.numThreads));
+
+    Label loop = b.here();
+    Label out = b.newLabel();
+    b.fetchAdd(r_t, r_cnt, r_one);
+    b.branch(BranchCond::kGe, r_t, r_total, out);
+    emitBody(b, body, p.computePerTask);
+    b.jump(loop);
+    b.bind(out);
+    b.halt();
+    return b.build();
+}
+
+int
+effectiveNodes(const NodeLockKernelParams &p, unsigned threads)
+{
+    int scaled = static_cast<int>(p.nodesPerThread * threads + 0.5);
+    return scaled > p.numNodes ? scaled : p.numNodes;
+}
+
+isa::Program
+nodeLockKernel(const BuildCtx &ctx, const std::string &name,
+               const NodeLockKernelParams &p)
+{
+    if (p.fieldsPerUpdate > 5)
+        fatal("nodeLockKernel: at most 5 fields fit a node line");
+    int num_nodes = effectiveNodes(p, ctx.numThreads);
+    ProgramBuilder b(name);
+    emitStartBarrier(b, ctx);
+
+    Reg r_i = b.alloc();
+    Reg r_idx = b.alloc();
+    Reg r_addr = b.alloc();
+    Reg r_tmp = b.alloc();
+    Reg r_val = b.alloc();
+    Reg r_data = b.alloc();
+    Reg r_six = b.alloc();
+    Reg r_table = b.alloc();
+    Reg r_r = b.alloc();
+    Reg r_fctr = b.alloc();
+    BodyRegs body = allocBodyRegs(b, ctx);
+    b.movi(r_i, ctx.iters(p.iters));
+    b.movi(r_data, static_cast<std::int64_t>(kDataBase));
+    b.movi(r_six, 6);
+    b.movi(r_table, static_cast<std::int64_t>(kIndirBase));
+    b.movi(r_fctr, 16);
+
+    Reg r_three = b.alloc();
+    b.movi(r_three, 3);
+
+    Label loop = b.here();
+    // Node selection goes through an indirection table, as the real
+    // applications' pointer-based trees do. Remapping a slot below
+    // gives the table genuine read-write sharing.
+    b.rand(r_r, num_nodes);
+    b.alu(AluFn::kShl, r_tmp, r_r, r_three);
+    b.alu(AluFn::kAdd, r_tmp, r_tmp, r_table);
+    b.load(r_idx, r_tmp);            // idx = table[r]
+    emitNodeAddr(b, r_addr, r_data, r_idx, r_six);
+    b.lockAcquire(r_addr, r_tmp);
+    for (int f = 0; f < p.fieldsPerUpdate; ++f) {
+        b.load(r_val, r_addr, 16 + 8 * f);
+        b.addi(r_val, r_val, 1);
+        b.store(r_addr, r_val, 16 + 8 * f);
+    }
+    b.load(r_val, r_addr, 8);
+    b.addi(r_val, r_val, 1);
+    b.store(r_addr, r_val, 8);
+    b.lockRelease(r_addr, r_tmp);
+    // Every 16th iteration: remap a table slot through the just
+    // loaded index (a store whose address resolves late, off a
+    // load) and publish it with a fence — the paper's remaining
+    // explicit-fence and memory-dependence-violation sources.
+    Label no_remap = b.newLabel();
+    b.addi(r_fctr, r_fctr, -1);
+    b.branch(BranchCond::kNe, r_fctr, ProgramBuilder::zero(),
+             no_remap);
+    b.movi(r_fctr, 16);
+    b.alu(AluFn::kShl, r_tmp, r_idx, r_three);
+    b.alu(AluFn::kAdd, r_tmp, r_tmp, r_table);
+    b.store(r_tmp, r_r);             // table[idx] = r (valid index)
+    b.mfence();
+    b.bind(no_remap);
+    emitBody(b, body, p.computeBetween);
+    b.addi(r_i, r_i, -1);
+    b.branch(BranchCond::kNe, r_i, ProgramBuilder::zero(), loop);
+    b.halt();
+    return b.build();
+}
+
+isa::Program
+multiLockKernel(const BuildCtx &ctx, const std::string &name,
+                const MultiLockKernelParams &p)
+{
+    if (p.swap && (p.minLocks != 2 || p.maxLocks != 2))
+        fatal("multiLockKernel: swap mode requires exactly 2 locks");
+    ProgramBuilder b(name);
+    emitStartBarrier(b, ctx);
+
+    Reg r_i = b.alloc();
+    Reg r_k = b.alloc();
+    Reg r_base = b.alloc();
+    Reg r_j = b.alloc();
+    Reg r_addr = b.alloc();
+    Reg r_tmp = b.alloc();
+    Reg r_val = b.alloc();
+    Reg r_val2 = b.alloc();
+    Reg r_data = b.alloc();
+    Reg r_six = b.alloc();
+    Reg r_idx = b.alloc();
+    Reg r_localcnt = b.alloc();
+    BodyRegs body = allocBodyRegs(b, ctx);
+    b.movi(r_i, ctx.iters(p.iters));
+    b.movi(r_data, static_cast<std::int64_t>(kDataBase));
+    b.movi(r_six, 6);
+    b.movi(r_localcnt, 0);
+
+    Label loop = b.here();
+    b.rand(r_k, p.maxLocks - p.minLocks + 1);
+    b.addi(r_k, r_k, p.minLocks);
+    b.rand(r_base, p.numEntries - p.maxLocks);
+
+    // Acquire locks base .. base+k-1 in ascending order (software
+    // deadlock avoidance; the hardware-level Free-atomics deadlocks
+    // arise regardless, from speculation).
+    b.movi(r_j, 0);
+    Label acq = b.here();
+    b.alu(AluFn::kAdd, r_idx, r_base, r_j);
+    emitNodeAddr(b, r_addr, r_data, r_idx, r_six);
+    b.lockAcquire(r_addr, r_tmp);
+    b.addi(r_j, r_j, 1);
+    b.branch(BranchCond::kLt, r_j, r_k, acq);
+
+    if (p.swap) {
+        emitNodeAddr(b, r_addr, r_data, r_base, r_six);
+        b.load(r_val, r_addr, 8);
+        b.load(r_val2, r_addr, 64 + 8);
+        b.store(r_addr, r_val2, 8);
+        b.store(r_addr, r_val, 64 + 8);
+    } else {
+        b.movi(r_j, 0);
+        Label upd = b.here();
+        b.alu(AluFn::kAdd, r_idx, r_base, r_j);
+        emitNodeAddr(b, r_addr, r_data, r_idx, r_six);
+        b.load(r_val, r_addr, 8);
+        b.addi(r_val, r_val, 1);
+        b.store(r_addr, r_val, 8);
+        b.addi(r_localcnt, r_localcnt, 1);
+        b.addi(r_j, r_j, 1);
+        b.branch(BranchCond::kLt, r_j, r_k, upd);
+    }
+
+    emitBody(b, body, p.computePerIter);
+
+    // Release in reverse order.
+    Label rel = b.here();
+    b.addi(r_j, r_j, -1);
+    b.alu(AluFn::kAdd, r_idx, r_base, r_j);
+    emitNodeAddr(b, r_addr, r_data, r_idx, r_six);
+    b.lockRelease(r_addr, r_tmp);
+    b.branch(BranchCond::kNe, r_j, ProgramBuilder::zero(), rel);
+
+    b.addi(r_i, r_i, -1);
+    b.branch(BranchCond::kNe, r_i, ProgramBuilder::zero(), loop);
+    if (!p.swap) {
+        // Publish this thread's update count so verify can compare
+        // the sum of entry counters against the global checksum.
+        b.movi(r_addr, static_cast<std::int64_t>(kResultBase));
+        b.fetchAdd(r_tmp, r_addr, r_localcnt);
+    }
+    b.halt();
+    return b.build();
+}
+
+isa::Program
+swapKernel(const BuildCtx &ctx, const std::string &name,
+           const SwapKernelParams &p)
+{
+    ProgramBuilder b(name);
+    emitStartBarrier(b, ctx);
+
+    Reg r_i = b.alloc();
+    Reg r_a = b.alloc();
+    Reg r_bx = b.alloc();
+    Reg r_va = b.alloc();
+    Reg r_vb = b.alloc();
+    Reg r_data = b.alloc();
+    Reg r_three = b.alloc();
+    BodyRegs body = allocBodyRegs(b, ctx);
+    b.movi(r_i, ctx.iters(p.iters));
+    b.movi(r_data, static_cast<std::int64_t>(kDataBase));
+    b.movi(r_three, 3);
+
+    Label loop = b.here();
+    b.rand(r_a, p.numElems);
+    b.rand(r_bx, p.numElems);
+    // a = data + a*8 ; b = data + b*8
+    b.alu(AluFn::kShl, r_a, r_a, r_three);
+    b.alu(AluFn::kAdd, r_a, r_a, r_data);
+    b.alu(AluFn::kShl, r_bx, r_bx, r_three);
+    b.alu(AluFn::kAdd, r_bx, r_bx, r_data);
+    // Racy element swap via two atomic exchanges (canneal-style).
+    b.load(r_va, r_a);
+    b.exchange(r_vb, r_bx, r_va);
+    b.exchange(r_va, r_a, r_vb);
+    emitBody(b, body, p.computeBetween);
+    b.addi(r_i, r_i, -1);
+    b.branch(BranchCond::kNe, r_i, ProgramBuilder::zero(), loop);
+    b.halt();
+    return b.build();
+}
+
+isa::Program
+queueKernel(const BuildCtx &ctx, const std::string &name,
+            const QueueKernelParams &p)
+{
+    ProgramBuilder b(name);
+    emitStartBarrier(b, ctx);
+
+    Reg r_i = b.alloc();
+    Reg r_t = b.alloc();
+    Reg r_addr = b.alloc();
+    BodyRegs body = allocBodyRegs(b, ctx);
+    Reg r_tailp = b.alloc();
+    Reg r_headp = b.alloc();
+    Reg r_slots = b.alloc();
+    Reg r_one = b.alloc();
+    Reg r_mask = b.alloc();
+    Reg r_three = b.alloc();
+    // tail at kDataBase, head at kDataBase+64, slots from +128.
+    b.movi(r_i, ctx.iters(p.opsPerThread));
+    b.movi(r_tailp, static_cast<std::int64_t>(kDataBase));
+    b.movi(r_headp, static_cast<std::int64_t>(kDataBase + 64));
+    b.movi(r_slots, static_cast<std::int64_t>(kDataBase + 128));
+    b.movi(r_one, 1);
+    b.movi(r_mask, p.slots - 1);
+    b.movi(r_three, 3);
+
+    Label loop = b.here();
+    // enqueue: slot[tail++ % slots] = ticket
+    b.fetchAdd(r_t, r_tailp, r_one);
+    b.alu(AluFn::kAnd, r_addr, r_t, r_mask);
+    b.alu(AluFn::kShl, r_addr, r_addr, r_three);
+    b.alu(AluFn::kAdd, r_addr, r_addr, r_slots);
+    b.store(r_addr, r_t);
+    emitBody(b, body, p.computeBetween);
+    // dequeue: read slot[head++ % slots]
+    b.fetchAdd(r_t, r_headp, r_one);
+    b.alu(AluFn::kAnd, r_addr, r_t, r_mask);
+    b.alu(AluFn::kShl, r_addr, r_addr, r_three);
+    b.alu(AluFn::kAdd, r_addr, r_addr, r_slots);
+    b.load(r_t, r_addr);
+    b.addi(r_i, r_i, -1);
+    b.branch(BranchCond::kNe, r_i, ProgramBuilder::zero(), loop);
+    b.halt();
+    return b.build();
+}
+
+isa::Program
+treeKernel(const BuildCtx &ctx, const std::string &name,
+           const TreeKernelParams &p)
+{
+    ProgramBuilder b(name);
+    emitStartBarrier(b, ctx);
+
+    Reg r_i = b.alloc();
+    Reg r_p = b.alloc();
+    Reg r_addr = b.alloc();
+    Reg r_tmp = b.alloc();
+    BodyRegs body = allocBodyRegs(b, ctx);
+    Reg r_lock = b.alloc();
+    Reg r_nodes = b.alloc();
+    Reg r_mask = b.alloc();
+    Reg r_three = b.alloc();
+    Reg r_cnt = b.alloc();
+    // Global lock at kLockBase; nodes from kDataBase (8B each);
+    // a lock-protected counter at kDataBase - 64.
+    b.movi(r_i, ctx.iters(p.iters));
+    b.movi(r_lock, static_cast<std::int64_t>(kLockBase));
+    b.movi(r_nodes, static_cast<std::int64_t>(kDataBase));
+    b.movi(r_cnt, static_cast<std::int64_t>(kDataBase - 64));
+    b.movi(r_mask, p.numNodes - 1);
+    b.movi(r_three, 3);
+
+    Label loop = b.here();
+    b.rand(r_p, p.numNodes);
+    b.lockAcquire(r_lock, r_tmp);
+    for (int s = 0; s < p.chaseSteps; ++s) {
+        b.alu(AluFn::kAnd, r_p, r_p, r_mask);
+        b.alu(AluFn::kShl, r_addr, r_p, r_three);
+        b.alu(AluFn::kAdd, r_addr, r_addr, r_nodes);
+        b.load(r_p, r_addr);
+    }
+    b.load(r_tmp, r_cnt);
+    b.addi(r_tmp, r_tmp, 1);
+    b.store(r_cnt, r_tmp);
+    b.lockRelease(r_lock, r_tmp);
+    emitBody(b, body, p.computeBetween);
+    b.addi(r_i, r_i, -1);
+    b.branch(BranchCond::kNe, r_i, ProgramBuilder::zero(), loop);
+    b.halt();
+    return b.build();
+}
+
+} // namespace fa::wl

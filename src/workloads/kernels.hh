@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Shared kernel shapes the synthetic benchmark suite is assembled
+ * from. Each shape reproduces one synchronization idiom the paper's
+ * applications exercise (§5.2, §5.5); the per-application parameter
+ * sets live in splash.cc / parsec.cc / writeintensive.cc.
+ */
+
+#ifndef FA_WL_KERNELS_HH
+#define FA_WL_KERNELS_HH
+
+#include <cstdint>
+
+#include "isa/builder.hh"
+#include "workloads/workload.hh"
+
+namespace fa::wl {
+
+/**
+ * Private compute with occasional lock-protected shared-counter
+ * updates: the low-APKI SPLASH/PARSEC applications.
+ */
+struct ComputeKernelParams
+{
+    std::int64_t iters = 32;
+    int aluPerIter = 50;       ///< dependent ALU chain length
+    int privOpsPerIter = 4;    ///< private loads+stores per iteration
+    std::int64_t lockEvery = 0;  ///< 0 = never take a lock
+    int numLocks = 8;
+};
+isa::Program computeKernel(const BuildCtx &ctx, const std::string &name,
+                           const ComputeKernelParams &p);
+
+/**
+ * Phases of strided shared stores separated by barriers: fft/radix
+ * style transposes with heavy store-buffer pressure and false
+ * sharing across threads.
+ */
+struct PhaseKernelParams
+{
+    int phases = 3;
+    std::int64_t storesPerPhase = 64;
+    int computePerStore = 4;
+    std::int64_t strideWords = 16;  ///< distance between a thread's words
+    std::int64_t regionWords = 1 << 14;
+};
+isa::Program phaseKernel(const BuildCtx &ctx, const std::string &name,
+                         const PhaseKernelParams &p);
+
+/**
+ * Central lock-protected task counter: cholesky/volrend/raytrace
+ * style work distribution.
+ */
+struct TaskQueueKernelParams
+{
+    std::int64_t tasksPerThread = 32;  ///< total = threads * this
+    int computePerTask = 40;
+};
+isa::Program taskQueueKernel(const BuildCtx &ctx, const std::string &name,
+                             const TaskQueueKernelParams &p);
+
+/**
+ * Random per-node locking with in-node field updates: barnes/fmm/
+ * fluidanimate/TATP/PC style. Contention is set by numNodes.
+ */
+struct NodeLockKernelParams
+{
+    std::int64_t iters = 64;
+    int numNodes = 64;       ///< one lock + data fields per node line
+    int fieldsPerUpdate = 1;
+    int computeBetween = 20;
+    /**
+     * When nonzero, grow the node table with the thread count
+     * (nodes = max(numNodes, nodesPerThread * threads)) so the
+     * contention level per thread — what the real applications'
+     * large data structures exhibit — is independent of how many
+     * cores the experiment strong-scales to.
+     */
+    double nodesPerThread = 0.0;
+};
+
+/** Effective node count for a run with `threads` threads. */
+int effectiveNodes(const NodeLockKernelParams &p, unsigned threads);
+isa::Program nodeLockKernel(const BuildCtx &ctx, const std::string &name,
+                            const NodeLockKernelParams &p);
+
+/**
+ * Acquire a run of k locks in ascending order, update each entry,
+ * release: the TPCC hotspot (§5.5). With k=2 and swap=true this is
+ * the AS hotspot (lock two random entries, swap their values).
+ */
+struct MultiLockKernelParams
+{
+    std::int64_t iters = 8;
+    int numEntries = 64;
+    int minLocks = 5;
+    int maxLocks = 15;
+    bool swap = false;       ///< swap entry values instead of counting
+    int computePerIter = 100;
+};
+isa::Program multiLockKernel(const BuildCtx &ctx, const std::string &name,
+                             const MultiLockKernelParams &p);
+
+/**
+ * Lock-free element swapping with atomic exchanges: the canneal
+ * hotspot (synchronizes purely with atomic operations).
+ */
+struct SwapKernelParams
+{
+    std::int64_t iters = 64;
+    int numElems = 256;
+    int computeBetween = 12;
+};
+isa::Program swapKernel(const BuildCtx &ctx, const std::string &name,
+                        const SwapKernelParams &p);
+
+/**
+ * Ticket-based concurrent queue: fetch-add on shared head/tail
+ * counters plus slot traffic (the CQ benchmark).
+ */
+struct QueueKernelParams
+{
+    std::int64_t opsPerThread = 48;
+    int slots = 64;
+    int computeBetween = 16;
+};
+isa::Program queueKernel(const BuildCtx &ctx, const std::string &name,
+                         const QueueKernelParams &p);
+
+/**
+ * Coarse-grained global lock around a short pointer-chasing critical
+ * section: the RBT benchmark.
+ */
+struct TreeKernelParams
+{
+    std::int64_t iters = 96;
+    int numNodes = 128;
+    int chaseSteps = 3;
+    int computeBetween = 8;
+};
+isa::Program treeKernel(const BuildCtx &ctx, const std::string &name,
+                        const TreeKernelParams &p);
+
+/** Emit the start-of-ROI barrier shared by all kernels. */
+void emitStartBarrier(isa::ProgramBuilder &b, const BuildCtx &ctx);
+
+} // namespace fa::wl
+
+#endif // FA_WL_KERNELS_HH

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Litmus and stress workloads:
+ *  - dekker: Figure 10 — Dekker's algorithm with atomic RMWs as
+ *    barriers; the (0,0) outcome is forbidden under type-1 atomicity.
+ *  - mp: message passing; stale-data outcomes are forbidden by
+ *    TSO load->load ordering.
+ *  - sb_fenced: store-buffering with MFENCE; (0,0) forbidden.
+ *  - atomic_counter: concurrent fetch-add atomicity.
+ *  - dl_rmwrmw / dl_storermw / dl_loadrmw: generators for the
+ *    deadlock cycles of Figures 5, 6 and 7, recovered by the
+ *    watchdog (§3.2.5).
+ */
+
+#include "workloads/suites.hh"
+
+#include "workloads/kernels.hh"
+#include "workloads/verify_util.hh"
+
+namespace fa::wl {
+
+namespace {
+
+using isa::AluFn;
+using isa::BranchCond;
+using isa::Label;
+using isa::ProgramBuilder;
+using isa::Reg;
+
+constexpr Addr kScratchBase = kDataBase + 0x40000;
+
+/** Per-round line pair: A at +0, B at +64 of a 128-byte block. */
+Addr
+roundBlock(std::int64_t round)
+{
+    return kDataBase + static_cast<Addr>(round) * 128;
+}
+
+void
+emitRoundBarrier(ProgramBuilder &b, const BuildCtx &ctx, Reg r_bar,
+                 Reg r_n, Reg t0, Reg t1, Reg t2, Reg t3)
+{
+    (void)ctx;
+    b.barrier(r_bar, r_n, t0, t1, t2, t3);
+}
+
+Workload
+makeDekker(std::int64_t rounds)
+{
+    Workload w;
+    w.name = "dekker";
+    w.origin = "litmus";
+    w.build = [rounds](const BuildCtx &ctx) {
+        if (ctx.numThreads != 2)
+            fatal("dekker requires exactly 2 threads");
+        ProgramBuilder b("dekker");
+        Reg r_bar = b.alloc();
+        Reg r_n = b.alloc();
+        Reg t0 = b.alloc();
+        Reg t1 = b.alloc();
+        Reg t2 = b.alloc();
+        Reg t3 = b.alloc();
+        Reg r_addr = b.alloc();
+        Reg r_one = b.alloc();
+        Reg r_v = b.alloc();
+        Reg r_scr = b.alloc();
+        Reg r_res = b.alloc();
+        Reg r_t = b.alloc();
+        b.movi(r_bar, static_cast<std::int64_t>(kBarrierBase));
+        b.movi(r_n, 2);
+        b.movi(r_one, 1);
+        b.movi(r_scr, static_cast<std::int64_t>(
+            kScratchBase + ctx.threadId * 64));
+        std::int64_t n = ctx.iters(rounds);
+        // A single start barrier: the symmetric round streams stay
+        // in lockstep, racing each round's accesses for real.
+        emitRoundBarrier(b, ctx, r_bar, r_n, t0, t1, t2, t3);
+        for (std::int64_t r = 0; r < n; ++r) {
+            Addr block = roundBlock(r);
+            Addr mine = block + (ctx.threadId == 0 ? 0 : 64);
+            Addr other = block + (ctx.threadId == 0 ? 64 : 0);
+            b.movi(r_addr, static_cast<std::int64_t>(mine));
+            b.store(r_addr, r_one);             // st A,1 / st B,1
+            b.fetchAdd(r_t, r_scr, r_one);      // RMW C / RMW D
+            b.movi(r_addr, static_cast<std::int64_t>(other));
+            b.load(r_v, r_addr);                // ld B / ld A
+            b.movi(r_res, static_cast<std::int64_t>(
+                kResultBase + r * 16 + ctx.threadId * 8));
+            b.store(r_res, r_v);
+        }
+        b.halt();
+        return b.build();
+    };
+    w.verify = [rounds](const sim::System &sys, unsigned,
+                        double scale) {
+        BuildCtx c;
+        c.scale = scale;
+        std::int64_t n = c.iters(rounds);
+        for (std::int64_t r = 0; r < n; ++r) {
+            std::int64_t v0 = sys.readWord(kResultBase + r * 16);
+            std::int64_t v1 = sys.readWord(kResultBase + r * 16 + 8);
+            if (v0 == 0 && v1 == 0) {
+                return strfmt("dekker forbidden outcome (0,0) in "
+                              "round %lld",
+                              static_cast<long long>(r));
+            }
+        }
+        return std::string();
+    };
+    return w;
+}
+
+Workload
+makeMp(std::int64_t rounds)
+{
+    Workload w;
+    w.name = "mp";
+    w.origin = "litmus";
+    w.build = [rounds](const BuildCtx &ctx) {
+        if (ctx.numThreads != 2)
+            fatal("mp requires exactly 2 threads");
+        ProgramBuilder b("mp");
+        Reg r_bar = b.alloc();
+        Reg r_n = b.alloc();
+        Reg t0 = b.alloc();
+        Reg t1 = b.alloc();
+        Reg t2 = b.alloc();
+        Reg t3 = b.alloc();
+        Reg r_addr = b.alloc();
+        Reg r_flag = b.alloc();
+        Reg r_v = b.alloc();
+        Reg r_res = b.alloc();
+        b.movi(r_bar, static_cast<std::int64_t>(kBarrierBase));
+        b.movi(r_n, 2);
+        std::int64_t n = ctx.iters(rounds);
+        for (std::int64_t r = 0; r < n; ++r) {
+            emitRoundBarrier(b, ctx, r_bar, r_n, t0, t1, t2, t3);
+            Addr data = roundBlock(r);
+            Addr flag = roundBlock(r) + 64;
+            if (ctx.threadId == 0) {
+                b.movi(r_v, 42 + r);
+                b.movi(r_addr, static_cast<std::int64_t>(data));
+                b.store(r_addr, r_v);
+                b.movi(r_v, 1);
+                b.movi(r_flag, static_cast<std::int64_t>(flag));
+                b.store(r_flag, r_v);
+            } else {
+                b.movi(r_flag, static_cast<std::int64_t>(flag));
+                Label spin = b.here();
+                b.load(r_v, r_flag);
+                b.pause();
+                b.branch(BranchCond::kEq, r_v, ProgramBuilder::zero(),
+                         spin);
+                b.movi(r_addr, static_cast<std::int64_t>(data));
+                b.load(r_v, r_addr);
+                b.movi(r_res, static_cast<std::int64_t>(
+                    kResultBase + r * 8));
+                b.store(r_res, r_v);
+            }
+        }
+        b.halt();
+        return b.build();
+    };
+    w.verify = [rounds](const sim::System &sys, unsigned,
+                        double scale) {
+        BuildCtx c;
+        c.scale = scale;
+        std::int64_t n = c.iters(rounds);
+        for (std::int64_t r = 0; r < n; ++r) {
+            std::int64_t v = sys.readWord(kResultBase + r * 8);
+            if (v != 42 + r) {
+                return strfmt("mp stale data in round %lld: got %lld",
+                              static_cast<long long>(r),
+                              static_cast<long long>(v));
+            }
+        }
+        return std::string();
+    };
+    return w;
+}
+
+Workload
+makeSbFenced(std::int64_t rounds)
+{
+    Workload w;
+    w.name = "sb_fenced";
+    w.origin = "litmus";
+    w.build = [rounds](const BuildCtx &ctx) {
+        if (ctx.numThreads != 2)
+            fatal("sb_fenced requires exactly 2 threads");
+        ProgramBuilder b("sb_fenced");
+        Reg r_bar = b.alloc();
+        Reg r_n = b.alloc();
+        Reg t0 = b.alloc();
+        Reg t1 = b.alloc();
+        Reg t2 = b.alloc();
+        Reg t3 = b.alloc();
+        Reg r_addr = b.alloc();
+        Reg r_one = b.alloc();
+        Reg r_v = b.alloc();
+        Reg r_res = b.alloc();
+        b.movi(r_bar, static_cast<std::int64_t>(kBarrierBase));
+        b.movi(r_n, 2);
+        b.movi(r_one, 1);
+        std::int64_t n = ctx.iters(rounds);
+        emitRoundBarrier(b, ctx, r_bar, r_n, t0, t1, t2, t3);
+        for (std::int64_t r = 0; r < n; ++r) {
+            Addr block = roundBlock(r);
+            Addr mine = block + (ctx.threadId == 0 ? 0 : 64);
+            Addr other = block + (ctx.threadId == 0 ? 64 : 0);
+            b.movi(r_addr, static_cast<std::int64_t>(mine));
+            b.store(r_addr, r_one);
+            b.mfence();
+            b.movi(r_addr, static_cast<std::int64_t>(other));
+            b.load(r_v, r_addr);
+            b.movi(r_res, static_cast<std::int64_t>(
+                kResultBase + r * 16 + ctx.threadId * 8));
+            b.store(r_res, r_v);
+        }
+        b.halt();
+        return b.build();
+    };
+    w.verify = [rounds](const sim::System &sys, unsigned,
+                        double scale) {
+        BuildCtx c;
+        c.scale = scale;
+        std::int64_t n = c.iters(rounds);
+        for (std::int64_t r = 0; r < n; ++r) {
+            std::int64_t v0 = sys.readWord(kResultBase + r * 16);
+            std::int64_t v1 = sys.readWord(kResultBase + r * 16 + 8);
+            if (v0 == 0 && v1 == 0) {
+                return strfmt("sb forbidden outcome (0,0) past an "
+                              "mfence in round %lld",
+                              static_cast<long long>(r));
+            }
+        }
+        return std::string();
+    };
+    return w;
+}
+
+Workload
+makeAtomicCounter(std::int64_t iters)
+{
+    Workload w;
+    w.name = "atomic_counter";
+    w.origin = "litmus";
+    w.atomicIntensive = true;
+    w.build = [iters](const BuildCtx &ctx) {
+        ProgramBuilder b("atomic_counter");
+        emitStartBarrier(b, ctx);
+        Reg r_i = b.alloc();
+        Reg r_addr = b.alloc();
+        Reg r_one = b.alloc();
+        Reg r_v = b.alloc();
+        b.movi(r_i, ctx.iters(iters));
+        b.movi(r_addr, static_cast<std::int64_t>(kDataBase));
+        b.movi(r_one, 1);
+        Label loop = b.here();
+        b.fetchAdd(r_v, r_addr, r_one);
+        b.addi(r_i, r_i, -1);
+        b.branch(BranchCond::kNe, r_i, ProgramBuilder::zero(), loop);
+        b.halt();
+        return b.build();
+    };
+    w.verify = [iters](const sim::System &sys, unsigned nthreads,
+                       double scale) {
+        BuildCtx c;
+        c.scale = scale;
+        return expectEq("atomic counter", sys.readWord(kDataBase),
+                        c.iters(iters) * nthreads);
+    };
+    return w;
+}
+
+/**
+ * Deadlock generators: even threads touch (A then B), odd threads
+ * (B then A), with the first access chosen per Figures 5/6/7.
+ */
+enum class DlKind { kRmwRmw, kStoreRmw, kLoadRmw };
+
+Workload
+makeDeadlock(const std::string &name, DlKind kind, std::int64_t iters)
+{
+    Workload w;
+    w.name = name;
+    w.origin = "litmus";
+    w.atomicIntensive = true;
+    w.build = [kind, iters](const BuildCtx &ctx) {
+        ProgramBuilder b("dl");
+        emitStartBarrier(b, ctx);
+        Reg r_i = b.alloc();
+        Reg r_a = b.alloc();
+        Reg r_b = b.alloc();
+        Reg r_one = b.alloc();
+        Reg r_v = b.alloc();
+        bool even = ctx.threadId % 2 == 0;
+        Addr line_a = kDataBase;
+        Addr line_b = kDataBase + 64;
+        Addr first = even ? line_a : line_b;
+        Addr second = even ? line_b : line_a;
+        b.movi(r_i, ctx.iters(iters));
+        b.movi(r_a, static_cast<std::int64_t>(first));
+        b.movi(r_b, static_cast<std::int64_t>(second));
+        b.movi(r_one, 1);
+        Label loop = b.here();
+        switch (kind) {
+          case DlKind::kRmwRmw:
+            // Figure 5: RMW A ; RMW B vs RMW B ; RMW A.
+            b.fetchAdd(r_v, r_a, r_one);
+            b.fetchAdd(r_v, r_b, r_one);
+            break;
+          case DlKind::kStoreRmw:
+            // Figure 6: st A ; RMW B (store to a different word of
+            // the line the other thread's atomic locks).
+            b.store(r_a, r_one, 8);
+            b.fetchAdd(r_v, r_b, r_one);
+            break;
+          case DlKind::kLoadRmw:
+            // Figure 7: ld A ; RMW B.
+            b.load(r_v, r_a, 8);
+            b.fetchAdd(r_v, r_b, r_one);
+            break;
+        }
+        b.addi(r_i, r_i, -1);
+        b.branch(BranchCond::kNe, r_i, ProgramBuilder::zero(), loop);
+        b.halt();
+        return b.build();
+    };
+    w.verify = [kind, iters](const sim::System &sys, unsigned nthreads,
+                             double scale) {
+        BuildCtx c;
+        c.scale = scale;
+        std::int64_t per = c.iters(iters);
+        std::int64_t a = sys.readWord(kDataBase);
+        std::int64_t bv = sys.readWord(kDataBase + 64);
+        std::int64_t even_threads = (nthreads + 1) / 2;
+        std::int64_t odd_threads = nthreads / 2;
+        std::int64_t want_a = 0;
+        std::int64_t want_b = 0;
+        switch (kind) {
+          case DlKind::kRmwRmw:
+            want_a = per * nthreads;
+            want_b = per * nthreads;
+            break;
+          case DlKind::kStoreRmw:
+          case DlKind::kLoadRmw:
+            // Only the second access is an atomic increment.
+            want_a = per * odd_threads;
+            want_b = per * even_threads;
+            break;
+        }
+        std::string err = expectEq("line A atomic count", a, want_a);
+        if (!err.empty())
+            return err;
+        return expectEq("line B atomic count", bv, want_b);
+    };
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+litmusSuite()
+{
+    std::vector<Workload> v;
+    v.push_back(makeDekker(32));
+    v.push_back(makeMp(32));
+    v.push_back(makeSbFenced(32));
+    v.push_back(makeAtomicCounter(96));
+    v.push_back(makeDeadlock("dl_rmwrmw", DlKind::kRmwRmw, 64));
+    v.push_back(makeDeadlock("dl_storermw", DlKind::kStoreRmw, 64));
+    v.push_back(makeDeadlock("dl_loadrmw", DlKind::kLoadRmw, 64));
+    return v;
+}
+
+} // namespace fa::wl

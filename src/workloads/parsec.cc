@@ -1,0 +1,113 @@
+/**
+ * @file
+ * PARSEC-3-like synthetic applications. Per §5.2: canneal
+ * synchronizes purely with atomic operations; fluidanimate takes
+ * millions of non-contended locks; the rest are compute-dominated.
+ */
+
+#include "workloads/suites.hh"
+
+#include "workloads/kernels.hh"
+#include "workloads/verify_util.hh"
+
+namespace fa::wl {
+
+namespace {
+
+Workload
+makeParsecCompute(const std::string &name, ComputeKernelParams p)
+{
+    Workload w;
+    w.name = name;
+    w.origin = "parsec3";
+    w.build = [name, p](const BuildCtx &ctx) {
+        return computeKernel(ctx, name, p);
+    };
+    if (p.lockEvery > 0) {
+        w.verify = [p](const sim::System &sys, unsigned nthreads,
+                       double scale) {
+            BuildCtx c;
+            c.scale = scale;
+            std::int64_t per_thread = c.iters(p.iters) / p.lockEvery;
+            std::int64_t got =
+                sumWords(sys, kLockBase + 8, p.numLocks, 64);
+            return expectEq("lock-protected counter sum", got,
+                            per_thread * nthreads);
+        };
+    }
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+parsecWorkloads()
+{
+    std::vector<Workload> v;
+
+    v.push_back(makeParsecCompute("blackscholes",
+        {.iters = 32, .aluPerIter = 380, .privOpsPerIter = 10,
+         .lockEvery = 0, .numLocks = 1}));
+    v.push_back(makeParsecCompute("freqmine",
+        {.iters = 32, .aluPerIter = 350, .privOpsPerIter = 10,
+         .lockEvery = 16, .numLocks = 8}));
+    v.push_back(makeParsecCompute("facesim",
+        {.iters = 32, .aluPerIter = 280, .privOpsPerIter = 14,
+         .lockEvery = 16, .numLocks = 8}));
+    v.push_back(makeParsecCompute("swaptions",
+        {.iters = 32, .aluPerIter = 220, .privOpsPerIter = 8,
+         .lockEvery = 16, .numLocks = 32}));
+
+    // fluidanimate: very frequent, essentially uncontended locks.
+    {
+        Workload w;
+        w.name = "fluidanimate";
+        w.origin = "parsec3";
+        w.atomicIntensive = true;
+        NodeLockKernelParams p{.iters = 96, .numNodes = 512,
+                               .fieldsPerUpdate = 1,
+                               .computeBetween = 330,
+                               .nodesPerThread = 16.0};
+        w.build = [p](const BuildCtx &ctx) {
+            return nodeLockKernel(ctx, "fluidanimate", p);
+        };
+        w.init = [p](unsigned nthreads, double) {
+            sim::MemInit init;
+            int nodes = effectiveNodes(p, nthreads);
+            for (int e = 0; e < nodes; ++e)
+                init.emplace_back(kIndirBase + e * 8, e);
+            return init;
+        };
+        w.verify = [p](const sim::System &sys, unsigned nthreads,
+                       double scale) {
+            BuildCtx c;
+            c.scale = scale;
+            std::int64_t want = c.iters(p.iters) * nthreads;
+            return expectEq(
+                "cell counter sum",
+                sumWords(sys, kDataBase + 8,
+                         effectiveNodes(p, nthreads), 64),
+                want);
+        };
+        v.push_back(std::move(w));
+    }
+
+    // canneal: pure atomic-exchange element swapping (racy by
+    // design, as in the real application; no strong invariant).
+    {
+        Workload w;
+        w.name = "canneal";
+        w.origin = "parsec3";
+        w.atomicIntensive = true;
+        SwapKernelParams p{.iters = 96, .numElems = 512,
+                           .computeBetween = 110};
+        w.build = [p](const BuildCtx &ctx) {
+            return swapKernel(ctx, "canneal", p);
+        };
+        v.push_back(std::move(w));
+    }
+
+    return v;
+}
+
+} // namespace fa::wl

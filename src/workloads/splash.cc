@@ -1,0 +1,201 @@
+/**
+ * @file
+ * SPLASH-3-like synthetic applications. Parameters are chosen so the
+ * suite spans the paper's Figure 12 spectrum: compute-dominated apps
+ * (watersp, waternsq) at the low-APKI end, barrier/transpose apps
+ * with heavy store-buffer pressure (fft, radix, ocean) in the
+ * middle, and lock-heavy tree/task apps (barnes, volrend, radiosity)
+ * at the atomic-intensive end.
+ */
+
+#include "workloads/suites.hh"
+
+#include "workloads/kernels.hh"
+#include "workloads/verify_util.hh"
+
+namespace fa::wl {
+
+namespace {
+
+Workload
+makeCompute(const std::string &name, ComputeKernelParams p,
+            bool atomic_intensive = false)
+{
+    Workload w;
+    w.name = name;
+    w.origin = "splash3";
+    w.atomicIntensive = atomic_intensive;
+    w.build = [name, p](const BuildCtx &ctx) {
+        return computeKernel(ctx, name, p);
+    };
+    if (p.lockEvery > 0) {
+        w.verify = [p](const sim::System &sys, unsigned nthreads,
+                       double scale) {
+            BuildCtx c;
+            c.scale = scale;
+            std::int64_t per_thread = c.iters(p.iters) / p.lockEvery;
+            std::int64_t want = per_thread * nthreads;
+            std::int64_t got =
+                sumWords(sys, kLockBase + 8, p.numLocks, 64);
+            return expectEq("lock-protected counter sum", got, want);
+        };
+    }
+    return w;
+}
+
+Workload
+makePhase(const std::string &name, PhaseKernelParams p)
+{
+    Workload w;
+    w.name = name;
+    w.origin = "splash3";
+    w.build = [name, p](const BuildCtx &ctx) {
+        return phaseKernel(ctx, name, p);
+    };
+    w.verify = [p](const sim::System &sys, unsigned nthreads,
+                   double scale) {
+        BuildCtx c;
+        c.scale = scale;
+        std::int64_t stores = c.iters(p.storesPerPhase);
+        int last = p.phases - 1;
+        for (unsigned tid = 0; tid < nthreads; ++tid) {
+            for (std::int64_t k = 0; k < stores; ++k) {
+                Addr a = kDataBase +
+                    (tid + k * nthreads) * p.strideWords * kWordBytes;
+                std::int64_t want = k * 3 + tid * 1000 + last * 7;
+                if (sys.readWord(a) != want) {
+                    return strfmt(
+                        "phase store mismatch at tid %u k %lld", tid,
+                        static_cast<long long>(k));
+                }
+            }
+        }
+        return std::string();
+    };
+    return w;
+}
+
+Workload
+makeTaskQueue(const std::string &name, TaskQueueKernelParams p,
+              bool atomic_intensive = false)
+{
+    Workload w;
+    w.name = name;
+    w.origin = "splash3";
+    w.atomicIntensive = atomic_intensive;
+    w.build = [name, p](const BuildCtx &ctx) {
+        return taskQueueKernel(ctx, name, p);
+    };
+    w.verify = [p](const sim::System &sys, unsigned nthreads,
+                   double scale) {
+        BuildCtx c;
+        c.scale = scale;
+        // Every thread's final fetch-add observes an exhausted
+        // counter, so exactly nthreads overshoot grabs occur.
+        std::int64_t want =
+            c.iters(p.tasksPerThread) * nthreads + nthreads;
+        return expectEq("task ticket counter", sys.readWord(kDataBase),
+                        want);
+    };
+    return w;
+}
+
+Workload
+makeNodeLock(const std::string &name, NodeLockKernelParams p,
+             bool atomic_intensive)
+{
+    Workload w;
+    w.name = name;
+    w.origin = "splash3";
+    w.atomicIntensive = atomic_intensive;
+    w.build = [name, p](const BuildCtx &ctx) {
+        return nodeLockKernel(ctx, name, p);
+    };
+    w.init = [p](unsigned nthreads, double) {
+        sim::MemInit init;
+        int nodes = effectiveNodes(p, nthreads);
+        for (int e = 0; e < nodes; ++e)
+            init.emplace_back(kIndirBase + e * 8, e);
+        return init;
+    };
+    w.verify = [p](const sim::System &sys, unsigned nthreads,
+                   double scale) {
+        BuildCtx c;
+        c.scale = scale;
+        int nodes = effectiveNodes(p, nthreads);
+        std::int64_t want = c.iters(p.iters) * nthreads;
+        std::int64_t got = sumWords(sys, kDataBase + 8, nodes, 64);
+        std::string err =
+            expectEq("node counter sum", got, want);
+        if (!err.empty())
+            return err;
+        for (int f = 0; f < p.fieldsPerUpdate; ++f) {
+            got = sumWords(sys, kDataBase + 16 + 8 * f, nodes, 64);
+            err = expectEq("node field sum", got, want);
+            if (!err.empty())
+                return err;
+        }
+        return std::string();
+    };
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+splashWorkloads()
+{
+    std::vector<Workload> v;
+
+    // --- compute-dominated, rare locking ---------------------------------
+    v.push_back(makeCompute("watersp",
+        {.iters = 32, .aluPerIter = 600, .privOpsPerIter = 8,
+         .lockEvery = 32, .numLocks = 16}));
+    v.push_back(makeCompute("waternsq",
+        {.iters = 32, .aluPerIter = 400, .privOpsPerIter = 8,
+         .lockEvery = 32, .numLocks = 16}));
+
+    // --- barrier/transpose phases with store pressure ---------------------
+    v.push_back(makePhase("fft",
+        {.phases = 3, .storesPerPhase = 96, .computePerStore = 18,
+         .strideWords = 24}));
+    v.push_back(makePhase("radix",
+        {.phases = 3, .storesPerPhase = 128, .computePerStore = 10,
+         .strideWords = 40}));
+    v.push_back(makePhase("lu_ncb",
+        {.phases = 4, .storesPerPhase = 48, .computePerStore = 30,
+         .strideWords = 56}));
+    v.push_back(makePhase("lu_cb",
+        {.phases = 4, .storesPerPhase = 48, .computePerStore = 26,
+         .strideWords = 8}));
+    v.push_back(makePhase("ocean_ncp",
+        {.phases = 5, .storesPerPhase = 72, .computePerStore = 16,
+         .strideWords = 72}));
+    v.push_back(makePhase("ocean_cp",
+        {.phases = 5, .storesPerPhase = 72, .computePerStore = 16,
+         .strideWords = 16}));
+
+    // --- task queues -------------------------------------------------------
+    v.push_back(makeCompute("raytrace",
+        {.iters = 32, .aluPerIter = 300, .privOpsPerIter = 8,
+         .lockEvery = 16, .numLocks = 16}));
+    v.push_back(makeTaskQueue("cholesky",
+        {.tasksPerThread = 8, .computePerTask = 1100}));
+    v.push_back(makeTaskQueue("volrend",
+        {.tasksPerThread = 16, .computePerTask = 450}, true));
+
+    // --- per-node locking ----------------------------------------------------
+    v.push_back(makeNodeLock("fmm",
+        {.iters = 24, .numNodes = 32, .fieldsPerUpdate = 3,
+         .computeBetween = 2400, .nodesPerThread = 1.0}, false));
+    v.push_back(makeNodeLock("barnes",
+        {.iters = 48, .numNodes = 48, .fieldsPerUpdate = 2,
+         .computeBetween = 1100, .nodesPerThread = 1.5}, true));
+    v.push_back(makeNodeLock("radiosity",
+        {.iters = 64, .numNodes = 16, .fieldsPerUpdate = 1,
+         .computeBetween = 550, .nodesPerThread = 1.0}, true));
+
+    return v;
+}
+
+} // namespace fa::wl

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Per-suite workload factories, aggregated by allWorkloads().
+ */
+
+#ifndef FA_WL_SUITES_HH
+#define FA_WL_SUITES_HH
+
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace fa::wl {
+
+/** SPLASH-3-like applications (14). */
+std::vector<Workload> splashWorkloads();
+
+/** PARSEC-3-like applications (6). */
+std::vector<Workload> parsecWorkloads();
+
+/** Write-intensive suite [20, 30]: TATP, PC, TPCC, AS, CQ, RBT. */
+std::vector<Workload> writeIntensiveWorkloads();
+
+/** Litmus and deadlock-stress workloads (tests/examples). */
+std::vector<Workload> litmusSuite();
+
+/** Higher-abstraction synchronization constructs (ticket/MCS locks,
+ * seqlock) with machine-checkable invariants. */
+std::vector<Workload> syncConstructsSuite();
+
+} // namespace fa::wl
+
+#endif // FA_WL_SUITES_HH

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Higher-abstraction synchronization constructs built from atomic
+ * RMWs — the mechanisms the paper's introduction motivates (locks,
+ * barriers, "and other mechanisms used to negotiate mutual
+ * exclusion"). Each is a workload with a machine-checkable
+ * invariant:
+ *
+ *  - ticket_lock: FIFO fetch-add ticket lock; fairness and mutual
+ *    exclusion (counter sum).
+ *  - mcs_lock: MCS queue lock (xchg enqueue, CAS release); mutual
+ *    exclusion under a spin-local queue discipline.
+ *  - seqlock: sequence lock; readers must never observe a torn
+ *    write (pair consistency), which exercises TSO load ordering.
+ */
+
+#include "workloads/suites.hh"
+
+#include "workloads/kernels.hh"
+#include "workloads/verify_util.hh"
+
+namespace fa::wl {
+
+namespace {
+
+using isa::AluFn;
+using isa::BranchCond;
+using isa::Label;
+using isa::ProgramBuilder;
+using isa::Reg;
+
+// Layout: lock state at kDataBase (64B-separated words), protected
+// counter at kDataBase + 0x1000, MCS qnodes at kDataBase + 0x2000
+// (one line per thread), seqlock data pair at +0x3000.
+
+Workload
+makeTicketLock(std::int64_t iters)
+{
+    Workload w;
+    w.name = "ticket_lock";
+    w.origin = "sync";
+    w.atomicIntensive = true;
+    w.build = [iters](const BuildCtx &ctx) {
+        ProgramBuilder b("ticket_lock");
+        emitStartBarrier(b, ctx);
+        Reg r_i = b.alloc();
+        Reg r_next = b.alloc();       // &next_ticket
+        Reg r_serving = b.alloc();    // &now_serving
+        Reg r_cnt = b.alloc();
+        Reg r_one = b.alloc();
+        Reg r_my = b.alloc();
+        Reg r_cur = b.alloc();
+        Reg r_val = b.alloc();
+        b.movi(r_i, ctx.iters(iters));
+        b.movi(r_next, static_cast<std::int64_t>(kDataBase));
+        b.movi(r_serving, static_cast<std::int64_t>(kDataBase + 64));
+        b.movi(r_cnt, static_cast<std::int64_t>(kDataBase + 0x1000));
+        b.movi(r_one, 1);
+        Label loop = b.here();
+        // acquire: my = fetch_add(next_ticket); spin until serving==my
+        b.fetchAdd(r_my, r_next, r_one);
+        Label spin = b.here();
+        b.load(r_cur, r_serving);
+        Label go = b.newLabel();
+        b.branch(BranchCond::kEq, r_cur, r_my, go);
+        b.pause();
+        b.jump(spin);
+        b.bind(go);
+        // critical section
+        b.load(r_val, r_cnt);
+        b.addi(r_val, r_val, 1);
+        b.store(r_cnt, r_val);
+        // release: now_serving = my + 1 (plain store; TSO st->st
+        // order publishes the counter update first)
+        b.addi(r_cur, r_my, 1);
+        b.store(r_serving, r_cur);
+        b.addi(r_i, r_i, -1);
+        b.branch(BranchCond::kNe, r_i, ProgramBuilder::zero(), loop);
+        b.halt();
+        return b.build();
+    };
+    w.verify = [iters](const sim::System &sys, unsigned nthreads,
+                       double scale) {
+        BuildCtx c;
+        c.scale = scale;
+        std::int64_t total = c.iters(iters) * nthreads;
+        std::string err = expectEq(
+            "ticket-lock protected counter",
+            sys.readWord(kDataBase + 0x1000), total);
+        if (!err.empty())
+            return err;
+        // FIFO property: tickets handed out == tickets served.
+        err = expectEq("tickets issued", sys.readWord(kDataBase),
+                       total);
+        if (!err.empty())
+            return err;
+        return expectEq("tickets served", sys.readWord(kDataBase + 64),
+                        total);
+    };
+    return w;
+}
+
+Workload
+makeMcsLock(std::int64_t iters)
+{
+    Workload w;
+    w.name = "mcs_lock";
+    w.origin = "sync";
+    w.atomicIntensive = true;
+    w.build = [iters](const BuildCtx &ctx) {
+        // qnode layout (one line per thread): +0 next, +8 ready.
+        ProgramBuilder b("mcs_lock");
+        emitStartBarrier(b, ctx);
+        Reg r_i = b.alloc();
+        Reg r_lock = b.alloc();
+        Reg r_cnt = b.alloc();
+        Reg r_me = b.alloc();
+        Reg r_pred = b.alloc();
+        Reg r_val = b.alloc();
+        Reg r_next = b.alloc();
+        Reg r_zero_chk = b.alloc();
+        b.movi(r_i, ctx.iters(iters));
+        b.movi(r_lock, static_cast<std::int64_t>(kDataBase + 128));
+        b.movi(r_cnt, static_cast<std::int64_t>(kDataBase + 0x1000));
+        b.movi(r_me, static_cast<std::int64_t>(
+            kDataBase + 0x2000 + ctx.threadId * 64));
+
+        Label loop = b.here();
+        // acquire:
+        //   me->next = 0; me->ready = 0
+        //   pred = xchg(lock, me)
+        //   if pred: pred->next = me; spin until me->ready
+        b.store(r_me, ProgramBuilder::zero(), 0);
+        b.store(r_me, ProgramBuilder::zero(), 8);
+        b.exchange(r_pred, r_lock, r_me);
+        Label acquired = b.newLabel();
+        b.branch(BranchCond::kEq, r_pred, ProgramBuilder::zero(),
+                 acquired);
+        b.store(r_pred, r_me, 0);     // pred->next = me
+        Label wait_ready = b.here();
+        b.load(r_val, r_me, 8);
+        b.pause();
+        b.branch(BranchCond::kEq, r_val, ProgramBuilder::zero(),
+                 wait_ready);
+        b.bind(acquired);
+
+        // critical section
+        b.load(r_val, r_cnt);
+        b.addi(r_val, r_val, 1);
+        b.store(r_cnt, r_val);
+
+        // release:
+        //   if me->next == 0:
+        //       if cas(lock, me, 0) succeeded: done
+        //       else: spin until me->next != 0
+        //   next->ready = 1
+        Label done = b.newLabel();
+        Label have_next = b.newLabel();
+        b.load(r_next, r_me, 0);
+        b.branch(BranchCond::kNe, r_next, ProgramBuilder::zero(),
+                 have_next);
+        b.compareSwap(r_zero_chk, r_lock, r_me,
+                      ProgramBuilder::zero());
+        b.branch(BranchCond::kEq, r_zero_chk, r_me, done);
+        Label wait_next = b.here();
+        b.load(r_next, r_me, 0);
+        b.pause();
+        b.branch(BranchCond::kEq, r_next, ProgramBuilder::zero(),
+                 wait_next);
+        b.bind(have_next);
+        b.movi(r_val, 1);
+        b.store(r_next, r_val, 8);    // next->ready = 1
+        b.bind(done);
+
+        b.addi(r_i, r_i, -1);
+        b.branch(BranchCond::kNe, r_i, ProgramBuilder::zero(), loop);
+        b.halt();
+        return b.build();
+    };
+    w.verify = [iters](const sim::System &sys, unsigned nthreads,
+                       double scale) {
+        BuildCtx c;
+        c.scale = scale;
+        std::string err = expectEq(
+            "mcs-lock protected counter",
+            sys.readWord(kDataBase + 0x1000),
+            c.iters(iters) * nthreads);
+        if (!err.empty())
+            return err;
+        return expectEq("mcs queue empty at end",
+                        sys.readWord(kDataBase + 128), 0);
+    };
+    return w;
+}
+
+Workload
+makeSeqlock(std::int64_t iters)
+{
+    Workload w;
+    w.name = "seqlock";
+    w.origin = "sync";
+    w.build = [iters](const BuildCtx &ctx) {
+        // seq at +0x3000, data pair at +0x3008/+0x3010 (always
+        // written equal). Thread 0 writes; others read and count
+        // torn observations into a per-thread result word.
+        ProgramBuilder b("seqlock");
+        emitStartBarrier(b, ctx);
+        Reg r_i = b.alloc();
+        Reg r_seq = b.alloc();
+        Reg r_d = b.alloc();
+        Reg r_s1 = b.alloc();
+        Reg r_s2 = b.alloc();
+        Reg r_a = b.alloc();
+        Reg r_b2 = b.alloc();
+        Reg r_res = b.alloc();
+        Reg r_torn = b.alloc();
+        Reg r_odd = b.alloc();
+        b.movi(r_i, ctx.iters(iters));
+        b.movi(r_seq, static_cast<std::int64_t>(kDataBase + 0x3000));
+
+        Label loop = b.here();
+        if (ctx.threadId == 0) {
+            // writer: seq++; a = b = i; mfence; seq++
+            b.load(r_s1, r_seq);
+            b.addi(r_s1, r_s1, 1);
+            b.store(r_seq, r_s1);       // odd: write in progress
+            b.store(r_seq, r_i, 8);
+            b.store(r_seq, r_i, 16);
+            b.addi(r_s1, r_s1, 1);
+            b.store(r_seq, r_s1);       // even: stable
+            b.mfence();
+        } else {
+            // reader: s1 = seq; a; b; s2 = seq;
+            // stable even snapshot with a != b -> torn
+            b.load(r_s1, r_seq);
+            b.load(r_a, r_seq, 8);
+            b.load(r_b2, r_seq, 16);
+            b.load(r_s2, r_seq);
+            Label skip = b.newLabel();
+            b.branch(BranchCond::kNe, r_s1, r_s2, skip);
+            b.movi(r_d, 1);
+            b.alu(AluFn::kAnd, r_odd, r_s1, r_d);
+            b.branch(BranchCond::kNe, r_odd, ProgramBuilder::zero(),
+                     skip);
+            b.branch(BranchCond::kEq, r_a, r_b2, skip);
+            b.addi(r_torn, r_torn, 1);
+            b.bind(skip);
+        }
+        b.addi(r_i, r_i, -1);
+        b.branch(BranchCond::kNe, r_i, ProgramBuilder::zero(), loop);
+        b.movi(r_res, static_cast<std::int64_t>(
+            kResultBase + ctx.threadId * 8));
+        b.store(r_res, r_torn);
+        b.halt();
+        return b.build();
+    };
+    w.verify = [](const sim::System &sys, unsigned nthreads, double) {
+        for (unsigned t = 1; t < nthreads; ++t) {
+            std::int64_t torn = sys.readWord(kResultBase + t * 8);
+            if (torn != 0) {
+                return strfmt("seqlock reader %u observed %lld torn "
+                              "snapshots", t,
+                              static_cast<long long>(torn));
+            }
+        }
+        return std::string();
+    };
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+syncConstructsSuite()
+{
+    std::vector<Workload> v;
+    v.push_back(makeTicketLock(24));
+    v.push_back(makeMcsLock(24));
+    v.push_back(makeSeqlock(64));
+    return v;
+}
+
+} // namespace fa::wl

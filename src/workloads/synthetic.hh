@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Random-program generator used by the property-based tests.
+ */
+
+#ifndef FA_WL_SYNTHETIC_HH
+#define FA_WL_SYNTHETIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+#include "workloads/workload.hh"
+
+namespace fa::wl {
+
+/** Generation parameters for one synthetic thread program. */
+struct SyntheticParams
+{
+    std::uint64_t generatorSeed = 1;
+    unsigned blocks = 12;       ///< straight-line/loop blocks
+    unsigned numCounters = 4;   ///< shared atomic counters (64B apart)
+};
+
+/**
+ * Generate a thread program.
+ *
+ * @param counter_increments if non-null, receives the total this
+ *        thread adds to each shared counter (for the atomicity
+ *        invariant check)
+ */
+isa::Program buildSyntheticProgram(
+    const SyntheticParams &p, unsigned thread_id, unsigned num_threads,
+    std::vector<std::int64_t> *counter_increments);
+
+} // namespace fa::wl
+
+#endif // FA_WL_SYNTHETIC_HH

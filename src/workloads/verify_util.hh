@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Small helpers shared by the workload verify hooks.
+ */
+
+#ifndef FA_WL_VERIFY_UTIL_HH
+#define FA_WL_VERIFY_UTIL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/log.hh"
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+namespace fa::wl {
+
+/** Sum `count` words spaced `stride` bytes apart starting at base. */
+inline std::int64_t
+sumWords(const sim::System &sys, Addr base, int count, unsigned stride)
+{
+    std::int64_t sum = 0;
+    for (int i = 0; i < count; ++i)
+        sum += sys.readWord(base + static_cast<Addr>(i) * stride);
+    return sum;
+}
+
+/** "" when equal; a diagnostic otherwise. */
+inline std::string
+expectEq(const char *what, std::int64_t got, std::int64_t want)
+{
+    if (got == want)
+        return "";
+    return strfmt("%s: got %lld, want %lld", what,
+                  static_cast<long long>(got),
+                  static_cast<long long>(want));
+}
+
+} // namespace fa::wl
+
+#endif // FA_WL_VERIFY_UTIL_HH

@@ -1,0 +1,100 @@
+#include "workloads/workload.hh"
+
+#include "common/log.hh"
+#include "workloads/suites.hh"
+
+namespace fa::wl {
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> all = [] {
+        std::vector<Workload> v;
+        for (auto &w : splashWorkloads())
+            v.push_back(std::move(w));
+        for (auto &w : parsecWorkloads())
+            v.push_back(std::move(w));
+        for (auto &w : writeIntensiveWorkloads())
+            v.push_back(std::move(w));
+        return v;
+    }();
+    return all;
+}
+
+const std::vector<Workload> &
+litmusWorkloads()
+{
+    static const std::vector<Workload> all = [] {
+        std::vector<Workload> v = litmusSuite();
+        for (auto &w : syncConstructsSuite())
+            v.push_back(std::move(w));
+        return v;
+    }();
+    return all;
+}
+
+const Workload *
+findWorkload(const std::string &name)
+{
+    for (const Workload &w : allWorkloads())
+        if (w.name == name)
+            return &w;
+    for (const Workload &w : litmusWorkloads())
+        if (w.name == name)
+            return &w;
+    return nullptr;
+}
+
+std::vector<isa::Program>
+buildPrograms(const Workload &w, unsigned num_threads, double scale)
+{
+    std::vector<isa::Program> progs;
+    progs.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t) {
+        BuildCtx ctx;
+        ctx.threadId = t;
+        ctx.numThreads = num_threads;
+        ctx.scale = scale;
+        progs.push_back(w.build(ctx));
+    }
+    return progs;
+}
+
+sim::RunResult
+runWorkload(const Workload &w, sim::MachineConfig machine,
+            core::AtomicsMode mode, unsigned num_threads, double scale,
+            std::uint64_t seed, Cycle max_cycles)
+{
+    machine.core.mode = mode;
+    machine.cores = num_threads;
+    auto progs = buildPrograms(w, num_threads, scale);
+    sim::System system(machine, progs, seed);
+    if (w.init)
+        system.initMemory(w.init(num_threads, scale));
+    sim::RunOutcome outcome = system.run(max_cycles);
+
+    sim::RunResult res;
+    res.finished = outcome.finished;
+    res.failure = outcome.failure;
+    res.cycles = outcome.cycles;
+    res.core = system.coreTotals();
+    res.mem = system.mem().stats;
+    res.energy = computeEnergy(sim::EnergyParams{}, res.core, res.mem);
+    for (unsigned c = 0; c < system.numCores(); ++c) {
+        const CoreStats &cs = system.coreAt(c).stats;
+        if (cs.activeCycles >= res.slowestActiveCycles) {
+            res.slowestActiveCycles = cs.activeCycles;
+            res.slowestSleepCycles = cs.haltedCycles;
+        }
+    }
+    if (res.finished && w.verify) {
+        std::string err = w.verify(system, num_threads, scale);
+        if (!err.empty()) {
+            res.finished = false;
+            res.failure = "verify failed (" + w.name + "): " + err;
+        }
+    }
+    return res;
+}
+
+} // namespace fa::wl

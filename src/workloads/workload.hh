@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Workload registry: the paper's benchmark suite rebuilt as
+ * synthetic kernels with matching synchronization behaviour, plus
+ * litmus programs. Each workload builds one program per thread,
+ * optionally pre-initializes memory, and can verify an invariant on
+ * the final memory image (atomicity, lock-protected sums, etc.).
+ */
+
+#ifndef FA_WL_WORKLOAD_HH
+#define FA_WL_WORKLOAD_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/core_config.hh"
+#include "isa/program.hh"
+#include "sim/runner.hh"
+#include "sim/system.hh"
+
+namespace fa::wl {
+
+/** Shared-memory layout used by all workloads. */
+constexpr Addr kBarrierBase = 0x10000;   ///< count at +0, generation +64
+constexpr Addr kResultBase = 0x20000;    ///< litmus outcome words
+constexpr Addr kLockBase = 0x40000;      ///< lock i at + i*64
+constexpr Addr kDataBase = 0x200000;     ///< shared data region
+constexpr Addr kIndirBase = 0x180000;    ///< node indirection table
+constexpr Addr kPrivBase = 0x10000000;   ///< + threadId * kPrivStride
+constexpr Addr kPrivStride = 0x100000;
+
+/** Parameters handed to a per-thread program builder. */
+struct BuildCtx
+{
+    unsigned threadId = 0;
+    unsigned numThreads = 1;
+    double scale = 1.0;   ///< multiplies iteration counts
+
+    /** Scaled iteration count (at least 1). */
+    std::int64_t
+    iters(std::int64_t base) const
+    {
+        auto v = static_cast<std::int64_t>(
+            static_cast<double>(base) * scale);
+        return v < 1 ? 1 : v;
+    }
+};
+
+/** A named multi-threaded workload. */
+struct Workload
+{
+    std::string name;
+    std::string origin;        ///< splash3 / parsec3 / write-intensive
+    bool atomicIntensive = false;  ///< paper's >=0.75-APKI class
+
+    std::function<isa::Program(const BuildCtx &)> build;
+
+    /** Optional initial memory image. */
+    std::function<sim::MemInit(unsigned num_threads, double scale)> init;
+
+    /** Optional invariant check on the final state; "" when ok. */
+    std::function<std::string(const sim::System &sys,
+                              unsigned num_threads, double scale)> verify;
+};
+
+/** The 26-application suite of the paper, in Figure 12 order. */
+const std::vector<Workload> &allWorkloads();
+
+/** Litmus/stress workloads (Dekker, MP, SB, deadlock generators). */
+const std::vector<Workload> &litmusWorkloads();
+
+/** Find a workload in either registry; nullptr if unknown. */
+const Workload *findWorkload(const std::string &name);
+
+/** Build one program per thread. */
+std::vector<isa::Program> buildPrograms(const Workload &w,
+                                        unsigned num_threads,
+                                        double scale);
+
+/**
+ * Run a workload end to end: build programs, init memory, simulate,
+ * and apply the workload's verify hook (its failure message lands in
+ * RunResult::failure).
+ */
+sim::RunResult runWorkload(const Workload &w,
+                           sim::MachineConfig machine,
+                           core::AtomicsMode mode, unsigned num_threads,
+                           double scale, std::uint64_t seed,
+                           Cycle max_cycles = 50'000'000);
+
+} // namespace fa::wl
+
+#endif // FA_WL_WORKLOAD_HH

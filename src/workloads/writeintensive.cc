@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The write-intensive suite [20, 30] whose hotspot loops the paper
+ * describes in §5.5:
+ *   TATP  - one of many row locks per transaction (low contention)
+ *   PC    - one of a few hot locks per iteration (high contention)
+ *   TPCC  - a randomized list of 5..15 locks per transaction
+ *   AS    - lock two random entries and swap their values
+ *   CQ    - concurrent queue on fetch-add tickets
+ *   RBT   - coarse global lock around a short tree walk
+ */
+
+#include "workloads/suites.hh"
+
+#include "workloads/kernels.hh"
+#include "workloads/verify_util.hh"
+
+namespace fa::wl {
+
+namespace {
+
+Workload
+makeNodeLockWi(const std::string &name, NodeLockKernelParams p)
+{
+    Workload w;
+    w.name = name;
+    w.origin = "write-intensive";
+    w.atomicIntensive = true;
+    w.build = [name, p](const BuildCtx &ctx) {
+        return nodeLockKernel(ctx, name, p);
+    };
+    w.init = [p](unsigned nthreads, double) {
+        sim::MemInit init;
+        int nodes = effectiveNodes(p, nthreads);
+        for (int e = 0; e < nodes; ++e)
+            init.emplace_back(kIndirBase + e * 8, e);
+        return init;
+    };
+    w.verify = [p](const sim::System &sys, unsigned nthreads,
+                   double scale) {
+        BuildCtx c;
+        c.scale = scale;
+        int nodes = effectiveNodes(p, nthreads);
+        std::int64_t want = c.iters(p.iters) * nthreads;
+        std::string err = expectEq(
+            "row counter sum",
+            sumWords(sys, kDataBase + 8, nodes, 64), want);
+        if (!err.empty())
+            return err;
+        for (int f = 0; f < p.fieldsPerUpdate; ++f) {
+            err = expectEq(
+                "row field sum",
+                sumWords(sys, kDataBase + 16 + 8 * f, nodes, 64),
+                want);
+            if (!err.empty())
+                return err;
+        }
+        return std::string();
+    };
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+writeIntensiveWorkloads()
+{
+    std::vector<Workload> v;
+
+    v.push_back(makeNodeLockWi("TATP",
+        {.iters = 32, .numNodes = 128, .fieldsPerUpdate = 3,
+         .computeBetween = 1600, .nodesPerThread = 4.0}));
+    v.push_back(makeNodeLockWi("PC",
+        {.iters = 32, .numNodes = 12, .fieldsPerUpdate = 1,
+         .computeBetween = 1500, .nodesPerThread = 0.75}));
+
+    // TPCC: acquire 5..15 locks in ascending order, update the rows,
+    // compute, release (§5.5).
+    {
+        Workload w;
+        w.name = "TPCC";
+        w.origin = "write-intensive";
+        w.atomicIntensive = true;
+        MultiLockKernelParams p{.iters = 4, .numEntries = 64,
+                                .minLocks = 5, .maxLocks = 15,
+                                .swap = false, .computePerIter = 1200};
+        w.build = [p](const BuildCtx &ctx) {
+            return multiLockKernel(ctx, "TPCC", p);
+        };
+        w.verify = [p](const sim::System &sys, unsigned, double) {
+            std::int64_t got =
+                sumWords(sys, kDataBase + 8, p.numEntries, 64);
+            return expectEq("entry update sum", got,
+                            sys.readWord(kResultBase));
+        };
+        v.push_back(std::move(w));
+    }
+
+    // AS: lock two random entries, swap their values (§5.5).
+    {
+        Workload w;
+        w.name = "AS";
+        w.origin = "write-intensive";
+        w.atomicIntensive = true;
+        MultiLockKernelParams p{.iters = 12, .numEntries = 64,
+                                .minLocks = 2, .maxLocks = 2,
+                                .swap = true, .computePerIter = 3000};
+        w.build = [p](const BuildCtx &ctx) {
+            return multiLockKernel(ctx, "AS", p);
+        };
+        w.init = [p](unsigned, double) {
+            sim::MemInit init;
+            for (int e = 0; e < p.numEntries; ++e)
+                init.emplace_back(kDataBase + e * 64 + 8, e + 1);
+            return init;
+        };
+        w.verify = [p](const sim::System &sys, unsigned, double) {
+            // Swaps permute the values: both the sum and the sum of
+            // squares must be conserved.
+            std::int64_t sum = 0;
+            std::int64_t sq = 0;
+            for (int e = 0; e < p.numEntries; ++e) {
+                std::int64_t x = sys.readWord(kDataBase + e * 64 + 8);
+                sum += x;
+                sq += x * x;
+            }
+            std::int64_t n = p.numEntries;
+            std::int64_t want_sum = n * (n + 1) / 2;
+            std::int64_t want_sq = n * (n + 1) * (2 * n + 1) / 6;
+            std::string err =
+                expectEq("swap value sum", sum, want_sum);
+            if (!err.empty())
+                return err;
+            return expectEq("swap value square sum", sq, want_sq);
+        };
+        v.push_back(std::move(w));
+    }
+
+    // CQ: concurrent queue with fetch-add head/tail tickets.
+    {
+        Workload w;
+        w.name = "CQ";
+        w.origin = "write-intensive";
+        w.atomicIntensive = true;
+        QueueKernelParams p{.opsPerThread = 24, .slots = 64,
+                            .computeBetween = 1400};
+        w.build = [p](const BuildCtx &ctx) {
+            return queueKernel(ctx, "CQ", p);
+        };
+        w.verify = [p](const sim::System &sys, unsigned nthreads,
+                       double scale) {
+            BuildCtx c;
+            c.scale = scale;
+            std::int64_t want = c.iters(p.opsPerThread) * nthreads;
+            std::string err =
+                expectEq("tail ticket", sys.readWord(kDataBase), want);
+            if (!err.empty())
+                return err;
+            return expectEq("head ticket", sys.readWord(kDataBase + 64),
+                            want);
+        };
+        v.push_back(std::move(w));
+    }
+
+    // RBT: coarse global lock around a short pointer chase.
+    {
+        Workload w;
+        w.name = "RBT";
+        w.origin = "write-intensive";
+        w.atomicIntensive = true;
+        TreeKernelParams p{.iters = 48, .numNodes = 128,
+                           .chaseSteps = 3, .computeBetween = 500};
+        w.build = [p](const BuildCtx &ctx) {
+            return treeKernel(ctx, "RBT", p);
+        };
+        w.init = [p](unsigned, double) {
+            sim::MemInit init;
+            for (int e = 0; e < p.numNodes; ++e)
+                init.emplace_back(kDataBase + e * 8,
+                                  (e * 7 + 3) % p.numNodes);
+            return init;
+        };
+        w.verify = [p](const sim::System &sys, unsigned nthreads,
+                       double scale) {
+            BuildCtx c;
+            c.scale = scale;
+            std::int64_t want = c.iters(p.iters) * nthreads;
+            return expectEq("tree op counter",
+                            sys.readWord(kDataBase - 64), want);
+        };
+        v.push_back(std::move(w));
+    }
+
+    return v;
+}
+
+} // namespace fa::wl

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the text assembler: mnemonic coverage, operand parsing,
+ * labels, errors with line numbers, and round-tripping through the
+ * simulator and reference interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "freeatomics/freeatomics.hh"
+
+namespace fa::isa {
+namespace {
+
+TEST(Assembler, StraightLineProgram)
+{
+    Program p = assemble("t", R"(
+        movi r1, 0x1000
+        movi r2, 41
+        addi r2, r2, 1
+        store [r1], r2
+        load r3, [r1 + 8]
+        halt
+    )");
+    ASSERT_EQ(p.code.size(), 6u);
+    EXPECT_EQ(p.code[0].op, Op::kMovi);
+    EXPECT_EQ(p.code[0].imm, 0x1000);
+    EXPECT_EQ(p.code[3].op, Op::kStore);
+    EXPECT_EQ(p.code[4].op, Op::kLoad);
+    EXPECT_EQ(p.code[4].imm, 8);
+    MemImage mem;
+    auto res = interpret(p, mem, 1);
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(mem.read(0x1000), 42);
+}
+
+TEST(Assembler, LabelsForwardAndBackward)
+{
+    Program p = assemble("t", R"(
+        movi r1, 5
+    loop:
+        addi r1, r1, -1
+        bne r1, r0, loop
+        jump done
+        nop
+    done:
+        halt
+    )");
+    MemImage mem;
+    auto res = interpret(p, mem, 1);
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(res.regs[1], 0);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    Program p = assemble("t", R"(
+        ; full-line comment
+        # hash comment
+
+        movi r1, 1   ; trailing comment
+        halt         # another
+    )");
+    EXPECT_EQ(p.code.size(), 2u);
+}
+
+TEST(Assembler, AtomicsAndFences)
+{
+    Program p = assemble("t", R"(
+        movi r1, 0x2000
+        movi r2, 3
+        fetchadd r3, [r1], r2
+        tas r4, [r1 + 8]
+        xchg r5, [r1 + 16], r2
+        cas r6, [r1 + 24], r0, r2
+        mfence
+        halt
+    )");
+    EXPECT_EQ(p.code[2].rmw, RmwKind::kFetchAdd);
+    EXPECT_EQ(p.code[3].rmw, RmwKind::kTestAndSet);
+    EXPECT_EQ(p.code[4].rmw, RmwKind::kExchange);
+    EXPECT_EQ(p.code[5].rmw, RmwKind::kCompareSwap);
+    EXPECT_EQ(p.code[6].op, Op::kMfence);
+    MemImage mem;
+    interpret(p, mem, 1);
+    EXPECT_EQ(mem.read(0x2000), 3);
+    EXPECT_EQ(mem.read(0x2008), 1);
+    EXPECT_EQ(mem.read(0x2010), 3);
+    EXPECT_EQ(mem.read(0x2018), 3);
+}
+
+TEST(Assembler, LlScPair)
+{
+    Program p = assemble("t", R"(
+        movi r1, 0x3000
+        movi r2, 9
+        ll r3, [r1]
+        sc r4, [r1], r2
+        halt
+    )");
+    EXPECT_EQ(p.code[2].op, Op::kLoadLinked);
+    EXPECT_EQ(p.code[3].op, Op::kStoreCond);
+    MemImage mem;
+    interpret(p, mem, 1);
+    EXPECT_EQ(mem.read(0x3000), 9);
+}
+
+TEST(Assembler, NegativeOffsetsAndHex)
+{
+    Program p = assemble("t", R"(
+        movi r1, 0x1040
+        store [r1 - 0x40], r1
+        halt
+    )");
+    EXPECT_EQ(p.code[1].imm, -0x40);
+    MemImage mem;
+    interpret(p, mem, 1);
+    EXPECT_EQ(mem.read(0x1000), 0x1040);
+}
+
+TEST(Assembler, AluMnemonics)
+{
+    Program p = assemble("t", R"(
+        movi r1, 6
+        movi r2, 3
+        add r3, r1, r2
+        sub r4, r1, r2
+        mul r5, r1, r2
+        and r6, r1, r2
+        or  r7, r1, r2
+        xor r8, r1, r2
+        shl r9, r1, r2
+        shr r10, r1, r2
+        lt  r11, r2, r1
+        eq  r12, r1, r1
+        halt
+    )");
+    MemImage mem;
+    auto res = interpret(p, mem, 1);
+    EXPECT_EQ(res.regs[3], 9);
+    EXPECT_EQ(res.regs[4], 3);
+    EXPECT_EQ(res.regs[5], 18);
+    EXPECT_EQ(res.regs[9], 48);
+    EXPECT_EQ(res.regs[11], 1);
+    EXPECT_EQ(res.regs[12], 1);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    try {
+        assemble("t", "movi r1, 1\nbogus r2, r3\nhalt\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(e.message.find("line 2"), std::string::npos);
+        EXPECT_NE(e.message.find("bogus"), std::string::npos);
+    }
+}
+
+TEST(Assembler, UndefinedLabelIsFatal)
+{
+    EXPECT_THROW(assemble("t", "jump nowhere\nhalt\n"), FatalError);
+}
+
+TEST(Assembler, DuplicateLabelIsFatal)
+{
+    EXPECT_THROW(assemble("t", "a:\nnop\na:\nhalt\n"), FatalError);
+}
+
+TEST(Assembler, BadRegisterIsFatal)
+{
+    EXPECT_THROW(assemble("t", "movi r99, 1\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble("t", "movi x1, 1\nhalt\n"), FatalError);
+}
+
+TEST(Assembler, OperandCountIsChecked)
+{
+    EXPECT_THROW(assemble("t", "movi r1\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble("t", "add r1, r2\nhalt\n"), FatalError);
+}
+
+TEST(Assembler, RunsOnTheSimulatorLikeBuiltPrograms)
+{
+    Program p = assemble("counter", R"(
+        movi r1, 0x20000
+        movi r2, 1
+        movi r3, 16
+    loop:
+        fetchadd r4, [r1], r2
+        addi r3, r3, -1
+        bne r3, r0, loop
+        halt
+    )");
+    auto m = sim::MachineConfig::tiny(4);
+    m.core.mode = core::AtomicsMode::kFreeFwd;
+    sim::System sys(m, std::vector<Program>(4, p), 5);
+    auto out = sys.run(1'000'000);
+    ASSERT_TRUE(out.finished) << out.failure;
+    EXPECT_EQ(sys.readWord(0x20000), 64);
+}
+
+TEST(Assembler, DisasmRoundTrip)
+{
+    // Every disasm line of a built program must re-assemble to the
+    // same opcode stream (branch targets become labels).
+    isa::ProgramBuilder b("t");
+    auto r1 = b.alloc();
+    auto r2 = b.alloc();
+    b.movi(r1, 7).addi(r2, r1, -3).load(r2, r1, 16);
+    b.store(r1, r2, 8).fetchAdd(r2, r1, r2).mfence().halt();
+    Program orig = b.build();
+    std::string text;
+    for (const auto &inst : orig.code)
+        text += Program::disasm(inst) + "\n";
+    Program again = assemble("t", text);
+    ASSERT_EQ(again.code.size(), orig.code.size());
+    for (size_t i = 0; i < orig.code.size(); ++i) {
+        EXPECT_EQ(again.code[i].op, orig.code[i].op) << "pc " << i;
+        EXPECT_EQ(again.code[i].imm, orig.code[i].imm) << "pc " << i;
+    }
+}
+
+TEST(Assembler, MissingFileIsFatal)
+{
+    EXPECT_THROW(assembleFile("/no/such/file.fasm"), FatalError);
+}
+
+} // namespace
+} // namespace fa::isa

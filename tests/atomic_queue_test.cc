@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the Atomic Queue (paper §4): allocation, the lock
+ * CAM searches, SQid forwarding broadcasts and flush behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "core/atomic_queue.hh"
+
+namespace fa::core {
+namespace {
+
+TEST(AtomicQueue, AllocateUntilFull)
+{
+    AtomicQueue aq(2);
+    EXPECT_EQ(aq.size(), 2u);
+    int a = aq.allocate(1);
+    int b = aq.allocate(2);
+    EXPECT_GE(a, 0);
+    EXPECT_GE(b, 0);
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(aq.full());
+    EXPECT_EQ(aq.allocate(3), -1);
+}
+
+TEST(AtomicQueue, ReleaseMakesRoom)
+{
+    AtomicQueue aq(1);
+    int a = aq.allocate(1);
+    EXPECT_TRUE(aq.full());
+    aq.release(a);
+    EXPECT_FALSE(aq.full());
+    EXPECT_GE(aq.allocate(2), 0);
+}
+
+TEST(AtomicQueue, LockSearchByLine)
+{
+    AtomicQueue aq(4);
+    int a = aq.allocate(1);
+    EXPECT_FALSE(aq.isLineLocked(0x1000));
+    aq.lock(a, 0x1000);
+    EXPECT_TRUE(aq.isLineLocked(0x1000));
+    EXPECT_FALSE(aq.isLineLocked(0x1040));
+    EXPECT_TRUE(aq.anyLocked());
+}
+
+TEST(AtomicQueue, SameLineLockedTwice)
+{
+    // Implication 2 (§3.2.2): a line locked by two atomics stays
+    // locked until both release.
+    AtomicQueue aq(4);
+    int a = aq.allocate(1);
+    int b = aq.allocate(2);
+    aq.lock(a, 0x1000);
+    aq.lock(b, 0x1000);
+    aq.release(a);
+    EXPECT_TRUE(aq.isLineLocked(0x1000));
+    aq.release(b);
+    EXPECT_FALSE(aq.isLineLocked(0x1000));
+}
+
+TEST(AtomicQueue, UnlockKeepsEntryValid)
+{
+    AtomicQueue aq(2);
+    int a = aq.allocate(1);
+    aq.lock(a, 0x1000);
+    aq.unlock(a);
+    EXPECT_FALSE(aq.isLineLocked(0x1000));
+    EXPECT_EQ(aq.occupancy(), 1u);
+}
+
+TEST(AtomicQueue, OldestLockedSeq)
+{
+    AtomicQueue aq(4);
+    int a = aq.allocate(10);
+    int b = aq.allocate(5);
+    EXPECT_EQ(aq.oldestLockedSeq(), kNoSeq);
+    aq.lock(a, 0x1000);
+    aq.lock(b, 0x2000);
+    EXPECT_EQ(aq.oldestLockedSeq(), 5u);
+    aq.release(b);
+    EXPECT_EQ(aq.oldestLockedSeq(), 10u);
+}
+
+TEST(AtomicQueue, ForwardBroadcastCapturesLock)
+{
+    // §4.2: the store's SQid broadcast transfers/establishes the lock
+    // (do_not_unlock and lock_on_access share this mechanism).
+    AtomicQueue aq(4);
+    int a = aq.allocate(7);
+    aq.setForwardedFrom(a, 3);
+    EXPECT_FALSE(aq.anyLocked());
+    unsigned captured = aq.broadcastStorePerform(3, 0x1000);
+    EXPECT_EQ(captured, 1u);
+    EXPECT_TRUE(aq.isLineLocked(0x1000));
+}
+
+TEST(AtomicQueue, BroadcastMatchesExactSqid)
+{
+    AtomicQueue aq(4);
+    int a = aq.allocate(7);
+    aq.setForwardedFrom(a, 3);
+    EXPECT_EQ(aq.broadcastStorePerform(4, 0x1000), 0u);
+    EXPECT_FALSE(aq.anyLocked());
+}
+
+TEST(AtomicQueue, ClearForwardCancelsCapture)
+{
+    AtomicQueue aq(4);
+    int a = aq.allocate(7);
+    aq.setForwardedFrom(a, 3);
+    aq.clearForward(a);
+    EXPECT_EQ(aq.broadcastStorePerform(3, 0x1000), 0u);
+}
+
+TEST(AtomicQueue, ReleaseCancelsPendingCapture)
+{
+    // §3.3.3: squashing a forwarded load_lock takes back the
+    // responsibility; with the broadcast scheme, releasing the entry
+    // makes the broadcast a no-op.
+    AtomicQueue aq(4);
+    int a = aq.allocate(7);
+    aq.setForwardedFrom(a, 3);
+    aq.release(a);
+    EXPECT_EQ(aq.broadcastStorePerform(3, 0x1000), 0u);
+    EXPECT_FALSE(aq.isLineLocked(0x1000));
+}
+
+TEST(AtomicQueue, ReleaseUnlocksLine)
+{
+    // unlock_on_squash (§3.1): flushing the entry lifts the lock.
+    AtomicQueue aq(2);
+    int a = aq.allocate(1);
+    aq.lock(a, 0x1000);
+    aq.release(a);
+    EXPECT_FALSE(aq.isLineLocked(0x1000));
+}
+
+TEST(AtomicQueue, LockOverwritesForwardState)
+{
+    AtomicQueue aq(2);
+    int a = aq.allocate(1);
+    aq.setForwardedFrom(a, 9);
+    aq.lock(a, 0x2000);
+    EXPECT_TRUE(aq.isLineLocked(0x2000));
+    // The pending capture was cancelled by the direct lock.
+    EXPECT_EQ(aq.broadcastStorePerform(9, 0x3000), 0u);
+}
+
+TEST(AtomicQueue, DoubleReleasePanics)
+{
+    AtomicQueue aq(2);
+    int a = aq.allocate(1);
+    aq.release(a);
+    EXPECT_DEATH(aq.release(a), "invalid");
+}
+
+TEST(AtomicQueue, ZeroSizeIsFatal)
+{
+    EXPECT_THROW(AtomicQueue(0), FatalError);
+}
+
+} // namespace
+} // namespace fa::core

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the set-associative tag/state array, including the
+ * lock-aware victim selection of paper §3.2.4.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/log.hh"
+#include "mem/cache_array.hh"
+
+namespace fa::mem {
+namespace {
+
+Addr
+lineInSet(const CacheArray &c, unsigned set, unsigned k)
+{
+    // k-th distinct line mapping to `set` under the hashed index.
+    unsigned found = 0;
+    for (Addr line = 0;; line += kLineBytes) {
+        if (c.setOf(line) == set) {
+            if (found == k)
+                return line;
+            ++found;
+        }
+    }
+}
+
+TEST(CacheArray, StateHelpers)
+{
+    EXPECT_TRUE(hasWritePerm(CacheState::kModified));
+    EXPECT_TRUE(hasWritePerm(CacheState::kExclusive));
+    EXPECT_FALSE(hasWritePerm(CacheState::kShared));
+    EXPECT_FALSE(hasWritePerm(CacheState::kInvalid));
+    EXPECT_TRUE(isValid(CacheState::kShared));
+    EXPECT_FALSE(isValid(CacheState::kInvalid));
+    EXPECT_STREQ(cacheStateName(CacheState::kModified), "M");
+    EXPECT_STREQ(cacheStateName(CacheState::kInvalid), "I");
+}
+
+TEST(CacheArray, InsertAndLookup)
+{
+    CacheArray c(4, 2);
+    Addr a = lineInSet(c, 1, 0);
+    EXPECT_FALSE(c.contains(a));
+    auto r = c.insert(a, CacheState::kShared, 1, nullptr);
+    EXPECT_TRUE(r.ok);
+    EXPECT_FALSE(r.evicted);
+    EXPECT_EQ(c.stateOf(a), CacheState::kShared);
+    EXPECT_EQ(c.population(), 1u);
+}
+
+TEST(CacheArray, ReinsertUpgradesState)
+{
+    CacheArray c(4, 2);
+    Addr a = lineInSet(c, 0, 0);
+    c.insert(a, CacheState::kShared, 1, nullptr);
+    auto r = c.insert(a, CacheState::kModified, 2, nullptr);
+    EXPECT_TRUE(r.ok);
+    EXPECT_FALSE(r.evicted);
+    EXPECT_EQ(c.stateOf(a), CacheState::kModified);
+    EXPECT_EQ(c.population(), 1u);
+}
+
+TEST(CacheArray, LruEviction)
+{
+    CacheArray c(2, 2);
+    Addr a = lineInSet(c, 0, 0);
+    Addr b = lineInSet(c, 0, 1);
+    Addr d = lineInSet(c, 0, 2);
+    c.insert(a, CacheState::kShared, 1, nullptr);
+    c.insert(b, CacheState::kShared, 2, nullptr);
+    c.touch(a, 3);  // b becomes LRU
+    auto r = c.insert(d, CacheState::kShared, 4, nullptr);
+    EXPECT_TRUE(r.ok);
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.victimLine, b);
+    EXPECT_TRUE(c.contains(a));
+    EXPECT_FALSE(c.contains(b));
+}
+
+TEST(CacheArray, EvictionReportsVictimState)
+{
+    CacheArray c(2, 1);
+    Addr a = lineInSet(c, 0, 0);
+    Addr b = lineInSet(c, 0, 1);
+    c.insert(a, CacheState::kModified, 1, nullptr);
+    auto r = c.insert(b, CacheState::kShared, 2, nullptr);
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.victimState, CacheState::kModified);
+}
+
+TEST(CacheArray, LockedLineIsNeverVictim)
+{
+    CacheArray c(2, 2);
+    Addr a = lineInSet(c, 0, 0);
+    Addr b = lineInSet(c, 0, 1);
+    Addr d = lineInSet(c, 0, 2);
+    c.insert(a, CacheState::kModified, 1, nullptr);
+    c.insert(b, CacheState::kShared, 2, nullptr);
+    // `a` is LRU but locked: `b` must be chosen instead.
+    auto locked = [a](Addr line) { return line == a; };
+    auto r = c.insert(d, CacheState::kShared, 3, locked);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.victimLine, b);
+    EXPECT_TRUE(c.contains(a));
+}
+
+TEST(CacheArray, AllWaysLockedBlocksInsert)
+{
+    CacheArray c(2, 2);
+    Addr a = lineInSet(c, 0, 0);
+    Addr b = lineInSet(c, 0, 1);
+    Addr d = lineInSet(c, 0, 2);
+    c.insert(a, CacheState::kModified, 1, nullptr);
+    c.insert(b, CacheState::kModified, 2, nullptr);
+    auto locked = [](Addr) { return true; };
+    auto r = c.insert(d, CacheState::kShared, 3, locked);
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(c.contains(a));
+    EXPECT_TRUE(c.contains(b));
+}
+
+TEST(CacheArray, InvalidateIsIdempotent)
+{
+    CacheArray c(2, 2);
+    Addr a = lineInSet(c, 1, 0);
+    c.insert(a, CacheState::kShared, 1, nullptr);
+    c.invalidate(a);
+    EXPECT_FALSE(c.contains(a));
+    c.invalidate(a);  // no-op
+    EXPECT_EQ(c.population(), 0u);
+}
+
+TEST(CacheArray, SetMappingSeparatesSets)
+{
+    CacheArray c(4, 1);
+    std::set<unsigned> sets;
+    for (unsigned k = 0; k < 4; ++k)
+        sets.insert(c.setOf(static_cast<Addr>(k) << kLineShift));
+    EXPECT_EQ(sets.size(), 4u);
+}
+
+TEST(CacheArray, LinesInSet)
+{
+    CacheArray c(2, 2);
+    Addr a = lineInSet(c, 1, 0);
+    Addr b = lineInSet(c, 1, 1);
+    c.insert(a, CacheState::kShared, 1, nullptr);
+    c.insert(b, CacheState::kExclusive, 2, nullptr);
+    auto lines = c.linesInSet(1);
+    EXPECT_EQ(lines.size(), 2u);
+    EXPECT_TRUE(c.linesInSet(0).empty());
+}
+
+TEST(CacheArray, NonPowerOfTwoSetsIsFatal)
+{
+    EXPECT_THROW(CacheArray(3, 2), FatalError);
+}
+
+TEST(CacheArray, SetStateOnAbsentLinePanics)
+{
+    CacheArray c(2, 1);
+    EXPECT_DEATH(c.setState(0x1000, CacheState::kModified), "absent");
+}
+
+} // namespace
+} // namespace fa::mem

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Store-buffer coalescing tests (non-speculative same-line draining,
+ * related-work [44]): faster on store bursts, architecturally
+ * invisible, and correct under contention and with Free atomics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "freeatomics/freeatomics.hh"
+
+namespace fa {
+namespace {
+
+using core::AtomicsMode;
+
+isa::Program
+burstProgram()
+{
+    return isa::assemble("burst", R"(
+        movi r1, 0x100000
+        movi r3, 24
+    loop:
+        store [r1], r3
+        store [r1 + 8], r3
+        store [r1 + 16], r3
+        store [r1 + 24], r3
+        addi r1, r1, 64
+        addi r3, r3, -1
+        bne r3, r0, loop
+        halt
+    )");
+}
+
+TEST(SbCoalescing, BurstsDrainFaster)
+{
+    auto run = [](bool coal) {
+        auto m = sim::MachineConfig::icelake(1);
+        m.core.sbCoalescing = coal;
+        sim::System sys(m, {burstProgram()}, 3);
+        auto out = sys.run(1'000'000);
+        EXPECT_TRUE(out.finished);
+        return std::pair<Cycle, std::uint64_t>(
+            out.cycles, sys.coreAt(0).stats.sbCoalescedStores);
+    };
+    auto [plain_cycles, plain_coal] = run(false);
+    auto [coal_cycles, coal_count] = run(true);
+    EXPECT_EQ(plain_coal, 0u);
+    EXPECT_GT(coal_count, 0u);
+    EXPECT_LT(coal_cycles, plain_cycles);
+}
+
+TEST(SbCoalescing, ArchitecturallyInvisible)
+{
+    auto image = [](bool coal) {
+        auto m = sim::MachineConfig::icelake(1);
+        m.core.sbCoalescing = coal;
+        sim::System sys(m, {burstProgram()}, 3);
+        sys.run(1'000'000);
+        std::int64_t sum = 0;
+        for (int i = 0; i < 24 * 4; ++i)
+            sum += sys.readWord(0x100000 + i * 8) * (i + 1);
+        return sum;
+    };
+    EXPECT_EQ(image(false), image(true));
+}
+
+TEST(SbCoalescing, AtomicsStillDrainOneAtATime)
+{
+    // store_unlocks are never coalesced (the unlock point is the
+    // atomic's serialization point).
+    isa::Program p = isa::assemble("atomics", R"(
+        movi r1, 0x100000
+        movi r2, 1
+        fetchadd r3, [r1], r2
+        fetchadd r3, [r1 + 8], r2
+        fetchadd r3, [r1 + 16], r2
+        halt
+    )");
+    auto m = sim::MachineConfig::icelake(1);
+    m.core.sbCoalescing = true;
+    m.core.mode = AtomicsMode::kFreeFwd;
+    sim::System sys(m, {p}, 3);
+    auto out = sys.run(1'000'000);
+    ASSERT_TRUE(out.finished);
+    EXPECT_EQ(sys.coreAt(0).stats.sbCoalescedStores, 0u);
+    EXPECT_EQ(sys.readWord(0x100000), 1);
+    EXPECT_EQ(sys.readWord(0x100008), 1);
+}
+
+struct CoalParam
+{
+    const char *workload;
+    AtomicsMode mode;
+};
+
+class CoalescedWorkloads : public ::testing::TestWithParam<CoalParam>
+{
+};
+
+TEST_P(CoalescedWorkloads, InvariantsHoldWithCoalescing)
+{
+    const auto &p = GetParam();
+    const auto *w = wl::findWorkload(p.workload);
+    auto m = sim::MachineConfig::tiny(4);
+    m.core.sbCoalescing = true;
+    auto r = wl::runWorkload(*w, m, p.mode, 4, 0.5, 61, 40'000'000);
+    EXPECT_TRUE(r.finished) << r.failure;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CoalescedWorkloads,
+    ::testing::Values(CoalParam{"barnes", AtomicsMode::kFenced},
+                      CoalParam{"barnes", AtomicsMode::kFreeFwd},
+                      CoalParam{"fft", AtomicsMode::kFreeFwd},
+                      CoalParam{"AS", AtomicsMode::kFreeFwd},
+                      CoalParam{"mcs_lock", AtomicsMode::kFreeFwd},
+                      CoalParam{"atomic_counter",
+                                AtomicsMode::kFree}),
+    [](const ::testing::TestParamInfo<CoalParam> &info) {
+        return std::string(info.param.workload) + "_" +
+            core::atomicsModeIdent(info.param.mode);
+    });
+
+TEST(SbCoalescing, TsoLitmusStillHolds)
+{
+    for (const char *name : {"dekker", "mp", "sb_fenced"}) {
+        const auto *w = wl::findWorkload(name);
+        auto m = sim::MachineConfig::tiny(2);
+        m.core.sbCoalescing = true;
+        auto r = wl::runWorkload(*w, m, AtomicsMode::kFreeFwd, 2, 1.0,
+                                 63, 20'000'000);
+        EXPECT_TRUE(r.finished) << name << ": " << r.failure;
+    }
+}
+
+} // namespace
+} // namespace fa

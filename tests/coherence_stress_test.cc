@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Randomized coherence stress: fake cores fire random GetS/GetX
+ * traffic (with random lock windows) at a small hierarchy while
+ * MESI invariants are checked continuously:
+ *
+ *   1. single-writer: at most one core holds M/E on a line;
+ *   2. no-stale-readers: while some core holds M/E, no other core
+ *      holds any copy;
+ *   3. L1 inclusion: every L1-resident line is L2-resident;
+ *   4. every fill grants at least the requested permission;
+ *   5. the system quiesces (no transaction lives forever) once
+ *      locks are released.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "mem/mem_system.hh"
+
+namespace fa::mem {
+namespace {
+
+class StressCore : public CoreMemIf
+{
+  public:
+    void
+    onFill(SeqNum waiter, Addr line, bool write_perm, Cycle) override
+    {
+        lastFill = {waiter, line, write_perm};
+        ++fills;
+    }
+
+    void onLineLost(Addr line, Cycle) override { lockedLines.erase(line); }
+
+    bool
+    isLineLocked(Addr line) const override
+    {
+        return lockedLines.count(line) > 0;
+    }
+
+    struct Fill
+    {
+        SeqNum waiter = 0;
+        Addr line = 0;
+        bool writePerm = false;
+    };
+
+    Fill lastFill;
+    unsigned fills = 0;
+    std::set<Addr> lockedLines;
+};
+
+struct StressParam
+{
+    std::uint64_t seed;
+    Protocol protocol;
+};
+
+class CoherenceStress : public ::testing::TestWithParam<StressParam>
+{
+  protected:
+    static constexpr unsigned kCores = 4;
+    static constexpr unsigned kLines = 24;
+
+    CoherenceStress()
+    {
+        cfg.l1Sets = 4;
+        cfg.l1Ways = 2;
+        cfg.l2Sets = 8;
+        cfg.l2Ways = 4;
+        cfg.l3Sets = 32;
+        cfg.l3Ways = 8;
+        cfg.dirCoverage = 1.5;
+        cfg.dirWays = 4;
+        cfg.netLatency = 3;
+        cfg.memLatency = 20;
+        cfg.l3DataLatency = 8;
+        cfg.l2HitLatency = 4;
+        cfg.protocol = GetParam().protocol;
+        mem = std::make_unique<MemSystem>(cfg, kCores);
+        for (CoreId c = 0; c < kCores; ++c)
+            mem->attachCore(c, &cores[c]);
+    }
+
+    Addr
+    lineAt(unsigned i) const
+    {
+        return 0x40000 + static_cast<Addr>(i) * kLineBytes;
+    }
+
+    void
+    checkInvariants()
+    {
+        for (unsigned i = 0; i < kLines; ++i) {
+            Addr line = lineAt(i);
+            unsigned writers = 0;
+            unsigned holders = 0;
+            for (CoreId c = 0; c < kCores; ++c) {
+                if (mem->privHolds(c, line))
+                    ++holders;
+                if (mem->privHasWritePerm(c, line))
+                    ++writers;
+                // Inclusion: L1 residence implies L2 residence.
+                if (mem->l1Holds(c, line)) {
+                    ASSERT_TRUE(mem->privHolds(c, line))
+                        << "L1/L2 inclusion broken on line " << i;
+                }
+            }
+            ASSERT_LE(writers, 1u) << "two writers on line " << i;
+            if (writers == 1) {
+                ASSERT_EQ(holders, 1u)
+                    << "stale reader beside a writer on line " << i;
+            }
+        }
+    }
+
+    MemConfig cfg;
+    std::unique_ptr<MemSystem> mem;
+    StressCore cores[kCores];
+};
+
+TEST_P(CoherenceStress, InvariantsHoldUnderRandomTraffic)
+{
+    Rng rng(GetParam().seed);
+    Cycle now = 0;
+    SeqNum seq = 1;
+    for (unsigned step = 0; step < 3000; ++step) {
+        // Random action per step.
+        CoreId c = static_cast<CoreId>(rng.below(kCores));
+        Addr line = lineAt(static_cast<unsigned>(rng.below(kLines)));
+        switch (rng.below(8)) {
+          case 0:
+          case 1:
+          case 2:
+            mem->access(c, line, false, seq++, now);
+            break;
+          case 3:
+          case 4:
+            mem->access(c, line, true, seq++, now);
+            break;
+          case 5:  // lock a line the core holds with write permission
+            if (mem->privHasWritePerm(c, line) &&
+                mem->l1Holds(c, line) &&
+                cores[c].lockedLines.size() < 2) {
+                cores[c].lockedLines.insert(line);
+            }
+            break;
+          case 6:  // release a lock
+            if (!cores[c].lockedLines.empty()) {
+                cores[c].lockedLines.erase(
+                    *cores[c].lockedLines.begin());
+            }
+            break;
+          case 7:  // committed store write-through
+            if (mem->privHasWritePerm(c, line))
+                mem->performStoreWrite(c, line + 8, step, now);
+            break;
+        }
+        mem->tick(now++);
+        if (step % 16 == 0)
+            checkInvariants();
+    }
+
+    // Release every lock and let all transactions finish.
+    for (CoreId c = 0; c < kCores; ++c)
+        cores[c].lockedLines.clear();
+    Cycle limit = now + 20000;
+    while (!mem->quiescent() && now < limit)
+        mem->tick(now++);
+    EXPECT_TRUE(mem->quiescent())
+        << "transactions stuck after all locks released";
+    checkInvariants();
+}
+
+std::vector<StressParam>
+stressMatrix()
+{
+    std::vector<StressParam> v;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        for (Protocol p :
+             {Protocol::kMesi, Protocol::kMesif, Protocol::kMoesi}) {
+            v.push_back({seed, p});
+        }
+    }
+    return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, CoherenceStress, ::testing::ValuesIn(stressMatrix()),
+    [](const ::testing::TestParamInfo<StressParam> &info) {
+        const char *p = info.param.protocol == Protocol::kMesi
+            ? "mesi"
+            : info.param.protocol == Protocol::kMesif ? "mesif"
+                                                      : "moesi";
+        return std::string(p) + "_s" +
+            std::to_string(info.param.seed);
+    });
+
+} // namespace
+} // namespace fa::mem

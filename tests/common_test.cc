@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests for the common substrate: RNG determinism, the stateless
+ * mixer, the functional memory image, the table printer, logging and
+ * address arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/log.hh"
+#include "common/mem_image.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+
+namespace fa {
+namespace {
+
+TEST(Types, LineAlignment)
+{
+    EXPECT_EQ(lineOf(0), 0u);
+    EXPECT_EQ(lineOf(63), 0u);
+    EXPECT_EQ(lineOf(64), 64u);
+    EXPECT_EQ(lineOf(0x12345), 0x12340u);
+}
+
+TEST(Types, WordAlignment)
+{
+    EXPECT_EQ(wordOf(0), 0u);
+    EXPECT_EQ(wordOf(7), 0u);
+    EXPECT_EQ(wordOf(8), 8u);
+    EXPECT_EQ(wordIndex(16), 2u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = r.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ZeroSeedIsUsable)
+{
+    Rng r(0);
+    EXPECT_NE(r.next(), 0u);
+}
+
+TEST(Mix64, PureFunction)
+{
+    EXPECT_EQ(mix64(1, 2), mix64(1, 2));
+    EXPECT_NE(mix64(1, 2), mix64(2, 1));
+    EXPECT_NE(mix64(1, 2), mix64(1, 3));
+}
+
+TEST(MemImage, UnsetReadsZero)
+{
+    MemImage m;
+    EXPECT_EQ(m.read(0x1000), 0);
+}
+
+TEST(MemImage, WriteRead)
+{
+    MemImage m;
+    m.write(0x1000, -7);
+    EXPECT_EQ(m.read(0x1000), -7);
+    EXPECT_EQ(m.read(0x1008), 0);
+}
+
+TEST(MemImage, EqualityTreatsAbsentAsZero)
+{
+    MemImage a;
+    MemImage b;
+    a.write(8, 0);
+    EXPECT_TRUE(a == b);
+    a.write(16, 5);
+    EXPECT_FALSE(a == b);
+    b.write(16, 5);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(Table, AlignedOutputHasHeaderAndRows)
+{
+    TablePrinter t({"a", "bb"});
+    t.cell("x").cell(std::uint64_t{12}).endRow();
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("a"), std::string::npos);
+    EXPECT_NE(s.find("12"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 1u);
+}
+
+TEST(Table, CsvOutput)
+{
+    TablePrinter t({"a", "b"});
+    t.cell("1").cell("2").endRow();
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowArityMismatchPanics)
+{
+    TablePrinter t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "cells");
+}
+
+TEST(Table, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(1.2345, 2), "1.23");
+    EXPECT_EQ(fmtDouble(2.0, 0), "2");
+}
+
+TEST(Log, StrFmt)
+{
+    EXPECT_EQ(strfmt("x=%d y=%s", 5, "z"), "x=5 y=z");
+}
+
+TEST(Log, FatalThrows)
+{
+    EXPECT_THROW(fatal("boom %d", 3), FatalError);
+    try {
+        fatal("boom %d", 3);
+    } catch (const FatalError &e) {
+        EXPECT_EQ(e.message, "boom 3");
+    }
+}
+
+TEST(Stats, CoreAddAndVisit)
+{
+    CoreStats a;
+    a.committedInsts = 5;
+    a.squashEvents[0] = 2;
+    CoreStats b;
+    b.committedInsts = 3;
+    b.squashEvents[0] = 1;
+    a.add(b);
+    EXPECT_EQ(a.committedInsts, 8u);
+    EXPECT_EQ(a.totalSquashEvents(), 3u);
+
+    std::uint64_t sum = 0;
+    unsigned fields = 0;
+    a.forEach([&](const std::string &, std::uint64_t v) {
+        sum += v;
+        ++fields;
+    });
+    EXPECT_GE(fields, 20u);
+    EXPECT_GE(sum, 11u);
+}
+
+TEST(Stats, MemAddAndVisit)
+{
+    MemStats a;
+    a.l1Hits = 2;
+    MemStats b;
+    b.l1Hits = 3;
+    b.writebacks = 1;
+    a.add(b);
+    EXPECT_EQ(a.l1Hits, 5u);
+    EXPECT_EQ(a.writebacks, 1u);
+    unsigned fields = 0;
+    a.forEach([&](const std::string &, std::uint64_t) { ++fields; });
+    EXPECT_GE(fields, 10u);
+}
+
+} // namespace
+} // namespace fa

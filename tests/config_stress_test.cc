@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Configuration-space stress: the pipeline must stay correct (not
+ * merely fast) across degenerate structure sizes — single-wide
+ * machines, tiny ROB/IQ/LQ/SQ, 1-entry AQ, zero lock-issue window,
+ * disabled prefetchers, tiny watchdog — all running a lock-heavy
+ * kernel whose counter sum certifies mutual exclusion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "freeatomics/freeatomics.hh"
+
+namespace fa {
+namespace {
+
+using core::AtomicsMode;
+
+sim::MachineConfig
+base(unsigned threads)
+{
+    return sim::MachineConfig::tiny(threads);
+}
+
+void
+runCounterCheck(sim::MachineConfig m, unsigned threads,
+                const char *what)
+{
+    m.core.mode = AtomicsMode::kFreeFwd;
+    const auto *w = wl::findWorkload("atomic_counter");
+    auto r = wl::runWorkload(*w, m, AtomicsMode::kFreeFwd, threads,
+                             0.5, 9, 80'000'000);
+    EXPECT_TRUE(r.finished) << what << ": " << r.failure;
+}
+
+void
+runLockCheck(sim::MachineConfig m, unsigned threads, const char *what)
+{
+    const auto *w = wl::findWorkload("mcs_lock");
+    auto r = wl::runWorkload(*w, m, AtomicsMode::kFreeFwd, threads,
+                             0.5, 9, 80'000'000);
+    EXPECT_TRUE(r.finished) << what << ": " << r.failure;
+}
+
+TEST(ConfigStress, SingleWideMachine)
+{
+    auto m = base(2);
+    m.core.fetchWidth = 1;
+    m.core.issueWidth = 1;
+    m.core.commitWidth = 1;
+    runCounterCheck(m, 2, "single-wide");
+    runLockCheck(m, 2, "single-wide");
+}
+
+TEST(ConfigStress, TinyRob)
+{
+    auto m = base(2);
+    m.core.robSize = 8;
+    m.core.iqSize = 4;
+    runCounterCheck(m, 2, "rob8");
+    runLockCheck(m, 2, "rob8");
+}
+
+TEST(ConfigStress, TinyLsq)
+{
+    auto m = base(2);
+    m.core.lqSize = 2;
+    m.core.sqSize = 2;
+    runCounterCheck(m, 2, "lsq2");
+    runLockCheck(m, 2, "lsq2");
+}
+
+TEST(ConfigStress, OneEntryAq)
+{
+    auto m = base(4);
+    m.core.aqSize = 1;
+    runCounterCheck(m, 4, "aq1");
+    runLockCheck(m, 4, "aq1");
+}
+
+TEST(ConfigStress, AqLargerThanL1Ways)
+{
+    // The paper notes aqSize > L1 associativity admits the
+    // all-ways-locked deadlock, recovered by the watchdog.
+    auto m = base(4);
+    m.core.aqSize = m.mem.l1Ways + 2;
+    m.core.watchdogThreshold = 500;
+    runCounterCheck(m, 4, "aq>ways");
+    runLockCheck(m, 4, "aq>ways");
+}
+
+TEST(ConfigStress, ZeroLockIssueWindow)
+{
+    auto m = base(4);
+    m.core.lockIssueWindow = 0;  // fully eager locking
+    m.core.watchdogThreshold = 500;
+    runCounterCheck(m, 4, "window0");
+    runLockCheck(m, 4, "window0");
+}
+
+TEST(ConfigStress, OutOfOrderLocksAndZeroWindow)
+{
+    auto m = base(4);
+    m.core.lockIssueWindow = 0;
+    m.core.inOrderLockAcquisition = false;
+    m.core.watchdogThreshold = 500;
+    runCounterCheck(m, 4, "ooo+window0");
+    runLockCheck(m, 4, "ooo+window0");
+}
+
+TEST(ConfigStress, NoPrefetchers)
+{
+    auto m = base(2);
+    m.core.storePrefetch = false;
+    m.core.strideLoadPrefetch = false;
+    runCounterCheck(m, 2, "no-prefetch");
+    runLockCheck(m, 2, "no-prefetch");
+}
+
+TEST(ConfigStress, MinimalWatchdog)
+{
+    auto m = base(4);
+    m.core.watchdogThreshold = 64;
+    runCounterCheck(m, 4, "wd64");
+    runLockCheck(m, 4, "wd64");
+}
+
+TEST(ConfigStress, LongRedirectPenalty)
+{
+    auto m = base(2);
+    m.core.redirectPenalty = 40;
+    runCounterCheck(m, 2, "redirect40");
+}
+
+TEST(ConfigStress, ChainCapOne)
+{
+    auto m = base(4);
+    m.core.fwdChainCap = 1;
+    runLockCheck(m, 4, "chain1");
+}
+
+TEST(ConfigStress, TinyMshrs)
+{
+    auto m = base(2);
+    m.mem.mshrs = 1;
+    runCounterCheck(m, 2, "mshr1");
+    runLockCheck(m, 2, "mshr1");
+}
+
+TEST(ConfigStress, SlowNetworkFastMemory)
+{
+    auto m = base(2);
+    m.mem.netLatency = 40;
+    m.mem.memLatency = 10;
+    runCounterCheck(m, 2, "slow-net");
+}
+
+TEST(ConfigStress, DeterministicAcrossConfigRuns)
+{
+    // Any fixed configuration must stay bit-deterministic.
+    auto m = base(4);
+    m.core.aqSize = 2;
+    const auto *w = wl::findWorkload("mcs_lock");
+    auto a = wl::runWorkload(*w, m, AtomicsMode::kFreeFwd, 4, 0.5, 13,
+                             80'000'000);
+    auto b = wl::runWorkload(*w, m, AtomicsMode::kFreeFwd, 4, 0.5, 13,
+                             80'000'000);
+    ASSERT_TRUE(a.finished && b.finished);
+    EXPECT_EQ(a.cycles, b.cycles);
+}
+
+} // namespace
+} // namespace fa

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Pipeline behaviour tests for the out-of-order core, driven through
+ * small single- and dual-core systems.
+ */
+
+#include <gtest/gtest.h>
+
+#include "freeatomics/freeatomics.hh"
+
+namespace fa {
+namespace {
+
+using core::AtomicsMode;
+using isa::AluFn;
+using isa::BranchCond;
+using isa::Label;
+using isa::ProgramBuilder;
+using isa::Reg;
+
+sim::MachineConfig
+machine(unsigned cores, AtomicsMode mode)
+{
+    auto m = sim::MachineConfig::tiny(cores);
+    m.core.mode = mode;
+    return m;
+}
+
+sim::System
+runOne(const isa::Program &p, AtomicsMode mode, Cycle limit = 200000)
+{
+    sim::System sys(machine(1, mode), {p}, 99);
+    auto out = sys.run(limit);
+    EXPECT_TRUE(out.finished) << out.failure;
+    return sys;
+}
+
+TEST(CorePipeline, StraightLineArchState)
+{
+    ProgramBuilder b("t");
+    Reg r1 = b.alloc();
+    Reg r2 = b.alloc();
+    b.movi(r1, 5);
+    b.addi(r1, r1, 3);
+    b.movi(r2, 0x1000);
+    b.store(r2, r1);
+    b.halt();
+    auto sys = runOne(b.build(), AtomicsMode::kFreeFwd);
+    EXPECT_EQ(sys.readWord(0x1000), 8);
+    EXPECT_EQ(sys.coreAt(0).archRegs()[r1], 8);
+    EXPECT_EQ(sys.coreAt(0).stats.committedInsts, 5u);
+}
+
+TEST(CorePipeline, AllStoresPerformBeforeHalt)
+{
+    ProgramBuilder b("t");
+    Reg r = b.alloc();
+    Reg a = b.alloc();
+    b.movi(a, 0x2000);
+    for (int i = 0; i < 20; ++i) {
+        b.movi(r, i);
+        b.store(a, r, i * 8);
+    }
+    b.halt();
+    auto sys = runOne(b.build(), AtomicsMode::kFreeFwd);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(sys.readWord(0x2000 + i * 8), i);
+    EXPECT_EQ(sys.coreAt(0).sbOccupancy(), 0u);
+}
+
+TEST(CorePipeline, StoreToLoadForwardingHappens)
+{
+    ProgramBuilder b("t");
+    Reg r = b.alloc();
+    Reg v = b.alloc();
+    Reg a = b.alloc();
+    b.movi(a, 0x3000);
+    b.movi(r, 41);
+    b.store(a, r);
+    b.load(v, a);          // must forward from the SQ
+    b.addi(v, v, 1);
+    b.store(a, v, 8);
+    b.halt();
+    auto sys = runOne(b.build(), AtomicsMode::kFreeFwd);
+    EXPECT_EQ(sys.readWord(0x3008), 42);
+    EXPECT_GE(sys.coreAt(0).stats.regularLoadForwards, 1u);
+}
+
+TEST(CorePipeline, LoopWithBranchMispredicts)
+{
+    ProgramBuilder b("t");
+    Reg i = b.alloc();
+    Reg acc = b.alloc();
+    Reg a = b.alloc();
+    b.movi(i, 50);
+    Label loop = b.here();
+    b.alu(AluFn::kAdd, acc, acc, i);
+    b.addi(i, i, -1);
+    b.branch(BranchCond::kNe, i, ProgramBuilder::zero(), loop);
+    b.movi(a, 0x4000);
+    b.store(a, acc);
+    b.halt();
+    auto sys = runOne(b.build(), AtomicsMode::kFreeFwd);
+    EXPECT_EQ(sys.readWord(0x4000), 50 * 51 / 2);
+    // The loop exit mispredicts at least once.
+    EXPECT_GE(sys.coreAt(0).stats.branchMispredicts, 1u);
+    EXPECT_GE(sys.coreAt(0).stats.squashedInsts, 1u);
+}
+
+TEST(CorePipeline, RmwKindsSingleCore)
+{
+    ProgramBuilder b("t");
+    Reg a = b.alloc();
+    Reg v = b.alloc();
+    Reg x = b.alloc();
+    Reg d = b.alloc();
+    b.movi(a, 0x5000);
+    b.movi(x, 5);
+    b.fetchAdd(v, a, x);          // mem=5, v=0
+    b.testAndSet(v, a, 8);        // mem[+8]=1, v=0
+    b.exchange(v, a, x, 16);      // mem[+16]=5, v=0
+    b.movi(d, 9);
+    b.movi(x, 0);
+    b.compareSwap(v, a, x, d, 24);  // expected 0 -> mem[+24]=9
+    b.compareSwap(v, a, x, d, 24);  // expected 0, now 9 -> unchanged
+    b.store(a, v, 32);              // v = old value of CAS = 9
+    b.halt();
+    auto sys = runOne(b.build(), AtomicsMode::kFreeFwd);
+    EXPECT_EQ(sys.readWord(0x5000), 5);
+    EXPECT_EQ(sys.readWord(0x5008), 1);
+    EXPECT_EQ(sys.readWord(0x5010), 5);
+    EXPECT_EQ(sys.readWord(0x5018), 9);
+    EXPECT_EQ(sys.readWord(0x5020), 9);
+    EXPECT_EQ(sys.coreAt(0).stats.committedAtomics, 5u);
+}
+
+TEST(CorePipeline, MemDepViolationDetectedAndRecovered)
+{
+    // The store's address comes off a long multiply chain, so the
+    // younger load to the same address issues first and must be
+    // squashed when the store resolves.
+    ProgramBuilder b("t");
+    Reg a = b.alloc();
+    Reg slow = b.alloc();
+    Reg v = b.alloc();
+    Reg k = b.alloc();
+    b.movi(a, 0x6000);
+    b.movi(k, 7);
+    b.store(a, k);              // mem = 7
+    b.movi(slow, 1);
+    for (int i = 0; i < 12; ++i)
+        b.alu(AluFn::kMul, slow, slow, slow, 3);
+    b.alu(AluFn::kAnd, slow, slow, ProgramBuilder::zero());
+    b.alu(AluFn::kAdd, slow, slow, a);  // slow == a, resolved late
+    b.movi(k, 100);
+    b.store(slow, k);           // store 100 via slow address
+    b.load(v, a);               // must see 100, not 7
+    b.store(a, v, 8);
+    b.halt();
+    auto sys = runOne(b.build(), AtomicsMode::kFreeFwd);
+    EXPECT_EQ(sys.readWord(0x6008), 100);
+    EXPECT_GE(sys.coreAt(0).stats.squashEvents[static_cast<int>(
+                  SquashCause::kMemDepViolation)], 1u);
+}
+
+TEST(CorePipeline, MfenceOrdersStoreLoad)
+{
+    ProgramBuilder b("t");
+    Reg a = b.alloc();
+    Reg v = b.alloc();
+    b.movi(a, 0x7000);
+    b.movi(v, 3);
+    b.store(a, v);
+    b.mfence();
+    b.load(v, a);
+    b.store(a, v, 8);
+    b.halt();
+    auto sys = runOne(b.build(), AtomicsMode::kFreeFwd);
+    EXPECT_EQ(sys.readWord(0x7008), 3);
+    EXPECT_EQ(sys.coreAt(0).stats.committedFences, 1u);
+}
+
+TEST(CorePipeline, AqFullStallsDispatch)
+{
+    // More concurrent atomics than AQ entries: dispatch must stall
+    // (and count it) rather than deadlock.
+    ProgramBuilder b("t");
+    Reg a = b.alloc();
+    Reg one = b.alloc();
+    Reg v = b.alloc();
+    b.movi(a, 0x8000);
+    b.movi(one, 1);
+    for (int i = 0; i < 12; ++i)
+        b.fetchAdd(v, a, one, i * 64);
+    b.halt();
+    auto m = machine(1, AtomicsMode::kFreeFwd);
+    m.core.aqSize = 2;
+    sim::System sys(m, {b.build()}, 3);
+    auto out = sys.run(100000);
+    ASSERT_TRUE(out.finished) << out.failure;
+    for (int i = 0; i < 12; ++i)
+        EXPECT_EQ(sys.readWord(0x8000 + i * 64), 1);
+    EXPECT_GT(sys.coreAt(0).stats.dispatchStallAqCycles, 0u);
+}
+
+TEST(CorePipeline, WrongPathAtomicIsUnlockedOnSquash)
+{
+    // An atomic sits just past a loop-exit branch: the predictor
+    // fetches it down the wrong path on every iteration, so it can
+    // speculatively lock and must release on squash. The run ends
+    // with a consistent memory image and an empty AQ.
+    ProgramBuilder b("t");
+    Reg i = b.alloc();
+    Reg a = b.alloc();
+    Reg one = b.alloc();
+    Reg v = b.alloc();
+    b.movi(i, 30);
+    b.movi(a, 0x9000);
+    b.movi(one, 1);
+    Label loop = b.here();
+    b.addi(i, i, -1);
+    b.branch(BranchCond::kNe, i, ProgramBuilder::zero(), loop);
+    b.fetchAdd(v, a, one);   // wrong-path fetched until the exit
+    b.halt();
+    auto sys = runOne(b.build(), AtomicsMode::kFreeFwd);
+    EXPECT_EQ(sys.readWord(0x9000), 1);
+    EXPECT_EQ(sys.coreAt(0).atomicQueue().occupancy(), 0u);
+    EXPECT_FALSE(sys.coreAt(0).atomicQueue().anyLocked());
+}
+
+TEST(CorePipeline, RandRollsBackAcrossSquashes)
+{
+    // kRand values must match the sequential stream even though the
+    // loop branch squashes wrong-path RAND instances.
+    ProgramBuilder b("t");
+    Reg i = b.alloc();
+    Reg r = b.alloc();
+    Reg a = b.alloc();
+    Reg acc = b.alloc();
+    b.movi(i, 20);
+    b.movi(a, 0xa000);
+    Label loop = b.here();
+    b.rand(r, 1000);
+    b.alu(AluFn::kAdd, acc, acc, r);
+    b.addi(i, i, -1);
+    b.branch(BranchCond::kNe, i, ProgramBuilder::zero(), loop);
+    b.store(a, acc);
+    b.halt();
+    isa::Program p = b.build();
+
+    sim::System sys(machine(1, AtomicsMode::kFreeFwd), {p}, 1234);
+    auto out = sys.run(200000);
+    ASSERT_TRUE(out.finished);
+
+    // The reference interpreter must agree when given the same
+    // per-thread seed the system derives from the master seed.
+    MemImage ref;
+    isa::interpret(p, ref, mix64(1234, 1));
+    EXPECT_EQ(sys.readWord(0xa000), ref.read(0xa000));
+}
+
+TEST(CorePipeline, PauseThrottlesSpinDispatch)
+{
+    ProgramBuilder b("t");
+    Reg i = b.alloc();
+    b.movi(i, 10);
+    Label loop = b.here();
+    b.pause();
+    b.addi(i, i, -1);
+    b.branch(BranchCond::kNe, i, ProgramBuilder::zero(), loop);
+    b.halt();
+    auto sys = runOne(b.build(), AtomicsMode::kFreeFwd);
+    // Ten pauses at pauseLatency each dominate the runtime.
+    EXPECT_GE(sys.cycles(),
+              10 * sys.coreAt(0).config().pauseLatency);
+}
+
+TEST(CorePipeline, HaltedCoreAccumulatesSleepCycles)
+{
+    ProgramBuilder fast("fast");
+    fast.halt();
+    ProgramBuilder slow("slow");
+    Reg t = slow.alloc();
+    slow.delay(t, 300);
+    slow.halt();
+    sim::System sys(machine(2, AtomicsMode::kFreeFwd),
+                    {fast.build(), slow.build()}, 5);
+    auto out = sys.run(100000);
+    ASSERT_TRUE(out.finished);
+    EXPECT_GT(sys.coreAt(0).stats.haltedCycles, 0u);
+    EXPECT_GT(sys.coreAt(1).stats.activeCycles,
+              sys.coreAt(0).stats.activeCycles);
+}
+
+TEST(CorePipeline, Fig1StatsPopulatedInFencedMode)
+{
+    // Drain_SB: stores ahead of the atomic force a drain wait.
+    ProgramBuilder b("t");
+    Reg a = b.alloc();
+    Reg one = b.alloc();
+    Reg v = b.alloc();
+    b.movi(a, 0xb000);
+    b.movi(one, 1);
+    for (int i = 0; i < 8; ++i)
+        b.store(a, one, 512 + i * 64);  // misses to drain
+    b.fetchAdd(v, a, one);
+    b.load(v, a, 64);                   // fence2-stalled load
+    b.halt();
+    auto sys = runOne(b.build(), AtomicsMode::kFenced);
+    EXPECT_GT(sys.coreAt(0).stats.atomicDrainSbCycles, 0u);
+    EXPECT_GT(sys.coreAt(0).stats.atomicPostIssueCycles, 0u);
+    EXPECT_GT(sys.coreAt(0).stats.implicitFencesExecuted, 0u);
+    EXPECT_EQ(sys.coreAt(0).stats.implicitFencesOmitted, 0u);
+}
+
+TEST(CorePipeline, Fence2BlocksYoungerLoadsOnlyWhenFenced)
+{
+    // The same program measures the Mem_Fence2 effect directly: a
+    // load right after an atomic. In fenced modes it must wait for
+    // the atomic to commit (stall cycles accrue); in free modes it
+    // issues immediately (no fence2 stalls at all).
+    auto build = [] {
+        ProgramBuilder b("t");
+        Reg a = b.alloc();
+        Reg one = b.alloc();
+        Reg v = b.alloc();
+        Reg d = b.alloc();
+        b.movi(a, 0xd000);
+        b.movi(one, 1);
+        for (int i = 0; i < 6; ++i) {
+            b.fetchAdd(v, a, one, i * 64);
+            b.load(d, a, 512 + i * 64);
+        }
+        b.halt();
+        return b.build();
+    };
+    auto stalls = [&](AtomicsMode mode) {
+        auto sys = runOne(build(), mode);
+        return sys.coreAt(0).stats.fence2LoadStallCycles;
+    };
+    EXPECT_GT(stalls(AtomicsMode::kFenced), 0u);
+    EXPECT_GT(stalls(AtomicsMode::kSpec), 0u);
+    EXPECT_EQ(stalls(AtomicsMode::kFree), 0u);
+    EXPECT_EQ(stalls(AtomicsMode::kFreeFwd), 0u);
+}
+
+TEST(CorePipeline, FreeModeOmitsFences)
+{
+    ProgramBuilder b("t");
+    Reg a = b.alloc();
+    Reg one = b.alloc();
+    Reg v = b.alloc();
+    b.movi(a, 0xc000);
+    b.movi(one, 1);
+    b.fetchAdd(v, a, one);
+    b.fetchAdd(v, a, one);
+    b.halt();
+    auto sys = runOne(b.build(), AtomicsMode::kFree);
+    EXPECT_EQ(sys.coreAt(0).stats.implicitFencesExecuted, 0u);
+    EXPECT_EQ(sys.coreAt(0).stats.implicitFencesOmitted, 4u);
+    EXPECT_EQ(sys.coreAt(0).stats.atomicDrainSbCycles, 0u);
+}
+
+} // namespace
+} // namespace fa

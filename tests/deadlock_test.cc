@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Liveness tests: the deadlock generators of paper Figures 5/6/7
+ * must always make forward progress — recovered by the §3.2.5
+ * watchdog when a cycle forms — in every atomic-RMW flavour and
+ * under both lock-acquisition policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "freeatomics/freeatomics.hh"
+
+namespace fa {
+namespace {
+
+using core::AtomicsMode;
+
+struct DlParam
+{
+    const char *workload;
+    AtomicsMode mode;
+    bool inOrderLocks;
+    unsigned threads;
+};
+
+std::string
+dlName(const ::testing::TestParamInfo<DlParam> &info)
+{
+    return std::string(info.param.workload) + "_" +
+        core::atomicsModeIdent(info.param.mode) +
+        (info.param.inOrderLocks ? "_inorder" : "_ooo") + "_t" +
+        std::to_string(info.param.threads);
+}
+
+class DeadlockRecovery : public ::testing::TestWithParam<DlParam>
+{
+};
+
+TEST_P(DeadlockRecovery, AlwaysTerminatesWithCorrectCounts)
+{
+    const auto &p = GetParam();
+    const auto *w = wl::findWorkload(p.workload);
+    ASSERT_NE(w, nullptr);
+    auto m = sim::MachineConfig::tiny(p.threads);
+    m.core.inOrderLockAcquisition = p.inOrderLocks;
+    m.core.watchdogThreshold = 500;  // keep recovery cheap for tests
+    auto r = wl::runWorkload(*w, m, p.mode, p.threads, 0.5, 31,
+                             40'000'000);
+    EXPECT_TRUE(r.finished) << r.failure;
+}
+
+std::vector<DlParam>
+dlMatrix()
+{
+    std::vector<DlParam> v;
+    for (const char *w : {"dl_rmwrmw", "dl_storermw", "dl_loadrmw"}) {
+        for (AtomicsMode m :
+             {AtomicsMode::kFenced, AtomicsMode::kSpec,
+              AtomicsMode::kFree, AtomicsMode::kFreeFwd}) {
+            for (bool in_order : {true, false}) {
+                v.push_back({w, m, in_order, 2});
+                v.push_back({w, m, in_order, 4});
+            }
+        }
+    }
+    return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, DeadlockRecovery,
+                         ::testing::ValuesIn(dlMatrix()), dlName);
+
+TEST(Watchdog, FiresOnStoreRmwCycle)
+{
+    // Figure 6 cycles form with unfenced atomics; the watchdog must
+    // fire at least once under the out-of-order policy.
+    const auto *w = wl::findWorkload("dl_storermw");
+    auto m = sim::MachineConfig::tiny(2);
+    m.core.inOrderLockAcquisition = false;
+    m.core.watchdogThreshold = 500;
+    auto r = wl::runWorkload(*w, m, AtomicsMode::kFreeFwd, 2, 1.0, 31,
+                             40'000'000);
+    ASSERT_TRUE(r.finished) << r.failure;
+    EXPECT_GT(r.core.watchdogTimeouts, 0u);
+}
+
+TEST(Watchdog, RmwRmwCycleNeedsOutOfOrderAcquisition)
+{
+    // With program-order lock acquisition the Figure 5 class cannot
+    // form; out of order it does.
+    const auto *w = wl::findWorkload("dl_rmwrmw");
+    for (bool in_order : {true, false}) {
+        auto m = sim::MachineConfig::tiny(2);
+        m.core.inOrderLockAcquisition = in_order;
+        m.core.watchdogThreshold = 500;
+        auto r = wl::runWorkload(*w, m, AtomicsMode::kFreeFwd, 2, 1.0,
+                                 31, 40'000'000);
+        ASSERT_TRUE(r.finished) << r.failure;
+        if (in_order) {
+            EXPECT_EQ(r.core.watchdogTimeouts, 0u);
+        }
+    }
+}
+
+TEST(Watchdog, NeverFiresInFencedMode)
+{
+    for (const char *wn : {"dl_rmwrmw", "dl_storermw", "dl_loadrmw"}) {
+        const auto *w = wl::findWorkload(wn);
+        auto m = sim::MachineConfig::tiny(4);
+        m.core.watchdogThreshold = 500;
+        auto r = wl::runWorkload(*w, m, AtomicsMode::kFenced, 4, 0.5,
+                                 31, 40'000'000);
+        ASSERT_TRUE(r.finished) << r.failure;
+        EXPECT_EQ(r.core.watchdogTimeouts, 0u) << wn;
+    }
+}
+
+TEST(Watchdog, DisabledWatchdogDeadlocksForReal)
+{
+    // With an effectively infinite threshold and out-of-order lock
+    // acquisition, the Figure 6 cycle is a genuine deadlock: the run
+    // must NOT finish. This demonstrates the deadlocks are real, not
+    // an artifact the watchdog merely papers over.
+    const auto *w = wl::findWorkload("dl_storermw");
+    auto m = sim::MachineConfig::tiny(2);
+    m.core.inOrderLockAcquisition = false;
+    m.core.watchdogThreshold = 1'000'000'000;
+    auto progs = wl::buildPrograms(*w, 2, 1.0);
+    m.core.mode = AtomicsMode::kFreeFwd;
+    m.cores = 2;
+    sim::System sys(m, progs, 31);
+    auto out = sys.run(3'000'000);
+    EXPECT_FALSE(out.finished);
+}
+
+TEST(Watchdog, TimeoutsAreRareWithPaperThreshold)
+{
+    // With the paper's 10000-cycle threshold and the default
+    // acquisition policy, the 26-app suite barely times out
+    // (paper Table 2: a handful of firings).
+    const auto *w = wl::findWorkload("barnes");
+    auto r = wl::runWorkload(*w, sim::MachineConfig::icelake(8),
+                             AtomicsMode::kFreeFwd, 8, 0.5, 31,
+                             40'000'000);
+    ASSERT_TRUE(r.finished) << r.failure;
+    EXPECT_LE(r.core.watchdogTimeouts, 5u);
+}
+
+} // namespace
+} // namespace fa

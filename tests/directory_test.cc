@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the inclusive finite directory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "mem/directory.hh"
+
+namespace fa::mem {
+namespace {
+
+Addr
+lineInSet(const Directory &d, unsigned set, unsigned k)
+{
+    unsigned found = 0;
+    for (Addr line = 0;; line += kLineBytes) {
+        if (d.setOf(line) == set) {
+            if (found == k)
+                return line;
+            ++found;
+        }
+    }
+}
+
+TEST(DirEntry, SharerOps)
+{
+    DirEntry e;
+    e.addSharer(3);
+    e.addSharer(7);
+    EXPECT_TRUE(e.hasSharer(3));
+    EXPECT_FALSE(e.hasSharer(4));
+    EXPECT_EQ(e.sharerCount(), 2u);
+    e.removeSharer(3);
+    EXPECT_FALSE(e.hasSharer(3));
+    EXPECT_EQ(e.sharerCount(), 1u);
+}
+
+TEST(DirEntry, RemovingOwnerClearsExclusive)
+{
+    DirEntry e;
+    e.addSharer(5);
+    e.exclusive = true;
+    e.owner = 5;
+    e.removeSharer(5);
+    EXPECT_FALSE(e.exclusive);
+    EXPECT_EQ(e.owner, kNoCore);
+}
+
+TEST(Directory, AllocateAndFind)
+{
+    Directory d(4, 2);
+    Addr a = lineInSet(d, 1, 0);
+    EXPECT_EQ(d.find(a), nullptr);
+    DirEntry *slot = d.findFree(a);
+    ASSERT_NE(slot, nullptr);
+    d.allocate(slot, a, 1);
+    ASSERT_NE(d.find(a), nullptr);
+    EXPECT_EQ(d.find(a)->line, a);
+    EXPECT_EQ(d.population(), 1u);
+}
+
+TEST(Directory, FindFreeReturnsNullWhenFull)
+{
+    Directory d(2, 2);
+    for (unsigned k = 0; k < 2; ++k) {
+        Addr a = lineInSet(d, 0, k);
+        d.allocate(d.findFree(a), a, k);
+    }
+    EXPECT_EQ(d.findFree(lineInSet(d, 0, 2)), nullptr);
+    // A different set still has room.
+    EXPECT_NE(d.findFree(lineInSet(d, 1, 0)), nullptr);
+}
+
+TEST(Directory, VictimIsLruOfSet)
+{
+    Directory d(2, 2);
+    Addr a = lineInSet(d, 0, 0);
+    Addr b = lineInSet(d, 0, 1);
+    d.allocate(d.findFree(a), a, 5);
+    d.allocate(d.findFree(b), b, 3);
+    DirEntry *victim = d.chooseVictim(lineInSet(d, 0, 2));
+    ASSERT_NE(victim, nullptr);
+    EXPECT_EQ(victim->line, b);
+}
+
+TEST(Directory, ReleaseRequiresNoSharers)
+{
+    Directory d(2, 2);
+    Addr a = lineInSet(d, 0, 0);
+    DirEntry *e = d.allocate(d.findFree(a), a, 1);
+    e->addSharer(2);
+    EXPECT_DEATH(d.release(e), "live sharers");
+    e->removeSharer(2);
+    d.release(e);
+    EXPECT_EQ(d.find(a), nullptr);
+}
+
+TEST(Directory, SetsRoundedToPowerOfTwo)
+{
+    Directory d(3, 2);
+    EXPECT_EQ(d.numSets(), 4u);
+}
+
+} // namespace
+} // namespace fa::mem

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Property test: a single-core out-of-order simulation — with all
+ * speculation, squashing and atomic-mode machinery active — must
+ * commit exactly the architectural memory image that the sequential
+ * reference interpreter produces (DESIGN.md invariant 8).
+ */
+
+#include <gtest/gtest.h>
+
+#include "freeatomics/freeatomics.hh"
+
+namespace fa {
+namespace {
+
+using core::AtomicsMode;
+
+struct Param
+{
+    std::uint64_t seed;
+    AtomicsMode mode;
+};
+
+std::string
+paramName(const ::testing::TestParamInfo<Param> &info)
+{
+    return std::string(core::atomicsModeIdent(info.param.mode)) + "_s" +
+        std::to_string(info.param.seed);
+}
+
+class InterpEquiv : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(InterpEquiv, SyntheticProgramMatchesReference)
+{
+    const Param &p = GetParam();
+    wl::SyntheticParams sp;
+    sp.generatorSeed = p.seed;
+    sp.blocks = 16;
+    isa::Program prog = wl::buildSyntheticProgram(sp, 0, 1, nullptr);
+
+    auto m = sim::MachineConfig::tiny(1);
+    m.core.mode = p.mode;
+    std::uint64_t master_seed = 1000 + p.seed;
+    sim::System sys(m, {prog}, master_seed);
+    auto out = sys.run(3'000'000);
+    ASSERT_TRUE(out.finished) << out.failure;
+
+    MemImage ref;
+    auto res = isa::interpret(prog, ref, mix64(master_seed, 1));
+    ASSERT_TRUE(res.halted);
+
+    ASSERT_TRUE(ref == sys.mem().memImage())
+        << "architectural memory image diverged from the reference "
+           "interpreter (seed " << p.seed << ")";
+    EXPECT_EQ(sys.coreAt(0).stats.committedInsts, res.instsExecuted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, InterpEquiv,
+    ::testing::Values(
+        Param{1, AtomicsMode::kFenced}, Param{1, AtomicsMode::kSpec},
+        Param{1, AtomicsMode::kFree}, Param{1, AtomicsMode::kFreeFwd},
+        Param{2, AtomicsMode::kFenced}, Param{2, AtomicsMode::kSpec},
+        Param{2, AtomicsMode::kFree}, Param{2, AtomicsMode::kFreeFwd},
+        Param{3, AtomicsMode::kFreeFwd}, Param{4, AtomicsMode::kFreeFwd},
+        Param{5, AtomicsMode::kFreeFwd}, Param{6, AtomicsMode::kFreeFwd},
+        Param{7, AtomicsMode::kFreeFwd}, Param{8, AtomicsMode::kFreeFwd},
+        Param{9, AtomicsMode::kFree}, Param{10, AtomicsMode::kFree},
+        Param{11, AtomicsMode::kFree}, Param{12, AtomicsMode::kFree},
+        Param{13, AtomicsMode::kSpec}, Param{14, AtomicsMode::kSpec},
+        Param{15, AtomicsMode::kFenced}, Param{16, AtomicsMode::kFenced},
+        Param{17, AtomicsMode::kFreeFwd}, Param{18, AtomicsMode::kFreeFwd},
+        Param{19, AtomicsMode::kFree}, Param{20, AtomicsMode::kFreeFwd}),
+    paramName);
+
+/** The lock/barrier idioms must also match sequentially. */
+class InterpEquivKernels
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(InterpEquivKernels, SingleThreadWorkloadMatchesReference)
+{
+    const auto *w = wl::findWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+    wl::BuildCtx ctx;
+    ctx.threadId = 0;
+    ctx.numThreads = 1;
+    ctx.scale = 0.25;
+    isa::Program prog = w->build(ctx);
+
+    auto m = sim::MachineConfig::tiny(1);
+    std::uint64_t master_seed = 77;
+    sim::System sys(m, {prog}, master_seed);
+    if (w->init)
+        sys.initMemory(w->init(1, ctx.scale));
+    auto out = sys.run(20'000'000);
+    ASSERT_TRUE(out.finished) << out.failure;
+
+    MemImage ref;
+    if (w->init)
+        for (auto &[a, v] : w->init(1, ctx.scale))
+            ref.write(a, v);
+    auto res = isa::interpret(prog, ref, mix64(master_seed, 1),
+                              100'000'000);
+    ASSERT_TRUE(res.halted);
+    EXPECT_TRUE(ref == sys.mem().memImage());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, InterpEquivKernels,
+    ::testing::Values("watersp", "fft", "barnes", "cholesky", "TATP",
+                      "TPCC", "AS", "CQ", "RBT", "canneal",
+                      "fluidanimate", "atomic_counter", "ticket_lock",
+                      "mcs_lock", "seqlock"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace
+} // namespace fa

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Unit tests for the workload IR: builder label fixups, program
+ * validation, shared semantic helpers and the reference interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "isa/builder.hh"
+#include "isa/interp.hh"
+#include "isa/program.hh"
+
+namespace fa::isa {
+namespace {
+
+TEST(Alu, Semantics)
+{
+    EXPECT_EQ(evalAlu(AluFn::kAdd, 2, 3), 5);
+    EXPECT_EQ(evalAlu(AluFn::kSub, 2, 3), -1);
+    EXPECT_EQ(evalAlu(AluFn::kAnd, 6, 3), 2);
+    EXPECT_EQ(evalAlu(AluFn::kOr, 4, 1), 5);
+    EXPECT_EQ(evalAlu(AluFn::kXor, 7, 2), 5);
+    EXPECT_EQ(evalAlu(AluFn::kMul, -3, 4), -12);
+    EXPECT_EQ(evalAlu(AluFn::kShl, 1, 4), 16);
+    EXPECT_EQ(evalAlu(AluFn::kShr, 16, 4), 1);
+    EXPECT_EQ(evalAlu(AluFn::kLt, 1, 2), 1);
+    EXPECT_EQ(evalAlu(AluFn::kLt, 2, 1), 0);
+    EXPECT_EQ(evalAlu(AluFn::kEq, 5, 5), 1);
+}
+
+TEST(Alu, ShiftMasksAmount)
+{
+    EXPECT_EQ(evalAlu(AluFn::kShl, 1, 64), 1);
+    EXPECT_EQ(evalAlu(AluFn::kShr, -1, 63), 1);
+}
+
+TEST(Cond, Semantics)
+{
+    EXPECT_TRUE(evalCond(BranchCond::kEq, 3, 3));
+    EXPECT_FALSE(evalCond(BranchCond::kEq, 3, 4));
+    EXPECT_TRUE(evalCond(BranchCond::kNe, 3, 4));
+    EXPECT_TRUE(evalCond(BranchCond::kLt, -1, 0));
+    EXPECT_TRUE(evalCond(BranchCond::kGe, 0, 0));
+}
+
+TEST(Rmw, Semantics)
+{
+    EXPECT_EQ(applyRmw(RmwKind::kFetchAdd, 10, 5, 0), 15);
+    EXPECT_EQ(applyRmw(RmwKind::kTestAndSet, 0, 0, 0), 1);
+    EXPECT_EQ(applyRmw(RmwKind::kTestAndSet, 1, 0, 0), 1);
+    EXPECT_EQ(applyRmw(RmwKind::kExchange, 10, 99, 0), 99);
+    EXPECT_EQ(applyRmw(RmwKind::kCompareSwap, 10, 10, 77), 77);
+    EXPECT_EQ(applyRmw(RmwKind::kCompareSwap, 10, 11, 77), 10);
+}
+
+TEST(Builder, LabelsResolveForwardAndBackward)
+{
+    ProgramBuilder b("t");
+    Reg r = b.alloc();
+    Label fwd = b.newLabel();
+    b.movi(r, 3);
+    Label back = b.here();
+    b.addi(r, r, -1);
+    b.branch(BranchCond::kNe, r, ProgramBuilder::zero(), back);
+    b.jump(fwd);
+    b.bind(fwd);
+    b.halt();
+    Program p = b.build();
+    EXPECT_EQ(p.code[2].target, 1);  // backward branch to 'back'
+    EXPECT_EQ(p.code[3].target, 4);  // forward jump to 'fwd'
+}
+
+TEST(Builder, UnboundLabelIsFatal)
+{
+    ProgramBuilder b("t");
+    Label l = b.newLabel();
+    b.jump(l);
+    b.halt();
+    EXPECT_THROW(b.build(), FatalError);
+}
+
+TEST(Builder, DoubleBindIsFatal)
+{
+    ProgramBuilder b("t");
+    Label l = b.here();
+    EXPECT_THROW(b.bind(l), FatalError);
+}
+
+TEST(Builder, RegisterExhaustion)
+{
+    ProgramBuilder b("t");
+    for (unsigned i = 1; i < kNumRegs; ++i)
+        b.alloc();
+    EXPECT_THROW(b.alloc(), FatalError);
+}
+
+TEST(Validate, RejectsWriteToZeroRegister)
+{
+    Program p;
+    p.name = "bad";
+    Inst i;
+    i.op = Op::kMovi;
+    i.dst = 0;
+    p.code.push_back(i);
+    Inst h;
+    h.op = Op::kHalt;
+    p.code.push_back(h);
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Validate, RejectsMissingHalt)
+{
+    Program p;
+    p.name = "bad";
+    Inst i;
+    i.op = Op::kNop;
+    p.code.push_back(i);
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Validate, RejectsOutOfRangeTarget)
+{
+    Program p;
+    p.name = "bad";
+    Inst j;
+    j.op = Op::kJump;
+    j.target = 5;
+    p.code.push_back(j);
+    Inst h;
+    h.op = Op::kHalt;
+    p.code.push_back(h);
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Validate, RejectsNonPositiveRandRange)
+{
+    Program p;
+    p.name = "bad";
+    Inst r;
+    r.op = Op::kRand;
+    r.dst = 1;
+    r.imm = 0;
+    p.code.push_back(r);
+    Inst h;
+    h.op = Op::kHalt;
+    p.code.push_back(h);
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Disasm, CoversEveryOpcode)
+{
+    ProgramBuilder b("t");
+    Reg r = b.alloc();
+    Reg r2 = b.alloc();
+    b.nop().pause().movi(r, 1).alu(AluFn::kAdd, r, r, r2);
+    b.addi(r, r, 1).load(r, r2).store(r2, r);
+    b.fetchAdd(r, r2, r).testAndSet(r, r2).exchange(r, r2, r);
+    b.compareSwap(r, r2, r, r);
+    Label l = b.here();
+    b.branch(BranchCond::kEq, r, r2, l).jump(l).mfence();
+    b.rand(r, 8).halt();
+    Program p = b.build();
+    for (const Inst &inst : p.code) {
+        std::string s = Program::disasm(inst);
+        EXPECT_FALSE(s.empty());
+        EXPECT_EQ(s.find("<bad>"), std::string::npos);
+    }
+}
+
+TEST(Interp, StraightLine)
+{
+    ProgramBuilder b("t");
+    Reg r1 = b.alloc();
+    Reg r2 = b.alloc();
+    b.movi(r1, 6);
+    b.movi(r2, 0x1000);
+    b.store(r2, r1);
+    b.load(r1, r2);
+    b.addi(r1, r1, 1);
+    b.store(r2, r1, 8);
+    b.halt();
+    MemImage mem;
+    auto res = interpret(b.build(), mem, 1);
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(mem.read(0x1008), 7);
+    EXPECT_EQ(res.regs[r1], 7);
+}
+
+TEST(Interp, LoopSum)
+{
+    ProgramBuilder b("t");
+    Reg i = b.alloc();
+    Reg acc = b.alloc();
+    b.movi(i, 10);
+    Label loop = b.here();
+    b.alu(AluFn::kAdd, acc, acc, i);
+    b.addi(i, i, -1);
+    b.branch(BranchCond::kNe, i, ProgramBuilder::zero(), loop);
+    b.halt();
+    MemImage mem;
+    auto res = interpret(b.build(), mem, 1);
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(res.regs[acc], 55);
+}
+
+TEST(Interp, RmwReturnsOldValue)
+{
+    ProgramBuilder b("t");
+    Reg a = b.alloc();
+    Reg v = b.alloc();
+    Reg one = b.alloc();
+    b.movi(a, 0x2000);
+    b.movi(one, 1);
+    b.fetchAdd(v, a, one);
+    b.fetchAdd(v, a, one);
+    b.halt();
+    MemImage mem;
+    auto res = interpret(b.build(), mem, 1);
+    EXPECT_EQ(res.regs[v], 1);       // second fetch-add saw the first
+    EXPECT_EQ(mem.read(0x2000), 2);
+}
+
+TEST(Interp, RandStreamIsSeedDeterministic)
+{
+    ProgramBuilder b("t");
+    Reg r = b.alloc();
+    Reg a = b.alloc();
+    b.movi(a, 0x3000);
+    for (int i = 0; i < 4; ++i) {
+        b.rand(r, 100);
+        b.store(a, r, i * 8);
+    }
+    b.halt();
+    Program p = b.build();
+    MemImage m1;
+    MemImage m2;
+    MemImage m3;
+    interpret(p, m1, 5);
+    interpret(p, m2, 5);
+    interpret(p, m3, 6);
+    EXPECT_TRUE(m1 == m2);
+    EXPECT_FALSE(m1 == m3);
+}
+
+TEST(Interp, StepLimitStopsRunaway)
+{
+    ProgramBuilder b("t");
+    Label loop = b.here();
+    b.jump(loop);
+    b.halt();
+    MemImage mem;
+    auto res = interpret(b.build(), mem, 1, 1000);
+    EXPECT_FALSE(res.halted);
+    EXPECT_EQ(res.instsExecuted, 1000u);
+}
+
+TEST(Builder, LockIdiomIsSelfConsistent)
+{
+    // Acquire + release on a single thread must terminate and leave
+    // the lock word zero.
+    ProgramBuilder b("t");
+    Reg a = b.alloc();
+    Reg t = b.alloc();
+    b.movi(a, 0x4000);
+    b.lockAcquire(a, t);
+    b.lockRelease(a, t);
+    b.halt();
+    MemImage mem;
+    auto res = interpret(b.build(), mem, 1);
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(mem.read(0x4000), 0);
+}
+
+TEST(Builder, BarrierSingleThreadPasses)
+{
+    ProgramBuilder b("t");
+    Reg bar = b.alloc();
+    Reg n = b.alloc();
+    Reg t0 = b.alloc();
+    Reg t1 = b.alloc();
+    Reg t2 = b.alloc();
+    Reg t3 = b.alloc();
+    b.movi(bar, 0x5000);
+    b.movi(n, 1);
+    b.barrier(bar, n, t0, t1, t2, t3);
+    b.barrier(bar, n, t0, t1, t2, t3);
+    b.halt();
+    MemImage mem;
+    auto res = interpret(b.build(), mem, 1);
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(mem.read(0x5000), 0);      // counter reset
+    EXPECT_EQ(mem.read(0x5040), 2);      // two generations passed
+}
+
+} // namespace
+} // namespace fa::isa

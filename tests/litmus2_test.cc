@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Additional TSO litmus tests: load buffering (LB) and independent
+ * reads of independent writes (IRIW). Both relaxed outcomes are
+ * forbidden under x86-TSO (loads are ordered; stores are atomic via
+ * the single coherence order), and must stay forbidden with every
+ * atomic-RMW flavour — including with Free atomics interleaved.
+ */
+
+#include <gtest/gtest.h>
+
+#include "freeatomics/freeatomics.hh"
+
+namespace fa {
+namespace {
+
+using core::AtomicsMode;
+using isa::BranchCond;
+using isa::ProgramBuilder;
+using isa::Reg;
+
+constexpr AtomicsMode kModes[] = {
+    AtomicsMode::kFenced, AtomicsMode::kSpec, AtomicsMode::kFree,
+    AtomicsMode::kFreeFwd};
+
+constexpr int kRounds = 48;
+
+/** Common preamble: allocate regs, sync on the start barrier. */
+struct Frame
+{
+    Reg bar, n, t0, t1, t2, t3, addr, val, res, one;
+};
+
+Frame
+prologue(ProgramBuilder &b, unsigned threads)
+{
+    Frame f;
+    f.bar = b.alloc();
+    f.n = b.alloc();
+    f.t0 = b.alloc();
+    f.t1 = b.alloc();
+    f.t2 = b.alloc();
+    f.t3 = b.alloc();
+    f.addr = b.alloc();
+    f.val = b.alloc();
+    f.res = b.alloc();
+    f.one = b.alloc();
+    b.movi(f.bar, static_cast<std::int64_t>(wl::kBarrierBase));
+    b.movi(f.n, threads);
+    b.movi(f.one, 1);
+    b.barrier(f.bar, f.n, f.t0, f.t1, f.t2, f.t3);
+    return f;
+}
+
+class LitmusLb : public ::testing::TestWithParam<AtomicsMode>
+{
+};
+
+TEST_P(LitmusLb, LoadBufferingForbidden)
+{
+    // t0: r1 = A; B = 1   ||   t1: r2 = B; A = 1
+    // TSO forbids (r1, r2) == (1, 1).
+    std::vector<isa::Program> progs;
+    for (unsigned tid = 0; tid < 2; ++tid) {
+        ProgramBuilder b("lb");
+        Frame f = prologue(b, 2);
+        for (int r = 0; r < kRounds; ++r) {
+            Addr block = wl::kDataBase + r * 128;
+            Addr mine = block + (tid == 0 ? 0 : 64);
+            Addr other = block + (tid == 0 ? 64 : 0);
+            b.movi(f.addr, static_cast<std::int64_t>(other));
+            b.load(f.val, f.addr);
+            b.movi(f.addr, static_cast<std::int64_t>(mine));
+            b.store(f.addr, f.one);
+            b.movi(f.res, static_cast<std::int64_t>(
+                wl::kResultBase + r * 16 + tid * 8));
+            b.store(f.res, f.val);
+        }
+        b.halt();
+        progs.push_back(b.build());
+    }
+    auto m = sim::MachineConfig::tiny(2);
+    m.core.mode = GetParam();
+    sim::System sys(m, progs, 29);
+    auto out = sys.run(20'000'000);
+    ASSERT_TRUE(out.finished) << out.failure;
+    for (int r = 0; r < kRounds; ++r) {
+        auto v0 = sys.readWord(wl::kResultBase + r * 16);
+        auto v1 = sys.readWord(wl::kResultBase + r * 16 + 8);
+        EXPECT_FALSE(v0 == 1 && v1 == 1)
+            << "load buffering observed in round " << r;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, LitmusLb, ::testing::ValuesIn(kModes),
+    [](const ::testing::TestParamInfo<AtomicsMode> &info) {
+        return std::string(core::atomicsModeIdent(info.param));
+    });
+
+class LitmusIriw : public ::testing::TestWithParam<AtomicsMode>
+{
+};
+
+TEST_P(LitmusIriw, ReadersNeverDisagreeOnWriteOrder)
+{
+    // t0: A = 1        t2: r1 = A; r2 = B
+    // t1: B = 1        t3: r3 = B; r4 = A
+    // TSO (store atomicity) forbids r1=1,r2=0 with r3=1,r4=0.
+    std::vector<isa::Program> progs;
+    for (unsigned tid = 0; tid < 4; ++tid) {
+        ProgramBuilder b("iriw");
+        Frame f = prologue(b, 4);
+        for (int r = 0; r < kRounds; ++r) {
+            Addr a_addr = wl::kDataBase + r * 192;
+            Addr b_addr = a_addr + 64;
+            if (tid < 2) {
+                b.movi(f.addr, static_cast<std::int64_t>(
+                    tid == 0 ? a_addr : b_addr));
+                b.store(f.addr, f.one);
+            } else {
+                Addr first = tid == 2 ? a_addr : b_addr;
+                Addr second = tid == 2 ? b_addr : a_addr;
+                Addr res = wl::kResultBase + r * 32 + (tid - 2) * 16;
+                b.movi(f.addr, static_cast<std::int64_t>(first));
+                b.load(f.val, f.addr);
+                b.movi(f.res, static_cast<std::int64_t>(res));
+                b.store(f.res, f.val);
+                b.movi(f.addr, static_cast<std::int64_t>(second));
+                b.load(f.val, f.addr);
+                b.movi(f.res, static_cast<std::int64_t>(res + 8));
+                b.store(f.res, f.val);
+            }
+        }
+        b.halt();
+        progs.push_back(b.build());
+    }
+    auto m = sim::MachineConfig::tiny(4);
+    m.core.mode = GetParam();
+    sim::System sys(m, progs, 31);
+    auto out = sys.run(40'000'000);
+    ASSERT_TRUE(out.finished) << out.failure;
+    for (int r = 0; r < kRounds; ++r) {
+        auto r1 = sys.readWord(wl::kResultBase + r * 32);
+        auto r2 = sys.readWord(wl::kResultBase + r * 32 + 8);
+        auto r3 = sys.readWord(wl::kResultBase + r * 32 + 16);
+        auto r4 = sys.readWord(wl::kResultBase + r * 32 + 24);
+        bool t2_saw_a_first = r1 == 1 && r2 == 0;
+        bool t3_saw_b_first = r3 == 1 && r4 == 0;
+        EXPECT_FALSE(t2_saw_a_first && t3_saw_b_first)
+            << "IRIW readers disagree on write order in round " << r;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, LitmusIriw, ::testing::ValuesIn(kModes),
+    [](const ::testing::TestParamInfo<AtomicsMode> &info) {
+        return std::string(core::atomicsModeIdent(info.param));
+    });
+
+class LitmusCoRr : public ::testing::TestWithParam<AtomicsMode>
+{
+};
+
+TEST_P(LitmusCoRr, SameLocationReadsAreCoherent)
+{
+    // CoRR: two program-ordered loads of one location must not see
+    // values in anti-coherence order (1 then 0) while another thread
+    // writes it.
+    std::vector<isa::Program> progs;
+    for (unsigned tid = 0; tid < 2; ++tid) {
+        ProgramBuilder b("corr");
+        Frame f = prologue(b, 2);
+        for (int r = 0; r < kRounds; ++r) {
+            Addr x = wl::kDataBase + r * 64;
+            if (tid == 0) {
+                b.movi(f.addr, static_cast<std::int64_t>(x));
+                b.store(f.addr, f.one);
+            } else {
+                Addr res = wl::kResultBase + r * 16;
+                b.movi(f.addr, static_cast<std::int64_t>(x));
+                b.load(f.val, f.addr);
+                b.movi(f.res, static_cast<std::int64_t>(res));
+                b.store(f.res, f.val);
+                b.load(f.val, f.addr);
+                b.movi(f.res, static_cast<std::int64_t>(res + 8));
+                b.store(f.res, f.val);
+            }
+        }
+        b.halt();
+        progs.push_back(b.build());
+    }
+    auto m = sim::MachineConfig::tiny(2);
+    m.core.mode = GetParam();
+    sim::System sys(m, progs, 37);
+    auto out = sys.run(20'000'000);
+    ASSERT_TRUE(out.finished) << out.failure;
+    for (int r = 0; r < kRounds; ++r) {
+        auto first = sys.readWord(wl::kResultBase + r * 16);
+        auto second = sys.readWord(wl::kResultBase + r * 16 + 8);
+        EXPECT_FALSE(first == 1 && second == 0)
+            << "anti-coherent same-location reads in round " << r;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, LitmusCoRr, ::testing::ValuesIn(kModes),
+    [](const ::testing::TestParamInfo<AtomicsMode> &info) {
+        return std::string(core::atomicsModeIdent(info.param));
+    });
+
+} // namespace
+} // namespace fa

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Load-linked / store-conditional tests (paper §2's alternative
+ * primitive): reservation semantics, failure on remote interference,
+ * atomicity of LL/SC retry loops, and coexistence with Free atomics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "freeatomics/freeatomics.hh"
+
+namespace fa {
+namespace {
+
+using core::AtomicsMode;
+using isa::AluFn;
+using isa::BranchCond;
+using isa::Label;
+using isa::ProgramBuilder;
+using isa::Reg;
+
+sim::System
+runOne(const isa::Program &p, AtomicsMode mode = AtomicsMode::kFreeFwd)
+{
+    auto m = sim::MachineConfig::tiny(1);
+    m.core.mode = mode;
+    sim::System sys(m, {p}, 5);
+    auto out = sys.run(500000);
+    EXPECT_TRUE(out.finished) << out.failure;
+    return sys;
+}
+
+TEST(Llsc, UncontendedScSucceeds)
+{
+    ProgramBuilder b("t");
+    Reg a = b.alloc();
+    Reg v = b.alloc();
+    Reg f = b.alloc();
+    Reg nv = b.alloc();
+    b.movi(a, 0x1000);
+    b.loadLinked(v, a);
+    b.addi(nv, v, 5);
+    b.storeCond(f, a, nv);
+    b.store(a, f, 8);  // record the SC result
+    b.halt();
+    auto sys = runOne(b.build());
+    EXPECT_EQ(sys.readWord(0x1000), 5);
+    EXPECT_EQ(sys.readWord(0x1008), 0);  // success
+    EXPECT_EQ(sys.coreAt(0).stats.llscSuccesses, 1u);
+    EXPECT_EQ(sys.coreAt(0).stats.llscFailures, 0u);
+}
+
+TEST(Llsc, ScWithoutReservationFails)
+{
+    ProgramBuilder b("t");
+    Reg a = b.alloc();
+    Reg f = b.alloc();
+    Reg one = b.alloc();
+    b.movi(a, 0x1000);
+    b.movi(one, 1);
+    b.storeCond(f, a, one);
+    b.store(a, f, 8);
+    b.halt();
+    auto sys = runOne(b.build());
+    EXPECT_EQ(sys.readWord(0x1000), 0);  // no write happened
+    EXPECT_EQ(sys.readWord(0x1008), 1);  // failure code
+    EXPECT_EQ(sys.coreAt(0).stats.llscFailures, 1u);
+}
+
+TEST(Llsc, ScToDifferentLineFails)
+{
+    ProgramBuilder b("t");
+    Reg a = b.alloc();
+    Reg other = b.alloc();
+    Reg v = b.alloc();
+    Reg f = b.alloc();
+    b.movi(a, 0x1000);
+    b.movi(other, 0x2000);
+    b.loadLinked(v, a);
+    b.storeCond(f, other, v);
+    b.store(a, f, 8);
+    b.halt();
+    auto sys = runOne(b.build());
+    EXPECT_EQ(sys.readWord(0x2000), 0);
+    EXPECT_EQ(sys.readWord(0x1008), 1);
+}
+
+TEST(Llsc, SecondScFails)
+{
+    // The first SC (success or not) consumes the reservation.
+    ProgramBuilder b("t");
+    Reg a = b.alloc();
+    Reg v = b.alloc();
+    Reg f1 = b.alloc();
+    Reg f2 = b.alloc();
+    b.movi(a, 0x1000);
+    b.loadLinked(v, a);
+    b.addi(v, v, 1);
+    b.storeCond(f1, a, v);
+    b.storeCond(f2, a, v);
+    b.store(a, f1, 8);
+    b.store(a, f2, 16);
+    b.halt();
+    auto sys = runOne(b.build());
+    EXPECT_EQ(sys.readWord(0x1008), 0);
+    EXPECT_EQ(sys.readWord(0x1010), 1);
+}
+
+TEST(Llsc, FetchAddIdiomSingleThread)
+{
+    ProgramBuilder b("t");
+    Reg a = b.alloc();
+    Reg one = b.alloc();
+    Reg old = b.alloc();
+    Reg tmp = b.alloc();
+    Reg f = b.alloc();
+    b.movi(a, 0x1000);
+    b.movi(one, 1);
+    for (int i = 0; i < 5; ++i)
+        b.llscFetchAdd(old, a, one, tmp, f);
+    b.halt();
+    auto sys = runOne(b.build());
+    EXPECT_EQ(sys.readWord(0x1000), 5);
+    EXPECT_EQ(sys.coreAt(0).archRegs()[old], 4);  // last old value
+}
+
+TEST(Llsc, InterpreterEquivalence)
+{
+    ProgramBuilder b("t");
+    Reg a = b.alloc();
+    Reg one = b.alloc();
+    Reg old = b.alloc();
+    Reg tmp = b.alloc();
+    Reg f = b.alloc();
+    b.movi(a, 0x3000);
+    b.movi(one, 7);
+    b.llscFetchAdd(old, a, one, tmp, f);
+    b.llscFetchAdd(old, a, one, tmp, f);
+    b.halt();
+    isa::Program p = b.build();
+    auto sys = runOne(p);
+    MemImage ref;
+    auto res = isa::interpret(p, ref, mix64(5, 1));
+    ASSERT_TRUE(res.halted);
+    EXPECT_TRUE(ref == sys.mem().memImage());
+}
+
+struct LlscAtomicityParam
+{
+    unsigned threads;
+    AtomicsMode mode;
+};
+
+class LlscAtomicity
+    : public ::testing::TestWithParam<LlscAtomicityParam>
+{
+};
+
+TEST_P(LlscAtomicity, ConcurrentLlscCounterLosesNoUpdate)
+{
+    const auto &p = GetParam();
+    constexpr std::int64_t kIters = 40;
+    std::vector<isa::Program> progs;
+    for (unsigned t = 0; t < p.threads; ++t) {
+        ProgramBuilder b("llsc_counter");
+        Reg bar = b.alloc();
+        Reg n = b.alloc();
+        Reg t0 = b.alloc();
+        Reg t1 = b.alloc();
+        Reg t2 = b.alloc();
+        Reg t3 = b.alloc();
+        b.movi(bar, 0x10000);
+        b.movi(n, p.threads);
+        b.barrier(bar, n, t0, t1, t2, t3);
+        Reg a = b.alloc();
+        Reg one = b.alloc();
+        Reg i = b.alloc();
+        Reg old = b.alloc();
+        Reg tmp = b.alloc();
+        Reg f = b.alloc();
+        b.movi(a, 0x20000);
+        b.movi(one, 1);
+        b.movi(i, kIters);
+        Label loop = b.here();
+        b.llscFetchAdd(old, a, one, tmp, f);
+        b.addi(i, i, -1);
+        b.branch(BranchCond::kNe, i, ProgramBuilder::zero(), loop);
+        b.halt();
+        progs.push_back(b.build());
+    }
+    auto m = sim::MachineConfig::tiny(p.threads);
+    m.core.mode = p.mode;
+    sim::System sys(m, progs, 17);
+    auto out = sys.run(20'000'000);
+    ASSERT_TRUE(out.finished) << out.failure;
+    EXPECT_EQ(sys.readWord(0x20000),
+              kIters * static_cast<std::int64_t>(p.threads));
+    // Under real contention some SCs must fail and retry.
+    auto total = sys.coreTotals();
+    EXPECT_EQ(total.llscSuccesses,
+              static_cast<std::uint64_t>(kIters) * p.threads);
+    if (p.threads >= 4) {
+        EXPECT_GT(total.llscFailures, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, LlscAtomicity,
+    ::testing::Values(LlscAtomicityParam{1, AtomicsMode::kFenced},
+                      LlscAtomicityParam{2, AtomicsMode::kFenced},
+                      LlscAtomicityParam{4, AtomicsMode::kFenced},
+                      LlscAtomicityParam{2, AtomicsMode::kSpec},
+                      LlscAtomicityParam{4, AtomicsMode::kSpec},
+                      LlscAtomicityParam{2, AtomicsMode::kFree},
+                      LlscAtomicityParam{4, AtomicsMode::kFree},
+                      LlscAtomicityParam{2, AtomicsMode::kFreeFwd},
+                      LlscAtomicityParam{4, AtomicsMode::kFreeFwd},
+                      LlscAtomicityParam{8, AtomicsMode::kFreeFwd}),
+    [](const ::testing::TestParamInfo<LlscAtomicityParam> &info) {
+        return std::string(core::atomicsModeIdent(info.param.mode)) +
+            "_t" + std::to_string(info.param.threads);
+    });
+
+TEST(Llsc, MixesWithFreeAtomicsOnSameCounter)
+{
+    // One thread increments with fetch-add, the other with LL/SC:
+    // the total must still be exact.
+    constexpr std::int64_t kIters = 50;
+    std::vector<isa::Program> progs;
+    {
+        ProgramBuilder b("rmw");
+        Reg a = b.alloc();
+        Reg one = b.alloc();
+        Reg i = b.alloc();
+        Reg old = b.alloc();
+        b.movi(a, 0x20000);
+        b.movi(one, 1);
+        b.movi(i, kIters);
+        Label loop = b.here();
+        b.fetchAdd(old, a, one);
+        b.addi(i, i, -1);
+        b.branch(BranchCond::kNe, i, ProgramBuilder::zero(), loop);
+        b.halt();
+        progs.push_back(b.build());
+    }
+    {
+        ProgramBuilder b("llsc");
+        Reg a = b.alloc();
+        Reg one = b.alloc();
+        Reg i = b.alloc();
+        Reg old = b.alloc();
+        Reg tmp = b.alloc();
+        Reg f = b.alloc();
+        b.movi(a, 0x20000);
+        b.movi(one, 1);
+        b.movi(i, kIters);
+        Label loop = b.here();
+        b.llscFetchAdd(old, a, one, tmp, f);
+        b.addi(i, i, -1);
+        b.branch(BranchCond::kNe, i, ProgramBuilder::zero(), loop);
+        b.halt();
+        progs.push_back(b.build());
+    }
+    auto m = sim::MachineConfig::tiny(2);
+    m.core.mode = AtomicsMode::kFreeFwd;
+    sim::System sys(m, progs, 23);
+    auto out = sys.run(20'000'000);
+    ASSERT_TRUE(out.finished) << out.failure;
+    EXPECT_EQ(sys.readWord(0x20000), 2 * kIters);
+}
+
+TEST(Llsc, DisasmAndValidate)
+{
+    ProgramBuilder b("t");
+    Reg a = b.alloc();
+    Reg v = b.alloc();
+    Reg f = b.alloc();
+    b.loadLinked(v, a, 8);
+    b.storeCond(f, a, v, 8);
+    b.halt();
+    isa::Program p = b.build();
+    EXPECT_EQ(isa::Program::disasm(p.code[0]), "ll r2, [r1 + 8]");
+    EXPECT_EQ(isa::Program::disasm(p.code[1]), "sc r3, [r1 + 8], r2");
+}
+
+} // namespace
+} // namespace fa

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Unit tests for the coherent memory hierarchy: MESI grants,
+ * invalidation/downgrade flows, MSHR coalescing, lock-blocked
+ * requests and directory victim recalls.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/log.hh"
+#include "mem/mem_system.hh"
+
+namespace fa::mem {
+namespace {
+
+/** Scripted CoreMemIf that records callbacks. */
+class FakeCore : public CoreMemIf
+{
+  public:
+    void
+    onFill(SeqNum waiter, Addr line, bool write_perm, Cycle now) override
+    {
+        fills.push_back({waiter, line, write_perm, now});
+    }
+
+    void
+    onLineLost(Addr line, Cycle) override
+    {
+        lost.push_back(line);
+    }
+
+    bool
+    isLineLocked(Addr line) const override
+    {
+        return lockedLines.count(line) > 0;
+    }
+
+    struct Fill
+    {
+        SeqNum waiter;
+        Addr line;
+        bool writePerm;
+        Cycle at;
+    };
+
+    std::vector<Fill> fills;
+    std::vector<Addr> lost;
+    std::set<Addr> lockedLines;
+};
+
+class MemSystemTest : public ::testing::Test
+{
+  protected:
+    MemSystemTest()
+    {
+        cfg.l1Sets = 4;
+        cfg.l1Ways = 2;
+        cfg.l2Sets = 16;
+        cfg.l2Ways = 4;
+        cfg.l3Sets = 64;
+        cfg.l3Ways = 8;
+        cfg.dirCoverage = 2.0;
+        cfg.dirWays = 4;
+        cfg.netLatency = 4;
+        cfg.memLatency = 40;
+        cfg.l3DataLatency = 12;
+        cfg.l2HitLatency = 6;
+        mem = std::make_unique<MemSystem>(cfg, 4);
+        for (CoreId c = 0; c < 4; ++c)
+            mem->attachCore(c, &cores[c]);
+    }
+
+    /** Tick until quiescent or `limit` cycles. */
+    void
+    settle(Cycle limit = 2000)
+    {
+        while (!mem->quiescent() && now < limit)
+            mem->tick(now++);
+    }
+
+    MemConfig cfg;
+    std::unique_ptr<MemSystem> mem;
+    FakeCore cores[4];
+    Cycle now = 0;
+};
+
+TEST_F(MemSystemTest, ColdMissGrantsExclusiveToSoleReader)
+{
+    auto r = mem->access(0, 0x1000, false, 7, now);
+    EXPECT_EQ(r, AccessOutcome::kMiss);
+    settle();
+    ASSERT_EQ(cores[0].fills.size(), 1u);
+    EXPECT_EQ(cores[0].fills[0].waiter, 7u);
+    EXPECT_EQ(cores[0].fills[0].line, 0x1000u);
+    EXPECT_TRUE(cores[0].fills[0].writePerm);  // MESI E grant
+    EXPECT_EQ(mem->privState(0, 0x1000), CacheState::kExclusive);
+    EXPECT_TRUE(mem->l1Holds(0, 0x1000));
+}
+
+TEST_F(MemSystemTest, FillTakesAtLeastMemoryLatency)
+{
+    mem->access(0, 0x1000, false, 7, now);
+    settle();
+    EXPECT_GE(cores[0].fills[0].at, cfg.memLatency);
+}
+
+TEST_F(MemSystemTest, SecondReaderGetsShared)
+{
+    mem->access(0, 0x1000, false, 1, now);
+    settle();
+    mem->access(1, 0x1000, false, 2, now);
+    settle();
+    ASSERT_EQ(cores[1].fills.size(), 1u);
+    EXPECT_FALSE(cores[1].fills[0].writePerm);
+    EXPECT_EQ(mem->privState(1, 0x1000), CacheState::kShared);
+    // The E owner was downgraded, not invalidated.
+    EXPECT_EQ(mem->privState(0, 0x1000), CacheState::kShared);
+    EXPECT_TRUE(cores[0].lost.empty());
+}
+
+TEST_F(MemSystemTest, L1HitAfterFill)
+{
+    mem->access(0, 0x1000, false, 1, now);
+    settle();
+    EXPECT_EQ(mem->access(0, 0x1000, false, 2, now),
+              AccessOutcome::kL1Hit);
+}
+
+TEST_F(MemSystemTest, SilentExclusiveToModifiedUpgrade)
+{
+    mem->access(0, 0x1000, false, 1, now);
+    settle();
+    EXPECT_EQ(mem->privState(0, 0x1000), CacheState::kExclusive);
+    EXPECT_EQ(mem->access(0, 0x1000, true, 2, now),
+              AccessOutcome::kL1Hit);
+    EXPECT_EQ(mem->privState(0, 0x1000), CacheState::kModified);
+}
+
+TEST_F(MemSystemTest, GetXInvalidatesSharers)
+{
+    mem->access(0, 0x1000, false, 1, now);
+    settle();
+    mem->access(1, 0x1000, false, 2, now);
+    settle();
+    mem->access(2, 0x1000, true, 3, now);
+    settle();
+    EXPECT_TRUE(mem->privHasWritePerm(2, 0x1000));
+    EXPECT_FALSE(mem->privHolds(0, 0x1000));
+    EXPECT_FALSE(mem->privHolds(1, 0x1000));
+    ASSERT_EQ(cores[0].lost.size(), 1u);
+    ASSERT_EQ(cores[1].lost.size(), 1u);
+    EXPECT_EQ(cores[0].lost[0], 0x1000u);
+}
+
+TEST_F(MemSystemTest, UpgradeFromShared)
+{
+    mem->access(0, 0x1000, false, 1, now);
+    settle();
+    mem->access(1, 0x1000, false, 2, now);
+    settle();
+    ASSERT_EQ(mem->privState(0, 0x1000), CacheState::kShared);
+    auto r = mem->access(0, 0x1000, true, 3, now);
+    EXPECT_EQ(r, AccessOutcome::kMiss);  // upgrade transaction
+    settle();
+    EXPECT_TRUE(mem->privHasWritePerm(0, 0x1000));
+    EXPECT_FALSE(mem->privHolds(1, 0x1000));
+}
+
+TEST_F(MemSystemTest, DirtyOwnerWritebackOnRemoteRead)
+{
+    mem->access(0, 0x1000, true, 1, now);
+    settle();
+    mem->performStoreWrite(0, 0x1000, 55, now);
+    auto wb_before = mem->stats.writebacks;
+    mem->access(1, 0x1000, false, 2, now);
+    settle();
+    EXPECT_GT(mem->stats.writebacks, wb_before);
+    EXPECT_EQ(mem->privState(0, 0x1000), CacheState::kShared);
+    EXPECT_EQ(mem->readWord(0x1000), 55);
+}
+
+TEST_F(MemSystemTest, LockedLineBlocksInvalidationUntilUnlock)
+{
+    mem->access(0, 0x1000, true, 1, now);
+    settle();
+    cores[0].lockedLines.insert(0x1000);
+
+    mem->access(1, 0x1000, true, 2, now);
+    // Run plenty of cycles: the invalidation must not get through.
+    for (int i = 0; i < 500; ++i)
+        mem->tick(now++);
+    EXPECT_TRUE(cores[1].fills.empty());
+    EXPECT_TRUE(mem->privHolds(0, 0x1000));
+    EXPECT_GT(mem->stats.invBlockedRetries, 0u);
+
+    cores[0].lockedLines.clear();
+    settle(now + 500);
+    ASSERT_EQ(cores[1].fills.size(), 1u);
+    EXPECT_TRUE(cores[1].fills[0].writePerm);
+    EXPECT_FALSE(mem->privHolds(0, 0x1000));
+}
+
+TEST_F(MemSystemTest, LockedLineBlocksDowngradeToo)
+{
+    mem->access(0, 0x1000, true, 1, now);
+    settle();
+    cores[0].lockedLines.insert(0x1000);
+    mem->access(1, 0x1000, false, 2, now);
+    for (int i = 0; i < 500; ++i)
+        mem->tick(now++);
+    EXPECT_TRUE(cores[1].fills.empty());
+    cores[0].lockedLines.clear();
+    settle(now + 500);
+    EXPECT_EQ(cores[1].fills.size(), 1u);
+}
+
+TEST_F(MemSystemTest, MshrCoalescesReaders)
+{
+    mem->access(0, 0x1000, false, 1, now);
+    auto r = mem->access(0, 0x1000, false, 2, now);
+    EXPECT_EQ(r, AccessOutcome::kMiss);
+    EXPECT_EQ(mem->inflightTxns(), 1u);
+    settle();
+    EXPECT_EQ(cores[0].fills.size(), 2u);
+}
+
+TEST_F(MemSystemTest, WriteCannotMergeIntoReadMiss)
+{
+    mem->access(0, 0x1000, false, 1, now);
+    EXPECT_EQ(mem->access(0, 0x1000, true, 2, now),
+              AccessOutcome::kBlocked);
+}
+
+TEST_F(MemSystemTest, ReadMergesIntoWriteMiss)
+{
+    mem->access(0, 0x1000, true, 1, now);
+    EXPECT_EQ(mem->access(0, 0x1000, false, 2, now),
+              AccessOutcome::kMiss);
+    EXPECT_EQ(mem->inflightTxns(), 1u);
+    settle();
+    EXPECT_EQ(cores[0].fills.size(), 2u);
+}
+
+TEST_F(MemSystemTest, MshrCapacityBlocks)
+{
+    for (unsigned i = 0; i < cfg.mshrs; ++i) {
+        auto r = mem->access(0, 0x100000 + i * kLineBytes, false,
+                             i + 1, now);
+        EXPECT_EQ(r, AccessOutcome::kMiss);
+    }
+    EXPECT_EQ(mem->access(0, 0x900000, false, 99, now),
+              AccessOutcome::kBlocked);
+}
+
+TEST_F(MemSystemTest, PerformStoreWriteUpdatesImage)
+{
+    // access() takes line addresses; the word within the line is
+    // used at write time.
+    mem->access(0, lineOf(0x2008), true, 1, now);
+    settle();
+    EXPECT_TRUE(mem->performStoreWrite(0, 0x2008, -9, now));
+    EXPECT_EQ(mem->readWord(0x2008), -9);
+    EXPECT_EQ(mem->privState(0, lineOf(0x2008)), CacheState::kModified);
+}
+
+TEST_F(MemSystemTest, PerformStoreWithoutPermissionPanics)
+{
+    EXPECT_DEATH(mem->performStoreWrite(0, 0x3000, 1, now),
+                 "permission");
+}
+
+TEST_F(MemSystemTest, L1CapacityEvictionKeepsLineInL2)
+{
+    // Fill one L1 set (2 ways) plus one more line mapping to it.
+    mem::CacheArray probe(cfg.l1Sets, cfg.l1Ways);
+    std::vector<Addr> lines;
+    for (Addr a = 0; lines.size() < 3; a += kLineBytes)
+        if (probe.setOf(a) == probe.setOf(0))
+            lines.push_back(a);
+    for (Addr a : lines) {
+        mem->access(0, a, false, 1, now);
+        settle();
+    }
+    unsigned in_l1 = 0;
+    for (Addr a : lines) {
+        EXPECT_TRUE(mem->privHolds(0, a));  // still in the hierarchy
+        if (mem->l1Holds(0, a))
+            ++in_l1;
+    }
+    EXPECT_EQ(in_l1, 2u);
+}
+
+TEST_F(MemSystemTest, DirectoryVictimRecallInvalidatesPrivateCopies)
+{
+    // Directory: coverage 2.0 * 4 cores * 8 L1 lines = 64 entries /
+    // 4 ways = 16 sets. Touch many lines mapping to one directory
+    // set until a recall must happen.
+    Directory probe(16, cfg.dirWays);
+    std::vector<Addr> lines;
+    for (Addr a = 0; lines.size() < 6; a += kLineBytes)
+        if (probe.setOf(a) == probe.setOf(0))
+            lines.push_back(a);
+    for (Addr a : lines) {
+        mem->access(1, a, false, 1, now);
+        settle();
+    }
+    EXPECT_GT(mem->stats.directoryRecalls, 0u);
+    EXPECT_FALSE(cores[1].lost.empty());
+}
+
+TEST_F(MemSystemTest, AllL1WaysLockedDefersFill)
+{
+    // Lock both ways of one L1 set, then request a third line in
+    // that set: the fill must stall until a lock is released.
+    mem::CacheArray probe(cfg.l1Sets, cfg.l1Ways);
+    std::vector<Addr> alias;
+    for (Addr x = 0; alias.size() < 3; x += kLineBytes)
+        if (probe.setOf(x) == probe.setOf(0))
+            alias.push_back(x);
+    Addr a = alias[0];
+    Addr b = alias[1];
+    Addr c = alias[2];
+    mem->access(0, a, true, 1, now);
+    settle();
+    mem->access(0, b, true, 2, now);
+    settle();
+    cores[0].lockedLines.insert(a);
+    cores[0].lockedLines.insert(b);
+    mem->access(0, c, true, 3, now);
+    for (int i = 0; i < 500; ++i)
+        mem->tick(now++);
+    EXPECT_GT(mem->stats.fillBlockedOnLock, 0u);
+    EXPECT_FALSE(mem->l1Holds(0, c));
+    cores[0].lockedLines.clear();
+    settle(now + 500);
+    EXPECT_TRUE(mem->l1Holds(0, c));
+    ASSERT_FALSE(cores[0].fills.empty());
+}
+
+TEST_F(MemSystemTest, UnalignedAccessPanics)
+{
+    EXPECT_DEATH(mem->access(0, 0x1001, false, 1, now), "unaligned");
+}
+
+TEST_F(MemSystemTest, TooManyCoresIsFatal)
+{
+    EXPECT_THROW(MemSystem(cfg, 65), FatalError);
+}
+
+TEST_F(MemSystemTest, ContendedLineSerializesCorrectly)
+{
+    // Four cores hammer the same line with writes; each must end up
+    // sole owner at some point, with every other copy invalidated.
+    for (CoreId c = 0; c < 4; ++c)
+        mem->access(c, 0x5000, true, c + 1, now);
+    settle(5000);
+    unsigned owners = 0;
+    for (CoreId c = 0; c < 4; ++c)
+        if (mem->privHasWritePerm(c, 0x5000))
+            ++owners;
+    EXPECT_EQ(owners, 1u);
+    for (CoreId c = 0; c < 4; ++c)
+        EXPECT_EQ(cores[c].fills.size(), 1u);
+}
+
+} // namespace
+} // namespace fa::mem

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Cross-mode property tests: determinism, mode-specific statistic
+ * invariants, multi-threaded synthetic-program invariants (shared
+ * atomicity + private non-interference), and configuration sweeps
+ * (AQ size, forwarding-chain cap).
+ */
+
+#include <gtest/gtest.h>
+
+#include "freeatomics/freeatomics.hh"
+
+namespace fa {
+namespace {
+
+using core::AtomicsMode;
+
+constexpr AtomicsMode kModes[] = {
+    AtomicsMode::kFenced, AtomicsMode::kSpec, AtomicsMode::kFree,
+    AtomicsMode::kFreeFwd};
+
+TEST(Determinism, SameSeedSameCyclesAndImage)
+{
+    const auto *w = wl::findWorkload("barnes");
+    auto a = wl::runWorkload(*w, sim::MachineConfig::tiny(4),
+                             AtomicsMode::kFreeFwd, 4, 0.5, 77,
+                             40'000'000);
+    auto b = wl::runWorkload(*w, sim::MachineConfig::tiny(4),
+                             AtomicsMode::kFreeFwd, 4, 0.5, 77,
+                             40'000'000);
+    ASSERT_TRUE(a.finished && b.finished);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.core.committedInsts, b.core.committedInsts);
+    EXPECT_EQ(a.core.squashedInsts, b.core.squashedInsts);
+}
+
+TEST(Determinism, DifferentSeedDifferentSchedule)
+{
+    const auto *w = wl::findWorkload("barnes");
+    auto a = wl::runWorkload(*w, sim::MachineConfig::tiny(4),
+                             AtomicsMode::kFreeFwd, 4, 0.5, 77,
+                             40'000'000);
+    auto b = wl::runWorkload(*w, sim::MachineConfig::tiny(4),
+                             AtomicsMode::kFreeFwd, 4, 0.5, 78,
+                             40'000'000);
+    ASSERT_TRUE(a.finished && b.finished);
+    EXPECT_NE(a.cycles, b.cycles);
+}
+
+class ModeInvariants : public ::testing::TestWithParam<AtomicsMode>
+{
+};
+
+TEST_P(ModeInvariants, FenceAndForwardStatsMatchMode)
+{
+    AtomicsMode mode = GetParam();
+    const auto *w = wl::findWorkload("barnes");
+    auto r = wl::runWorkload(*w, sim::MachineConfig::tiny(4), mode, 4,
+                             0.5, 9, 40'000'000);
+    ASSERT_TRUE(r.finished) << r.failure;
+    bool fenced = mode == AtomicsMode::kFenced ||
+        mode == AtomicsMode::kSpec;
+    if (fenced) {
+        EXPECT_GT(r.core.implicitFencesExecuted, 0u);
+        EXPECT_EQ(r.core.implicitFencesOmitted, 0u);
+    } else {
+        EXPECT_EQ(r.core.implicitFencesExecuted, 0u);
+        EXPECT_GT(r.core.implicitFencesOmitted, 0u);
+        EXPECT_EQ(r.core.atomicDrainSbCycles, 0u);
+    }
+    if (mode != AtomicsMode::kFreeFwd) {
+        EXPECT_EQ(r.core.atomicsFwdFromAtomic, 0u);
+        EXPECT_EQ(r.core.atomicsFwdFromStore, 0u);
+        EXPECT_EQ(r.core.lockSourceSq, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, ModeInvariants, ::testing::ValuesIn(kModes),
+    [](const ::testing::TestParamInfo<AtomicsMode> &info) {
+        return std::string(core::atomicsModeIdent(info.param));
+    });
+
+TEST(ModeInvariants, ForwardingHappensInFwdMode)
+{
+    const auto *w = wl::findWorkload("barnes");
+    auto r = wl::runWorkload(*w, sim::MachineConfig::icelake(4),
+                             AtomicsMode::kFreeFwd, 4, 1.0, 9,
+                             40'000'000);
+    ASSERT_TRUE(r.finished) << r.failure;
+    EXPECT_GT(r.core.atomicsFwdFromAtomic, 0u);
+    EXPECT_EQ(r.core.lockSourceSq,
+              r.core.atomicsFwdFromAtomic + r.core.atomicsFwdFromStore);
+}
+
+struct SynthParam
+{
+    std::uint64_t seed;
+    unsigned threads;
+    AtomicsMode mode;
+};
+
+class SyntheticProperty : public ::testing::TestWithParam<SynthParam>
+{
+};
+
+TEST_P(SyntheticProperty, AtomicityAndPrivateIsolation)
+{
+    const auto &p = GetParam();
+    wl::SyntheticParams sp;
+    sp.generatorSeed = p.seed;
+    sp.blocks = 10;
+
+    std::vector<isa::Program> progs;
+    std::vector<std::int64_t> expected(sp.numCounters, 0);
+    for (unsigned t = 0; t < p.threads; ++t) {
+        std::vector<std::int64_t> inc;
+        progs.push_back(
+            wl::buildSyntheticProgram(sp, t, p.threads, &inc));
+        for (unsigned c = 0; c < sp.numCounters; ++c)
+            expected[c] += inc[c];
+    }
+
+    auto m = sim::MachineConfig::tiny(p.threads);
+    m.core.mode = p.mode;
+    std::uint64_t master_seed = 4000 + p.seed;
+    sim::System sys(m, progs, master_seed);
+    auto out = sys.run(20'000'000);
+    ASSERT_TRUE(out.finished) << out.failure;
+
+    // Invariant 1: shared counters see every increment exactly once.
+    for (unsigned c = 0; c < sp.numCounters; ++c) {
+        EXPECT_EQ(sys.readWord(wl::kDataBase + c * 64), expected[c])
+            << "counter " << c;
+    }
+
+    // Invariant 2: each thread's private region matches a sequential
+    // reference interpretation of that thread alone. Pre-seed the
+    // start barrier so the lone thread is its last arriver.
+    for (unsigned t = 0; t < p.threads; ++t) {
+        MemImage ref;
+        ref.write(wl::kBarrierBase, p.threads - 1);
+        auto res = isa::interpret(progs[t], ref,
+                                  mix64(master_seed, t + 1),
+                                  100'000'000);
+        ASSERT_TRUE(res.halted);
+        Addr base = wl::kPrivBase + t * wl::kPrivStride;
+        for (unsigned wd = 0; wd <= 64; ++wd) {
+            EXPECT_EQ(sys.readWord(base + wd * 8),
+                      ref.read(base + wd * 8))
+                << "thread " << t << " private word " << wd;
+        }
+    }
+}
+
+std::vector<SynthParam>
+synthMatrix()
+{
+    std::vector<SynthParam> v;
+    for (std::uint64_t s : {1ull, 2ull, 3ull, 4ull, 5ull, 6ull}) {
+        for (AtomicsMode m : kModes)
+            v.push_back({s, 4, m});
+        v.push_back({s, 2, AtomicsMode::kFreeFwd});
+        v.push_back({s, 8, AtomicsMode::kFreeFwd});
+    }
+    return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SyntheticProperty, ::testing::ValuesIn(synthMatrix()),
+    [](const ::testing::TestParamInfo<SynthParam> &info) {
+        return "s" + std::to_string(info.param.seed) + "_t" +
+            std::to_string(info.param.threads) + "_" +
+            core::atomicsModeIdent(info.param.mode);
+    });
+
+class AqSizeSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(AqSizeSweep, CorrectAtEverySize)
+{
+    auto m = sim::MachineConfig::tiny(4);
+    m.core.aqSize = GetParam();
+    const auto *w = wl::findWorkload("atomic_counter");
+    auto r = wl::runWorkload(*w, m, AtomicsMode::kFreeFwd, 4, 1.0, 6,
+                             40'000'000);
+    EXPECT_TRUE(r.finished) << r.failure;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AqSizeSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+class ChainCapSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ChainCapSweep, CorrectAtEveryCap)
+{
+    auto m = sim::MachineConfig::tiny(4);
+    m.core.fwdChainCap = GetParam();
+    const auto *w = wl::findWorkload("barnes");
+    auto r = wl::runWorkload(*w, m, AtomicsMode::kFreeFwd, 4, 0.5, 6,
+                             40'000'000);
+    EXPECT_TRUE(r.finished) << r.failure;
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, ChainCapSweep,
+                         ::testing::Values(1u, 2u, 8u, 32u, 64u));
+
+TEST(EnergyModel, StaticScalesWithCyclesDynamicWithWork)
+{
+    sim::EnergyParams p;
+    CoreStats c;
+    MemStats m;
+    c.activeCycles = 1000;
+    c.haltedCycles = 500;
+    c.issuedUops = 100;
+    c.committedInsts = 80;
+    m.l1Hits = 50;
+    auto e = sim::computeEnergy(p, c, m);
+    EXPECT_DOUBLE_EQ(e.staticPj,
+                     1000 * p.staticActive + 500 * p.staticHalted);
+    EXPECT_GT(e.dynamicPj, 0.0);
+    EXPECT_DOUBLE_EQ(e.total(), e.staticPj + e.dynamicPj);
+
+    CoreStats c2 = c;
+    c2.issuedUops = 200;
+    auto e2 = sim::computeEnergy(p, c2, m);
+    EXPECT_GT(e2.dynamicPj, e.dynamicPj);
+    EXPECT_DOUBLE_EQ(e2.staticPj, e.staticPj);
+}
+
+TEST(RunResult, DerivedMetricsArithmetic)
+{
+    sim::RunResult r;
+    r.core.committedInsts = 2000;
+    r.core.committedAtomics = 4;
+    r.core.atomicDrainSbCycles = 100;
+    r.core.atomicPostIssueCycles = 60;
+    r.core.implicitFencesOmitted = 8;
+    r.core.committedFences = 2;
+    r.core.squashEvents[static_cast<int>(
+        SquashCause::kMemDepViolation)] = 1;
+    r.core.squashEvents[static_cast<int>(
+        SquashCause::kBranchMispredict)] = 3;
+    r.core.atomicsFwdFromAtomic = 1;
+    r.core.atomicsFwdFromStore = 2;
+    r.core.lockSourceSq = 3;
+    r.core.lockSourceL1WritePerm = 1;
+    EXPECT_DOUBLE_EQ(r.apki(), 2.0);
+    EXPECT_DOUBLE_EQ(r.avgDrainSbCycles(), 25.0);
+    EXPECT_DOUBLE_EQ(r.avgAtomicCycles(), 15.0);
+    EXPECT_DOUBLE_EQ(r.avgAtomicCost(), 40.0);
+    EXPECT_DOUBLE_EQ(r.omittedFencePct(), 80.0);
+    EXPECT_DOUBLE_EQ(r.mdvPctOfSquashes(), 25.0);
+    EXPECT_DOUBLE_EQ(r.fwdByAtomicPct(), 25.0);
+    EXPECT_DOUBLE_EQ(r.fwdByStorePct(), 50.0);
+    EXPECT_DOUBLE_EQ(r.lockLocalityRatio(), 1.0);
+    EXPECT_DOUBLE_EQ(r.lockLocalityFwdRatio(), 0.75);
+}
+
+} // namespace
+} // namespace fa

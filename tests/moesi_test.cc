@@ -1,0 +1,213 @@
+/**
+ * @file
+ * MOESI protocol tests: dirty sharing through the O state — the
+ * downgraded dirty owner keeps serving readers without a writeback,
+ * writes back only on its own eviction, and everything stays
+ * coherent and TSO-correct with Free atomics on top.
+ */
+
+#include <gtest/gtest.h>
+
+#include "freeatomics/freeatomics.hh"
+
+namespace fa {
+namespace {
+
+using core::AtomicsMode;
+using mem::CacheState;
+using mem::Protocol;
+
+class MoesiFixture : public ::testing::Test
+{
+  protected:
+    MoesiFixture()
+    {
+        cfg.protocol = Protocol::kMoesi;
+        cfg.l1Sets = 4;
+        cfg.l1Ways = 2;
+        cfg.l2Sets = 16;
+        cfg.l2Ways = 4;
+        cfg.l3Sets = 64;
+        cfg.l3Ways = 8;
+        cfg.dirCoverage = 2.0;
+        cfg.dirWays = 4;
+        cfg.netLatency = 4;
+        cfg.memLatency = 100;
+        cfg.l3DataLatency = 30;
+        cfg.l2HitLatency = 6;
+        memsys = std::make_unique<mem::MemSystem>(cfg, 4);
+        for (CoreId c = 0; c < 4; ++c)
+            memsys->attachCore(c, &cores[c]);
+    }
+
+    void
+    settle()
+    {
+        while (!memsys->quiescent() && now < 100000)
+            memsys->tick(now++);
+    }
+
+    struct FakeCore : mem::CoreMemIf
+    {
+        void
+        onFill(SeqNum w, Addr l, bool p, Cycle at) override
+        {
+            fills.push_back({w, l, p, at});
+        }
+        void onLineLost(Addr, Cycle) override {}
+        bool isLineLocked(Addr) const override { return false; }
+        struct Fill
+        {
+            SeqNum waiter;
+            Addr line;
+            bool perm;
+            Cycle at;
+        };
+        std::vector<Fill> fills;
+    };
+
+    mem::MemConfig cfg;
+    std::unique_ptr<mem::MemSystem> memsys;
+    FakeCore cores[4];
+    Cycle now = 0;
+};
+
+TEST_F(MoesiFixture, DirtyDowngradeGoesToOwnedWithoutWriteback)
+{
+    memsys->access(0, 0x1000, true, 1, now);
+    settle();
+    memsys->performStoreWrite(0, 0x1000, 7, now);
+    auto wb_before = memsys->stats.writebacks;
+    memsys->access(1, 0x1000, false, 2, now);
+    settle();
+    EXPECT_EQ(memsys->privState(0, 0x1000), CacheState::kOwned);
+    EXPECT_EQ(memsys->privState(1, 0x1000), CacheState::kShared);
+    EXPECT_EQ(memsys->stats.writebacks, wb_before);  // deferred
+    EXPECT_EQ(memsys->readWord(0x1000), 7);
+}
+
+TEST_F(MoesiFixture, CleanDowngradeStaysShared)
+{
+    memsys->access(0, 0x1000, false, 1, now);  // E, never written
+    settle();
+    memsys->access(1, 0x1000, false, 2, now);
+    settle();
+    EXPECT_EQ(memsys->privState(0, 0x1000), CacheState::kShared);
+}
+
+TEST_F(MoesiFixture, OwnerServesLaterReaders)
+{
+    memsys->access(0, 0x1000, true, 1, now);
+    settle();
+    memsys->performStoreWrite(0, 0x1000, 7, now);
+    memsys->access(1, 0x1000, false, 2, now);
+    settle();
+    auto fwd_before = memsys->stats.mesifForwards;
+    Cycle start = now;
+    memsys->access(2, 0x1000, false, 3, now);
+    settle();
+    EXPECT_GT(memsys->stats.mesifForwards, fwd_before);
+    Cycle c2c = cores[2].fills[0].at - start;
+    EXPECT_LT(c2c, cfg.l3TagLatency + cfg.l3DataLatency +
+                       3 * cfg.netLatency + cfg.l2HitLatency +
+                       cfg.dirLatency);
+}
+
+TEST_F(MoesiFixture, WriterStealsFromOwnedLine)
+{
+    memsys->access(0, 0x1000, true, 1, now);
+    settle();
+    memsys->performStoreWrite(0, 0x1000, 7, now);
+    memsys->access(1, 0x1000, false, 2, now);  // 0 -> O
+    settle();
+    memsys->access(2, 0x1000, true, 3, now);   // invalidate all
+    settle();
+    EXPECT_TRUE(memsys->privHasWritePerm(2, 0x1000));
+    EXPECT_FALSE(memsys->privHolds(0, 0x1000));
+    EXPECT_FALSE(memsys->privHolds(1, 0x1000));
+    memsys->performStoreWrite(2, 0x1000, 9, now);
+    EXPECT_EQ(memsys->readWord(0x1000), 9);
+}
+
+TEST_F(MoesiFixture, OwnedUpgradeRegainsWritePermission)
+{
+    // The O-state holder itself wants to write again: an upgrade
+    // must invalidate the other sharers and restore M.
+    memsys->access(0, 0x1000, true, 1, now);
+    settle();
+    memsys->performStoreWrite(0, 0x1000, 7, now);
+    memsys->access(1, 0x1000, false, 2, now);
+    settle();
+    ASSERT_EQ(memsys->privState(0, 0x1000), CacheState::kOwned);
+    EXPECT_FALSE(memsys->privHasWritePerm(0, 0x1000));
+    memsys->access(0, 0x1000, true, 3, now);
+    settle();
+    EXPECT_TRUE(memsys->privHasWritePerm(0, 0x1000));
+    EXPECT_FALSE(memsys->privHolds(1, 0x1000));
+}
+
+TEST(Moesi, SuiteCorrectUnderMoesi)
+{
+    for (const char *name :
+         {"barnes", "AS", "seqlock", "dekker", "atomic_counter"}) {
+        const auto *w = wl::findWorkload(name);
+        unsigned threads = std::string(name) == "dekker" ? 2 : 4;
+        auto m = sim::MachineConfig::tiny(threads);
+        m.mem.protocol = Protocol::kMoesi;
+        auto r = wl::runWorkload(*w, m, AtomicsMode::kFreeFwd, threads,
+                                 0.5, 53, 40'000'000);
+        EXPECT_TRUE(r.finished) << name << ": " << r.failure;
+    }
+}
+
+TEST(Moesi, ProducerConsumerWritebacksDrop)
+{
+    // One writer repeatedly updates a block many readers consume:
+    // MOESI defers writebacks relative to MESI.
+    using isa::BranchCond;
+    using isa::ProgramBuilder;
+    auto build = [](unsigned tid, unsigned threads) {
+        ProgramBuilder b("pc");
+        auto bar = b.alloc();
+        auto n = b.alloc();
+        auto t0 = b.alloc();
+        auto t1 = b.alloc();
+        auto t2 = b.alloc();
+        auto t3 = b.alloc();
+        b.movi(bar, 0x10000);
+        b.movi(n, threads);
+        b.barrier(bar, n, t0, t1, t2, t3);
+        auto a = b.alloc();
+        auto i = b.alloc();
+        auto v = b.alloc();
+        b.movi(a, 0x200000);
+        b.movi(i, 32);
+        auto loop = b.here();
+        if (tid == 0) {
+            b.store(a, i);
+            b.pause();
+        } else {
+            b.load(v, a);
+            b.pause();
+        }
+        b.addi(i, i, -1);
+        b.branch(BranchCond::kNe, i, ProgramBuilder::zero(), loop);
+        b.halt();
+        return b.build();
+    };
+    auto writebacks = [&](Protocol p) {
+        auto m = sim::MachineConfig::tiny(4);
+        m.mem.protocol = p;
+        std::vector<isa::Program> progs;
+        for (unsigned t = 0; t < 4; ++t)
+            progs.push_back(build(t, 4));
+        sim::System sys(m, progs, 3);
+        auto out = sys.run(5'000'000);
+        EXPECT_TRUE(out.finished);
+        return sys.mem().stats.writebacks;
+    };
+    EXPECT_LT(writebacks(Protocol::kMoesi), writebacks(Protocol::kMesi));
+}
+
+} // namespace
+} // namespace fa

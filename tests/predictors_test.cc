@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the branch direction predictor and the memory
+ * dependence predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/branch_pred.hh"
+#include "core/memdep_pred.hh"
+
+namespace fa::core {
+namespace {
+
+TEST(BranchPred, LearnsTaken)
+{
+    BranchPredictor bp(8);
+    for (int i = 0; i < 4; ++i)
+        bp.update(10, true);
+    EXPECT_TRUE(bp.predict(10));
+}
+
+TEST(BranchPred, LearnsNotTaken)
+{
+    BranchPredictor bp(8);
+    for (int i = 0; i < 4; ++i)
+        bp.update(10, false);
+    EXPECT_FALSE(bp.predict(10));
+}
+
+TEST(BranchPred, HysteresisSurvivesOneFlip)
+{
+    BranchPredictor bp(8);
+    for (int i = 0; i < 4; ++i)
+        bp.update(10, true);
+    bp.update(10, false);  // a single not-taken (loop exit)
+    EXPECT_TRUE(bp.predict(10));
+    bp.update(10, false);
+    bp.update(10, false);
+    EXPECT_FALSE(bp.predict(10));
+}
+
+TEST(BranchPred, InitialBiasIsTaken)
+{
+    BranchPredictor bp(8);
+    EXPECT_TRUE(bp.predict(123));
+}
+
+TEST(BranchPred, CountersSaturate)
+{
+    BranchPredictor bp(8);
+    for (int i = 0; i < 100; ++i)
+        bp.update(10, true);
+    bp.update(10, false);
+    bp.update(10, false);
+    EXPECT_FALSE(bp.predict(10));  // saturated at 3, two downs to 1
+}
+
+TEST(MemDep, UntrainedDoesNotWait)
+{
+    MemDepPredictor mdp;
+    EXPECT_FALSE(mdp.mustWait(42));
+}
+
+TEST(MemDep, ViolationTrains)
+{
+    MemDepPredictor mdp;
+    mdp.trainViolation(42);
+    EXPECT_TRUE(mdp.mustWait(42));
+    EXPECT_FALSE(mdp.mustWait(43));
+}
+
+TEST(MemDep, DecaysAfterCleanCommits)
+{
+    MemDepPredictor mdp;
+    mdp.trainViolation(42);
+    for (int i = 0; i < 255; ++i)
+        mdp.commitDecay(42);
+    EXPECT_TRUE(mdp.mustWait(42));
+    mdp.commitDecay(42);
+    EXPECT_FALSE(mdp.mustWait(42));
+}
+
+TEST(MemDep, RetrainResetsStrength)
+{
+    MemDepPredictor mdp;
+    mdp.trainViolation(42);
+    for (int i = 0; i < 200; ++i)
+        mdp.commitDecay(42);
+    mdp.trainViolation(42);
+    for (int i = 0; i < 200; ++i)
+        mdp.commitDecay(42);
+    EXPECT_TRUE(mdp.mustWait(42));
+}
+
+TEST(MemDep, DecayOfUntrainedIsNoop)
+{
+    MemDepPredictor mdp;
+    mdp.commitDecay(42);
+    EXPECT_FALSE(mdp.mustWait(42));
+}
+
+} // namespace
+} // namespace fa::core

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Higher-level synchronization constructs under every atomic-RMW
+ * flavour: ticket lock (FIFO + mutual exclusion), MCS queue lock
+ * (mutual exclusion + empty queue at quiesce), and seqlock (readers
+ * never observe torn writes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "freeatomics/freeatomics.hh"
+
+namespace fa {
+namespace {
+
+using core::AtomicsMode;
+
+struct SyncParam
+{
+    const char *workload;
+    unsigned threads;
+    AtomicsMode mode;
+};
+
+class SyncConstructs : public ::testing::TestWithParam<SyncParam>
+{
+};
+
+TEST_P(SyncConstructs, InvariantHolds)
+{
+    const auto &p = GetParam();
+    const auto *w = wl::findWorkload(p.workload);
+    ASSERT_NE(w, nullptr);
+    for (std::uint64_t seed : {41ull, 42ull, 43ull}) {
+        auto r = wl::runWorkload(*w, sim::MachineConfig::tiny(p.threads),
+                                 p.mode, p.threads, 1.0, seed,
+                                 40'000'000);
+        EXPECT_TRUE(r.finished)
+            << "seed " << seed << ": " << r.failure;
+    }
+}
+
+std::vector<SyncParam>
+syncMatrix()
+{
+    std::vector<SyncParam> v;
+    for (const char *w : {"ticket_lock", "mcs_lock", "seqlock"}) {
+        for (AtomicsMode m :
+             {AtomicsMode::kFenced, AtomicsMode::kSpec,
+              AtomicsMode::kFree, AtomicsMode::kFreeFwd}) {
+            v.push_back({w, 2, m});
+            v.push_back({w, 4, m});
+        }
+        v.push_back({w, 8, AtomicsMode::kFreeFwd});
+    }
+    return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SyncConstructs, ::testing::ValuesIn(syncMatrix()),
+    [](const ::testing::TestParamInfo<SyncParam> &info) {
+        return std::string(info.param.workload) + "_t" +
+            std::to_string(info.param.threads) + "_" +
+            core::atomicsModeIdent(info.param.mode);
+    });
+
+TEST(TicketLock, IsFifoFair)
+{
+    // The ticket discipline serves strictly in ticket order, so no
+    // thread can starve: with N threads x I iterations, every thread
+    // must finish, and tickets issued == tickets served (checked by
+    // the verify hook); here additionally assert the system spread
+    // the critical sections across all threads.
+    const auto *w = wl::findWorkload("ticket_lock");
+    auto machine = sim::MachineConfig::tiny(4);
+    machine.core.mode = AtomicsMode::kFreeFwd;
+    machine.cores = 4;
+    auto progs = wl::buildPrograms(*w, 4, 1.0);
+    sim::System sys(machine, progs, 7);
+    auto out = sys.run(40'000'000);
+    ASSERT_TRUE(out.finished) << out.failure;
+    for (unsigned c = 0; c < 4; ++c)
+        EXPECT_GT(sys.coreAt(c).stats.committedAtomics, 0u);
+}
+
+TEST(McsLock, QueueNodesAreSpinLocal)
+{
+    // MCS waiters spin on their own qnode line, not the lock word:
+    // with 4 contenders the lock-word line must see far fewer
+    // accesses than a TTAS design would generate. Proxy check: the
+    // run completes with bounded invalidation traffic per critical
+    // section.
+    const auto *w = wl::findWorkload("mcs_lock");
+    auto r = wl::runWorkload(*w, sim::MachineConfig::tiny(4),
+                             AtomicsMode::kFreeFwd, 4, 1.0, 7,
+                             40'000'000);
+    ASSERT_TRUE(r.finished) << r.failure;
+    double invs_per_cs =
+        static_cast<double>(r.mem.invalidationsSent) /
+        static_cast<double>(4 * 24);
+    EXPECT_LT(invs_per_cs, 40.0);
+}
+
+TEST(Seqlock, WriterAloneNeverTears)
+{
+    const auto *w = wl::findWorkload("seqlock");
+    auto r = wl::runWorkload(*w, sim::MachineConfig::tiny(1),
+                             AtomicsMode::kFreeFwd, 1, 1.0, 7,
+                             40'000'000);
+    EXPECT_TRUE(r.finished) << r.failure;
+}
+
+} // namespace
+} // namespace fa

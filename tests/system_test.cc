@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the System wrapper, machine presets and the run driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "freeatomics/freeatomics.hh"
+
+namespace fa {
+namespace {
+
+using core::AtomicsMode;
+
+isa::Program
+tinyProgram()
+{
+    isa::ProgramBuilder b("t");
+    auto r = b.alloc();
+    auto a = b.alloc();
+    b.movi(r, 1);
+    b.movi(a, 0x1000);
+    b.store(a, r);
+    b.halt();
+    return b.build();
+}
+
+TEST(MachineConfig, PresetsMatchPaperTable1)
+{
+    auto ice = sim::MachineConfig::icelake();
+    EXPECT_EQ(ice.cores, 32u);
+    EXPECT_EQ(ice.core.robSize, 352u);
+    EXPECT_EQ(ice.core.lqSize, 128u);
+    EXPECT_EQ(ice.core.sqSize, 72u);
+    EXPECT_EQ(ice.core.aqSize, 4u);
+    EXPECT_EQ(ice.core.watchdogThreshold, 10000u);
+    EXPECT_EQ(ice.core.fwdChainCap, 32u);
+    EXPECT_EQ(ice.mem.l1Sets * ice.mem.l1Ways * kLineBytes,
+              48u * 1024u);
+    EXPECT_EQ(ice.mem.l1Ways, 12u);
+
+    auto sky = sim::MachineConfig::skylake();
+    EXPECT_EQ(sky.core.robSize, 224u);
+    auto snb = sim::MachineConfig::sandybridge();
+    EXPECT_EQ(snb.core.robSize, 168u);
+}
+
+TEST(System, ProgramCountMustMatchCores)
+{
+    auto m = sim::MachineConfig::tiny(2);
+    EXPECT_THROW(sim::System(m, {tinyProgram()}, 1), FatalError);
+}
+
+TEST(System, InitMemoryVisibleToProgramsAndReaders)
+{
+    isa::ProgramBuilder b("t");
+    auto r = b.alloc();
+    auto a = b.alloc();
+    b.movi(a, 0x2000);
+    b.load(r, a);
+    b.addi(r, r, 1);
+    b.store(a, r, 8);
+    b.halt();
+    sim::System sys(sim::MachineConfig::tiny(1), {b.build()}, 1);
+    sys.initMemory({{0x2000, 41}});
+    auto out = sys.run(100000);
+    ASSERT_TRUE(out.finished);
+    EXPECT_EQ(sys.readWord(0x2008), 42);
+}
+
+TEST(System, CycleLimitReported)
+{
+    isa::ProgramBuilder b("t");
+    auto l = b.here();
+    b.jump(l);
+    b.halt();
+    sim::System sys(sim::MachineConfig::tiny(1), {b.build()}, 1);
+    auto out = sys.run(2000);
+    EXPECT_FALSE(out.finished);
+    EXPECT_NE(out.failure.find("cycle limit"), std::string::npos);
+}
+
+TEST(System, StepCycleAdvancesClock)
+{
+    sim::System sys(sim::MachineConfig::tiny(1), {tinyProgram()}, 1);
+    EXPECT_EQ(sys.cycles(), 0u);
+    sys.stepCycle();
+    sys.stepCycle();
+    EXPECT_EQ(sys.cycles(), 2u);
+}
+
+TEST(System, CoreTotalsSumAcrossCores)
+{
+    sim::System sys(sim::MachineConfig::tiny(2),
+                    {tinyProgram(), tinyProgram()}, 1);
+    auto out = sys.run(100000);
+    ASSERT_TRUE(out.finished);
+    auto total = sys.coreTotals();
+    EXPECT_EQ(total.committedInsts,
+              sys.coreAt(0).stats.committedInsts +
+                  sys.coreAt(1).stats.committedInsts);
+    EXPECT_EQ(total.committedInsts, 8u);
+}
+
+TEST(Runner, RunProgramsProducesEnergyAndMetrics)
+{
+    auto r = sim::runPrograms(sim::MachineConfig::tiny(1),
+                              AtomicsMode::kFreeFwd, {tinyProgram()},
+                              {}, 1);
+    ASSERT_TRUE(r.finished) << r.failure;
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.energy.total(), 0.0);
+    EXPECT_GT(r.slowestActiveCycles, 0u);
+}
+
+TEST(Runner, WorkloadVerifyFailureIsReported)
+{
+    // A workload whose verify always fails must surface the message.
+    wl::Workload w;
+    w.name = "alwaysbad";
+    w.build = [](const wl::BuildCtx &) {
+        isa::ProgramBuilder b("alwaysbad");
+        b.halt();
+        return b.build();
+    };
+    w.verify = [](const sim::System &, unsigned, double) {
+        return std::string("nope");
+    };
+    auto r = wl::runWorkload(w, sim::MachineConfig::tiny(1),
+                             AtomicsMode::kFreeFwd, 1, 1.0, 1);
+    EXPECT_FALSE(r.finished);
+    EXPECT_NE(r.failure.find("nope"), std::string::npos);
+}
+
+TEST(Trace, CanBeToggled)
+{
+    bool before = traceEnabled();
+    setTrace(true);
+    EXPECT_TRUE(traceEnabled());
+    setTrace(false);
+    EXPECT_FALSE(traceEnabled());
+    setTrace(before);
+}
+
+} // namespace
+} // namespace fa

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Integration tests: every application of the 26-workload suite
+ * terminates and passes its own invariant check (lock-protected
+ * sums, queue tickets, swap conservation, phase-store patterns) in
+ * both the fenced baseline and the full Free-atomics configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "freeatomics/freeatomics.hh"
+
+namespace fa {
+namespace {
+
+using core::AtomicsMode;
+
+struct WlParam
+{
+    std::string name;
+    AtomicsMode mode;
+};
+
+class SuiteRun : public ::testing::TestWithParam<WlParam>
+{
+};
+
+TEST_P(SuiteRun, TerminatesAndVerifies)
+{
+    const auto &p = GetParam();
+    const auto *w = wl::findWorkload(p.name);
+    ASSERT_NE(w, nullptr);
+    auto r = wl::runWorkload(*w, sim::MachineConfig::icelake(4),
+                             p.mode, 4, 0.25, 2024, 40'000'000);
+    EXPECT_TRUE(r.finished) << r.failure;
+    EXPECT_GT(r.core.committedInsts, 0u);
+    EXPECT_GT(r.core.committedAtomics, 0u);
+}
+
+std::vector<WlParam>
+suiteMatrix()
+{
+    std::vector<WlParam> v;
+    for (const auto &w : wl::allWorkloads()) {
+        v.push_back({w.name, AtomicsMode::kFenced});
+        v.push_back({w.name, AtomicsMode::kFreeFwd});
+    }
+    return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, SuiteRun, ::testing::ValuesIn(suiteMatrix()),
+    [](const ::testing::TestParamInfo<WlParam> &info) {
+        return info.param.name + "_" +
+            core::atomicsModeIdent(info.param.mode);
+    });
+
+TEST(Registry, HasTwentySixApplications)
+{
+    EXPECT_EQ(wl::allWorkloads().size(), 26u);
+}
+
+TEST(Registry, FigureTwelveOrderStartsAndEndsRight)
+{
+    const auto &all = wl::allWorkloads();
+    EXPECT_EQ(all.front().name, "watersp");
+    EXPECT_EQ(all.back().name, "RBT");
+}
+
+TEST(Registry, ElevenAtomicIntensiveApplications)
+{
+    // Paper §5.2: 11 applications above 0.75 APKI.
+    unsigned n = 0;
+    for (const auto &w : wl::allWorkloads())
+        if (w.atomicIntensive)
+            ++n;
+    EXPECT_EQ(n, 11u);
+}
+
+TEST(Registry, FindUnknownReturnsNull)
+{
+    EXPECT_EQ(wl::findWorkload("no-such-app"), nullptr);
+}
+
+TEST(Registry, LitmusSuitePresent)
+{
+    EXPECT_GE(wl::litmusWorkloads().size(), 7u);
+    EXPECT_NE(wl::findWorkload("dekker"), nullptr);
+}
+
+TEST(Registry, OriginsAreLabelled)
+{
+    unsigned splash = 0;
+    unsigned parsec = 0;
+    unsigned wi = 0;
+    for (const auto &w : wl::allWorkloads()) {
+        if (w.origin == "splash3")
+            ++splash;
+        else if (w.origin == "parsec3")
+            ++parsec;
+        else if (w.origin == "write-intensive")
+            ++wi;
+    }
+    EXPECT_EQ(splash, 14u);
+    EXPECT_EQ(parsec, 6u);
+    EXPECT_EQ(wi, 6u);
+}
+
+TEST(Workloads, AtomicIntensiveAppsHaveHigherApki)
+{
+    // The classification must be reflected in the measured APKI
+    // ordering: the mean AI APKI clearly exceeds the mean non-AI.
+    double ai_sum = 0;
+    double non_sum = 0;
+    unsigned ai_n = 0;
+    unsigned non_n = 0;
+    for (const auto &w : wl::allWorkloads()) {
+        auto r = wl::runWorkload(w, sim::MachineConfig::icelake(4),
+                                 AtomicsMode::kFenced, 4, 0.25, 3,
+                                 40'000'000);
+        ASSERT_TRUE(r.finished) << w.name << ": " << r.failure;
+        if (w.atomicIntensive) {
+            ai_sum += r.apki();
+            ++ai_n;
+        } else {
+            non_sum += r.apki();
+            ++non_n;
+        }
+    }
+    EXPECT_GT(ai_sum / ai_n, 2.0 * (non_sum / non_n));
+}
+
+TEST(Workloads, ScaleShrinksWork)
+{
+    const auto *w = wl::findWorkload("barnes");
+    auto small = wl::runWorkload(*w, sim::MachineConfig::icelake(2),
+                                 AtomicsMode::kFreeFwd, 2, 0.25, 5,
+                                 40'000'000);
+    auto big = wl::runWorkload(*w, sim::MachineConfig::icelake(2),
+                               AtomicsMode::kFreeFwd, 2, 1.0, 5,
+                               40'000'000);
+    ASSERT_TRUE(small.finished && big.finished);
+    EXPECT_LT(small.core.committedInsts, big.core.committedInsts);
+}
+
+} // namespace
+} // namespace fa

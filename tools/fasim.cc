@@ -1,0 +1,235 @@
+/**
+ * @file
+ * fasim — command-line driver for the Free Atomics simulator.
+ *
+ * Run any packaged workload on any machine preset and atomic-RMW
+ * flavour, and dump cycle counts, derived metrics, and (optionally)
+ * the full per-core statistics.
+ *
+ *   fasim --list
+ *   fasim -w barnes -c 32 -m freefwd
+ *   fasim -w dekker -c 2 --all-modes
+ *   fasim -w TPCC -c 16 -m fenced --stats --seed 7 --scale 0.5
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "freeatomics/freeatomics.hh"
+
+using namespace fa;
+
+namespace {
+
+void
+usage()
+{
+    std::cout <<
+        "usage: fasim [options]\n"
+        "  -w, --workload NAME   workload to run (see --list)\n"
+        "  -p, --program FILE    assemble FILE and run it on every core\n"
+        "  -c, --cores N         threads/cores            [8]\n"
+        "  -m, --mode MODE       fenced|spec|free|freefwd [freefwd]\n"
+        "      --machine NAME    icelake|skylake|sandybridge [icelake]\n"
+        "      --scale F         iteration scale          [1.0]\n"
+        "      --seed N          master seed              [42]\n"
+        "      --seeds N         runs to average          [1]\n"
+        "      --all-modes       run all four flavours\n"
+        "      --stats           dump aggregated statistics\n"
+        "      --trace           cycle-level event trace to stderr\n"
+        "      --list            list workloads and exit\n";
+}
+
+core::AtomicsMode
+parseMode(const std::string &s)
+{
+    if (s == "fenced")
+        return core::AtomicsMode::kFenced;
+    if (s == "spec")
+        return core::AtomicsMode::kSpec;
+    if (s == "free")
+        return core::AtomicsMode::kFree;
+    if (s == "freefwd")
+        return core::AtomicsMode::kFreeFwd;
+    fatal("unknown mode '%s'", s.c_str());
+}
+
+sim::MachineConfig
+parseMachine(const std::string &s, unsigned cores)
+{
+    if (s == "icelake")
+        return sim::MachineConfig::icelake(cores);
+    if (s == "skylake")
+        return sim::MachineConfig::skylake(cores);
+    if (s == "sandybridge")
+        return sim::MachineConfig::sandybridge(cores);
+    fatal("unknown machine '%s'", s.c_str());
+}
+
+void
+listWorkloads()
+{
+    TablePrinter t({"name", "origin", "class"});
+    for (const auto &w : wl::allWorkloads()) {
+        t.cell(w.name).cell(w.origin)
+            .cell(w.atomicIntensive ? "atomic-intensive" : "non-AI")
+            .endRow();
+    }
+    for (const auto &w : wl::litmusWorkloads())
+        t.cell(w.name).cell(w.origin).cell("-").endRow();
+    t.print(std::cout);
+}
+
+void
+runOne(const wl::Workload &w, const sim::MachineConfig &machine,
+       core::AtomicsMode mode, unsigned cores, double scale,
+       std::uint64_t seed, unsigned seeds, bool stats)
+{
+    double cycles = 0;
+    sim::RunResult last;
+    for (unsigned s = 0; s < seeds; ++s) {
+        last = wl::runWorkload(w, machine, mode, cores, scale,
+                               seed + s, 500'000'000);
+        if (!last.finished)
+            fatal("%s (%s): %s", w.name.c_str(),
+                  core::atomicsModeName(mode), last.failure.c_str());
+        cycles += static_cast<double>(last.cycles);
+    }
+    cycles /= seeds;
+
+    std::cout << w.name << " [" << core::atomicsModeName(mode)
+              << "]: " << fmtDouble(cycles, 0) << " cycles, IPC "
+              << fmtDouble(static_cast<double>(last.core.committedInsts)
+                           / (cycles * cores), 2)
+              << ", APKI " << fmtDouble(last.apki(), 2)
+              << ", FbA " << fmtDouble(last.fwdByAtomicPct(), 1)
+              << "%, timeouts " << last.core.watchdogTimeouts
+              << ", energy " << fmtDouble(last.energy.total() / 1e6, 2)
+              << "uJ\n";
+
+    if (stats) {
+        TablePrinter t({"counter", "value"});
+        last.core.forEach([&](const std::string &n, std::uint64_t v) {
+            t.cell(n).cell(v).endRow();
+        });
+        last.mem.forEach([&](const std::string &n, std::uint64_t v) {
+            t.cell("mem." + n).cell(v).endRow();
+        });
+        t.print(std::cout);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload;
+    std::string program_file;
+    std::string mode_s = "freefwd";
+    std::string machine_s = "icelake";
+    unsigned cores = 8;
+    double scale = 1.0;
+    std::uint64_t seed = 42;
+    unsigned seeds = 1;
+    bool all_modes = false;
+    bool stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", a.c_str());
+            return argv[++i];
+        };
+        if (a == "-w" || a == "--workload")
+            workload = next();
+        else if (a == "-p" || a == "--program")
+            program_file = next();
+        else if (a == "-c" || a == "--cores")
+            cores = static_cast<unsigned>(std::stoul(next()));
+        else if (a == "-m" || a == "--mode")
+            mode_s = next();
+        else if (a == "--machine")
+            machine_s = next();
+        else if (a == "--scale")
+            scale = std::stod(next());
+        else if (a == "--seed")
+            seed = std::stoull(next());
+        else if (a == "--seeds")
+            seeds = static_cast<unsigned>(std::stoul(next()));
+        else if (a == "--all-modes")
+            all_modes = true;
+        else if (a == "--stats")
+            stats = true;
+        else if (a == "--trace")
+            setTrace(true);
+        else if (a == "--list") {
+            listWorkloads();
+            return 0;
+        } else if (a == "-h" || a == "--help") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "unknown option: " << a << "\n";
+            usage();
+            return 2;
+        }
+    }
+
+    if (workload.empty() && program_file.empty()) {
+        usage();
+        return 2;
+    }
+
+    try {
+        if (!program_file.empty()) {
+            isa::Program prog = isa::assembleFile(program_file);
+            auto machine = parseMachine(machine_s, cores);
+            machine.core.mode = parseMode(mode_s);
+            machine.cores = cores;
+            std::vector<isa::Program> progs(cores, prog);
+            sim::System sys(machine, progs, seed);
+            auto out = sys.run(500'000'000);
+            if (!out.finished)
+                fatal("%s: %s", program_file.c_str(),
+                      out.failure.c_str());
+            auto total = sys.coreTotals();
+            std::cout << program_file << " [" << mode_s << "]: "
+                      << out.cycles << " cycles, "
+                      << total.committedInsts << " insts, "
+                      << total.committedAtomics << " atomics\n";
+            if (stats) {
+                TablePrinter t({"counter", "value"});
+                total.forEach(
+                    [&](const std::string &n, std::uint64_t v) {
+                        t.cell(n).cell(v).endRow();
+                    });
+                t.print(std::cout);
+            }
+            return 0;
+        }
+        const auto *w = wl::findWorkload(workload);
+        if (!w)
+            fatal("unknown workload '%s' (try --list)",
+                  workload.c_str());
+        auto machine = parseMachine(machine_s, cores);
+        if (all_modes) {
+            for (auto m :
+                 {core::AtomicsMode::kFenced, core::AtomicsMode::kSpec,
+                  core::AtomicsMode::kFree,
+                  core::AtomicsMode::kFreeFwd}) {
+                runOne(*w, machine, m, cores, scale, seed, seeds,
+                       stats);
+            }
+        } else {
+            runOne(*w, machine, parseMode(mode_s), cores, scale, seed,
+                   seeds, stats);
+        }
+    } catch (const FatalError &e) {
+        std::cerr << "fasim: " << e.message << "\n";
+        return 1;
+    }
+    return 0;
+}
