@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_aq_size.dir/ablation_aq_size.cc.o"
+  "CMakeFiles/ablation_aq_size.dir/ablation_aq_size.cc.o.d"
+  "ablation_aq_size"
+  "ablation_aq_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aq_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fwd_chain.dir/ablation_fwd_chain.cc.o"
+  "CMakeFiles/ablation_fwd_chain.dir/ablation_fwd_chain.cc.o.d"
+  "ablation_fwd_chain"
+  "ablation_fwd_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fwd_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rob_size.dir/ablation_rob_size.cc.o"
+  "CMakeFiles/ablation_rob_size.dir/ablation_rob_size.cc.o.d"
+  "ablation_rob_size"
+  "ablation_rob_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rob_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

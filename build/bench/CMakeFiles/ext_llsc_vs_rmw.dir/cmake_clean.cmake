@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_llsc_vs_rmw.dir/ext_llsc_vs_rmw.cc.o"
+  "CMakeFiles/ext_llsc_vs_rmw.dir/ext_llsc_vs_rmw.cc.o.d"
+  "ext_llsc_vs_rmw"
+  "ext_llsc_vs_rmw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_llsc_vs_rmw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_lock_designs.dir/ext_lock_designs.cc.o"
+  "CMakeFiles/ext_lock_designs.dir/ext_lock_designs.cc.o.d"
+  "ext_lock_designs"
+  "ext_lock_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_lock_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_apki.dir/fig12_apki.cc.o"
+  "CMakeFiles/fig12_apki.dir/fig12_apki.cc.o.d"
+  "fig12_apki"
+  "fig12_apki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_apki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

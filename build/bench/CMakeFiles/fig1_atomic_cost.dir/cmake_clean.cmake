@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_atomic_cost.dir/fig1_atomic_cost.cc.o"
+  "CMakeFiles/fig1_atomic_cost.dir/fig1_atomic_cost.cc.o.d"
+  "fig1_atomic_cost"
+  "fig1_atomic_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_atomic_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dekker_litmus.dir/dekker_litmus.cpp.o"
+  "CMakeFiles/dekker_litmus.dir/dekker_litmus.cpp.o.d"
+  "dekker_litmus"
+  "dekker_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dekker_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

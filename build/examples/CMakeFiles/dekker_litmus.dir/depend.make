@@ -1,0 +1,2 @@
+# Empty dependencies file for dekker_litmus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llsc_primitive.dir/llsc_primitive.cpp.o"
+  "CMakeFiles/llsc_primitive.dir/llsc_primitive.cpp.o.d"
+  "llsc_primitive"
+  "llsc_primitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llsc_primitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

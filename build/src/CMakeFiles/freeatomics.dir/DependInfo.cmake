@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/freeatomics.dir/common/log.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/freeatomics.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/freeatomics.dir/common/table.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/common/table.cc.o.d"
+  "/root/repo/src/core/atomic_queue.cc" "src/CMakeFiles/freeatomics.dir/core/atomic_queue.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/core/atomic_queue.cc.o.d"
+  "/root/repo/src/core/branch_pred.cc" "src/CMakeFiles/freeatomics.dir/core/branch_pred.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/core/branch_pred.cc.o.d"
+  "/root/repo/src/core/core.cc" "src/CMakeFiles/freeatomics.dir/core/core.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/core/core.cc.o.d"
+  "/root/repo/src/core/lsq.cc" "src/CMakeFiles/freeatomics.dir/core/lsq.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/core/lsq.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/freeatomics.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/builder.cc" "src/CMakeFiles/freeatomics.dir/isa/builder.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/isa/builder.cc.o.d"
+  "/root/repo/src/isa/interp.cc" "src/CMakeFiles/freeatomics.dir/isa/interp.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/isa/interp.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/freeatomics.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/isa/program.cc.o.d"
+  "/root/repo/src/mem/cache_array.cc" "src/CMakeFiles/freeatomics.dir/mem/cache_array.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/mem/cache_array.cc.o.d"
+  "/root/repo/src/mem/directory.cc" "src/CMakeFiles/freeatomics.dir/mem/directory.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/mem/directory.cc.o.d"
+  "/root/repo/src/mem/mem_system.cc" "src/CMakeFiles/freeatomics.dir/mem/mem_system.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/mem/mem_system.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/freeatomics.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/energy.cc" "src/CMakeFiles/freeatomics.dir/sim/energy.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/sim/energy.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/CMakeFiles/freeatomics.dir/sim/runner.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/sim/runner.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/freeatomics.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/sim/system.cc.o.d"
+  "/root/repo/src/workloads/kernels.cc" "src/CMakeFiles/freeatomics.dir/workloads/kernels.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/workloads/kernels.cc.o.d"
+  "/root/repo/src/workloads/litmus.cc" "src/CMakeFiles/freeatomics.dir/workloads/litmus.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/workloads/litmus.cc.o.d"
+  "/root/repo/src/workloads/parsec.cc" "src/CMakeFiles/freeatomics.dir/workloads/parsec.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/workloads/parsec.cc.o.d"
+  "/root/repo/src/workloads/splash.cc" "src/CMakeFiles/freeatomics.dir/workloads/splash.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/workloads/splash.cc.o.d"
+  "/root/repo/src/workloads/sync_constructs.cc" "src/CMakeFiles/freeatomics.dir/workloads/sync_constructs.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/workloads/sync_constructs.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/CMakeFiles/freeatomics.dir/workloads/synthetic.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/workloads/synthetic.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/freeatomics.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/workloads/workload.cc.o.d"
+  "/root/repo/src/workloads/writeintensive.cc" "src/CMakeFiles/freeatomics.dir/workloads/writeintensive.cc.o" "gcc" "src/CMakeFiles/freeatomics.dir/workloads/writeintensive.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

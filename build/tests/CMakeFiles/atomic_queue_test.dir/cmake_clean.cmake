@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomic_queue_test.dir/atomic_queue_test.cc.o"
+  "CMakeFiles/atomic_queue_test.dir/atomic_queue_test.cc.o.d"
+  "atomic_queue_test"
+  "atomic_queue_test.pdb"
+  "atomic_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomic_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_stress_test.dir/config_stress_test.cc.o"
+  "CMakeFiles/config_stress_test.dir/config_stress_test.cc.o.d"
+  "config_stress_test"
+  "config_stress_test.pdb"
+  "config_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_equiv_test.dir/interp_equiv_test.cc.o"
+  "CMakeFiles/interp_equiv_test.dir/interp_equiv_test.cc.o.d"
+  "interp_equiv_test"
+  "interp_equiv_test.pdb"
+  "interp_equiv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_equiv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

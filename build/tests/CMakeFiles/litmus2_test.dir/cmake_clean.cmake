@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus2_test.dir/litmus2_test.cc.o"
+  "CMakeFiles/litmus2_test.dir/litmus2_test.cc.o.d"
+  "litmus2_test"
+  "litmus2_test.pdb"
+  "litmus2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llsc_test.dir/llsc_test.cc.o"
+  "CMakeFiles/llsc_test.dir/llsc_test.cc.o.d"
+  "llsc_test"
+  "llsc_test.pdb"
+  "llsc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llsc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

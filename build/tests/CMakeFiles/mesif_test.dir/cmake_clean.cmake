@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesif_test.dir/mesif_test.cc.o"
+  "CMakeFiles/mesif_test.dir/mesif_test.cc.o.d"
+  "mesif_test"
+  "mesif_test.pdb"
+  "mesif_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

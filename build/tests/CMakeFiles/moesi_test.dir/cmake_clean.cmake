@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moesi_test.dir/moesi_test.cc.o"
+  "CMakeFiles/moesi_test.dir/moesi_test.cc.o.d"
+  "moesi_test"
+  "moesi_test.pdb"
+  "moesi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moesi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_constructs_test.dir/sync_constructs_test.cc.o"
+  "CMakeFiles/sync_constructs_test.dir/sync_constructs_test.cc.o.d"
+  "sync_constructs_test"
+  "sync_constructs_test.pdb"
+  "sync_constructs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_constructs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_regress_test.dir/window_regress_test.cc.o"
+  "CMakeFiles/window_regress_test.dir/window_regress_test.cc.o.d"
+  "window_regress_test"
+  "window_regress_test.pdb"
+  "window_regress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_regress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

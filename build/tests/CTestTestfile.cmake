@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/isa_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_array_test[1]_include.cmake")
+include("/root/repo/build/tests/directory_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_system_test[1]_include.cmake")
+include("/root/repo/build/tests/atomic_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/predictors_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_equiv_test[1]_include.cmake")
+include("/root/repo/build/tests/litmus_test[1]_include.cmake")
+include("/root/repo/build/tests/deadlock_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/modes_test[1]_include.cmake")
+include("/root/repo/build/tests/system_test[1]_include.cmake")
+include("/root/repo/build/tests/llsc_test[1]_include.cmake")
+include("/root/repo/build/tests/prefetch_test[1]_include.cmake")
+include("/root/repo/build/tests/coherence_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/window_regress_test[1]_include.cmake")
+include("/root/repo/build/tests/litmus2_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_system2_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_constructs_test[1]_include.cmake")
+include("/root/repo/build/tests/config_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/assembler_test[1]_include.cmake")
+include("/root/repo/build/tests/mesif_test[1]_include.cmake")
+include("/root/repo/build/tests/coalescing_test[1]_include.cmake")
+include("/root/repo/build/tests/moesi_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasim.dir/fasim.cc.o"
+  "CMakeFiles/fasim.dir/fasim.cc.o.d"
+  "fasim"
+  "fasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(fasim_list "/root/repo/build/tools/fasim" "--list")
+set_tests_properties(fasim_list PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;4;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fasim_run "/root/repo/build/tools/fasim" "-w" "atomic_counter" "-c" "4" "-m" "freefwd" "--scale" "0.5" "--stats")
+set_tests_properties(fasim_run PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fasim_all_modes "/root/repo/build/tools/fasim" "-w" "dekker" "-c" "2" "--all-modes")
+set_tests_properties(fasim_all_modes PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fasim_program "/root/repo/build/tools/fasim" "-p" "/root/repo/examples/programs/counter.fasm" "-c" "4")
+set_tests_properties(fasim_program PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
