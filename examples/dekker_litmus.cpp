@@ -7,6 +7,9 @@
  *
  * The example runs many rounds in every atomic-RMW flavour, prints
  * the observed outcome histogram, and flags any forbidden outcome.
+ * Every run is also recorded and replayed through the axiomatic
+ * x86-TSO checker, so the assertion is on the whole execution — not
+ * just the final register values.
  */
 
 #include <cstdio>
@@ -37,15 +40,24 @@ main()
           core::AtomicsMode::kFree, core::AtomicsMode::kFreeFwd}) {
         std::map<std::pair<int, int>, int> histogram;
         bool forbidden = false;
+        bool tso_ok = true;
+        std::size_t tso_events = 0;
         for (unsigned seed = 1; seed <= kSeeds; ++seed) {
             auto machine = sim::MachineConfig::icelake(2);
             machine.core.mode = mode;
             machine.cores = 2;
+            machine.recordMemTrace = true;
             auto progs = wl::buildPrograms(*w, 2, 1.0);
             sim::System sys(machine, progs, seed);
             auto out = sys.run();
             if (!out.finished)
                 fatal("dekker run failed: %s", out.failure.c_str());
+            auto tso = analysis::checkTso(*sys.trace());
+            tso_events += tso.eventsChecked;
+            if (!tso.ok) {
+                tso_ok = false;
+                std::printf("  seed %u: %s\n", seed, tso.error.c_str());
+            }
             for (std::int64_t r = 0; r < kRounds; ++r) {
                 int v0 = sys.readWord(wl::kResultBase + r * 16) ? 1 : 0;
                 int v1 =
@@ -60,9 +72,12 @@ main()
             std::printf("  (%d,%d): %3d", outcome.first,
                         outcome.second, count);
         }
-        std::printf("   %s\n",
+        std::printf("   %s, tso-check %s (%zu events)\n",
                     forbidden ? "FORBIDDEN OUTCOME OBSERVED"
-                              : "type-1 atomicity holds");
+                              : "type-1 atomicity holds",
+                    tso_ok ? "ok" : "FAILED", tso_events);
+        if (forbidden || !tso_ok)
+            return 1;
     }
     return 0;
 }

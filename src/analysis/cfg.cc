@@ -1,0 +1,337 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/log.hh"
+
+namespace fa::analysis {
+
+const char *
+accessKindName(AccessKind kind)
+{
+    switch (kind) {
+      case AccessKind::kLoad:       return "ld";
+      case AccessKind::kLoadLinked: return "ll";
+      case AccessKind::kStore:      return "st";
+      case AccessKind::kStoreCond:  return "sc";
+      case AccessKind::kRmw:        return "rmw";
+      case AccessKind::kFence:      return "mfence";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+endsBlock(const isa::Inst &si)
+{
+    return si.op == isa::Op::kBranch || si.op == isa::Op::kJump ||
+        si.op == isa::Op::kHalt;
+}
+
+/** Constant-propagation lattice value for one register. */
+struct LatVal
+{
+    enum State : std::uint8_t { kBottom, kConst, kTop };
+    State state = kBottom;
+    std::int64_t value = 0;
+
+    static LatVal bottom() { return {}; }
+    static LatVal
+    constant(std::int64_t v)
+    {
+        LatVal l;
+        l.state = kConst;
+        l.value = v;
+        return l;
+    }
+    static LatVal
+    top()
+    {
+        LatVal l;
+        l.state = kTop;
+        return l;
+    }
+
+    /** Lattice join (bottom <= const(v) <= top). */
+    static LatVal
+    join(const LatVal &a, const LatVal &b)
+    {
+        if (a.state == kBottom)
+            return b;
+        if (b.state == kBottom)
+            return a;
+        if (a.state == kConst && b.state == kConst &&
+            a.value == b.value) {
+            return a;
+        }
+        return top();
+    }
+
+    bool
+    operator==(const LatVal &o) const
+    {
+        return state == o.state &&
+            (state != kConst || value == o.value);
+    }
+};
+
+using Env = std::vector<LatVal>;  // one LatVal per register
+
+Env
+joinEnv(const Env &a, const Env &b)
+{
+    Env out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = LatVal::join(a[i], b[i]);
+    return out;
+}
+
+/** Apply one instruction's register effect to the environment. */
+void
+transfer(const isa::Inst &si, Env &env)
+{
+    auto setDst = [&](LatVal v) {
+        if (si.dst != 0)
+            env[si.dst] = v;
+    };
+    switch (si.op) {
+      case isa::Op::kMovi:
+        setDst(LatVal::constant(si.imm));
+        break;
+      case isa::Op::kAddi:
+        if (env[si.src1].state == LatVal::kConst) {
+            setDst(LatVal::constant(env[si.src1].value + si.imm));
+        } else if (env[si.src1].state == LatVal::kBottom) {
+            setDst(LatVal::bottom());
+        } else {
+            setDst(LatVal::top());
+        }
+        break;
+      case isa::Op::kAlu:
+        if (env[si.src1].state == LatVal::kConst &&
+            env[si.src2].state == LatVal::kConst) {
+            setDst(LatVal::constant(isa::evalAlu(
+                si.fn, env[si.src1].value, env[si.src2].value)));
+        } else if (env[si.src1].state == LatVal::kBottom ||
+                   env[si.src2].state == LatVal::kBottom) {
+            setDst(LatVal::bottom());
+        } else {
+            setDst(LatVal::top());
+        }
+        break;
+      case isa::Op::kLoad:
+      case isa::Op::kLoadLinked:
+      case isa::Op::kRmw:
+      case isa::Op::kStoreCond:
+      case isa::Op::kRand:
+        setDst(LatVal::top());
+        break;
+      default:
+        break;  // no register write
+    }
+}
+
+} // namespace
+
+Cfg::Cfg(const isa::Program &program) : prog(&program)
+{
+    const auto &code = program.code;
+    int n = static_cast<int>(code.size());
+    if (n == 0)
+        fatal("cfg: empty program '%s'", program.name.c_str());
+
+    // Leaders: entry, branch/jump targets, fallthroughs of block
+    // terminators.
+    std::vector<bool> leader(n, false);
+    leader[0] = true;
+    for (int pc = 0; pc < n; ++pc) {
+        const isa::Inst &si = code[pc];
+        if (si.op == isa::Op::kBranch || si.op == isa::Op::kJump) {
+            if (si.target >= 0 && si.target < n)
+                leader[si.target] = true;
+        }
+        if (endsBlock(si) && pc + 1 < n)
+            leader[pc + 1] = true;
+    }
+
+    pcToBlock.assign(n, -1);
+    for (int pc = 0; pc < n; ++pc) {
+        if (leader[pc]) {
+            BasicBlock bb;
+            bb.id = static_cast<int>(bbs.size());
+            bb.first = pc;
+            bbs.push_back(bb);
+        }
+        pcToBlock[pc] = static_cast<int>(bbs.size()) - 1;
+        bbs.back().last = pc;
+    }
+
+    for (BasicBlock &bb : bbs) {
+        const isa::Inst &term = code[bb.last];
+        auto link = [&](int target_pc) {
+            if (target_pc < 0 || target_pc >= n)
+                return;  // wrong-path off-the-end; no edge
+            int t = pcToBlock[target_pc];
+            bb.succs.push_back(t);
+            bbs[t].preds.push_back(bb.id);
+        };
+        switch (term.op) {
+          case isa::Op::kBranch:
+            link(term.target);
+            link(bb.last + 1);
+            break;
+          case isa::Op::kJump:
+            link(term.target);
+            break;
+          case isa::Op::kHalt:
+            break;
+          default:
+            link(bb.last + 1);
+            break;
+        }
+    }
+
+    // Back edges (target pc <= source pc) define the loop intervals
+    // the lock-cycle pass uses to spot forwarding-chain sites.
+    for (int pc = 0; pc < n; ++pc) {
+        const isa::Inst &si = code[pc];
+        if ((si.op == isa::Op::kBranch || si.op == isa::Op::kJump) &&
+            si.target >= 0 && si.target <= pc) {
+            loopList.push_back({si.target, pc});
+        }
+    }
+}
+
+int
+Cfg::blockOf(int pc) const
+{
+    if (pc < 0 || pc >= static_cast<int>(pcToBlock.size()))
+        return -1;
+    return pcToBlock[pc];
+}
+
+bool
+Cfg::inLoop(int pc) const
+{
+    for (const Loop &l : loopList)
+        if (pc >= l.headPc && pc <= l.backPc)
+            return true;
+    return false;
+}
+
+int
+ThreadSummary::eventAt(int pc) const
+{
+    auto it = std::lower_bound(
+        events.begin(), events.end(), pc,
+        [](const StaticMemEvent &e, int p) { return e.pc < p; });
+    if (it == events.end() || it->pc != pc)
+        return -1;
+    return static_cast<int>(it - events.begin());
+}
+
+ThreadSummary
+summarizeThread(const isa::Program &prog, unsigned thread)
+{
+    Cfg cfg(prog);
+    const auto &code = prog.code;
+    const auto &bbs = cfg.blocks();
+
+    // Worklist constant propagation over basic blocks. The entry env
+    // is all-zero registers (execution starts with zeroed registers);
+    // unvisited predecessors contribute bottom and are ignored by the
+    // join.
+    std::vector<Env> inEnv(bbs.size(), Env(isa::kNumRegs));
+    std::vector<bool> reached(bbs.size(), false);
+    for (auto &v : inEnv[0])
+        v = LatVal::constant(0);
+    reached[0] = true;
+
+    // Per-pc resolved effective address, merged over all visits so a
+    // pc reachable with two different address constants degrades to
+    // "unknown" rather than picking one arbitrarily.
+    std::vector<LatVal> addrAt(code.size(), LatVal::bottom());
+
+    std::deque<int> work;
+    work.push_back(0);
+    std::vector<bool> queued(bbs.size(), false);
+    queued[0] = true;
+    unsigned iterations = 0;
+    const unsigned max_iterations =
+        static_cast<unsigned>(bbs.size()) * 64 + 1024;
+
+    while (!work.empty() && ++iterations < max_iterations) {
+        int b = work.front();
+        work.pop_front();
+        queued[b] = false;
+        Env env = inEnv[b];
+        for (int pc = bbs[b].first; pc <= bbs[b].last; ++pc) {
+            const isa::Inst &si = code[pc];
+            if (si.isMemRef() || si.op == isa::Op::kLoadLinked ||
+                si.op == isa::Op::kStoreCond) {
+                LatVal a = env[si.src1];
+                if (a.state == LatVal::kConst) {
+                    a = LatVal::constant(static_cast<std::int64_t>(
+                        wordOf(static_cast<Addr>(a.value + si.imm))));
+                }
+                addrAt[pc] = LatVal::join(addrAt[pc], a);
+            }
+            transfer(si, env);
+        }
+        for (int s : bbs[b].succs) {
+            Env joined = reached[s] ? joinEnv(inEnv[s], env) : env;
+            if (!reached[s] || !(joined == inEnv[s])) {
+                inEnv[s] = joined;
+                reached[s] = true;
+                if (!queued[s]) {
+                    queued[s] = true;
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+
+    ThreadSummary sum;
+    sum.thread = thread;
+    sum.name = prog.name;
+    sum.numBlocks = static_cast<unsigned>(bbs.size());
+    sum.loops = cfg.loops();
+    for (int pc = 0; pc < static_cast<int>(code.size()); ++pc) {
+        const isa::Inst &si = code[pc];
+        StaticMemEvent ev;
+        ev.pc = pc;
+        switch (si.op) {
+          case isa::Op::kLoad:       ev.kind = AccessKind::kLoad; break;
+          case isa::Op::kLoadLinked: ev.kind = AccessKind::kLoadLinked; break;
+          case isa::Op::kStore:      ev.kind = AccessKind::kStore; break;
+          case isa::Op::kStoreCond:  ev.kind = AccessKind::kStoreCond; break;
+          case isa::Op::kRmw:        ev.kind = AccessKind::kRmw; break;
+          case isa::Op::kMfence:     ev.kind = AccessKind::kFence; break;
+          default:
+            continue;
+        }
+        if (ev.kind != AccessKind::kFence &&
+            addrAt[pc].state == LatVal::kConst) {
+            ev.addrKnown = true;
+            ev.addr = static_cast<Addr>(addrAt[pc].value);
+            ++sum.knownAddrEvents;
+        }
+        ev.inLoop = cfg.inLoop(pc);
+        sum.events.push_back(ev);
+    }
+    return sum;
+}
+
+std::vector<ThreadSummary>
+summarizePrograms(const std::vector<isa::Program> &progs)
+{
+    std::vector<ThreadSummary> v;
+    v.reserve(progs.size());
+    for (size_t t = 0; t < progs.size(); ++t)
+        v.push_back(summarizeThread(progs[t], static_cast<unsigned>(t)));
+    return v;
+}
+
+} // namespace fa::analysis

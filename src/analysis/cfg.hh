@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Static program analysis substrate for falint: a per-thread control
+ * flow graph over fa::isa::Program, a constant-propagation pass that
+ * resolves the effective addresses litmus-style programs compute with
+ * movi/addi/alu, and a classified list of static memory events
+ * (loads, stores, RMWs, LL/SC, fences) that the higher-level passes
+ * (critical cycles, fence redundancy, lock cycles) consume.
+ */
+
+#ifndef FA_ANALYSIS_CFG_HH
+#define FA_ANALYSIS_CFG_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/program.hh"
+
+namespace fa::analysis {
+
+/** Static classification of one memory-ordering-relevant instruction. */
+enum class AccessKind : std::uint8_t {
+    kLoad,        ///< Op::kLoad
+    kLoadLinked,  ///< Op::kLoadLinked
+    kStore,       ///< Op::kStore
+    kStoreCond,   ///< Op::kStoreCond
+    kRmw,         ///< Op::kRmw (atomic read-modify-write)
+    kFence,       ///< Op::kMfence
+};
+
+const char *accessKindName(AccessKind kind);
+
+/** One static memory event, in program (pc) order. */
+struct StaticMemEvent
+{
+    int pc = 0;
+    AccessKind kind = AccessKind::kLoad;
+    bool addrKnown = false;  ///< constant propagation resolved it
+    Addr addr = 0;           ///< word-aligned effective address
+    bool inLoop = false;     ///< pc lies inside a natural loop body
+
+    bool
+    isWrite() const
+    {
+        return kind == AccessKind::kStore ||
+            kind == AccessKind::kStoreCond || kind == AccessKind::kRmw;
+    }
+    bool
+    isRead() const
+    {
+        return kind == AccessKind::kLoad ||
+            kind == AccessKind::kLoadLinked || kind == AccessKind::kRmw;
+    }
+    /** Atomic RMWs order later loads and earlier stores like a fence. */
+    bool
+    isOrdering() const
+    {
+        return kind == AccessKind::kFence || kind == AccessKind::kRmw;
+    }
+    Addr line() const { return lineOf(addr); }
+};
+
+/** A basic block: a maximal single-entry straight-line pc range. */
+struct BasicBlock
+{
+    int id = 0;
+    int first = 0;  ///< first pc (inclusive)
+    int last = 0;   ///< last pc (inclusive)
+    std::vector<int> succs;
+    std::vector<int> preds;
+};
+
+/** A natural loop detected from a CFG back edge. */
+struct Loop
+{
+    int headPc = 0;   ///< loop header (back-edge target)
+    int backPc = 0;   ///< pc of the branch/jump forming the back edge
+};
+
+/** Control flow graph over one thread's program. */
+class Cfg
+{
+  public:
+    explicit Cfg(const isa::Program &prog);
+
+    const std::vector<BasicBlock> &blocks() const { return bbs; }
+    const std::vector<Loop> &loops() const { return loopList; }
+    const isa::Program &program() const { return *prog; }
+
+    /** Block containing `pc` (-1 when out of range). */
+    int blockOf(int pc) const;
+
+    /** Does `pc` lie inside some [headPc, backPc] loop interval? */
+    bool inLoop(int pc) const;
+
+  private:
+    const isa::Program *prog;
+    std::vector<BasicBlock> bbs;
+    std::vector<int> pcToBlock;
+    std::vector<Loop> loopList;
+};
+
+/**
+ * Everything the inter-thread passes need to know about one thread:
+ * its CFG and its classified memory events with constant-propagated
+ * addresses, in pc order (one event per static instruction).
+ */
+struct ThreadSummary
+{
+    unsigned thread = 0;
+    std::string name;
+    std::vector<StaticMemEvent> events;
+    std::vector<Loop> loops;     ///< back-edge intervals of the CFG
+    unsigned knownAddrEvents = 0;
+    unsigned numBlocks = 0;
+
+    /** Index into `events` of the event at `pc`; -1 if none. */
+    int eventAt(int pc) const;
+};
+
+/**
+ * Build the per-thread summary: construct the CFG, run constant
+ * propagation to a fixpoint over it, and classify memory events.
+ */
+ThreadSummary summarizeThread(const isa::Program &prog, unsigned thread);
+
+/** Convenience: summarize one program per thread. */
+std::vector<ThreadSummary>
+summarizePrograms(const std::vector<isa::Program> &progs);
+
+} // namespace fa::analysis
+
+#endif // FA_ANALYSIS_CFG_HH

@@ -1,0 +1,269 @@
+#include "analysis/critical_cycle.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/log.hh"
+
+namespace fa::analysis {
+
+namespace {
+
+/** Flattened node: a data event (non-fence, known address) that has
+ * at least one conflict partner in another thread. */
+struct Node
+{
+    unsigned thread;
+    int eventIdx;
+    const StaticMemEvent *ev;
+    std::vector<int> conflicts;  ///< node ids of conflicting accesses
+    std::vector<int> poLater;    ///< node ids later in the same thread
+};
+
+bool
+conflict(const StaticMemEvent &a, const StaticMemEvent &b)
+{
+    return a.addr == b.addr && (a.isWrite() || b.isWrite());
+}
+
+/** Is the po step ev_a -> ev_b (same thread, a before b) one TSO may
+ * reorder?  Only plain-store -> plain-load; RMWs order both ways. */
+bool
+relaxedPo(const StaticMemEvent &a, const StaticMemEvent &b)
+{
+    bool store_side = a.kind == AccessKind::kStore ||
+        a.kind == AccessKind::kStoreCond;
+    bool load_side = b.kind == AccessKind::kLoad ||
+        b.kind == AccessKind::kLoadLinked;
+    return store_side && load_side;
+}
+
+/** pcs of ordering instructions (MFENCE / RMW) strictly between two
+ * pcs of one thread. */
+std::vector<int>
+orderingPointsBetween(const ThreadSummary &t, int pc_lo, int pc_hi)
+{
+    std::vector<int> pcs;
+    for (const StaticMemEvent &e : t.events) {
+        if (e.pc > pc_lo && e.pc < pc_hi && e.isOrdering())
+            pcs.push_back(e.pc);
+    }
+    return pcs;
+}
+
+struct Dfs
+{
+    const std::vector<ThreadSummary> &threads;
+    const CycleOptions &opts;
+    std::vector<Node> &nodes;
+    CycleAnalysis &out;
+
+    int startNode = 0;
+    std::vector<bool> threadUsed;
+    std::vector<int> path;          ///< node ids, segment-entry order
+    std::set<Addr> usedAddrs;       ///< one conflict edge per word
+    std::uint64_t steps = 0;
+
+    bool
+    budget()
+    {
+        ++steps;
+        return steps < opts.maxDfsSteps &&
+            out.cycles.size() < opts.maxCycles;
+    }
+
+    void
+    emitCycle(const std::vector<int> &ring)
+    {
+        // ring = n0 [n0'] n1 [n1'] ... : consecutive same-thread
+        // nodes are po steps, thread changes are conflict steps, and
+        // the last node closes back to ring.front() via conflict.
+        CriticalCycle cyc;
+        for (size_t i = 0; i < ring.size(); ++i) {
+            const Node &a = nodes[ring[i]];
+            const Node &b = nodes[ring[(i + 1) % ring.size()]];
+            CycleStep step;
+            step.from = {a.thread, a.eventIdx};
+            step.to = {b.thread, b.eventIdx};
+            step.isPo = a.thread == b.thread;
+            if (step.isPo) {
+                step.relaxed = relaxedPo(*a.ev, *b.ev);
+                if (step.relaxed) {
+                    step.orderingPcs = orderingPointsBetween(
+                        threads[a.thread], a.ev->pc, b.ev->pc);
+                }
+            }
+            if (step.unprotectedRelaxed())
+                cyc.tsoPermitted = true;
+            cyc.steps.push_back(std::move(step));
+        }
+        if (cyc.tsoPermitted)
+            ++out.permittedCycles;
+        else
+            ++out.forbiddenCycles;
+        for (const CycleStep &s : cyc.steps) {
+            for (int pc : s.orderingPcs) {
+                out.requiredOrderingPoints.emplace_back(
+                    s.from.thread, pc);
+            }
+        }
+        out.cycles.push_back(std::move(cyc));
+    }
+
+    /** Extend from `u`, which was entered via a conflict edge (or is
+     * the start). May first take one po step, then must leave via a
+     * conflict edge into an unused thread — or close at the start. */
+    void
+    visitSegment(int u)
+    {
+        if (!budget())
+            return;
+        const Node &nu = nodes[u];
+
+        auto tryConflictOut = [&](int from) {
+            for (int v : nodes[from].conflicts) {
+                if (!budget())
+                    return;
+                Addr w = nodes[from].ev->addr;
+                if (usedAddrs.count(w))
+                    continue;
+                if (v == startNode) {
+                    // Closing edge; canonical start = smallest id.
+                    emitCycle(path);
+                    continue;
+                }
+                if (v < startNode || threadUsed[nodes[v].thread])
+                    continue;
+                if (path.size() >= 2ull * opts.maxThreadsPerCycle)
+                    continue;
+                threadUsed[nodes[v].thread] = true;
+                usedAddrs.insert(w);
+                path.push_back(v);
+                visitSegment(v);
+                path.pop_back();
+                usedAddrs.erase(w);
+                threadUsed[nodes[v].thread] = false;
+            }
+        };
+
+        // Leave directly (single-access segment)...
+        tryConflictOut(u);
+        // ...or take one po step first (po is transitive, so one
+        // step to any later access covers all multi-step chains).
+        for (int v : nu.poLater) {
+            if (!budget())
+                return;
+            if (v <= startNode)
+                continue;
+            path.push_back(v);
+            tryConflictOut(v);
+            path.pop_back();
+        }
+    }
+
+    void
+    run()
+    {
+        threadUsed.assign(threads.size(), false);
+        for (int s = 0; s < static_cast<int>(nodes.size()); ++s) {
+            if (!budget())
+                break;
+            startNode = s;
+            threadUsed[nodes[s].thread] = true;
+            path.assign(1, s);
+            visitSegment(s);
+            threadUsed[nodes[s].thread] = false;
+        }
+        out.dfsSteps = steps;
+        out.truncated = steps >= opts.maxDfsSteps ||
+            out.cycles.size() >= opts.maxCycles;
+    }
+};
+
+} // namespace
+
+std::string
+CriticalCycle::describe(const std::vector<ThreadSummary> &threads) const
+{
+    std::string s;
+    for (size_t i = 0; i < steps.size(); ++i) {
+        const CycleStep &st = steps[i];
+        const StaticMemEvent &e =
+            threads[st.from.thread].events[st.from.eventIdx];
+        // The arrow entering this node belongs to the previous step.
+        if (i > 0)
+            s += steps[i - 1].isPo ? " ->po " : " ->cf ";
+        s += strfmt("t%u:%s[%#llx]@pc%d", st.from.thread,
+                    accessKindName(e.kind),
+                    static_cast<unsigned long long>(e.addr), e.pc);
+        if (st.isPo && st.relaxed) {
+            s += st.orderingPcs.empty()
+                ? " (W->R RELAXABLE)"
+                : strfmt(" (W->R ordered by pc %d)", st.orderingPcs[0]);
+        }
+    }
+    s += tsoPermitted ? "  => PERMITTED under TSO (store buffering)"
+                      : "  => FORBIDDEN under TSO";
+    return s;
+}
+
+CycleAnalysis
+findCriticalCycles(const std::vector<ThreadSummary> &threads,
+                   const CycleOptions &opts)
+{
+    CycleAnalysis out;
+
+    // Gather candidate accesses and index them by word so conflict
+    // edges can be built in one pass.
+    std::vector<Node> nodes;
+    std::map<Addr, std::vector<int>> byWord;
+    for (const ThreadSummary &t : threads) {
+        for (size_t i = 0; i < t.events.size(); ++i) {
+            const StaticMemEvent &e = t.events[i];
+            if (e.kind == AccessKind::kFence || !e.addrKnown)
+                continue;
+            Node n;
+            n.thread = t.thread;
+            n.eventIdx = static_cast<int>(i);
+            n.ev = &t.events[i];
+            byWord[e.addr].push_back(static_cast<int>(nodes.size()));
+            nodes.push_back(std::move(n));
+        }
+    }
+    for (auto &[word, ids] : byWord) {
+        (void)word;
+        for (int a : ids) {
+            for (int b : ids) {
+                if (a == b || nodes[a].thread == nodes[b].thread)
+                    continue;
+                if (conflict(*nodes[a].ev, *nodes[b].ev))
+                    nodes[a].conflicts.push_back(b);
+            }
+        }
+    }
+    // Drop nodes with no cross-thread conflict from the po fanout:
+    // they can never appear in a cycle.
+    std::map<unsigned, std::vector<int>> perThread;
+    for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+        if (!nodes[i].conflicts.empty())
+            perThread[nodes[i].thread].push_back(i);
+    }
+    for (auto &[tid, ids] : perThread) {
+        (void)tid;
+        for (size_t i = 0; i < ids.size(); ++i) {
+            for (size_t j = i + 1; j < ids.size(); ++j)
+                nodes[ids[i]].poLater.push_back(ids[j]);
+        }
+    }
+
+    Dfs dfs{threads, opts, nodes, out, 0, {}, {}, {}, 0};
+    dfs.run();
+
+    auto &req = out.requiredOrderingPoints;
+    std::sort(req.begin(), req.end());
+    req.erase(std::unique(req.begin(), req.end()), req.end());
+    return out;
+}
+
+} // namespace fa::analysis

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shasha–Snir-style critical-cycle detection (after Alglave et al.,
+ * "Don't sit on the fence"): find cycles through the union of
+ * per-thread program order and cross-thread conflict edges (same
+ * word, at least one write). A cycle whose program-order steps are
+ * all enforced by TSO (or by an intervening MFENCE / atomic RMW) is
+ * a *forbidden* outcome the hardware must preserve; a cycle with an
+ * unprotected store->load step is *permitted* under TSO (the classic
+ * store-buffering relaxation) and marks where a fence or atomic
+ * would be needed for sequential consistency.
+ */
+
+#ifndef FA_ANALYSIS_CRITICAL_CYCLE_HH
+#define FA_ANALYSIS_CRITICAL_CYCLE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace fa::analysis {
+
+/** One access in a cycle: thread + index into its summary events. */
+struct CycleNode
+{
+    unsigned thread = 0;
+    int eventIdx = 0;
+
+    bool
+    operator==(const CycleNode &o) const
+    {
+        return thread == o.thread && eventIdx == o.eventIdx;
+    }
+};
+
+/** One edge of a cycle (program order or conflict). */
+struct CycleStep
+{
+    CycleNode from;
+    CycleNode to;
+    bool isPo = false;       ///< same-thread program-order step
+    bool relaxed = false;    ///< store->load step TSO may reorder
+    /** pcs of MFENCE/RMW instructions between from and to that order
+     * the step anyway (only meaningful when relaxed). */
+    std::vector<int> orderingPcs;
+
+    /** Relaxed and with no fence/RMW protecting it. */
+    bool
+    unprotectedRelaxed() const
+    {
+        return relaxed && orderingPcs.empty();
+    }
+};
+
+/** A detected cycle plus its TSO verdict. */
+struct CriticalCycle
+{
+    std::vector<CycleStep> steps;
+    /** True when some store->load step can actually reorder: the
+     * non-SC outcome is observable under TSO. False means TSO (plus
+     * any fences/RMWs on the cycle) forbids the outcome. */
+    bool tsoPermitted = false;
+
+    std::string describe(const std::vector<ThreadSummary> &threads) const;
+};
+
+/** Search limits; defaults comfortably cover litmus-sized programs. */
+struct CycleOptions
+{
+    unsigned maxCycles = 256;
+    std::uint64_t maxDfsSteps = 4'000'000;
+    unsigned maxThreadsPerCycle = 8;
+};
+
+struct CycleAnalysis
+{
+    std::vector<CriticalCycle> cycles;
+    bool truncated = false;       ///< a search limit was hit
+    std::uint64_t dfsSteps = 0;
+    unsigned permittedCycles = 0; ///< cycles with an unprotected W->R
+    unsigned forbiddenCycles = 0;
+
+    /** (thread, pc) of every fence/RMW that protects some relaxed
+     * step of some cycle — these are REQUIRED for the forbidden
+     * verdicts to hold; sorted and unique. */
+    std::vector<std::pair<unsigned, int>> requiredOrderingPoints;
+};
+
+CycleAnalysis
+findCriticalCycles(const std::vector<ThreadSummary> &threads,
+                   const CycleOptions &opts = {});
+
+} // namespace fa::analysis
+
+#endif // FA_ANALYSIS_CRITICAL_CYCLE_HH

@@ -1,0 +1,118 @@
+#include "analysis/fence_redundancy.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace fa::analysis {
+
+const char *
+fenceVerdictName(FenceVerdict verdict)
+{
+    switch (verdict) {
+      case FenceVerdict::kRequired:          return "REQUIRED";
+      case FenceVerdict::kRedundantByAtomic: return "REDUNDANT";
+      case FenceVerdict::kVacuous:           return "VACUOUS";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+isStoreLike(AccessKind k)
+{
+    return k == AccessKind::kStore || k == AccessKind::kStoreCond;
+}
+
+bool
+isLoadLike(AccessKind k)
+{
+    return k == AccessKind::kLoad || k == AccessKind::kLoadLinked;
+}
+
+} // namespace
+
+std::vector<FenceReport>
+analyzeFences(const std::vector<ThreadSummary> &threads,
+              const CycleAnalysis &cycles)
+{
+    std::vector<FenceReport> reports;
+    for (const ThreadSummary &t : threads) {
+        const auto &evs = t.events;
+        for (size_t i = 0; i < evs.size(); ++i) {
+            if (evs[i].kind != AccessKind::kFence)
+                continue;
+            FenceReport rep;
+            rep.thread = t.thread;
+            rep.pc = evs[i].pc;
+
+            // Walk back: does a store reach this fence before an RMW
+            // drains the SB for us?  (pc-order walk: exact on the
+            // straight-line litmus bodies this pass targets, and a
+            // sound approximation inside loop bodies since the loop
+            // repeats the same pc sequence.)
+            bool store_before = false;
+            int covering_rmw_pc = -1;
+            for (size_t j = i; j-- > 0;) {
+                if (evs[j].kind == AccessKind::kRmw) {
+                    covering_rmw_pc = evs[j].pc;
+                    break;
+                }
+                if (isStoreLike(evs[j].kind)) {
+                    store_before = true;
+                    break;
+                }
+            }
+            // Walk forward: does a load follow before the next RMW
+            // re-orders everything anyway?
+            bool load_after = false;
+            int covering_rmw_after = -1;
+            for (size_t j = i + 1; j < evs.size(); ++j) {
+                if (evs[j].kind == AccessKind::kRmw) {
+                    covering_rmw_after = evs[j].pc;
+                    break;
+                }
+                if (isLoadLike(evs[j].kind)) {
+                    load_after = true;
+                    break;
+                }
+            }
+
+            if (!store_before && covering_rmw_pc >= 0) {
+                rep.verdict = FenceVerdict::kRedundantByAtomic;
+                rep.reason = strfmt(
+                    "rmw at pc %d commits with an empty SB; no store "
+                    "between it and this fence", covering_rmw_pc);
+            } else if (!load_after && covering_rmw_after >= 0) {
+                rep.verdict = FenceVerdict::kRedundantByAtomic;
+                rep.reason = strfmt(
+                    "rmw at pc %d orders every later load; no load "
+                    "between this fence and it", covering_rmw_after);
+            } else if (!store_before || !load_after) {
+                rep.verdict = FenceVerdict::kVacuous;
+                rep.reason = !store_before
+                    ? "no store reaches this fence"
+                    : "no load follows this fence";
+            } else {
+                bool on_cycle = std::binary_search(
+                    cycles.requiredOrderingPoints.begin(),
+                    cycles.requiredOrderingPoints.end(),
+                    std::make_pair(t.thread, rep.pc));
+                if (on_cycle) {
+                    rep.verdict = FenceVerdict::kRequired;
+                    rep.reason = "protects a store->load step of a "
+                                 "critical cycle";
+                } else {
+                    rep.verdict = FenceVerdict::kVacuous;
+                    rep.reason = "separates a store from a load but "
+                                 "lies on no critical cycle";
+                }
+            }
+            reports.push_back(std::move(rep));
+        }
+    }
+    return reports;
+}
+
+} // namespace fa::analysis

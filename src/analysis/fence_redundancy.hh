@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fence-redundancy analysis. An MFENCE only does architectural work
+ * when it separates an earlier store from a later load (TSO already
+ * orders every other pair). Under both the baseline and FreeAtomics
+ * an atomic RMW provides that same ordering for free: the paper's
+ * SB-empty-at-commit rule (§3.2.3) means every store older than the
+ * RMW has performed when it commits, and later loads cannot commit
+ * before it. So an MFENCE adjacent to an RMW (no intervening store
+ * on the store side, or no intervening load on the load side) is
+ * redundant, and an MFENCE on no store->load path at all is vacuous.
+ */
+
+#ifndef FA_ANALYSIS_FENCE_REDUNDANCY_HH
+#define FA_ANALYSIS_FENCE_REDUNDANCY_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/critical_cycle.hh"
+
+namespace fa::analysis {
+
+enum class FenceVerdict : std::uint8_t {
+    /** Protects a store->load step of a critical cycle and no atomic
+     * covers it: removing it changes observable outcomes. */
+    kRequired,
+    /** An adjacent atomic RMW already provides the ordering (the
+     * FreeAtomics SB-empty-at-commit rule makes the RMW a full
+     * fence in every flavour). */
+    kRedundantByAtomic,
+    /** Separates no store from any later load, or lies on no
+     * critical cycle: no observable ordering role in this program. */
+    kVacuous,
+};
+
+const char *fenceVerdictName(FenceVerdict verdict);
+
+struct FenceReport
+{
+    unsigned thread = 0;
+    int pc = 0;
+    FenceVerdict verdict = FenceVerdict::kVacuous;
+    std::string reason;
+};
+
+/**
+ * Classify every MFENCE of every thread. `cycles` should come from
+ * findCriticalCycles over the same summaries (its
+ * requiredOrderingPoints drive the kRequired verdicts).
+ */
+std::vector<FenceReport>
+analyzeFences(const std::vector<ThreadSummary> &threads,
+              const CycleAnalysis &cycles);
+
+} // namespace fa::analysis
+
+#endif // FA_ANALYSIS_FENCE_REDUNDANCY_HH

@@ -1,0 +1,197 @@
+#include "analysis/lock_cycle.hh"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "common/log.hh"
+
+namespace fa::analysis {
+
+const char *
+deadlockKindName(DeadlockKind kind)
+{
+    switch (kind) {
+      case DeadlockKind::kRmwRmw:   return "RMW-RMW (Figure 5)";
+      case DeadlockKind::kStoreRmw: return "Store-RMW (Figure 6)";
+      case DeadlockKind::kLoadRmw:  return "Load-RMW (Figure 7)";
+    }
+    return "?";
+}
+
+std::string
+DeadlockReport::describe() const
+{
+    return strfmt(
+        "%s: t%u %s line %#llx (pc %d) then locks %#llx (pc %d) | "
+        "t%u %s line %#llx (pc %d) then locks %#llx (pc %d) — "
+        "opposite acquisition order; expect watchdog recovery "
+        "(SquashCause::kWatchdog) under free/freefwd, no deadlock "
+        "under fenced/spec (%u site%s)",
+        deadlockKindName(kind), threadA, "touches",
+        static_cast<unsigned long long>(lineX), pcA1,
+        static_cast<unsigned long long>(lineY), pcA2, threadB,
+        "touches", static_cast<unsigned long long>(lineY), pcB1,
+        static_cast<unsigned long long>(lineX), pcB2, occurrences,
+        occurrences == 1 ? "" : "s");
+}
+
+std::string
+FwdChainReport::describe(unsigned cap) const
+{
+    return strfmt(
+        "t%u: loop at pc %d RMWs line %#llx %u time%s per iteration; "
+        "back-to-back atomics forward store_unlock->load_lock across "
+        "iterations%s (chain cap %u; watch fwdChainBreaks)", thread,
+        firstPc, static_cast<unsigned long long>(line), rmwsPerIter,
+        rmwsPerIter == 1 ? "" : "s",
+        mayExceedCap ? " and may exceed the cap" : "", cap);
+}
+
+namespace {
+
+/** Lock-relevant classification of the first access of a pair. */
+enum class FirstKind : std::uint8_t { kRmw, kStore, kLoad };
+
+FirstKind
+firstKindOf(AccessKind k)
+{
+    switch (k) {
+      case AccessKind::kRmw:
+        return FirstKind::kRmw;
+      case AccessKind::kStore:
+      case AccessKind::kStoreCond:
+        return FirstKind::kStore;
+      default:
+        return FirstKind::kLoad;
+    }
+}
+
+DeadlockKind
+classify(FirstKind a, FirstKind b)
+{
+    if (a == FirstKind::kRmw && b == FirstKind::kRmw)
+        return DeadlockKind::kRmwRmw;
+    if (a == FirstKind::kLoad || b == FirstKind::kLoad)
+        return DeadlockKind::kLoadRmw;
+    return DeadlockKind::kStoreRmw;
+}
+
+/** A deduplicated (first-access line -> RMW line) ordered pair. */
+struct PairInfo
+{
+    int pc1 = 0;
+    int pc2 = 0;
+    unsigned count = 0;
+};
+
+using PairKey = std::tuple<Addr, Addr, FirstKind>;  // (first, rmw, kind)
+using PairMap = std::map<PairKey, PairInfo>;
+
+PairMap
+collectPairs(const ThreadSummary &t, unsigned window)
+{
+    PairMap pairs;
+    const auto &evs = t.events;
+    for (size_t j = 0; j < evs.size(); ++j) {
+        if (evs[j].kind != AccessKind::kRmw || !evs[j].addrKnown)
+            continue;
+        size_t lo = j > window ? j - window : 0;
+        for (size_t i = lo; i < j; ++i) {
+            const StaticMemEvent &e1 = evs[i];
+            if (!e1.addrKnown || e1.kind == AccessKind::kFence)
+                continue;
+            if (e1.line() == evs[j].line())
+                continue;
+            PairKey key{e1.line(), evs[j].line(),
+                        firstKindOf(e1.kind)};
+            PairInfo &info = pairs[key];
+            if (info.count == 0) {
+                info.pc1 = e1.pc;
+                info.pc2 = evs[j].pc;
+            }
+            ++info.count;
+        }
+    }
+    return pairs;
+}
+
+} // namespace
+
+LockCycleResult
+analyzeLockCycles(const std::vector<ThreadSummary> &threads,
+                  const LockCycleOptions &opts)
+{
+    LockCycleResult out;
+
+    std::vector<PairMap> pairs;
+    pairs.reserve(threads.size());
+    for (const ThreadSummary &t : threads)
+        pairs.push_back(collectPairs(t, opts.window));
+
+    // Cross-thread inversion: thread a holds/touches X then locks Y
+    // while thread b touches Y then locks X.
+    for (size_t a = 0; a < threads.size(); ++a) {
+        for (size_t b = a + 1; b < threads.size(); ++b) {
+            for (const auto &[ka, ia] : pairs[a]) {
+                const auto &[line_x, line_y, kind_a] = ka;
+                for (FirstKind kind_b :
+                     {FirstKind::kRmw, FirstKind::kStore,
+                      FirstKind::kLoad}) {
+                    auto it = pairs[b].find(
+                        PairKey{line_y, line_x, kind_b});
+                    if (it == pairs[b].end())
+                        continue;
+                    if (out.deadlocks.size() >= opts.maxReports)
+                        return out;
+                    DeadlockReport rep;
+                    rep.kind = classify(kind_a, kind_b);
+                    rep.threadA = threads[a].thread;
+                    rep.threadB = threads[b].thread;
+                    rep.lineX = line_x;
+                    rep.lineY = line_y;
+                    rep.pcA1 = ia.pc1;
+                    rep.pcA2 = ia.pc2;
+                    rep.pcB1 = it->second.pc1;
+                    rep.pcB2 = it->second.pc2;
+                    rep.occurrences =
+                        std::min(ia.count, it->second.count);
+                    out.deadlocks.push_back(rep);
+                }
+            }
+        }
+    }
+
+    // Forwarding-chain sites: loops whose body RMWs one line.
+    for (const ThreadSummary &t : threads) {
+        for (const Loop &loop : t.loops) {
+            std::map<Addr, FwdChainReport> by_line;
+            for (const StaticMemEvent &e : t.events) {
+                if (e.pc < loop.headPc || e.pc > loop.backPc)
+                    continue;
+                if (e.kind != AccessKind::kRmw || !e.addrKnown)
+                    continue;
+                FwdChainReport &rep = by_line[e.line()];
+                if (rep.rmwsPerIter == 0) {
+                    rep.thread = t.thread;
+                    rep.line = e.line();
+                    rep.firstPc = e.pc;
+                }
+                ++rep.rmwsPerIter;
+            }
+            for (auto &[line, rep] : by_line) {
+                (void)line;
+                // The loop's trip count is unknown statically, so any
+                // cross-iteration chain can in principle reach the
+                // cap; a single iteration exceeding it definitely
+                // does.
+                rep.mayExceedCap = true;
+                if (out.chains.size() < opts.maxReports)
+                    out.chains.push_back(rep);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace fa::analysis

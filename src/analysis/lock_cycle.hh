@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deadlock-shape prediction for Free Atomics (paper §3.2.5). With
+ * fences removed, atomics lock their cachelines while speculative and
+ * out of order, so two cores acquiring two lines in opposite orders
+ * can deadlock in three program shapes — RMW-RMW (Figure 5),
+ * Store-RMW (Figure 6) and Load-RMW (Figure 7) — all broken at run
+ * time by the watchdog. This pass predicts those shapes from program
+ * structure so a run's watchdogTimeouts counter can be interpreted
+ * (expected recovery vs. genuine bug), and flags loops whose
+ * back-to-back RMWs on one line form forwarding chains that will hit
+ * the §3.3.4 chain cap.
+ */
+
+#ifndef FA_ANALYSIS_LOCK_CYCLE_HH
+#define FA_ANALYSIS_LOCK_CYCLE_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace fa::analysis {
+
+enum class DeadlockKind : std::uint8_t {
+    kRmwRmw,    ///< Figure 5: RMW A ; RMW B  vs  RMW B ; RMW A
+    kStoreRmw,  ///< Figure 6: st A ; RMW B   vs  st B ; RMW A
+    kLoadRmw,   ///< Figure 7: ld A ; RMW B   vs  ld B ; RMW A
+};
+
+const char *deadlockKindName(DeadlockKind kind);
+
+/** One predicted cross-core lock-order inversion. */
+struct DeadlockReport
+{
+    DeadlockKind kind = DeadlockKind::kRmwRmw;
+    unsigned threadA = 0;
+    unsigned threadB = 0;
+    Addr lineX = 0;  ///< line threadA touches first / threadB locks
+    Addr lineY = 0;  ///< line threadA locks / threadB touches first
+    int pcA1 = 0, pcA2 = 0;  ///< threadA's first access / RMW pcs
+    int pcB1 = 0, pcB2 = 0;
+    unsigned occurrences = 1;  ///< distinct pc pairs with this shape
+
+    std::string describe() const;
+};
+
+/** A loop whose body RMWs one line: a forwarding-chain site. */
+struct FwdChainReport
+{
+    unsigned thread = 0;
+    Addr line = 0;
+    int firstPc = 0;         ///< first in-loop RMW pc on the line
+    unsigned rmwsPerIter = 0;
+    bool mayExceedCap = false;
+
+    std::string describe(unsigned cap) const;
+};
+
+struct LockCycleResult
+{
+    std::vector<DeadlockReport> deadlocks;
+    std::vector<FwdChainReport> chains;
+};
+
+struct LockCycleOptions
+{
+    /** Two accesses further apart than this many memory events are
+     * unlikely to be in flight together (ROB-window proxy). */
+    unsigned window = 64;
+    unsigned fwdChainCap = 32;  ///< CoreConfig::fwdChainCap default
+    unsigned maxReports = 64;
+};
+
+LockCycleResult
+analyzeLockCycles(const std::vector<ThreadSummary> &threads,
+                  const LockCycleOptions &opts = {});
+
+} // namespace fa::analysis
+
+#endif // FA_ANALYSIS_LOCK_CYCLE_HH

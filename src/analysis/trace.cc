@@ -1,0 +1,88 @@
+#include "analysis/trace.hh"
+
+#include "common/log.hh"
+
+namespace fa::analysis {
+
+const char *
+evKindName(EvKind kind)
+{
+    switch (kind) {
+      case EvKind::kRead:  return "R";
+      case EvKind::kWrite: return "W";
+      case EvKind::kRmw:   return "U";
+      case EvKind::kFence: return "F";
+    }
+    return "?";
+}
+
+MemEvent &
+TraceRecorder::eventFor(CoreId thread, SeqNum seq)
+{
+    auto [it, inserted] = byKey.try_emplace(key(thread, seq), evs.size());
+    if (inserted) {
+        MemEvent ev;
+        ev.thread = thread;
+        ev.seq = seq;
+        evs.push_back(ev);
+    }
+    return evs[it->second];
+}
+
+void
+TraceRecorder::recordCommit(CoreId thread, SeqNum seq, int pc,
+                            EvKind kind, Addr addr,
+                            std::int64_t value_read, bool rf_init,
+                            CoreId rf_thread, SeqNum rf_seq)
+{
+    MemEvent &ev = eventFor(thread, seq);
+    ev.pc = pc;
+    ev.kind = kind;
+    ev.addr = addr;
+    ev.valueRead = value_read;
+    ev.rfInit = rf_init;
+    ev.rfThread = rf_thread;
+    ev.rfSeq = rf_seq;
+}
+
+void
+TraceRecorder::recordStoreCommit(CoreId thread, SeqNum seq, int pc,
+                                 Addr addr, std::int64_t value)
+{
+    // An SC performs at issue, before it commits; the perform hook may
+    // have created the event (and stamped it) already. A plain store
+    // commits first and performs later from the SB.
+    MemEvent &ev = eventFor(thread, seq);
+    ev.pc = pc;
+    ev.kind = EvKind::kWrite;
+    ev.addr = addr;
+    ev.valueWritten = value;
+}
+
+void
+TraceRecorder::recordWritePerform(CoreId thread, SeqNum seq, Addr addr,
+                                  std::int64_t value)
+{
+    MemEvent &ev = eventFor(thread, seq);
+    if (ev.writeStamp != kNoStamp) {
+        panic("trace: double perform of write t%u seq %llu", thread,
+              static_cast<unsigned long long>(seq));
+    }
+    ev.addr = addr;
+    ev.valueWritten = value;
+    ev.writeStamp = nextStamp++;
+    lastWriter[addr] = {thread, seq};
+}
+
+bool
+TraceRecorder::currentWriter(Addr addr, CoreId *thread, SeqNum *seq) const
+{
+    auto it = lastWriter.find(addr);
+    if (it == lastWriter.end())
+        return false;
+    *thread = it->second.first;
+    *seq = it->second.second;
+    return true;
+}
+
+} // namespace fa::analysis

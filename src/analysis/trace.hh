@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Memory-event trace recording for the dynamic (axiomatic) checker.
+ *
+ * The core calls into a TraceRecorder at two well-defined points:
+ * commit (architectural program order — loads, fences, the read half
+ * of RMWs, and store registration) and store perform (the moment a
+ * write becomes globally visible, which assigns the coherence-order
+ * stamp). Reads capture their reads-from source exactly: a forwarded
+ * load names the (thread, seq) of the store it forwarded from, and a
+ * load that read the cache names the last recorded writer of that
+ * word. Squashed instructions never reach commit, so the trace holds
+ * exactly the committed execution.
+ *
+ * Recording is off unless sim::MachineConfig::recordMemTrace is set;
+ * when off the core carries a null recorder pointer and pays one
+ * branch per hook.
+ */
+
+#ifndef FA_ANALYSIS_TRACE_HH
+#define FA_ANALYSIS_TRACE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fa::analysis {
+
+/** Dynamic memory-event kinds. */
+enum class EvKind : std::uint8_t {
+    kRead,   ///< load / load-linked
+    kWrite,  ///< store / successful store-conditional
+    kRmw,    ///< atomic RMW: one event with a read and a write half
+    kFence,  ///< committed MFENCE
+};
+
+const char *evKindName(EvKind kind);
+
+constexpr std::uint64_t kNoStamp = 0;
+
+/** One committed memory event of one thread. */
+struct MemEvent
+{
+    CoreId thread = 0;
+    SeqNum seq = kNoSeq;  ///< per-thread program order
+    int pc = 0;
+    EvKind kind = EvKind::kRead;
+    Addr addr = 0;        ///< word address (0 for fences)
+
+    std::int64_t valueRead = 0;
+    std::int64_t valueWritten = 0;
+    /** Global perform order of the write half (kNoStamp = no write
+     * or not yet performed). Defines co per address. */
+    std::uint64_t writeStamp = kNoStamp;
+
+    /** Reads-from source: initial memory, or (rfThread, rfSeq). */
+    bool rfInit = true;
+    CoreId rfThread = 0;
+    SeqNum rfSeq = kNoSeq;
+
+    bool
+    isWrite() const
+    {
+        return kind == EvKind::kWrite || kind == EvKind::kRmw;
+    }
+    bool
+    isRead() const
+    {
+        return kind == EvKind::kRead || kind == EvKind::kRmw;
+    }
+};
+
+class TraceRecorder
+{
+  public:
+    /** Commit a read-side or fence event (load, LL, RMW, MFENCE).
+     * For RMWs the write half is filled in by recordWritePerform. */
+    void recordCommit(CoreId thread, SeqNum seq, int pc, EvKind kind,
+                      Addr addr, std::int64_t value_read, bool rf_init,
+                      CoreId rf_thread, SeqNum rf_seq);
+
+    /** Commit a store or successful store-conditional. A store
+     * performs later (via the SB); an SC has already performed. */
+    void recordStoreCommit(CoreId thread, SeqNum seq, int pc, Addr addr,
+                           std::int64_t value);
+
+    /** A write became globally visible (cache write performed).
+     * Assigns the next coherence stamp. */
+    void recordWritePerform(CoreId thread, SeqNum seq, Addr addr,
+                            std::int64_t value);
+
+    /** Reads-from source for a load reading the memory system: the
+     * last recorded writer of `addr`. False = initial value. */
+    bool currentWriter(Addr addr, CoreId *thread, SeqNum *seq) const;
+
+    const std::vector<MemEvent> &events() const { return evs; }
+    std::size_t size() const { return evs.size(); }
+
+  private:
+    MemEvent &eventFor(CoreId thread, SeqNum seq);
+
+    /** (thread, seq) packed into one key; seq stays far below 2^48
+     * for any run this simulator can complete. */
+    static std::uint64_t
+    key(CoreId thread, SeqNum seq)
+    {
+        return (static_cast<std::uint64_t>(thread) << 48) |
+            (seq & ((std::uint64_t{1} << 48) - 1));
+    }
+
+    std::vector<MemEvent> evs;
+    std::unordered_map<std::uint64_t, std::size_t> byKey;
+    std::unordered_map<Addr, std::pair<CoreId, SeqNum>> lastWriter;
+    std::uint64_t nextStamp = 1;
+};
+
+} // namespace fa::analysis
+
+#endif // FA_ANALYSIS_TRACE_HH

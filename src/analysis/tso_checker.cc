@@ -1,0 +1,322 @@
+#include "analysis/tso_checker.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace fa::analysis {
+
+namespace {
+
+/** Edge labels, for violation messages. */
+enum class Rel : std::uint8_t { kPo, kRf, kCo, kFr };
+
+const char *
+relName(Rel r)
+{
+    switch (r) {
+      case Rel::kPo: return "po";
+      case Rel::kRf: return "rfe";
+      case Rel::kCo: return "co";
+      case Rel::kFr: return "fr";
+    }
+    return "?";
+}
+
+std::string
+describeEvent(const MemEvent &e)
+{
+    if (e.kind == EvKind::kFence) {
+        return strfmt("t%u#%llu %s(pc %d)", e.thread,
+                      static_cast<unsigned long long>(e.seq),
+                      evKindName(e.kind), e.pc);
+    }
+    return strfmt("t%u#%llu %s[%#llx](pc %d)", e.thread,
+                  static_cast<unsigned long long>(e.seq),
+                  evKindName(e.kind),
+                  static_cast<unsigned long long>(e.addr), e.pc);
+}
+
+std::uint64_t
+eventKey(CoreId thread, SeqNum seq)
+{
+    return (static_cast<std::uint64_t>(thread) << 48) |
+        (seq & ((std::uint64_t{1} << 48) - 1));
+}
+
+struct Graph
+{
+    // adj[n] = (successor, relation) pairs.
+    std::vector<std::vector<std::pair<int, Rel>>> adj;
+
+    void
+    addEdge(int from, int to, Rel rel)
+    {
+        if (from == to)
+            return;
+        adj[from].emplace_back(to, rel);
+    }
+};
+
+bool
+isWriteLike(EvKind k)
+{
+    // Fences join the write→write chain so a later write (and, via the
+    // read chain, a later read) is ordered after everything before the
+    // fence — exactly x86-TSO's MFENCE.
+    return k == EvKind::kWrite || k == EvKind::kRmw ||
+        k == EvKind::kFence;
+}
+
+bool
+isReadLike(EvKind k)
+{
+    return k == EvKind::kRead || k == EvKind::kRmw ||
+        k == EvKind::kFence;
+}
+
+} // namespace
+
+TsoCheckResult
+checkTso(const std::vector<MemEvent> &events)
+{
+    TsoCheckResult res;
+    res.eventsChecked = events.size();
+    int n = static_cast<int>(events.size());
+    if (n == 0)
+        return res;
+
+    auto fail = [&](std::string msg) {
+        res.ok = false;
+        res.error = std::move(msg);
+        return res;
+    };
+
+    std::unordered_map<std::uint64_t, int> byKey;
+    byKey.reserve(events.size());
+    for (int i = 0; i < n; ++i) {
+        const MemEvent &e = events[i];
+        if (!byKey.emplace(eventKey(e.thread, e.seq), i).second) {
+            return fail(strfmt("duplicate event %s in trace",
+                               describeEvent(e).c_str()));
+        }
+    }
+
+    // --- rf well-formedness -------------------------------------------
+    for (int i = 0; i < n; ++i) {
+        const MemEvent &e = events[i];
+        if (!e.isRead() || e.rfInit)
+            continue;
+        auto it = byKey.find(eventKey(e.rfThread, e.rfSeq));
+        if (it == byKey.end()) {
+            return fail(strfmt(
+                "%s reads from t%u#%llu which is not in the trace",
+                describeEvent(e).c_str(), e.rfThread,
+                static_cast<unsigned long long>(e.rfSeq)));
+        }
+        const MemEvent &w = events[it->second];
+        if (!w.isWrite() || w.addr != e.addr) {
+            return fail(strfmt("%s reads from %s: not a write to the "
+                               "same word", describeEvent(e).c_str(),
+                               describeEvent(w).c_str()));
+        }
+        if (w.valueWritten != e.valueRead) {
+            return fail(strfmt(
+                "%s read %lld but its writer %s wrote %lld",
+                describeEvent(e).c_str(),
+                static_cast<long long>(e.valueRead),
+                describeEvent(w).c_str(),
+                static_cast<long long>(w.valueWritten)));
+        }
+    }
+
+    // --- coherence order (per word, by global perform stamp) ----------
+    // A write without a stamp never performed (possible only if the
+    // run was cut off before the SB drained); it joins no co edge.
+    std::unordered_map<Addr, std::vector<int>> coByAddr;
+    for (int i = 0; i < n; ++i) {
+        const MemEvent &e = events[i];
+        if (e.isWrite() && e.writeStamp != kNoStamp)
+            coByAddr[e.addr].push_back(i);
+    }
+    for (auto &[addr, ws] : coByAddr) {
+        (void)addr;
+        std::sort(ws.begin(), ws.end(), [&](int a, int b) {
+            return events[a].writeStamp < events[b].writeStamp;
+        });
+    }
+    // Position of each write in its word's co order.
+    std::vector<int> coPos(n, -1);
+    for (const auto &[addr, ws] : coByAddr) {
+        (void)addr;
+        for (std::size_t p = 0; p < ws.size(); ++p)
+            coPos[ws[p]] = static_cast<int>(p);
+    }
+
+    // --- RMW atomicity ------------------------------------------------
+    // An atomic's own write must immediately follow the write it read
+    // from in coherence order (or be the word's first write when it
+    // read the initial value): nothing slips between the read and
+    // write halves.
+    for (int i = 0; i < n; ++i) {
+        const MemEvent &e = events[i];
+        if (e.kind != EvKind::kRmw || e.writeStamp == kNoStamp)
+            continue;
+        int expect_pos = 0;
+        if (!e.rfInit) {
+            int src = byKey.at(eventKey(e.rfThread, e.rfSeq));
+            expect_pos = coPos[src] + 1;
+        }
+        if (coPos[i] != expect_pos) {
+            const std::vector<int> &ws = coByAddr[e.addr];
+            int between = ws[expect_pos];
+            return fail(strfmt(
+                "RMW atomicity violated: %s intervenes between the "
+                "read and write halves of %s",
+                describeEvent(events[between]).c_str(),
+                describeEvent(e).c_str()));
+        }
+    }
+
+    // --- build the happens-before graph -------------------------------
+    Graph g;
+    g.adj.resize(n);
+
+    // ppo-TSO: program order minus write→read. Encoded per thread with
+    // three chains — immediate predecessor feeds write-likes (R→W,
+    // W→W), the read-like chain feeds read-likes (R→R), and fences/
+    // RMWs sit on both chains, restoring W→R across them.
+    struct ThreadChains
+    {
+        int pred = -1;
+        int lastWriteLike = -1;
+        int lastReadLike = -1;
+    };
+    std::unordered_map<CoreId, std::vector<int>> poOrder;
+    for (int i = 0; i < n; ++i)
+        poOrder[events[i].thread].push_back(i);
+    for (auto &[tid, order] : poOrder) {
+        (void)tid;
+        std::sort(order.begin(), order.end(), [&](int a, int b) {
+            return events[a].seq < events[b].seq;
+        });
+        ThreadChains c;
+        for (int i : order) {
+            const MemEvent &e = events[i];
+            if (isWriteLike(e.kind)) {
+                if (c.pred >= 0)
+                    g.addEdge(c.pred, i, Rel::kPo);
+                if (c.lastWriteLike >= 0)
+                    g.addEdge(c.lastWriteLike, i, Rel::kPo);
+            }
+            if (isReadLike(e.kind) && c.lastReadLike >= 0)
+                g.addEdge(c.lastReadLike, i, Rel::kPo);
+            if (isWriteLike(e.kind))
+                c.lastWriteLike = i;
+            if (isReadLike(e.kind))
+                c.lastReadLike = i;
+            c.pred = i;
+        }
+    }
+
+    // rfe (external reads-from) + fr (read before its writer's co
+    // successors; an init read precedes every write of the word).
+    // Internal rf is excluded: x86-TSO lets a load forward from the
+    // local SB before the store is visible.
+    for (int i = 0; i < n; ++i) {
+        const MemEvent &e = events[i];
+        if (!e.isRead() || e.kind == EvKind::kFence)
+            continue;
+        int fr_from_pos = -1;  // co position the read sits after
+        if (!e.rfInit) {
+            int src = byKey.at(eventKey(e.rfThread, e.rfSeq));
+            if (events[src].thread != e.thread)
+                g.addEdge(src, i, Rel::kRf);
+            fr_from_pos = coPos[src];
+        }
+        auto it = coByAddr.find(e.addr);
+        if (it != coByAddr.end()) {
+            const std::vector<int> &ws = it->second;
+            std::size_t next = static_cast<std::size_t>(fr_from_pos + 1);
+            if (next < ws.size() && ws[next] != i)
+                g.addEdge(i, ws[next], Rel::kFr);
+        }
+    }
+
+    // co: consecutive same-word writes by stamp.
+    for (const auto &[addr, ws] : coByAddr) {
+        (void)addr;
+        for (std::size_t p = 1; p < ws.size(); ++p)
+            g.addEdge(ws[p - 1], ws[p], Rel::kCo);
+    }
+
+    // --- acyclicity ---------------------------------------------------
+    // Iterative coloured DFS; on a back edge, walk the DFS stack to
+    // reconstruct the offending cycle.
+    enum : std::uint8_t { kWhite, kGrey, kBlack };
+    std::vector<std::uint8_t> colour(n, kWhite);
+    std::vector<std::size_t> edgeIdx(n, 0);
+    std::vector<int> parent(n, -1);
+    std::vector<Rel> parentRel(n, Rel::kPo);
+    std::vector<int> stack;
+    stack.reserve(64);
+
+    for (int root = 0; root < n; ++root) {
+        if (colour[root] != kWhite)
+            continue;
+        stack.push_back(root);
+        colour[root] = kGrey;
+        edgeIdx[root] = 0;
+        while (!stack.empty()) {
+            int u = stack.back();
+            if (edgeIdx[u] < g.adj[u].size()) {
+                auto [v, rel] = g.adj[u][edgeIdx[u]++];
+                if (colour[v] == kWhite) {
+                    colour[v] = kGrey;
+                    edgeIdx[v] = 0;
+                    parent[v] = u;
+                    parentRel[v] = rel;
+                    stack.push_back(v);
+                } else if (colour[v] == kGrey) {
+                    // Cycle v -> ... -> u -> v. Each entry pairs a
+                    // node with the relation of its incoming edge.
+                    std::vector<std::pair<int, Rel>> cyc;
+                    cyc.emplace_back(v, rel);
+                    for (int w = u; w != v; w = parent[w])
+                        cyc.emplace_back(w, parentRel[w]);
+                    std::reverse(cyc.begin(), cyc.end());
+                    std::string msg =
+                        "TSO violation: cycle in ppo U rfe U co U fr: ";
+                    const std::size_t max_steps = 12;
+                    std::size_t shown =
+                        std::min(cyc.size(), max_steps);
+                    for (std::size_t s = 0; s < shown; ++s) {
+                        msg += describeEvent(events[cyc[s].first]);
+                        msg += strfmt(
+                            " -%s-> ",
+                            relName(cyc[(s + 1) % cyc.size()].second));
+                    }
+                    if (cyc.size() > max_steps)
+                        msg += "... -> ";
+                    msg += describeEvent(events[cyc[0].first]);
+                    return fail(std::move(msg));
+                }
+            } else {
+                colour[u] = kBlack;
+                stack.pop_back();
+            }
+        }
+    }
+    return res;
+}
+
+TsoCheckResult
+checkTso(const TraceRecorder &trace)
+{
+    return checkTso(trace.events());
+}
+
+} // namespace fa::analysis

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Axiomatic x86-TSO consistency checker over a recorded memory-event
+ * trace. Verifies the guarantee Free Atomics claims to preserve
+ * (paper §3.2.3): every committed execution — fenced baseline, +Spec,
+ * FreeAtomics, or FreeAtomics+Fwd — must stay within x86-TSO.
+ *
+ * The check is the standard acyclicity formulation:
+ *
+ *   acyclic( ppo-TSO  ∪  rfe  ∪  co  ∪  fr )
+ *
+ * where ppo-TSO is program order minus the write→read relaxation (a
+ * store may be overtaken by a younger load unless a fence or atomic
+ * intervenes), rfe is external reads-from, co is the per-word
+ * coherence order (taken from global write-perform stamps), and fr
+ * relates each read to the co-successors of the write it read from.
+ * Additionally: rf well-formedness (the value read matches the value
+ * the named writer wrote) and RMW atomicity (an RMW's own write is the
+ * immediate co-successor of the write it read from).
+ */
+
+#ifndef FA_ANALYSIS_TSO_CHECKER_HH
+#define FA_ANALYSIS_TSO_CHECKER_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/trace.hh"
+
+namespace fa::analysis {
+
+struct TsoCheckResult
+{
+    bool ok = true;
+    std::string error;        ///< human-readable violation, if !ok
+    std::size_t eventsChecked = 0;
+
+    explicit operator bool() const { return ok; }
+};
+
+/** Check one recorded trace against x86-TSO. */
+TsoCheckResult checkTso(const std::vector<MemEvent> &events);
+
+TsoCheckResult checkTso(const TraceRecorder &trace);
+
+} // namespace fa::analysis
+
+#endif // FA_ANALYSIS_TSO_CHECKER_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/trace.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
 
@@ -277,6 +278,24 @@ Core::performLoad(DynInst *inst, Cycle now)
         : memSys->readWord(inst->addr);
     inst->result = old_val;
     inst->performed = true;
+    if (tracer) {
+        // Capture the reads-from source at the binding instant: a
+        // forwarded load names the in-flight store it forwarded from
+        // (same thread); a cache read names the last performed writer
+        // of the word. Emitted into the trace only if this
+        // instruction commits.
+        if (inst->fwdKind != FwdKind::kNone) {
+            inst->rfInit = false;
+            inst->rfThread = coreId;
+            inst->rfSeq = inst->fwdFromSeq;
+        } else {
+            CoreId wt = 0;
+            SeqNum ws = kNoSeq;
+            inst->rfInit = !tracer->currentWriter(inst->addr, &wt, &ws);
+            inst->rfThread = wt;
+            inst->rfSeq = ws;
+        }
+    }
     FA_TRACE("%llu c%u PERF seq=%llu pc=%d %s addr=%llx val=%lld fwd=%d",
              (unsigned long long)now, coreId,
              (unsigned long long)inst->seq, inst->pc,
@@ -444,6 +463,44 @@ Core::commitOne(DynInst *head, Cycle now)
         break;
     }
 
+    if (tracer) {
+        switch (head->si.op) {
+          case isa::Op::kLoad:
+          case isa::Op::kLoadLinked:
+            tracer->recordCommit(coreId, head->seq, head->pc,
+                                 analysis::EvKind::kRead, head->addr,
+                                 head->result, head->rfInit,
+                                 head->rfThread, head->rfSeq);
+            break;
+          case isa::Op::kRmw:
+            // Read half; the write half is stamped when the
+            // store_unlock performs from the SB.
+            tracer->recordCommit(coreId, head->seq, head->pc,
+                                 analysis::EvKind::kRmw, head->addr,
+                                 head->result, head->rfInit,
+                                 head->rfThread, head->rfSeq);
+            break;
+          case isa::Op::kStore:
+            tracer->recordStoreCommit(coreId, head->seq, head->pc,
+                                      head->addr, head->storeData);
+            break;
+          case isa::Op::kStoreCond:
+            // A failed SC writes nothing: no memory event.
+            if (!head->scFailed) {
+                tracer->recordStoreCommit(coreId, head->seq, head->pc,
+                                          head->addr, head->storeData);
+            }
+            break;
+          case isa::Op::kMfence:
+            tracer->recordCommit(coreId, head->seq, head->pc,
+                                 analysis::EvKind::kFence, 0, 0, true,
+                                 0, kNoSeq);
+            break;
+          default:
+            break;
+        }
+    }
+
     head->committed = true;
     inflight.erase(head->seq);
 
@@ -484,6 +541,9 @@ Core::sbDrainStage(Cycle now)
         return;  // every L1 way locked; retry
 
     st->performed = true;
+    if (tracer)
+        tracer->recordWritePerform(coreId, st->seq, st->addr,
+                                   st->storeData);
     ++stats.sbStoresPerformed;
     FA_TRACE("%llu c%u STPERF seq=%llu pc=%d %s addr=%llx val=%lld",
              (unsigned long long)now, coreId,
@@ -524,6 +584,10 @@ Core::sbDrainStage(Cycle now)
                 break;
             }
             next_st->performed = true;
+            if (tracer)
+                tracer->recordWritePerform(coreId, next_st->seq,
+                                           next_st->addr,
+                                           next_st->storeData);
             ++stats.sbStoresPerformed;
             ++stats.sbCoalescedStores;
             aq.broadcastStorePerform(next_st->seq, line);
@@ -696,6 +760,9 @@ Core::tryIssueStoreCond(DynInst *inst, Cycle now)
             return false;  // all L1 ways locked; retry
         }
         inst->performed = true;
+        if (tracer)
+            tracer->recordWritePerform(coreId, inst->seq, inst->addr,
+                                       inst->storeData);
         inst->result = 0;
     } else {
         inst->scFailed = true;
@@ -1025,6 +1092,10 @@ Core::squashFrom(SeqNum from_seq, int resume_pc, SquashCause cause,
              static_cast<int>(cause));
 
     std::uint64_t rand_restore = randCounter;
+    // Drop the LQ/SQ tails first: the ROB owns the DynInsts, so the
+    // pop_back loop below frees them and the queues' back pointers
+    // would dangle.
+    lsq.squashFrom(from_seq);
     while (!rob.empty() && rob.back()->seq >= from_seq) {
         DynInst *inst = rob.back().get();
         inst->squashed = true;
@@ -1063,7 +1134,6 @@ Core::squashFrom(SeqNum from_seq, int resume_pc, SquashCause cause,
         inflight.erase(inst->seq);
         rob.pop_back();
     }
-    lsq.squashFrom(from_seq);
     randCounter = rand_restore;
     if (linkValid && linkSeq >= from_seq)
         linkValid = false;

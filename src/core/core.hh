@@ -39,6 +39,10 @@
 #include "isa/program.hh"
 #include "mem/mem_system.hh"
 
+namespace fa::analysis {
+class TraceRecorder;
+} // namespace fa::analysis
+
 namespace fa::core {
 
 class Core : public mem::CoreMemIf
@@ -76,6 +80,9 @@ class Core : public mem::CoreMemIf
 
     CoreId id() const { return coreId; }
     const CoreConfig &config() const { return cfg; }
+
+    /** Attach a memory-event recorder (null disables recording). */
+    void attachTracer(analysis::TraceRecorder *t) { tracer = t; }
 
     // --- CoreMemIf -------------------------------------------------------
     void onFill(SeqNum waiter, Addr line, bool write_perm,
@@ -131,6 +138,7 @@ class Core : public mem::CoreMemIf
     CoreConfig cfg;
     isa::Program program;
     mem::MemSystem *memSys;
+    analysis::TraceRecorder *tracer = nullptr;
     std::uint64_t randSeed;
 
     // --- architectural state -------------------------------------------------

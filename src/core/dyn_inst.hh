@@ -78,6 +78,11 @@ struct DynInst
 
     bool scFailed = false;     ///< store-conditional lost its link
 
+    // --- trace recording (reads-from source; see analysis/trace.hh) ---------
+    bool rfInit = true;      ///< read bound the initial memory value
+    CoreId rfThread = 0;     ///< writer core, valid when !rfInit
+    SeqNum rfSeq = kNoSeq;   ///< writer sequence number, when !rfInit
+
     // --- atomics ------------------------------------------------------------
     int aqIdx = -1;
     bool lockHeld = false;     ///< AQ entry holds the cacheline lock

@@ -17,6 +17,12 @@
 #ifndef FA_FREEATOMICS_HH
 #define FA_FREEATOMICS_HH
 
+#include "analysis/cfg.hh"
+#include "analysis/critical_cycle.hh"
+#include "analysis/fence_redundancy.hh"
+#include "analysis/lock_cycle.hh"
+#include "analysis/trace.hh"
+#include "analysis/tso_checker.hh"
 #include "common/log.hh"
 #include "common/mem_image.hh"
 #include "common/rng.hh"

@@ -21,6 +21,12 @@ struct MachineConfig
     core::CoreConfig core;
     mem::MemConfig mem;
 
+    /** Record every committed memory event for the axiomatic TSO
+     * checker (analysis/tso_checker.hh). Off by default: recording
+     * costs memory proportional to committed instructions and the
+     * cores pay a branch per commit. */
+    bool recordMemTrace = false;
+
     /** Icelake-like preset: the paper's evaluated system (Table 1).
      * 352-entry ROB, 128/72 LQ/SQ, 48KB 12-way L1D. */
     static MachineConfig icelake(unsigned cores = 32);

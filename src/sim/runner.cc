@@ -1,5 +1,7 @@
 #include "sim/runner.hh"
 
+#include "analysis/tso_checker.hh"
+
 namespace fa::sim {
 
 namespace {
@@ -108,6 +110,18 @@ runPrograms(MachineConfig machine, core::AtomicsMode mode,
     res.core = system.coreTotals();
     res.mem = system.mem().stats;
     res.energy = computeEnergy(EnergyParams{}, res.core, res.mem);
+
+    if (system.trace()) {
+        analysis::TsoCheckResult tso = analysis::checkTso(*system.trace());
+        res.tsoChecked = true;
+        res.tsoEventsChecked = tso.eventsChecked;
+        if (!tso.ok) {
+            res.tsoError = tso.error;
+            if (res.failure.empty())
+                res.failure = tso.error;
+            res.finished = false;
+        }
+    }
 
     // Slowest thread = the one with the most active cycles.
     for (unsigned c = 0; c < system.numCores(); ++c) {

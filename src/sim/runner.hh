@@ -34,6 +34,13 @@ struct RunResult
     Cycle slowestActiveCycles = 0;
     Cycle slowestSleepCycles = 0;
 
+    /** Axiomatic TSO check (machine.recordMemTrace): did it run, and
+     * what did it find? tsoOk() is true when the check did not run. */
+    bool tsoChecked = false;
+    std::string tsoError;
+    std::size_t tsoEventsChecked = 0;
+    bool tsoOk() const { return tsoError.empty(); }
+
     // --- derived metrics ---------------------------------------------------
     double apki() const;               ///< atomics per kilo-instruction
     double avgAtomicCost() const;      ///< Fig 1: (drain+post)/atomic

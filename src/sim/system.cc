@@ -13,10 +13,13 @@ System::System(const MachineConfig &config,
         fatal("system has %u cores but %zu programs", cfg.cores,
               progs.size());
     memSys = std::make_unique<mem::MemSystem>(cfg.mem, cfg.cores);
+    if (cfg.recordMemTrace)
+        tracer = std::make_unique<analysis::TraceRecorder>();
     cores.reserve(cfg.cores);
     for (unsigned c = 0; c < cfg.cores; ++c) {
         cores.push_back(std::make_unique<core::Core>(
             c, cfg.core, progs[c], memSys.get(), mix64(seed, c + 1)));
+        cores.back()->attachTracer(tracer.get());
     }
 }
 

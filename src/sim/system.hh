@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/trace.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "core/core.hh"
@@ -77,9 +78,14 @@ class System
 
     const MachineConfig &config() const { return cfg; }
 
+    /** The memory-event trace, when cfg.recordMemTrace is set
+     * (nullptr otherwise). */
+    const analysis::TraceRecorder *trace() const { return tracer.get(); }
+
   private:
     MachineConfig cfg;
     std::unique_ptr<mem::MemSystem> memSys;
+    std::unique_ptr<analysis::TraceRecorder> tracer;
     std::vector<std::unique_ptr<core::Core>> cores;
     Cycle now = 0;
 

@@ -1,5 +1,6 @@
 #include "workloads/workload.hh"
 
+#include "analysis/tso_checker.hh"
 #include "common/log.hh"
 #include "workloads/suites.hh"
 
@@ -85,6 +86,19 @@ runWorkload(const Workload &w, sim::MachineConfig machine,
         if (cs.activeCycles >= res.slowestActiveCycles) {
             res.slowestActiveCycles = cs.activeCycles;
             res.slowestSleepCycles = cs.haltedCycles;
+        }
+    }
+    if (system.trace()) {
+        analysis::TsoCheckResult tso =
+            analysis::checkTso(*system.trace());
+        res.tsoChecked = true;
+        res.tsoEventsChecked = tso.eventsChecked;
+        if (!tso.ok) {
+            res.tsoError = tso.error;
+            res.finished = false;
+            if (res.failure.empty())
+                res.failure = "tso check failed (" + w.name + "): " +
+                    tso.error;
         }
     }
     if (res.finished && w.verify) {

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Static-analysis subsystem tests: CFG construction with constant
+ * propagation, Shasha–Snir critical-cycle detection on the classic
+ * litmus shapes (Dekker, SB, MP), fence-redundancy classification,
+ * and lock-cycle (deadlock-shape / forwarding-chain) prediction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "freeatomics/freeatomics.hh"
+
+namespace fa {
+namespace {
+
+using analysis::AccessKind;
+using analysis::FenceVerdict;
+using isa::BranchCond;
+using isa::ProgramBuilder;
+
+// --------------------------------------------------------------------------
+// CFG construction and constant propagation
+// --------------------------------------------------------------------------
+
+TEST(Cfg, BlocksLoopsAndResolvedAddresses)
+{
+    ProgramBuilder b("loopy");
+    auto r_addr = b.alloc();
+    auto r_cnt = b.alloc();
+    auto r_v = b.alloc();
+    b.movi(r_addr, 0x200000);            // pc 0
+    b.movi(r_cnt, 8);                    // pc 1
+    auto loop = b.here();                // pc 2
+    b.load(r_v, r_addr);                 // pc 2
+    b.store(r_addr, r_v, 8);             // pc 3
+    b.addi(r_cnt, r_cnt, -1);            // pc 4
+    b.branch(BranchCond::kNe, r_cnt, ProgramBuilder::zero(), loop);
+    b.mfence();                          // pc 6
+    b.halt();                            // pc 7
+    isa::Program prog = b.build();
+
+    analysis::Cfg cfg(prog);
+    EXPECT_EQ(cfg.blocks().size(), 3u);  // [0,1] [2,5] [6,7]
+    ASSERT_EQ(cfg.loops().size(), 1u);
+    EXPECT_EQ(cfg.loops()[0].headPc, 2);
+    EXPECT_EQ(cfg.loops()[0].backPc, 5);
+    EXPECT_EQ(cfg.blockOf(0), cfg.blockOf(1));
+    EXPECT_NE(cfg.blockOf(1), cfg.blockOf(2));
+    EXPECT_TRUE(cfg.inLoop(3));
+    EXPECT_FALSE(cfg.inLoop(6));
+
+    analysis::ThreadSummary sum = analysis::summarizeThread(prog, 0);
+    ASSERT_EQ(sum.events.size(), 3u);  // load, store, fence
+    EXPECT_EQ(sum.events[0].kind, AccessKind::kLoad);
+    EXPECT_TRUE(sum.events[0].addrKnown);
+    EXPECT_EQ(sum.events[0].addr, 0x200000u);
+    EXPECT_TRUE(sum.events[0].inLoop);
+    EXPECT_EQ(sum.events[1].kind, AccessKind::kStore);
+    EXPECT_EQ(sum.events[1].addr, 0x200008u);
+    EXPECT_EQ(sum.events[2].kind, AccessKind::kFence);
+    EXPECT_FALSE(sum.events[2].inLoop);
+    EXPECT_EQ(sum.knownAddrEvents, 2u);
+    EXPECT_EQ(sum.eventAt(3), 1);
+    EXPECT_EQ(sum.eventAt(4), -1);
+}
+
+TEST(Cfg, JoinOfTwoConstantsDegradesToUnknown)
+{
+    // r1 is 0x200000 on one path and 0x200040 on the other: the load
+    // address must degrade to unknown at the join, not pick a side.
+    ProgramBuilder b("join");
+    auto r_addr = b.alloc();
+    auto r_sel = b.alloc();
+    auto r_v = b.alloc();
+    auto skip = b.newLabel();
+    b.movi(r_addr, 0x200000);
+    b.rand(r_sel, 2);
+    b.branch(BranchCond::kEq, r_sel, ProgramBuilder::zero(), skip);
+    b.movi(r_addr, 0x200040);
+    b.bind(skip);
+    b.load(r_v, r_addr);
+    b.halt();
+
+    analysis::ThreadSummary sum =
+        analysis::summarizeThread(b.build(), 0);
+    ASSERT_EQ(sum.events.size(), 1u);
+    EXPECT_FALSE(sum.events[0].addrKnown);
+    EXPECT_EQ(sum.knownAddrEvents, 0u);
+}
+
+// --------------------------------------------------------------------------
+// Critical cycles
+// --------------------------------------------------------------------------
+
+/** Two-thread store-buffering kernel, optionally fenced. */
+std::vector<isa::Program>
+buildSb(bool fenced)
+{
+    std::vector<isa::Program> progs;
+    for (unsigned tid = 0; tid < 2; ++tid) {
+        ProgramBuilder b(fenced ? "sb_f" : "sb");
+        auto r_a = b.alloc();
+        auto r_one = b.alloc();
+        auto r_v = b.alloc();
+        Addr mine = wl::kDataBase + (tid == 0 ? 0 : 64);
+        Addr other = wl::kDataBase + (tid == 0 ? 64 : 0);
+        b.movi(r_one, 1);
+        b.movi(r_a, static_cast<std::int64_t>(mine));
+        b.store(r_a, r_one);
+        if (fenced)
+            b.mfence();
+        b.movi(r_a, static_cast<std::int64_t>(other));
+        b.load(r_v, r_a);
+        b.halt();
+        progs.push_back(b.build());
+    }
+    return progs;
+}
+
+TEST(CriticalCycle, UnfencedStoreBufferingIsPermitted)
+{
+    auto ca = analysis::findCriticalCycles(
+        analysis::summarizePrograms(buildSb(false)));
+    ASSERT_FALSE(ca.cycles.empty());
+    EXPECT_GE(ca.permittedCycles, 1u);
+    EXPECT_EQ(ca.forbiddenCycles, 0u);
+    EXPECT_TRUE(ca.requiredOrderingPoints.empty());
+    // Both W->R program-order steps of the cycle are relaxable.
+    bool found_unprotected = false;
+    for (const auto &c : ca.cycles) {
+        EXPECT_TRUE(c.tsoPermitted);
+        for (const auto &st : c.steps)
+            if (st.unprotectedRelaxed())
+                found_unprotected = true;
+    }
+    EXPECT_TRUE(found_unprotected);
+}
+
+TEST(CriticalCycle, FencedStoreBufferingIsForbidden)
+{
+    auto sums = analysis::summarizePrograms(buildSb(true));
+    auto ca = analysis::findCriticalCycles(sums);
+    ASSERT_FALSE(ca.cycles.empty());
+    EXPECT_EQ(ca.permittedCycles, 0u);
+    EXPECT_GE(ca.forbiddenCycles, 1u);
+    // The two MFENCEs are exactly the required ordering points.
+    ASSERT_EQ(ca.requiredOrderingPoints.size(), 2u);
+    EXPECT_EQ(ca.requiredOrderingPoints[0].first, 0u);
+    EXPECT_EQ(ca.requiredOrderingPoints[1].first, 1u);
+}
+
+TEST(CriticalCycle, DekkerCyclesAreOrderedByAtomics)
+{
+    // The packaged Dekker litmus separates its store and load with an
+    // atomic RMW (paper Figure 10): every store-buffering cycle must
+    // be found and classified forbidden because of it.
+    const auto *w = wl::findWorkload("dekker");
+    ASSERT_NE(w, nullptr);
+    auto sums = analysis::summarizePrograms(wl::buildPrograms(*w, 2, 1.0));
+    auto ca = analysis::findCriticalCycles(sums);
+    ASSERT_FALSE(ca.cycles.empty());
+    EXPECT_EQ(ca.permittedCycles, 0u);
+    EXPECT_GE(ca.forbiddenCycles, 1u);
+    EXPECT_FALSE(ca.requiredOrderingPoints.empty());
+    // The ordering points are the per-round RMWs, so they must all be
+    // atomic accesses, not fences.
+    for (auto [thread, pc] : ca.requiredOrderingPoints) {
+        int idx = sums[thread].eventAt(pc);
+        ASSERT_GE(idx, 0);
+        EXPECT_EQ(sums[thread].events[idx].kind, AccessKind::kRmw);
+    }
+}
+
+TEST(CriticalCycle, MessagePassingHasNoRelaxableStep)
+{
+    // MP: st data; st flag || ld flag; ld data. The cycle exists but
+    // has no W->R step, so plain TSO already forbids the outcome.
+    std::vector<isa::Program> progs;
+    {
+        ProgramBuilder b("mp_w");
+        auto r_a = b.alloc();
+        auto r_one = b.alloc();
+        b.movi(r_one, 1);
+        b.movi(r_a, static_cast<std::int64_t>(wl::kDataBase));
+        b.store(r_a, r_one);
+        b.movi(r_a, static_cast<std::int64_t>(wl::kDataBase + 64));
+        b.store(r_a, r_one);
+        b.halt();
+        progs.push_back(b.build());
+    }
+    {
+        ProgramBuilder b("mp_r");
+        auto r_a = b.alloc();
+        auto r_v = b.alloc();
+        b.movi(r_a, static_cast<std::int64_t>(wl::kDataBase + 64));
+        b.load(r_v, r_a);
+        b.movi(r_a, static_cast<std::int64_t>(wl::kDataBase));
+        b.load(r_v, r_a);
+        b.halt();
+        progs.push_back(b.build());
+    }
+    auto ca = analysis::findCriticalCycles(
+        analysis::summarizePrograms(progs));
+    ASSERT_FALSE(ca.cycles.empty());
+    EXPECT_EQ(ca.permittedCycles, 0u);
+    for (const auto &c : ca.cycles)
+        for (const auto &st : c.steps)
+            EXPECT_FALSE(st.relaxed && st.orderingPcs.empty());
+}
+
+// --------------------------------------------------------------------------
+// Fence redundancy
+// --------------------------------------------------------------------------
+
+TEST(FenceRedundancy, FenceNextToAtomicIsRedundant)
+{
+    // Fenced counter loop: store; fetchadd; mfence; load. The RMW
+    // already orders the store against the load (SB empty at commit),
+    // so the MFENCE does no architectural work.
+    ProgramBuilder b("fenced_counter");
+    auto r_d = b.alloc();
+    auto r_c = b.alloc();
+    auto r_one = b.alloc();
+    auto r_old = b.alloc();
+    auto r_v = b.alloc();
+    auto r_cnt = b.alloc();
+    b.movi(r_one, 1);
+    b.movi(r_d, static_cast<std::int64_t>(wl::kDataBase));
+    b.movi(r_c, static_cast<std::int64_t>(wl::kDataBase + 64));
+    b.movi(r_cnt, 16);
+    auto loop = b.here();
+    b.store(r_d, r_one);
+    b.fetchAdd(r_old, r_c, r_one);
+    b.mfence();
+    b.load(r_v, r_d);
+    b.addi(r_cnt, r_cnt, -1);
+    b.branch(BranchCond::kNe, r_cnt, ProgramBuilder::zero(), loop);
+    b.halt();
+
+    std::vector<isa::Program> progs(2, b.build());
+    auto sums = analysis::summarizePrograms(progs);
+    auto ca = analysis::findCriticalCycles(sums);
+    auto fences = analysis::analyzeFences(sums, ca);
+    ASSERT_EQ(fences.size(), 2u);  // one per thread
+    for (const auto &f : fences) {
+        EXPECT_EQ(f.verdict, FenceVerdict::kRedundantByAtomic)
+            << f.reason;
+    }
+}
+
+TEST(FenceRedundancy, SbFenceIsRequiredAndLoneFenceIsVacuous)
+{
+    auto sums = analysis::summarizePrograms(buildSb(true));
+    auto ca = analysis::findCriticalCycles(sums);
+    auto fences = analysis::analyzeFences(sums, ca);
+    ASSERT_EQ(fences.size(), 2u);
+    for (const auto &f : fences)
+        EXPECT_EQ(f.verdict, FenceVerdict::kRequired) << f.reason;
+
+    // A fence with no store before it separates nothing.
+    ProgramBuilder b("lone");
+    auto r_a = b.alloc();
+    auto r_v = b.alloc();
+    b.movi(r_a, static_cast<std::int64_t>(wl::kDataBase));
+    b.load(r_v, r_a);
+    b.mfence();
+    b.load(r_v, r_a);
+    b.halt();
+    std::vector<isa::Program> lone{b.build()};
+    auto lsums = analysis::summarizePrograms(lone);
+    auto lca = analysis::findCriticalCycles(lsums);
+    auto lf = analysis::analyzeFences(lsums, lca);
+    ASSERT_EQ(lf.size(), 1u);
+    EXPECT_EQ(lf[0].verdict, FenceVerdict::kVacuous) << lf[0].reason;
+}
+
+TEST(FenceRedundancy, PackagedSbFencedFencesAllRequired)
+{
+    const auto *w = wl::findWorkload("sb_fenced");
+    ASSERT_NE(w, nullptr);
+    auto sums = analysis::summarizePrograms(wl::buildPrograms(*w, 2, 1.0));
+    auto ca = analysis::findCriticalCycles(sums);
+    auto fences = analysis::analyzeFences(sums, ca);
+    ASSERT_FALSE(fences.empty());
+    unsigned required = 0;
+    for (const auto &f : fences)
+        if (f.verdict == FenceVerdict::kRequired)
+            ++required;
+    EXPECT_EQ(required, fences.size());
+}
+
+// --------------------------------------------------------------------------
+// Lock cycles (deadlock shapes / forwarding chains)
+// --------------------------------------------------------------------------
+
+TEST(LockCycle, DetectsAllThreePaperShapes)
+{
+    struct Shape
+    {
+        const char *workload;
+        analysis::DeadlockKind kind;
+    };
+    const Shape shapes[] = {
+        {"dl_rmwrmw", analysis::DeadlockKind::kRmwRmw},
+        {"dl_storermw", analysis::DeadlockKind::kStoreRmw},
+        {"dl_loadrmw", analysis::DeadlockKind::kLoadRmw},
+    };
+    for (const auto &s : shapes) {
+        const auto *w = wl::findWorkload(s.workload);
+        ASSERT_NE(w, nullptr) << s.workload;
+        auto sums =
+            analysis::summarizePrograms(wl::buildPrograms(*w, 2, 1.0));
+        auto res = analysis::analyzeLockCycles(sums);
+        bool found = false;
+        for (const auto &d : res.deadlocks)
+            if (d.kind == s.kind)
+                found = true;
+        EXPECT_TRUE(found)
+            << s.workload << ": expected "
+            << analysis::deadlockKindName(s.kind) << ", got "
+            << res.deadlocks.size() << " reports";
+    }
+}
+
+TEST(LockCycle, SymmetricOrderHasNoInversion)
+{
+    // Both threads take the lines in the same order: no deadlock.
+    std::vector<isa::Program> progs;
+    for (unsigned tid = 0; tid < 2; ++tid) {
+        ProgramBuilder b("same_order");
+        auto r_a = b.alloc();
+        auto r_one = b.alloc();
+        auto r_old = b.alloc();
+        b.movi(r_one, 1);
+        b.movi(r_a, static_cast<std::int64_t>(wl::kDataBase));
+        b.fetchAdd(r_old, r_a, r_one);
+        b.movi(r_a, static_cast<std::int64_t>(wl::kDataBase + 64));
+        b.fetchAdd(r_old, r_a, r_one);
+        b.halt();
+        progs.push_back(b.build());
+    }
+    auto res = analysis::analyzeLockCycles(
+        analysis::summarizePrograms(progs));
+    EXPECT_TRUE(res.deadlocks.empty());
+}
+
+TEST(LockCycle, CounterLoopIsForwardingChainSite)
+{
+    const auto *w = wl::findWorkload("atomic_counter");
+    ASSERT_NE(w, nullptr);
+    auto sums = analysis::summarizePrograms(wl::buildPrograms(*w, 2, 1.0));
+    auto res = analysis::analyzeLockCycles(sums);
+    ASSERT_FALSE(res.chains.empty());
+    for (const auto &c : res.chains)
+        EXPECT_TRUE(c.mayExceedCap);
+}
+
+} // namespace
+} // namespace fa

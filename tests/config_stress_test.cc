@@ -19,7 +19,11 @@ using core::AtomicsMode;
 sim::MachineConfig
 base(unsigned threads)
 {
-    return sim::MachineConfig::tiny(threads);
+    auto m = sim::MachineConfig::tiny(threads);
+    // Every stress run is also validated against the axiomatic TSO
+    // model (runWorkload fails the run on a violation).
+    m.recordMemTrace = true;
+    return m;
 }
 
 void

@@ -25,6 +25,25 @@ constexpr AtomicsMode kModes[] = {
 
 constexpr int kRounds = 48;
 
+/** tiny() with memory-event tracing enabled. */
+sim::MachineConfig
+tracedTiny(unsigned cores)
+{
+    auto m = sim::MachineConfig::tiny(cores);
+    m.recordMemTrace = true;
+    return m;
+}
+
+/** Run the axiomatic checker over a finished system's trace. */
+void
+expectTso(const sim::System &sys)
+{
+    ASSERT_NE(sys.trace(), nullptr);
+    auto tso = analysis::checkTso(*sys.trace());
+    EXPECT_TRUE(tso.ok) << tso.error;
+    EXPECT_GT(tso.eventsChecked, 0u);
+}
+
 /** Common preamble: allocate regs, sync on the start barrier. */
 struct Frame
 {
@@ -79,11 +98,12 @@ TEST_P(LitmusLb, LoadBufferingForbidden)
         b.halt();
         progs.push_back(b.build());
     }
-    auto m = sim::MachineConfig::tiny(2);
+    auto m = tracedTiny(2);
     m.core.mode = GetParam();
     sim::System sys(m, progs, 29);
     auto out = sys.run(20'000'000);
     ASSERT_TRUE(out.finished) << out.failure;
+    expectTso(sys);
     for (int r = 0; r < kRounds; ++r) {
         auto v0 = sys.readWord(wl::kResultBase + r * 16);
         auto v1 = sys.readWord(wl::kResultBase + r * 16 + 8);
@@ -135,11 +155,12 @@ TEST_P(LitmusIriw, ReadersNeverDisagreeOnWriteOrder)
         b.halt();
         progs.push_back(b.build());
     }
-    auto m = sim::MachineConfig::tiny(4);
+    auto m = tracedTiny(4);
     m.core.mode = GetParam();
     sim::System sys(m, progs, 31);
     auto out = sys.run(40'000'000);
     ASSERT_TRUE(out.finished) << out.failure;
+    expectTso(sys);
     for (int r = 0; r < kRounds; ++r) {
         auto r1 = sys.readWord(wl::kResultBase + r * 32);
         auto r2 = sys.readWord(wl::kResultBase + r * 32 + 8);
@@ -190,11 +211,12 @@ TEST_P(LitmusCoRr, SameLocationReadsAreCoherent)
         b.halt();
         progs.push_back(b.build());
     }
-    auto m = sim::MachineConfig::tiny(2);
+    auto m = tracedTiny(2);
     m.core.mode = GetParam();
     sim::System sys(m, progs, 37);
     auto out = sys.run(20'000'000);
     ASSERT_TRUE(out.finished) << out.failure;
+    expectTso(sys);
     for (int r = 0; r < kRounds; ++r) {
         auto first = sys.readWord(wl::kResultBase + r * 16);
         auto second = sys.readWord(wl::kResultBase + r * 16 + 8);

@@ -19,6 +19,16 @@ constexpr AtomicsMode kModes[] = {
     AtomicsMode::kFenced, AtomicsMode::kSpec, AtomicsMode::kFree,
     AtomicsMode::kFreeFwd};
 
+/** tiny() with memory-event tracing on, so every litmus run is also
+ * checked against the axiomatic x86-TSO model. */
+sim::MachineConfig
+tracedTiny(unsigned cores)
+{
+    auto m = sim::MachineConfig::tiny(cores);
+    m.recordMemTrace = true;
+    return m;
+}
+
 struct LitmusParam
 {
     const char *workload;
@@ -43,9 +53,12 @@ TEST_P(Litmus, ForbiddenOutcomeNeverObserved)
     const auto &p = GetParam();
     const auto *w = wl::findWorkload(p.workload);
     ASSERT_NE(w, nullptr);
-    auto r = wl::runWorkload(*w, sim::MachineConfig::tiny(2), p.mode, 2,
-                             1.0, p.seed, 20'000'000);
+    auto r = wl::runWorkload(*w, tracedTiny(2), p.mode, 2, 1.0, p.seed,
+                             20'000'000);
     EXPECT_TRUE(r.finished) << r.failure;
+    EXPECT_TRUE(r.tsoChecked);
+    EXPECT_TRUE(r.tsoOk()) << r.tsoError;
+    EXPECT_GT(r.tsoEventsChecked, 0u);
 }
 
 std::vector<LitmusParam>
@@ -77,9 +90,10 @@ TEST_P(Atomicity, ConcurrentFetchAddLosesNoUpdate)
 {
     const auto &p = GetParam();
     const auto *w = wl::findWorkload("atomic_counter");
-    auto r = wl::runWorkload(*w, sim::MachineConfig::tiny(p.threads),
-                             p.mode, p.threads, 1.0, 21, 20'000'000);
+    auto r = wl::runWorkload(*w, tracedTiny(p.threads), p.mode,
+                             p.threads, 1.0, 21, 20'000'000);
     EXPECT_TRUE(r.finished) << r.failure;
+    EXPECT_TRUE(r.tsoOk()) << r.tsoError;
     EXPECT_EQ(r.core.committedAtomics, 96u * p.threads + p.threads);
 }
 
@@ -105,10 +119,10 @@ TEST(Dekker, FenceFreeRunStillOmitsFences)
     // The Free flavours must pass Dekker *while actually omitting
     // the fences* — guard against accidentally running fenced.
     const auto *w = wl::findWorkload("dekker");
-    auto r = wl::runWorkload(*w, sim::MachineConfig::tiny(2),
-                             AtomicsMode::kFreeFwd, 2, 1.0, 3,
-                             20'000'000);
+    auto r = wl::runWorkload(*w, tracedTiny(2), AtomicsMode::kFreeFwd,
+                             2, 1.0, 3, 20'000'000);
     ASSERT_TRUE(r.finished) << r.failure;
+    EXPECT_TRUE(r.tsoOk()) << r.tsoError;
     EXPECT_GT(r.core.implicitFencesOmitted, 0u);
     EXPECT_EQ(r.core.implicitFencesExecuted, 0u);
 }
@@ -157,9 +171,13 @@ TEST(StoreBuffering, RelaxedOutcomeIsObservableWithoutFence)
         b.halt();
         progs.push_back(b.build());
     }
-    sim::System sys(sim::MachineConfig::tiny(2), progs, 5);
+    sim::System sys(tracedTiny(2), progs, 5);
     auto out = sys.run(20'000'000);
     ASSERT_TRUE(out.finished) << out.failure;
+    // The relaxed outcome is TSO-legal: the axiomatic checker must
+    // accept the trace even though stores and loads reorder.
+    auto tso = analysis::checkTso(*sys.trace());
+    EXPECT_TRUE(tso.ok) << tso.error;
     bool saw_relaxed = false;
     for (int round = 0; round < kRounds; ++round) {
         auto v0 = sys.readWord(wl::kResultBase + round * 16);

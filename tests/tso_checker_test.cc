@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Axiomatic TSO checker tests: hand-crafted traces that violate each
+ * axiom (coherence/rf well-formedness, RMW atomicity, the ppo ∪ rfe ∪
+ * co ∪ fr acyclicity), hand-crafted TSO-legal relaxations that must
+ * be accepted (store buffering), and real recorded executions —
+ * including one with an injected reordering that the checker has to
+ * reject.
+ */
+
+#include <gtest/gtest.h>
+
+#include "freeatomics/freeatomics.hh"
+
+namespace fa {
+namespace {
+
+using analysis::EvKind;
+using analysis::MemEvent;
+using core::AtomicsMode;
+using isa::ProgramBuilder;
+
+// --- hand-crafted event helpers -------------------------------------------
+
+MemEvent
+write(CoreId t, SeqNum s, Addr a, std::int64_t v, std::uint64_t stamp)
+{
+    MemEvent e;
+    e.thread = t;
+    e.seq = s;
+    e.kind = EvKind::kWrite;
+    e.addr = a;
+    e.valueWritten = v;
+    e.writeStamp = stamp;
+    return e;
+}
+
+MemEvent
+readInit(CoreId t, SeqNum s, Addr a)
+{
+    MemEvent e;
+    e.thread = t;
+    e.seq = s;
+    e.kind = EvKind::kRead;
+    e.addr = a;
+    e.rfInit = true;
+    return e;
+}
+
+MemEvent
+readFrom(CoreId t, SeqNum s, Addr a, std::int64_t v, CoreId wt, SeqNum ws)
+{
+    MemEvent e;
+    e.thread = t;
+    e.seq = s;
+    e.kind = EvKind::kRead;
+    e.addr = a;
+    e.valueRead = v;
+    e.rfInit = false;
+    e.rfThread = wt;
+    e.rfSeq = ws;
+    return e;
+}
+
+MemEvent
+fence(CoreId t, SeqNum s)
+{
+    MemEvent e;
+    e.thread = t;
+    e.seq = s;
+    e.kind = EvKind::kFence;
+    return e;
+}
+
+MemEvent
+rmw(CoreId t, SeqNum s, Addr a, std::int64_t old_v, std::int64_t new_v,
+    std::uint64_t stamp, bool rf_init, CoreId wt = 0, SeqNum ws = kNoSeq)
+{
+    MemEvent e;
+    e.thread = t;
+    e.seq = s;
+    e.kind = EvKind::kRmw;
+    e.addr = a;
+    e.valueRead = old_v;
+    e.valueWritten = new_v;
+    e.writeStamp = stamp;
+    e.rfInit = rf_init;
+    e.rfThread = wt;
+    e.rfSeq = ws;
+    return e;
+}
+
+constexpr Addr kX = 0x200000;
+constexpr Addr kY = 0x200040;
+
+// --- axioms on hand-crafted traces ----------------------------------------
+
+TEST(TsoChecker, EmptyAndTrivialTracesPass)
+{
+    EXPECT_TRUE(analysis::checkTso(std::vector<MemEvent>{}).ok);
+    std::vector<MemEvent> one{write(0, 1, kX, 7, 1),
+                              readFrom(0, 2, kX, 7, 0, 1)};
+    auto res = analysis::checkTso(one);
+    EXPECT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.eventsChecked, 2u);
+}
+
+TEST(TsoChecker, StoreBufferingRelaxationIsAccepted)
+{
+    // SB both-zero: each load overtakes the local store. Legal under
+    // TSO (the W->R edge is not in ppo).
+    std::vector<MemEvent> evs{
+        write(0, 1, kX, 1, 1), readInit(0, 2, kY),
+        write(1, 1, kY, 1, 2), readInit(1, 2, kX),
+    };
+    auto res = analysis::checkTso(evs);
+    EXPECT_TRUE(res.ok) << res.error;
+}
+
+TEST(TsoChecker, FencedStoreBufferingBothZeroIsRejected)
+{
+    // Same outcome with MFENCEs between store and load: now W->R is
+    // ordered and the both-zero outcome is a cycle.
+    std::vector<MemEvent> evs{
+        write(0, 1, kX, 1, 1), fence(0, 2), readInit(0, 3, kY),
+        write(1, 1, kY, 1, 2), fence(1, 2), readInit(1, 3, kX),
+    };
+    auto res = analysis::checkTso(evs);
+    ASSERT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("cycle"), std::string::npos) << res.error;
+}
+
+TEST(TsoChecker, MessagePassingReorderingIsRejected)
+{
+    // t0: x=1; y=1.  t1 sees y==1 but then reads x==0: fr(Rx -> Wx)
+    // closes a cycle through po and rfe. Forbidden under TSO (and SC).
+    std::vector<MemEvent> evs{
+        write(0, 1, kX, 1, 1), write(0, 2, kY, 1, 2),
+        readFrom(1, 1, kY, 1, 0, 2), readInit(1, 2, kX),
+    };
+    auto res = analysis::checkTso(evs);
+    ASSERT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("cycle"), std::string::npos) << res.error;
+}
+
+TEST(TsoChecker, RfValueMismatchIsRejected)
+{
+    std::vector<MemEvent> evs{write(0, 1, kX, 7, 1),
+                              readFrom(1, 1, kX, 8, 0, 1)};
+    auto res = analysis::checkTso(evs);
+    ASSERT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("wrote"), std::string::npos) << res.error;
+}
+
+TEST(TsoChecker, RfFromMissingWriterIsRejected)
+{
+    std::vector<MemEvent> evs{readFrom(0, 1, kX, 1, 3, 9)};
+    auto res = analysis::checkTso(evs);
+    ASSERT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("not in the trace"), std::string::npos)
+        << res.error;
+}
+
+TEST(TsoChecker, RmwAtomicityViolationIsRejected)
+{
+    // Two fetch-adds both read the initial 0: the winner's write must
+    // slot between the loser's read and write halves — a lost update.
+    std::vector<MemEvent> evs{
+        rmw(0, 1, kX, 0, 1, 1, true),
+        rmw(1, 1, kX, 0, 1, 2, true),
+    };
+    auto res = analysis::checkTso(evs);
+    ASSERT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("atomicity"), std::string::npos)
+        << res.error;
+}
+
+TEST(TsoChecker, RmwChainIsAccepted)
+{
+    std::vector<MemEvent> evs{
+        rmw(0, 1, kX, 0, 1, 1, true),
+        rmw(1, 1, kX, 1, 2, 2, false, 0, 1),
+        rmw(0, 2, kX, 2, 3, 3, false, 1, 1),
+    };
+    auto res = analysis::checkTso(evs);
+    EXPECT_TRUE(res.ok) << res.error;
+}
+
+TEST(TsoChecker, WriteIntoRmwGapIsRejected)
+{
+    // A plain store lands between an RMW's read and write halves.
+    std::vector<MemEvent> evs{
+        rmw(0, 1, kX, 0, 1, 2, true),  // reads init, performs second
+        write(1, 1, kX, 5, 1),         // performs first
+    };
+    auto res = analysis::checkTso(evs);
+    ASSERT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("atomicity"), std::string::npos)
+        << res.error;
+}
+
+// --- real recorded executions ---------------------------------------------
+
+TEST(TsoChecker, RecordedLitmusRunsPass)
+{
+    for (const char *name : {"dekker", "mp", "sb_fenced",
+                             "atomic_counter"}) {
+        for (AtomicsMode mode :
+             {AtomicsMode::kFenced, AtomicsMode::kFreeFwd}) {
+            const auto *w = wl::findWorkload(name);
+            ASSERT_NE(w, nullptr) << name;
+            auto machine = sim::MachineConfig::tiny(2);
+            machine.recordMemTrace = true;
+            auto r = wl::runWorkload(*w, machine, mode, 2, 1.0, 17,
+                                     20'000'000);
+            ASSERT_TRUE(r.finished) << name << ": " << r.failure;
+            EXPECT_TRUE(r.tsoChecked);
+            EXPECT_TRUE(r.tsoOk()) << name << ": " << r.tsoError;
+            EXPECT_GT(r.tsoEventsChecked, 0u);
+        }
+    }
+}
+
+/** Fenced SB kernel recorded with the tracer; one round per block. */
+sim::System
+makeTracedSbSystem(std::vector<isa::Program> &progs_out)
+{
+    constexpr int kRounds = 8;
+    std::vector<isa::Program> progs;
+    for (unsigned tid = 0; tid < 2; ++tid) {
+        ProgramBuilder b("sb_traced");
+        auto r_bar = b.alloc();
+        auto r_n = b.alloc();
+        auto t0 = b.alloc();
+        auto t1 = b.alloc();
+        auto t2 = b.alloc();
+        auto t3 = b.alloc();
+        auto r_a = b.alloc();
+        auto r_one = b.alloc();
+        auto r_v = b.alloc();
+        b.movi(r_bar, static_cast<std::int64_t>(wl::kBarrierBase));
+        b.movi(r_n, 2);
+        b.movi(r_one, 1);
+        b.barrier(r_bar, r_n, t0, t1, t2, t3);
+        for (int round = 0; round < kRounds; ++round) {
+            Addr block = wl::kDataBase + round * 128;
+            Addr mine = block + (tid == 0 ? 0 : 64);
+            Addr other = block + (tid == 0 ? 64 : 0);
+            b.movi(r_a, static_cast<std::int64_t>(mine));
+            b.store(r_a, r_one);
+            b.mfence();
+            b.movi(r_a, static_cast<std::int64_t>(other));
+            b.load(r_v, r_a);
+        }
+        b.halt();
+        progs.push_back(b.build());
+    }
+    progs_out = progs;
+    auto m = sim::MachineConfig::tiny(2);
+    m.recordMemTrace = true;
+    return sim::System(m, progs, 23);
+}
+
+TEST(TsoChecker, InjectedReorderingInRealTraceIsRejected)
+{
+    std::vector<isa::Program> progs;
+    sim::System sys = makeTracedSbSystem(progs);
+    auto out = sys.run(20'000'000);
+    ASSERT_TRUE(out.finished) << out.failure;
+    ASSERT_NE(sys.trace(), nullptr);
+
+    // The genuine execution is TSO.
+    auto res = analysis::checkTso(*sys.trace());
+    ASSERT_TRUE(res.ok) << res.error;
+
+    // Inject a reordering: in round 0 pretend every data load that
+    // observed the other thread's store instead overtook its own
+    // fence and read the initial 0. That manufactures the both-zero
+    // outcome the MFENCEs forbid, and the checker must find the
+    // po/fr cycle.
+    std::vector<MemEvent> mutated = sys.trace()->events();
+    unsigned injected = 0;
+    for (MemEvent &e : mutated) {
+        bool round0_data =
+            e.addr == wl::kDataBase || e.addr == wl::kDataBase + 64;
+        if (e.kind == EvKind::kRead && round0_data &&
+            e.valueRead == 1) {
+            e.rfInit = true;
+            e.rfThread = 0;
+            e.rfSeq = kNoSeq;
+            e.valueRead = 0;
+            ++injected;
+        }
+    }
+    ASSERT_GE(injected, 1u)
+        << "fenced SB round with neither load observing a store";
+    auto bad = analysis::checkTso(mutated);
+    ASSERT_FALSE(bad.ok);
+    EXPECT_NE(bad.error.find("cycle"), std::string::npos) << bad.error;
+}
+
+TEST(TsoChecker, RecorderCapturesForwardedAndExternalReads)
+{
+    // Same-thread store->load forwarding must appear as internal rf
+    // (thread reads its own seq), and cross-thread observation as
+    // external rf — spot-check the recorder's rf capture directly.
+    std::vector<isa::Program> progs;
+    sim::System sys = makeTracedSbSystem(progs);
+    auto out = sys.run(20'000'000);
+    ASSERT_TRUE(out.finished) << out.failure;
+    const auto &evs = sys.trace()->events();
+    unsigned reads = 0, writes = 0, fences = 0, rmws = 0;
+    for (const auto &e : evs) {
+        switch (e.kind) {
+          case EvKind::kRead:  ++reads; break;
+          case EvKind::kWrite: ++writes; break;
+          case EvKind::kFence: ++fences; break;
+          case EvKind::kRmw:   ++rmws; break;
+        }
+        if (e.isWrite()) {
+            EXPECT_NE(e.writeStamp, analysis::kNoStamp);
+        }
+    }
+    EXPECT_GE(reads, 16u);    // 8 data loads per thread
+    EXPECT_GE(writes, 16u);   // 8 data stores per thread
+    EXPECT_EQ(fences, 16u);   // 8 MFENCEs per thread
+    EXPECT_GE(rmws, 2u);      // barrier fetch-adds
+}
+
+} // namespace
+} // namespace fa

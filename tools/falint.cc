@@ -1,0 +1,310 @@
+/**
+ * @file
+ * falint — static and dynamic memory-ordering linter for Free Atomics
+ * programs.
+ *
+ * Static half: builds per-thread CFGs, resolves effective addresses
+ * by constant propagation, and runs three passes — Shasha–Snir
+ * critical-cycle detection (which racy reorderings TSO permits and
+ * which fences/atomics forbid), fence-redundancy classification
+ * (MFENCEs made redundant by the SB-empty-at-commit rule of atomic
+ * RMWs), and lock-cycle prediction (the paper's §3.2.5 deadlock
+ * shapes and §3.3.4 forwarding-chain sites, with expected-watchdog
+ * diagnostics).
+ *
+ * Dynamic half (--check): runs the program with memory-event trace
+ * recording and verifies the committed execution against the
+ * axiomatic x86-TSO model.
+ *
+ *   falint -w dekker --threads 2
+ *   falint prog0.fasm prog1.fasm
+ *   falint -w sb --threads 2 --passes cycles,fences
+ *   falint -p examples/programs/counter.fasm --threads 4 --check
+ */
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "freeatomics/freeatomics.hh"
+
+using namespace fa;
+
+namespace {
+
+void
+usage()
+{
+    std::cout <<
+        "usage: falint [options] [FILE.fasm ...]\n"
+        "  positional FILEs      one assembly program per thread\n"
+        "  -w, --workload NAME   lint a packaged workload instead\n"
+        "  -p, --program FILE    one program replicated on all threads\n"
+        "  -t, --threads N       thread count              [2]\n"
+        "      --passes LIST     comma list of cycles,fences,locks [all]\n"
+        "      --check           also run + axiomatic TSO check\n"
+        "  -m, --mode MODE       fenced|spec|free|freefwd (--check) [freefwd]\n"
+        "      --machine NAME    icelake|skylake|sandybridge|tiny  [tiny]\n"
+        "      --scale F         iteration scale (--check) [1.0]\n"
+        "      --seed N          master seed (--check)     [42]\n"
+        "      --quiet           only the summary line\n"
+        "\n"
+        "exit status: 0 clean, 1 error, 3 TSO check failed\n";
+}
+
+core::AtomicsMode
+parseMode(const std::string &s)
+{
+    if (s == "fenced")
+        return core::AtomicsMode::kFenced;
+    if (s == "spec")
+        return core::AtomicsMode::kSpec;
+    if (s == "free")
+        return core::AtomicsMode::kFree;
+    if (s == "freefwd")
+        return core::AtomicsMode::kFreeFwd;
+    fatal("unknown mode '%s'", s.c_str());
+}
+
+sim::MachineConfig
+parseMachine(const std::string &s, unsigned cores)
+{
+    if (s == "icelake")
+        return sim::MachineConfig::icelake(cores);
+    if (s == "skylake")
+        return sim::MachineConfig::skylake(cores);
+    if (s == "sandybridge")
+        return sim::MachineConfig::sandybridge(cores);
+    if (s == "tiny")
+        return sim::MachineConfig::tiny(cores);
+    fatal("unknown machine '%s'", s.c_str());
+}
+
+struct PassSelection
+{
+    bool cycles = true;
+    bool fences = true;
+    bool locks = true;
+};
+
+PassSelection
+parsePasses(const std::string &list)
+{
+    PassSelection sel;
+    sel.cycles = sel.fences = sel.locks = false;
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item == "cycles")
+            sel.cycles = true;
+        else if (item == "fences")
+            sel.fences = true;
+        else if (item == "locks")
+            sel.locks = true;
+        else
+            fatal("unknown pass '%s' (cycles, fences, locks)",
+                  item.c_str());
+    }
+    // The fence pass consumes the cycle pass's required ordering
+    // points, so asking for fences implies running cycles.
+    if (sel.fences)
+        sel.cycles = true;
+    return sel;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> files;
+    std::string workload;
+    std::string program_file;
+    std::string mode_s = "freefwd";
+    std::string machine_s = "tiny";
+    unsigned threads = 2;
+    double scale = 1.0;
+    std::uint64_t seed = 42;
+    bool check = false;
+    bool quiet = false;
+    PassSelection passes;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            std::string a = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    fatal("missing value for %s", a.c_str());
+                return argv[++i];
+            };
+            if (a == "-w" || a == "--workload")
+                workload = next();
+            else if (a == "-p" || a == "--program")
+                program_file = next();
+            else if (a == "-t" || a == "--threads")
+                threads = static_cast<unsigned>(std::stoul(next()));
+            else if (a == "--passes")
+                passes = parsePasses(next());
+            else if (a == "--check")
+                check = true;
+            else if (a == "-m" || a == "--mode")
+                mode_s = next();
+            else if (a == "--machine")
+                machine_s = next();
+            else if (a == "--scale")
+                scale = std::stod(next());
+            else if (a == "--seed")
+                seed = std::stoull(next());
+            else if (a == "--quiet")
+                quiet = true;
+            else if (a == "-h" || a == "--help") {
+                usage();
+                return 0;
+            } else if (!a.empty() && a[0] == '-') {
+                std::cerr << "unknown option: " << a << "\n";
+                usage();
+                return 2;
+            } else {
+                files.push_back(a);
+            }
+        }
+    } catch (const FatalError &e) {
+        std::cerr << "falint: " << e.message << "\n";
+        return 2;
+    } catch (const std::exception &e) {
+        std::cerr << "falint: bad argument: " << e.what() << "\n";
+        return 2;
+    }
+
+    if (files.empty() && workload.empty() && program_file.empty()) {
+        usage();
+        return 2;
+    }
+
+    try {
+        // --- build one program per thread -----------------------------
+        std::vector<isa::Program> progs;
+        const wl::Workload *w = nullptr;
+        if (!workload.empty()) {
+            w = wl::findWorkload(workload);
+            if (!w)
+                fatal("unknown workload '%s'", workload.c_str());
+            progs = wl::buildPrograms(*w, threads, scale);
+        } else if (!program_file.empty()) {
+            isa::Program p = isa::assembleFile(program_file);
+            progs.assign(threads, p);
+        } else {
+            for (const std::string &f : files)
+                progs.push_back(isa::assembleFile(f));
+            threads = static_cast<unsigned>(progs.size());
+        }
+
+        // --- static half ----------------------------------------------
+        auto sums = analysis::summarizePrograms(progs);
+        unsigned total_events = 0, known = 0;
+        for (const auto &s : sums) {
+            total_events += static_cast<unsigned>(s.events.size());
+            known += s.knownAddrEvents;
+            if (!quiet) {
+                std::cout << "thread " << s.thread << " (" << s.name
+                          << "): " << s.numBlocks << " blocks, "
+                          << s.events.size() << " memory events ("
+                          << s.knownAddrEvents << " resolved), "
+                          << s.loops.size() << " loops\n";
+            }
+        }
+
+        analysis::CycleAnalysis ca;
+        if (passes.cycles) {
+            ca = analysis::findCriticalCycles(sums);
+            if (!quiet) {
+                for (const auto &c : ca.cycles)
+                    std::cout << "cycle: " << c.describe(sums) << "\n";
+                if (ca.truncated)
+                    std::cout << "note: cycle search truncated after "
+                              << ca.dfsSteps << " steps\n";
+            }
+        }
+
+        std::vector<analysis::FenceReport> fences;
+        unsigned removable_fences = 0;
+        if (passes.fences) {
+            fences = analysis::analyzeFences(sums, ca);
+            for (const auto &f : fences) {
+                if (f.verdict != analysis::FenceVerdict::kRequired)
+                    ++removable_fences;
+                if (!quiet) {
+                    std::cout << "fence t" << f.thread << " pc " << f.pc
+                              << ": "
+                              << analysis::fenceVerdictName(f.verdict)
+                              << " — " << f.reason << "\n";
+                }
+            }
+        }
+
+        analysis::LockCycleResult locks;
+        if (passes.locks) {
+            locks = analysis::analyzeLockCycles(sums);
+            if (!quiet) {
+                for (const auto &d : locks.deadlocks)
+                    std::cout << "lock-cycle: " << d.describe() << "\n";
+                for (const auto &c : locks.chains)
+                    std::cout << "fwd-chain: " << c.describe(32) << "\n";
+            }
+        }
+
+        std::cout << "falint: " << threads << " threads, "
+                  << total_events << " events (" << known
+                  << " resolved), " << ca.cycles.size()
+                  << " critical cycles (" << ca.permittedCycles
+                  << " TSO-permitted, " << ca.forbiddenCycles
+                  << " forbidden), " << fences.size() << " fences ("
+                  << removable_fences << " removable), "
+                  << locks.deadlocks.size() << " deadlock shapes, "
+                  << locks.chains.size() << " fwd-chain sites\n";
+
+        // --- dynamic half ---------------------------------------------
+        if (check) {
+            auto machine = parseMachine(machine_s, threads);
+            machine.core.mode = parseMode(mode_s);
+            machine.cores = threads;
+            machine.recordMemTrace = true;
+            sim::RunResult res;
+            if (w) {
+                res = wl::runWorkload(*w, machine, machine.core.mode,
+                                      threads, scale, seed,
+                                      500'000'000);
+            } else {
+                sim::System sys(machine, progs, seed);
+                auto out = sys.run(500'000'000);
+                res.finished = out.finished;
+                res.failure = out.failure;
+                res.cycles = out.cycles;
+                auto tso = analysis::checkTso(*sys.trace());
+                res.tsoChecked = true;
+                res.tsoEventsChecked = tso.eventsChecked;
+                if (!tso.ok) {
+                    res.tsoError = tso.error;
+                    res.finished = false;
+                    if (res.failure.empty())
+                        res.failure = tso.error;
+                }
+            }
+            if (!res.tsoOk()) {
+                std::cerr << "falint: " << res.tsoError << "\n";
+                return 3;
+            }
+            if (!res.finished)
+                fatal("run failed: %s", res.failure.c_str());
+            std::cout << "tso-check: ok (" << res.tsoEventsChecked
+                      << " events over " << res.cycles << " cycles, "
+                      << core::atomicsModeName(machine.core.mode)
+                      << ")\n";
+        }
+    } catch (const FatalError &e) {
+        std::cerr << "falint: " << e.message << "\n";
+        return 1;
+    }
+    return 0;
+}
