@@ -8,12 +8,17 @@
  *   FA_SCALE  - workload iteration scale   (default 0.5)
  *   FA_SEEDS  - seeded runs to average     (default 1)
  *   FA_CSV    - emit CSV instead of an aligned table
+ *   FA_JSON   - append every run's full RunResult (telemetry schema,
+ *               including latency histograms) to this file as JSON
+ *               Lines: {"bench":...,"workload":...,"label":...,
+ *               "run":{...}}
  */
 
 #ifndef FA_BENCH_BENCH_UTIL_HH
 #define FA_BENCH_BENCH_UTIL_HH
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -37,13 +42,46 @@ envDouble(const char *name, double def)
     return v && *v ? std::strtod(v, nullptr) : def;
 }
 
+inline std::string
+envString(const char *name)
+{
+    const char *v = std::getenv(name);
+    return v ? v : "";
+}
+
 struct BenchConfig
 {
     unsigned cores = envUnsigned("FA_CORES", 32);
     double scale = envDouble("FA_SCALE", 0.5);
     unsigned seeds = envUnsigned("FA_SEEDS", 1);
     bool csv = envUnsigned("FA_CSV", 0) != 0;
+    std::string jsonPath = envString("FA_JSON");
 };
+
+/**
+ * Append one labelled run to cfg.jsonPath as a JSON line (no-op when
+ * FA_JSON is unset). Gives every figure harness a machine-readable
+ * output path without touching its table code.
+ */
+inline void
+emitRunJson(const BenchConfig &cfg, const std::string &bench,
+            const std::string &workload, const std::string &label,
+            const sim::RunResult &r)
+{
+    if (cfg.jsonPath.empty())
+        return;
+    std::ofstream os(cfg.jsonPath, std::ios::app);
+    if (!os) {
+        warn("cannot open FA_JSON file '%s'", cfg.jsonPath.c_str());
+        return;
+    }
+    os << "{\"bench\":\"" << JsonWriter::escape(bench)
+       << "\",\"workload\":\"" << JsonWriter::escape(workload)
+       << "\",\"label\":\"" << JsonWriter::escape(label)
+       << "\",\"run\":";
+    r.toJson(os);
+    os << "}\n";
+}
 
 /** Mean of a per-run metric over `cfg.seeds` seeded runs. */
 template <typename MetricFn>

@@ -1,0 +1,130 @@
+#include "common/histogram.hh"
+
+#include <bit>
+
+namespace fa {
+
+unsigned
+Histogram::bucketOf(std::uint64_t value)
+{
+    if (value == 0)
+        return 0;
+    return 64 - static_cast<unsigned>(std::countl_zero(value));
+}
+
+std::uint64_t
+Histogram::bucketLo(unsigned b)
+{
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t
+Histogram::bucketHi(unsigned b)
+{
+    if (b == 0)
+        return 1;
+    if (b >= 64)
+        return ~std::uint64_t{0};
+    return std::uint64_t{1} << b;
+}
+
+void
+Histogram::record(std::uint64_t value)
+{
+    ++buckets[bucketOf(value)];
+    ++n;
+    total += value;
+    if (value < minV)
+        minV = value;
+    if (value > maxV)
+        maxV = value;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    for (unsigned b = 0; b < kBuckets; ++b)
+        buckets[b] += other.buckets[b];
+    n += other.n;
+    total += other.total;
+    if (other.n > 0 && other.minV < minV)
+        minV = other.minV;
+    if (other.maxV > maxV)
+        maxV = other.maxV;
+}
+
+double
+Histogram::mean() const
+{
+    return n == 0 ? 0.0
+                  : static_cast<double>(total) / static_cast<double>(n);
+}
+
+double
+Histogram::percentile(double q) const
+{
+    if (n == 0)
+        return 0.0;
+    if (q <= 0.0)
+        return static_cast<double>(min());
+    if (q >= 1.0)
+        return static_cast<double>(maxV);
+
+    // Rank of the requested quantile (1-based) and the bucket
+    // containing it.
+    double rank = q * static_cast<double>(n);
+    std::uint64_t seen = 0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        if (buckets[b] == 0)
+            continue;
+        double before = static_cast<double>(seen);
+        seen += buckets[b];
+        if (static_cast<double>(seen) < rank)
+            continue;
+        // Clamp the interpolation range to the observed min/max so a
+        // single-value distribution reports that value exactly.
+        double lo = static_cast<double>(bucketLo(b));
+        double hi = static_cast<double>(bucketHi(b));
+        if (static_cast<double>(minV) > lo)
+            lo = static_cast<double>(minV);
+        if (static_cast<double>(maxV) + 1.0 < hi)
+            hi = static_cast<double>(maxV) + 1.0;
+        double frac = (rank - before) / static_cast<double>(buckets[b]);
+        double v = lo + (hi - lo) * frac;
+        return v > static_cast<double>(maxV)
+            ? static_cast<double>(maxV) : v;
+    }
+    return static_cast<double>(maxV);
+}
+
+void
+Histogram::forEachBucket(
+    const std::function<void(std::uint64_t, std::uint64_t,
+                             std::uint64_t)> &fn) const
+{
+    for (unsigned b = 0; b < kBuckets; ++b)
+        if (buckets[b] != 0)
+            fn(bucketLo(b), bucketHi(b), buckets[b]);
+}
+
+void
+LatencyHists::merge(const LatencyHists &other)
+{
+    atomicLatency.merge(other.atomicLatency);
+    sbDrain.merge(other.sbDrain);
+    lockHold.merge(other.lockHold);
+    fwdChain.merge(other.fwdChain);
+}
+
+void
+LatencyHists::forEach(
+    const std::function<void(const std::string &,
+                             const Histogram &)> &fn) const
+{
+    fn("atomicLatency", atomicLatency);
+    fn("sbDrain", sbDrain);
+    fn("lockHold", lockHold);
+    fn("fwdChain", fwdChain);
+}
+
+} // namespace fa

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A log2-bucketed latency/size histogram, the reusable statistic type
+ * behind the observability layer. Paper Figure 1 reports *means*, but
+ * the atomics story lives in the distribution tails (lock-hold times
+ * and SB-drain stalls are heavy-tailed under contention), so the core
+ * records every atomic's end-to-end latency, SB-drain duration,
+ * lock-hold time and forwarding-chain length into one of these.
+ *
+ * Recording is a couple of integer ops (no allocation, no floating
+ * point), cheap enough to stay always-on next to the plain counters.
+ * Buckets are powers of two: bucket 0 holds the value 0, bucket i
+ * holds [2^(i-1), 2^i). Percentiles interpolate linearly inside the
+ * selected bucket, so p50/p99 are exact for degenerate distributions
+ * and within one octave otherwise.
+ */
+
+#ifndef FA_COMMON_HISTOGRAM_HH
+#define FA_COMMON_HISTOGRAM_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fa {
+
+class Histogram
+{
+  public:
+    /** Bucket 0 plus one bucket per bit of a 64-bit value. */
+    static constexpr unsigned kBuckets = 65;
+
+    void record(std::uint64_t value);
+
+    /** Pointwise sum with another histogram (per-core -> totals). */
+    void merge(const Histogram &other);
+
+    std::uint64_t count() const { return n; }
+    std::uint64_t sum() const { return total; }
+    std::uint64_t min() const { return n == 0 ? 0 : minV; }
+    std::uint64_t max() const { return maxV; }
+    double mean() const;
+
+    /**
+     * Value at quantile `q` in [0, 1] (0 when empty). q=0 returns the
+     * minimum, q=1 the maximum; interior quantiles interpolate within
+     * the covering bucket.
+     */
+    double percentile(double q) const;
+    double p50() const { return percentile(0.50); }
+    double p90() const { return percentile(0.90); }
+    double p99() const { return percentile(0.99); }
+
+    /** Index of the bucket holding `value`. */
+    static unsigned bucketOf(std::uint64_t value);
+
+    /** Inclusive lower bound of bucket `b`. */
+    static std::uint64_t bucketLo(unsigned b);
+
+    /** Exclusive upper bound of bucket `b` (saturates at 2^63). */
+    static std::uint64_t bucketHi(unsigned b);
+
+    /** Visit every non-empty bucket as (lo, hi_exclusive, count). */
+    void forEachBucket(
+        const std::function<void(std::uint64_t, std::uint64_t,
+                                 std::uint64_t)> &fn) const;
+
+    std::uint64_t bucketCount(unsigned b) const { return buckets.at(b); }
+
+  private:
+    std::array<std::uint64_t, kBuckets> buckets{};
+    std::uint64_t n = 0;
+    std::uint64_t total = 0;
+    std::uint64_t minV = ~std::uint64_t{0};
+    std::uint64_t maxV = 0;
+};
+
+/**
+ * The core's latency distributions (one set per core, merged into
+ * run totals exactly like CoreStats).
+ */
+struct LatencyHists
+{
+    /** Atomic RMW dispatch->commit latency, cycles (Figure 1
+     * end-to-end cost, as a distribution). */
+    Histogram atomicLatency;
+    /** Cycles an atomic stalled at issue waiting for the SB to drain
+     * (the Drain_SB component, per committed atomic). */
+    Histogram sbDrain;
+    /** Cacheline lock tenure: load_lock acquire -> store_unlock
+     * perform (or squash release), cycles. */
+    Histogram lockHold;
+    /** Forwarding-chain length at commit of each atomic (§3.3.4). */
+    Histogram fwdChain;
+
+    void merge(const LatencyHists &other);
+
+    /** Visit every histogram by name (stable order). */
+    void forEach(
+        const std::function<void(const std::string &,
+                                 const Histogram &)> &fn) const;
+};
+
+} // namespace fa
+
+#endif // FA_COMMON_HISTOGRAM_HH

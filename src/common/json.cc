@@ -1,0 +1,380 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace fa {
+
+// --------------------------------------------------------------------------
+// Writer
+// --------------------------------------------------------------------------
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::separator()
+{
+    if (pendingKey) {
+        // Value attaches to an already-emitted key.
+        pendingKey = false;
+        return;
+    }
+    if (!needComma.empty()) {
+        if (needComma.back())
+            out << ',';
+        needComma.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separator();
+    out << '{';
+    needComma.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    needComma.pop_back();
+    out << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separator();
+    out << '[';
+    needComma.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    needComma.pop_back();
+    out << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    separator();
+    out << '"' << escape(k) << "\":";
+    pendingKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    separator();
+    out << '"' << escape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separator();
+    out << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    separator();
+    out << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separator();
+    if (!std::isfinite(v)) {
+        out << "null";
+        return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separator();
+    out << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    separator();
+    out << "null";
+    return *this;
+}
+
+// --------------------------------------------------------------------------
+// Parser
+// --------------------------------------------------------------------------
+
+namespace {
+
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        fatal("json parse error at offset %zu: %s", pos, what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(strfmt("expected '%c'", c).c_str());
+        ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p, ++pos)
+            if (pos >= text.size() || text[pos] != *p)
+                fail("bad literal");
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string s;
+        while (true) {
+            if (pos >= text.size())
+                fail("unterminated string");
+            char c = text[pos++];
+            if (c == '"')
+                return s;
+            if (c != '\\') {
+                s += c;
+                continue;
+            }
+            if (pos >= text.size())
+                fail("unterminated escape");
+            char e = text[pos++];
+            switch (e) {
+              case '"':  s += '"'; break;
+              case '\\': s += '\\'; break;
+              case '/':  s += '/'; break;
+              case 'b':  s += '\b'; break;
+              case 'f':  s += '\f'; break;
+              case 'n':  s += '\n'; break;
+              case 'r':  s += '\r'; break;
+              case 't':  s += '\t'; break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    fail("truncated \\u escape");
+                unsigned cp = static_cast<unsigned>(
+                    std::strtoul(text.substr(pos, 4).c_str(), nullptr,
+                                 16));
+                pos += 4;
+                // Telemetry strings are ASCII; encode the BMP code
+                // point as UTF-8 without surrogate handling.
+                if (cp < 0x80) {
+                    s += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    s += static_cast<char>(0xc0 | (cp >> 6));
+                    s += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    s += static_cast<char>(0xe0 | (cp >> 12));
+                    s += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    s += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("bad escape character");
+            }
+        }
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        char c = peek();
+        JsonValue v;
+        if (c == '{') {
+            ++pos;
+            v.kind = JsonValue::Kind::kObject;
+            skipWs();
+            if (consume('}'))
+                return v;
+            while (true) {
+                skipWs();
+                std::string k = parseString();
+                skipWs();
+                expect(':');
+                v.members.emplace_back(std::move(k), parseValue());
+                skipWs();
+                if (consume(','))
+                    continue;
+                expect('}');
+                return v;
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            v.kind = JsonValue::Kind::kArray;
+            skipWs();
+            if (consume(']'))
+                return v;
+            while (true) {
+                v.arr.push_back(parseValue());
+                skipWs();
+                if (consume(','))
+                    continue;
+                expect(']');
+                return v;
+            }
+        }
+        if (c == '"') {
+            v.kind = JsonValue::Kind::kString;
+            v.str = parseString();
+            return v;
+        }
+        if (c == 't') {
+            literal("true");
+            v.kind = JsonValue::Kind::kBool;
+            v.boolean = true;
+            return v;
+        }
+        if (c == 'f') {
+            literal("false");
+            v.kind = JsonValue::Kind::kBool;
+            v.boolean = false;
+            return v;
+        }
+        if (c == 'n') {
+            literal("null");
+            v.kind = JsonValue::Kind::kNull;
+            return v;
+        }
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t end = 0;
+            v.kind = JsonValue::Kind::kNumber;
+            try {
+                v.number = std::stod(text.substr(pos), &end);
+            } catch (...) {
+                fail("bad number");
+            }
+            pos += end;
+            return v;
+        }
+        fail("unexpected character");
+    }
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &k) const
+{
+    for (const auto &[name, val] : members)
+        if (name == k)
+            return &val;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &k) const
+{
+    const JsonValue *v = find(k);
+    if (!v)
+        fatal("json: missing key '%s'", k.c_str());
+    return *v;
+}
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    Parser p{text};
+    JsonValue v = p.parseValue();
+    p.skipWs();
+    if (p.pos != text.size())
+        p.fail("trailing garbage after document");
+    return v;
+}
+
+} // namespace fa

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Minimal JSON support for machine-readable run telemetry: a
+ * streaming writer (RunResult::toJson, interval-stats JSONL) and a
+ * small recursive-descent parser (tools/fastats reads stats files
+ * back). Only what the telemetry schema needs — objects, arrays,
+ * strings, numbers, booleans, null — with no external dependency.
+ */
+
+#ifndef FA_COMMON_JSON_HH
+#define FA_COMMON_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fa {
+
+/**
+ * Streaming JSON writer. Emits to an ostream with automatic comma
+ * placement; keys/values must be produced in document order.
+ *
+ * @code
+ *   JsonWriter jw(os);
+ *   jw.beginObject();
+ *   jw.key("cycles").value(std::uint64_t{42});
+ *   jw.key("core").beginObject(); ... jw.endObject();
+ *   jw.endObject();
+ * @endcode
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : out(os) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit "key": inside an object; the next value attaches to it. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(unsigned v) { return value(std::uint64_t{v}); }
+    JsonWriter &value(int v) { return value(std::int64_t{v}); }
+    /** Doubles print with enough digits to round-trip; non-finite
+     * values emit null (JSON has no NaN/Inf). */
+    JsonWriter &value(double v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    static std::string escape(const std::string &s);
+
+  private:
+    void separator();
+
+    std::ostream &out;
+    /** One entry per open container: true after the first element. */
+    std::vector<bool> needComma;
+    bool pendingKey = false;
+};
+
+/** Parsed JSON document node. */
+struct JsonValue
+{
+    enum class Kind : std::uint8_t {
+        kNull, kBool, kNumber, kString, kArray, kObject,
+    };
+
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    /** Insertion-ordered members (diffing wants stable order). */
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isNull() const { return kind == Kind::kNull; }
+    bool isBool() const { return kind == Kind::kBool; }
+    bool isNumber() const { return kind == Kind::kNumber; }
+    bool isString() const { return kind == Kind::kString; }
+    bool isArray() const { return kind == Kind::kArray; }
+    bool isObject() const { return kind == Kind::kObject; }
+
+    /** Member lookup in an object; nullptr when absent. */
+    const JsonValue *find(const std::string &k) const;
+
+    /** Member access that fatal()s when absent or not an object. */
+    const JsonValue &at(const std::string &k) const;
+
+    std::uint64_t
+    asU64() const
+    {
+        return static_cast<std::uint64_t>(number);
+    }
+
+    /**
+     * Parse a complete document. Throws FatalError (via fatal()) on
+     * malformed input, with a byte offset in the message.
+     */
+    static JsonValue parse(const std::string &text);
+};
+
+} // namespace fa
+
+#endif // FA_COMMON_JSON_HH

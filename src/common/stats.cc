@@ -105,7 +105,9 @@ MemStats::forEach(
     fn("l1Hits", l1Hits);
     fn("l1Misses", l1Misses);
     fn("l2Hits", l2Hits);
+    fn("l2Misses", l2Misses);
     fn("l3Hits", l3Hits);
+    fn("l3Misses", l3Misses);
     fn("memAccesses", memAccesses);
     fn("transactions", transactions);
     fn("networkMsgs", networkMsgs);
@@ -124,7 +126,9 @@ MemStats::add(const MemStats &other)
     l1Hits += other.l1Hits;
     l1Misses += other.l1Misses;
     l2Hits += other.l2Hits;
+    l2Misses += other.l2Misses;
     l3Hits += other.l3Hits;
+    l3Misses += other.l3Misses;
     memAccesses += other.memAccesses;
     transactions += other.transactions;
     networkMsgs += other.networkMsgs;

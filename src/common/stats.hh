@@ -96,9 +96,15 @@ struct CoreStats
 struct MemStats
 {
     std::uint64_t l1Hits = 0;
+    /** All L1 misses: L2 hits plus private-hierarchy misses. */
     std::uint64_t l1Misses = 0;
     std::uint64_t l2Hits = 0;
+    /** Demand requests missing the whole private hierarchy (one per
+     * started coherence transaction). */
+    std::uint64_t l2Misses = 0;
     std::uint64_t l3Hits = 0;
+    /** Data fetches that missed the shared L3 and went to memory. */
+    std::uint64_t l3Misses = 0;
     std::uint64_t memAccesses = 0;
     std::uint64_t transactions = 0;
     std::uint64_t networkMsgs = 0;

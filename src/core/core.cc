@@ -5,6 +5,7 @@
 #include "analysis/trace.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "core/pipeview.hh"
 
 namespace fa::core {
 
@@ -176,6 +177,7 @@ Core::finishExec(DynInst *inst, Cycle now)
         bp.update(inst->pc, taken);
         inst->executed = true;
         inst->completed = true;
+        inst->completedAt = now;
         if (taken != inst->predTaken) {
             ++stats.branchMispredicts;
             int resume = taken ? si.target : inst->pc + 1;
@@ -196,6 +198,7 @@ Core::finishExec(DynInst *inst, Cycle now)
     }
     inst->executed = true;
     inst->completed = true;
+    inst->completedAt = now;
     wakeDependents(inst);
 }
 
@@ -257,6 +260,7 @@ Core::performLoad(DynInst *inst, Cycle now)
     if (inst->isAtomic() && inst->fwdKind == FwdKind::kNone) {
         aq.lock(inst->aqIdx, inst->line());
         inst->lockHeld = true;
+        inst->lockAcquiredAt = now;
         wdLastProgress = now;
         FA_TRACE("%llu c%u LOCK seq=%llu pc=%d line=%llx",
                  (unsigned long long)now, coreId,
@@ -311,6 +315,7 @@ Core::performLoad(DynInst *inst, Cycle now)
     } else {
         inst->executed = true;
         inst->completed = true;
+        inst->completedAt = now;
         wakeDependents(inst);
     }
 }
@@ -378,6 +383,7 @@ void
 Core::commitOne(DynInst *head, Cycle now)
 {
     lastCommitAt = now;
+    head->committedAt = now;
     ++stats.committedInsts;
     FA_TRACE("%llu c%u COMMIT seq=%llu pc=%d %s res=%lld",
              (unsigned long long)now, coreId,
@@ -416,6 +422,9 @@ Core::commitOne(DynInst *head, Cycle now)
       case isa::Op::kRmw: {
         ++stats.committedAtomics;
         stats.atomicPostIssueCycles += now - head->issuedAt;
+        hists.atomicLatency.record(now - head->dispatchedAt);
+        hists.sbDrain.record(head->drainSbCycles);
+        hists.fwdChain.record(head->fwdChain);
         if (isFencedMode(cfg.mode))
             stats.implicitFencesExecuted += 2;
         else
@@ -506,10 +515,14 @@ Core::commitOne(DynInst *head, Cycle now)
 
     if (head->usesSq() && !head->isStoreCond()) {
         // The store (or store_unlock) enters the store buffer and
-        // stays alive until it performs.
+        // stays alive until it performs. Its pipeview record is
+        // flushed at perform time so the block carries the SB-exit
+        // tick and, for atomics, the lock-release event.
         head->inSb = true;
         lsq.noteEnteredSb();
         sbOwner.push_back(std::move(rob.front()));
+    } else if (pipeview) {
+        pipeview->retire(coreId, *head, false);
     }
     rob.pop_front();
 }
@@ -541,6 +554,7 @@ Core::sbDrainStage(Cycle now)
         return;  // every L1 way locked; retry
 
     st->performed = true;
+    st->performedAt = now;
     if (tracer)
         tracer->recordWritePerform(coreId, st->seq, st->addr,
                                    st->storeData);
@@ -561,8 +575,17 @@ Core::sbDrainStage(Cycle now)
         aq.release(st->aqIdx);
         st->aqIdx = -1;
         st->lockHeld = false;
+        st->lockReleasedAt = now;
+        // A forwarded atomic captures the lock only when its source
+        // performs (broadcastStorePerform), which DynInst does not
+        // see; approximate that tenure start with commit time.
+        hists.lockHold.record(
+            now - (st->lockAcquiredAt ? st->lockAcquiredAt
+                                      : st->committedAt));
         wdLastProgress = now;
     }
+    if (pipeview)
+        pipeview->retire(coreId, *st, false);
 
     lsq.popFrontStore(st);
     lsq.noteLeftSb();
@@ -584,6 +607,7 @@ Core::sbDrainStage(Cycle now)
                 break;
             }
             next_st->performed = true;
+            next_st->performedAt = now;
             if (tracer)
                 tracer->recordWritePerform(coreId, next_st->seq,
                                            next_st->addr,
@@ -591,6 +615,8 @@ Core::sbDrainStage(Cycle now)
             ++stats.sbStoresPerformed;
             ++stats.sbCoalescedStores;
             aq.broadcastStorePerform(next_st->seq, line);
+            if (pipeview)
+                pipeview->retire(coreId, *next_st, false);
             lsq.popFrontStore(next_st);
             lsq.noteLeftSb();
             if (sbOwner.empty() || sbOwner.front().get() != next_st)
@@ -613,6 +639,8 @@ Core::issueStage(Cycle now)
         if (tryIssue(inst, now)) {
             // tryIssue may have erased other entries via a squash;
             // re-find our slot conservatively.
+            if (!inst->issuedAt)
+                inst->issuedAt = now;
             eraseFromIq(inst);
             ++issued;
             ++stats.issuedUops;
@@ -666,6 +694,7 @@ Core::tryIssue(DynInst *inst, Cycle now)
         }
         inst->executed = true;
         inst->completed = true;
+        inst->completedAt = now;
         if (pendingFences.empty() || pendingFences.front() != inst)
             panic("fence completion order violated");
         pendingFences.pop_front();
@@ -680,6 +709,7 @@ Core::tryIssue(DynInst *inst, Cycle now)
         inst->storeDataValid = true;
         inst->executed = true;
         inst->completed = true;
+        inst->completedAt = now;
         inst->issued = true;
 
         DynInst *violator = lsq.oldestMemDepViolator(inst);
@@ -760,6 +790,7 @@ Core::tryIssueStoreCond(DynInst *inst, Cycle now)
             return false;  // all L1 ways locked; retry
         }
         inst->performed = true;
+        inst->performedAt = now;
         if (tracer)
             tracer->recordWritePerform(coreId, inst->seq, inst->addr,
                                        inst->storeData);
@@ -770,6 +801,7 @@ Core::tryIssueStoreCond(DynInst *inst, Cycle now)
     }
     inst->executed = true;
     inst->completed = true;
+    inst->completedAt = now;
     inst->issued = true;
     wakeDependents(inst);
     return true;
@@ -832,6 +864,7 @@ Core::tryIssueMemRead(DynInst *inst, Cycle now)
                 return false;
             if (lsq.sbCount() > 0 || lsq.anyOlderStore(inst->seq)) {
                 ++stats.atomicDrainSbCycles;
+                ++inst->drainSbCycles;
                 return false;
             }
         } else if (cfg.mode == AtomicsMode::kSpec) {
@@ -839,6 +872,7 @@ Core::tryIssueMemRead(DynInst *inst, Cycle now)
             // operation must have performed.
             if (lsq.anyOlderStore(inst->seq)) {
                 ++stats.atomicDrainSbCycles;
+                ++inst->drainSbCycles;
                 return false;
             }
             if (!lsq.allOlderLoadsPerformed(inst->seq))
@@ -1028,11 +1062,15 @@ Core::dispatchStage(Cycle now)
           case isa::Op::kJump:
             inst->executed = true;
             inst->completed = true;
+            inst->issuedAt = now;  // executes at dispatch, no IQ pass
+            inst->completedAt = now;
             fetchPc = si.target;
             break;
           case isa::Op::kHalt:
             inst->executed = true;
             inst->completed = true;
+            inst->issuedAt = now;
+            inst->completedAt = now;
             fetchHalted = true;
             break;
           default:
@@ -1117,8 +1155,16 @@ Core::squashFrom(SeqNum from_seq, int resume_pc, SquashCause cause,
             // and cancels a pending SQid capture.
             aq.release(inst->aqIdx);
             inst->aqIdx = -1;
-            inst->lockHeld = false;
+            if (inst->lockHeld) {
+                inst->lockHeld = false;
+                inst->lockReleasedAt = now;
+                hists.lockHold.record(
+                    now - (inst->lockAcquiredAt ? inst->lockAcquiredAt
+                                                : now));
+            }
         }
+        if (pipeview)
+            pipeview->retire(coreId, *inst, true);
         if (inst->isAtomic()) {
             if (uncommittedAtomics.empty() ||
                 uncommittedAtomics.back() != inst)
@@ -1175,6 +1221,8 @@ Core::watchdogStage(Cycle now)
     }
     DynInst *victim = it->second;
     ++stats.watchdogTimeouts;
+    if (watchdogHook)
+        watchdogHook(victim->seq, now);
     if (traceEnabled() && !rob.empty()) {
         DynInst *head = rob.front().get();
         FA_TRACE("%llu c%u WDOG victim=%llu robhead seq=%llu pc=%d "

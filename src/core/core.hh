@@ -22,11 +22,13 @@
 
 #include <array>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <queue>
 #include <unordered_map>
 #include <vector>
 
+#include "common/histogram.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "core/atomic_queue.hh"
@@ -44,6 +46,8 @@ class TraceRecorder;
 } // namespace fa::analysis
 
 namespace fa::core {
+
+class PipeViewRecorder;
 
 class Core : public mem::CoreMemIf
 {
@@ -84,18 +88,48 @@ class Core : public mem::CoreMemIf
     /** Attach a memory-event recorder (null disables recording). */
     void attachTracer(analysis::TraceRecorder *t) { tracer = t; }
 
+    /** Attach a pipeline lifecycle recorder (null disables; same
+     * zero-cost-when-off pattern as the tracer). */
+    void attachPipeView(PipeViewRecorder *pv) { pipeview = pv; }
+
+    /**
+     * Called just before the watchdog squashes a lock-holding atomic
+     * (forensics hook; null disables). Arguments: victim sequence
+     * number and the firing cycle.
+     */
+    void
+    setWatchdogHook(std::function<void(SeqNum, Cycle)> hook)
+    {
+        watchdogHook = std::move(hook);
+    }
+
     // --- CoreMemIf -------------------------------------------------------
     void onFill(SeqNum waiter, Addr line, bool write_perm,
                 Cycle now) override;
     void onLineLost(Addr line, Cycle now) override;
     bool isLineLocked(Addr line) const override;
 
-    // --- introspection (tests) --------------------------------------------
+    // --- introspection (tests, forensics) ---------------------------------
     size_t robOccupancy() const { return rob.size(); }
     unsigned sbOccupancy() const { return lsq.sbCount(); }
     const AtomicQueue &atomicQueue() const { return aq; }
 
+    /** Oldest in-flight instruction (nullptr when the ROB is empty). */
+    const DynInst *
+    robHead() const
+    {
+        return rob.empty() ? nullptr : rob.front().get();
+    }
+
+    /** Oldest store-queue entry (nullptr when empty). */
+    const DynInst *
+    sqHead() const
+    {
+        return lsq.stores().empty() ? nullptr : lsq.stores().front();
+    }
+
     CoreStats stats;
+    LatencyHists hists;
 
   private:
     /** Deferred-event kinds delivered through the writeback queue. */
@@ -139,6 +173,8 @@ class Core : public mem::CoreMemIf
     isa::Program program;
     mem::MemSystem *memSys;
     analysis::TraceRecorder *tracer = nullptr;
+    PipeViewRecorder *pipeview = nullptr;
+    std::function<void(SeqNum, Cycle)> watchdogHook;
     std::uint64_t randSeed;
 
     // --- architectural state -------------------------------------------------

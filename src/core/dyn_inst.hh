@@ -60,6 +60,16 @@ struct DynInst
     Cycle dispatchedAt = 0;
     Cycle issuedAt = 0;
 
+    // --- lifecycle timestamps (observability; 0 = not reached) -----------
+    Cycle completedAt = 0;     ///< became commit-eligible
+    Cycle committedAt = 0;     ///< left the ROB head
+    Cycle performedAt = 0;     ///< store/unlock wrote the cache
+    Cycle lockAcquiredAt = 0;  ///< load_lock took the cacheline lock
+    Cycle lockReleasedAt = 0;  ///< store_unlock perform or squash
+    /** Cycles this atomic stalled at issue draining the SB (the
+     * per-instruction Figure 1 Drain_SB component). */
+    std::uint32_t drainSbCycles = 0;
+
     // --- memory -----------------------------------------------------------
     Addr addr = 0;           ///< word-aligned effective address
     bool addrValid = false;

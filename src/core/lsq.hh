@@ -29,6 +29,8 @@ class LoadStoreQueue
 
     std::deque<DynInst *> &loads() { return lq; }
     std::deque<DynInst *> &stores() { return sq; }
+    const std::deque<DynInst *> &loads() const { return lq; }
+    const std::deque<DynInst *> &stores() const { return sq; }
 
     /** Committed stores awaiting perform (the SB occupancy). */
     unsigned sbCount() const { return sbEntries; }

@@ -1,0 +1,50 @@
+#include "core/pipeview.hh"
+
+#include "isa/program.hh"
+
+namespace fa::core {
+
+void
+PipeViewRecorder::retire(CoreId core, const DynInst &inst, bool squashed)
+{
+    std::uint64_t id = nextId++;
+    std::uint64_t fetch_t = tick(inst.dispatchedAt, true);
+    std::uint64_t issue_t = tick(inst.issuedAt, inst.issuedAt != 0);
+    std::uint64_t complete_t =
+        tick(inst.completedAt, inst.completed || inst.executed);
+    std::uint64_t retire_t =
+        squashed ? 0 : tick(inst.committedAt, true);
+    std::uint64_t store_t =
+        tick(inst.performedAt,
+             !squashed && inst.performedAt != 0 && inst.usesSq());
+
+    out << "O3PipeView:fetch:" << fetch_t << ":0x" << std::hex
+        << inst.pc << std::dec << ":0:" << id << ":[c" << core << "] "
+        << isa::Program::disasm(inst.si) << '\n';
+    out << "O3PipeView:decode:" << fetch_t << '\n';
+    out << "O3PipeView:rename:" << fetch_t << '\n';
+    out << "O3PipeView:dispatch:" << fetch_t << '\n';
+    out << "O3PipeView:issue:" << issue_t << '\n';
+    out << "O3PipeView:complete:" << complete_t << '\n';
+    out << "O3PipeView:retire:" << retire_t << ":store:" << store_t
+        << '\n';
+
+    if (inst.lockAcquiredAt != 0) {
+        out << "FAView:lock_acquire:" << tick(inst.lockAcquiredAt, true)
+            << ":line=0x" << std::hex << inst.line() << std::dec
+            << '\n';
+    }
+    if (inst.lockReleasedAt != 0) {
+        out << "FAView:lock_release:" << tick(inst.lockReleasedAt, true)
+            << ":line=0x" << std::hex << inst.line() << std::dec
+            << '\n';
+    }
+    if (inst.fwdKind != FwdKind::kNone) {
+        out << "FAView:fwd:" << issue_t << ":from=" << inst.fwdFromSeq
+            << ":chain=" << inst.fwdChain << '\n';
+    }
+    if (squashed)
+        out << "FAView:squashed\n";
+}
+
+} // namespace fa::core

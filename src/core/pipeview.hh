@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Per-instruction pipeline lifecycle tracing in gem5's O3PipeView
+ * format, viewable in Konata and the classic o3-pipeview.py script.
+ *
+ * The core emits one record block per retired or squashed
+ * instruction, in retirement order:
+ *
+ *   O3PipeView:fetch:<tick>:0x<pc>:0:<id>:[c<core>] <disasm>
+ *   O3PipeView:decode:<tick>
+ *   O3PipeView:rename:<tick>
+ *   O3PipeView:dispatch:<tick>
+ *   O3PipeView:issue:<tick>
+ *   O3PipeView:complete:<tick>
+ *   O3PipeView:retire:<tick>:store:<tick>
+ *
+ * Ticks are (cycle + 1) so 0 unambiguously means "stage not reached"
+ * (gem5's own convention for squashed instructions). The model fuses
+ * fetch/decode/rename/dispatch into one stage, so those four share
+ * the dispatch tick. Squashed instructions carry retire tick 0.
+ *
+ * Free-atomics-specific events follow each block on `FAView:` lines
+ * (ignored by Konata, parsed by tools/fastats and the unit tests):
+ *
+ *   FAView:lock_acquire:<tick>:line=0x<line>
+ *   FAView:lock_release:<tick>:line=0x<line>
+ *   FAView:fwd:<tick>:from=<seq>:chain=<len>
+ *   FAView:squashed
+ *
+ * Recording costs nothing when disabled: the core carries a null
+ * recorder pointer and pays one branch per retirement, exactly the
+ * TraceRecorder pattern. Recording never alters timing — the
+ * recorder only reads instruction state.
+ */
+
+#ifndef FA_CORE_PIPEVIEW_HH
+#define FA_CORE_PIPEVIEW_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/types.hh"
+#include "core/dyn_inst.hh"
+
+namespace fa::core {
+
+class PipeViewRecorder
+{
+  public:
+    explicit PipeViewRecorder(std::ostream &os) : out(os) {}
+
+    PipeViewRecorder(const PipeViewRecorder &) = delete;
+    PipeViewRecorder &operator=(const PipeViewRecorder &) = delete;
+
+    /**
+     * Emit the record block for one finished instruction.
+     *
+     * @param core     the emitting core
+     * @param inst     the instruction (committed or squashed)
+     * @param squashed true when the instruction never committed
+     */
+    void retire(CoreId core, const DynInst &inst, bool squashed);
+
+    std::uint64_t recordsEmitted() const { return nextId - 1; }
+
+  private:
+    /** Stage tick: cycle + 1, with 0 reserved for "not reached". */
+    static std::uint64_t
+    tick(Cycle c, bool reached)
+    {
+        return reached ? c + 1 : 0;
+    }
+
+    std::ostream &out;
+    std::uint64_t nextId = 1;
+};
+
+} // namespace fa::core
+
+#endif // FA_CORE_PIPEVIEW_HH

@@ -23,6 +23,8 @@
 #include "analysis/lock_cycle.hh"
 #include "analysis/trace.hh"
 #include "analysis/tso_checker.hh"
+#include "common/histogram.hh"
+#include "common/json.hh"
 #include "common/log.hh"
 #include "common/mem_image.hh"
 #include "common/rng.hh"
@@ -32,6 +34,7 @@
 #include "core/atomic_queue.hh"
 #include "core/core.hh"
 #include "core/core_config.hh"
+#include "core/pipeview.hh"
 #include "isa/assembler.hh"
 #include "isa/builder.hh"
 #include "isa/interp.hh"
@@ -41,6 +44,8 @@
 #include "mem/mem_system.hh"
 #include "sim/config.hh"
 #include "sim/energy.hh"
+#include "sim/forensics.hh"
+#include "sim/interval_stats.hh"
 #include "sim/runner.hh"
 #include "sim/system.hh"
 #include "workloads/synthetic.hh"

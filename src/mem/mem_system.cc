@@ -67,6 +67,7 @@ MemSystem::access(CoreId core, Addr line, bool want_write, SeqNum waiter,
         }
         // An L1 victim silently stays in the (inclusive) L2.
         pc.l2.touch(line, now);
+        ++stats.l1Misses;
         ++stats.l2Hits;
         return AccessOutcome::kL2Hit;
     }
@@ -108,6 +109,7 @@ MemSystem::access(CoreId core, Addr line, bool want_write, SeqNum waiter,
         ++stats.prefetchesIssued;
     core_mshr[line] = txn->id;
     ++stats.l1Misses;
+    ++stats.l2Misses;
     ++stats.transactions;
     ++stats.networkMsgs;
     txns.push_back(std::move(txn));
@@ -533,6 +535,7 @@ MemSystem::dataFetchLatency(Addr line, Cycle now)
         l3.touch(line, now);
         return cfg.l3TagLatency + cfg.l3DataLatency;
     }
+    ++stats.l3Misses;
     ++stats.memAccesses;
     l3Insert(line, now);
     return cfg.l3TagLatency + cfg.memLatency;

@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "common/types.hh"
 #include "core/core_config.hh"
 #include "mem/mem_config.hh"
 
@@ -26,6 +27,29 @@ struct MachineConfig
      * costs memory proportional to committed instructions and the
      * cores pay a branch per commit. */
     bool recordMemTrace = false;
+
+    // --- observability (all off by default; zero cost when off) ----------
+
+    /** Write a gem5-O3PipeView-compatible per-instruction lifecycle
+     * trace here (viewable in Konata). Empty disables. */
+    std::string pipeviewPath;
+
+    /** Write per-interval CoreStats/MemStats deltas as JSON Lines
+     * here. Empty disables. */
+    std::string intervalStatsPath;
+
+    /** Snapshot period for intervalStatsPath, in cycles. */
+    Cycle intervalPeriod = 10'000;
+
+    /** Capture a forensic pipeline snapshot (sim/forensics.hh) the
+     * first time any core's deadlock watchdog fires. */
+    bool watchdogForensics = false;
+
+    /** Global progress window: if no core commits for this many
+     * cycles the run aborts with a forensic report (a deadlock the
+     * watchdog failed to break is always a simulator bug). Small
+     * values let deadlock tests trip the abort quickly. */
+    Cycle progressWindow = 2'000'000;
 
     /** Icelake-like preset: the paper's evaluated system (Table 1).
      * 352-entry ROB, 128/72 LQ/SQ, 48KB 12-way L1D. */

@@ -11,8 +11,8 @@ computeEnergy(const EnergyParams &p, const CoreStats &c,
     d += p.issueUop * static_cast<double>(c.issuedUops);
     d += p.commitUop * static_cast<double>(c.committedInsts);
     d += p.l1Access * static_cast<double>(m.l1Hits + m.l1Misses);
-    d += p.l2Access * static_cast<double>(m.l2Hits + m.l1Misses);
-    d += p.l3Access * static_cast<double>(m.l3Hits);
+    d += p.l2Access * static_cast<double>(m.l2Hits + m.l2Misses);
+    d += p.l3Access * static_cast<double>(m.l3Hits + m.l3Misses);
     d += p.memAccess * static_cast<double>(m.memAccesses);
     d += p.coherenceMsg * static_cast<double>(m.networkMsgs +
                                               m.invalidationsSent);

@@ -1,0 +1,123 @@
+#include "sim/forensics.hh"
+
+#include <sstream>
+
+#include "analysis/cfg.hh"
+#include "analysis/lock_cycle.hh"
+#include "core/atomic_queue.hh"
+#include "core/dyn_inst.hh"
+#include "isa/program.hh"
+#include "sim/system.hh"
+
+namespace fa::sim {
+
+namespace {
+
+void
+describeInst(std::ostream &os, const char *role,
+             const core::DynInst *inst)
+{
+    if (!inst) {
+        os << "    " << role << ": <empty>\n";
+        return;
+    }
+    os << "    " << role << ": seq=" << inst->seq << " pc=" << inst->pc
+       << " '" << isa::Program::disasm(inst->si) << "'"
+       << " issued=" << inst->issued << " completed=" << inst->completed
+       << " performed=" << inst->performed;
+    if (inst->addrValid)
+        os << " addr=0x" << std::hex << inst->addr << std::dec;
+    if (inst->waitingFill)
+        os << " waitingFill";
+    if (inst->inSb)
+        os << " inSb";
+    if (inst->lockHeld)
+        os << " lockHeld(line=0x" << std::hex << inst->line()
+           << std::dec << ")";
+    if (inst->fwdKind != core::FwdKind::kNone)
+        os << " fwdFrom=" << inst->fwdFromSeq << " chain="
+           << inst->fwdChain;
+    os << '\n';
+}
+
+} // namespace
+
+std::string
+stallSummary(const System &sys, Cycle now)
+{
+    std::ostringstream os;
+    bool first = true;
+    for (unsigned c = 0; c < sys.numCores(); ++c) {
+        const core::Core &core = sys.coreAt(c);
+        if (core.halted())
+            continue;
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "core " << c << " lastCommit=" << core.lastCommitCycle()
+           << " (" << (now - core.lastCommitCycle())
+           << " cycles ago)";
+    }
+    if (first)
+        os << "all cores halted";
+    return os.str();
+}
+
+std::string
+forensicReport(const System &sys, Cycle now, const std::string &reason)
+{
+    std::ostringstream os;
+    os << "=== forensic snapshot @ cycle " << now << ": " << reason
+       << " ===\n";
+    os << "machine=" << sys.config().name << " mode="
+       << core::atomicsModeName(sys.config().core.mode) << " cores="
+       << sys.numCores() << '\n';
+
+    for (unsigned c = 0; c < sys.numCores(); ++c) {
+        const core::Core &core = sys.coreAt(c);
+        os << "  core " << c << ": halted=" << core.halted()
+           << " lastCommit=" << core.lastCommitCycle() << " rob="
+           << core.robOccupancy() << " sb=" << core.sbOccupancy()
+           << '\n';
+        if (core.halted())
+            continue;
+        describeInst(os, "ROB head", core.robHead());
+        describeInst(os, "SQ head ", core.sqHead());
+        const core::AtomicQueue &aq = core.atomicQueue();
+        for (unsigned i = 0; i < aq.size(); ++i) {
+            const auto &e = aq.entry(static_cast<int>(i));
+            if (!e.valid)
+                continue;
+            os << "    AQ[" << i << "]: seq=" << e.seq
+               << (e.locked ? " LOCKED" : " unlocked");
+            if (e.locked)
+                os << " line=0x" << std::hex << e.line << std::dec;
+            if (e.sqId != kNoSeq)
+                os << " fwdFromSq=" << e.sqId;
+            os << '\n';
+        }
+    }
+
+    // Classify against the statically-predicted deadlock shapes so a
+    // wedge reads as "expected watchdog-recoverable inversion" or
+    // "shape the analysis did not predict" (a model bug).
+    analysis::LockCycleOptions opts;
+    opts.fwdChainCap = sys.config().core.fwdChainCap;
+    analysis::LockCycleResult cycles = analysis::analyzeLockCycles(
+        analysis::summarizePrograms(sys.programs()), opts);
+    if (cycles.deadlocks.empty() && cycles.chains.empty()) {
+        os << "  lock-cycle analysis: no deadlock shape predicted for "
+              "these programs - this wedge is likely a simulator bug\n";
+    } else {
+        os << "  lock-cycle analysis: " << cycles.deadlocks.size()
+           << " predicted inversion(s), " << cycles.chains.size()
+           << " forwarding-chain site(s)\n";
+        for (const auto &d : cycles.deadlocks)
+            os << "    " << d.describe() << '\n';
+        for (const auto &ch : cycles.chains)
+            os << "    " << ch.describe(opts.fwdChainCap) << '\n';
+    }
+    return os.str();
+}
+
+} // namespace fa::sim

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Deadlock/stall forensics. When the watchdog fires or the System's
+ * global progress window trips, the interesting state — which atomic
+ * holds which cacheline lock, what each ROB/SB head is waiting on —
+ * is gone by the time the failure string reaches a human. This
+ * module captures it at the moment of the event: a structured
+ * per-core snapshot (ROB/LSQ heads, SB occupancy, AQ entries with
+ * locked lines) plus a classification of the wedge against the
+ * statically-predicted deadlock shapes from analysis/lock_cycle
+ * (RMW-RMW / Store-RMW / Load-RMW, paper Figures 5-7).
+ */
+
+#ifndef FA_SIM_FORENSICS_HH
+#define FA_SIM_FORENSICS_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace fa::sim {
+
+class System;
+
+/**
+ * Build a human-readable forensic report of the system's pipeline
+ * state. Read-only; safe to call mid-cycle from the watchdog hook.
+ *
+ * @param sys    the wedged (or recovering) system
+ * @param now    cycle of the triggering event
+ * @param reason one-line cause ("watchdog fired on core 2", ...)
+ */
+std::string forensicReport(const System &sys, Cycle now,
+                           const std::string &reason);
+
+/** One-line per-core stall summary ("core 0 lastCommit=…", …) for
+ * embedding in RunOutcome::failure. */
+std::string stallSummary(const System &sys, Cycle now);
+
+} // namespace fa::sim
+
+#endif // FA_SIM_FORENSICS_HH

@@ -1,0 +1,78 @@
+#include "sim/interval_stats.hh"
+
+#include <utility>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/log.hh"
+
+namespace fa::sim {
+
+namespace {
+
+/** Flatten a stats struct into (name, value) pairs via forEach. */
+template <typename Stats>
+std::vector<std::pair<std::string, std::uint64_t>>
+flatten(const Stats &s)
+{
+    std::vector<std::pair<std::string, std::uint64_t>> fields;
+    s.forEach([&](const std::string &name, std::uint64_t v) {
+        fields.emplace_back(name, v);
+    });
+    return fields;
+}
+
+/** Emit {"name": cur - prev, ...} for one stats struct. */
+template <typename Stats>
+void
+writeDelta(JsonWriter &jw, const Stats &cur, const Stats &prev)
+{
+    auto cur_f = flatten(cur);
+    auto prev_f = flatten(prev);
+    jw.beginObject();
+    for (size_t i = 0; i < cur_f.size(); ++i)
+        jw.key(cur_f[i].first).value(cur_f[i].second - prev_f[i].second);
+    jw.endObject();
+}
+
+} // namespace
+
+IntervalStatsWriter::IntervalStatsWriter(std::ostream &os, Cycle period)
+    : out(os), periodCycles(period)
+{
+    if (period == 0)
+        fatal("interval-stats period must be positive");
+}
+
+void
+IntervalStatsWriter::snapshot(Cycle now, const CoreStats &core,
+                              const MemStats &mem)
+{
+    JsonWriter jw(out);
+    jw.beginObject();
+    jw.key("interval").value(count);
+    jw.key("cycle").value(std::uint64_t{now});
+    jw.key("cycles").value(std::uint64_t{now - prevCycle});
+    jw.key("core");
+    writeDelta(jw, core, prevCore);
+    jw.key("mem");
+    writeDelta(jw, mem, prevMem);
+    jw.endObject();
+    out << '\n';
+
+    prevCycle = now;
+    prevCore = core;
+    prevMem = mem;
+    ++count;
+}
+
+void
+IntervalStatsWriter::finish(Cycle now, const CoreStats &core,
+                            const MemStats &mem)
+{
+    if (now > prevCycle)
+        snapshot(now, core, mem);
+    out.flush();
+}
+
+} // namespace fa::sim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Interval statistics: periodic snapshots of CoreStats/MemStats
+ * *deltas* written as JSON Lines, one object per interval. Turns the
+ * end-of-run aggregate counters into a time series — where in a run
+ * the SB-drain stalls cluster, when the watchdog fires, how miss
+ * rates evolve as working sets warm up.
+ *
+ * Each line has the shape
+ *
+ *   {"interval":3,"cycle":4000,"cycles":1000,
+ *    "core":{"committedInsts":812,...},"mem":{"l1Hits":241,...}}
+ *
+ * where "cycle" is the snapshot cycle, "cycles" the interval length,
+ * and every counter is the increment since the previous snapshot.
+ * A final partial interval is flushed when the run ends.
+ */
+
+#ifndef FA_SIM_INTERVAL_STATS_HH
+#define FA_SIM_INTERVAL_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fa::sim {
+
+class IntervalStatsWriter
+{
+  public:
+    /**
+     * @param os     destination stream (JSONL; one snapshot per line)
+     * @param period snapshot every this many cycles (must be > 0)
+     */
+    IntervalStatsWriter(std::ostream &os, Cycle period);
+
+    /** Is `now` an interval boundary? (System's cheap per-cycle gate) */
+    bool due(Cycle now) const { return now % periodCycles == 0; }
+
+    /**
+     * Emit one snapshot line: the delta of `core`/`mem` against the
+     * previous snapshot. Caller passes current *cumulative* totals.
+     */
+    void snapshot(Cycle now, const CoreStats &core, const MemStats &mem);
+
+    /** Flush a final partial interval (no-op when already aligned). */
+    void finish(Cycle now, const CoreStats &core, const MemStats &mem);
+
+    std::uint64_t snapshotsWritten() const { return count; }
+    Cycle period() const { return periodCycles; }
+
+  private:
+    std::ostream &out;
+    Cycle periodCycles;
+    Cycle prevCycle = 0;
+    CoreStats prevCore;
+    MemStats prevMem;
+    std::uint64_t count = 0;
+};
+
+} // namespace fa::sim
+
+#endif // FA_SIM_INTERVAL_STATS_HH

@@ -1,6 +1,7 @@
 #include "sim/runner.hh"
 
 #include "analysis/tso_checker.hh"
+#include "common/json.hh"
 
 namespace fa::sim {
 
@@ -92,24 +93,141 @@ RunResult::lockLocalityFwdRatio() const
             static_cast<double>(core.committedAtomics);
 }
 
-RunResult
-runPrograms(MachineConfig machine, core::AtomicsMode mode,
-            const std::vector<isa::Program> &progs, const MemInit &init,
-            std::uint64_t seed, Cycle max_cycles)
+double
+RunResult::l1MissRate() const
 {
-    machine.core.mode = mode;
-    machine.cores = static_cast<unsigned>(progs.size());
-    System system(machine, progs, seed);
-    system.initMemory(init);
-    RunOutcome outcome = system.run(max_cycles);
+    return mem.l1Hits + mem.l1Misses == 0 ? 0.0
+        : static_cast<double>(mem.l1Misses) /
+            static_cast<double>(mem.l1Hits + mem.l1Misses);
+}
 
+double
+RunResult::l2MissRate() const
+{
+    return mem.l2Hits + mem.l2Misses == 0 ? 0.0
+        : static_cast<double>(mem.l2Misses) /
+            static_cast<double>(mem.l2Hits + mem.l2Misses);
+}
+
+double
+RunResult::l3MissRate() const
+{
+    return mem.l3Hits + mem.l3Misses == 0 ? 0.0
+        : static_cast<double>(mem.l3Misses) /
+            static_cast<double>(mem.l3Hits + mem.l3Misses);
+}
+
+namespace {
+
+void
+writeHistogram(JsonWriter &jw, const Histogram &h)
+{
+    jw.beginObject();
+    jw.key("count").value(h.count());
+    jw.key("sum").value(h.sum());
+    jw.key("min").value(h.count() ? h.min() : 0);
+    jw.key("max").value(h.count() ? h.max() : 0);
+    jw.key("mean").value(h.mean());
+    jw.key("p50").value(h.p50());
+    jw.key("p90").value(h.p90());
+    jw.key("p99").value(h.p99());
+    jw.key("buckets").beginArray();
+    h.forEachBucket([&](std::uint64_t lo, std::uint64_t hi,
+                        std::uint64_t n) {
+        jw.beginArray();
+        jw.value(lo).value(hi).value(n);
+        jw.endArray();
+    });
+    jw.endArray();
+    jw.endObject();
+}
+
+} // namespace
+
+void
+RunResult::toJson(std::ostream &os) const
+{
+    JsonWriter jw(os);
+    jw.beginObject();
+    jw.key("schema").value("fa-run-result-v1");
+    jw.key("machine").value(machineName);
+    jw.key("mode").value(modeName);
+    jw.key("cores").value(cores);
+    jw.key("finished").value(finished);
+    jw.key("cycles").value(std::uint64_t{cycles});
+    jw.key("failure").value(failure);
+
+    jw.key("core").beginObject();
+    core.forEach([&](const std::string &name, std::uint64_t v) {
+        jw.key(name).value(v);
+    });
+    jw.endObject();
+
+    jw.key("mem").beginObject();
+    mem.forEach([&](const std::string &name, std::uint64_t v) {
+        jw.key(name).value(v);
+    });
+    jw.endObject();
+
+    jw.key("hists").beginObject();
+    hists.forEach([&](const std::string &name, const Histogram &h) {
+        jw.key(name);
+        writeHistogram(jw, h);
+    });
+    jw.endObject();
+
+    jw.key("energy").beginObject();
+    jw.key("dynamicPj").value(energy.dynamicPj);
+    jw.key("staticPj").value(energy.staticPj);
+    jw.key("totalPj").value(energy.total());
+    jw.endObject();
+
+    jw.key("derived").beginObject();
+    jw.key("apki").value(apki());
+    jw.key("avgAtomicCost").value(avgAtomicCost());
+    jw.key("avgDrainSbCycles").value(avgDrainSbCycles());
+    jw.key("avgAtomicCycles").value(avgAtomicCycles());
+    jw.key("omittedFencePct").value(omittedFencePct());
+    jw.key("mdvPctOfSquashes").value(mdvPctOfSquashes());
+    jw.key("fwdByAtomicPct").value(fwdByAtomicPct());
+    jw.key("fwdByStorePct").value(fwdByStorePct());
+    jw.key("lockLocalityRatio").value(lockLocalityRatio());
+    jw.key("lockLocalityFwdRatio").value(lockLocalityFwdRatio());
+    jw.key("l1MissRate").value(l1MissRate());
+    jw.key("l2MissRate").value(l2MissRate());
+    jw.key("l3MissRate").value(l3MissRate());
+    jw.endObject();
+
+    jw.key("slowestThread").beginObject();
+    jw.key("activeCycles").value(std::uint64_t{slowestActiveCycles});
+    jw.key("sleepCycles").value(std::uint64_t{slowestSleepCycles});
+    jw.endObject();
+
+    jw.key("tso").beginObject();
+    jw.key("checked").value(tsoChecked);
+    jw.key("eventsChecked").value(std::uint64_t{tsoEventsChecked});
+    jw.key("error").value(tsoError);
+    jw.endObject();
+
+    jw.key("forensics").value(forensics);
+    jw.endObject();
+}
+
+RunResult
+collectRunResult(System &system, const RunOutcome &outcome)
+{
     RunResult res;
     res.finished = outcome.finished;
     res.failure = outcome.failure;
     res.cycles = outcome.cycles;
+    res.machineName = system.config().name;
+    res.modeName = core::atomicsModeIdent(system.config().core.mode);
+    res.cores = system.numCores();
     res.core = system.coreTotals();
     res.mem = system.mem().stats;
+    res.hists = system.histTotals();
     res.energy = computeEnergy(EnergyParams{}, res.core, res.mem);
+    res.forensics = outcome.forensics;
 
     if (system.trace()) {
         analysis::TsoCheckResult tso = analysis::checkTso(*system.trace());
@@ -132,6 +250,19 @@ runPrograms(MachineConfig machine, core::AtomicsMode mode,
         }
     }
     return res;
+}
+
+RunResult
+runPrograms(MachineConfig machine, core::AtomicsMode mode,
+            const std::vector<isa::Program> &progs, const MemInit &init,
+            std::uint64_t seed, Cycle max_cycles)
+{
+    machine.core.mode = mode;
+    machine.cores = static_cast<unsigned>(progs.size());
+    System system(machine, progs, seed);
+    system.initMemory(init);
+    RunOutcome outcome = system.run(max_cycles);
+    return collectRunResult(system, outcome);
 }
 
 } // namespace fa::sim

@@ -7,9 +7,11 @@
 #ifndef FA_SIM_RUNNER_HH
 #define FA_SIM_RUNNER_HH
 
+#include <ostream>
 #include <string>
 #include <vector>
 
+#include "common/histogram.hh"
 #include "common/stats.hh"
 #include "core/core_config.hh"
 #include "isa/program.hh"
@@ -26,8 +28,14 @@ struct RunResult
     std::string failure;
     Cycle cycles = 0;
 
+    /** Identity of the run (telemetry; filled by collectRunResult). */
+    std::string machineName;
+    std::string modeName;
+    unsigned cores = 0;
+
     CoreStats core;            ///< summed over all cores
     MemStats mem;
+    LatencyHists hists;        ///< merged over all cores
     EnergyBreakdown energy;
 
     /** Active/sleep split of the slowest thread (Figure 14 bars). */
@@ -41,6 +49,9 @@ struct RunResult
     std::size_t tsoEventsChecked = 0;
     bool tsoOk() const { return tsoError.empty(); }
 
+    /** Forensic snapshot from the run, when one was captured. */
+    std::string forensics;
+
     // --- derived metrics ---------------------------------------------------
     double apki() const;               ///< atomics per kilo-instruction
     double avgAtomicCost() const;      ///< Fig 1: (drain+post)/atomic
@@ -52,7 +63,24 @@ struct RunResult
     double fwdByStorePct() const;      ///< Table 2 column 6 (FbS)
     double lockLocalityRatio() const;  ///< Fig 13
     double lockLocalityFwdRatio() const;  ///< Fig 13 forwarded share
+    double l1MissRate() const;         ///< l1Misses / L1 lookups
+    double l2MissRate() const;         ///< l2Misses / L2 lookups
+    double l3MissRate() const;         ///< l3Misses / L3 lookups
+
+    /**
+     * Serialize the full result — identity, counters, histograms,
+     * derived metrics — as one JSON document (schema
+     * "fa-run-result-v1"; tools/fastats reads it back).
+     */
+    void toJson(std::ostream &os) const;
 };
+
+/**
+ * Collect a RunResult from a finished System: counter totals,
+ * histograms, energy, the TSO check when a trace was recorded, and
+ * the slowest-thread split. Shared by runPrograms and runWorkload.
+ */
+RunResult collectRunResult(System &system, const RunOutcome &outcome);
 
 /**
  * Build and run a system.

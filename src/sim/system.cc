@@ -2,12 +2,13 @@
 
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "sim/forensics.hh"
 
 namespace fa::sim {
 
 System::System(const MachineConfig &config,
                const std::vector<isa::Program> &progs, std::uint64_t seed)
-    : cfg(config)
+    : cfg(config), programsVec(progs)
 {
     if (progs.size() != cfg.cores)
         fatal("system has %u cores but %zu programs", cfg.cores,
@@ -15,11 +16,47 @@ System::System(const MachineConfig &config,
     memSys = std::make_unique<mem::MemSystem>(cfg.mem, cfg.cores);
     if (cfg.recordMemTrace)
         tracer = std::make_unique<analysis::TraceRecorder>();
+    if (!cfg.pipeviewPath.empty()) {
+        pipeviewFile = std::make_unique<std::ofstream>(cfg.pipeviewPath);
+        if (!*pipeviewFile)
+            fatal("cannot open pipeview file '%s'",
+                  cfg.pipeviewPath.c_str());
+        ownPipeview =
+            std::make_unique<core::PipeViewRecorder>(*pipeviewFile);
+    }
+    if (!cfg.intervalStatsPath.empty()) {
+        intervalFile =
+            std::make_unique<std::ofstream>(cfg.intervalStatsPath);
+        if (!*intervalFile)
+            fatal("cannot open interval-stats file '%s'",
+                  cfg.intervalStatsPath.c_str());
+        ownIntervalStats = std::make_unique<IntervalStatsWriter>(
+            *intervalFile, cfg.intervalPeriod);
+        intervalStats = ownIntervalStats.get();
+    }
     cores.reserve(cfg.cores);
     for (unsigned c = 0; c < cfg.cores; ++c) {
         cores.push_back(std::make_unique<core::Core>(
             c, cfg.core, progs[c], memSys.get(), mix64(seed, c + 1)));
         cores.back()->attachTracer(tracer.get());
+        cores.back()->attachPipeView(ownPipeview.get());
+        if (cfg.watchdogForensics) {
+            // Capture pipeline state at the first firing only: the
+            // watchdog can fire thousands of times in a legitimately
+            // contended run, and the first wedge is the informative
+            // one.
+            core::Core *self = cores.back().get();
+            cores.back()->setWatchdogHook(
+                [this, self](SeqNum victim, Cycle at) {
+                    if (!lastForensics.empty())
+                        return;
+                    lastForensics = forensicReport(
+                        *this, at,
+                        "watchdog fired on core " +
+                            std::to_string(self->id()) + " (victim seq " +
+                            std::to_string(victim) + ")");
+                });
+        }
     }
 }
 
@@ -40,12 +77,27 @@ System::allHalted() const
 }
 
 void
+System::attachPipeView(core::PipeViewRecorder *pv)
+{
+    for (auto &c : cores)
+        c->attachPipeView(pv);
+}
+
+void
+System::maybeSnapshotInterval()
+{
+    if (intervalStats && now != 0 && intervalStats->due(now))
+        intervalStats->snapshot(now, coreTotals(), memSys->stats);
+}
+
+void
 System::stepCycle()
 {
     memSys->tick(now);
     for (auto &c : cores)
         c->tick(now);
     ++now;
+    maybeSnapshotInterval();
 }
 
 RunOutcome
@@ -58,6 +110,9 @@ System::run(Cycle max_cycles)
         if (allHalted()) {
             out.finished = true;
             out.cycles = now;
+            if (intervalStats)
+                intervalStats->finish(now, coreTotals(), memSys->stats);
+            out.forensics = lastForensics;
             return out;
         }
         // Global progress check: some core must commit within the
@@ -67,15 +122,28 @@ System::run(Cycle max_cycles)
                 last_progress = std::max(last_progress,
                                          c->lastCommitCycle());
         }
-        if (now - last_progress > kProgressWindow) {
+        if (now - last_progress > cfg.progressWindow) {
             out.cycles = now;
             out.failure = "no core committed for " +
-                std::to_string(kProgressWindow) + " cycles";
+                std::to_string(cfg.progressWindow) +
+                " cycles (stalled: " + stallSummary(*this, now) + ")";
+            // The abort is always a simulator bug (the watchdog
+            // should have broken any deadlock), so capture the wedge
+            // unconditionally.
+            lastForensics =
+                forensicReport(*this, now, "global progress window "
+                                           "tripped: " + out.failure);
+            out.forensics = lastForensics;
+            if (intervalStats)
+                intervalStats->finish(now, coreTotals(), memSys->stats);
             return out;
         }
     }
     out.cycles = now;
     out.failure = "cycle limit reached";
+    out.forensics = lastForensics;
+    if (intervalStats)
+        intervalStats->finish(now, coreTotals(), memSys->stats);
     return out;
 }
 
@@ -85,6 +153,15 @@ System::coreTotals() const
     CoreStats total;
     for (const auto &c : cores)
         total.add(c->stats);
+    return total;
+}
+
+LatencyHists
+System::histTotals() const
+{
+    LatencyHists total;
+    for (const auto &c : cores)
+        total.merge(c->hists);
     return total;
 }
 

@@ -7,18 +7,22 @@
 #ifndef FA_SIM_SYSTEM_HH
 #define FA_SIM_SYSTEM_HH
 
+#include <fstream>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "analysis/trace.hh"
+#include "common/histogram.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "core/core.hh"
+#include "core/pipeview.hh"
 #include "isa/program.hh"
 #include "mem/mem_system.hh"
 #include "sim/config.hh"
+#include "sim/interval_stats.hh"
 
 namespace fa::sim {
 
@@ -31,6 +35,10 @@ struct RunOutcome
     bool finished = false;   ///< all threads halted
     Cycle cycles = 0;
     std::string failure;     ///< set when finished is false
+    /** Pipeline-state forensic report (sim/forensics.hh) captured at
+     * the no-progress abort, or at the first watchdog firing when
+     * cfg.watchdogForensics is set. Empty otherwise. */
+    std::string forensics;
 };
 
 class System
@@ -76,20 +84,57 @@ class System
     /** Core statistics summed over all cores. */
     CoreStats coreTotals() const;
 
+    /** Latency histograms merged over all cores. */
+    LatencyHists histTotals() const;
+
     const MachineConfig &config() const { return cfg; }
+
+    /** The programs the cores execute (forensics classification). */
+    const std::vector<isa::Program> &programs() const
+    {
+        return programsVec;
+    }
 
     /** The memory-event trace, when cfg.recordMemTrace is set
      * (nullptr otherwise). */
     const analysis::TraceRecorder *trace() const { return tracer.get(); }
 
+    // --- observability ----------------------------------------------------
+
+    /** Attach an external pipeline recorder to every core (tests;
+     * overrides cfg.pipeviewPath). Null detaches. */
+    void attachPipeView(core::PipeViewRecorder *pv);
+
+    /** Attach an external interval-stats writer (tests; overrides
+     * cfg.intervalStatsPath). Null detaches. The System snapshots it
+     * at every period boundary; call finish() yourself when driving
+     * stepCycle() directly. */
+    void attachIntervalStats(IntervalStatsWriter *w)
+    {
+        intervalStats = w;
+    }
+
+    /** Forensic report captured during run(); empty when none. */
+    const std::string &forensics() const { return lastForensics; }
+
   private:
+    void maybeSnapshotInterval();
+
     MachineConfig cfg;
+    std::vector<isa::Program> programsVec;
     std::unique_ptr<mem::MemSystem> memSys;
     std::unique_ptr<analysis::TraceRecorder> tracer;
     std::vector<std::unique_ptr<core::Core>> cores;
     Cycle now = 0;
 
-    static constexpr Cycle kProgressWindow = 2'000'000;
+    // Owned observability sinks (cfg.pipeviewPath / intervalStatsPath).
+    std::unique_ptr<std::ofstream> pipeviewFile;
+    std::unique_ptr<core::PipeViewRecorder> ownPipeview;
+    std::unique_ptr<std::ofstream> intervalFile;
+    std::unique_ptr<IntervalStatsWriter> ownIntervalStats;
+    IntervalStatsWriter *intervalStats = nullptr;
+
+    std::string lastForensics;
 };
 
 } // namespace fa::sim

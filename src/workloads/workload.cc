@@ -1,6 +1,5 @@
 #include "workloads/workload.hh"
 
-#include "analysis/tso_checker.hh"
 #include "common/log.hh"
 #include "workloads/suites.hh"
 
@@ -74,33 +73,10 @@ runWorkload(const Workload &w, sim::MachineConfig machine,
         system.initMemory(w.init(num_threads, scale));
     sim::RunOutcome outcome = system.run(max_cycles);
 
-    sim::RunResult res;
-    res.finished = outcome.finished;
-    res.failure = outcome.failure;
-    res.cycles = outcome.cycles;
-    res.core = system.coreTotals();
-    res.mem = system.mem().stats;
-    res.energy = computeEnergy(sim::EnergyParams{}, res.core, res.mem);
-    for (unsigned c = 0; c < system.numCores(); ++c) {
-        const CoreStats &cs = system.coreAt(c).stats;
-        if (cs.activeCycles >= res.slowestActiveCycles) {
-            res.slowestActiveCycles = cs.activeCycles;
-            res.slowestSleepCycles = cs.haltedCycles;
-        }
-    }
-    if (system.trace()) {
-        analysis::TsoCheckResult tso =
-            analysis::checkTso(*system.trace());
-        res.tsoChecked = true;
-        res.tsoEventsChecked = tso.eventsChecked;
-        if (!tso.ok) {
-            res.tsoError = tso.error;
-            res.finished = false;
-            if (res.failure.empty())
-                res.failure = "tso check failed (" + w.name + "): " +
-                    tso.error;
-        }
-    }
+    sim::RunResult res = sim::collectRunResult(system, outcome);
+    if (!res.tsoOk())
+        res.failure = "tso check failed (" + w.name + "): " +
+            res.tsoError;
     if (res.finished && w.verify) {
         std::string err = w.verify(system, num_threads, scale);
         if (!err.empty()) {

@@ -7,8 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <set>
 #include <sstream>
 
+#include "common/histogram.hh"
+#include "common/json.hh"
 #include "common/log.hh"
 #include "common/mem_image.hh"
 #include "common/rng.hh"
@@ -199,6 +203,274 @@ TEST(Stats, MemAddAndVisit)
     unsigned fields = 0;
     a.forEach([&](const std::string &, std::uint64_t) { ++fields; });
     EXPECT_GE(fields, 10u);
+}
+
+// Both stats structs are plain uint64 fields, so filling every byte
+// with 0x01 and add()ing a second such struct must leave every byte
+// 0x02 — any field someone forgot to list in add() stays 0x01. The
+// forEach checks play the same trick: each visited field must carry
+// the pattern, and visitedFields * 8 must equal sizeof(struct), so a
+// new counter cannot be added without extending both visitors.
+template <typename Stats>
+void
+checkAddCoversEveryByte()
+{
+    Stats a;
+    Stats b;
+    std::memset(&a, 0x01, sizeof a);
+    std::memset(&b, 0x01, sizeof b);
+    a.add(b);
+    const auto *bytes = reinterpret_cast<const unsigned char *>(&a);
+    for (size_t i = 0; i < sizeof a; ++i)
+        ASSERT_EQ(bytes[i], 0x02)
+            << "byte " << i << " not summed: a field is missing from "
+            << "add()";
+}
+
+template <typename Stats>
+void
+checkForEachCoversEveryField()
+{
+    Stats a;
+    std::memset(&a, 0x01, sizeof a);
+    constexpr std::uint64_t kPattern = 0x0101010101010101ull;
+    unsigned fields = 0;
+    std::set<std::string> names;
+    a.forEach([&](const std::string &name, std::uint64_t v) {
+        EXPECT_EQ(v, kPattern) << "field '" << name
+                               << "' does not read its own storage";
+        names.insert(name);
+        ++fields;
+    });
+    EXPECT_EQ(fields * sizeof(std::uint64_t), sizeof(Stats))
+        << "forEach() visits " << fields << " fields but the struct "
+        << "holds " << sizeof(Stats) / sizeof(std::uint64_t);
+    EXPECT_EQ(names.size(), fields) << "duplicate counter names";
+}
+
+TEST(Stats, CoreAddCoversEveryField)
+{
+    checkAddCoversEveryByte<CoreStats>();
+}
+
+TEST(Stats, CoreForEachCoversEveryField)
+{
+    checkForEachCoversEveryField<CoreStats>();
+}
+
+TEST(Stats, MemAddCoversEveryField)
+{
+    checkAddCoversEveryByte<MemStats>();
+}
+
+TEST(Stats, MemForEachCoversEveryField)
+{
+    checkForEachCoversEveryField<MemStats>();
+}
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.p50(), 0.0);
+    EXPECT_EQ(h.p99(), 0.0);
+}
+
+TEST(Histogram, BucketBoundaries)
+{
+    EXPECT_EQ(Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Histogram::bucketOf(7), 3u);
+    EXPECT_EQ(Histogram::bucketOf(8), 4u);
+    EXPECT_EQ(Histogram::bucketOf(~std::uint64_t{0}), 64u);
+    for (unsigned b = 1; b < Histogram::kBuckets; ++b) {
+        // Every bucket's bounds contain exactly its own values.
+        EXPECT_EQ(Histogram::bucketOf(Histogram::bucketLo(b)), b);
+        EXPECT_EQ(Histogram::bucketOf(Histogram::bucketHi(b) - 1), b);
+    }
+}
+
+TEST(Histogram, RecordAggregates)
+{
+    Histogram h;
+    h.record(0);
+    h.record(1);
+    h.record(5);
+    h.record(100);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 106u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 100u);
+    EXPECT_DOUBLE_EQ(h.mean(), 106.0 / 4.0);
+
+    std::uint64_t buckets = 0;
+    std::uint64_t total = 0;
+    h.forEachBucket([&](std::uint64_t lo, std::uint64_t hi,
+                        std::uint64_t cnt) {
+        EXPECT_LT(lo, hi);
+        ++buckets;
+        total += cnt;
+    });
+    EXPECT_EQ(buckets, 4u);  // 0, 1, [4,8), [64,128)
+    EXPECT_EQ(total, 4u);
+}
+
+TEST(Histogram, DegenerateDistributionExactPercentiles)
+{
+    Histogram h;
+    for (int i = 0; i < 1000; ++i)
+        h.record(7);
+    EXPECT_DOUBLE_EQ(h.p50(), 7.0);
+    EXPECT_DOUBLE_EQ(h.p90(), 7.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 7.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 7.0);
+}
+
+TEST(Histogram, PercentilesOrderedAndBounded)
+{
+    Histogram h;
+    for (std::uint64_t v = 0; v < 1024; ++v)
+        h.record(v);
+    double p50 = h.p50();
+    double p90 = h.p90();
+    double p99 = h.p99();
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_GE(p50, static_cast<double>(h.min()));
+    EXPECT_LE(p99, static_cast<double>(h.max()));
+    // Log2 buckets: the answer is within the covering octave.
+    EXPECT_GE(p50, 256.0);
+    EXPECT_LE(p50, 1024.0);
+    EXPECT_GE(p99, 512.0);
+}
+
+TEST(Histogram, MergeMatchesInterleavedRecording)
+{
+    Histogram a;
+    Histogram b;
+    Histogram both;
+    for (std::uint64_t v : {3u, 9u, 27u, 81u}) {
+        a.record(v);
+        both.record(v);
+    }
+    for (std::uint64_t v : {1u, 2u, 243u}) {
+        b.record(v);
+        both.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), both.count());
+    EXPECT_EQ(a.sum(), both.sum());
+    EXPECT_EQ(a.min(), both.min());
+    EXPECT_EQ(a.max(), both.max());
+    EXPECT_DOUBLE_EQ(a.p50(), both.p50());
+    EXPECT_DOUBLE_EQ(a.p99(), both.p99());
+}
+
+TEST(Histogram, MergeIntoEmptyPreservesMin)
+{
+    Histogram a;
+    Histogram b;
+    b.record(5);
+    a.merge(b);
+    EXPECT_EQ(a.min(), 5u);
+    EXPECT_EQ(a.max(), 5u);
+    a.merge(Histogram{});  // merging an empty histogram is a no-op
+    EXPECT_EQ(a.min(), 5u);
+    EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(LatencyHists, ForEachVisitsAllFour)
+{
+    LatencyHists h;
+    h.atomicLatency.record(1);
+    h.fwdChain.record(2);
+    std::set<std::string> names;
+    h.forEach([&](const std::string &name, const Histogram &) {
+        names.insert(name);
+    });
+    EXPECT_EQ(names, (std::set<std::string>{
+                         "atomicLatency", "sbDrain", "lockHold",
+                         "fwdChain"}));
+}
+
+TEST(Json, WriterBasics)
+{
+    std::ostringstream os;
+    JsonWriter jw(os);
+    jw.beginObject();
+    jw.key("s").value("a\"b\n");
+    jw.key("u").value(std::uint64_t{42});
+    jw.key("i").value(std::int64_t{-3});
+    jw.key("d").value(1.5);
+    jw.key("t").value(true);
+    jw.key("n").null();
+    jw.key("arr").beginArray().value(1).value(2).endArray();
+    jw.key("obj").beginObject().key("x").value(0).endObject();
+    jw.endObject();
+    EXPECT_EQ(os.str(),
+              "{\"s\":\"a\\\"b\\n\",\"u\":42,\"i\":-3,\"d\":1.5,"
+              "\"t\":true,\"n\":null,\"arr\":[1,2],\"obj\":{\"x\":0}}");
+}
+
+TEST(Json, ParseRoundTrip)
+{
+    std::ostringstream os;
+    JsonWriter jw(os);
+    jw.beginObject();
+    jw.key("name").value("dekker");
+    jw.key("cycles").value(std::uint64_t{4510});
+    jw.key("rate").value(0.875);
+    jw.key("ok").value(true);
+    jw.key("buckets").beginArray();
+    jw.beginArray().value(0).value(1).value(5).endArray();
+    jw.endArray();
+    jw.endObject();
+
+    JsonValue v = JsonValue::parse(os.str());
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.at("name").str, "dekker");
+    EXPECT_EQ(v.at("cycles").asU64(), 4510u);
+    EXPECT_DOUBLE_EQ(v.at("rate").number, 0.875);
+    EXPECT_TRUE(v.at("ok").boolean);
+    ASSERT_TRUE(v.at("buckets").isArray());
+    ASSERT_EQ(v.at("buckets").arr.size(), 1u);
+    EXPECT_EQ(v.at("buckets").arr[0].arr[2].asU64(), 5u);
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, ParseStringEscapes)
+{
+    JsonValue v = JsonValue::parse(
+        "{\"s\": \"a\\n\\t\\\"\\\\\\u0041\"}");
+    EXPECT_EQ(v.at("s").str, "a\n\t\"\\A");
+}
+
+TEST(Json, ParseErrors)
+{
+    EXPECT_THROW(JsonValue::parse(""), FatalError);
+    EXPECT_THROW(JsonValue::parse("{"), FatalError);
+    EXPECT_THROW(JsonValue::parse("{} trailing"), FatalError);
+    EXPECT_THROW(JsonValue::parse("{\"a\":}"), FatalError);
+    EXPECT_THROW(JsonValue::parse("[1,]"), FatalError);
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull)
+{
+    std::ostringstream os;
+    JsonWriter jw(os);
+    jw.beginArray();
+    jw.value(std::numeric_limits<double>::infinity());
+    jw.value(std::numeric_limits<double>::quiet_NaN());
+    jw.endArray();
+    EXPECT_EQ(os.str(), "[null,null]");
 }
 
 } // namespace

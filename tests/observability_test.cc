@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Observability-layer tests: the O3PipeView lifecycle trace must be
+ * structurally valid (monotone stage timestamps, complete stage
+ * coverage for committed instructions, lock releases on squashed
+ * atomics), the interval-stats deltas must sum back to the run
+ * totals, RunResult::toJson must round-trip through the JSON parser,
+ * forensic snapshots must fire on watchdog/progress-window events —
+ * and none of it may perturb simulated time when enabled.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "freeatomics/freeatomics.hh"
+
+namespace fa {
+namespace {
+
+using core::AtomicsMode;
+
+/** One parsed O3PipeView record block plus its FAView annotations. */
+struct PipeRecord
+{
+    std::uint64_t fetch = 0;
+    std::uint64_t decode = 0;
+    std::uint64_t rename = 0;
+    std::uint64_t dispatch = 0;
+    std::uint64_t issue = 0;
+    std::uint64_t complete = 0;
+    std::uint64_t retire = 0;
+    std::uint64_t store = 0;
+    std::string disasm;
+    bool squashedMark = false;
+    bool lockAcquire = false;
+    bool lockRelease = false;
+    bool fwd = false;
+};
+
+std::vector<std::string>
+splitColons(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        auto colon = line.find(':', start);
+        if (colon == std::string::npos) {
+            out.push_back(line.substr(start));
+            return out;
+        }
+        out.push_back(line.substr(start, colon - start));
+        start = colon + 1;
+    }
+}
+
+std::vector<PipeRecord>
+parseTrace(const std::string &text)
+{
+    std::vector<PipeRecord> records;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        auto f = splitColons(line);
+        if (f[0] == "O3PipeView") {
+            if (f[1] == "fetch") {
+                PipeRecord r;
+                r.fetch = std::stoull(f[2]);
+                r.disasm = f.size() > 6 ? f[6] : "";
+                records.push_back(r);
+                continue;
+            }
+            if (records.empty())
+                ADD_FAILURE() << "stage line before any fetch: " << line;
+            PipeRecord &r = records.back();
+            std::uint64_t t = std::stoull(f[2]);
+            if (f[1] == "decode")
+                r.decode = t;
+            else if (f[1] == "rename")
+                r.rename = t;
+            else if (f[1] == "dispatch")
+                r.dispatch = t;
+            else if (f[1] == "issue")
+                r.issue = t;
+            else if (f[1] == "complete")
+                r.complete = t;
+            else if (f[1] == "retire") {
+                r.retire = t;
+                EXPECT_EQ(f[3], "store") << line;
+                r.store = std::stoull(f[4]);
+            } else {
+                ADD_FAILURE() << "unknown O3PipeView stage: " << line;
+            }
+        } else if (f[0] == "FAView") {
+            if (records.empty()) {
+                ADD_FAILURE() << "FAView line before any fetch: "
+                              << line;
+                continue;
+            }
+            PipeRecord &r = records.back();
+            if (f[1] == "lock_acquire")
+                r.lockAcquire = true;
+            else if (f[1] == "lock_release")
+                r.lockRelease = true;
+            else if (f[1] == "fwd")
+                r.fwd = true;
+            else if (f[1] == "squashed")
+                r.squashedMark = true;
+            else
+                ADD_FAILURE() << "unknown FAView event: " << line;
+        } else {
+            ADD_FAILURE() << "unknown trace line: " << line;
+        }
+    }
+    return records;
+}
+
+/** Build a System for a named workload, ready to run. */
+sim::System
+makeSystem(const std::string &workload, sim::MachineConfig m,
+           AtomicsMode mode, unsigned threads, double scale,
+           std::uint64_t seed)
+{
+    const auto *w = wl::findWorkload(workload);
+    if (!w)
+        fatal("unknown workload '%s'", workload.c_str());
+    m.core.mode = mode;
+    m.cores = threads;
+    sim::System sys(m, wl::buildPrograms(*w, threads, scale), seed);
+    if (w->init)
+        sys.initMemory(w->init(threads, scale));
+    return sys;
+}
+
+TEST(PipeView, DekkerTraceIsWellFormed)
+{
+    std::ostringstream trace;
+    core::PipeViewRecorder pv(trace);
+    sim::System sys = makeSystem("dekker", sim::MachineConfig::tiny(2),
+                                 AtomicsMode::kFreeFwd, 2, 1.0, 42);
+    sys.attachPipeView(&pv);
+    auto out = sys.run(10'000'000);
+    ASSERT_TRUE(out.finished) << out.failure;
+
+    auto records = parseTrace(trace.str());
+    ASSERT_FALSE(records.empty());
+
+    std::uint64_t committed = 0;
+    for (const auto &r : records) {
+        // Fetch/decode/rename/dispatch are fused in this model.
+        EXPECT_EQ(r.decode, r.fetch);
+        EXPECT_EQ(r.rename, r.fetch);
+        EXPECT_EQ(r.dispatch, r.fetch);
+        if (r.retire != 0) {
+            ++committed;
+            // A committed instruction reached every stage, in order.
+            EXPECT_GT(r.fetch, 0u) << r.disasm;
+            EXPECT_GT(r.issue, 0u) << r.disasm;
+            EXPECT_GT(r.complete, 0u) << r.disasm;
+            EXPECT_LE(r.fetch, r.issue) << r.disasm;
+            EXPECT_LE(r.issue, r.complete) << r.disasm;
+            EXPECT_LE(r.complete, r.retire) << r.disasm;
+            if (r.store != 0) {
+                EXPECT_LE(r.retire, r.store) << r.disasm;
+            }
+            EXPECT_FALSE(r.squashedMark) << r.disasm;
+        } else {
+            EXPECT_TRUE(r.squashedMark) << r.disasm;
+        }
+    }
+    // Exactly one block per committed instruction, none lost.
+    EXPECT_EQ(committed, sys.coreTotals().committedInsts);
+    EXPECT_EQ(records.size(), pv.recordsEmitted());
+}
+
+TEST(PipeView, SquashedAtomicsShowLockRelease)
+{
+    // The Figure 6 store->RMW cycle under out-of-order lock
+    // acquisition makes the watchdog squash lock-holding atomics;
+    // each such squash must surface the release in the trace.
+    std::ostringstream trace;
+    core::PipeViewRecorder pv(trace);
+    auto m = sim::MachineConfig::tiny(2);
+    m.core.inOrderLockAcquisition = false;
+    m.core.watchdogThreshold = 500;
+    sim::System sys = makeSystem("dl_storermw", m,
+                                 AtomicsMode::kFreeFwd, 2, 1.0, 31);
+    sys.attachPipeView(&pv);
+    auto out = sys.run(40'000'000);
+    ASSERT_TRUE(out.finished) << out.failure;
+    ASSERT_GT(sys.coreTotals().watchdogTimeouts, 0u);
+
+    unsigned squashed_releases = 0;
+    for (const auto &r : parseTrace(trace.str()))
+        if (r.squashedMark && r.lockRelease)
+            ++squashed_releases;
+    EXPECT_GT(squashed_releases, 0u);
+}
+
+TEST(PipeView, LitmusTraceShowsForwardedAtomics)
+{
+    // freefwd mode on dekker forwards atomics; the trace must carry
+    // the forwarding annotations.
+    std::ostringstream trace;
+    core::PipeViewRecorder pv(trace);
+    sim::System sys = makeSystem("dekker", sim::MachineConfig::tiny(2),
+                                 AtomicsMode::kFreeFwd, 2, 1.0, 42);
+    sys.attachPipeView(&pv);
+    ASSERT_TRUE(sys.run(10'000'000).finished);
+    unsigned fwds = 0;
+    for (const auto &r : parseTrace(trace.str()))
+        fwds += r.fwd;
+    EXPECT_GT(fwds, 0u);
+}
+
+TEST(Observability, RecordersDoNotPerturbTiming)
+{
+    // Cycle counts with tracing enabled must be bit-identical to the
+    // plain run: the recorders only read instruction state.
+    struct Case
+    {
+        const char *workload;
+        unsigned threads;
+        double scale;
+        AtomicsMode mode;
+    };
+    for (const Case &c :
+         {Case{"dekker", 2, 1.0, AtomicsMode::kFreeFwd},
+          Case{"dekker", 2, 1.0, AtomicsMode::kFenced},
+          Case{"barnes", 4, 0.25, AtomicsMode::kFreeFwd}}) {
+        auto m = sim::MachineConfig::tiny(c.threads);
+        sim::System plain =
+            makeSystem(c.workload, m, c.mode, c.threads, c.scale, 42);
+        auto base = plain.run(40'000'000);
+        ASSERT_TRUE(base.finished) << base.failure;
+
+        std::ostringstream trace;
+        std::ostringstream intervals;
+        core::PipeViewRecorder pv(trace);
+        sim::IntervalStatsWriter iw(intervals, 64);
+        sim::System observed =
+            makeSystem(c.workload, m, c.mode, c.threads, c.scale, 42);
+        observed.attachPipeView(&pv);
+        observed.attachIntervalStats(&iw);
+        auto obs = observed.run(40'000'000);
+        ASSERT_TRUE(obs.finished) << obs.failure;
+
+        EXPECT_EQ(base.cycles, obs.cycles) << c.workload;
+        EXPECT_EQ(plain.coreTotals().committedInsts,
+                  observed.coreTotals().committedInsts)
+            << c.workload;
+    }
+}
+
+TEST(IntervalStats, DeltasSumToRunTotals)
+{
+    std::ostringstream intervals;
+    sim::IntervalStatsWriter iw(intervals, 500);
+    sim::System sys = makeSystem("dekker", sim::MachineConfig::tiny(2),
+                                 AtomicsMode::kFreeFwd, 2, 1.0, 42);
+    sys.attachIntervalStats(&iw);
+    auto out = sys.run(10'000'000);
+    ASSERT_TRUE(out.finished) << out.failure;
+    ASSERT_GT(iw.snapshotsWritten(), 1u);
+
+    std::istringstream is(intervals.str());
+    std::string line;
+    std::uint64_t interval = 0;
+    std::uint64_t last_cycle = 0;
+    std::uint64_t cycle_sum = 0;
+    std::uint64_t committed_sum = 0;
+    std::uint64_t l1_sum = 0;
+    while (std::getline(is, line)) {
+        JsonValue v = JsonValue::parse(line);
+        EXPECT_EQ(v.at("interval").asU64(), interval++);
+        EXPECT_GT(v.at("cycle").asU64(), last_cycle);
+        last_cycle = v.at("cycle").asU64();
+        cycle_sum += v.at("cycles").asU64();
+        committed_sum += v.at("core").at("committedInsts").asU64();
+        l1_sum += v.at("mem").at("l1Hits").asU64();
+    }
+    EXPECT_EQ(interval, iw.snapshotsWritten());
+    EXPECT_EQ(last_cycle, out.cycles);
+    EXPECT_EQ(cycle_sum, out.cycles);
+    EXPECT_EQ(committed_sum, sys.coreTotals().committedInsts);
+    EXPECT_EQ(l1_sum, sys.mem().stats.l1Hits);
+}
+
+TEST(RunResultJson, RoundTripsThroughParser)
+{
+    const auto *w = wl::findWorkload("dekker");
+    ASSERT_NE(w, nullptr);
+    auto res = wl::runWorkload(*w, sim::MachineConfig::tiny(2),
+                               AtomicsMode::kFreeFwd, 2, 1.0, 42,
+                               10'000'000);
+    ASSERT_TRUE(res.finished) << res.failure;
+
+    std::ostringstream os;
+    res.toJson(os);
+    JsonValue v = JsonValue::parse(os.str());
+    EXPECT_EQ(v.at("schema").str, "fa-run-result-v1");
+    EXPECT_EQ(v.at("mode").str, "freefwd");
+    EXPECT_EQ(v.at("cores").asU64(), 2u);
+    EXPECT_TRUE(v.at("finished").boolean);
+    EXPECT_EQ(v.at("cycles").asU64(), res.cycles);
+    EXPECT_EQ(v.at("core").at("committedInsts").asU64(),
+              res.core.committedInsts);
+    EXPECT_EQ(v.at("core").at("committedAtomics").asU64(),
+              res.core.committedAtomics);
+    EXPECT_EQ(v.at("mem").at("l1Hits").asU64(), res.mem.l1Hits);
+    EXPECT_EQ(v.at("hists").at("atomicLatency").at("count").asU64(),
+              res.hists.atomicLatency.count());
+    EXPECT_NEAR(v.at("derived").at("apki").number, res.apki(), 1e-9);
+    EXPECT_NEAR(v.at("derived").at("avgAtomicCost").number,
+                res.avgAtomicCost(), 1e-9);
+    EXPECT_FALSE(v.at("tso").at("checked").boolean);
+
+    // Bucket counts in the serialized histogram sum to its count.
+    std::uint64_t bucket_sum = 0;
+    for (const auto &b :
+         v.at("hists").at("atomicLatency").at("buckets").arr)
+        bucket_sum += b.arr.at(2).asU64();
+    EXPECT_EQ(bucket_sum, res.hists.atomicLatency.count());
+}
+
+TEST(RunResultJson, AtomicLatencyHistogramIsPopulated)
+{
+    // The fig1 JSON path (FA_JSON / --stats-json) reports p50/p99
+    // atomic latency; the histogram must actually be recorded.
+    const auto *w = wl::findWorkload("dekker");
+    ASSERT_NE(w, nullptr);
+    auto res = wl::runWorkload(*w, sim::MachineConfig::tiny(2),
+                               AtomicsMode::kFenced, 2, 1.0, 42,
+                               10'000'000);
+    ASSERT_TRUE(res.finished) << res.failure;
+    ASSERT_GT(res.core.committedAtomics, 0u);
+    EXPECT_EQ(res.hists.atomicLatency.count(),
+              res.core.committedAtomics);
+    EXPECT_EQ(res.hists.sbDrain.count(), res.core.committedAtomics);
+    EXPECT_GT(res.hists.atomicLatency.p99(), 0.0);
+    EXPECT_LE(res.hists.atomicLatency.p50(),
+              res.hists.atomicLatency.p99());
+    // Fenced atomics drain the SB: the drain histogram must agree
+    // with the aggregate counter.
+    EXPECT_EQ(res.hists.sbDrain.sum(), res.core.atomicDrainSbCycles);
+}
+
+TEST(Forensics, ProgressWindowTripCapturesSnapshot)
+{
+    // A genuine deadlock (watchdog disabled) must trip the progress
+    // window and attach a structured snapshot naming the stalled
+    // cores and the locked lines.
+    auto m = sim::MachineConfig::tiny(2);
+    m.core.inOrderLockAcquisition = false;
+    m.core.watchdogThreshold = 1'000'000'000;
+    m.progressWindow = 20'000;
+    sim::System sys = makeSystem("dl_storermw", m,
+                                 AtomicsMode::kFreeFwd, 2, 1.0, 31);
+    auto out = sys.run(3'000'000);
+    ASSERT_FALSE(out.finished);
+    EXPECT_NE(out.failure.find("no core committed for"),
+              std::string::npos)
+        << out.failure;
+    EXPECT_NE(out.failure.find("lastCommit"), std::string::npos)
+        << out.failure;
+    ASSERT_FALSE(out.forensics.empty());
+    EXPECT_EQ(out.forensics, sys.forensics());
+    EXPECT_NE(out.forensics.find("forensic snapshot"),
+              std::string::npos);
+    EXPECT_NE(out.forensics.find("LOCKED"), std::string::npos)
+        << out.forensics;
+    EXPECT_NE(out.forensics.find("lock-cycle analysis"),
+              std::string::npos);
+}
+
+TEST(Forensics, WatchdogHookCapturesFirstFiring)
+{
+    auto m = sim::MachineConfig::tiny(2);
+    m.core.inOrderLockAcquisition = false;
+    m.core.watchdogThreshold = 500;
+    m.watchdogForensics = true;
+    sim::System sys = makeSystem("dl_storermw", m,
+                                 AtomicsMode::kFreeFwd, 2, 1.0, 31);
+    auto out = sys.run(40'000'000);
+    ASSERT_TRUE(out.finished) << out.failure;
+    ASSERT_GT(sys.coreTotals().watchdogTimeouts, 0u);
+    ASSERT_FALSE(out.forensics.empty());
+    EXPECT_NE(out.forensics.find("watchdog fired on core"),
+              std::string::npos)
+        << out.forensics;
+}
+
+TEST(Forensics, CleanRunLeavesNoReport)
+{
+    auto m = sim::MachineConfig::tiny(2);
+    m.watchdogForensics = true;
+    sim::System sys = makeSystem("dekker", m, AtomicsMode::kFenced, 2,
+                                 1.0, 42);
+    auto out = sys.run(10'000'000);
+    ASSERT_TRUE(out.finished) << out.failure;
+    EXPECT_TRUE(out.forensics.empty());
+}
+
+} // namespace
+} // namespace fa

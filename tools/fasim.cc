@@ -10,9 +10,12 @@
  *   fasim -w barnes -c 32 -m freefwd
  *   fasim -w dekker -c 2 --all-modes
  *   fasim -w TPCC -c 16 -m fenced --stats --seed 7 --scale 0.5
+ *   fasim -w dekker -c 2 --check --stats-json run.json \
+ *         --pipeview trace.out --interval-stats intervals.jsonl
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -38,6 +41,19 @@ usage()
         "      --all-modes       run all four flavours\n"
         "      --stats           dump aggregated statistics\n"
         "      --trace           cycle-level event trace to stderr\n"
+        "      --check           record the memory-event trace and run\n"
+        "                        the axiomatic TSO checker (exits 1 and\n"
+        "                        prints the violating event on failure)\n"
+        "      --stats-json FILE write the full RunResult as JSON\n"
+        "      --pipeview FILE   write a gem5-O3PipeView lifecycle\n"
+        "                        trace (view with Konata)\n"
+        "      --interval-stats FILE\n"
+        "                        write per-interval counter deltas as\n"
+        "                        JSON Lines\n"
+        "      --interval N      interval-stats period in cycles [10000]\n"
+        "      --forensics       capture a pipeline snapshot at the\n"
+        "                        first watchdog firing (printed with\n"
+        "                        --stats, stored in --stats-json)\n"
         "      --list            list workloads and exit\n";
 }
 
@@ -81,22 +97,55 @@ listWorkloads()
     t.print(std::cout);
 }
 
+/** Write `res` to `path` as one JSON document. */
+void
+writeStatsJson(const std::string &path, const sim::RunResult &res)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open stats-json file '%s'", path.c_str());
+    res.toJson(os);
+    os << '\n';
+}
+
+/**
+ * Shared failure handling: a TSO-check violation prints the
+ * violating event explicitly before exiting non-zero.
+ */
+void
+failRun(const std::string &what, const sim::RunResult &res)
+{
+    if (res.tsoChecked && !res.tsoOk())
+        std::cerr << "fasim: TSO violation: " << res.tsoError << "\n";
+    if (!res.forensics.empty())
+        std::cerr << res.forensics;
+    fatal("%s: %s", what.c_str(), res.failure.c_str());
+}
+
 void
 runOne(const wl::Workload &w, const sim::MachineConfig &machine,
        core::AtomicsMode mode, unsigned cores, double scale,
-       std::uint64_t seed, unsigned seeds, bool stats)
+       std::uint64_t seed, unsigned seeds, bool stats,
+       const std::string &stats_json)
 {
     double cycles = 0;
     sim::RunResult last;
     for (unsigned s = 0; s < seeds; ++s) {
         last = wl::runWorkload(w, machine, mode, cores, scale,
                                seed + s, 500'000'000);
-        if (!last.finished)
-            fatal("%s (%s): %s", w.name.c_str(),
-                  core::atomicsModeName(mode), last.failure.c_str());
+        if (!last.finished) {
+            if (!stats_json.empty())
+                writeStatsJson(stats_json, last);
+            failRun(w.name + " (" +
+                        core::atomicsModeName(mode) + ")",
+                    last);
+        }
         cycles += static_cast<double>(last.cycles);
     }
     cycles /= seeds;
+
+    if (!stats_json.empty())
+        writeStatsJson(stats_json, last);
 
     std::cout << w.name << " [" << core::atomicsModeName(mode)
               << "]: " << fmtDouble(cycles, 0) << " cycles, IPC "
@@ -117,6 +166,19 @@ runOne(const wl::Workload &w, const sim::MachineConfig &machine,
             t.cell("mem." + n).cell(v).endRow();
         });
         t.print(std::cout);
+        last.hists.forEach([&](const std::string &n,
+                               const Histogram &h) {
+            if (h.count() == 0)
+                return;
+            std::cout << n << ": n=" << h.count() << " mean="
+                      << fmtDouble(h.mean(), 1) << " p50="
+                      << fmtDouble(h.p50(), 1) << " p90="
+                      << fmtDouble(h.p90(), 1) << " p99="
+                      << fmtDouble(h.p99(), 1) << " max=" << h.max()
+                      << "\n";
+        });
+        if (!last.forensics.empty())
+            std::cout << last.forensics;
     }
 }
 
@@ -135,10 +197,29 @@ main(int argc, char **argv)
     unsigned seeds = 1;
     bool all_modes = false;
     bool stats = false;
+    bool check = false;
+    bool forensics = false;
+    std::string stats_json;
+    std::string pipeview_path;
+    std::string interval_path;
+    Cycle interval_period = 10'000;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
+        // Accept both "--flag value" and "--flag=value".
+        std::string inline_val;
+        bool has_inline = false;
+        if (a.rfind("--", 0) == 0) {
+            auto eq = a.find('=');
+            if (eq != std::string::npos) {
+                inline_val = a.substr(eq + 1);
+                a = a.substr(0, eq);
+                has_inline = true;
+            }
+        }
         auto next = [&]() -> std::string {
+            if (has_inline)
+                return inline_val;
             if (i + 1 >= argc)
                 fatal("missing value for %s", a.c_str());
             return argv[++i];
@@ -163,6 +244,18 @@ main(int argc, char **argv)
             all_modes = true;
         else if (a == "--stats")
             stats = true;
+        else if (a == "--check")
+            check = true;
+        else if (a == "--forensics")
+            forensics = true;
+        else if (a == "--stats-json")
+            stats_json = next();
+        else if (a == "--pipeview")
+            pipeview_path = next();
+        else if (a == "--interval-stats")
+            interval_path = next();
+        else if (a == "--interval")
+            interval_period = std::stoull(next());
         else if (a == "--trace")
             setTrace(true);
         else if (a == "--list") {
@@ -184,27 +277,36 @@ main(int argc, char **argv)
     }
 
     try {
+        auto machine = parseMachine(machine_s, cores);
+        machine.recordMemTrace = check;
+        machine.watchdogForensics = forensics;
+        machine.pipeviewPath = pipeview_path;
+        machine.intervalStatsPath = interval_path;
+        machine.intervalPeriod = interval_period;
+
         if (!program_file.empty()) {
             isa::Program prog = isa::assembleFile(program_file);
-            auto machine = parseMachine(machine_s, cores);
-            machine.core.mode = parseMode(mode_s);
-            machine.cores = cores;
             std::vector<isa::Program> progs(cores, prog);
-            sim::System sys(machine, progs, seed);
-            auto out = sys.run(500'000'000);
-            if (!out.finished)
-                fatal("%s: %s", program_file.c_str(),
-                      out.failure.c_str());
-            auto total = sys.coreTotals();
+            sim::RunResult res =
+                sim::runPrograms(machine, parseMode(mode_s), progs, {},
+                                 seed, 500'000'000);
+            if (!stats_json.empty())
+                writeStatsJson(stats_json, res);
+            if (!res.finished)
+                failRun(program_file, res);
             std::cout << program_file << " [" << mode_s << "]: "
-                      << out.cycles << " cycles, "
-                      << total.committedInsts << " insts, "
-                      << total.committedAtomics << " atomics\n";
+                      << res.cycles << " cycles, "
+                      << res.core.committedInsts << " insts, "
+                      << res.core.committedAtomics << " atomics\n";
             if (stats) {
                 TablePrinter t({"counter", "value"});
-                total.forEach(
+                res.core.forEach(
                     [&](const std::string &n, std::uint64_t v) {
                         t.cell(n).cell(v).endRow();
+                    });
+                res.mem.forEach(
+                    [&](const std::string &n, std::uint64_t v) {
+                        t.cell("mem." + n).cell(v).endRow();
                     });
                 t.print(std::cout);
             }
@@ -214,18 +316,17 @@ main(int argc, char **argv)
         if (!w)
             fatal("unknown workload '%s' (try --list)",
                   workload.c_str());
-        auto machine = parseMachine(machine_s, cores);
         if (all_modes) {
             for (auto m :
                  {core::AtomicsMode::kFenced, core::AtomicsMode::kSpec,
                   core::AtomicsMode::kFree,
                   core::AtomicsMode::kFreeFwd}) {
                 runOne(*w, machine, m, cores, scale, seed, seeds,
-                       stats);
+                       stats, stats_json);
             }
         } else {
             runOne(*w, machine, parseMode(mode_s), cores, scale, seed,
-                   seeds, stats);
+                   seeds, stats, stats_json);
         }
     } catch (const FatalError &e) {
         std::cerr << "fasim: " << e.message << "\n";

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * fastats — summarize and diff fasim --stats-json telemetry.
+ *
+ *   fastats run.json            summarize one run
+ *   fastats base.json new.json  diff two runs counter by counter
+ *   fastats -a base.json new.json   include unchanged counters
+ *
+ * Reads the "fa-run-result-v1" schema written by
+ * fa::sim::RunResult::toJson. Diffing is the intended workflow for
+ * performance work: run a litmus or bench config before and after a
+ * change, then diff the two JSON files to see exactly which counters
+ * moved (and whether the latency distributions shifted, not just the
+ * means).
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "freeatomics/freeatomics.hh"
+
+using namespace fa;
+
+namespace {
+
+void
+usage()
+{
+    std::cout <<
+        "usage: fastats [-a|--all] FILE [FILE2]\n"
+        "  one file:  summarize the run\n"
+        "  two files: diff counters, derived metrics and histogram\n"
+        "             percentiles (FILE = baseline, FILE2 = new)\n"
+        "  -a, --all  show unchanged counters in diffs too\n";
+}
+
+JsonValue
+loadStats(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '%s'", path.c_str());
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    JsonValue doc = JsonValue::parse(buf.str());
+    const JsonValue *schema = doc.find("schema");
+    if (!schema || schema->str != "fa-run-result-v1")
+        fatal("'%s' is not a fa-run-result-v1 stats file",
+              path.c_str());
+    return doc;
+}
+
+std::string
+identityLine(const JsonValue &doc)
+{
+    std::ostringstream os;
+    os << doc.at("machine").str << " [" << doc.at("mode").str
+       << "] cores=" << doc.at("cores").asU64() << " finished="
+       << (doc.at("finished").boolean ? "true" : "false") << " cycles="
+       << doc.at("cycles").asU64();
+    return os.str();
+}
+
+void
+summarizeHists(const JsonValue &doc)
+{
+    const JsonValue *hists = doc.find("hists");
+    if (!hists || !hists->isObject())
+        return;
+    TablePrinter t({"histogram", "n", "mean", "p50", "p90", "p99",
+                    "max"});
+    for (const auto &[name, h] : hists->members) {
+        if (h.at("count").asU64() == 0)
+            continue;
+        t.cell(name)
+            .cell(h.at("count").asU64())
+            .cell(fmtDouble(h.at("mean").number, 1))
+            .cell(fmtDouble(h.at("p50").number, 1))
+            .cell(fmtDouble(h.at("p90").number, 1))
+            .cell(fmtDouble(h.at("p99").number, 1))
+            .cell(h.at("max").asU64())
+            .endRow();
+    }
+    t.print(std::cout);
+}
+
+void
+summarize(const JsonValue &doc)
+{
+    std::cout << identityLine(doc) << "\n";
+    const std::string &failure = doc.at("failure").str;
+    if (!failure.empty())
+        std::cout << "failure: " << failure << "\n";
+
+    TablePrinter t({"metric", "value"});
+    for (const auto &[name, v] : doc.at("derived").members)
+        t.cell(name).cell(fmtDouble(v.number, 4)).endRow();
+    t.print(std::cout);
+    summarizeHists(doc);
+}
+
+double
+pctChange(double a, double b)
+{
+    return a == 0.0 ? (b == 0.0 ? 0.0 : 100.0)
+                    : 100.0 * (b - a) / a;
+}
+
+/** Diff one flat numeric object ("core"/"mem"/"derived") by key. */
+void
+diffSection(const char *section, const JsonValue &a, const JsonValue &b,
+            bool show_all, bool integer)
+{
+    TablePrinter t({"counter", "base", "new", "delta", "%"});
+    unsigned rows = 0;
+    for (const auto &[name, av] : a.members) {
+        const JsonValue *bv = b.find(name);
+        if (!bv)
+            continue;
+        if (!show_all && av.number == bv->number)
+            continue;
+        ++rows;
+        double delta = bv->number - av.number;
+        t.cell(std::string(section) + "." + name);
+        if (integer) {
+            t.cell(av.asU64()).cell(bv->asU64());
+            t.cell((delta < 0 ? "-" : "+") +
+                   std::to_string(static_cast<std::uint64_t>(
+                       delta < 0 ? -delta : delta)));
+        } else {
+            t.cell(fmtDouble(av.number, 4)).cell(fmtDouble(bv->number, 4));
+            t.cell(fmtDouble(delta, 4));
+        }
+        t.cell(fmtDouble(pctChange(av.number, bv->number), 1)).endRow();
+    }
+    if (rows)
+        t.print(std::cout);
+}
+
+void
+diffHists(const JsonValue &a, const JsonValue &b, bool show_all)
+{
+    const JsonValue *ha = a.find("hists");
+    const JsonValue *hb = b.find("hists");
+    if (!ha || !hb)
+        return;
+    TablePrinter t({"histogram", "base p50/p99", "new p50/p99",
+                    "base n", "new n"});
+    unsigned rows = 0;
+    for (const auto &[name, av] : ha->members) {
+        const JsonValue *bv = hb->find(name);
+        if (!bv)
+            continue;
+        bool same = av.at("count").asU64() == bv->at("count").asU64() &&
+            av.at("p50").number == bv->at("p50").number &&
+            av.at("p99").number == bv->at("p99").number;
+        if (!show_all && same)
+            continue;
+        ++rows;
+        t.cell(name)
+            .cell(fmtDouble(av.at("p50").number, 1) + "/" +
+                  fmtDouble(av.at("p99").number, 1))
+            .cell(fmtDouble(bv->at("p50").number, 1) + "/" +
+                  fmtDouble(bv->at("p99").number, 1))
+            .cell(av.at("count").asU64())
+            .cell(bv->at("count").asU64())
+            .endRow();
+    }
+    if (rows)
+        t.print(std::cout);
+}
+
+void
+diff(const JsonValue &a, const JsonValue &b, bool show_all)
+{
+    std::cout << "base: " << identityLine(a) << "\n";
+    std::cout << "new:  " << identityLine(b) << "\n";
+    std::uint64_t ca = a.at("cycles").asU64();
+    std::uint64_t cb = b.at("cycles").asU64();
+    std::cout << "cycles: " << ca << " -> " << cb << " ("
+              << fmtDouble(pctChange(static_cast<double>(ca),
+                                     static_cast<double>(cb)), 2)
+              << "%)\n";
+    diffSection("core", a.at("core"), b.at("core"), show_all, true);
+    diffSection("mem", a.at("mem"), b.at("mem"), show_all, true);
+    diffSection("derived", a.at("derived"), b.at("derived"), show_all,
+                false);
+    diffHists(a, b, show_all);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool show_all = false;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "-a" || a == "--all")
+            show_all = true;
+        else if (a == "-h" || a == "--help") {
+            usage();
+            return 0;
+        } else if (!a.empty() && a[0] == '-') {
+            std::cerr << "unknown option: " << a << "\n";
+            usage();
+            return 2;
+        } else {
+            files.push_back(a);
+        }
+    }
+    if (files.empty() || files.size() > 2) {
+        usage();
+        return 2;
+    }
+
+    try {
+        if (files.size() == 1) {
+            summarize(loadStats(files[0]));
+        } else {
+            diff(loadStats(files[0]), loadStats(files[1]), show_all);
+        }
+    } catch (const FatalError &e) {
+        std::cerr << "fastats: " << e.message << "\n";
+        return 1;
+    }
+    return 0;
+}
