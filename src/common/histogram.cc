@@ -114,6 +114,7 @@ LatencyHists::merge(const LatencyHists &other)
     sbDrain.merge(other.sbDrain);
     lockHold.merge(other.lockHold);
     fwdChain.merge(other.fwdChain);
+    wdBackoff.merge(other.wdBackoff);
 }
 
 void
@@ -125,6 +126,7 @@ LatencyHists::forEach(
     fn("sbDrain", sbDrain);
     fn("lockHold", lockHold);
     fn("fwdChain", fwdChain);
+    fn("wdBackoff", wdBackoff);
 }
 
 } // namespace fa

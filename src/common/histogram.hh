@@ -93,6 +93,9 @@ struct LatencyHists
     Histogram lockHold;
     /** Forwarding-chain length at commit of each atomic (§3.3.4). */
     Histogram fwdChain;
+    /** Effective (backed-off, jittered) watchdog timeout at each
+     * §3.2.5 firing, cycles. Empty unless the watchdog fired. */
+    Histogram wdBackoff;
 
     void merge(const LatencyHists &other);
 

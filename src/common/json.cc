@@ -334,10 +334,23 @@ struct Parser
         if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
             std::size_t end = 0;
             v.kind = JsonValue::Kind::kNumber;
+            std::string tok = text.substr(pos);
             try {
-                v.number = std::stod(text.substr(pos), &end);
+                v.number = std::stod(tok, &end);
             } catch (...) {
                 fail("bad number");
+            }
+            // A plain unsigned-integer token also keeps its exact
+            // 64-bit value: the double alone truncates past 2^53.
+            if (end > 0 && tok.find_first_not_of(
+                               "0123456789", 0) >= end) {
+                try {
+                    std::size_t iend = 0;
+                    v.exactInt = std::stoull(tok, &iend);
+                    v.hasExactInt = (iend == end);
+                } catch (...) {
+                    v.hasExactInt = false;
+                }
             }
             pos += end;
             return v;

@@ -76,6 +76,10 @@ struct JsonValue
     Kind kind = Kind::kNull;
     bool boolean = false;
     double number = 0.0;
+    /** Exact value when the token was a plain non-negative integer
+     * (doubles truncate past 2^53 — fatal for 64-bit RNG seeds). */
+    std::uint64_t exactInt = 0;
+    bool hasExactInt = false;
     std::string str;
     std::vector<JsonValue> arr;
     /** Insertion-ordered members (diffing wants stable order). */
@@ -97,7 +101,8 @@ struct JsonValue
     std::uint64_t
     asU64() const
     {
-        return static_cast<std::uint64_t>(number);
+        return hasExactInt ? exactInt
+                           : static_cast<std::uint64_t>(number);
     }
 
     /**

@@ -33,6 +33,8 @@ CoreStats::forEach(
        squashEvents[static_cast<int>(SquashCause::kInvalidatedLoad)]);
     fn("squashWatchdog",
        squashEvents[static_cast<int>(SquashCause::kWatchdog)]);
+    fn("squashChaos",
+       squashEvents[static_cast<int>(SquashCause::kChaos)]);
     fn("branchMispredicts", branchMispredicts);
     fn("watchdogTimeouts", watchdogTimeouts);
     fn("activeCycles", activeCycles);

@@ -24,6 +24,7 @@ enum class SquashCause : std::uint8_t {
     kMemDepViolation,
     kInvalidatedLoad,
     kWatchdog,
+    kChaos,  ///< injected squash storm (fault-injection engine)
     kNumCauses,
 };
 
@@ -44,7 +45,7 @@ struct CoreStats
     std::uint64_t fetchedInsts = 0;
     std::uint64_t squashedInsts = 0;
     std::uint64_t squashEvents[static_cast<int>(
-        SquashCause::kNumCauses)] = {0, 0, 0, 0};
+        SquashCause::kNumCauses)] = {};
     std::uint64_t branchMispredicts = 0;
     std::uint64_t watchdogTimeouts = 0;
 

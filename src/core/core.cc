@@ -6,6 +6,7 @@
 #include "common/log.hh"
 #include "common/rng.hh"
 #include "core/pipeview.hh"
+#include "sim/chaos/chaos.hh"
 
 namespace fa::core {
 
@@ -49,7 +50,8 @@ Core::Core(CoreId id, const CoreConfig &config, const isa::Program &prog,
       randSeed(rand_seed),
       lsq(cfg.lqSize, cfg.sqSize),
       aq(cfg.aqSize),
-      bp(cfg.bpTableBits)
+      bp(cfg.bpTableBits),
+      wdRng(mix64(rand_seed, 0x5d09))
 {
     program.validate();
     renameTable.fill(nullptr);
@@ -103,6 +105,8 @@ Core::tick(Cycle now)
     sbDrainStage(now);
     issueStage(now);
     dispatchStage(now);
+    if (chaos)
+        chaosStage(now);
     watchdogStage(now);
 }
 
@@ -261,7 +265,6 @@ Core::performLoad(DynInst *inst, Cycle now)
         aq.lock(inst->aqIdx, inst->line());
         inst->lockHeld = true;
         inst->lockAcquiredAt = now;
-        wdLastProgress = now;
         FA_TRACE("%llu c%u LOCK seq=%llu pc=%d line=%llx",
                  (unsigned long long)now, coreId,
                  (unsigned long long)inst->seq, inst->pc,
@@ -453,7 +456,10 @@ Core::commitOne(DynInst *head, Cycle now)
             uncommittedAtomics.front() != head)
             panic("atomic commit order violated");
         uncommittedAtomics.pop_front();
-        wdLastProgress = now;
+        // A committed atomic is real forward progress: the watchdog
+        // backoff de-escalates. The §3.2.5 timer itself restarts only
+        // when the watched oldest lock-holder changes (watchdogStage).
+        wdBackoffExp = 0;
         break;
       }
       case isa::Op::kBranch:
@@ -582,7 +588,6 @@ Core::sbDrainStage(Cycle now)
         hists.lockHold.record(
             now - (st->lockAcquiredAt ? st->lockAcquiredAt
                                       : st->committedAt));
-        wdLastProgress = now;
     }
     if (pipeview)
         pipeview->retire(coreId, *st, false);
@@ -904,7 +909,10 @@ Core::tryIssueMemRead(DynInst *inst, Cycle now)
         }
         if (inst->isAtomic() && st->isAtomic()) {
             unsigned chain = st->fwdChain + 1;
-            if (chain > cfg.fwdChainCap) {
+            unsigned cap = cfg.fwdChainCap;
+            if (chaos)
+                cap = chaos->fwdCapJitter(chain, cap);
+            if (chain > cap) {
                 ++stats.fwdChainBreaks;
                 return false;  // wait for the store to perform
             }
@@ -1150,17 +1158,28 @@ Core::squashFrom(SeqNum from_seq, int resume_pc, SquashCause cause,
             }
         }
         if (inst->aqIdx >= 0) {
-            // unlock_on_squash (§3.1) and the §3.3.3 responsibility
-            // take-back: clearing the entry both lifts a held lock
-            // and cancels a pending SQid capture.
-            aq.release(inst->aqIdx);
-            inst->aqIdx = -1;
-            if (inst->lockHeld) {
+            if (inst->lockHeld && chaos && chaos->dropUnlock(coreId)) {
+                // Injected simulator bug: the unlock_on_squash
+                // message is lost and the AQ entry leaks its lock.
+                // Nothing in the pipeline will release it; the run
+                // can only end in the global progress-window abort,
+                // and forensics must flag the stale entry.
+                inst->aqIdx = -1;
                 inst->lockHeld = false;
-                inst->lockReleasedAt = now;
-                hists.lockHold.record(
-                    now - (inst->lockAcquiredAt ? inst->lockAcquiredAt
-                                                : now));
+            } else {
+                // unlock_on_squash (§3.1) and the §3.3.3
+                // responsibility take-back: clearing the entry both
+                // lifts a held lock and cancels a pending SQid
+                // capture.
+                aq.release(inst->aqIdx);
+                inst->aqIdx = -1;
+                if (inst->lockHeld) {
+                    inst->lockHeld = false;
+                    inst->lockReleasedAt = now;
+                    hists.lockHold.record(
+                        now - (inst->lockAcquiredAt ? inst->lockAcquiredAt
+                                                    : now));
+                }
             }
         }
         if (pipeview)
@@ -1198,20 +1217,92 @@ Core::squashFrom(SeqNum from_seq, int resume_pc, SquashCause cause,
 }
 
 // --------------------------------------------------------------------------
+// Chaos injection (core-side fault classes)
+// --------------------------------------------------------------------------
+
+void
+Core::chaosStage(Cycle now)
+{
+    // Squash storm: a wrong-path burst lands on a random in-flight
+    // atomic, exercising unlock_on_squash (§3.1) and, in +Fwd mode,
+    // the §3.3.3 forwarding-responsibility take-back under fire.
+    if (!squashedThisCycle && !uncommittedAtomics.empty() &&
+        chaos->squashStormTick(coreId)) {
+        unsigned idx = chaos->stormVictimIndex(
+            static_cast<unsigned>(uncommittedAtomics.size()));
+        DynInst *victim = uncommittedAtomics[idx];
+        squashFrom(victim->seq, victim->pc, SquashCause::kChaos, now);
+    }
+
+    // Replacement pressure: while a lock is held, issue prefetches
+    // that map to the locked line's L1 set, attacking the §3.2.4
+    // locked-victim exclusion and the lock-aware fill path.
+    if (aq.anyLocked() && chaos->evictPressureTick(coreId)) {
+        Addr locked_line = 0;
+        for (unsigned i = 0; i < aq.size(); ++i) {
+            const auto &e = aq.entry(static_cast<int>(i));
+            if (e.valid && e.locked) {
+                locked_line = e.line;
+                break;
+            }
+        }
+        if (locked_line != 0) {
+            Addr set_stride = static_cast<Addr>(
+                memSys->config().l1Sets) * kLineBytes;
+            Addr pf = locked_line +
+                chaos->evictPressureWay() * set_stride;
+            if (!memSys->privHolds(coreId, pf) &&
+                !memSys->hasPendingMiss(coreId, pf)) {
+                memSys->access(coreId, pf, false, kNoSeq, now, true);
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
 // Watchdog (§3.2.5)
 // --------------------------------------------------------------------------
+
+void
+Core::rearmWatchdog(Cycle now)
+{
+    (void)now;
+    unsigned exp = cfg.watchdogBackoff
+        ? std::min(wdBackoffExp, cfg.watchdogBackoffMaxExp)
+        : 0;
+    Cycle base = static_cast<Cycle>(cfg.watchdogThreshold) << exp;
+    Cycle jitter = 0;
+    if (cfg.watchdogJitterPct) {
+        jitter = wdRng.below(
+            base * cfg.watchdogJitterPct / 100 + 1);
+    }
+    wdCurTimeout = base + jitter;
+}
 
 void
 Core::watchdogStage(Cycle now)
 {
     if (!aq.anyLocked()) {
+        wdWatchedSeq = kNoSeq;
         wdLastProgress = now;
         return;
     }
-    if (now - wdLastProgress <= cfg.watchdogThreshold)
+    SeqNum oldest = aq.oldestLockedSeq();
+    if (oldest != wdWatchedSeq) {
+        // Timer discipline (§3.2.5): restart only when the oldest
+        // lock-holding atomic changes identity — the previous holder
+        // released its lock or was flushed. Commits of unrelated
+        // instructions and younger lock acquisitions never feed the
+        // timer, so a busy commit stream cannot starve it.
+        wdWatchedSeq = oldest;
+        wdLastProgress = now;
+        rearmWatchdog(now);
+        return;
+    }
+    if (now - wdLastProgress <= wdCurTimeout)
         return;
 
-    SeqNum victim_seq = aq.oldestLockedSeq();
+    SeqNum victim_seq = oldest;
     auto it = inflight.find(victim_seq);
     if (it == inflight.end()) {
         // The lock-holding atomic already committed; its
@@ -1221,6 +1312,7 @@ Core::watchdogStage(Cycle now)
     }
     DynInst *victim = it->second;
     ++stats.watchdogTimeouts;
+    hists.wdBackoff.record(wdCurTimeout);
     if (watchdogHook)
         watchdogHook(victim->seq, now);
     if (traceEnabled() && !rob.empty()) {
@@ -1245,6 +1337,13 @@ Core::watchdogStage(Cycle now)
         }
     }
     squashFrom(victim->seq, victim->pc, SquashCause::kWatchdog, now);
+    // Escalate: consecutive firings without an atomic committing in
+    // between double the next timeout (capped), so repeated flushes
+    // of the same contended line space out instead of synchronizing
+    // with a remote core's identical watchdog (flush–reacquire
+    // livelock). The re-arm happens when the next holder is watched.
+    if (cfg.watchdogBackoff && wdBackoffExp < cfg.watchdogBackoffMaxExp)
+        ++wdBackoffExp;
     wdLastProgress = now;
 }
 

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/histogram.hh"
+#include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "core/atomic_queue.hh"
@@ -44,6 +45,10 @@
 namespace fa::analysis {
 class TraceRecorder;
 } // namespace fa::analysis
+
+namespace fa::chaos {
+class ChaosEngine;
+} // namespace fa::chaos
 
 namespace fa::core {
 
@@ -92,6 +97,10 @@ class Core : public mem::CoreMemIf
      * zero-cost-when-off pattern as the tracer). */
     void attachPipeView(PipeViewRecorder *pv) { pipeview = pv; }
 
+    /** Attach a fault-injection engine (null disables; same
+     * zero-cost-when-off pattern as the recorders). */
+    void attachChaos(chaos::ChaosEngine *engine) { chaos = engine; }
+
     /**
      * Called just before the watchdog squashes a lock-holding atomic
      * (forensics hook; null disables). Arguments: victim sequence
@@ -128,6 +137,36 @@ class Core : public mem::CoreMemIf
         return lsq.stores().empty() ? nullptr : lsq.stores().front();
     }
 
+    /** Is this sequence number still in flight? A locked AQ entry
+     * whose seq is neither in flight nor draining in the SQ is a
+     * leaked lock — a simulator bug forensics must flag. */
+    bool hasInflight(SeqNum seq) const { return inflight.count(seq) != 0; }
+
+    /** Is this sequence number a committed store still in the SQ/SB
+     * (including an atomic awaiting its store_unlock)? */
+    bool
+    seqInStoreQueue(SeqNum seq) const
+    {
+        for (const DynInst *st : lsq.stores())
+            if (st->seq == seq)
+                return true;
+        return false;
+    }
+
+    /** Watchdog snapshot for forensics and tests (§3.2.5 + backoff). */
+    struct WatchdogState
+    {
+        SeqNum watchedSeq;     ///< oldest lock-holding atomic (kNoSeq if idle)
+        Cycle lastProgress;    ///< cycle the timer last restarted
+        Cycle timeout;         ///< current effective (jittered) timeout
+        unsigned backoffExp;   ///< consecutive-firing exponent
+    };
+    WatchdogState
+    watchdogState() const
+    {
+        return {wdWatchedSeq, wdLastProgress, wdCurTimeout, wdBackoffExp};
+    }
+
     CoreStats stats;
     LatencyHists hists;
 
@@ -141,7 +180,9 @@ class Core : public mem::CoreMemIf
     void sbDrainStage(Cycle now);
     void issueStage(Cycle now);
     void dispatchStage(Cycle now);
+    void chaosStage(Cycle now);
     void watchdogStage(Cycle now);
+    void rearmWatchdog(Cycle now);
 
     // --- helpers ------------------------------------------------------------
     bool tryIssue(DynInst *inst, Cycle now);
@@ -174,6 +215,7 @@ class Core : public mem::CoreMemIf
     mem::MemSystem *memSys;
     analysis::TraceRecorder *tracer = nullptr;
     PipeViewRecorder *pipeview = nullptr;
+    chaos::ChaosEngine *chaos = nullptr;
     std::function<void(SeqNum, Cycle)> watchdogHook;
     std::uint64_t randSeed;
 
@@ -215,6 +257,10 @@ class Core : public mem::CoreMemIf
 
     // --- watchdog / progress -------------------------------------------------------
     Cycle wdLastProgress = 0;
+    SeqNum wdWatchedSeq = kNoSeq;  ///< oldest lock-holder under watch
+    Cycle wdCurTimeout = 0;        ///< effective timeout for this arming
+    unsigned wdBackoffExp = 0;     ///< consecutive firings w/o atomic commit
+    Rng wdRng;                     ///< per-core jitter stream
     Cycle lastCommitAt = 0;
     bool squashedThisCycle = false;
 };

@@ -62,7 +62,34 @@ struct CoreConfig
      * loop iterations exposed to memory-order squashes).
      */
     unsigned pauseLatency = 24;
-    unsigned watchdogThreshold = 10000;  ///< §3.2.5 timeout value
+    unsigned watchdogThreshold = 10000;  ///< §3.2.5 base timeout value
+    /**
+     * Watchdog backoff policy. The §3.2.5 timer watches the *oldest
+     * lock-holding atomic* and restarts only when that atomic changes
+     * identity (it released its lock, or was flushed); commits of
+     * other instructions and fresh lock acquisitions never feed it,
+     * so an unrelated commit stream cannot starve the watchdog.
+     *
+     * On expiry the victim is flushed and the timeout for the *next*
+     * arming is re-drawn as
+     *
+     *     (watchdogThreshold << min(exp, watchdogBackoffMaxExp))
+     *       + uniform[0, base * watchdogJitterPct / 100]
+     *
+     * where `exp` counts consecutive firings without an intervening
+     * atomic commit (any committed atomic resets it to zero). The
+     * exponential component spaces out repeated flushes of the same
+     * contended line; the per-core random jitter desynchronizes two
+     * cores whose watchdogs would otherwise expire in lockstep and
+     * re-enter the same flush–reacquire livelock. Jitter is drawn
+     * from a per-core stream seeded by the machine seed, so runs
+     * stay bit-reproducible. `watchdogBackoff = false` restores the
+     * fixed-threshold behaviour (exp pinned at 0); jitter is still
+     * applied unless watchdogJitterPct is also 0.
+     */
+    bool watchdogBackoff = true;
+    unsigned watchdogBackoffMaxExp = 5;   ///< cap: threshold << 5 = 32x
+    unsigned watchdogJitterPct = 50;      ///< jitter range, % of base
     unsigned fwdChainCap = 32;    ///< §3.3.4 max consecutive forwards
     bool storePrefetch = true;    ///< at-commit store prefetch [54]
     bool strideLoadPrefetch = true;  ///< L1D stride prefetcher [7]

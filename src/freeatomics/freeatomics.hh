@@ -42,6 +42,8 @@
 #include "mem/cache_array.hh"
 #include "mem/directory.hh"
 #include "mem/mem_system.hh"
+#include "sim/chaos/chaos.hh"
+#include "sim/chaos/soak.hh"
 #include "sim/config.hh"
 #include "sim/energy.hh"
 #include "sim/forensics.hh"

@@ -292,4 +292,31 @@ assembleFile(const std::string &path)
     return assemble(path, ss.str());
 }
 
+std::string
+writeAsm(const Program &prog)
+{
+    // Mark every branch/jump target so it gets a label line.
+    std::vector<bool> is_target(prog.code.size(), false);
+    for (const Inst &inst : prog.code) {
+        if (inst.op == Op::kBranch || inst.op == Op::kJump)
+            is_target.at(inst.target) = true;
+    }
+
+    std::ostringstream os;
+    os << "; " << prog.name << "\n";
+    for (size_t pc = 0; pc < prog.code.size(); ++pc) {
+        if (is_target[pc])
+            os << "L" << pc << ":\n";
+        std::string text = Program::disasm(prog.code[pc]);
+        // disasm renders targets as `@N`, which the assembler cannot
+        // parse; rewrite to the matching `LN` label reference ('@'
+        // appears nowhere else in the syntax).
+        for (char &ch : text)
+            if (ch == '@')
+                ch = 'L';
+        os << "    " << text << "\n";
+    }
+    return os.str();
+}
+
 } // namespace fa::isa

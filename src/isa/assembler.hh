@@ -42,6 +42,15 @@ Program assemble(const std::string &name, const std::string &source);
 /** Assemble the contents of a file. */
 Program assembleFile(const std::string &path);
 
+/**
+ * Serialize a program back to assembler-accepted text. Unlike
+ * Program::disasm — whose `@N` branch targets the assembler cannot
+ * parse — branch/jump targets are emitted as `L<pc>` labels, so
+ * `assemble(name, writeAsm(prog))` reproduces `prog.code` exactly.
+ * This is the on-disk format of soak-harness reproducers.
+ */
+std::string writeAsm(const Program &prog);
+
 } // namespace fa::isa
 
 #endif // FA_ISA_ASSEMBLER_HH

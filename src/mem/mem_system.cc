@@ -1,6 +1,7 @@
 #include "mem/mem_system.hh"
 
 #include "common/log.hh"
+#include "sim/chaos/chaos.hh"
 
 namespace fa::mem {
 
@@ -178,6 +179,10 @@ MemSystem::tryInvalidateCore(CoreId core, Addr line, Cycle now)
         ++stats.invBlockedRetries;
         return false;
     }
+    if (chaos && chaos->lockStuck(core, line, now)) {
+        ++stats.invBlockedRetries;
+        return false;
+    }
     PrivCaches &pc = priv[core];
     bool present = pc.l2.contains(line) || pc.l1.contains(line);
     pc.l1.invalidate(line);
@@ -189,9 +194,14 @@ MemSystem::tryInvalidateCore(CoreId core, Addr line, Cycle now)
 }
 
 bool
-MemSystem::tryDowngradeCore(CoreId core, Addr line, CacheState target)
+MemSystem::tryDowngradeCore(CoreId core, Addr line, CacheState target,
+                            Cycle now)
 {
     if (cores[core] && cores[core]->isLineLocked(line)) {
+        ++stats.invBlockedRetries;
+        return false;
+    }
+    if (chaos && chaos->lockStuck(core, line, now)) {
         ++stats.invBlockedRetries;
         return false;
     }
@@ -247,6 +257,24 @@ MemSystem::dumpTxns(Cycle now) const
         tracef("  busy line=%llx txn=%llu",
                (unsigned long long)line, (unsigned long long)id);
     }
+}
+
+std::vector<MemSystem::BlockedRecall>
+MemSystem::blockedRecalls() const
+{
+    std::vector<BlockedRecall> out;
+    for (const auto &t : txns) {
+        if (t->phase != Phase::kVictimRecall)
+            continue;
+        for (CoreId c = 0; c < numCores; ++c) {
+            std::uint64_t bit = std::uint64_t{1} << c;
+            if ((t->victimMask & bit) && cores[c] &&
+                cores[c]->isLineLocked(t->victimLine)) {
+                out.push_back({t->victimLine, c, t->line, t->core});
+            }
+        }
+    }
+    return out;
 }
 
 void
@@ -389,7 +417,7 @@ MemSystem::stepTxn(Txn &txn, Cycle now)
             CacheState::kModified;
         CacheState target = moesi && was_dirty ? CacheState::kOwned
                                                : CacheState::kShared;
-        if (!tryDowngradeCore(txn.downgradeCore, txn.line, target))
+        if (!tryDowngradeCore(txn.downgradeCore, txn.line, target, now))
             return;  // blocked on a locked line; retry
         ++stats.networkMsgs;
         DirEntry *entry = dir.find(txn.line);
@@ -411,6 +439,8 @@ MemSystem::stepTxn(Txn &txn, Cycle now)
         txn.grantState = CacheState::kShared;
         txn.phase = Phase::kToRequester;
         txn.readyAt = now + cfg.netLatency;  // owner -> requester data
+        if (chaos)
+            txn.readyAt += chaos->coherenceDelay(txn.line);
         ++stats.networkMsgs;
         break;
       }
@@ -447,6 +477,8 @@ MemSystem::processAtDir(Txn &txn, Cycle now)
             txn.downgradeCore = entry->owner;
             txn.phase = Phase::kDowngradeOwner;
             txn.readyAt = now + cfg.netLatency;
+            if (chaos)
+                txn.readyAt += chaos->coherenceDelay(txn.line);
             ++stats.networkMsgs;
             return;
         }
@@ -479,6 +511,8 @@ MemSystem::processAtDir(Txn &txn, Cycle now)
         entry->forwarder = txn.core;
         txn.phase = Phase::kToRequester;
         txn.readyAt = now + data_lat + cfg.netLatency;
+        if (chaos)
+            txn.readyAt += chaos->coherenceDelay(txn.line);
         ++stats.networkMsgs;
         return;
     }
@@ -494,6 +528,8 @@ MemSystem::processAtDir(Txn &txn, Cycle now)
     if (txn.invMask != 0) {
         txn.phase = Phase::kInvSharers;
         txn.readyAt = now + cfg.netLatency;
+        if (chaos)
+            txn.readyAt += chaos->coherenceDelay(txn.line);
         return;
     }
     finishWriteGrant(txn, now);
@@ -524,6 +560,8 @@ MemSystem::finishWriteGrant(Txn &txn, Cycle now)
     txn.grantState = CacheState::kModified;
     txn.phase = Phase::kToRequester;
     txn.readyAt = now + data_lat + cfg.netLatency;
+    if (chaos)
+        txn.readyAt += chaos->coherenceDelay(txn.line);
     ++stats.networkMsgs;
 }
 
@@ -581,8 +619,14 @@ MemSystem::releaseLine(Addr line, Cycle now)
         lineQueue.erase(it);
         return;
     }
-    std::uint64_t next_id = it->second.front();
-    it->second.pop_front();
+    std::uint64_t next_id;
+    if (chaos && it->second.size() >= 2 && chaos->reorderQueued(line)) {
+        next_id = it->second.back();
+        it->second.pop_back();
+    } else {
+        next_id = it->second.front();
+        it->second.pop_front();
+    }
     if (it->second.empty())
         lineQueue.erase(it);
     for (auto &t : txns) {

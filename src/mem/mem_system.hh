@@ -30,6 +30,8 @@
 #include "mem/directory.hh"
 #include "mem/mem_config.hh"
 
+namespace fa::chaos { class ChaosEngine; }
+
 namespace fa::mem {
 
 /**
@@ -81,6 +83,10 @@ class MemSystem
     /** Wire a core's callback interface (must be done for all cores
      * before the first access). */
     void attachCore(CoreId core, CoreMemIf *iface);
+
+    /** Optional fault-injection engine; null = no injection and no
+     * per-access cost beyond one pointer test. */
+    void attachChaos(chaos::ChaosEngine *engine) { chaos = engine; }
 
     /**
      * Timed access from a core for a full line.
@@ -142,6 +148,21 @@ class MemSystem
 
     /** Trace every in-flight transaction (debugging aid). */
     void dumpTxns(Cycle now) const;
+
+    /**
+     * Directory-victim recalls currently blocked on an AQ-locked
+     * line (the §3.2.5 inclusive-directory deadlock shape). One
+     * record per (recall, blocking core) pair; forensics uses this
+     * because the static lock-cycle pass cannot predict the shape.
+     */
+    struct BlockedRecall
+    {
+        Addr victimLine;  ///< line being recalled
+        CoreId holder;    ///< core whose lock denies the recall
+        Addr reqLine;     ///< line whose miss forced the recall
+        CoreId requester; ///< core waiting on that miss
+    };
+    std::vector<BlockedRecall> blockedRecalls() const;
 
     const MemConfig &config() const { return cfg; }
 
@@ -208,7 +229,8 @@ class MemSystem
 
     /** Try to downgrade a core's exclusive copy (to S, or to O
      * under MOESI when dirty). */
-    bool tryDowngradeCore(CoreId core, Addr line, CacheState target);
+    bool tryDowngradeCore(CoreId core, Addr line, CacheState target,
+                          Cycle now);
 
     /** Remove a core from a line's directory entry, releasing the
      * entry when it was the last holder. */
@@ -230,6 +252,7 @@ class MemSystem
 
     MemConfig cfg;
     unsigned numCores;
+    chaos::ChaosEngine *chaos = nullptr;
 
     std::vector<PrivCaches> priv;
     std::vector<CoreMemIf *> cores;

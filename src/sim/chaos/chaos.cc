@@ -1,0 +1,262 @@
+#include "sim/chaos/chaos.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace fa::chaos {
+
+namespace {
+
+/** Stable per-class stream ids (mixed into the engine seed). Order is
+ * part of the reproducer format: renumbering breaks saved replays. */
+enum ClassId : std::uint64_t
+{
+    kCoherenceDelay = 0x11,
+    kQueueReorder = 0x22,
+    kStuckLock = 0x33,
+    kSquashStorm = 0x44,
+    kEvictPressure = 0x55,
+    kDropUnlock = 0x66,
+    kFwdCapJitter = 0x77,
+};
+
+std::uint64_t
+stuckKey(CoreId core, Addr line)
+{
+    return mix64(static_cast<std::uint64_t>(core) + 1, line);
+}
+
+} // namespace
+
+bool
+ChaosConfig::anyEnabled() const
+{
+    return delayProb || reorderProb || stuckLockProb || squashStormProb ||
+           evictPressureProb || dropUnlockProb || fwdCapJitterProb;
+}
+
+std::string
+ChaosConfig::describe() const
+{
+    std::ostringstream os;
+    os << "seed=" << seed;
+    if (delayProb)
+        os << " delay=" << delayProb << "/" << kProbDen
+           << "(max " << delayMaxCycles << "c)";
+    if (reorderProb)
+        os << " reorder=" << reorderProb << "/" << kProbDen;
+    if (stuckLockProb)
+        os << " stuck=" << stuckLockProb << "/" << kProbDen
+           << "(" << stuckLockCycles << "c)";
+    if (squashStormProb)
+        os << " storm=" << squashStormProb << "/" << kProbDen;
+    if (evictPressureProb)
+        os << " evict=" << evictPressureProb << "/" << kProbDen;
+    if (dropUnlockProb)
+        os << " dropUnlock=" << dropUnlockProb << "/" << kProbDen;
+    if (fwdCapJitterProb)
+        os << " fwdJitter=" << fwdCapJitterProb << "/" << kProbDen;
+    if (!anyEnabled())
+        os << " (all classes off)";
+    return os.str();
+}
+
+ChaosConfig
+chaosProfile(const std::string &name, std::uint64_t seed)
+{
+    ChaosConfig c;
+    c.seed = seed;
+    if (name == "none") {
+        // all zero: engine attachable but silent (zero-overhead tests)
+    } else if (name == "coherence") {
+        c.delayProb = 96;
+        c.delayMaxCycles = 64;
+        c.reorderProb = 128;
+    } else if (name == "locks") {
+        c.stuckLockProb = 64;
+        c.stuckLockCycles = 96;
+    } else if (name == "squash") {
+        c.squashStormProb = 12;
+    } else if (name == "pressure") {
+        c.evictPressureProb = 128;
+    } else if (name == "fwd") {
+        c.fwdCapJitterProb = 256;
+    } else if (name == "all") {
+        // Everything except the injected bug: runs must stay live and
+        // TSO-clean under this profile, so it is the soak default.
+        c.delayProb = 64;
+        c.delayMaxCycles = 48;
+        c.reorderProb = 96;
+        c.stuckLockProb = 32;
+        c.stuckLockCycles = 64;
+        c.squashStormProb = 8;
+        c.evictPressureProb = 96;
+        c.fwdCapJitterProb = 128;
+    } else if (name == "buggy_unlock") {
+        // The deliberate simulator bug: storms create lock-holding
+        // squashes, dropUnlock leaks one of their lines.
+        c.squashStormProb = 24;
+        c.dropUnlockProb = 512;
+    } else {
+        throw std::invalid_argument("unknown chaos profile: " + name);
+    }
+    return c;
+}
+
+const char *
+chaosProfileNames()
+{
+    return "none, coherence, locks, squash, pressure, fwd, all, buggy_unlock";
+}
+
+ChaosEngine::ChaosEngine(const ChaosConfig &config)
+    : cfg(config),
+      rngDelay(mix64(config.seed, kCoherenceDelay)),
+      rngReorder(mix64(config.seed, kQueueReorder)),
+      rngStuck(mix64(config.seed, kStuckLock)),
+      rngStorm(mix64(config.seed, kSquashStorm)),
+      rngEvict(mix64(config.seed, kEvictPressure)),
+      rngDrop(mix64(config.seed, kDropUnlock)),
+      rngFwd(mix64(config.seed, kFwdCapJitter))
+{
+}
+
+Cycle
+ChaosEngine::coherenceDelay(Addr line)
+{
+    if (!cfg.delayProb)
+        return 0;
+    (void)line;
+    if (!rngDelay.chance(cfg.delayProb, kProbDen))
+        return 0;
+    Cycle extra = 1 + rngDelay.below(cfg.delayMaxCycles);
+    ++cnt.coherenceDelays;
+    cnt.delayCyclesAdded += extra;
+    return extra;
+}
+
+bool
+ChaosEngine::reorderQueued(Addr line)
+{
+    if (!cfg.reorderProb)
+        return false;
+    (void)line;
+    if (!rngReorder.chance(cfg.reorderProb, kProbDen))
+        return false;
+    ++cnt.queueReorders;
+    return true;
+}
+
+bool
+ChaosEngine::lockStuck(CoreId core, Addr line, Cycle now)
+{
+    if (!cfg.stuckLockProb)
+        return false;
+    auto &st = stuck[stuckKey(core, line)];
+    if (now < st.stuckUntil) {
+        ++cnt.stuckLockDenials;
+        return true;
+    }
+    // Rate-limit fresh rolls: a denied invalidation retries every
+    // cycle, so rolling per retry would compound the probability.
+    if (now < st.nextRollAt)
+        return false;
+    st.nextRollAt = now + cfg.stuckLockCycles;
+    if (!rngStuck.chance(cfg.stuckLockProb, kProbDen))
+        return false;
+    st.stuckUntil = now + cfg.stuckLockCycles;
+    ++cnt.stuckLockWindows;
+    ++cnt.stuckLockDenials;
+    return true;
+}
+
+bool
+ChaosEngine::squashStormTick(CoreId core)
+{
+    if (!cfg.squashStormProb)
+        return false;
+    (void)core;
+    if (!rngStorm.chance(cfg.squashStormProb, kProbDen))
+        return false;
+    ++cnt.squashStorms;
+    return true;
+}
+
+unsigned
+ChaosEngine::stormVictimIndex(unsigned count)
+{
+    return count <= 1 ? 0 : static_cast<unsigned>(rngStorm.below(count));
+}
+
+bool
+ChaosEngine::evictPressureTick(CoreId core)
+{
+    if (!cfg.evictPressureProb)
+        return false;
+    (void)core;
+    if (!rngEvict.chance(cfg.evictPressureProb, kProbDen))
+        return false;
+    ++cnt.evictPressureProbes;
+    return true;
+}
+
+unsigned
+ChaosEngine::evictPressureWay()
+{
+    return 1 + static_cast<unsigned>(rngEvict.below(8));
+}
+
+bool
+ChaosEngine::dropUnlock(CoreId core)
+{
+    if (!cfg.dropUnlockProb)
+        return false;
+    (void)core;
+    if (!rngDrop.chance(cfg.dropUnlockProb, kProbDen))
+        return false;
+    ++cnt.droppedUnlocks;
+    return true;
+}
+
+unsigned
+ChaosEngine::fwdCapJitter(unsigned chain, unsigned cap)
+{
+    if (!cfg.fwdCapJitterProb)
+        return cap;
+    // Only perturb decisions actually near the boundary; rolling on
+    // every short-chain forward would drain the stream for nothing.
+    if (chain + 2 < cap)
+        return cap;
+    if (!rngFwd.chance(cfg.fwdCapJitterProb, kProbDen))
+        return cap;
+    ++cnt.fwdCapJitters;
+    unsigned jittered = rngFwd.chance(1, 2) ? cap + 1 : cap - 1;
+    return jittered < 1 ? 1 : jittered;
+}
+
+std::uint64_t
+ChaosEngine::Counts::total() const
+{
+    return coherenceDelays + queueReorders + stuckLockWindows +
+           squashStorms + evictPressureProbes + droppedUnlocks +
+           fwdCapJitters;
+}
+
+std::string
+ChaosEngine::summary() const
+{
+    std::ostringstream os;
+    os << "chaos: " << cfg.describe() << "\n"
+       << "  coherenceDelays:     " << cnt.coherenceDelays
+       << " (+" << cnt.delayCyclesAdded << " cycles)\n"
+       << "  queueReorders:       " << cnt.queueReorders << "\n"
+       << "  stuckLockWindows:    " << cnt.stuckLockWindows
+       << " (" << cnt.stuckLockDenials << " denials)\n"
+       << "  squashStorms:        " << cnt.squashStorms << "\n"
+       << "  evictPressureProbes: " << cnt.evictPressureProbes << "\n"
+       << "  droppedUnlocks:      " << cnt.droppedUnlocks << "\n"
+       << "  fwdCapJitters:       " << cnt.fwdCapJitters << "\n";
+    return os.str();
+}
+
+} // namespace fa::chaos

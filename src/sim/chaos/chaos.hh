@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Deterministic fault-injection engine ("chaos engine") for liveness
+ * certification of the Free Atomics mechanisms.
+ *
+ * The watchdog (§3.2.5) is the only liveness mechanism in the design:
+ * every deadlock shape and forwarding-responsibility hand-off must be
+ * survivable by timeout-and-flush. The engine drives those paths hard
+ * by perturbing the simulation at the points where real hardware
+ * exhibits adversarial timing:
+ *
+ *  - delayed coherence responses       (kCoherenceDelay)
+ *  - reordered same-line requests      (kQueueReorder)
+ *  - transiently stuck cacheline locks (kStuckLock)
+ *  - branch-squash storms targeting in-flight atomics (kSquashStorm)
+ *  - forced replacement pressure on locked lines (kEvictPressure)
+ *  - dropped unlock_on_squash — a deliberate simulator bug that the
+ *    forensics layer must catch, never the watchdog (kDropUnlock)
+ *  - forwarding-chain cap jitter around the §3.3.4 bound (kFwdCapJitter)
+ *
+ * All of these are *timing* faults except kDropUnlock: a run under any
+ * non-buggy profile must still finish, satisfy its invariants and pass
+ * the axiomatic x86-TSO check.
+ *
+ * Determinism: every decision flows through a per-fault-class Rng
+ * stream seeded from mix64(seed, class). The simulator itself is
+ * deterministic, so the sequence of injection opportunities — and
+ * therefore the whole run — is bit-reproducible from (program, machine
+ * seed, ChaosConfig).
+ *
+ * Wiring: Core and MemSystem hold a nullable ChaosEngine pointer and
+ * guard every hook with `if (chaos)` — the same zero-cost-when-off
+ * pattern as the trace/pipeview recorders.
+ */
+
+#ifndef FA_SIM_CHAOS_CHAOS_HH
+#define FA_SIM_CHAOS_CHAOS_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace fa::chaos {
+
+/** Probability denominator for all per-opportunity fault rates. */
+constexpr std::uint64_t kProbDen = 1024;
+
+/**
+ * Per-fault-class knobs. All probabilities are numerators over
+ * kProbDen, evaluated once per injection opportunity; 0 disables the
+ * class. The whole struct is plain data so a fault schedule can be
+ * serialized into a reproducer file and replayed exactly.
+ */
+struct ChaosConfig
+{
+    /** Seed of the engine's Rng streams (independent of the machine
+     * seed so program and fault schedule shrink separately). */
+    std::uint64_t seed = 1;
+
+    // kCoherenceDelay: extra latency added when a coherence response
+    // (data grant, invalidation, downgrade) is dispatched.
+    unsigned delayProb = 0;
+    unsigned delayMaxCycles = 64;
+
+    // kQueueReorder: when a directory line frees up, service the
+    // youngest queued request instead of the oldest.
+    unsigned reorderProb = 0;
+
+    // kStuckLock: an invalidation/downgrade is denied as if the
+    // target line were AQ-locked, for a bounded window of cycles.
+    unsigned stuckLockProb = 0;
+    unsigned stuckLockCycles = 128;
+
+    // kSquashStorm: per-cycle chance (while atomics are in flight) to
+    // squash-and-replay a random uncommitted atomic, emulating a
+    // wrong-path burst landing on it.
+    unsigned squashStormProb = 0;
+
+    // kEvictPressure: per-cycle chance (while a lock is held) to
+    // issue a prefetch that conflicts with the locked line's L1 set,
+    // attacking the §3.2.4 locked-victim exclusion.
+    unsigned evictPressureProb = 0;
+
+    // kDropUnlock: chance that a squashed lock-holding atomic's AQ
+    // release is LOST. This is an injected simulator bug: the lock
+    // leaks, the watchdog cannot fire (the owner is gone), and the
+    // run must end in the global progress-window abort with forensics
+    // flagging the stale lock.
+    unsigned dropUnlockProb = 0;
+
+    // kFwdCapJitter: when an atomic-to-atomic forward sits within 2
+    // of the §3.3.4 chain cap, perturb the effective cap by ±1
+    // (never below 1).
+    unsigned fwdCapJitterProb = 0;
+
+    /** Any fault class armed? (engine construction gate) */
+    bool anyEnabled() const;
+
+    /** One-line human-readable summary of the armed classes. */
+    std::string describe() const;
+};
+
+/** Named profiles (fasoak --profile / fasim --chaos-profile). */
+ChaosConfig chaosProfile(const std::string &name, std::uint64_t seed);
+
+/** Names accepted by chaosProfile(), comma-separated (usage text). */
+const char *chaosProfileNames();
+
+/**
+ * The engine: owns the per-class Rng streams, answers the injection
+ * hooks, and counts what it injected.
+ */
+class ChaosEngine
+{
+  public:
+    explicit ChaosEngine(const ChaosConfig &config);
+
+    const ChaosConfig &config() const { return cfg; }
+
+    // --- memory-system hooks ---------------------------------------------
+
+    /** Extra cycles to add to a coherence response now being sent
+     * for `line`; 0 when no fault fires. */
+    Cycle coherenceDelay(Addr line);
+
+    /** Service the back of `line`'s directory queue instead of the
+     * front (queue has >= 2 entries when asked). */
+    bool reorderQueued(Addr line);
+
+    /**
+     * Treat (core, line) as lock-denied even though the AQ disagrees.
+     * A firing opens a window of stuckLockCycles during which every
+     * retry is denied; between windows the roll is rate-limited so
+     * retried invalidations do not compound the probability.
+     */
+    bool lockStuck(CoreId core, Addr line, Cycle now);
+
+    // --- core-side hooks ---------------------------------------------------
+
+    /** Per-cycle storm roll (called only while uncommitted atomics
+     * exist). True = squash one of them this cycle. */
+    bool squashStormTick(CoreId core);
+
+    /** Pick the storm victim among `count` uncommitted atomics. */
+    unsigned stormVictimIndex(unsigned count);
+
+    /** Per-cycle replacement-pressure roll (called only while the AQ
+     * holds a lock). True = issue a conflicting prefetch. */
+    bool evictPressureTick(CoreId core);
+
+    /** Way offset (>= 1) for the conflicting prefetch address. */
+    unsigned evictPressureWay();
+
+    /** Lose this squashed atomic's unlock_on_squash? (injected bug) */
+    bool dropUnlock(CoreId core);
+
+    /** Effective §3.3.4 chain cap for this check: `cap` itself, or
+     * cap±1 when the jitter fault fires near the boundary. */
+    unsigned fwdCapJitter(unsigned chain, unsigned cap);
+
+    // --- accounting ---------------------------------------------------------
+
+    /** Injection counts per fault class (tests, forensics). */
+    struct Counts
+    {
+        std::uint64_t coherenceDelays = 0;
+        std::uint64_t delayCyclesAdded = 0;
+        std::uint64_t queueReorders = 0;
+        std::uint64_t stuckLockWindows = 0;
+        std::uint64_t stuckLockDenials = 0;
+        std::uint64_t squashStorms = 0;
+        std::uint64_t evictPressureProbes = 0;
+        std::uint64_t droppedUnlocks = 0;
+        std::uint64_t fwdCapJitters = 0;
+
+        std::uint64_t total() const;
+    };
+
+    const Counts &counts() const { return cnt; }
+
+    /** Deterministic multi-line summary (seed-replay tests compare
+     * this string across runs). */
+    std::string summary() const;
+
+  private:
+    ChaosConfig cfg;
+
+    // One stream per fault class: injections in one class never
+    // perturb the schedule of another, so shrinking a fault schedule
+    // (zeroing one class) leaves the rest bit-identical.
+    Rng rngDelay;
+    Rng rngReorder;
+    Rng rngStuck;
+    Rng rngStorm;
+    Rng rngEvict;
+    Rng rngDrop;
+    Rng rngFwd;
+
+    /** (core, line) -> cycle until which the lock appears stuck; the
+     * same map rate-limits fresh rolls via negative entries. */
+    struct StuckState
+    {
+        Cycle stuckUntil = 0;
+        Cycle nextRollAt = 0;
+    };
+    std::unordered_map<std::uint64_t, StuckState> stuck;
+
+    Counts cnt;
+};
+
+} // namespace fa::chaos
+
+#endif // FA_SIM_CHAOS_CHAOS_HH

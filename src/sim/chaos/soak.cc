@@ -1,0 +1,360 @@
+#include "sim/chaos/soak.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "sim/runner.hh"
+#include "sim/system.hh"
+#include "workloads/synthetic.hh"
+#include "workloads/workload.hh"
+
+namespace fa::chaos {
+
+namespace {
+
+sim::MachineConfig
+machinePreset(const std::string &name, unsigned cores)
+{
+    if (name == "tiny")
+        return sim::MachineConfig::tiny(cores);
+    if (name == "icelake")
+        return sim::MachineConfig::icelake(cores);
+    if (name == "skylake")
+        return sim::MachineConfig::skylake(cores);
+    if (name == "sandybridge")
+        return sim::MachineConfig::sandybridge(cores);
+    fatal("unknown machine preset '%s'", name.c_str());
+}
+
+/** Seed-stream tags so dims, programs and fault schedule never share
+ * a random stream (shrinking one must not reshuffle the others). */
+constexpr std::uint64_t kDimsTag = 0xd135;
+constexpr std::uint64_t kProgTag = 0x9a0c;
+constexpr std::uint64_t kFaultTag = 0xfa17;
+
+/** CLI token for a mode (soakParseMode's inverse; the pretty
+ * atomicsModeName() strings are not parseable). */
+const char *
+modeToken(core::AtomicsMode mode)
+{
+    switch (mode) {
+      case core::AtomicsMode::kFenced: return "fenced";
+      case core::AtomicsMode::kSpec: return "spec";
+      case core::AtomicsMode::kFree: return "free";
+      case core::AtomicsMode::kFreeFwd: return "freefwd";
+    }
+    return "freefwd";
+}
+
+} // namespace
+
+core::AtomicsMode
+soakParseMode(const std::string &name)
+{
+    if (name == "fenced")
+        return core::AtomicsMode::kFenced;
+    if (name == "spec")
+        return core::AtomicsMode::kSpec;
+    if (name == "free")
+        return core::AtomicsMode::kFree;
+    if (name == "freefwd")
+        return core::AtomicsMode::kFreeFwd;
+    fatal("unknown mode '%s' (fenced|spec|free|freefwd)", name.c_str());
+}
+
+SoakSpec
+makeSoakSpec(std::uint64_t seed, core::AtomicsMode mode,
+             const std::string &profile)
+{
+    Rng rng(mix64(seed, kDimsTag));
+    SoakSpec s;
+    s.seed = seed;
+    s.threads = static_cast<unsigned>(rng.range(2, 4));
+    s.blocks = static_cast<unsigned>(rng.range(10, 30));
+    s.counters = static_cast<unsigned>(rng.range(2, 6));
+    s.mode = mode;
+    s.chaos = chaosProfile(profile, mix64(seed, kFaultTag));
+    return s;
+}
+
+SoakCase
+buildSoakCase(const SoakSpec &spec)
+{
+    SoakCase c;
+    c.spec = spec;
+    c.expectedCounters.assign(spec.counters, 0);
+    for (unsigned t = 0; t < spec.threads; ++t) {
+        wl::SyntheticParams p;
+        p.generatorSeed = mix64(spec.seed, kProgTag);
+        p.blocks = spec.blocks;
+        p.numCounters = spec.counters;
+        std::vector<std::int64_t> inc;
+        c.programs.push_back(
+            wl::buildSyntheticProgram(p, t, spec.threads, &inc));
+        for (unsigned i = 0; i < spec.counters; ++i)
+            c.expectedCounters[i] += inc[i];
+    }
+    return c;
+}
+
+SoakResult
+runSoakCase(const SoakCase &c)
+{
+    const SoakSpec &spec = c.spec;
+    sim::MachineConfig m = machinePreset(spec.machine, spec.threads);
+    m.cores = spec.threads;
+    m.core.mode = spec.mode;
+    m.recordMemTrace = true;
+    m.watchdogForensics = true;
+    m.progressWindow = spec.progressWindow;
+    m.chaos = spec.chaos;
+
+    sim::System sys(m, c.programs, spec.seed);
+    sim::RunOutcome out = sys.run(spec.maxCycles);
+    sim::RunResult res = sim::collectRunResult(sys, out);
+
+    SoakResult r;
+    r.cycles = out.cycles;
+    r.watchdogTimeouts = res.core.watchdogTimeouts;
+    r.forensics = out.forensics;
+    if (const ChaosEngine *eng = sys.chaosEngine())
+        r.chaosInjections = eng->counts().total();
+
+    if (!out.finished) {
+        r.signature = out.failure.find("no core committed") !=
+                              std::string::npos
+                          ? "no-progress"
+                          : "cycle-limit";
+        r.detail = out.failure;
+        return r;
+    }
+    if (res.tsoChecked && !res.tsoOk()) {
+        r.signature = "tso";
+        r.detail = res.tsoError;
+        return r;
+    }
+    for (unsigned i = 0; i < spec.counters; ++i) {
+        std::int64_t got =
+            sys.readWord(wl::kDataBase + i * kLineBytes);
+        if (got != c.expectedCounters[i]) {
+            std::ostringstream os;
+            os << "counter " << i << " ended at " << got
+               << ", expected " << c.expectedCounters[i];
+            r.signature = "invariant:counter" + std::to_string(i);
+            r.detail = os.str();
+            return r;
+        }
+    }
+    r.ok = true;
+    return r;
+}
+
+namespace {
+
+/** Does `candidate` still fail with the same signature? */
+bool
+reproduces(const SoakSpec &candidate, const std::string &signature)
+{
+    return runSoakCase(buildSoakCase(candidate)).signature == signature;
+}
+
+} // namespace
+
+SoakSpec
+shrinkSoakCase(const SoakSpec &failing, const std::string &signature,
+               unsigned *steps)
+{
+    SoakSpec cur = failing;
+    unsigned accepted = 0;
+
+    // Greedy fixpoint: retry the whole candidate list after every
+    // accepted reduction (an earlier rejected cut may become viable
+    // once something else shrank).
+    bool progress = true;
+    while (progress) {
+        progress = false;
+
+        auto attempt = [&](SoakSpec cand) {
+            if (reproduces(cand, signature)) {
+                cur = cand;
+                ++accepted;
+                progress = true;
+                return true;
+            }
+            return false;
+        };
+
+        // Program dims first: smaller programs dominate replay cost.
+        if (cur.threads > 1) {
+            SoakSpec cand = cur;
+            cand.threads = cur.threads - 1;
+            attempt(cand);
+        }
+        while (cur.blocks > 1) {
+            SoakSpec cand = cur;
+            cand.blocks = cur.blocks > 2 ? cur.blocks / 2 : 1;
+            if (!attempt(cand))
+                break;
+        }
+        if (cur.counters > 1) {
+            SoakSpec cand = cur;
+            cand.counters = cur.counters - 1;
+            attempt(cand);
+        }
+
+        // Fault classes: zero one at a time. Class streams are
+        // independent, so dropping one leaves the rest bit-identical.
+        static constexpr unsigned ChaosConfig::*kProbs[] = {
+            &ChaosConfig::delayProb,         &ChaosConfig::reorderProb,
+            &ChaosConfig::stuckLockProb,     &ChaosConfig::squashStormProb,
+            &ChaosConfig::evictPressureProb, &ChaosConfig::dropUnlockProb,
+            &ChaosConfig::fwdCapJitterProb,
+        };
+        for (unsigned ChaosConfig::*p : kProbs) {
+            if (cur.chaos.*p == 0)
+                continue;
+            SoakSpec cand = cur;
+            cand.chaos.*p = 0;
+            attempt(cand);
+        }
+
+        // Magnitude knobs last.
+        if (cur.chaos.delayProb != 0 && cur.chaos.delayMaxCycles > 4) {
+            SoakSpec cand = cur;
+            cand.chaos.delayMaxCycles = cur.chaos.delayMaxCycles / 2;
+            attempt(cand);
+        }
+        if (cur.chaos.stuckLockProb != 0 &&
+            cur.chaos.stuckLockCycles > 8) {
+            SoakSpec cand = cur;
+            cand.chaos.stuckLockCycles = cur.chaos.stuckLockCycles / 2;
+            attempt(cand);
+        }
+    }
+
+    if (steps)
+        *steps = accepted;
+    return cur;
+}
+
+std::string
+writeReproducer(const SoakCase &c, const SoakResult &r,
+                const std::string &dir, const std::string &base)
+{
+    namespace fs = std::filesystem;
+    fs::create_directories(dir);
+
+    std::vector<std::string> prog_files;
+    for (unsigned t = 0; t < c.programs.size(); ++t) {
+        std::string rel = base + ".t" + std::to_string(t) + ".fasm";
+        std::ofstream pf(fs::path(dir) / rel);
+        if (!pf)
+            fatal("cannot write reproducer program '%s'", rel.c_str());
+        pf << isa::writeAsm(c.programs[t]);
+        prog_files.push_back(rel);
+    }
+
+    fs::path json_path = fs::path(dir) / (base + ".json");
+    std::ofstream os(json_path);
+    if (!os)
+        fatal("cannot write reproducer '%s'",
+              json_path.string().c_str());
+
+    const SoakSpec &s = c.spec;
+    JsonWriter jw(os);
+    jw.beginObject();
+    jw.key("schema").value("fa-soak-repro-v1");
+    jw.key("seed").value(std::uint64_t{s.seed});
+    jw.key("mode").value(modeToken(s.mode));
+    jw.key("machine").value(s.machine);
+    jw.key("threads").value(s.threads);
+    jw.key("blocks").value(s.blocks);
+    jw.key("counters").value(s.counters);
+    jw.key("progressWindow").value(std::uint64_t{s.progressWindow});
+    jw.key("maxCycles").value(std::uint64_t{s.maxCycles});
+    jw.key("chaos").beginObject();
+    jw.key("seed").value(std::uint64_t{s.chaos.seed});
+    jw.key("delayProb").value(s.chaos.delayProb);
+    jw.key("delayMaxCycles").value(s.chaos.delayMaxCycles);
+    jw.key("reorderProb").value(s.chaos.reorderProb);
+    jw.key("stuckLockProb").value(s.chaos.stuckLockProb);
+    jw.key("stuckLockCycles").value(s.chaos.stuckLockCycles);
+    jw.key("squashStormProb").value(s.chaos.squashStormProb);
+    jw.key("evictPressureProb").value(s.chaos.evictPressureProb);
+    jw.key("dropUnlockProb").value(s.chaos.dropUnlockProb);
+    jw.key("fwdCapJitterProb").value(s.chaos.fwdCapJitterProb);
+    jw.endObject();
+    jw.key("programs").beginArray();
+    for (const auto &f : prog_files)
+        jw.value(f);
+    jw.endArray();
+    jw.key("expectedCounters").beginArray();
+    for (std::int64_t v : c.expectedCounters)
+        jw.value(v);
+    jw.endArray();
+    jw.key("signature").value(r.signature);
+    jw.key("detail").value(r.detail);
+    jw.endObject();
+    os << '\n';
+    return json_path.string();
+}
+
+SoakCase
+loadReproducer(const std::string &json_path,
+               std::string *recorded_signature)
+{
+    namespace fs = std::filesystem;
+    std::ifstream in(json_path);
+    if (!in)
+        fatal("cannot open reproducer '%s'", json_path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    JsonValue doc = JsonValue::parse(ss.str());
+    if (doc.at("schema").str != "fa-soak-repro-v1")
+        fatal("'%s': unknown reproducer schema '%s'",
+              json_path.c_str(), doc.at("schema").str.c_str());
+
+    SoakCase c;
+    SoakSpec &s = c.spec;
+    s.seed = doc.at("seed").asU64();
+    s.mode = soakParseMode(doc.at("mode").str);
+    s.machine = doc.at("machine").str;
+    s.threads = static_cast<unsigned>(doc.at("threads").asU64());
+    s.blocks = static_cast<unsigned>(doc.at("blocks").asU64());
+    s.counters = static_cast<unsigned>(doc.at("counters").asU64());
+    s.progressWindow = doc.at("progressWindow").asU64();
+    s.maxCycles = doc.at("maxCycles").asU64();
+    const JsonValue &ch = doc.at("chaos");
+    s.chaos.seed = ch.at("seed").asU64();
+    auto u = [&ch](const char *k) {
+        return static_cast<unsigned>(ch.at(k).asU64());
+    };
+    s.chaos.delayProb = u("delayProb");
+    s.chaos.delayMaxCycles = u("delayMaxCycles");
+    s.chaos.reorderProb = u("reorderProb");
+    s.chaos.stuckLockProb = u("stuckLockProb");
+    s.chaos.stuckLockCycles = u("stuckLockCycles");
+    s.chaos.squashStormProb = u("squashStormProb");
+    s.chaos.evictPressureProb = u("evictPressureProb");
+    s.chaos.dropUnlockProb = u("dropUnlockProb");
+    s.chaos.fwdCapJitterProb = u("fwdCapJitterProb");
+
+    fs::path dir = fs::path(json_path).parent_path();
+    for (const JsonValue &pf : doc.at("programs").arr)
+        c.programs.push_back(
+            isa::assembleFile((dir / pf.str).string()));
+    for (const JsonValue &v : doc.at("expectedCounters").arr)
+        c.expectedCounters.push_back(
+            static_cast<std::int64_t>(v.number));
+
+    if (recorded_signature)
+        *recorded_signature = doc.at("signature").str;
+    return c;
+}
+
+} // namespace fa::chaos

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Seeded liveness-certification harness ("soak") built on the chaos
+ * engine. One soak case is derived entirely from a 64-bit seed:
+ *
+ *   seed -> { threads, blocks, counters } dims
+ *        -> one randomized atomic-heavy program per thread
+ *             (workloads/synthetic.cc, with known counter totals)
+ *        -> a fault schedule (chaos profile materialized with a
+ *           seed-derived engine seed)
+ *
+ * The case is then simulated with the memory trace recorded and the
+ * run certified on four axes:
+ *
+ *   1. forward progress — the run finishes inside the (generous)
+ *      progress window; the §3.2.5 watchdog, not the global abort,
+ *      must break every induced wedge,
+ *   2. cycle budget — no unbounded livelock under the cycle limit,
+ *   3. x86-TSO — the axiomatic checker passes on the recorded trace,
+ *   4. atomicity — every shared counter ends at exactly the sum of
+ *      the generated increments.
+ *
+ * On failure the harness greedily shrinks the case — fewer threads,
+ * fewer blocks, fewer counters, fault classes zeroed one at a time —
+ * while the failure signature still reproduces, then writes a
+ * minimal reproducer: one `.fasm` per thread (isa::writeAsm) plus a
+ * JSON fault file (schema "fa-soak-repro-v1") that replays exactly.
+ */
+
+#ifndef FA_SIM_CHAOS_SOAK_HH
+#define FA_SIM_CHAOS_SOAK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/core_config.hh"
+#include "isa/program.hh"
+#include "sim/chaos/chaos.hh"
+
+namespace fa::chaos {
+
+/** Fully materialized parameters of one soak case. Plain data: the
+ * shrinker mutates fields and the reproducer file round-trips it. */
+struct SoakSpec
+{
+    std::uint64_t seed = 1;     ///< master seed (programs + machine)
+    unsigned threads = 2;       ///< cores / programs
+    unsigned blocks = 8;        ///< synthetic-program blocks per thread
+    unsigned counters = 4;      ///< shared atomic counters
+    core::AtomicsMode mode = core::AtomicsMode::kFreeFwd;
+    std::string machine = "tiny";  ///< preset name (tiny forces evictions)
+    ChaosConfig chaos;          ///< materialized fault schedule
+
+    /** Progress window: must exceed the worst-case backed-off
+     * watchdog timeout, else a healthy recovery reads as a wedge. */
+    Cycle progressWindow = 500'000;
+    Cycle maxCycles = 4'000'000;
+};
+
+/** Derive a full case from (seed, mode, profile): dims come from a
+ * seed-derived Rng, the fault schedule from chaosProfile(profile,
+ * mix64(seed, ...)). */
+SoakSpec makeSoakSpec(std::uint64_t seed, core::AtomicsMode mode,
+                      const std::string &profile);
+
+/** A spec with its generated (or reloaded) programs and the expected
+ * final value of each shared counter. */
+struct SoakCase
+{
+    SoakSpec spec;
+    std::vector<isa::Program> programs;
+    std::vector<std::int64_t> expectedCounters;
+};
+
+/** Generate the programs for `spec` and sum the per-thread counter
+ * increments into the expected totals. */
+SoakCase buildSoakCase(const SoakSpec &spec);
+
+/** Outcome of one certified run. */
+struct SoakResult
+{
+    bool ok = false;
+    /** Stable failure class the shrinker matches on: "no-progress",
+     * "cycle-limit", "tso", or "invariant:counter<N>". Empty on ok. */
+    std::string signature;
+    std::string detail;         ///< human-readable failure specifics
+    Cycle cycles = 0;
+    std::uint64_t watchdogTimeouts = 0;
+    std::uint64_t chaosInjections = 0;
+    std::string forensics;      ///< snapshot captured during the run
+};
+
+/** Simulate and certify one case. */
+SoakResult runSoakCase(const SoakCase &c);
+
+/**
+ * Greedily shrink a failing spec while `signature` reproduces:
+ * threads, blocks, counters shrink first, then fault classes are
+ * zeroed one at a time and their magnitude knobs halved. Returns the
+ * smallest spec found (possibly the input) and, via `steps`, the
+ * number of accepted reductions.
+ */
+SoakSpec shrinkSoakCase(const SoakSpec &failing,
+                        const std::string &signature,
+                        unsigned *steps = nullptr);
+
+/**
+ * Write a reproducer into `dir`: `<base>.t<K>.fasm` per thread plus
+ * `<base>.json` referencing them (paths relative to the JSON file).
+ * Returns the JSON path.
+ */
+std::string writeReproducer(const SoakCase &c, const SoakResult &r,
+                            const std::string &dir,
+                            const std::string &base);
+
+/** Reload a reproducer written by writeReproducer. The returned
+ * case's programs come from the `.fasm` files, so a replay exercises
+ * the exact on-disk artifact. Also returns the recorded signature
+ * via `recorded_signature` when non-null. */
+SoakCase loadReproducer(const std::string &json_path,
+                        std::string *recorded_signature = nullptr);
+
+/** Parse "fenced|spec|free|freefwd" (throws FatalError otherwise). */
+core::AtomicsMode soakParseMode(const std::string &name);
+
+} // namespace fa::chaos
+
+#endif // FA_SIM_CHAOS_SOAK_HH

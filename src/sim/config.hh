@@ -11,6 +11,7 @@
 #include "common/types.hh"
 #include "core/core_config.hh"
 #include "mem/mem_config.hh"
+#include "sim/chaos/chaos.hh"
 
 namespace fa::sim {
 
@@ -50,6 +51,12 @@ struct MachineConfig
      * watchdog failed to break is always a simulator bug). Small
      * values let deadlock tests trip the abort quickly. */
     Cycle progressWindow = 2'000'000;
+
+    /** Fault-injection schedule (sim/chaos/chaos.hh). The engine is
+     * constructed and wired into every core and the memory system
+     * only when a fault class is armed; otherwise runs are
+     * bit-identical to a build without the chaos subsystem. */
+    chaos::ChaosConfig chaos;
 
     /** Icelake-like preset: the paper's evaluated system (Table 1).
      * 352-entry ROB, 128/72 LQ/SQ, 48KB 12-way L1D. */

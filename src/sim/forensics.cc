@@ -7,6 +7,7 @@
 #include "core/atomic_queue.hh"
 #include "core/dyn_inst.hh"
 #include "isa/program.hh"
+#include "sim/chaos/chaos.hh"
 #include "sim/system.hh"
 
 namespace fa::sim {
@@ -79,10 +80,21 @@ forensicReport(const System &sys, Cycle now, const std::string &reason)
            << " lastCommit=" << core.lastCommitCycle() << " rob="
            << core.robOccupancy() << " sb=" << core.sbOccupancy()
            << '\n';
-        if (core.halted())
-            continue;
-        describeInst(os, "ROB head", core.robHead());
-        describeInst(os, "SQ head ", core.sqHead());
+        if (!core.halted()) {
+            describeInst(os, "ROB head", core.robHead());
+            describeInst(os, "SQ head ", core.sqHead());
+            auto ws = core.watchdogState();
+            os << "    watchdog: watched=";
+            if (ws.watchedSeq == kNoSeq)
+                os << "-";
+            else
+                os << ws.watchedSeq;
+            os << " lastProgress=" << ws.lastProgress
+               << " timeout=" << ws.timeout
+               << " backoffExp=" << ws.backoffExp << '\n';
+        }
+        // Dump the AQ even for a halted core: a lock that survives
+        // past halt has no possible owner and must be flagged STALE.
         const core::AtomicQueue &aq = core.atomicQueue();
         for (unsigned i = 0; i < aq.size(); ++i) {
             const auto &e = aq.entry(static_cast<int>(i));
@@ -94,8 +106,37 @@ forensicReport(const System &sys, Cycle now, const std::string &reason)
                 os << " line=0x" << std::hex << e.line << std::dec;
             if (e.sqId != kNoSeq)
                 os << " fwdFromSq=" << e.sqId;
+            if (e.locked && !core.hasInflight(e.seq) &&
+                !core.seqInStoreQueue(e.seq)) {
+                // No in-flight or SB-draining instruction owns this
+                // lock: a lost unlock_on_squash. The watchdog cannot
+                // break it (its victim lookup finds no owner), so
+                // only the global progress window catches it.
+                os << " STALE (owner gone - leaked lock, "
+                      "simulator bug)";
+            }
             os << '\n';
         }
+    }
+
+    // Directory-victim recalls wedged on a locked line: the §3.2.5
+    // inclusive-directory deadlock shape. Static lock-cycle analysis
+    // cannot predict it (it depends on directory occupancy, not the
+    // programs), so report it from live memory-system state.
+    auto recalls = sys.mem().blockedRecalls();
+    for (const auto &r : recalls) {
+        os << "  victim recall blocked: line 0x" << std::hex
+           << r.victimLine << std::dec << " locked by core "
+           << r.holder << ", recall forced by core " << r.requester
+           << " missing on line 0x" << std::hex << r.reqLine
+           << std::dec << " (inclusive-directory victim shape)\n";
+    }
+
+    if (const chaos::ChaosEngine *eng = sys.chaosEngine()) {
+        std::istringstream lines(eng->summary());
+        std::string line;
+        while (std::getline(lines, line))
+            os << "  " << line << '\n';
     }
 
     // Classify against the statically-predicted deadlock shapes so a

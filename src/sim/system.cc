@@ -16,6 +16,10 @@ System::System(const MachineConfig &config,
     memSys = std::make_unique<mem::MemSystem>(cfg.mem, cfg.cores);
     if (cfg.recordMemTrace)
         tracer = std::make_unique<analysis::TraceRecorder>();
+    if (cfg.chaos.anyEnabled()) {
+        chaosEng = std::make_unique<chaos::ChaosEngine>(cfg.chaos);
+        memSys->attachChaos(chaosEng.get());
+    }
     if (!cfg.pipeviewPath.empty()) {
         pipeviewFile = std::make_unique<std::ofstream>(cfg.pipeviewPath);
         if (!*pipeviewFile)
@@ -40,6 +44,7 @@ System::System(const MachineConfig &config,
             c, cfg.core, progs[c], memSys.get(), mix64(seed, c + 1)));
         cores.back()->attachTracer(tracer.get());
         cores.back()->attachPipeView(ownPipeview.get());
+        cores.back()->attachChaos(chaosEng.get());
         if (cfg.watchdogForensics) {
             // Capture pipeline state at the first firing only: the
             // watchdog can fire thousands of times in a legitimately
@@ -81,6 +86,14 @@ System::attachPipeView(core::PipeViewRecorder *pv)
 {
     for (auto &c : cores)
         c->attachPipeView(pv);
+}
+
+void
+System::attachChaos(chaos::ChaosEngine *engine)
+{
+    memSys->attachChaos(engine);
+    for (auto &c : cores)
+        c->attachChaos(engine);
 }
 
 void

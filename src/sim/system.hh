@@ -21,6 +21,7 @@
 #include "core/pipeview.hh"
 #include "isa/program.hh"
 #include "mem/mem_system.hh"
+#include "sim/chaos/chaos.hh"
 #include "sim/config.hh"
 #include "sim/interval_stats.hh"
 
@@ -117,6 +118,16 @@ class System
     /** Forensic report captured during run(); empty when none. */
     const std::string &forensics() const { return lastForensics; }
 
+    // --- fault injection ---------------------------------------------------
+
+    /** The engine built from cfg.chaos (nullptr when no fault class
+     * is armed). */
+    const chaos::ChaosEngine *chaosEngine() const { return chaosEng.get(); }
+
+    /** Attach an external engine to every core and the memory system
+     * (tests; overrides cfg.chaos). Null detaches. */
+    void attachChaos(chaos::ChaosEngine *engine);
+
   private:
     void maybeSnapshotInterval();
 
@@ -124,6 +135,7 @@ class System
     std::vector<isa::Program> programsVec;
     std::unique_ptr<mem::MemSystem> memSys;
     std::unique_ptr<analysis::TraceRecorder> tracer;
+    std::unique_ptr<chaos::ChaosEngine> chaosEng;
     std::vector<std::unique_ptr<core::Core>> cores;
     Cycle now = 0;
 

@@ -10,6 +10,9 @@
  *  - dl_rmwrmw / dl_storermw / dl_loadrmw: generators for the
  *    deadlock cycles of Figures 5, 6 and 7, recovered by the
  *    watchdog (§3.2.5).
+ *  - dl_dirvictim: the fourth §3.2.5 shape — an inclusive-directory
+ *    victim recall wedged on a locked line while the lock holder
+ *    waits on the very miss that forced the recall.
  */
 
 #include "workloads/suites.hh"
@@ -358,6 +361,69 @@ makeDeadlock(const std::string &name, DlKind kind, std::int64_t iters)
     return w;
 }
 
+/**
+ * Inclusive-directory victim-recall deadlock (§3.2.5, fourth shape).
+ *
+ * Each thread streams loads over a private region big enough to
+ * overflow the finite directory, then RMWs its own hot line A. Under
+ * out-of-order lock acquisition the atomic locks A while the older
+ * stream loads still miss; allocating their directory entries must
+ * recall a victim, LRU picks the idle-looking locked A, the recall
+ * is denied — and the lock holder itself is waiting on the blocked
+ * miss, a cycle only the watchdog can break. Fenced/in-order runs
+ * never lock early, so the same program runs wedge-free there.
+ */
+Workload
+makeDirVictim(std::int64_t iters)
+{
+    Workload w;
+    w.name = "dl_dirvictim";
+    w.origin = "litmus";
+    w.atomicIntensive = true;
+    w.build = [iters](const BuildCtx &ctx) {
+        ProgramBuilder b("dl_dirvictim");
+        emitStartBarrier(b, ctx);
+        Reg r_i = b.alloc();
+        Reg r_a = b.alloc();
+        Reg r_s = b.alloc();
+        Reg r_one = b.alloc();
+        Reg r_v = b.alloc();
+        Addr hot = kDataBase + ctx.threadId * 64;
+        // Private stream region, far from every thread's hot line.
+        Addr stream = kScratchBase + ctx.threadId * 0x100000;
+        b.movi(r_i, ctx.iters(iters));
+        b.movi(r_a, static_cast<std::int64_t>(hot));
+        b.movi(r_s, static_cast<std::int64_t>(stream));
+        b.movi(r_one, 1);
+        Label loop = b.here();
+        // Eight fresh-line misses (one per small-directory set) older
+        // than the atomic: their entry allocations force recalls.
+        for (int l = 0; l < 8; ++l)
+            b.load(r_v, r_s, l * 64);
+        b.fetchAdd(r_v, r_a, r_one);
+        b.addi(r_s, r_s, 8 * 64);
+        b.addi(r_i, r_i, -1);
+        b.branch(BranchCond::kNe, r_i, ProgramBuilder::zero(), loop);
+        b.halt();
+        return b.build();
+    };
+    w.verify = [iters](const sim::System &sys, unsigned nthreads,
+                       double scale) {
+        BuildCtx c;
+        c.scale = scale;
+        std::int64_t per = c.iters(iters);
+        for (unsigned t = 0; t < nthreads; ++t) {
+            std::string err = expectEq(
+                strfmt("thread %u hot-line count", t).c_str(),
+                sys.readWord(kDataBase + t * 64), per);
+            if (!err.empty())
+                return err;
+        }
+        return std::string();
+    };
+    return w;
+}
+
 } // namespace
 
 std::vector<Workload>
@@ -371,6 +437,7 @@ litmusSuite()
     v.push_back(makeDeadlock("dl_rmwrmw", DlKind::kRmwRmw, 64));
     v.push_back(makeDeadlock("dl_storermw", DlKind::kStoreRmw, 64));
     v.push_back(makeDeadlock("dl_loadrmw", DlKind::kLoadRmw, 64));
+    v.push_back(makeDirVictim(48));
     return v;
 }
 

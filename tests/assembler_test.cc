@@ -224,5 +224,29 @@ TEST(Assembler, MissingFileIsFatal)
     EXPECT_THROW(assembleFile("/no/such/file.fasm"), FatalError);
 }
 
+TEST(Assembler, WriteAsmRoundTripsBranchyGeneratedPrograms)
+{
+    // writeAsm is the on-disk format of soak reproducers: for any
+    // generated program (branches, loops, atomics, the lot),
+    // assemble(writeAsm(p)) must reproduce the code stream exactly.
+    for (std::uint64_t seed : {1, 2, 3, 4}) {
+        wl::SyntheticParams sp;
+        sp.generatorSeed = seed;
+        sp.blocks = 20;
+        Program orig = wl::buildSyntheticProgram(sp, 0, 2, nullptr);
+        Program again = assemble("rt", writeAsm(orig));
+        ASSERT_EQ(again.code.size(), orig.code.size()) << "seed "
+                                                       << seed;
+        for (size_t i = 0; i < orig.code.size(); ++i) {
+            EXPECT_EQ(again.code[i].op, orig.code[i].op)
+                << "seed " << seed << " pc " << i;
+            EXPECT_EQ(again.code[i].imm, orig.code[i].imm)
+                << "seed " << seed << " pc " << i;
+            EXPECT_EQ(again.code[i].target, orig.code[i].target)
+                << "seed " << seed << " pc " << i;
+        }
+    }
+}
+
 } // namespace
 } // namespace fa::isa

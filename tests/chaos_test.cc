@@ -1,0 +1,450 @@
+/**
+ * @file
+ * Fault-injection engine, watchdog hardening, and soak-harness tests:
+ *  - zero-cost-when-off: an attached all-zero engine is bit-identical
+ *    to no engine at all,
+ *  - seed-replay determinism: same seed + fault profile => identical
+ *    cycle counts, injection counts, and forensics output,
+ *  - every timing fault class fires and preserves correctness,
+ *  - the injected dropped-unlock bug is caught by forensics (stale
+ *    lock), never by the watchdog,
+ *  - §3.2.5 watchdog counter semantics: the timer tracks the oldest
+ *    lock-holding atomic, so a long non-atomic commit stream cannot
+ *    starve it,
+ *  - randomized exponential backoff: recorded per firing, pinnable,
+ *    and able to exit a two-core flush-reacquire livelock,
+ *  - soak certification: shrinking and reproducer round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "freeatomics/freeatomics.hh"
+
+namespace fa {
+namespace {
+
+using core::AtomicsMode;
+
+/** Run a packaged workload with an optional chaos profile armed in
+ * the machine config; returns the result and the injection counts. */
+std::pair<sim::RunResult, chaos::ChaosEngine::Counts>
+runWithChaos(const std::string &workload, AtomicsMode mode,
+             const std::string &profile, std::uint64_t chaos_seed,
+             unsigned threads = 4, double scale = 0.5)
+{
+    const auto *w = wl::findWorkload(workload);
+    EXPECT_NE(w, nullptr) << workload;
+    auto m = sim::MachineConfig::tiny(threads);
+    m.core.inOrderLockAcquisition = false;
+    m.core.watchdogThreshold = 500;
+    m.recordMemTrace = true;
+    m.chaos = chaos::chaosProfile(profile, chaos_seed);
+    auto progs = wl::buildPrograms(*w, threads, scale);
+    m.core.mode = mode;
+    m.cores = threads;
+    sim::System sys(m, progs, 31);
+    if (w->init)
+        sys.initMemory(w->init(threads, scale));
+    auto out = sys.run(40'000'000);
+    auto res = sim::collectRunResult(sys, out);
+    if (w->verify && out.finished && res.failure.empty())
+        res.failure = w->verify(sys, threads, scale);
+    chaos::ChaosEngine::Counts cnt;
+    if (const auto *eng = sys.chaosEngine())
+        cnt = eng->counts();
+    return {res, cnt};
+}
+
+// --------------------------------------------------------------------------
+// Engine basics
+// --------------------------------------------------------------------------
+
+TEST(ChaosConfig, ProfilesAreNamedAndUnknownIsRejected)
+{
+    auto all = chaos::chaosProfile("all", 7);
+    EXPECT_TRUE(all.anyEnabled());
+    EXPECT_EQ(all.describe(), chaos::chaosProfile("all", 7).describe());
+    auto none = chaos::chaosProfile("none", 7);
+    EXPECT_FALSE(none.anyEnabled());
+    EXPECT_THROW(chaos::chaosProfile("bogus", 1),
+                 std::invalid_argument);
+    EXPECT_NE(std::string(chaos::chaosProfileNames()).find("all"),
+              std::string::npos);
+}
+
+TEST(ChaosEngine, ZeroProbabilityEngineIsBitIdenticalToNoEngine)
+{
+    // The acceptance bar for "zero overhead when disabled": cycle
+    // counts and counters must be identical whether the hooks are
+    // absent (null pointer) or present but never firing.
+    const auto *w = wl::findWorkload("atomic_counter");
+    ASSERT_NE(w, nullptr);
+    auto m = sim::MachineConfig::tiny(4);
+    m.core.inOrderLockAcquisition = false;
+    auto progs = wl::buildPrograms(*w, 4, 0.5);
+    m.core.mode = AtomicsMode::kFreeFwd;
+    m.cores = 4;
+
+    sim::System plain(m, progs, 31);
+    auto out_plain = plain.run(40'000'000);
+    ASSERT_TRUE(out_plain.finished) << out_plain.failure;
+
+    sim::System hooked(m, progs, 31);
+    chaos::ChaosEngine idle{chaos::ChaosConfig{}};
+    hooked.attachChaos(&idle);
+    auto out_hooked = hooked.run(40'000'000);
+    ASSERT_TRUE(out_hooked.finished) << out_hooked.failure;
+
+    EXPECT_EQ(out_plain.cycles, out_hooked.cycles);
+    EXPECT_EQ(plain.coreTotals().committedInsts,
+              hooked.coreTotals().committedInsts);
+    EXPECT_EQ(plain.coreTotals().squashEvents[static_cast<int>(
+                  SquashCause::kBranchMispredict)],
+              hooked.coreTotals().squashEvents[static_cast<int>(
+                  SquashCause::kBranchMispredict)]);
+    EXPECT_EQ(plain.mem().stats.l1Misses, hooked.mem().stats.l1Misses);
+    EXPECT_EQ(idle.counts().total(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Seed-replay determinism (satellite: bit-identical replays)
+// --------------------------------------------------------------------------
+
+TEST(ChaosReplay, SameSeedAndProfileGiveIdenticalRuns)
+{
+    auto [a, ca] = runWithChaos("atomic_counter",
+                                AtomicsMode::kFreeFwd, "all", 97);
+    auto [b, cb] = runWithChaos("atomic_counter",
+                                AtomicsMode::kFreeFwd, "all", 97);
+    ASSERT_TRUE(a.finished) << a.failure;
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.core.committedInsts, b.core.committedInsts);
+    EXPECT_EQ(a.core.watchdogTimeouts, b.core.watchdogTimeouts);
+    EXPECT_EQ(ca.total(), cb.total());
+    EXPECT_EQ(ca.coherenceDelays, cb.coherenceDelays);
+    EXPECT_EQ(ca.squashStorms, cb.squashStorms);
+
+    // A different fault seed perturbs the schedule (sanity check that
+    // the engine is actually doing something seed-dependent).
+    auto [c, cc] = runWithChaos("atomic_counter",
+                                AtomicsMode::kFreeFwd, "all", 98);
+    ASSERT_TRUE(c.finished) << c.failure;
+    EXPECT_NE(ca.total(), 0u);
+    EXPECT_TRUE(a.cycles != c.cycles || ca.total() != cc.total());
+}
+
+TEST(ChaosReplay, FailingRunForensicsAreIdenticalAcrossRuns)
+{
+    // Satellite: same seed + fault profile => bit-identical cycle
+    // counts AND identical forensics output across two runs.
+    auto spec = chaos::makeSoakSpec(3, AtomicsMode::kFreeFwd,
+                                    "buggy_unlock");
+    auto r1 = chaos::runSoakCase(chaos::buildSoakCase(spec));
+    auto r2 = chaos::runSoakCase(chaos::buildSoakCase(spec));
+    ASSERT_FALSE(r1.ok);
+    EXPECT_EQ(r1.signature, r2.signature);
+    EXPECT_EQ(r1.detail, r2.detail);
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_EQ(r1.forensics, r2.forensics);
+    EXPECT_FALSE(r1.forensics.empty());
+}
+
+// --------------------------------------------------------------------------
+// Fault classes fire and preserve correctness
+// --------------------------------------------------------------------------
+
+TEST(ChaosClasses, CoherenceDelaysAndReordersFire)
+{
+    auto [r, c] = runWithChaos("atomic_counter", AtomicsMode::kFreeFwd,
+                               "coherence", 5);
+    ASSERT_TRUE(r.finished) << r.failure;
+    EXPECT_TRUE(r.failure.empty()) << r.failure;
+    EXPECT_TRUE(r.tsoOk()) << r.tsoError;
+    EXPECT_GT(c.coherenceDelays, 0u);
+    EXPECT_GT(c.delayCyclesAdded, c.coherenceDelays);
+}
+
+TEST(ChaosClasses, StuckLocksFireAndDeny)
+{
+    auto [r, c] = runWithChaos("atomic_counter", AtomicsMode::kFreeFwd,
+                               "locks", 5);
+    ASSERT_TRUE(r.finished) << r.failure;
+    EXPECT_TRUE(r.failure.empty()) << r.failure;
+    EXPECT_TRUE(r.tsoOk()) << r.tsoError;
+    EXPECT_GT(c.stuckLockWindows, 0u);
+    EXPECT_GE(c.stuckLockDenials, c.stuckLockWindows);
+}
+
+TEST(ChaosClasses, SquashStormsFireAndAreCounted)
+{
+    auto [r, c] = runWithChaos("atomic_counter", AtomicsMode::kFreeFwd,
+                               "squash", 5);
+    ASSERT_TRUE(r.finished) << r.failure;
+    EXPECT_TRUE(r.failure.empty()) << r.failure;
+    EXPECT_TRUE(r.tsoOk()) << r.tsoError;
+    EXPECT_GT(c.squashStorms, 0u);
+    EXPECT_EQ(r.core.squashEvents[static_cast<int>(
+                  SquashCause::kChaos)],
+              c.squashStorms);
+}
+
+TEST(ChaosClasses, EvictPressureFires)
+{
+    auto [r, c] = runWithChaos("atomic_counter", AtomicsMode::kFreeFwd,
+                               "pressure", 5);
+    ASSERT_TRUE(r.finished) << r.failure;
+    EXPECT_TRUE(r.failure.empty()) << r.failure;
+    EXPECT_TRUE(r.tsoOk()) << r.tsoError;
+    EXPECT_GT(c.evictPressureProbes, 0u);
+}
+
+TEST(ChaosClasses, FwdCapJitterFiresAtChainBoundary)
+{
+    // Back-to-back same-line atomics build §3.3.4 chains up to the
+    // cap; the jitter class only rolls within 2 of the boundary.
+    auto [r, c] = runWithChaos("atomic_counter", AtomicsMode::kFreeFwd,
+                               "fwd", 5, 2, 1.0);
+    ASSERT_TRUE(r.finished) << r.failure;
+    EXPECT_TRUE(r.failure.empty()) << r.failure;
+    EXPECT_TRUE(r.tsoOk()) << r.tsoError;
+    EXPECT_GT(c.fwdCapJitters, 0u);
+}
+
+TEST(ChaosClasses, AllTimingFaultsTogetherStayCorrect)
+{
+    for (auto mode : {AtomicsMode::kFenced, AtomicsMode::kSpec,
+                      AtomicsMode::kFree, AtomicsMode::kFreeFwd}) {
+        auto [r, c] = runWithChaos("atomic_counter", mode, "all", 11);
+        ASSERT_TRUE(r.finished)
+            << core::atomicsModeName(mode) << ": " << r.failure;
+        EXPECT_TRUE(r.failure.empty()) << r.failure;
+        EXPECT_TRUE(r.tsoOk()) << r.tsoError;
+        EXPECT_GT(c.total(), 0u);
+        EXPECT_EQ(c.droppedUnlocks, 0u);  // "all" excludes the bug
+    }
+}
+
+// --------------------------------------------------------------------------
+// The injected bug: forensics, not the watchdog, must catch it
+// --------------------------------------------------------------------------
+
+TEST(ChaosBug, DroppedUnlockIsCaughtByForensicsNotWatchdog)
+{
+    auto spec = chaos::makeSoakSpec(3, AtomicsMode::kFreeFwd,
+                                    "buggy_unlock");
+    auto r = chaos::runSoakCase(chaos::buildSoakCase(spec));
+    ASSERT_FALSE(r.ok);
+    // The leaked lock has no in-flight owner, so the watchdog's
+    // victim lookup cannot break it: the run must end in the global
+    // progress-window abort...
+    EXPECT_EQ(r.signature, "no-progress");
+    // ...and the forensic snapshot must name the stale lock as a
+    // simulator bug.
+    EXPECT_NE(r.forensics.find("STALE (owner gone - leaked lock"),
+              std::string::npos)
+        << r.forensics;
+}
+
+// --------------------------------------------------------------------------
+// Watchdog counter semantics (§3.2.5 audit)
+// --------------------------------------------------------------------------
+
+TEST(WatchdogAudit, NonAtomicCommitStreamCannotStarveTheTimer)
+{
+    // Thread 0 pointer-chases through a long dependent load chain and
+    // only then retires an atomic that — under out-of-order lock
+    // acquisition — locked its line long before. The commit stream of
+    // chase loads is steady, so a timer that restarts on *any* commit
+    // would never expire; the §3.2.5 timer watches the oldest
+    // lock-holding atomic and must fire while the chain drains.
+    constexpr unsigned kChain = 40;
+    constexpr Addr kLock = wl::kDataBase;
+    constexpr Addr kChase = wl::kDataBase + 0x80000;
+
+    isa::ProgramBuilder b0("chase-then-atomic");
+    {
+        isa::Reg r_p = b0.alloc();
+        isa::Reg r_l = b0.alloc();
+        isa::Reg r_one = b0.alloc();
+        isa::Reg r_v = b0.alloc();
+        b0.movi(r_l, static_cast<std::int64_t>(kLock));
+        b0.movi(r_one, 1);
+        b0.movi(r_p, static_cast<std::int64_t>(kChase));
+        for (unsigned i = 0; i < kChain; ++i)
+            b0.load(r_p, r_p, 0);   // serially dependent misses
+        b0.fetchAdd(r_v, r_l, r_one);
+        b0.store(r_l, r_p, 8);      // keep the chase result live
+        b0.halt();
+    }
+    isa::ProgramBuilder b1("spinner");
+    constexpr std::int64_t kSpins = 20;
+    {
+        isa::Reg r_l = b1.alloc();
+        isa::Reg r_one = b1.alloc();
+        isa::Reg r_i = b1.alloc();
+        isa::Reg r_v = b1.alloc();
+        b1.movi(r_l, static_cast<std::int64_t>(kLock));
+        b1.movi(r_one, 1);
+        b1.movi(r_i, kSpins);
+        isa::Label loop = b1.here();
+        b1.fetchAdd(r_v, r_l, r_one);
+        b1.addi(r_i, r_i, -1);
+        b1.branch(isa::BranchCond::kNe, r_i,
+                  isa::ProgramBuilder::zero(), loop);
+        b1.halt();
+    }
+
+    auto m = sim::MachineConfig::tiny(2);
+    m.core.mode = AtomicsMode::kFreeFwd;
+    m.core.inOrderLockAcquisition = false;
+    m.core.watchdogThreshold = 500;
+    m.core.strideLoadPrefetch = false;  // keep the chase misses slow
+    m.cores = 2;
+    sim::System sys(m, {b0.build(), b1.build()}, 31);
+
+    // Pointer-chase list: each link names the next line, scattered so
+    // no prefetcher pattern forms.
+    sim::MemInit init;
+    Addr node = kChase;
+    for (unsigned i = 0; i < kChain; ++i) {
+        Addr next = kChase + ((i * 17 + 5) % 192) * 64;
+        init.push_back({node, static_cast<std::int64_t>(next)});
+        node = next;
+    }
+    sys.initMemory(init);
+
+    auto out = sys.run(5'000'000);
+    ASSERT_TRUE(out.finished) << out.failure;
+    EXPECT_GE(sys.coreTotals().watchdogTimeouts, 1u)
+        << "commit stream of chase loads starved the watchdog";
+    EXPECT_EQ(sys.readWord(kLock), 1 + kSpins);
+}
+
+// --------------------------------------------------------------------------
+// Randomized exponential backoff
+// --------------------------------------------------------------------------
+
+TEST(WatchdogBackoff, EffectiveTimeoutRecordedPerFiring)
+{
+    const auto *w = wl::findWorkload("dl_storermw");
+    ASSERT_NE(w, nullptr);
+    auto m = sim::MachineConfig::tiny(2);
+    m.core.inOrderLockAcquisition = false;
+    m.core.watchdogThreshold = 500;
+    auto r = wl::runWorkload(*w, m, AtomicsMode::kFreeFwd, 2, 1.0, 31,
+                             40'000'000);
+    ASSERT_TRUE(r.finished) << r.failure;
+    ASSERT_GT(r.core.watchdogTimeouts, 0u);
+    EXPECT_EQ(r.hists.wdBackoff.count(), r.core.watchdogTimeouts);
+    // Every effective timeout is at least the base threshold (jitter
+    // and backoff only ever extend it).
+    EXPECT_GE(r.hists.wdBackoff.min(), 500u);
+}
+
+TEST(WatchdogBackoff, DisabledBackoffAndJitterPinTheTimeout)
+{
+    const auto *w = wl::findWorkload("dl_storermw");
+    ASSERT_NE(w, nullptr);
+    auto m = sim::MachineConfig::tiny(2);
+    m.core.inOrderLockAcquisition = false;
+    m.core.watchdogThreshold = 500;
+    m.core.watchdogBackoff = false;
+    m.core.watchdogJitterPct = 0;
+    auto r = wl::runWorkload(*w, m, AtomicsMode::kFreeFwd, 2, 1.0, 31,
+                             40'000'000);
+    ASSERT_TRUE(r.finished) << r.failure;
+    ASSERT_GT(r.core.watchdogTimeouts, 0u);
+    EXPECT_EQ(r.hists.wdBackoff.min(), 500u);
+    EXPECT_EQ(r.hists.wdBackoff.max(), 500u);
+}
+
+TEST(WatchdogBackoff, TwoCoreFlushReacquireLivelockExits)
+{
+    // Two symmetric cores, an aggressive timeout, and injected
+    // coherence delays: each firing squashes a lock-holder that
+    // immediately reacquires — the flush-reacquire loop two
+    // synchronized watchdogs can livelock in. Randomized per-core
+    // jitter plus exponential backoff must desynchronize them and
+    // finish well inside the progress window.
+    const auto *w = wl::findWorkload("dl_storermw");
+    ASSERT_NE(w, nullptr);
+    auto m = sim::MachineConfig::tiny(2);
+    m.core.inOrderLockAcquisition = false;
+    m.core.watchdogThreshold = 200;
+    m.chaos = chaos::chaosProfile("coherence", 7);
+    auto r = wl::runWorkload(*w, m, AtomicsMode::kFreeFwd, 2, 1.0, 31,
+                             40'000'000);
+    ASSERT_TRUE(r.finished) << r.failure;
+    EXPECT_TRUE(r.failure.empty()) << r.failure;
+    EXPECT_GT(r.core.watchdogTimeouts, 0u);
+    EXPECT_LT(r.cycles, sim::MachineConfig().progressWindow);
+}
+
+// --------------------------------------------------------------------------
+// Soak harness: certification, shrinking, reproducers
+// --------------------------------------------------------------------------
+
+TEST(Soak, TimingProfilesCertifyAcrossSeeds)
+{
+    for (std::uint64_t seed : {1, 2, 3}) {
+        for (const char *profile : {"coherence", "all"}) {
+            auto spec = chaos::makeSoakSpec(
+                seed, AtomicsMode::kFreeFwd, profile);
+            auto r = chaos::runSoakCase(chaos::buildSoakCase(spec));
+            EXPECT_TRUE(r.ok) << "seed " << seed << " profile "
+                              << profile << ": [" << r.signature
+                              << "] " << r.detail;
+        }
+    }
+}
+
+TEST(Soak, ShrinkPreservesSignatureAndReducesTheCase)
+{
+    auto spec = chaos::makeSoakSpec(3, AtomicsMode::kFreeFwd,
+                                    "buggy_unlock");
+    auto r = chaos::runSoakCase(chaos::buildSoakCase(spec));
+    ASSERT_FALSE(r.ok);
+
+    unsigned steps = 0;
+    auto small = chaos::shrinkSoakCase(spec, r.signature, &steps);
+    EXPECT_GT(steps, 0u);
+    EXPECT_LE(small.threads, spec.threads);
+    EXPECT_LE(small.blocks, spec.blocks);
+    auto rs = chaos::runSoakCase(chaos::buildSoakCase(small));
+    EXPECT_EQ(rs.signature, r.signature);
+}
+
+TEST(Soak, ReproducerReplaysExactly)
+{
+    namespace fs = std::filesystem;
+    auto spec = chaos::makeSoakSpec(3, AtomicsMode::kFreeFwd,
+                                    "buggy_unlock");
+    auto c = chaos::buildSoakCase(spec);
+    auto r = chaos::runSoakCase(c);
+    ASSERT_FALSE(r.ok);
+
+    std::string dir =
+        (fs::path(::testing::TempDir()) / "fa-soak-repro").string();
+    std::string json = chaos::writeReproducer(c, r, dir, "case3");
+
+    std::string recorded;
+    auto loaded = chaos::loadReproducer(json, &recorded);
+    EXPECT_EQ(recorded, r.signature);
+    ASSERT_EQ(loaded.programs.size(), c.programs.size());
+    for (size_t t = 0; t < c.programs.size(); ++t) {
+        ASSERT_EQ(loaded.programs[t].code.size(),
+                  c.programs[t].code.size());
+    }
+    EXPECT_EQ(loaded.expectedCounters, c.expectedCounters);
+
+    // The replay must reproduce the failure cycle-for-cycle.
+    auto rr = chaos::runSoakCase(loaded);
+    EXPECT_EQ(rr.signature, r.signature);
+    EXPECT_EQ(rr.cycles, r.cycles);
+    EXPECT_EQ(rr.forensics, r.forensics);
+}
+
+} // namespace
+} // namespace fa

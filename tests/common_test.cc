@@ -387,7 +387,7 @@ TEST(Histogram, MergeIntoEmptyPreservesMin)
     EXPECT_EQ(a.count(), 1u);
 }
 
-TEST(LatencyHists, ForEachVisitsAllFour)
+TEST(LatencyHists, ForEachVisitsAll)
 {
     LatencyHists h;
     h.atomicLatency.record(1);
@@ -398,7 +398,7 @@ TEST(LatencyHists, ForEachVisitsAllFour)
     });
     EXPECT_EQ(names, (std::set<std::string>{
                          "atomicLatency", "sbDrain", "lockHold",
-                         "fwdChain"}));
+                         "fwdChain", "wdBackoff"}));
 }
 
 TEST(Json, WriterBasics)

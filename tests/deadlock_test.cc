@@ -69,6 +69,78 @@ dlMatrix()
 INSTANTIATE_TEST_SUITE_P(Matrix, DeadlockRecovery,
                          ::testing::ValuesIn(dlMatrix()), dlName);
 
+// --------------------------------------------------------------------------
+// §3.2.5 shapes under injected coherence faults: the watchdog — not
+// the global progress-window abort — must break every induced cycle,
+// and the forensic snapshot must classify the shape.
+// --------------------------------------------------------------------------
+
+struct ChaosDlParam
+{
+    const char *workload;
+    /** Substring the forensic snapshot must contain for this shape. */
+    const char *classification;
+    unsigned threads;
+    double scale;
+};
+
+std::string
+chaosDlName(const ::testing::TestParamInfo<ChaosDlParam> &info)
+{
+    return std::string(info.param.workload) + "_t" +
+        std::to_string(info.param.threads);
+}
+
+class ChaosDeadlockRecovery
+    : public ::testing::TestWithParam<ChaosDlParam>
+{
+};
+
+TEST_P(ChaosDeadlockRecovery, WatchdogBreaksCycleUnderInjectedDelays)
+{
+    const auto &p = GetParam();
+    const auto *w = wl::findWorkload(p.workload);
+    ASSERT_NE(w, nullptr);
+
+    std::uint64_t total_timeouts = 0;
+    std::string forensics;
+    for (std::uint64_t chaos_seed : {5, 6, 7}) {
+        auto m = sim::MachineConfig::tiny(p.threads);
+        m.core.inOrderLockAcquisition = false;
+        m.core.watchdogThreshold = 500;
+        m.chaos = chaos::chaosProfile("coherence", chaos_seed);
+        m.watchdogForensics = true;
+        auto r = wl::runWorkload(*w, m, AtomicsMode::kFreeFwd,
+                                 p.threads, p.scale, 31, 40'000'000);
+        // finished == true means the watchdog resolved every wedge;
+        // a progress-window abort would report finished == false.
+        ASSERT_TRUE(r.finished) << p.workload << " seed "
+                                << chaos_seed << ": " << r.failure;
+        EXPECT_TRUE(r.failure.empty()) << r.failure;
+        total_timeouts += r.core.watchdogTimeouts;
+        if (r.core.watchdogTimeouts > 0 && forensics.empty())
+            forensics = r.forensics;
+    }
+    EXPECT_GT(total_timeouts, 0u)
+        << p.workload << ": no injected run tripped the watchdog";
+    ASSERT_FALSE(forensics.empty());
+    EXPECT_NE(forensics.find(p.classification), std::string::npos)
+        << "snapshot did not classify the shape:\n" << forensics;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ChaosDeadlockRecovery,
+    ::testing::Values(
+        // Shapes differ in how much contention injected delays need
+        // before a cycle forms: Figure 5 only wedges under full-scale
+        // four-way contention, Figure 7 needs four threads.
+        ChaosDlParam{"dl_rmwrmw", "RMW-RMW (Figure 5)", 4, 1.0},
+        ChaosDlParam{"dl_storermw", "Store-RMW (Figure 6)", 2, 0.5},
+        ChaosDlParam{"dl_loadrmw", "Load-RMW (Figure 7)", 4, 0.5},
+        ChaosDlParam{"dl_dirvictim",
+                     "inclusive-directory victim shape", 2, 0.5}),
+    chaosDlName);
+
 TEST(Watchdog, FiresOnStoreRmwCycle)
 {
     // Figure 6 cycles form with unfenced atomics; the watchdog must

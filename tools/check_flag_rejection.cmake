@@ -1,0 +1,15 @@
+# Run fasim with a bad flag and assert the usage-error contract:
+# exit status 2 plus the usage text. Invoked via
+#   cmake -DFASIM=<path> -DFLAG=<bad flag> -P check_flag_rejection.cmake
+execute_process(
+    COMMAND ${FASIM} -w dekker -c 2 ${FLAG}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+    message(FATAL_ERROR
+            "fasim ${FLAG}: expected exit status 2, got '${rc}'")
+endif()
+if(NOT out MATCHES "usage: fasim" AND NOT err MATCHES "usage: fasim")
+    message(FATAL_ERROR "fasim ${FLAG}: usage text not printed")
+endif()

@@ -34,7 +34,8 @@ usage()
         "  -p, --program FILE    assemble FILE and run it on every core\n"
         "  -c, --cores N         threads/cores            [8]\n"
         "  -m, --mode MODE       fenced|spec|free|freefwd [freefwd]\n"
-        "      --machine NAME    icelake|skylake|sandybridge [icelake]\n"
+        "      --machine NAME    icelake|skylake|sandybridge|tiny\n"
+        "                                                 [icelake]\n"
         "      --scale F         iteration scale          [1.0]\n"
         "      --seed N          master seed              [42]\n"
         "      --seeds N         runs to average          [1]\n"
@@ -54,6 +55,12 @@ usage()
         "      --forensics       capture a pipeline snapshot at the\n"
         "                        first watchdog firing (printed with\n"
         "                        --stats, stored in --stats-json)\n"
+        "      --chaos-profile NAME\n"
+        "                        arm the fault-injection engine with a\n"
+        "                        named profile (sim/chaos); see\n"
+        "                        fasoak --list-profiles\n"
+        "      --chaos-seed N    fault-schedule seed (independent of\n"
+        "                        --seed)                  [1]\n"
         "      --list            list workloads and exit\n";
 }
 
@@ -80,7 +87,17 @@ parseMachine(const std::string &s, unsigned cores)
         return sim::MachineConfig::skylake(cores);
     if (s == "sandybridge")
         return sim::MachineConfig::sandybridge(cores);
+    if (s == "tiny")
+        return sim::MachineConfig::tiny(cores);
     fatal("unknown machine '%s'", s.c_str());
+}
+
+[[noreturn]] void
+usageError(const std::string &msg)
+{
+    std::cerr << "fasim: " << msg << "\n";
+    usage();
+    std::exit(2);
 }
 
 void
@@ -203,6 +220,8 @@ main(int argc, char **argv)
     std::string pipeview_path;
     std::string interval_path;
     Cycle interval_period = 10'000;
+    std::string chaos_profile;
+    std::uint64_t chaos_seed = 1;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -221,8 +240,14 @@ main(int argc, char **argv)
             if (has_inline)
                 return inline_val;
             if (i + 1 >= argc)
-                fatal("missing value for %s", a.c_str());
+                usageError("missing value for " + a);
             return argv[++i];
+        };
+        // Boolean flags take no value; "--stats=foo" is an error,
+        // not silently accepted.
+        auto noVal = [&]() {
+            if (has_inline)
+                usageError("option " + a + " takes no value");
         };
         if (a == "-w" || a == "--workload")
             workload = next();
@@ -240,14 +265,22 @@ main(int argc, char **argv)
             seed = std::stoull(next());
         else if (a == "--seeds")
             seeds = static_cast<unsigned>(std::stoul(next()));
-        else if (a == "--all-modes")
+        else if (a == "--all-modes") {
+            noVal();
             all_modes = true;
-        else if (a == "--stats")
+        } else if (a == "--stats") {
+            noVal();
             stats = true;
-        else if (a == "--check")
+        } else if (a == "--check") {
+            noVal();
             check = true;
-        else if (a == "--forensics")
+        } else if (a == "--forensics") {
+            noVal();
             forensics = true;
+        } else if (a == "--chaos-profile")
+            chaos_profile = next();
+        else if (a == "--chaos-seed")
+            chaos_seed = std::stoull(next());
         else if (a == "--stats-json")
             stats_json = next();
         else if (a == "--pipeview")
@@ -256,18 +289,18 @@ main(int argc, char **argv)
             interval_path = next();
         else if (a == "--interval")
             interval_period = std::stoull(next());
-        else if (a == "--trace")
+        else if (a == "--trace") {
+            noVal();
             setTrace(true);
-        else if (a == "--list") {
+        } else if (a == "--list") {
+            noVal();
             listWorkloads();
             return 0;
         } else if (a == "-h" || a == "--help") {
             usage();
             return 0;
         } else {
-            std::cerr << "unknown option: " << a << "\n";
-            usage();
-            return 2;
+            usageError("unknown option '" + a + "'");
         }
     }
 
@@ -283,6 +316,9 @@ main(int argc, char **argv)
         machine.pipeviewPath = pipeview_path;
         machine.intervalStatsPath = interval_path;
         machine.intervalPeriod = interval_period;
+        if (!chaos_profile.empty())
+            machine.chaos =
+                chaos::chaosProfile(chaos_profile, chaos_seed);
 
         if (!program_file.empty()) {
             isa::Program prog = isa::assembleFile(program_file);
@@ -330,6 +366,10 @@ main(int argc, char **argv)
         }
     } catch (const FatalError &e) {
         std::cerr << "fasim: " << e.message << "\n";
+        return 1;
+    } catch (const std::exception &e) {
+        // e.g. chaosProfile() rejecting an unknown profile name
+        std::cerr << "fasim: " << e.what() << "\n";
         return 1;
     }
     return 0;

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * fasoak — seeded liveness-certification (soak) driver.
+ *
+ * Generates randomized multi-core atomic-heavy programs from a seed,
+ * runs them under a deterministic fault schedule (sim/chaos), and
+ * certifies forward progress, the cycle budget, x86-TSO, and the
+ * shared-counter atomicity invariant. On failure the case is shrunk
+ * to a minimal reproducer (.fasm programs + JSON fault file) that
+ * `fasoak --replay` re-executes exactly.
+ *
+ *   fasoak --seeds 32 --mode freefwd --profile all
+ *   fasoak --seed 7 --mode fenced --profile locks --out repros/
+ *   fasoak --replay repros/repro-seed7.json
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "freeatomics/freeatomics.hh"
+
+using namespace fa;
+
+namespace {
+
+void
+usage()
+{
+    std::cout <<
+        "usage: fasoak [options]\n"
+        "      --seed N          first seed               [1]\n"
+        "      --seeds N         number of seeds to run   [8]\n"
+        "  -m, --mode MODE       fenced|spec|free|freefwd [freefwd]\n"
+        "      --profile NAME    fault profile            [all]\n"
+        "      --out DIR         reproducer output dir    [.]\n"
+        "      --no-shrink       keep failing cases full-size\n"
+        "      --replay FILE     re-run a reproducer JSON and verify\n"
+        "                        it still fails with the recorded\n"
+        "                        signature\n"
+        "      --list-profiles   list fault profiles and exit\n"
+        "\n"
+        "exit status: 0 when every seed certifies (or the replay\n"
+        "reproduces its recorded signature), 1 otherwise.\n";
+}
+
+[[noreturn]] void
+usageError(const std::string &msg)
+{
+    std::cerr << "fasoak: " << msg << "\n\n";
+    usage();
+    std::exit(2);
+}
+
+void
+printResult(std::uint64_t seed, const chaos::SoakResult &r)
+{
+    if (r.ok) {
+        std::cout << "seed " << seed << ": ok  cycles=" << r.cycles
+                  << " watchdogFirings=" << r.watchdogTimeouts
+                  << " injections=" << r.chaosInjections << "\n";
+    } else {
+        std::cout << "seed " << seed << ": FAIL [" << r.signature
+                  << "] " << r.detail << "\n";
+    }
+}
+
+int
+replay(const std::string &path)
+{
+    std::string recorded;
+    chaos::SoakCase c = chaos::loadReproducer(path, &recorded);
+    chaos::SoakResult r = chaos::runSoakCase(c);
+    std::cout << "replay " << path << ": recorded=[" << recorded
+              << "] got=[" << (r.ok ? "ok" : r.signature) << "]\n";
+    if (!r.detail.empty())
+        std::cout << "  " << r.detail << "\n";
+    if (!r.forensics.empty())
+        std::cout << r.forensics;
+    return (r.ok ? recorded.empty() : r.signature == recorded) ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t seed0 = 1;
+    unsigned nseeds = 8;
+    std::string mode_name = "freefwd";
+    std::string profile = "all";
+    std::string out_dir = ".";
+    std::string replay_path;
+    bool do_shrink = true;
+
+    auto need = [&](int i) -> const char * {
+        if (i + 1 >= argc)
+            usageError(std::string("missing value for ") + argv[i]);
+        return argv[i + 1];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--seed") {
+            seed0 = std::strtoull(need(i), nullptr, 0);
+            ++i;
+        } else if (a == "--seeds") {
+            nseeds = static_cast<unsigned>(
+                std::strtoul(need(i), nullptr, 0));
+            ++i;
+        } else if (a == "-m" || a == "--mode") {
+            mode_name = need(i);
+            ++i;
+        } else if (a == "--profile") {
+            profile = need(i);
+            ++i;
+        } else if (a == "--out") {
+            out_dir = need(i);
+            ++i;
+        } else if (a == "--no-shrink") {
+            do_shrink = false;
+        } else if (a == "--replay") {
+            replay_path = need(i);
+            ++i;
+        } else if (a == "--list-profiles") {
+            std::cout << chaos::chaosProfileNames() << "\n";
+            return 0;
+        } else if (a == "-h" || a == "--help") {
+            usage();
+            return 0;
+        } else {
+            usageError("unknown option '" + a + "'");
+        }
+    }
+
+    try {
+        if (!replay_path.empty())
+            return replay(replay_path);
+
+        core::AtomicsMode mode = chaos::soakParseMode(mode_name);
+        unsigned failures = 0;
+        for (std::uint64_t s = seed0; s < seed0 + nseeds; ++s) {
+            chaos::SoakSpec spec =
+                chaos::makeSoakSpec(s, mode, profile);
+            chaos::SoakCase c = chaos::buildSoakCase(spec);
+            chaos::SoakResult r = chaos::runSoakCase(c);
+            printResult(s, r);
+            if (r.ok)
+                continue;
+            ++failures;
+            if (do_shrink) {
+                unsigned steps = 0;
+                chaos::SoakSpec small =
+                    chaos::shrinkSoakCase(spec, r.signature, &steps);
+                c = chaos::buildSoakCase(small);
+                r = chaos::runSoakCase(c);
+                std::cout << "  shrunk in " << steps
+                          << " step(s) to threads=" << small.threads
+                          << " blocks=" << small.blocks
+                          << " counters=" << small.counters << "\n";
+            }
+            std::string base = "repro-seed" + std::to_string(s) +
+                               "-" + mode_name;
+            std::string json =
+                chaos::writeReproducer(c, r, out_dir, base);
+            std::cout << "  reproducer: " << json << "\n";
+            if (!r.forensics.empty())
+                std::cout << r.forensics;
+        }
+        std::cout << (nseeds - failures) << "/" << nseeds
+                  << " seeds certified (mode=" << mode_name
+                  << " profile=" << profile << ")\n";
+        return failures == 0 ? 0 : 1;
+    } catch (const FatalError &e) {
+        std::cerr << "fasoak: " << e.message << "\n";
+        return 1;
+    } catch (const std::exception &e) {
+        std::cerr << "fasoak: " << e.what() << "\n";
+        return 1;
+    }
+}
