@@ -39,13 +39,21 @@ DeadlockReport::describe() const
 std::string
 FwdChainReport::describe(unsigned cap) const
 {
-    return strfmt(
+    std::string s = strfmt(
         "t%u: loop at pc %d RMWs line %#llx %u time%s per iteration; "
         "back-to-back atomics forward store_unlock->load_lock across "
         "iterations%s (chain cap %u; watch fwdChainBreaks)", thread,
         firstPc, static_cast<unsigned long long>(line), rmwsPerIter,
         rmwsPerIter == 1 ? "" : "s",
         mayExceedCap ? " and may exceed the cap" : "", cap);
+    if (inRmwRmwCycle) {
+        s += strfmt(
+            "; line sits inside an RMW-RMW inversion with t%u over "
+            "%#llx — chain breaks here land mid-inversion",
+            cyclePartner,
+            static_cast<unsigned long long>(cycleOtherLine));
+    }
+    return s;
 }
 
 namespace {
@@ -189,6 +197,27 @@ analyzeLockCycles(const std::vector<ThreadSummary> &threads,
                 if (out.chains.size() < opts.maxReports)
                     out.chains.push_back(rep);
             }
+        }
+    }
+
+    // Cross-link: a chain whose line is one side of a detected
+    // RMW-RMW inversion involving the same thread is a compound
+    // site — the cap break interrupts an acquisition the inversion
+    // already stresses, so its watchdog firings are expected.
+    for (FwdChainReport &c : out.chains) {
+        for (const DeadlockReport &d : out.deadlocks) {
+            if (d.kind != DeadlockKind::kRmwRmw)
+                continue;
+            bool asA = d.threadA == c.thread &&
+                       (d.lineX == c.line || d.lineY == c.line);
+            bool asB = d.threadB == c.thread &&
+                       (d.lineX == c.line || d.lineY == c.line);
+            if (!asA && !asB)
+                continue;
+            c.inRmwRmwCycle = true;
+            c.cyclePartner = asA ? d.threadB : d.threadA;
+            c.cycleOtherLine = d.lineX == c.line ? d.lineY : d.lineX;
+            break;
         }
     }
     return out;

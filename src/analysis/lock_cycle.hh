@@ -53,6 +53,13 @@ struct FwdChainReport
     int firstPc = 0;         ///< first in-loop RMW pc on the line
     unsigned rmwsPerIter = 0;
     bool mayExceedCap = false;
+    /** The chained line also participates in a detected RMW–RMW
+     * lock-order inversion (Figure 5) involving this thread: a chain
+     * break here lands mid-inversion, so watchdog recoveries at this
+     * site are expected rather than anomalous. */
+    bool inRmwRmwCycle = false;
+    unsigned cyclePartner = 0;  ///< other thread of that inversion
+    Addr cycleOtherLine = 0;    ///< line acquired in opposite order
 
     std::string describe(unsigned cap) const;
 };

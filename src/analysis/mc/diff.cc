@@ -1,0 +1,153 @@
+#include "analysis/mc/diff.hh"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "analysis/tso_checker.hh"
+#include "common/log.hh"
+#include "sim/system.hh"
+
+namespace fa::mc {
+
+namespace {
+
+sim::MachineConfig
+machinePreset(const std::string &name, unsigned cores)
+{
+    if (name == "icelake")
+        return sim::MachineConfig::icelake(cores);
+    if (name == "skylake")
+        return sim::MachineConfig::skylake(cores);
+    if (name == "sandybridge")
+        return sim::MachineConfig::sandybridge(cores);
+    if (name == "tiny")
+        return sim::MachineConfig::tiny(cores);
+    fatal("unknown machine preset '%s'", name.c_str());
+}
+
+std::string
+replayRecipe(const Model &model, const DiffOpts &opts,
+             std::uint64_t seed, std::uint64_t chaos_seed)
+{
+    return strfmt("replay: mode=%s machine=%s seed=%llu "
+                  "chaos-profile=%s chaos-seed=%llu",
+                  core::atomicsModeIdent(model.opts().mode),
+                  opts.machine.c_str(), (unsigned long long)seed,
+                  opts.chaosProfile.c_str(),
+                  (unsigned long long)chaos_seed);
+}
+
+} // namespace
+
+DiffResult
+diffCertify(const Model &model, const ExploreResult &exhaustive,
+            const MemInit &init, const DiffOpts &opts)
+{
+    DiffResult res;
+    res.modelOutcomes =
+        static_cast<unsigned>(exhaustive.outcomes.size());
+    res.sound = true;
+
+    // The simulator's memory image is huge and mostly untouched;
+    // compare only over the words the model's outcomes mention plus
+    // whatever the run itself wrote (a nonzero write to any other
+    // word yields an unknown id, i.e. a soundness failure).
+    std::set<Addr> domain;
+    for (const Outcome &o : exhaustive.outcomes)
+        for (const auto &kv : o.mem)
+            domain.insert(kv.first);
+
+    std::unordered_set<std::string> seen;
+    const bool useChaos =
+        !opts.chaosProfile.empty() && opts.chaosProfile != "none";
+
+    for (unsigned i = 0; i < opts.runs && res.sound; ++i) {
+        const std::uint64_t seed = opts.seed0 + i;
+        const std::uint64_t chaos_seed = opts.chaosSeed0 + i;
+
+        sim::MachineConfig cfg =
+            machinePreset(opts.machine, model.numThreads());
+        cfg.core.mode = model.opts().mode;
+        cfg.core.fwdChainCap = model.opts().fwdChainCap;
+        cfg.recordMemTrace = true;
+        cfg.sanitize = opts.sanitize;
+        if (useChaos)
+            cfg.chaos = chaos::chaosProfile(opts.chaosProfile,
+                                            chaos_seed);
+
+        sim::System sys(cfg, model.programs(), seed);
+        sys.initMemory(init);
+        sim::RunOutcome out = sys.run(opts.maxCycles);
+        if (!out.finished) {
+            res.sound = false;
+            res.error = "simulator run did not finish: " +
+                out.failure + "\n" +
+                replayRecipe(model, opts, seed, chaos_seed);
+            break;
+        }
+        analysis::TsoCheckResult tso =
+            analysis::checkTso(*sys.trace());
+        if (!tso.ok) {
+            res.sound = false;
+            res.error = "simulator run violates axiomatic x86-TSO: " +
+                tso.error + "\n" +
+                replayRecipe(model, opts, seed, chaos_seed);
+            break;
+        }
+
+        std::set<Addr> words = domain;
+        for (const analysis::MemEvent &ev : sys.trace()->events()) {
+            if (ev.kind == analysis::EvKind::kWrite ||
+                ev.kind == analysis::EvKind::kRmw)
+                words.insert(wordOf(ev.addr));
+        }
+        Outcome o;
+        for (Addr a : words) {
+            std::int64_t v = sys.readWord(a);
+            if (v != 0)
+                o.mem.emplace_back(a, v);
+        }
+        o.computeId();
+
+        DiffRun run;
+        run.seed = seed;
+        run.chaosSeed = chaos_seed;
+        run.cycles = out.cycles;
+        run.outcomeId = o.id;
+        run.outcomePretty = o.pretty();
+        run.known = exhaustive.hasOutcome(o.id);
+        res.runs.push_back(run);
+        seen.insert(o.id);
+
+        if (!run.known) {
+            res.sound = false;
+            std::string known;
+            for (const Outcome &m : exhaustive.outcomes) {
+                known += "\n  allowed: " + m.pretty();
+            }
+            res.error =
+                "simulator outcome is NOT in the exhaustive set "
+                "(unsound!):\n  got:     " + o.pretty() + known +
+                "\n" + replayRecipe(model, opts, seed, chaos_seed);
+        }
+    }
+
+    res.distinctSeen = static_cast<unsigned>(seen.size());
+    res.coverage = exhaustive.outcomes.empty()
+        ? 1.0
+        : static_cast<double>(res.distinctSeen) /
+            static_cast<double>(exhaustive.outcomes.size());
+    res.covered = res.coverage >= opts.minCoverage;
+    if (res.sound && !res.covered) {
+        res.error = strfmt(
+            "coverage %.3f below the required %.3f (%u of %u model "
+            "outcomes witnessed over %u runs) — raise --runs or vary "
+            "--chaos-seed",
+            res.coverage, opts.minCoverage, res.distinctSeen,
+            res.modelOutcomes, opts.runs);
+    }
+    return res;
+}
+
+} // namespace fa::mc

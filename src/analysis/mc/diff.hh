@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Differential certification of the detailed simulator against the
+ * famc exhaustive outcome set.
+ *
+ * Two properties, per atomic mode:
+ *
+ *  - soundness: every final memory image the simulator produces must
+ *    be a member of the model checker's exhaustive set of reachable
+ *    final states — a simulator outcome outside the set is a
+ *    simulator (or model) bug, reported with everything needed to
+ *    replay it;
+ *  - coverage: across chaos-perturbed schedules the simulator should
+ *    witness a configurable fraction of the exhaustive set — a
+ *    sanity check that the schedule diversity is real (the detailed
+ *    machine is deterministic per seed, so diversity comes from the
+ *    chaos engine's timing perturbations).
+ */
+
+#ifndef FA_ANALYSIS_MC_DIFF_HH
+#define FA_ANALYSIS_MC_DIFF_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/mc/explore.hh"
+#include "analysis/mc/tso_model.hh"
+
+namespace fa::mc {
+
+struct DiffOpts
+{
+    unsigned runs = 8;
+    std::uint64_t seed0 = 1;        ///< per-run master seed = seed0+i
+    std::string machine = "tiny";   ///< machine preset
+    /** Chaos profile perturbing each run's schedule ("" or "none"
+     * disables; then every run takes the same schedule). Must be a
+     * TSO-clean profile — never "buggy_unlock". */
+    std::string chaosProfile = "coherence";
+    std::uint64_t chaosSeed0 = 1;   ///< per-run chaos seed = base+i
+    /** Required fraction of the exhaustive set witnessed (0 disables
+     * the coverage gate). */
+    double minCoverage = 0.0;
+    Cycle maxCycles = 20'000'000;
+    bool sanitize = false;          ///< arm fasan during the runs
+};
+
+struct DiffRun
+{
+    std::uint64_t seed = 0;
+    std::uint64_t chaosSeed = 0;
+    Cycle cycles = 0;
+    std::string outcomeId;
+    std::string outcomePretty;
+    bool known = false;  ///< outcome is in the exhaustive set
+};
+
+struct DiffResult
+{
+    bool sound = false;
+    bool covered = false;
+    bool ok() const { return sound && covered; }
+    /** First failure, with the replay recipe (seed, chaos profile
+     * and seed, machine, mode). */
+    std::string error;
+
+    double coverage = 0.0;
+    unsigned distinctSeen = 0;
+    unsigned modelOutcomes = 0;
+    std::vector<DiffRun> runs;
+};
+
+/**
+ * Run the detailed simulator `opts.runs` times over the model's
+ * programs and certify each final state against `exhaustive`
+ * (which must come from explore() over the same model and `init`).
+ * Every run also passes through the axiomatic TSO checker.
+ */
+DiffResult diffCertify(const Model &model,
+                       const ExploreResult &exhaustive,
+                       const MemInit &init, const DiffOpts &opts);
+
+} // namespace fa::mc
+
+#endif // FA_ANALYSIS_MC_DIFF_HH

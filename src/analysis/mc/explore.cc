@@ -1,0 +1,494 @@
+#include "analysis/mc/explore.hh"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/tso_checker.hh"
+#include "common/log.hh"
+
+namespace fa::mc {
+
+namespace {
+
+const char *
+violationKind(StepViolation::Kind k)
+{
+    switch (k) {
+      case StepViolation::Kind::kAtomicity: return "atomicity";
+      case StepViolation::Kind::kLockLeak: return "lock-leak";
+      case StepViolation::Kind::kLocalLimit: return "local-limit";
+      case StepViolation::Kind::kNone: break;
+    }
+    return "?";
+}
+
+/** A visible memory read taken while the reader's own SB is
+ * non-empty — the only transition that leaves SC on TSO, and the
+ * unit the reorder bound counts. */
+bool
+consumesReorderCredit(const State &s, const Transition &t)
+{
+    if (t.kind != TKind::kRead && t.kind != TKind::kAtLock)
+        return false;
+    return !s.threads[t.thread].sb.empty();
+}
+
+std::string
+stateKey(const State &s, std::int64_t bound, std::uint32_t credits)
+{
+    std::string k = s.key();
+    if (bound >= 0)
+        k.append(reinterpret_cast<const char *>(&credits),
+                 sizeof(credits));
+    return k;
+}
+
+/** Replay `path` from the initial state, describing each step with
+ * its pre-state — the replayable interleaving witness. */
+std::vector<std::string>
+replayWitness(const Model &model, const MemInit &init,
+              const std::vector<Transition> &path)
+{
+    std::vector<std::string> lines;
+    lines.reserve(path.size() + 1);
+    State s = model.initial(init);
+    for (const Transition &t : path) {
+        lines.push_back(model.describe(t, &s));
+        if (model.apply(s, t, nullptr))
+            break;  // the final step is the violation itself
+    }
+    return lines;
+}
+
+std::string
+deadlockDetail(const Model &model, const State &s)
+{
+    std::string d = "deadlock: no transition enabled;";
+    for (CoreId t = 0; t < s.threads.size(); ++t) {
+        const ThreadState &thr = s.threads[t];
+        if (thr.halted && thr.sb.empty())
+            continue;
+        d += strfmt(" t%u{pc=%d", (unsigned)t, thr.pc);
+        if (thr.phase == AtPhase::kLocked)
+            d += strfmt(" locked@0x%llx",
+                        (unsigned long long)thr.boundAddr);
+        if (!thr.sb.empty())
+            d += strfmt(" sb[%zu]->0x%llx", thr.sb.size(),
+                        (unsigned long long)thr.sb.front().addr);
+        d += "}";
+    }
+    (void)model;
+    return d;
+}
+
+} // namespace
+
+std::string
+Outcome::pretty() const
+{
+    if (mem.empty() && regs.empty())
+        return "(all memory zero)";
+    std::string s;
+    for (const auto &kv : mem) {
+        if (!s.empty())
+            s += ' ';
+        s += strfmt("[0x%llx]=%lld", (unsigned long long)kv.first,
+                    (long long)kv.second);
+    }
+    for (std::size_t t = 0; t < regs.size(); ++t) {
+        for (std::size_t r = 0; r < regs[t].size(); ++r) {
+            if (regs[t][r] == 0)
+                continue;
+            if (!s.empty())
+                s += ' ';
+            s += strfmt("t%zu.r%zu=%lld", t, r,
+                        (long long)regs[t][r]);
+        }
+    }
+    return s.empty() ? "(all zero)" : s;
+}
+
+bool
+ExploreResult::hasOutcome(const std::string &id) const
+{
+    auto it = std::lower_bound(
+        outcomes.begin(), outcomes.end(), id,
+        [](const Outcome &a, const std::string &b) {
+            return a.id < b;
+        });
+    return it != outcomes.end() && it->id == id;
+}
+
+void
+Outcome::computeId()
+{
+    id.clear();
+    for (const auto &kv : mem) {
+        id.append(reinterpret_cast<const char *>(&kv.first),
+                  sizeof(kv.first));
+        id.append(reinterpret_cast<const char *>(&kv.second),
+                  sizeof(kv.second));
+    }
+    for (const auto &rf : regs)
+        id.append(reinterpret_cast<const char *>(rf.data()),
+                  rf.size() * sizeof(std::int64_t));
+}
+
+Outcome
+makeOutcome(const State &s, bool trackRegs)
+{
+    Outcome o;
+    o.mem.assign(s.mem.begin(), s.mem.end());
+    if (trackRegs) {
+        o.regs.reserve(s.threads.size());
+        for (const ThreadState &t : s.threads)
+            o.regs.emplace_back(t.regs.begin(), t.regs.end());
+    }
+    o.computeId();
+    return o;
+}
+
+// --------------------------------------------------------------------------
+// Graph engine: BFS + state dedup => exhaustive set, minimal witnesses
+// --------------------------------------------------------------------------
+
+namespace {
+
+struct GraphNode
+{
+    std::uint64_t parent;
+    Transition via;
+};
+
+constexpr std::uint64_t kRoot = ~std::uint64_t{0};
+
+std::vector<Transition>
+graphPath(const std::vector<GraphNode> &nodes, std::uint64_t idx)
+{
+    // Node 0 is the root: it has no incoming transition.
+    std::vector<Transition> path;
+    while (idx != 0 && idx != kRoot) {
+        path.push_back(nodes[idx].via);
+        idx = nodes[idx].parent;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+ExploreResult
+exploreGraph(const Model &model, const MemInit &init,
+             const ExploreOpts &opts)
+{
+    ExploreResult res;
+    std::vector<GraphNode> nodes;
+    std::unordered_set<std::string> visited;
+    std::unordered_map<std::string, Outcome> outcomes;
+
+    struct Pending
+    {
+        State s;
+        std::uint64_t node;
+        std::uint32_t credits;
+    };
+    std::deque<Pending> frontier;
+
+    State s0 = model.initial(init);
+    visited.insert(stateKey(s0, opts.reorderBound, 0));
+    nodes.push_back({kRoot, {}});
+    frontier.push_back({std::move(s0), 0, 0});
+
+    auto addViolation = [&](const std::string &kind,
+                            const std::string &detail,
+                            std::vector<Transition> path) {
+        res.violations.push_back(
+            {kind, detail, replayWitness(model, init, path)});
+        return res.violations.size() >= opts.maxViolations;
+    };
+
+    // Last node dequeued — BFS order makes it a deepest state, the
+    // livelock witness when the whole (complete) state graph turns
+    // out to be final-state-free.
+    std::uint64_t last_node = 0;
+
+    bool stop = false;
+    std::vector<Transition> trans;
+    while (!frontier.empty() && !stop) {
+        Pending p = std::move(frontier.front());
+        frontier.pop_front();
+        last_node = p.node;
+
+        model.enumerate(p.s, trans, opts.reduce);
+        if (trans.empty()) {
+            if (model.isFinal(p.s)) {
+                ++res.finalStates;
+                if (StepViolation v = model.finalCheck(p.s)) {
+                    stop = addViolation(violationKind(v.kind),
+                                        v.detail,
+                                        graphPath(nodes, p.node));
+                    continue;
+                }
+                Outcome o = makeOutcome(p.s, opts.trackRegs);
+                outcomes.emplace(o.id, std::move(o));
+            } else {
+                stop = addViolation("deadlock",
+                                    deadlockDetail(model, p.s),
+                                    graphPath(nodes, p.node));
+            }
+            continue;
+        }
+
+        for (const Transition &t : trans) {
+            std::uint32_t consumed =
+                consumesReorderCredit(p.s, t) ? 1u : 0u;
+            if (opts.reorderBound >= 0 && consumed &&
+                p.credits >=
+                    static_cast<std::uint64_t>(opts.reorderBound))
+                continue;  // bounded away
+
+            State ns = p.s;
+            StepViolation v = model.apply(ns, t, nullptr);
+            ++res.transitionsTaken;
+            if (v) {
+                std::vector<Transition> path =
+                    graphPath(nodes, p.node);
+                path.push_back(t);
+                if (addViolation(violationKind(v.kind), v.detail,
+                                 std::move(path))) {
+                    stop = true;
+                    break;
+                }
+                continue;
+            }
+            std::string key = stateKey(ns, opts.reorderBound,
+                                       p.credits + consumed);
+            if (!visited.insert(std::move(key)).second)
+                continue;
+            if (visited.size() > opts.maxStates) {
+                res.truncatedReason = strfmt(
+                    "state limit (%llu) reached",
+                    (unsigned long long)opts.maxStates);
+                stop = true;
+                break;
+            }
+            nodes.push_back({p.node, t});
+            frontier.push_back({std::move(ns), nodes.size() - 1,
+                                p.credits + consumed});
+        }
+    }
+
+    res.statesExplored = visited.size();
+    res.complete = res.truncatedReason.empty();
+    if (res.complete && res.finalStates == 0 &&
+        res.violations.empty()) {
+        // Every execution cycles forever (e.g. a spin loop whose
+        // exit condition can never be satisfied because a leaked
+        // lock blocks the writer): a livelock, not a success.
+        addViolation("livelock",
+                     "no final state is reachable: every execution "
+                     "eventually cycles (spin without progress)",
+                     graphPath(nodes, last_node));
+    }
+    for (auto &kv : outcomes)
+        res.outcomes.push_back(std::move(kv.second));
+    std::sort(res.outcomes.begin(), res.outcomes.end(),
+              [](const Outcome &a, const Outcome &b) {
+                  return a.id < b.id;
+              });
+    return res;
+}
+
+// --------------------------------------------------------------------------
+// DPOR engine: sleep-set DFS, per-execution axiomatic certification
+// --------------------------------------------------------------------------
+
+struct Frame
+{
+    State s;
+    std::string key;
+    EventSink sink;
+    Transition via{};       ///< transition that produced this frame
+    std::vector<Transition> enabled;
+    std::size_t next = 0;
+    bool expanded = false;
+    std::vector<Transition> sleep;
+    std::uint32_t credits = 0;
+};
+
+ExploreResult
+exploreDpor(const Model &model, const MemInit &init,
+            const ExploreOpts &opts)
+{
+    ExploreResult res;
+    std::unordered_map<std::string, Outcome> outcomes;
+    std::unordered_set<std::string> onPath;
+
+    std::vector<Frame> stack;
+    {
+        Frame root;
+        root.s = model.initial(init);
+        root.key = stateKey(root.s, opts.reorderBound, 0);
+        onPath.insert(root.key);
+        stack.push_back(std::move(root));
+        ++res.statesExplored;
+    }
+
+    auto pathWitness = [&](const Transition *extra) {
+        std::vector<Transition> path;
+        for (std::size_t i = 1; i < stack.size(); ++i)
+            path.push_back(stack[i].via);
+        if (extra)
+            path.push_back(*extra);
+        return replayWitness(model, init, path);
+    };
+    auto addViolation = [&](const std::string &kind,
+                            const std::string &detail,
+                            const Transition *extra) {
+        res.violations.push_back({kind, detail, pathWitness(extra)});
+        return res.violations.size() >= opts.maxViolations;
+    };
+
+    // Deepest path seen: the livelock witness when the (complete)
+    // exploration never reaches a final state.
+    std::vector<Transition> deepestPath;
+
+    bool stop = false;
+    while (!stack.empty() && !stop) {
+        Frame &top = stack.back();
+        if (stack.size() > deepestPath.size() + 1) {
+            deepestPath.clear();
+            for (std::size_t i = 1; i < stack.size(); ++i)
+                deepestPath.push_back(stack[i].via);
+        }
+
+        if (!top.expanded) {
+            top.expanded = true;
+            model.enumerate(top.s, top.enabled, opts.reduce);
+            if (top.enabled.empty()) {
+                if (model.isFinal(top.s)) {
+                    ++res.finalStates;
+                    if (StepViolation v = model.finalCheck(top.s)) {
+                        stop = addViolation(violationKind(v.kind),
+                                            v.detail, nullptr);
+                    } else {
+                        Outcome o =
+                            makeOutcome(top.s, opts.trackRegs);
+                        outcomes.emplace(o.id, std::move(o));
+                        if (opts.certifyTso) {
+                            ++res.executionsCertified;
+                            analysis::TsoCheckResult cr =
+                                analysis::checkTso(top.sink.events);
+                            if (!cr.ok) {
+                                stop = addViolation(
+                                    "tso",
+                                    "execution violates axiomatic "
+                                    "x86-TSO: " + cr.error,
+                                    nullptr);
+                            }
+                        }
+                    }
+                } else if (addViolation(
+                               "deadlock",
+                               deadlockDetail(model, top.s),
+                               nullptr)) {
+                    stop = true;
+                }
+            }
+        }
+
+        if (top.next >= top.enabled.size()) {
+            onPath.erase(top.key);
+            Transition via = top.via;
+            bool wasRoot = stack.size() == 1;
+            stack.pop_back();
+            if (!wasRoot)
+                stack.back().sleep.push_back(via);
+            continue;
+        }
+
+        Transition t = top.enabled[top.next++];
+        bool asleep = false;
+        for (const Transition &z : top.sleep)
+            if (z.sameAs(t)) {
+                asleep = true;
+                break;
+            }
+        if (asleep)
+            continue;
+
+        std::uint32_t consumed =
+            consumesReorderCredit(top.s, t) ? 1u : 0u;
+        if (opts.reorderBound >= 0 && consumed &&
+            top.credits >=
+                static_cast<std::uint64_t>(opts.reorderBound))
+            continue;
+
+        Frame child;
+        child.s = top.s;
+        child.sink = top.sink;
+        StepViolation v = model.apply(
+            child.s, t, opts.certifyTso ? &child.sink : nullptr);
+        ++res.transitionsTaken;
+        if (v) {
+            if (addViolation(violationKind(v.kind), v.detail, &t))
+                stop = true;
+            continue;
+        }
+        child.credits = top.credits + consumed;
+        child.key =
+            stateKey(child.s, opts.reorderBound, child.credits);
+        if (onPath.count(child.key))
+            continue;  // path-local cycle (e.g. lock/recover loop)
+        if (stack.size() >= opts.maxDepth) {
+            res.truncatedReason = strfmt(
+                "depth limit (%llu) reached",
+                (unsigned long long)opts.maxDepth);
+            stop = true;
+            continue;
+        }
+        if (++res.statesExplored > opts.maxStates) {
+            res.truncatedReason =
+                strfmt("state limit (%llu) reached",
+                       (unsigned long long)opts.maxStates);
+            stop = true;
+            continue;
+        }
+        child.via = t;
+        for (const Transition &z : top.sleep)
+            if (!Model::dependent(z, t))
+                child.sleep.push_back(z);
+        onPath.insert(child.key);
+        stack.push_back(std::move(child));
+    }
+
+    res.complete = res.truncatedReason.empty();
+    if (res.complete && res.finalStates == 0 &&
+        res.violations.empty()) {
+        res.violations.push_back(
+            {"livelock",
+             "no final state is reachable: every execution "
+             "eventually cycles (spin without progress)",
+             replayWitness(model, init, deepestPath)});
+    }
+    for (auto &kv : outcomes)
+        res.outcomes.push_back(std::move(kv.second));
+    std::sort(res.outcomes.begin(), res.outcomes.end(),
+              [](const Outcome &a, const Outcome &b) {
+                  return a.id < b.id;
+              });
+    return res;
+}
+
+} // namespace
+
+ExploreResult
+explore(const Model &model, const MemInit &init,
+        const ExploreOpts &opts)
+{
+    if (opts.engine == Engine::kGraph)
+        return exploreGraph(model, init, opts);
+    return exploreDpor(model, init, opts);
+}
+
+} // namespace fa::mc

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Exhaustive exploration engines over the mc::Model TSO semantics.
+ *
+ * Two engines with complementary strengths:
+ *
+ *  - kGraph: stateful breadth-first search with full state
+ *    deduplication. Ground truth for reachable-final-state sets, and
+ *    because it is breadth-first, every violation witness it emits is
+ *    a *minimal-length* interleaving.
+ *  - kDpor: stateless depth-first search with sleep sets (classic
+ *    Godelev-style partial-order reduction on top of the model's
+ *    persistent-set reduction) and path-local cycle pruning. It
+ *    enumerates complete executions, so each one can be certified
+ *    against the axiomatic checker (analysis::checkTso) — the
+ *    operational/axiomatic agreement required by the model-checker
+ *    acceptance criteria.
+ *
+ * Both honor the Joshi&Kroening-style reorder bound: the number of
+ * visible memory reads a thread may take while its own store buffer
+ * is non-empty (the only source of non-SC behaviour on TSO). Bound 0
+ * explores only sequentially-consistent interleavings.
+ */
+
+#ifndef FA_ANALYSIS_MC_EXPLORE_HH
+#define FA_ANALYSIS_MC_EXPLORE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/mc/tso_model.hh"
+
+namespace fa::mc {
+
+enum class Engine : std::uint8_t {
+    kGraph,  ///< BFS + state dedup; minimal witnesses
+    kDpor,   ///< sleep-set DFS; per-execution TSO certification
+};
+
+struct ExploreOpts
+{
+    Engine engine = Engine::kGraph;
+    /** Stop after this many distinct states (kGraph) / stack pushes
+     * (kDpor); result.complete=false when hit. */
+    std::uint64_t maxStates = 1'000'000;
+    /** DFS depth limit (kDpor). */
+    std::uint64_t maxDepth = 200'000;
+    /** Reads-while-SB-nonempty per execution; -1 = unbounded. */
+    std::int64_t reorderBound = -1;
+    /** Use the model's static-private persistent-set reduction. */
+    bool reduce = true;
+    /** Include final register files in outcomes (off by default:
+     * spin-loop iteration counts differ across interleavings and
+     * would explode the outcome set). */
+    bool trackRegs = false;
+    /** kDpor only: run analysis::checkTso over every complete
+     * execution's event trace. */
+    bool certifyTso = false;
+    /** Stop exploring after this many violations. */
+    std::uint64_t maxViolations = 1;
+};
+
+/** One reachable final state, canonicalized. */
+struct Outcome
+{
+    std::string id;  ///< canonical key (sorting/dedup)
+    /** Non-zero final memory words, ascending by address. */
+    std::vector<std::pair<Addr, std::int64_t>> mem;
+    /** Per-thread register files (only when trackRegs). */
+    std::vector<std::vector<std::int64_t>> regs;
+
+    /** Recompute `id` from mem/regs (canonical across producers —
+     * the model checker and the differential driver must agree). */
+    void computeId();
+
+    std::string pretty() const;
+};
+
+/** A violation with a replayable interleaving witness. */
+struct ExploreViolation
+{
+    std::string kind;  ///< atomicity | lock-leak | deadlock | tso |
+                       ///< local-limit
+    std::string detail;
+    /** Human-readable transition-per-line interleaving from the
+     * initial state to the violation. */
+    std::vector<std::string> witness;
+};
+
+struct ExploreResult
+{
+    /** Exploration exhausted the (possibly bounded) state space
+     * without hitting maxStates/maxDepth. */
+    bool complete = false;
+    std::string truncatedReason;
+
+    std::uint64_t statesExplored = 0;
+    std::uint64_t transitionsTaken = 0;
+    std::uint64_t finalStates = 0;      ///< final-state visits
+    std::uint64_t executionsCertified = 0;
+
+    /** Distinct final outcomes, ascending by id. */
+    std::vector<Outcome> outcomes;
+    std::vector<ExploreViolation> violations;
+
+    bool hasOutcome(const std::string &id) const;
+};
+
+/** Canonical outcome for a final state (the same canonicalization the
+ * differential driver applies to simulator end states). */
+Outcome makeOutcome(const State &s, bool trackRegs);
+
+/** Explore the model from `init`. */
+ExploreResult explore(const Model &model, const MemInit &init,
+                      const ExploreOpts &opts);
+
+} // namespace fa::mc
+
+#endif // FA_ANALYSIS_MC_EXPLORE_HH

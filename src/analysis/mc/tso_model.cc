@@ -1,0 +1,847 @@
+#include "analysis/mc/tso_model.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "analysis/cfg.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace fa::mc {
+
+using isa::Op;
+
+const char *
+faultName(Fault fault)
+{
+    switch (fault) {
+      case Fault::kNone: return "none";
+      case Fault::kNoLock: return "no-lock";
+      case Fault::kCommitNoDrain: return "commit-no-drain";
+      case Fault::kNoRecover: return "no-recover";
+      case Fault::kLeakUnlock: return "leak-unlock";
+    }
+    return "?";
+}
+
+bool
+parseFault(const std::string &name, Fault *out)
+{
+    for (Fault f : {Fault::kNone, Fault::kNoLock, Fault::kCommitNoDrain,
+                    Fault::kNoRecover, Fault::kLeakUnlock}) {
+        if (name == faultName(f)) {
+            *out = f;
+            return true;
+        }
+    }
+    return false;
+}
+
+const char *
+tkindName(TKind kind)
+{
+    switch (kind) {
+      case TKind::kRead: return "read";
+      case TKind::kFlush: return "flush";
+      case TKind::kRmw: return "rmw";
+      case TKind::kAtLock: return "at-lock";
+      case TKind::kAtFwd: return "at-fwd";
+      case TKind::kAtCommit: return "at-commit";
+      case TKind::kScOk: return "sc-ok";
+      case TKind::kScFail: return "sc-fail";
+      case TKind::kRecover: return "recover";
+    }
+    return "?";
+}
+
+// --------------------------------------------------------------------------
+// State canonicalization
+// --------------------------------------------------------------------------
+
+namespace {
+
+void
+put(std::string &s, const void *p, std::size_t n)
+{
+    s.append(static_cast<const char *>(p), n);
+}
+
+template <typename T>
+void
+putv(std::string &s, T v)
+{
+    put(s, &v, sizeof(v));
+}
+
+} // namespace
+
+std::string
+State::key() const
+{
+    std::string s;
+    s.reserve(128 + threads.size() * 64);
+    for (const ThreadState &t : threads) {
+        putv(s, t.pc);
+        std::uint8_t flags = (t.halted ? 1 : 0) |
+            (t.phase == AtPhase::kLocked ? 2 : 0) |
+            (t.fwdPending ? 4 : 0) | (t.lockHeld ? 8 : 0) |
+            (t.linkValid ? 16 : 0);
+        putv(s, flags);
+        if (t.phase == AtPhase::kLocked) {
+            putv(s, t.boundOld);
+            putv(s, t.boundAddr);
+            putv(s, t.boundChain);
+        }
+        if (t.linkValid)
+            putv(s, t.linkLine);
+        putv(s, t.randIndex);
+        put(s, t.regs.data(), sizeof(t.regs));
+        putv(s, static_cast<std::uint32_t>(t.sb.size()));
+        for (const SbEntry &e : t.sb) {
+            putv(s, e.addr);
+            putv(s, e.value);
+            std::uint8_t ef = (e.unlock ? 1 : 0) | (e.captured ? 2 : 0) |
+                (e.holdsLock ? 4 : 0);
+            putv(s, ef);
+            putv(s, e.chain);
+            if (e.unlock)
+                putv(s, e.expectOld);
+        }
+        s.push_back('|');
+    }
+    putv(s, static_cast<std::uint32_t>(mem.size()));
+    for (const auto &kv : mem) {
+        putv(s, kv.first);
+        putv(s, kv.second);
+    }
+    putv(s, static_cast<std::uint32_t>(locks.size()));
+    for (const auto &kv : locks) {
+        putv(s, kv.first);
+        putv(s, kv.second.first);
+        putv(s, kv.second.second);
+    }
+    return s;
+}
+
+// --------------------------------------------------------------------------
+// Model
+// --------------------------------------------------------------------------
+
+Model::Model(std::vector<isa::Program> programs, const ModelOpts &opts)
+    : progs(std::move(programs)), modelOpts(opts)
+{
+    randSeeds.reserve(progs.size());
+    for (unsigned t = 0; t < progs.size(); ++t) {
+        // Matches sim::System's per-core kRand stream derivation.
+        randSeeds.push_back(mix64(modelOpts.masterSeed, t + 1));
+        for (const isa::Inst &i : progs[t].code)
+            if (i.op == Op::kRand)
+                anyRand = true;
+    }
+
+    // Static line ownership for the persistent-set reduction: a line
+    // is private to thread t when constant propagation resolves every
+    // access in every thread and only t touches the line.
+    reduceOk = true;
+    std::map<Addr, std::pair<CoreId, bool>> owner;  // line -> (t, solo)
+    for (unsigned t = 0; t < progs.size() && reduceOk; ++t) {
+        analysis::ThreadSummary sum =
+            analysis::summarizeThread(progs[t], t);
+        for (const analysis::StaticMemEvent &ev : sum.events) {
+            if (ev.kind == analysis::AccessKind::kFence)
+                continue;
+            if (!ev.addrKnown) {
+                reduceOk = false;
+                break;
+            }
+            auto it = owner.find(ev.line());
+            if (it == owner.end())
+                owner.emplace(ev.line(), std::make_pair(t, true));
+            else if (it->second.first != t)
+                it->second.second = false;
+        }
+    }
+    if (reduceOk)
+        for (const auto &kv : owner)
+            if (kv.second.second)
+                lineOwner.emplace(kv.first, kv.second.first);
+}
+
+State
+Model::initial(const MemInit &init) const
+{
+    State s;
+    s.threads.resize(progs.size());
+    for (const auto &kv : init) {
+        if (kv.second != 0)
+            s.mem[wordOf(kv.first)] = kv.second;
+    }
+    for (unsigned t = 0; t < progs.size(); ++t) {
+        StepViolation v = closure(s, t, nullptr);
+        if (v)
+            fatal("mc: local closure diverged at startup: %s",
+                  v.detail.c_str());
+    }
+    return s;
+}
+
+bool
+Model::foreignLocked(const State &s, Addr line, CoreId t) const
+{
+    auto it = s.locks.find(line);
+    return it != s.locks.end() && it->second.first != t &&
+        it->second.second > 0;
+}
+
+bool
+Model::readGate(const ThreadState &thr) const
+{
+    if (modelOpts.fault == Fault::kCommitNoDrain)
+        return true;  // the injected bug: loads pass the unlock write
+    for (const SbEntry &e : thr.sb)
+        if (e.unlock)
+            return false;
+    return true;
+}
+
+int
+Model::newestSbMatch(const ThreadState &thr, Addr addr) const
+{
+    for (int i = static_cast<int>(thr.sb.size()) - 1; i >= 0; --i)
+        if (thr.sb[static_cast<std::size_t>(i)].addr == addr)
+            return i;
+    return -1;
+}
+
+void
+Model::lockInc(State &s, Addr line, CoreId t) const
+{
+    auto it = s.locks.find(line);
+    if (it == s.locks.end())
+        s.locks.emplace(line, std::make_pair(t, 1u));
+    else
+        ++it->second.second;
+}
+
+void
+Model::unlockDec(State &s, Addr line, CoreId t) const
+{
+    (void)t;
+    auto it = s.locks.find(line);
+    if (it == s.locks.end())
+        return;
+    if (it->second.second <= 1)
+        s.locks.erase(it);
+    else
+        --it->second.second;
+}
+
+bool
+Model::privateLine(Addr line, CoreId t) const
+{
+    auto it = lineOwner.find(line);
+    return it != lineOwner.end() && it->second == t;
+}
+
+bool
+Model::freeTransition(const State &s, const Transition &t) const
+{
+    if (!privateLine(t.line(), t.thread))
+        return false;
+    if (t.kind == TKind::kFlush)
+        return true;
+    // A private read commutes with every other thread, but only
+    // claim it when the SB is empty so the reduction stays neutral
+    // to the explorer's reorder-credit accounting.
+    return t.kind == TKind::kRead &&
+        s.threads[t.thread].sb.empty();
+}
+
+void
+Model::enumerate(const State &s, std::vector<Transition> &out,
+                 bool reduce) const
+{
+    out.clear();
+    const unsigned n = numThreads();
+    std::vector<std::uint32_t> perThreadFirst(n + 1, 0);
+
+    for (CoreId t = 0; t < n; ++t) {
+        perThreadFirst[t] = static_cast<std::uint32_t>(out.size());
+        const ThreadState &thr = s.threads[t];
+
+        if (!thr.sb.empty()) {
+            const SbEntry &front = thr.sb.front();
+            if (!foreignLocked(s, lineOf(front.addr), t))
+                out.push_back({TKind::kFlush, t, thr.pc, front.addr});
+        }
+        if (thr.halted)
+            continue;
+
+        if (thr.phase == AtPhase::kLocked) {
+            if (thr.sb.empty() ||
+                modelOpts.fault == Fault::kCommitNoDrain) {
+                out.push_back(
+                    {TKind::kAtCommit, t, thr.pc, thr.boundAddr});
+            }
+            if (modelOpts.fault != Fault::kNoRecover) {
+                out.push_back(
+                    {TKind::kRecover, t, thr.pc, thr.boundAddr});
+            }
+            continue;  // pc is blocked behind the pending atomic
+        }
+
+        const auto &code = progs[t].code;
+        if (thr.pc < 0 ||
+            thr.pc >= static_cast<std::int32_t>(code.size()))
+            continue;
+        const isa::Inst &inst = code[static_cast<std::size_t>(thr.pc)];
+        const Addr addr =
+            wordOf(static_cast<Addr>(thr.regs[inst.src1] + inst.imm));
+        const Addr line = lineOf(addr);
+
+        switch (inst.op) {
+          case Op::kLoad:
+          case Op::kLoadLinked:
+            if (readGate(thr) && !foreignLocked(s, line, t))
+                out.push_back({TKind::kRead, t, thr.pc, addr});
+            break;
+          case Op::kRmw:
+            if (fencedSemantics()) {
+                if (thr.sb.empty() && !foreignLocked(s, line, t))
+                    out.push_back({TKind::kRmw, t, thr.pc, addr});
+                break;
+            }
+            if (int m = newestSbMatch(thr, addr); m >= 0) {
+                if (modelOpts.mode == core::AtomicsMode::kFreeFwd) {
+                    const SbEntry &e =
+                        thr.sb[static_cast<std::size_t>(m)];
+                    unsigned chain = e.unlock ? e.chain + 1u : 1u;
+                    if (!e.unlock || chain <= modelOpts.fwdChainCap)
+                        out.push_back(
+                            {TKind::kAtFwd, t, thr.pc, addr});
+                }
+                // kFree: the load_lock is re-scheduled until the
+                // pending store leaves the SB (§3.2.1 footnote).
+            } else if (readGate(thr) && !foreignLocked(s, line, t)) {
+                out.push_back({TKind::kAtLock, t, thr.pc, addr});
+            }
+            break;
+          case Op::kStoreCond:
+            if (!thr.sb.empty())
+                break;  // TSO store->store order (SC at ROB head)
+            if (thr.linkValid && thr.linkLine == line &&
+                !foreignLocked(s, line, t))
+                out.push_back({TKind::kScOk, t, thr.pc, addr});
+            if (modelOpts.spuriousScFail || !thr.linkValid ||
+                thr.linkLine != line)
+                out.push_back({TKind::kScFail, t, thr.pc, addr});
+            break;
+          default:
+            // kMfence waits on this thread's own flushes; everything
+            // else was consumed by the local closure.
+            break;
+        }
+    }
+    perThreadFirst[n] = static_cast<std::uint32_t>(out.size());
+
+    if (!reduce || !reduceOk || out.empty())
+        return;
+    for (CoreId t = 0; t < n; ++t) {
+        std::uint32_t first = perThreadFirst[t];
+        std::uint32_t last = perThreadFirst[t + 1];
+        if (first == last)
+            continue;
+        bool allFree = true;
+        for (std::uint32_t i = first; i < last && allFree; ++i)
+            allFree = freeTransition(s, out[i]);
+        if (allFree) {
+            // Singleton-process persistent set: this thread's moves
+            // are independent of every transition any other thread
+            // can ever take, so exploring only them is sound.
+            std::vector<Transition> only(out.begin() + first,
+                                         out.begin() + last);
+            out.swap(only);
+            return;
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Event-sink helpers
+// --------------------------------------------------------------------------
+
+namespace {
+
+analysis::MemEvent &
+newEvent(EventSink &sink, CoreId t, SeqNum seq, int pc,
+         analysis::EvKind kind, Addr addr)
+{
+    analysis::MemEvent ev;
+    ev.thread = t;
+    ev.seq = seq;
+    ev.pc = pc;
+    ev.kind = kind;
+    ev.addr = addr;
+    sink.events.push_back(ev);
+    return sink.events.back();
+}
+
+void
+setRfFromMemory(EventSink &sink, analysis::MemEvent &ev, Addr addr)
+{
+    auto it = sink.lastWriter.find(addr);
+    if (it == sink.lastWriter.end()) {
+        ev.rfInit = true;
+    } else {
+        ev.rfInit = false;
+        ev.rfThread = it->second.first;
+        ev.rfSeq = it->second.second;
+    }
+}
+
+} // namespace
+
+// --------------------------------------------------------------------------
+// Local closure
+// --------------------------------------------------------------------------
+
+StepViolation
+Model::closure(State &s, CoreId t, EventSink *sink) const
+{
+    ThreadState &thr = s.threads[t];
+    const auto &code = progs[t].code;
+    std::uint64_t steps = 0;
+
+    while (!thr.halted && thr.phase == AtPhase::kNone) {
+        if (thr.pc < 0 ||
+            thr.pc >= static_cast<std::int32_t>(code.size())) {
+            thr.halted = true;
+            break;
+        }
+        if (++steps > modelOpts.maxLocalSteps) {
+            return {StepViolation::Kind::kLocalLimit,
+                    "thread " + std::to_string(t) +
+                        " local closure exceeded " +
+                        std::to_string(modelOpts.maxLocalSteps) +
+                        " steps (runaway local loop) at pc=" +
+                        std::to_string(thr.pc)};
+        }
+        const isa::Inst &inst = code[static_cast<std::size_t>(thr.pc)];
+        switch (inst.op) {
+          case Op::kNop:
+          case Op::kPause:
+            ++thr.pc;
+            break;
+          case Op::kMovi:
+            thr.regs[inst.dst] = inst.imm;
+            ++thr.pc;
+            break;
+          case Op::kAlu:
+            thr.regs[inst.dst] = isa::evalAlu(
+                inst.fn, thr.regs[inst.src1], thr.regs[inst.src2]);
+            ++thr.pc;
+            break;
+          case Op::kAddi:
+            thr.regs[inst.dst] = thr.regs[inst.src1] + inst.imm;
+            ++thr.pc;
+            break;
+          case Op::kRand:
+            thr.regs[inst.dst] = static_cast<std::int64_t>(
+                mix64(randSeeds[t], thr.randIndex++) %
+                static_cast<std::uint64_t>(inst.imm));
+            ++thr.pc;
+            break;
+          case Op::kBranch:
+            thr.pc = isa::evalCond(inst.cond, thr.regs[inst.src1],
+                                   thr.regs[inst.src2])
+                ? inst.target
+                : thr.pc + 1;
+            break;
+          case Op::kJump:
+            thr.pc = inst.target;
+            break;
+          case Op::kHalt:
+            thr.halted = true;
+            break;
+          case Op::kStore: {
+            SbEntry e;
+            e.addr = wordOf(
+                static_cast<Addr>(thr.regs[inst.src1] + inst.imm));
+            e.value = thr.regs[inst.src2];
+            e.seq = thr.nextSeq;
+            if (sink) {
+                analysis::MemEvent &ev =
+                    newEvent(*sink, t, thr.nextSeq, thr.pc,
+                             analysis::EvKind::kWrite, e.addr);
+                ev.valueWritten = e.value;
+                e.evIdx = static_cast<int>(sink->events.size()) - 1;
+            }
+            ++thr.nextSeq;
+            thr.sb.push_back(e);
+            ++thr.pc;
+            break;
+          }
+          case Op::kLoad: {
+            Addr addr = wordOf(
+                static_cast<Addr>(thr.regs[inst.src1] + inst.imm));
+            int m = newestSbMatch(thr, addr);
+            if (m < 0)
+                return {};  // visible memory read
+            const SbEntry &e = thr.sb[static_cast<std::size_t>(m)];
+            thr.regs[inst.dst] = e.value;
+            if (sink) {
+                analysis::MemEvent &ev =
+                    newEvent(*sink, t, thr.nextSeq, thr.pc,
+                             analysis::EvKind::kRead, addr);
+                ev.valueRead = e.value;
+                ev.rfInit = false;
+                ev.rfThread = t;
+                ev.rfSeq = e.seq;
+            }
+            ++thr.nextSeq;
+            ++thr.pc;
+            break;
+          }
+          case Op::kMfence:
+            if (!thr.sb.empty())
+                return {};  // completes when the SB drains
+            if (sink) {
+                newEvent(*sink, t, thr.nextSeq, thr.pc,
+                         analysis::EvKind::kFence, 0);
+            }
+            ++thr.nextSeq;
+            ++thr.pc;
+            break;
+          case Op::kRmw:
+          case Op::kLoadLinked:
+          case Op::kStoreCond:
+            return {};  // visible
+        }
+    }
+    return {};
+}
+
+// --------------------------------------------------------------------------
+// Transition application
+// --------------------------------------------------------------------------
+
+StepViolation
+Model::apply(State &s, const Transition &tr, EventSink *sink) const
+{
+    ThreadState &thr = s.threads[tr.thread];
+    const CoreId t = tr.thread;
+    const Addr line = tr.line();
+
+    auto clearForeignLinks = [&s, t, line]() {
+        for (CoreId u = 0; u < s.threads.size(); ++u) {
+            if (u != t && s.threads[u].linkValid &&
+                s.threads[u].linkLine == line)
+                s.threads[u].linkValid = false;
+        }
+    };
+    auto writeWord = [&s](Addr a, std::int64_t v) {
+        if (v == 0)
+            s.mem.erase(a);
+        else
+            s.mem[a] = v;
+    };
+    auto readWord = [&s](Addr a) {
+        auto it = s.mem.find(a);
+        return it == s.mem.end() ? 0 : it->second;
+    };
+
+    switch (tr.kind) {
+      case TKind::kRead: {
+        const isa::Inst &inst =
+            progs[t].code[static_cast<std::size_t>(thr.pc)];
+        std::int64_t v = readWord(tr.addr);
+        thr.regs[inst.dst] = v;
+        if (inst.op == Op::kLoadLinked) {
+            thr.linkValid = true;
+            thr.linkLine = line;
+        }
+        if (sink) {
+            analysis::MemEvent &ev =
+                newEvent(*sink, t, thr.nextSeq, thr.pc,
+                         analysis::EvKind::kRead, tr.addr);
+            ev.valueRead = v;
+            setRfFromMemory(*sink, ev, tr.addr);
+        }
+        ++thr.nextSeq;
+        ++thr.pc;
+        break;
+      }
+
+      case TKind::kFlush: {
+        SbEntry e = thr.sb.front();
+        if (e.unlock && readWord(e.addr) != e.expectOld) {
+            return {StepViolation::Kind::kAtomicity,
+                    "atomicity violated: store_unlock of thread " +
+                        std::to_string(t) + " found [0x" +
+                        strfmt("%llx", (unsigned long long)e.addr) +
+                        "]=" + std::to_string(readWord(e.addr)) +
+                        " but the atomic read " +
+                        std::to_string(e.expectOld)};
+        }
+        writeWord(e.addr, e.value);
+        clearForeignLinks();
+        thr.sb.erase(thr.sb.begin());
+        if (e.captured) {
+            // lock_on_access (§3.3): the forwarded atomic takes the
+            // lock the moment its source store performs.
+            lockInc(s, line, t);
+            thr.fwdPending = false;
+            if (thr.phase == AtPhase::kLocked)
+                thr.lockHeld = true;
+        }
+        if (e.unlock && e.holdsLock &&
+            modelOpts.fault != Fault::kLeakUnlock)
+            unlockDec(s, line, t);
+        if (sink) {
+            if (e.evIdx >= 0) {
+                sink->events[static_cast<std::size_t>(e.evIdx)]
+                    .writeStamp = sink->nextStamp++;
+            }
+            sink->lastWriter[e.addr] = {t, e.seq};
+        }
+        break;
+      }
+
+      case TKind::kRmw: {
+        const isa::Inst &inst =
+            progs[t].code[static_cast<std::size_t>(thr.pc)];
+        std::int64_t old = readWord(tr.addr);
+        std::int64_t neu = isa::applyRmw(inst.rmw, old,
+                                         thr.regs[inst.src2],
+                                         thr.regs[inst.src3]);
+        thr.regs[inst.dst] = old;
+        writeWord(tr.addr, neu);
+        clearForeignLinks();
+        if (sink) {
+            analysis::MemEvent &ev =
+                newEvent(*sink, t, thr.nextSeq, thr.pc,
+                         analysis::EvKind::kRmw, tr.addr);
+            ev.valueRead = old;
+            ev.valueWritten = neu;
+            setRfFromMemory(*sink, ev, tr.addr);
+            ev.writeStamp = sink->nextStamp++;
+            sink->lastWriter[tr.addr] = {t, thr.nextSeq};
+        }
+        ++thr.nextSeq;
+        ++thr.pc;
+        break;
+      }
+
+      case TKind::kAtLock: {
+        thr.boundOld = readWord(tr.addr);
+        thr.boundAddr = tr.addr;
+        thr.boundChain = 0;
+        thr.fwdPending = false;
+        if (modelOpts.fault != Fault::kNoLock) {
+            lockInc(s, line, t);
+            thr.lockHeld = true;
+            clearForeignLinks();  // lock acquisition is a GetX
+        }
+        thr.phase = AtPhase::kLocked;
+        if (sink) {
+            auto it = sink->lastWriter.find(tr.addr);
+            thr.boundRfInit = it == sink->lastWriter.end();
+            if (!thr.boundRfInit) {
+                thr.boundRfThread = it->second.first;
+                thr.boundRfSeq = it->second.second;
+            }
+        }
+        break;
+      }
+
+      case TKind::kAtFwd: {
+        int m = newestSbMatch(thr, tr.addr);
+        SbEntry &e = thr.sb[static_cast<std::size_t>(m)];
+        thr.boundOld = e.value;
+        thr.boundAddr = tr.addr;
+        thr.boundChain =
+            static_cast<std::uint16_t>(e.unlock ? e.chain + 1 : 1);
+        thr.fwdPending = false;
+        if (modelOpts.fault != Fault::kNoLock) {
+            if (e.unlock) {
+                // do_not_unlock (§3.3): the source atomic's lock is
+                // inherited; add this atomic's responsibility now.
+                lockInc(s, line, t);
+                thr.lockHeld = true;
+            } else {
+                e.captured = true;
+                thr.fwdPending = true;
+            }
+        }
+        thr.phase = AtPhase::kLocked;
+        thr.boundRfInit = false;
+        thr.boundRfThread = t;
+        thr.boundRfSeq = e.seq;
+        break;
+      }
+
+      case TKind::kAtCommit: {
+        const isa::Inst &inst =
+            progs[t].code[static_cast<std::size_t>(thr.pc)];
+        std::int64_t neu = isa::applyRmw(inst.rmw, thr.boundOld,
+                                         thr.regs[inst.src2],
+                                         thr.regs[inst.src3]);
+        thr.regs[inst.dst] = thr.boundOld;
+        SbEntry e;
+        e.addr = thr.boundAddr;
+        e.value = neu;
+        e.unlock = true;
+        e.holdsLock = thr.lockHeld || thr.fwdPending;
+        e.chain = thr.boundChain;
+        e.expectOld = thr.boundOld;
+        e.seq = thr.nextSeq;
+        if (sink) {
+            analysis::MemEvent &ev =
+                newEvent(*sink, t, thr.nextSeq, thr.pc,
+                         analysis::EvKind::kRmw, thr.boundAddr);
+            ev.valueRead = thr.boundOld;
+            ev.valueWritten = neu;
+            ev.rfInit = thr.boundRfInit;
+            ev.rfThread = thr.boundRfThread;
+            ev.rfSeq = thr.boundRfSeq;
+            e.evIdx = static_cast<int>(sink->events.size()) - 1;
+        }
+        ++thr.nextSeq;
+        thr.sb.push_back(e);
+        thr.phase = AtPhase::kNone;
+        thr.lockHeld = false;
+        ++thr.pc;
+        break;
+      }
+
+      case TKind::kScOk: {
+        const isa::Inst &inst =
+            progs[t].code[static_cast<std::size_t>(thr.pc)];
+        std::int64_t v = thr.regs[inst.src2];
+        writeWord(tr.addr, v);
+        clearForeignLinks();
+        thr.regs[inst.dst] = 0;
+        thr.linkValid = false;
+        if (sink) {
+            analysis::MemEvent &ev =
+                newEvent(*sink, t, thr.nextSeq, thr.pc,
+                         analysis::EvKind::kWrite, tr.addr);
+            ev.valueWritten = v;
+            ev.writeStamp = sink->nextStamp++;
+            sink->lastWriter[tr.addr] = {t, thr.nextSeq};
+        }
+        ++thr.nextSeq;
+        ++thr.pc;
+        break;
+      }
+
+      case TKind::kScFail: {
+        const isa::Inst &inst =
+            progs[t].code[static_cast<std::size_t>(thr.pc)];
+        thr.regs[inst.dst] = 1;
+        thr.linkValid = false;  // any SC consumes the reservation
+        ++thr.nextSeq;
+        ++thr.pc;
+        break;
+      }
+
+      case TKind::kRecover: {
+        // §3.2.5 watchdog flush: squash the pre-commit atomic, give
+        // back its lock responsibility (§3.3.3), retry from the same
+        // pc. Architecturally nothing younger has executed, so the
+        // rollback is just the binding.
+        if (thr.lockHeld)
+            unlockDec(s, lineOf(thr.boundAddr), t);
+        if (thr.fwdPending) {
+            for (SbEntry &e : thr.sb) {
+                if (e.captured && e.addr == thr.boundAddr) {
+                    e.captured = false;
+                    break;
+                }
+            }
+        }
+        thr.phase = AtPhase::kNone;
+        thr.lockHeld = false;
+        thr.fwdPending = false;
+        return {};  // pc unchanged; the RMW stays the next visible op
+      }
+    }
+
+    return closure(s, t, sink);
+}
+
+bool
+Model::isFinal(const State &s) const
+{
+    for (const ThreadState &t : s.threads)
+        if (!t.halted || !t.sb.empty())
+            return false;
+    return true;
+}
+
+StepViolation
+Model::finalCheck(const State &s) const
+{
+    if (!s.locks.empty()) {
+        const auto &kv = *s.locks.begin();
+        return {StepViolation::Kind::kLockLeak,
+                strfmt("lock leaked into the final state: line 0x%llx "
+                       "still held by thread %u (count %u)",
+                       (unsigned long long)kv.first,
+                       (unsigned)kv.second.first,
+                       (unsigned)kv.second.second)};
+    }
+    return {};
+}
+
+bool
+Model::dependent(const Transition &a, const Transition &b)
+{
+    if (a.thread == b.thread)
+        return true;
+    return a.line() == b.line();
+}
+
+std::string
+Model::describe(const Transition &t, const State *pre) const
+{
+    std::string s = strfmt("t%u pc=%d %-9s [0x%llx]", (unsigned)t.thread,
+                           t.pc, tkindName(t.kind),
+                           (unsigned long long)t.addr);
+    if (pre) {
+        const ThreadState &thr = pre->threads[t.thread];
+        auto memVal = [pre](Addr a) {
+            auto it = pre->mem.find(a);
+            return it == pre->mem.end() ? 0 : it->second;
+        };
+        switch (t.kind) {
+          case TKind::kRead:
+          case TKind::kRmw:
+          case TKind::kAtLock:
+            s += strfmt(" reads %lld", (long long)memVal(t.addr));
+            break;
+          case TKind::kFlush:
+            if (!thr.sb.empty()) {
+                const SbEntry &e = thr.sb.front();
+                s += strfmt(" writes %lld%s", (long long)e.value,
+                            e.unlock ? " (store_unlock)" : "");
+            }
+            break;
+          case TKind::kAtCommit:
+            s += strfmt(" read %lld", (long long)thr.boundOld);
+            break;
+          case TKind::kAtFwd: {
+            int m = newestSbMatch(thr, t.addr);
+            if (m >= 0)
+                s += strfmt(" binds %lld from own SB",
+                            (long long)thr.sb[(std::size_t)m].value);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    return s;
+}
+
+} // namespace fa::mc

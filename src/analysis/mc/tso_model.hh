@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Small-step operational x86-TSO semantics for workload programs —
+ * the reference model behind the `famc` stateless model checker.
+ *
+ * The model is the Owens/Sarkar/Sewell abstract machine specialized
+ * to this simulator's ISA and to the paper's three atomic flavours:
+ *
+ *  - each thread executes its program in order; local computation
+ *    (ALU, branches, SB hits, store insertion) is deterministic and
+ *    runs eagerly ("local closure"), so the exploration branches
+ *    only on *visible* transitions;
+ *  - each thread owns an unbounded FIFO store buffer; the oldest
+ *    entry may flush to memory at any time unless the target line is
+ *    locked by another thread;
+ *  - baseline / baseline+Spec atomics (`kFenced`, `kSpec`) are one
+ *    indivisible read-modify-write step that requires an empty SB —
+ *    the classic x86-TSO LOCK'd instruction (speculative issue is a
+ *    microarchitectural property with no architectural effect, so
+ *    both modes share one semantics);
+ *  - FreeAtomics (`kFree`, `kFreeFwd`) split the atomic into a
+ *    lock/bind step (acquire the cacheline lock, read the value) and
+ *    a commit step that requires an empty SB (§3.2.3) and enqueues
+ *    the `store_unlock` write; the flush of that entry releases the
+ *    lock. Foreign-locked lines block reads, flushes and lock
+ *    acquisitions, which is how the §3.2.5 deadlock shapes arise in
+ *    a program-order model. In `kFreeFwd` an atomic may bind from a
+ *    pending own-SB store instead (lock_on_access for ordinary
+ *    sources, do_not_unlock for atomic sources, §3.3), with the
+ *    §3.3.4 chain cap.
+ *
+ * The watchdog (§3.2.5) appears as a `kRecover` transition: a
+ * pre-commit lock-holding atomic may at any point be squashed and
+ * retried (lock released, binding discarded). This over-approximates
+ * the timer — sound, because the timer can expire under any timing.
+ *
+ * Intentional injectable semantic faults (`Fault`) weaken one
+ * mechanism at a time so the checker can demonstrate the violation
+ * each mechanism prevents, with a minimal interleaving witness.
+ */
+
+#ifndef FA_ANALYSIS_MC_TSO_MODEL_HH
+#define FA_ANALYSIS_MC_TSO_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/trace.hh"
+#include "common/types.hh"
+#include "core/core_config.hh"
+#include "isa/program.hh"
+
+namespace fa::mc {
+
+/** Initial memory contents (mirrors sim::MemInit without pulling in
+ * the simulator headers). */
+using MemInit = std::vector<std::pair<Addr, std::int64_t>>;
+
+/** Injectable semantic faults: each disables one paper mechanism so
+ * the checker can exhibit the violation that mechanism prevents. */
+enum class Fault : std::uint8_t {
+    kNone,           ///< faithful semantics
+    kNoLock,         ///< atomics never lock their line (§3.2 gone)
+    kCommitNoDrain,  ///< atomics stop acting as fences: commit with a
+                     ///< non-empty SB and let reads pass a pending
+                     ///< store_unlock (§3.2.3 gone)
+    kNoRecover,      ///< watchdog disabled: deadlocks are terminal
+                     ///< (§3.2.5 gone)
+    kLeakUnlock,     ///< store_unlock performs but never releases the
+                     ///< lock (unlock responsibility lost, §3.3.3)
+};
+
+const char *faultName(Fault fault);
+
+/** Parse a fault name ("none", "no-lock", "commit-no-drain",
+ * "no-recover", "leak-unlock"); returns false on unknown names. */
+bool parseFault(const std::string &name, Fault *out);
+
+/** Model parameters. */
+struct ModelOpts
+{
+    core::AtomicsMode mode = core::AtomicsMode::kFreeFwd;
+    unsigned fwdChainCap = 32;      ///< §3.3.4 bound
+    Fault fault = Fault::kNone;
+    /** Master seed; thread t's kRand stream uses mix64(seed, t+1),
+     * matching sim::System's per-core derivation. */
+    std::uint64_t masterSeed = 1;
+    /** Enumerate the spurious store-conditional failure branch (the
+     * detailed simulator can fail an SC on a capacity eviction, so
+     * soundness requires it). */
+    bool spuriousScFail = true;
+    /** Step limit for one local closure (infinite local loops are a
+     * program bug, reported as a violation). */
+    std::uint64_t maxLocalSteps = 1'000'000;
+};
+
+/** One store-buffer entry. Fields below the marker are per-path
+ * bookkeeping for the event sink and are excluded from the canonical
+ * state key. */
+struct SbEntry
+{
+    Addr addr = 0;              ///< word address
+    std::int64_t value = 0;
+    bool unlock = false;        ///< store_unlock half of an atomic
+    bool captured = false;      ///< a pending own atomic binds from
+                                ///< this entry (lock_on_access)
+    bool holdsLock = false;     ///< flushing releases one lock count
+    std::uint16_t chain = 0;    ///< §3.3.4 forwarding chain depth
+    std::int64_t expectOld = 0; ///< unlock: the value the atomic read
+                                ///< (atomicity self-check at flush)
+    // --- not part of the canonical key ---
+    SeqNum seq = 0;             ///< dynamic seq of the store
+    int evIdx = -1;             ///< MemEvent index in the sink
+};
+
+/** Pending-atomic phase of one thread. */
+enum class AtPhase : std::uint8_t {
+    kNone,    ///< no atomic in progress
+    kLocked,  ///< value bound, commit pending (pc still at the RMW)
+};
+
+/** Architectural + TSO-machine state of one thread. */
+struct ThreadState
+{
+    std::int32_t pc = 0;
+    std::array<std::int64_t, isa::kNumRegs> regs{};
+    std::vector<SbEntry> sb;    ///< [0] is the oldest entry
+    bool halted = false;
+
+    AtPhase phase = AtPhase::kNone;
+    std::int64_t boundOld = 0;  ///< value the pending atomic read
+    Addr boundAddr = 0;         ///< its word address
+    std::uint16_t boundChain = 0;  ///< chain depth of its unlock entry
+    bool fwdPending = false;    ///< bound from an ordinary SB entry
+                                ///< that has not performed yet
+    bool lockHeld = false;      ///< pending atomic holds a lock count
+
+    bool linkValid = false;     ///< LL/SC reservation
+    Addr linkLine = 0;
+    std::uint64_t randIndex = 0;
+
+    // --- not part of the canonical key ---
+    SeqNum nextSeq = 1;
+    bool boundRfInit = true;    ///< reads-from of the bound value
+    CoreId boundRfThread = 0;
+    SeqNum boundRfSeq = 0;
+};
+
+/** One global state of the abstract machine. */
+struct State
+{
+    std::vector<ThreadState> threads;
+    /** Word address -> value; zero-valued words are erased so that
+     * "never written" and "restored to zero" canonicalize equally. */
+    std::map<Addr, std::int64_t> mem;
+    /** Locked line -> (owner thread, responsibility count). */
+    std::map<Addr, std::pair<CoreId, std::uint32_t>> locks;
+
+    /** Canonical serialization: equal strings iff equal states. */
+    std::string key() const;
+};
+
+/** Visible transition kinds. */
+enum class TKind : std::uint8_t {
+    kRead,      ///< load / load-linked reads memory
+    kFlush,     ///< oldest SB entry performs
+    kRmw,       ///< fenced/spec one-step atomic
+    kAtLock,    ///< free modes: lock the line and bind from memory
+    kAtFwd,     ///< kFreeFwd: bind by forwarding from the own SB
+    kAtCommit,  ///< free modes: commit; store_unlock enters the SB
+    kScOk,      ///< store-conditional succeeds (writes memory)
+    kScFail,    ///< store-conditional fails (reservation lost or
+                ///< spurious)
+    kRecover,   ///< watchdog: squash + retry a pre-commit atomic
+};
+
+const char *tkindName(TKind kind);
+
+/** One visible transition of one thread. */
+struct Transition
+{
+    TKind kind = TKind::kRead;
+    CoreId thread = 0;
+    std::int32_t pc = 0;
+    Addr addr = 0;  ///< word address (locked line word for kRecover)
+
+    Addr line() const { return lineOf(addr); }
+
+    bool
+    sameAs(const Transition &o) const
+    {
+        return kind == o.kind && thread == o.thread && pc == o.pc &&
+            addr == o.addr;
+    }
+};
+
+/** A violation detected while applying a transition or checking a
+ * final state. kNone means the step was clean. */
+struct StepViolation
+{
+    enum class Kind : std::uint8_t {
+        kNone,
+        kAtomicity,   ///< store_unlock found the line changed
+        kLockLeak,    ///< locks survive into a final state
+        kLocalLimit,  ///< local closure exceeded maxLocalSteps
+    };
+    Kind kind = Kind::kNone;
+    std::string detail;
+
+    explicit operator bool() const { return kind != Kind::kNone; }
+};
+
+/**
+ * Optional per-execution memory-event recorder. When supplied to
+ * Model::apply, every committed memory event is captured in the
+ * axiomatic checker's MemEvent format, so a complete execution can
+ * be certified with analysis::checkTso — the bridge that keeps the
+ * operational and axiomatic formulations in agreement.
+ */
+struct EventSink
+{
+    std::vector<analysis::MemEvent> events;
+    std::uint64_t nextStamp = 1;
+    /** Word address -> last performed writer (rfInit when absent). */
+    std::map<Addr, std::pair<CoreId, SeqNum>> lastWriter;
+};
+
+class Model
+{
+  public:
+    Model(std::vector<isa::Program> progs, const ModelOpts &opts);
+
+    const ModelOpts &opts() const { return modelOpts; }
+    const std::vector<isa::Program> &programs() const { return progs; }
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(progs.size());
+    }
+    bool usesRand() const { return anyRand; }
+
+    /** Initial state: memory image loaded, every thread's local
+     * closure run up to its first visible operation. */
+    State initial(const MemInit &init) const;
+
+    /**
+     * Enumerate the enabled visible transitions of `s`.
+     *
+     * With `reduce`, when some thread's entire enabled set touches
+     * only lines no other thread can ever access (statically
+     * private) and is lock-free, only that thread's transitions are
+     * returned — a sound singleton-process persistent set.
+     */
+    void enumerate(const State &s, std::vector<Transition> &out,
+                   bool reduce = true) const;
+
+    /** Apply `t` to `s` in place, then run the thread's local
+     * closure. `sink` (optional) records committed memory events. */
+    StepViolation apply(State &s, const Transition &t,
+                        EventSink *sink = nullptr) const;
+
+    /** All threads halted with empty store buffers. */
+    bool isFinal(const State &s) const;
+
+    /** Invariants of a final state (no lock may survive). */
+    StepViolation finalCheck(const State &s) const;
+
+    /** Transitions of different threads commute unless they touch
+     * the same cacheline (locks are line-granular). */
+    static bool dependent(const Transition &a, const Transition &b);
+
+    /** Human-readable transition description; with `pre`, annotated
+     * with the values the step observes. */
+    std::string describe(const Transition &t,
+                         const State *pre = nullptr) const;
+
+    /** True when the static-private reduction could be computed
+     * (every access constant-propagates to a known address). */
+    bool reductionAvailable() const { return reduceOk; }
+
+  private:
+    bool fencedSemantics() const
+    {
+        return modelOpts.mode == core::AtomicsMode::kFenced ||
+            modelOpts.mode == core::AtomicsMode::kSpec;
+    }
+    bool foreignLocked(const State &s, Addr line, CoreId t) const;
+    /** Reads must not pass a pending store_unlock (atomics order
+     * write->read); disabled by the kCommitNoDrain fault. */
+    bool readGate(const ThreadState &thr) const;
+    int newestSbMatch(const ThreadState &thr, Addr addr) const;
+    void lockInc(State &s, Addr line, CoreId t) const;
+    void unlockDec(State &s, Addr line, CoreId t) const;
+    StepViolation closure(State &s, CoreId t, EventSink *sink) const;
+    bool privateLine(Addr line, CoreId t) const;
+    bool freeTransition(const State &s, const Transition &t) const;
+
+    std::vector<isa::Program> progs;
+    ModelOpts modelOpts;
+    std::vector<std::uint64_t> randSeeds;
+    bool anyRand = false;
+    /** line -> owning thread when statically single-threaded. */
+    std::map<Addr, CoreId> lineOwner;
+    bool reduceOk = false;
+};
+
+} // namespace fa::mc
+
+#endif // FA_ANALYSIS_MC_TSO_MODEL_HH

@@ -1,0 +1,130 @@
+#include "analysis/sanitizer/fasan.hh"
+
+#include "common/log.hh"
+#include "core/atomic_queue.hh"
+
+namespace fa::analysis {
+
+void
+Fasan::record(const char *invariant, CoreId core, Cycle now,
+              std::string detail)
+{
+    if (violations.size() >= kMaxViolations)
+        return;
+    violations.push_back({invariant, core, now, std::move(detail)});
+}
+
+std::string
+Fasan::report() const
+{
+    std::string s;
+    for (const Violation &v : violations) {
+        s += strfmt("fasan: %s violated on core %u at cycle %llu: %s\n",
+                    v.invariant.c_str(), (unsigned)v.core,
+                    (unsigned long long)v.cycle, v.detail.c_str());
+    }
+    return s;
+}
+
+void
+Fasan::checkAtomicCommit(CoreId core, Cycle now, SeqNum seq, int pc,
+                         unsigned sb_count)
+{
+    if (sb_count == 0)
+        return;
+    record("sb-empty-at-commit", core, now,
+           strfmt("atomic seq=%llu pc=%d committed with %u stores "
+                  "still buffered (store->AtomicRMW order broken, "
+                  "§3.2.3)",
+                  (unsigned long long)seq, pc, sb_count));
+}
+
+void
+Fasan::checkUnlockHandoff(CoreId core, Cycle now, SeqNum seq,
+                          Addr line, unsigned captures,
+                          bool line_locked_after)
+{
+    if (captures == 0 || line_locked_after)
+        return;
+    record("lock-responsibility", core, now,
+           strfmt("store_unlock seq=%llu handed line 0x%llx to %u "
+                  "capturing AQ entries but the line is unlocked "
+                  "(forwarding chain lost its lock, §3.3)",
+                  (unsigned long long)seq, (unsigned long long)line,
+                  captures));
+}
+
+void
+Fasan::checkSquashCleanup(CoreId core, Cycle now, SeqNum from_seq,
+                          const core::AtomicQueue &aq,
+                          const SeqLiveFn &seq_live)
+{
+    for (unsigned i = 0; i < aq.size(); ++i) {
+        const core::AtomicQueue::Entry &e =
+            aq.entry(static_cast<int>(i));
+        if (!e.valid)
+            continue;
+        if (e.seq >= from_seq) {
+            record("unlock-on-squash", core, now,
+                   strfmt("AQ entry %u (seq=%llu%s line=0x%llx) "
+                          "survived a squash from seq=%llu "
+                          "(unlock_on_squash incomplete, §3.1)",
+                          i, (unsigned long long)e.seq,
+                          e.locked ? " LOCKED" : "",
+                          (unsigned long long)e.line,
+                          (unsigned long long)from_seq));
+        } else if (e.locked && !seq_live(e.seq)) {
+            record("lock-responsibility", core, now,
+                   strfmt("AQ entry %u holds line 0x%llx for seq=%llu "
+                          "which is neither in flight nor draining "
+                          "(orphaned lock after squash, §3.3.3)",
+                          i, (unsigned long long)e.line,
+                          (unsigned long long)e.seq));
+        }
+    }
+}
+
+void
+Fasan::checkWatchdogVictim(CoreId core, Cycle now, SeqNum victim_seq,
+                           bool is_atomic, int aq_idx, bool in_flight)
+{
+    if (is_atomic && aq_idx >= 0 && in_flight)
+        return;
+    record("watchdog-victim", core, now,
+           strfmt("watchdog victim seq=%llu is not a lock-holding "
+                  "in-flight atomic (atomic=%d aqIdx=%d inflight=%d, "
+                  "§3.2.5)",
+                  (unsigned long long)victim_seq, is_atomic ? 1 : 0,
+                  aq_idx, in_flight ? 1 : 0));
+}
+
+void
+Fasan::checkVictimLine(CoreId core, Cycle now, Addr victim_line,
+                       bool victim_locked, const char *level)
+{
+    if (!victim_locked)
+        return;
+    record("locked-victim", core, now,
+           strfmt("%s replacement evicted locked line 0x%llx "
+                  "(locked lines must never be victims, §3.2.4)",
+                  level, (unsigned long long)victim_line));
+}
+
+void
+Fasan::checkFinal(CoreId core, Cycle now, const core::AtomicQueue &aq)
+{
+    for (unsigned i = 0; i < aq.size(); ++i) {
+        const core::AtomicQueue::Entry &e =
+            aq.entry(static_cast<int>(i));
+        if (!e.valid)
+            continue;
+        record("lock-drain-at-halt", core, now,
+               strfmt("AQ entry %u still valid after all threads "
+                      "halted (seq=%llu%s line=0x%llx)",
+                      i, (unsigned long long)e.seq,
+                      e.locked ? " LOCKED" : "",
+                      (unsigned long long)e.line));
+    }
+}
+
+} // namespace fa::analysis

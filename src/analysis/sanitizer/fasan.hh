@@ -1,0 +1,107 @@
+/**
+ * @file
+ * fasan — the FreeAtomics invariant sanitizer.
+ *
+ * An always-compiled, zero-cost-when-off cycle-level checker for the
+ * paper's correctness invariants, wired into the core, Atomic Queue,
+ * LSQ and memory hierarchy behind nullable-pointer hooks (the same
+ * pattern as the tracer / pipeview / chaos engines: one pointer test
+ * per site when detached, nothing else).
+ *
+ * Checked invariants:
+ *  - SB-empty-at-commit (§3.2.3): an atomic RMW may only commit once
+ *    the store buffer has drained.
+ *  - Locked-line victim exclusion (§3.2.4): cache replacement never
+ *    selects a line locked by the owning core's AQ.
+ *  - Lock-responsibility conservation along forwarding chains
+ *    (§3.3): when a performing store_unlock hands its lock to one or
+ *    more capturing AQ entries, the line must remain locked.
+ *  - Unlock-on-squash completeness (§3.1/§3.3.3): after a squash no
+ *    AQ entry from the squashed range may survive, and every
+ *    surviving locked entry must belong to a live (in-flight or
+ *    SB-draining) atomic.
+ *  - Watchdog victim validity (§3.2.5): the deadlock-recovery flush
+ *    always targets an in-flight, lock-holding atomic.
+ *  - Lock drain at halt: a finished run leaves every AQ empty.
+ *
+ * Violations are collected (not thrown) so the simulation loop can
+ * abort through the existing forensics path with full pipeline
+ * state.
+ */
+
+#ifndef FA_ANALYSIS_SANITIZER_FASAN_HH
+#define FA_ANALYSIS_SANITIZER_FASAN_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fa::core {
+class AtomicQueue;
+} // namespace fa::core
+
+namespace fa::analysis {
+
+class Fasan
+{
+  public:
+    struct Violation
+    {
+        std::string invariant;  ///< short invariant name
+        CoreId core;
+        Cycle cycle;
+        std::string detail;
+    };
+
+    /** Is `seq` still alive in the pipeline (in flight, or a
+     * committed store draining in the SQ/SB)? */
+    using SeqLiveFn = std::function<bool(SeqNum)>;
+
+    bool failed() const { return !violations.empty(); }
+    const std::vector<Violation> &all() const { return violations; }
+    /** One "fasan: ..." line per violation. */
+    std::string report() const;
+
+    /** §3.2.3 — called as an atomic RMW commits. */
+    void checkAtomicCommit(CoreId core, Cycle now, SeqNum seq, int pc,
+                           unsigned sb_count);
+
+    /** §3.3 — called after a store_unlock performed and released its
+     * own AQ entry; `captures` entries took the lock over. */
+    void checkUnlockHandoff(CoreId core, Cycle now, SeqNum seq,
+                            Addr line, unsigned captures,
+                            bool line_locked_after);
+
+    /** §3.1/§3.3.3 — called at the end of squashFrom(from_seq). */
+    void checkSquashCleanup(CoreId core, Cycle now, SeqNum from_seq,
+                            const core::AtomicQueue &aq,
+                            const SeqLiveFn &seq_live);
+
+    /** §3.2.5 — called just before the watchdog squashes `victim`. */
+    void checkWatchdogVictim(CoreId core, Cycle now, SeqNum victim_seq,
+                             bool is_atomic, int aq_idx,
+                             bool in_flight);
+
+    /** §3.2.4 — called when a cache insert evicted `victim_line`;
+     * `victim_locked` is the owning core's AQ lock CAM result. */
+    void checkVictimLine(CoreId core, Cycle now, Addr victim_line,
+                         bool victim_locked, const char *level);
+
+    /** Called once per core when a run finishes cleanly. */
+    void checkFinal(CoreId core, Cycle now,
+                    const core::AtomicQueue &aq);
+
+  private:
+    void record(const char *invariant, CoreId core, Cycle now,
+                std::string detail);
+
+    std::vector<Violation> violations;
+    static constexpr std::size_t kMaxViolations = 64;
+};
+
+} // namespace fa::analysis
+
+#endif // FA_ANALYSIS_SANITIZER_FASAN_HH

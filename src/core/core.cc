@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/sanitizer/fasan.hh"
 #include "analysis/trace.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
@@ -423,6 +424,9 @@ Core::commitOne(DynInst *head, Cycle now)
         ++stats.committedStores;
         break;
       case isa::Op::kRmw: {
+        if (fasan)
+            fasan->checkAtomicCommit(coreId, now, head->seq, head->pc,
+                                     lsq.sbCount());
         ++stats.committedAtomics;
         stats.atomicPostIssueCycles += now - head->issuedAt;
         hists.atomicLatency.record(now - head->dispatchedAt);
@@ -573,12 +577,15 @@ Core::sbDrainStage(Cycle now)
 
     // Broadcast the SQid: a younger forwarded load_lock's AQ entry
     // captures the lock (lock_on_access / do_not_unlock, §4.2).
-    aq.broadcastStorePerform(st->seq, line);
+    unsigned captures = aq.broadcastStorePerform(st->seq, line);
 
     if (st->isAtomic()) {
         // store_unlock: release this atomic's own AQ entry. The line
         // stays locked iff a younger entry captured it above.
         aq.release(st->aqIdx);
+        if (fasan)
+            fasan->checkUnlockHandoff(coreId, now, st->seq, line,
+                                      captures, aq.isLineLocked(line));
         st->aqIdx = -1;
         st->lockHeld = false;
         st->lockReleasedAt = now;
@@ -588,6 +595,11 @@ Core::sbDrainStage(Cycle now)
         hists.lockHold.record(
             now - (st->lockAcquiredAt ? st->lockAcquiredAt
                                       : st->committedAt));
+    } else if (fasan && captures > 0) {
+        // lock_on_access from an ordinary store: the capture must
+        // leave the line locked.
+        fasan->checkUnlockHandoff(coreId, now, st->seq, line,
+                                  captures, aq.isLineLocked(line));
     }
     if (pipeview)
         pipeview->retire(coreId, *st, false);
@@ -619,7 +631,11 @@ Core::sbDrainStage(Cycle now)
                                            next_st->storeData);
             ++stats.sbStoresPerformed;
             ++stats.sbCoalescedStores;
-            aq.broadcastStorePerform(next_st->seq, line);
+            unsigned cap2 = aq.broadcastStorePerform(next_st->seq, line);
+            if (fasan && cap2 > 0)
+                fasan->checkUnlockHandoff(coreId, now, next_st->seq,
+                                          line, cap2,
+                                          aq.isLineLocked(line));
             if (pipeview)
                 pipeview->retire(coreId, *next_st, false);
             lsq.popFrontStore(next_st);
@@ -1214,6 +1230,20 @@ Core::squashFrom(SeqNum from_seq, int resume_pc, SquashCause cause,
     fetchPc = resume_pc;
     fetchHalted = false;
     fetchResumeAt = now + cfg.redirectPenalty;
+
+    if (fasan) {
+        fasan->checkSquashCleanup(
+            coreId, now, from_seq, aq, [this](SeqNum s) {
+                return hasInflight(s) || seqInStoreQueue(s);
+            });
+    }
+}
+
+void
+Core::fasanFinal(Cycle now)
+{
+    if (fasan)
+        fasan->checkFinal(coreId, now, aq);
 }
 
 // --------------------------------------------------------------------------
@@ -1313,6 +1343,10 @@ Core::watchdogStage(Cycle now)
     DynInst *victim = it->second;
     ++stats.watchdogTimeouts;
     hists.wdBackoff.record(wdCurTimeout);
+    if (fasan)
+        fasan->checkWatchdogVictim(coreId, now, victim->seq,
+                                   victim->isAtomic(), victim->aqIdx,
+                                   true);
     if (watchdogHook)
         watchdogHook(victim->seq, now);
     if (traceEnabled() && !rob.empty()) {

@@ -43,6 +43,7 @@
 #include "mem/mem_system.hh"
 
 namespace fa::analysis {
+class Fasan;
 class TraceRecorder;
 } // namespace fa::analysis
 
@@ -100,6 +101,13 @@ class Core : public mem::CoreMemIf
     /** Attach a fault-injection engine (null disables; same
      * zero-cost-when-off pattern as the recorders). */
     void attachChaos(chaos::ChaosEngine *engine) { chaos = engine; }
+
+    /** Attach the invariant sanitizer (null disables; same
+     * zero-cost-when-off pattern as the recorders). */
+    void attachFasan(analysis::Fasan *f) { fasan = f; }
+
+    /** End-of-run sanitizer sweep (lock drain at halt). */
+    void fasanFinal(Cycle now);
 
     /**
      * Called just before the watchdog squashes a lock-holding atomic
@@ -216,6 +224,7 @@ class Core : public mem::CoreMemIf
     analysis::TraceRecorder *tracer = nullptr;
     PipeViewRecorder *pipeview = nullptr;
     chaos::ChaosEngine *chaos = nullptr;
+    analysis::Fasan *fasan = nullptr;
     std::function<void(SeqNum, Cycle)> watchdogHook;
     std::uint64_t randSeed;
 

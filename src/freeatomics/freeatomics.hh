@@ -21,6 +21,10 @@
 #include "analysis/critical_cycle.hh"
 #include "analysis/fence_redundancy.hh"
 #include "analysis/lock_cycle.hh"
+#include "analysis/mc/diff.hh"
+#include "analysis/mc/explore.hh"
+#include "analysis/mc/tso_model.hh"
+#include "analysis/sanitizer/fasan.hh"
 #include "analysis/trace.hh"
 #include "analysis/tso_checker.hh"
 #include "common/histogram.hh"

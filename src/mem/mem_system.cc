@@ -1,5 +1,6 @@
 #include "mem/mem_system.hh"
 
+#include "analysis/sanitizer/fasan.hh"
 #include "common/log.hh"
 #include "sim/chaos/chaos.hh"
 
@@ -66,6 +67,9 @@ MemSystem::access(CoreId core, Addr line, bool want_write, SeqNum waiter,
             ++stats.fillBlockedOnLock;
             return AccessOutcome::kBlocked;
         }
+        if (fasan && r1.evicted)
+            fasan->checkVictimLine(core, now, r1.victimLine,
+                                   lockedFn(core)(r1.victimLine), "l1");
         // An L1 victim silently stays in the (inclusive) L2.
         pc.l2.touch(line, now);
         ++stats.l1Misses;
@@ -156,6 +160,9 @@ MemSystem::performStoreWrite(CoreId core, Addr addr, std::int64_t value,
             ++stats.fillBlockedOnLock;
             return false;
         }
+        if (fasan && r.evicted)
+            fasan->checkVictimLine(core, now, r.victimLine,
+                                   lockedFn(core)(r.victimLine), "l1");
     }
     pc.l1.setState(line, CacheState::kModified);
     pc.l2.setState(line, CacheState::kModified);
@@ -592,6 +599,8 @@ MemSystem::installLine(Txn &txn, Cycle now)
     }
     if (r2.evicted) {
         Addr v = r2.victimLine;
+        if (fasan)
+            fasan->checkVictimLine(txn.core, now, v, locked(v), "l2");
         pc.l1.invalidate(v);  // L2 is inclusive of L1
         dirRemoveSharer(v, txn.core);
         if (cores[txn.core])
@@ -603,6 +612,9 @@ MemSystem::installLine(Txn &txn, Cycle now)
         ++stats.fillBlockedOnLock;
         return false;  // retry; the L2 copy is already installed
     }
+    if (fasan && r1.evicted)
+        fasan->checkVictimLine(txn.core, now, r1.victimLine,
+                               locked(r1.victimLine), "l1");
     // An L1 victim silently remains in the inclusive L2.
     pc.l2.setState(txn.line, txn.grantState);
     return true;

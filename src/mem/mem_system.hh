@@ -30,6 +30,7 @@
 #include "mem/directory.hh"
 #include "mem/mem_config.hh"
 
+namespace fa::analysis { class Fasan; }
 namespace fa::chaos { class ChaosEngine; }
 
 namespace fa::mem {
@@ -87,6 +88,11 @@ class MemSystem
     /** Optional fault-injection engine; null = no injection and no
      * per-access cost beyond one pointer test. */
     void attachChaos(chaos::ChaosEngine *engine) { chaos = engine; }
+
+    /** Optional invariant sanitizer; null = no checking and no
+     * per-insert cost beyond one pointer test (§3.2.4 victim
+     * exclusion). */
+    void attachFasan(analysis::Fasan *f) { fasan = f; }
 
     /**
      * Timed access from a core for a full line.
@@ -253,6 +259,7 @@ class MemSystem
     MemConfig cfg;
     unsigned numCores;
     chaos::ChaosEngine *chaos = nullptr;
+    analysis::Fasan *fasan = nullptr;
 
     std::vector<PrivCaches> priv;
     std::vector<CoreMemIf *> cores;

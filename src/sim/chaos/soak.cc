@@ -113,6 +113,7 @@ runSoakCase(const SoakCase &c)
     m.watchdogForensics = true;
     m.progressWindow = spec.progressWindow;
     m.chaos = spec.chaos;
+    m.sanitize = spec.sanitize;
 
     sim::System sys(m, c.programs, spec.seed);
     sim::RunOutcome out = sys.run(spec.maxCycles);
@@ -126,11 +127,21 @@ runSoakCase(const SoakCase &c)
         r.chaosInjections = eng->counts().total();
 
     if (!out.finished) {
-        r.signature = out.failure.find("no core committed") !=
-                              std::string::npos
-                          ? "no-progress"
-                          : "cycle-limit";
+        if (out.failure.rfind("fasan: ", 0) == 0) {
+            // "fasan: invariant violation: <name>" — class on the
+            // invariant so the shrinker preserves the failure mode.
+            r.signature =
+                "fasan:" + out.failure.substr(out.failure.rfind(": ") + 2);
+        } else {
+            r.signature = out.failure.find("no core committed") !=
+                                  std::string::npos
+                              ? "no-progress"
+                              : "cycle-limit";
+        }
         r.detail = out.failure;
+        if (const analysis::Fasan *fs = sys.sanitizer();
+            fs && fs->failed())
+            r.detail += "\n" + fs->report();
         return r;
     }
     if (res.tsoChecked && !res.tsoOk()) {
@@ -277,6 +288,7 @@ writeReproducer(const SoakCase &c, const SoakResult &r,
     jw.key("counters").value(s.counters);
     jw.key("progressWindow").value(std::uint64_t{s.progressWindow});
     jw.key("maxCycles").value(std::uint64_t{s.maxCycles});
+    jw.key("sanitize").value(s.sanitize);
     jw.key("chaos").beginObject();
     jw.key("seed").value(std::uint64_t{s.chaos.seed});
     jw.key("delayProb").value(s.chaos.delayProb);
@@ -329,6 +341,9 @@ loadReproducer(const std::string &json_path,
     s.counters = static_cast<unsigned>(doc.at("counters").asU64());
     s.progressWindow = doc.at("progressWindow").asU64();
     s.maxCycles = doc.at("maxCycles").asU64();
+    // Absent in pre-fasan reproducers: default off.
+    if (const JsonValue *sz = doc.find("sanitize"))
+        s.sanitize = sz->boolean;
     const JsonValue &ch = doc.at("chaos");
     s.chaos.seed = ch.at("seed").asU64();
     auto u = [&ch](const char *k) {

@@ -51,6 +51,10 @@ struct SoakSpec
     core::AtomicsMode mode = core::AtomicsMode::kFreeFwd;
     std::string machine = "tiny";  ///< preset name (tiny forces evictions)
     ChaosConfig chaos;          ///< materialized fault schedule
+    /** Arm fasan (analysis/sanitizer): §3.2/§3.3 invariants checked
+     * online; a violation fails the run with signature
+     * "fasan:<invariant>". */
+    bool sanitize = false;
 
     /** Progress window: must exceed the worst-case backed-off
      * watchdog timeout, else a healthy recovery reads as a wedge. */

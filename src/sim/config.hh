@@ -58,6 +58,13 @@ struct MachineConfig
      * bit-identical to a build without the chaos subsystem. */
     chaos::ChaosConfig chaos;
 
+    /** Arm fasan, the cycle-level invariant sanitizer
+     * (analysis/sanitizer/fasan.hh): §3.2/§3.3 invariants are
+     * asserted online and a violation aborts the run through the
+     * forensics path. Off by default; when off, runs are
+     * cycle-identical to a build without the sanitizer. */
+    bool sanitize = false;
+
     /** Icelake-like preset: the paper's evaluated system (Table 1).
      * 352-entry ROB, 128/72 LQ/SQ, 48KB 12-way L1D. */
     static MachineConfig icelake(unsigned cores = 32);

@@ -20,6 +20,10 @@ System::System(const MachineConfig &config,
         chaosEng = std::make_unique<chaos::ChaosEngine>(cfg.chaos);
         memSys->attachChaos(chaosEng.get());
     }
+    if (cfg.sanitize) {
+        fasanEng = std::make_unique<analysis::Fasan>();
+        memSys->attachFasan(fasanEng.get());
+    }
     if (!cfg.pipeviewPath.empty()) {
         pipeviewFile = std::make_unique<std::ofstream>(cfg.pipeviewPath);
         if (!*pipeviewFile)
@@ -45,6 +49,7 @@ System::System(const MachineConfig &config,
         cores.back()->attachTracer(tracer.get());
         cores.back()->attachPipeView(ownPipeview.get());
         cores.back()->attachChaos(chaosEng.get());
+        cores.back()->attachFasan(fasanEng.get());
         if (cfg.watchdogForensics) {
             // Capture pipeline state at the first firing only: the
             // watchdog can fire thousands of times in a legitimately
@@ -120,7 +125,38 @@ System::run(Cycle max_cycles)
     Cycle last_progress = now;
     while (now < max_cycles) {
         stepCycle();
+        if (fasanEng && fasanEng->failed()) {
+            out.cycles = now;
+            out.failure = "fasan: invariant violation: " +
+                fasanEng->all().front().invariant;
+            lastForensics = forensicReport(
+                *this, now,
+                "fasan invariant violation:\n" + fasanEng->report());
+            out.forensics = lastForensics;
+            if (intervalStats)
+                intervalStats->finish(now, coreTotals(), memSys->stats);
+            return out;
+        }
         if (allHalted()) {
+            out.cycles = now;
+            if (fasanEng) {
+                // Lock-drain-at-halt sweep: every AQ must be empty.
+                for (auto &c : cores)
+                    c->fasanFinal(now);
+                if (fasanEng->failed()) {
+                    out.failure = "fasan: invariant violation: " +
+                        fasanEng->all().front().invariant;
+                    lastForensics = forensicReport(
+                        *this, now,
+                        "fasan invariant violation:\n" +
+                            fasanEng->report());
+                    out.forensics = lastForensics;
+                    if (intervalStats)
+                        intervalStats->finish(now, coreTotals(),
+                                              memSys->stats);
+                    return out;
+                }
+            }
             out.finished = true;
             out.cycles = now;
             if (intervalStats)

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/sanitizer/fasan.hh"
 #include "analysis/trace.hh"
 #include "common/histogram.hh"
 #include "common/stats.hh"
@@ -128,6 +129,13 @@ class System
      * (tests; overrides cfg.chaos). Null detaches. */
     void attachChaos(chaos::ChaosEngine *engine);
 
+    // --- sanitizer ---------------------------------------------------------
+
+    /** The invariant sanitizer built when cfg.sanitize is set
+     * (nullptr otherwise). A failed() sanitizer aborts run() through
+     * the forensics path. */
+    const analysis::Fasan *sanitizer() const { return fasanEng.get(); }
+
   private:
     void maybeSnapshotInterval();
 
@@ -136,6 +144,7 @@ class System
     std::unique_ptr<mem::MemSystem> memSys;
     std::unique_ptr<analysis::TraceRecorder> tracer;
     std::unique_ptr<chaos::ChaosEngine> chaosEng;
+    std::unique_ptr<analysis::Fasan> fasanEng;
     std::vector<std::unique_ptr<core::Core>> cores;
     Cycle now = 0;
 

@@ -351,8 +351,62 @@ TEST(LockCycle, CounterLoopIsForwardingChainSite)
     auto sums = analysis::summarizePrograms(wl::buildPrograms(*w, 2, 1.0));
     auto res = analysis::analyzeLockCycles(sums);
     ASSERT_FALSE(res.chains.empty());
-    for (const auto &c : res.chains)
+    for (const auto &c : res.chains) {
         EXPECT_TRUE(c.mayExceedCap);
+        // One shared line, same acquisition order on both threads:
+        // a chain site, but not inside any inversion.
+        EXPECT_FALSE(c.inRmwRmwCycle);
+    }
+}
+
+TEST(LockCycle, ChainInsideRmwRmwCycleIsCrossLinked)
+{
+    // Each thread loops { RMW first ; RMW second } with the two
+    // lines in opposite orders: every in-loop chain line is also one
+    // side of the Figure 5 RMW-RMW inversion, and the pass must
+    // report the compound site rather than two unrelated findings.
+    std::vector<isa::Program> progs;
+    for (unsigned tid = 0; tid < 2; ++tid) {
+        ProgramBuilder b("loop_inversion");
+        auto r_a = b.alloc();
+        auto r_b = b.alloc();
+        auto r_one = b.alloc();
+        auto r_old = b.alloc();
+        auto r_n = b.alloc();
+        Addr first = wl::kDataBase + (tid == 0 ? 0 : 64);
+        Addr second = wl::kDataBase + (tid == 0 ? 64 : 0);
+        b.movi(r_one, 1);
+        b.movi(r_n, 8);
+        b.movi(r_a, static_cast<std::int64_t>(first));
+        b.movi(r_b, static_cast<std::int64_t>(second));
+        isa::Label loop = b.newLabel();
+        b.bind(loop);
+        b.fetchAdd(r_old, r_a, r_one);
+        b.fetchAdd(r_old, r_b, r_one);
+        b.addi(r_n, r_n, -1);
+        b.branch(isa::BranchCond::kNe, r_n, isa::Reg{0}, loop);
+        b.halt();
+        progs.push_back(b.build());
+    }
+    auto res = analysis::analyzeLockCycles(
+        analysis::summarizePrograms(progs));
+
+    bool rmwrmw = false;
+    for (const auto &d : res.deadlocks)
+        rmwrmw |= d.kind == analysis::DeadlockKind::kRmwRmw;
+    ASSERT_TRUE(rmwrmw);
+
+    ASSERT_FALSE(res.chains.empty());
+    for (const auto &c : res.chains) {
+        EXPECT_TRUE(c.inRmwRmwCycle) << c.describe(32);
+        EXPECT_EQ(c.cyclePartner, c.thread == 0 ? 1u : 0u);
+        Addr other = c.line == lineOf(wl::kDataBase)
+                         ? lineOf(wl::kDataBase + 64)
+                         : lineOf(wl::kDataBase);
+        EXPECT_EQ(c.cycleOtherLine, other);
+        EXPECT_NE(c.describe(32).find("mid-inversion"),
+                  std::string::npos);
+    }
 }
 
 } // namespace

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * fasan (analysis/sanitizer) tests:
+ *  - zero cost when off: armed vs unarmed runs are cycle-identical
+ *    (bit-identical cycle counts and counter totals), with and
+ *    without TSO-clean chaos underneath,
+ *  - clean machines stay clean: no invariant fires in any atomic
+ *    mode, even under the full fault cocktail,
+ *  - the seeded dropped-unlock bug (chaos buggy_unlock) is caught
+ *    *online* as "unlock-on-squash", with the violation visible
+ *    through System::sanitizer() and the run failure string,
+ *  - soak integration: an armed soak case classifies the failure
+ *    with the stable "fasan:<invariant>" signature, and the
+ *    reproducer JSON round-trips the sanitize flag.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "freeatomics/freeatomics.hh"
+
+namespace fa {
+namespace {
+
+using core::AtomicsMode;
+
+struct ArmedRun
+{
+    sim::RunOutcome out;
+    sim::RunResult res;
+    bool fasanFailed = false;
+    std::string invariant;
+};
+
+/** Run a packaged workload with fasan optionally armed. */
+ArmedRun
+runArmed(const std::string &workload, AtomicsMode mode, bool sanitize,
+         const std::string &profile = "none",
+         std::uint64_t chaos_seed = 1, unsigned threads = 4,
+         double scale = 0.5, const char *machine = "tiny")
+{
+    const wl::Workload *w = wl::findWorkload(workload);
+    EXPECT_NE(w, nullptr) << workload;
+    sim::MachineConfig m = std::string(machine) == "icelake"
+                               ? sim::MachineConfig::icelake(threads)
+                               : sim::MachineConfig::tiny(threads);
+    if (std::string(machine) == "tiny") {
+        m.core.inOrderLockAcquisition = false;
+        m.core.watchdogThreshold = 500;
+    }
+    m.recordMemTrace = true;
+    m.sanitize = sanitize;
+    if (profile != "none")
+        m.chaos = chaos::chaosProfile(profile, chaos_seed);
+    m.core.mode = mode;
+    m.cores = threads;
+    auto progs = wl::buildPrograms(*w, threads, scale);
+    sim::System sys(m, progs, 42);
+    if (w->init)
+        sys.initMemory(w->init(threads, scale));
+    ArmedRun r;
+    r.out = sys.run(40'000'000);
+    r.res = sim::collectRunResult(sys, r.out);
+    if (w->verify && r.out.finished && r.res.failure.empty())
+        r.res.failure = w->verify(sys, threads, scale);
+    if (const analysis::Fasan *fs = sys.sanitizer();
+        fs && fs->failed()) {
+        r.fasanFailed = true;
+        r.invariant = fs->all().front().invariant;
+    }
+    return r;
+}
+
+// --------------------------------------------------------------------------
+// Zero cost when off / timing neutrality
+// --------------------------------------------------------------------------
+
+TEST(FasanNeutrality, ArmedRunIsCycleIdenticalOnCleanMachine)
+{
+    for (AtomicsMode mode : {AtomicsMode::kFenced,
+                             AtomicsMode::kFreeFwd}) {
+        ArmedRun off =
+            runArmed("atomic_counter", mode, /*sanitize=*/false);
+        ArmedRun on =
+            runArmed("atomic_counter", mode, /*sanitize=*/true);
+        ASSERT_TRUE(off.out.finished) << off.out.failure;
+        ASSERT_TRUE(on.out.finished) << on.out.failure;
+        EXPECT_TRUE(on.res.failure.empty()) << on.res.failure;
+        EXPECT_FALSE(on.fasanFailed) << on.invariant;
+        // The acceptance bar: arming the sanitizer must not move a
+        // single cycle — it observes, never steers.
+        EXPECT_EQ(off.out.cycles, on.out.cycles)
+            << core::atomicsModeName(mode);
+    }
+}
+
+TEST(FasanNeutrality, ArmedRunIsCycleIdenticalUnderCleanChaos)
+{
+    // Same bar with the full TSO-clean fault cocktail underneath:
+    // chaos perturbs timing deterministically per seed, and fasan
+    // must not perturb it further.
+    ArmedRun off = runArmed("dekker", AtomicsMode::kFreeFwd, false,
+                            "all", 7, 2);
+    ArmedRun on = runArmed("dekker", AtomicsMode::kFreeFwd, true,
+                           "all", 7, 2);
+    ASSERT_TRUE(off.out.finished) << off.out.failure;
+    ASSERT_TRUE(on.out.finished) << on.out.failure;
+    EXPECT_FALSE(on.fasanFailed) << on.invariant;
+    EXPECT_EQ(off.out.cycles, on.out.cycles);
+}
+
+// --------------------------------------------------------------------------
+// Clean machines stay clean
+// --------------------------------------------------------------------------
+
+TEST(FasanClean, NoInvariantFiresInAnyModeUnderFullChaos)
+{
+    for (AtomicsMode mode :
+         {AtomicsMode::kFenced, AtomicsMode::kSpec, AtomicsMode::kFree,
+          AtomicsMode::kFreeFwd}) {
+        ArmedRun r =
+            runArmed("atomic_counter", mode, true, "all", 11);
+        ASSERT_TRUE(r.out.finished)
+            << core::atomicsModeName(mode) << ": " << r.out.failure;
+        EXPECT_TRUE(r.res.failure.empty())
+            << core::atomicsModeName(mode) << ": " << r.res.failure;
+        EXPECT_FALSE(r.fasanFailed)
+            << core::atomicsModeName(mode) << ": " << r.invariant;
+    }
+}
+
+// --------------------------------------------------------------------------
+// Seeded bug is caught online
+// --------------------------------------------------------------------------
+
+TEST(FasanCatch, DroppedUnlockIsCaughtAsUnlockOnSquash)
+{
+    // chaos "buggy_unlock" drops the store_unlock of a squashed
+    // lock-holding atomic with probability 1/512 — a real TSO bug
+    // that previously only surfaced post-mortem (stale lock in
+    // forensics). fasan must catch it at the squash cycle. Whether a
+    // qualifying squash occurs depends on the chaos seed, so sweep a
+    // few; on the icelake preset at this scale most seeds qualify.
+    unsigned caught = 0;
+    for (std::uint64_t cs = 1; cs <= 8 && caught == 0; ++cs) {
+        ArmedRun r =
+            runArmed("atomic_counter", AtomicsMode::kFreeFwd, true,
+                     "buggy_unlock", cs, 4, 1.0, "icelake");
+        if (!r.fasanFailed)
+            continue;
+        ++caught;
+        EXPECT_EQ(r.invariant, "unlock-on-squash");
+        EXPECT_FALSE(r.out.finished);
+        EXPECT_EQ(r.out.failure,
+                  "fasan: invariant violation: unlock-on-squash");
+        // The poll in System::run captures forensics at the
+        // violation cycle for the report.
+        EXPECT_FALSE(r.out.forensics.empty());
+    }
+    EXPECT_GT(caught, 0u)
+        << "no chaos seed in [1,8] produced a qualifying squash";
+}
+
+TEST(FasanCatch, UnarmedRunMissesTheBugAtTheSquashCycle)
+{
+    // Same seeded bug without fasan: the run does not stop at the
+    // squash — the corruption is only visible later (wrong counter
+    // sum, stale lock, or a watchdog wedge). This is the detection
+    // gap fasan closes.
+    for (std::uint64_t cs = 1; cs <= 8; ++cs) {
+        ArmedRun armed =
+            runArmed("atomic_counter", AtomicsMode::kFreeFwd, true,
+                     "buggy_unlock", cs, 4, 1.0, "icelake");
+        if (!armed.fasanFailed)
+            continue;
+        ArmedRun bare =
+            runArmed("atomic_counter", AtomicsMode::kFreeFwd, false,
+                     "buggy_unlock", cs, 4, 1.0, "icelake");
+        EXPECT_FALSE(bare.fasanFailed);
+        EXPECT_NE(bare.out.failure,
+                  "fasan: invariant violation: unlock-on-squash");
+        return;
+    }
+    GTEST_SKIP() << "no qualifying squash in seed sweep";
+}
+
+// --------------------------------------------------------------------------
+// Soak integration
+// --------------------------------------------------------------------------
+
+TEST(FasanSoak, CleanProfileCertifiesWithSanitizerArmed)
+{
+    chaos::SoakSpec spec =
+        chaos::makeSoakSpec(1, AtomicsMode::kFreeFwd, "coherence");
+    spec.sanitize = true;
+    chaos::SoakCase c = chaos::buildSoakCase(spec);
+    chaos::SoakResult r = chaos::runSoakCase(c);
+    EXPECT_TRUE(r.ok) << r.signature << ": " << r.detail;
+}
+
+TEST(FasanSoak, BuggyUnlockClassifiesWithFasanSignature)
+{
+    // An armed soak case under the buggy profile must classify the
+    // failure with the stable "fasan:<invariant>" signature the
+    // shrinker matches on. Seed-dependent, so sweep.
+    unsigned caught = 0;
+    for (std::uint64_t s = 1; s <= 12 && caught == 0; ++s) {
+        chaos::SoakSpec spec = chaos::makeSoakSpec(
+            s, AtomicsMode::kFreeFwd, "buggy_unlock");
+        spec.sanitize = true;
+        chaos::SoakResult r =
+            chaos::runSoakCase(chaos::buildSoakCase(spec));
+        if (r.ok || r.signature.rfind("fasan:", 0) != 0)
+            continue;
+        ++caught;
+        EXPECT_EQ(r.signature, "fasan:unlock-on-squash");
+        EXPECT_NE(r.detail.find("fasan"), std::string::npos);
+    }
+    EXPECT_GT(caught, 0u)
+        << "no soak seed in [1,12] hit a fasan-classified failure";
+}
+
+TEST(FasanSoak, ReproducerRoundTripsSanitizeFlag)
+{
+    namespace fs = std::filesystem;
+    chaos::SoakSpec spec =
+        chaos::makeSoakSpec(3, AtomicsMode::kFreeFwd, "coherence");
+    spec.sanitize = true;
+    chaos::SoakCase c = chaos::buildSoakCase(spec);
+    chaos::SoakResult r;
+    r.ok = false;
+    r.signature = "fasan:unlock-on-squash";
+
+    fs::path dir =
+        fs::temp_directory_path() / "fasan_repro_roundtrip";
+    fs::create_directories(dir);
+    std::string json = chaos::writeReproducer(
+        c, r, dir.string(), "fasan-roundtrip");
+
+    std::string recorded;
+    chaos::SoakCase back = chaos::loadReproducer(json, &recorded);
+    EXPECT_EQ(recorded, "fasan:unlock-on-squash");
+    EXPECT_TRUE(back.spec.sanitize)
+        << "sanitize flag lost in the reproducer JSON";
+    EXPECT_EQ(back.programs.size(), c.programs.size());
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace fa

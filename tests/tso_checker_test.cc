@@ -327,5 +327,149 @@ TEST(TsoChecker, RecorderCapturesForwardedAndExternalReads)
     EXPECT_GE(rmws, 2u);      // barrier fetch-adds
 }
 
+// --- fwd-forwarded atomics (§3.3) -----------------------------------------
+
+TEST(TsoChecker, ForwardedRmwChainAcrossThreadsIsAccepted)
+{
+    // A store_unlock -> load_lock forwarding chain appears in the
+    // trace as rf edges from one RMW's write to the next RMW's read,
+    // alternating threads, each coherence-adjacent: the checker must
+    // accept the whole chain.
+    std::vector<MemEvent> evs{
+        rmw(0, 1, kX, 0, 1, 1, /*rf_init=*/true),
+        rmw(1, 1, kX, 1, 2, 2, false, 0, 1),
+        rmw(0, 2, kX, 2, 3, 3, false, 1, 1),
+        rmw(1, 2, kX, 3, 4, 4, false, 0, 2),
+    };
+    auto res = analysis::checkTso(evs);
+    EXPECT_TRUE(res.ok) << res.error;
+}
+
+TEST(TsoChecker, ForwardedRmwSkippingAWriterIsRejected)
+{
+    // A forwarded rf that names the grandparent of the chain instead
+    // of the co-latest write: t1's RMW intervenes between t0#1 (the
+    // claimed rf source) and t0#2's own write — exactly the stale
+    // value a buggy forwarding path would hand over. RMW atomicity
+    // must reject it.
+    std::vector<MemEvent> evs{
+        rmw(0, 1, kX, 0, 1, 1, /*rf_init=*/true),
+        rmw(1, 1, kX, 1, 2, 2, false, 0, 1),
+        rmw(0, 2, kX, 1, 3, 3, false, 0, 1),  // stale: skips t1#1
+    };
+    auto res = analysis::checkTso(evs);
+    ASSERT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("atomicity"), std::string::npos)
+        << res.error;
+}
+
+TEST(TsoChecker, PlainStoreIntoForwardingChainGapIsRejected)
+{
+    // A plain store slipping between a forwarded store_unlock ->
+    // load_lock pair breaks the lock-responsibility handoff: the
+    // consumer RMW read t0#1's value but a write intervened before
+    // its own write performed.
+    std::vector<MemEvent> evs{
+        rmw(0, 1, kX, 0, 1, 1, /*rf_init=*/true),
+        write(1, 1, kX, 9, 2),
+        rmw(0, 2, kX, 1, 2, 3, false, 0, 1),
+    };
+    auto res = analysis::checkTso(evs);
+    ASSERT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("atomicity"), std::string::npos)
+        << res.error;
+}
+
+TEST(TsoChecker, FreeFwdCounterTraceHasRmwToRmwRfEdges)
+{
+    // Under freefwd the contended counter commits back-to-back RMWs
+    // via the §3.3 forwarding path; in the trace that is an rf edge
+    // whose writer is itself an RMW. The recorded execution must
+    // both exhibit such edges and pass the checker.
+    const auto *w = wl::findWorkload("atomic_counter");
+    ASSERT_NE(w, nullptr);
+    auto machine = sim::MachineConfig::tiny(2);
+    machine.recordMemTrace = true;
+    machine.core.mode = AtomicsMode::kFreeFwd;
+    machine.cores = 2;
+    auto progs = wl::buildPrograms(*w, 2, 1.0);
+    sim::System sys(machine, progs, 17);
+    if (w->init)
+        sys.initMemory(w->init(2, 1.0));
+    auto out = sys.run(20'000'000);
+    ASSERT_TRUE(out.finished) << out.failure;
+    ASSERT_NE(sys.trace(), nullptr);
+    const auto &evs = sys.trace()->events();
+
+    auto isRmwAt = [&](CoreId t, SeqNum s) {
+        for (const MemEvent &e : evs)
+            if (e.thread == t && e.seq == s)
+                return e.kind == EvKind::kRmw;
+        return false;
+    };
+    unsigned rmw_rf_rmw = 0;
+    for (const MemEvent &e : evs)
+        if (e.kind == EvKind::kRmw && !e.rfInit &&
+            isRmwAt(e.rfThread, e.rfSeq))
+            ++rmw_rf_rmw;
+    EXPECT_GT(rmw_rf_rmw, 0u)
+        << "no RMW observed another RMW's write in a freefwd "
+           "counter run";
+
+    auto res = analysis::checkTso(evs);
+    EXPECT_TRUE(res.ok) << res.error;
+}
+
+TEST(TsoChecker, InjectedStaleForwardInRealTraceIsRejected)
+{
+    // Replay the injection trick on a real freefwd trace: pick an
+    // RMW whose rf names another RMW, and retarget the edge to that
+    // writer's own rf source (the grandparent in the chain). The
+    // skipped writer now intervenes and the checker must reject.
+    const auto *w = wl::findWorkload("atomic_counter");
+    ASSERT_NE(w, nullptr);
+    auto machine = sim::MachineConfig::tiny(2);
+    machine.recordMemTrace = true;
+    machine.core.mode = AtomicsMode::kFreeFwd;
+    machine.cores = 2;
+    auto progs = wl::buildPrograms(*w, 2, 1.0);
+    sim::System sys(machine, progs, 17);
+    if (w->init)
+        sys.initMemory(w->init(2, 1.0));
+    auto out = sys.run(20'000'000);
+    ASSERT_TRUE(out.finished) << out.failure;
+
+    std::vector<MemEvent> mutated = sys.trace()->events();
+    auto findEvent = [&](CoreId t, SeqNum s) -> MemEvent * {
+        for (MemEvent &e : mutated)
+            if (e.thread == t && e.seq == s)
+                return &e;
+        return nullptr;
+    };
+    bool injected = false;
+    for (MemEvent &e : mutated) {
+        if (e.kind != EvKind::kRmw || e.rfInit)
+            continue;
+        MemEvent *parent = findEvent(e.rfThread, e.rfSeq);
+        if (!parent || parent->kind != EvKind::kRmw ||
+            parent->rfInit)
+            continue;
+        MemEvent *grand = findEvent(parent->rfThread, parent->rfSeq);
+        if (!grand || !grand->isWrite())
+            continue;
+        e.rfThread = parent->rfThread;
+        e.rfSeq = parent->rfSeq;
+        e.valueRead = grand->valueWritten;
+        injected = true;
+        break;
+    }
+    ASSERT_TRUE(injected)
+        << "no RMW->RMW->RMW chain in the freefwd counter trace";
+    auto res = analysis::checkTso(mutated);
+    ASSERT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("atomicity"), std::string::npos)
+        << res.error;
+}
+
 } // namespace
 } // namespace fa

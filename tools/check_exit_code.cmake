@@ -1,0 +1,16 @@
+# Run a tool and assert a specific exit status. Several tools encode
+# their verdict in the exit code (famc violation classes, falint
+# per-pass codes, fastats --fail-above) and ctest's
+# PASS_REGULAR_EXPRESSION cannot check codes. Invoked via
+#   cmake -DTOOL=<path> "-DARGS=a;b;c" -DEXPECTED=<code>
+#         -P check_exit_code.cmake
+execute_process(
+    COMMAND ${TOOL} ${ARGS}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL ${EXPECTED})
+    message(FATAL_ERROR
+            "${TOOL} ${ARGS}: expected exit status ${EXPECTED}, "
+            "got '${rc}'\nstdout:\n${out}\nstderr:\n${err}")
+endif()

@@ -1,0 +1,46 @@
+# Exercise the fastats --fail-above regression gate end to end:
+# generate two runs whose counters differ (scale 0.25 vs 0.5), then
+# require exit 0 with a generous threshold and exit 4 with a zero
+# threshold.
+#
+#   cmake -DFASIM=<fasim> -DFASTATS=<fastats> -DWORKDIR=<dir>
+#         -P check_fastats_gate.cmake
+
+if(NOT FASIM OR NOT FASTATS OR NOT WORKDIR)
+    message(FATAL_ERROR "FASIM, FASTATS and WORKDIR are required")
+endif()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(BASE "${WORKDIR}/gate-base.json")
+set(NEW "${WORKDIR}/gate-new.json")
+
+foreach(pair "0.25;${BASE}" "0.5;${NEW}")
+    list(GET pair 0 scale)
+    list(GET pair 1 out)
+    execute_process(
+        COMMAND "${FASIM}" -w atomic_counter -c 2 -m freefwd
+                --scale "${scale}" --stats-json "${out}"
+        RESULT_VARIABLE rc OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "fasim (scale ${scale}) exited ${rc}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND "${FASTATS}" "${BASE}" "${NEW}" --fail-above 100000
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "generous threshold should pass, exited ${rc}")
+endif()
+
+execute_process(
+    COMMAND "${FASTATS}" "${BASE}" "${NEW}" --fail-above 0
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 4)
+    message(FATAL_ERROR
+            "zero threshold should gate with exit 4, exited ${rc}")
+endif()
+if(NOT out MATCHES "fastats: FAIL ")
+    message(FATAL_ERROR "gate exit lacked FAIL lines:\n${out}")
+endif()

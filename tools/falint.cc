@@ -50,7 +50,15 @@ usage()
         "      --seed N          master seed (--check)     [42]\n"
         "      --quiet           only the summary line\n"
         "\n"
-        "exit status: 0 clean, 1 error, 3 TSO check failed\n";
+        "exit status:\n"
+        "  0  clean — no pass reported a finding\n"
+        "  1  runtime error (bad program, failed run, ...)\n"
+        "  2  usage error\n"
+        "  3  dynamic TSO check failed (--check)\n"
+        "  4  cycle pass: TSO-permitted critical cycle(s) present\n"
+        "  5  fence pass: removable (redundant/vacuous) MFENCE(s)\n"
+        "  6  lock pass: predicted deadlock shape(s)\n"
+        "  7  findings from more than one pass\n";
 }
 
 core::AtomicsMode
@@ -264,6 +272,19 @@ main(int argc, char **argv)
                   << locks.deadlocks.size() << " deadlock shapes, "
                   << locks.chains.size() << " fwd-chain sites\n";
 
+        // One exit code per pass with findings (4 cycles, 5 fences,
+        // 6 locks; 7 when several passes fire) so CI can tell the
+        // failure classes apart without scraping stdout. Forbidden
+        // cycles, required fences, and bare fwd-chain sites are
+        // informational, not findings.
+        std::vector<int> findings;
+        if (ca.permittedCycles > 0)
+            findings.push_back(4);
+        if (removable_fences > 0)
+            findings.push_back(5);
+        if (!locks.deadlocks.empty())
+            findings.push_back(6);
+
         // --- dynamic half ---------------------------------------------
         if (check) {
             auto machine = parseMachine(machine_s, threads);
@@ -302,6 +323,10 @@ main(int argc, char **argv)
                       << core::atomicsModeName(machine.core.mode)
                       << ")\n";
         }
+        if (findings.size() > 1)
+            return 7;
+        if (findings.size() == 1)
+            return findings.front();
     } catch (const FatalError &e) {
         std::cerr << "falint: " << e.message << "\n";
         return 1;

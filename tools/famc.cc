@@ -1,0 +1,427 @@
+/**
+ * @file
+ * famc — exhaustive x86-TSO model checker and differential certifier
+ * for the FreeAtomics simulator.
+ *
+ * Explores every interleaving of a small .fasm workload under the
+ * operational TSO semantics (analysis/mc), for any of the paper's
+ * atomic modes, and reports the exhaustive set of reachable final
+ * states plus any TSO / atomicity / deadlock / lock-leak violations
+ * with a minimal interleaving witness. With --diff, the detailed
+ * simulator is then certified against that set: every simulator
+ * outcome must be a member (soundness) and chaos-perturbed schedules
+ * must cover a requested fraction of it (coverage).
+ *
+ *   famc -w dekker --threads 2 --all-modes --stats
+ *   famc -w mp --threads 2 -m freefwd --engine dpor --certify-tso
+ *   famc -w atomic_counter --threads 2 --fault no-lock --out wit/
+ *   famc -w dekker --threads 2 --compare-modes
+ *   famc -w sb_fenced --threads 2 --diff --runs 8 --coverage 0.5
+ *   famc --soak-seed 3 -m freefwd --diff
+ *
+ * exit status:
+ *   0  every requested check passed
+ *   2  usage error
+ *   3  the model checker found a violation (witness file written)
+ *   4  exploration truncated (state/depth limit) — verdict unknown
+ *   5  differential soundness failure (simulator outcome outside set)
+ *   6  differential coverage below the requested fraction
+ *   7  cross-mode outcome-set mismatch (--compare-modes)
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "freeatomics/freeatomics.hh"
+
+using namespace fa;
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitViolation = 3;
+constexpr int kExitTruncated = 4;
+constexpr int kExitUnsound = 5;
+constexpr int kExitCoverage = 6;
+constexpr int kExitModeMismatch = 7;
+
+void
+usage()
+{
+    std::cout <<
+        "usage: famc [options]\n"
+        "workload selection (one of):\n"
+        "  -w NAME             registered workload (litmus & friends)\n"
+        "  -p FILE             .fasm program, one per thread "
+        "(repeatable)\n"
+        "      --soak-seed N   soak-generated program (clamped small)\n"
+        "      --threads N     thread count for -w       [2]\n"
+        "      --scale S       workload scale            [0.03]\n"
+        "model:\n"
+        "  -m, --mode MODE     fenced|spec|free|freefwd  [freefwd]\n"
+        "      --all-modes     check every mode\n"
+        "      --compare-modes assert equal outcome sets across\n"
+        "                      fenced/free/freefwd (exit 7 when not)\n"
+        "      --fault NAME    none|no-lock|commit-no-drain|\n"
+        "                      no-recover|leak-unlock    [none]\n"
+        "      --fwd-cap N     fwd-chain cap (SS3.3.4)     [32]\n"
+        "      --seed N        kRand master seed         [1]\n"
+        "exploration:\n"
+        "      --engine E      graph|dpor                [graph]\n"
+        "      --reorder-bound N  reads past own stores per\n"
+        "                      execution (-1 = unbounded)\n"
+        "      --max-states N  exploration budget        [1000000]\n"
+        "      --certify-tso   dpor: run the axiomatic checker over\n"
+        "                      every complete execution\n"
+        "      --regs          include register files in outcomes\n"
+        "      --no-reduce     disable the persistent-set reduction\n"
+        "      --stats         print exploration statistics\n"
+        "      --out DIR       witness output directory  [.]\n"
+        "differential certification:\n"
+        "      --diff          certify the detailed simulator\n"
+        "      --runs N        simulator runs            [8]\n"
+        "      --machine NAME  preset                    [tiny]\n"
+        "      --chaos-profile NAME  schedule perturbation\n"
+        "                                                [coherence]\n"
+        "      --chaos-seed N  first chaos seed          [1]\n"
+        "      --coverage F    required outcome-set coverage [0]\n"
+        "      --fasan         arm the invariant sanitizer\n"
+        "      --max-cycles N  per-run cycle budget      [20000000]\n";
+}
+
+[[noreturn]] void
+usageError(const std::string &msg)
+{
+    std::cerr << "famc: " << msg << "\n\n";
+    usage();
+    std::exit(kExitUsage);
+}
+
+struct Job
+{
+    std::string name;
+    std::vector<isa::Program> progs;
+    mc::MemInit init;
+    std::vector<std::int64_t> expectedCounters;  // soak only
+};
+
+std::string
+writeWitness(const std::string &out_dir, const Job &job,
+             const std::string &mode, const mc::ModelOpts &mopts,
+             const mc::ExploreViolation &v)
+{
+    std::string path = out_dir + "/famc-witness-" + job.name + "-" +
+        mode + ".txt";
+    std::ofstream f(path);
+    f << "famc violation witness\n"
+      << "workload: " << job.name << "\n"
+      << "mode: " << mode << "\n"
+      << "fault: " << mc::faultName(mopts.fault) << "\n"
+      << "kind: " << v.kind << "\n"
+      << "detail: " << v.detail << "\n\n"
+      << "interleaving (" << v.witness.size() << " steps):\n";
+    for (const std::string &line : v.witness)
+        f << "  " << line << "\n";
+    f << "\nprograms:\n";
+    for (unsigned t = 0; t < job.progs.size(); ++t) {
+        f << "--- thread " << t << " ---\n"
+          << isa::writeAsm(job.progs[t]) << "\n";
+    }
+    return path;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload;
+    std::vector<std::string> prog_files;
+    std::int64_t soak_seed = -1;
+    unsigned threads = 2;
+    double scale = 0.03;
+    std::string mode_name = "freefwd";
+    bool all_modes = false;
+    bool compare_modes = false;
+    std::string fault_name = "none";
+    unsigned fwd_cap = 32;
+    std::uint64_t seed = 1;
+    std::string engine_name = "graph";
+    std::int64_t reorder_bound = -1;
+    std::uint64_t max_states = 1'000'000;
+    bool certify_tso = false;
+    bool track_regs = false;
+    bool reduce = true;
+    bool stats = false;
+    std::string out_dir = ".";
+    bool do_diff = false;
+    mc::DiffOpts dopts;
+
+    auto need = [&](int i) -> const char * {
+        if (i + 1 >= argc)
+            usageError(std::string("missing value for ") + argv[i]);
+        return argv[i + 1];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "-w") {
+            workload = need(i); ++i;
+        } else if (a == "-p") {
+            prog_files.push_back(need(i)); ++i;
+        } else if (a == "--soak-seed") {
+            soak_seed = std::strtoll(need(i), nullptr, 0); ++i;
+        } else if (a == "--threads") {
+            threads = static_cast<unsigned>(
+                std::strtoul(need(i), nullptr, 0));
+            ++i;
+        } else if (a == "--scale") {
+            scale = std::strtod(need(i), nullptr); ++i;
+        } else if (a == "-m" || a == "--mode") {
+            mode_name = need(i); ++i;
+        } else if (a == "--all-modes") {
+            all_modes = true;
+        } else if (a == "--compare-modes") {
+            compare_modes = true;
+        } else if (a == "--fault") {
+            fault_name = need(i); ++i;
+        } else if (a == "--fwd-cap") {
+            fwd_cap = static_cast<unsigned>(
+                std::strtoul(need(i), nullptr, 0));
+            ++i;
+        } else if (a == "--seed") {
+            seed = std::strtoull(need(i), nullptr, 0); ++i;
+        } else if (a == "--engine") {
+            engine_name = need(i); ++i;
+        } else if (a == "--reorder-bound") {
+            reorder_bound = std::strtoll(need(i), nullptr, 0); ++i;
+        } else if (a == "--max-states") {
+            max_states = std::strtoull(need(i), nullptr, 0); ++i;
+        } else if (a == "--certify-tso") {
+            certify_tso = true;
+        } else if (a == "--regs") {
+            track_regs = true;
+        } else if (a == "--no-reduce") {
+            reduce = false;
+        } else if (a == "--stats") {
+            stats = true;
+        } else if (a == "--out") {
+            out_dir = need(i); ++i;
+        } else if (a == "--diff") {
+            do_diff = true;
+        } else if (a == "--runs") {
+            dopts.runs = static_cast<unsigned>(
+                std::strtoul(need(i), nullptr, 0));
+            ++i;
+        } else if (a == "--machine") {
+            dopts.machine = need(i); ++i;
+        } else if (a == "--chaos-profile") {
+            dopts.chaosProfile = need(i); ++i;
+        } else if (a == "--chaos-seed") {
+            dopts.chaosSeed0 = std::strtoull(need(i), nullptr, 0);
+            ++i;
+        } else if (a == "--coverage") {
+            dopts.minCoverage = std::strtod(need(i), nullptr); ++i;
+        } else if (a == "--fasan") {
+            dopts.sanitize = true;
+        } else if (a == "--max-cycles") {
+            dopts.maxCycles = std::strtoull(need(i), nullptr, 0);
+            ++i;
+        } else if (a == "-h" || a == "--help") {
+            usage();
+            return kExitOk;
+        } else {
+            usageError("unknown option '" + a + "'");
+        }
+    }
+
+    int specified = (workload.empty() ? 0 : 1) +
+        (prog_files.empty() ? 0 : 1) + (soak_seed >= 0 ? 1 : 0);
+    if (specified != 1)
+        usageError("specify exactly one of -w, -p, --soak-seed");
+    if (engine_name != "graph" && engine_name != "dpor")
+        usageError("unknown engine '" + engine_name + "'");
+    if (certify_tso && engine_name != "dpor")
+        usageError("--certify-tso requires --engine dpor");
+    mc::Fault fault = mc::Fault::kNone;
+    if (!mc::parseFault(fault_name, &fault))
+        usageError("unknown fault '" + fault_name + "'");
+
+    try {
+        Job job;
+        core::AtomicsMode cli_mode = chaos::soakParseMode(mode_name);
+        if (!workload.empty()) {
+            const wl::Workload *w = wl::findWorkload(workload);
+            if (!w)
+                usageError("unknown workload '" + workload + "'");
+            job.name = workload;
+            job.progs = wl::buildPrograms(*w, threads, scale);
+            if (w->init)
+                job.init = w->init(threads, scale);
+        } else if (!prog_files.empty()) {
+            job.name = "fasm";
+            for (const std::string &f : prog_files)
+                job.progs.push_back(isa::assembleFile(f));
+        } else {
+            // Soak-generated program, clamped small enough for
+            // exhaustive exploration.
+            chaos::SoakSpec spec = chaos::makeSoakSpec(
+                static_cast<std::uint64_t>(soak_seed), cli_mode,
+                "none");
+            spec.threads = std::min(spec.threads, 3u);
+            spec.blocks = std::min(spec.blocks, 3u);
+            spec.counters = std::min(spec.counters, 2u);
+            chaos::SoakCase c = chaos::buildSoakCase(spec);
+            job.name = "soak" + std::to_string(soak_seed);
+            job.progs = c.programs;
+            job.expectedCounters = c.expectedCounters;
+        }
+
+        std::vector<core::AtomicsMode> modes;
+        if (compare_modes || all_modes) {
+            modes = {core::AtomicsMode::kFenced,
+                     core::AtomicsMode::kSpec,
+                     core::AtomicsMode::kFree,
+                     core::AtomicsMode::kFreeFwd};
+        } else {
+            modes = {cli_mode};
+        }
+
+        int rc = kExitOk;
+        std::vector<std::vector<std::string>> mode_ids;
+        for (core::AtomicsMode mode : modes) {
+            const char *mname = core::atomicsModeIdent(mode);
+            mc::ModelOpts mopts;
+            mopts.mode = mode;
+            mopts.fwdChainCap = fwd_cap;
+            mopts.fault = fault;
+            mopts.masterSeed = seed;
+            mc::Model model(job.progs, mopts);
+
+            mc::ExploreOpts eopts;
+            eopts.engine = engine_name == "dpor" ? mc::Engine::kDpor
+                                                 : mc::Engine::kGraph;
+            eopts.maxStates = max_states;
+            eopts.reorderBound = reorder_bound;
+            eopts.reduce = reduce;
+            eopts.trackRegs = track_regs;
+            eopts.certifyTso = certify_tso;
+            mc::ExploreResult r =
+                mc::explore(model, job.init, eopts);
+
+            std::cout << job.name << " [" << mname
+                      << "]: " << r.outcomes.size()
+                      << " outcome(s), " << r.violations.size()
+                      << " violation(s)"
+                      << (r.complete ? ""
+                                     : " [TRUNCATED: " +
+                                           r.truncatedReason + "]")
+                      << "\n";
+            if (stats) {
+                std::cout << "  states=" << r.statesExplored
+                          << " transitions=" << r.transitionsTaken
+                          << " finals=" << r.finalStates
+                          << " certified=" << r.executionsCertified
+                          << " reduction="
+                          << (model.reductionAvailable() && reduce
+                                  ? "on"
+                                  : "off")
+                          << "\n";
+                for (const mc::Outcome &o : r.outcomes)
+                    std::cout << "  outcome: " << o.pretty() << "\n";
+            }
+
+            for (const mc::ExploreViolation &v : r.violations) {
+                std::string path =
+                    writeWitness(out_dir, job, mname, mopts, v);
+                std::cout << "  VIOLATION [" << v.kind
+                          << "]: " << v.detail << "\n"
+                          << "  witness: " << path << " ("
+                          << v.witness.size() << " steps)\n";
+                rc = std::max(rc, kExitViolation);
+            }
+            if (!r.complete)
+                rc = std::max(rc, kExitTruncated);
+            if (rc != kExitOk)
+                continue;
+
+            // Soak programs have a deterministic atomic-counter
+            // total: assert it in *every* reachable final state.
+            for (unsigned i = 0; i < job.expectedCounters.size();
+                 ++i) {
+                Addr a = wl::kDataBase + i * kLineBytes;
+                for (const mc::Outcome &o : r.outcomes) {
+                    std::int64_t got = 0;
+                    for (const auto &kv : o.mem)
+                        if (kv.first == a)
+                            got = kv.second;
+                    if (got != job.expectedCounters[i]) {
+                        std::cout << "  VIOLATION [atomicity]: "
+                                  << "counter " << i << " = " << got
+                                  << " in a reachable final state, "
+                                  << "expected "
+                                  << job.expectedCounters[i] << "\n";
+                        rc = std::max(rc, kExitViolation);
+                    }
+                }
+            }
+
+            std::vector<std::string> ids;
+            for (const mc::Outcome &o : r.outcomes)
+                ids.push_back(o.id);
+            mode_ids.push_back(std::move(ids));
+
+            if (do_diff && rc == kExitOk) {
+                mc::DiffOpts d = dopts;
+                d.seed0 = seed;
+                mc::DiffResult dr =
+                    mc::diffCertify(model, r, job.init, d);
+                std::cout << "  diff [" << mname << "]: "
+                          << dr.runs.size() << " run(s), coverage "
+                          << dr.distinctSeen << "/"
+                          << dr.modelOutcomes << "\n";
+                if (!dr.sound) {
+                    std::cout << "  UNSOUND: " << dr.error << "\n";
+                    rc = std::max(rc, kExitUnsound);
+                } else if (!dr.covered) {
+                    std::cout << "  COVERAGE: " << dr.error << "\n";
+                    rc = std::max(rc, kExitCoverage);
+                }
+            }
+        }
+
+        // §3.2.3: all modes implement the same architectural TSO
+        // machine, so their reachable outcome sets must be equal.
+        if (compare_modes && rc == kExitOk) {
+            for (std::size_t m = 1; m < mode_ids.size(); ++m) {
+                if (mode_ids[m] != mode_ids[0]) {
+                    std::cout
+                        << "MODE MISMATCH: "
+                        << core::atomicsModeIdent(modes[m])
+                        << " reaches " << mode_ids[m].size()
+                        << " outcome(s) but "
+                        << core::atomicsModeIdent(modes[0])
+                        << " reaches " << mode_ids[0].size()
+                        << " — the modes must be architecturally "
+                           "equivalent (§3.2.3)\n";
+                    rc = std::max(rc, kExitModeMismatch);
+                }
+            }
+            if (rc == kExitOk)
+                std::cout << "mode outcome sets identical across "
+                          << mode_ids.size() << " mode(s)\n";
+        }
+        return rc;
+    } catch (const FatalError &e) {
+        std::cerr << "famc: " << e.message << "\n";
+        return 1;
+    } catch (const std::exception &e) {
+        std::cerr << "famc: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -61,6 +61,9 @@ usage()
         "                        fasoak --list-profiles\n"
         "      --chaos-seed N    fault-schedule seed (independent of\n"
         "                        --seed)                  [1]\n"
+        "      --fasan           arm the cycle-level invariant\n"
+        "                        sanitizer (SS3.2/SS3.3 invariants; a\n"
+        "                        violation aborts with forensics)\n"
         "      --list            list workloads and exit\n";
 }
 
@@ -222,6 +225,7 @@ main(int argc, char **argv)
     Cycle interval_period = 10'000;
     std::string chaos_profile;
     std::uint64_t chaos_seed = 1;
+    bool fasan = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -281,6 +285,10 @@ main(int argc, char **argv)
             chaos_profile = next();
         else if (a == "--chaos-seed")
             chaos_seed = std::stoull(next());
+        else if (a == "--fasan") {
+            noVal();
+            fasan = true;
+        }
         else if (a == "--stats-json")
             stats_json = next();
         else if (a == "--pipeview")
@@ -319,6 +327,7 @@ main(int argc, char **argv)
         if (!chaos_profile.empty())
             machine.chaos =
                 chaos::chaosProfile(chaos_profile, chaos_seed);
+        machine.sanitize = fasan;
 
         if (!program_file.empty()) {
             isa::Program prog = isa::assembleFile(program_file);

@@ -35,6 +35,8 @@ usage()
         "  -m, --mode MODE       fenced|spec|free|freefwd [freefwd]\n"
         "      --profile NAME    fault profile            [all]\n"
         "      --out DIR         reproducer output dir    [.]\n"
+        "      --fasan           arm the cycle-level invariant\n"
+        "                        sanitizer during every run\n"
         "      --no-shrink       keep failing cases full-size\n"
         "      --replay FILE     re-run a reproducer JSON and verify\n"
         "                        it still fails with the recorded\n"
@@ -93,6 +95,7 @@ main(int argc, char **argv)
     std::string out_dir = ".";
     std::string replay_path;
     bool do_shrink = true;
+    bool fasan = false;
 
     auto need = [&](int i) -> const char * {
         if (i + 1 >= argc)
@@ -118,6 +121,8 @@ main(int argc, char **argv)
         } else if (a == "--out") {
             out_dir = need(i);
             ++i;
+        } else if (a == "--fasan") {
+            fasan = true;
         } else if (a == "--no-shrink") {
             do_shrink = false;
         } else if (a == "--replay") {
@@ -143,6 +148,7 @@ main(int argc, char **argv)
         for (std::uint64_t s = seed0; s < seed0 + nseeds; ++s) {
             chaos::SoakSpec spec =
                 chaos::makeSoakSpec(s, mode, profile);
+            spec.sanitize = fasan;
             chaos::SoakCase c = chaos::buildSoakCase(spec);
             chaos::SoakResult r = chaos::runSoakCase(c);
             printResult(s, r);

@@ -30,11 +30,19 @@ void
 usage()
 {
     std::cout <<
-        "usage: fastats [-a|--all] FILE [FILE2]\n"
+        "usage: fastats [-a|--all] [--fail-above PCT] FILE [FILE2]\n"
         "  one file:  summarize the run\n"
         "  two files: diff counters, derived metrics and histogram\n"
         "             percentiles (FILE = baseline, FILE2 = new)\n"
-        "  -a, --all  show unchanged counters in diffs too\n";
+        "  -a, --all  show unchanged counters in diffs too\n"
+        "  --fail-above PCT\n"
+        "             (diff only) treat any cycles/core.*/mem.*\n"
+        "             counter that grew by more than PCT percent as\n"
+        "             a regression and exit 4, listing the\n"
+        "             offenders — lets CI gate on a stats diff\n"
+        "\n"
+        "exit status: 0 ok, 1 error, 2 usage,\n"
+        "             4 counter regression past --fail-above\n";
 }
 
 JsonValue
@@ -173,8 +181,35 @@ diffHists(const JsonValue &a, const JsonValue &b, bool show_all)
         t.print(std::cout);
 }
 
+/** One counter whose growth exceeded the --fail-above threshold. */
+struct Regression
+{
+    std::string counter;
+    double base = 0.0;
+    double now = 0.0;
+    double pct = 0.0;
+};
+
+/** Collect counters of one section that grew past `threshold`%. */
 void
-diff(const JsonValue &a, const JsonValue &b, bool show_all)
+gateSection(const char *section, const JsonValue &a, const JsonValue &b,
+            double threshold, std::vector<Regression> &out)
+{
+    for (const auto &[name, av] : a.members) {
+        const JsonValue *bv = b.find(name);
+        if (!bv)
+            continue;
+        double pct = pctChange(av.number, bv->number);
+        if (pct > threshold) {
+            out.push_back({std::string(section) + "." + name,
+                           av.number, bv->number, pct});
+        }
+    }
+}
+
+int
+diff(const JsonValue &a, const JsonValue &b, bool show_all,
+     double fail_above)
 {
     std::cout << "base: " << identityLine(a) << "\n";
     std::cout << "new:  " << identityLine(b) << "\n";
@@ -189,6 +224,32 @@ diff(const JsonValue &a, const JsonValue &b, bool show_all)
     diffSection("derived", a.at("derived"), b.at("derived"), show_all,
                 false);
     diffHists(a, b, show_all);
+
+    if (fail_above < 0.0)
+        return 0;
+    // The regression gate covers cycles and the raw event counters
+    // (monotone cost/event counts, where growth is regression);
+    // derived metrics mix directions (IPC up is good) and stay
+    // advisory.
+    std::vector<Regression> regs;
+    double cycles_pct = pctChange(static_cast<double>(ca),
+                                  static_cast<double>(cb));
+    if (cycles_pct > fail_above) {
+        regs.push_back({"cycles", static_cast<double>(ca),
+                        static_cast<double>(cb), cycles_pct});
+    }
+    gateSection("core", a.at("core"), b.at("core"), fail_above, regs);
+    gateSection("mem", a.at("mem"), b.at("mem"), fail_above, regs);
+    if (regs.empty())
+        return 0;
+    for (const Regression &r : regs) {
+        std::cout << "fastats: FAIL " << r.counter << " "
+                  << fmtDouble(r.base, 0) << " -> "
+                  << fmtDouble(r.now, 0) << " (+"
+                  << fmtDouble(r.pct, 1) << "% > "
+                  << fmtDouble(fail_above, 1) << "%)\n";
+    }
+    return 4;
 }
 
 } // namespace
@@ -197,12 +258,29 @@ int
 main(int argc, char **argv)
 {
     bool show_all = false;
+    double fail_above = -1.0;
     std::vector<std::string> files;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "-a" || a == "--all")
             show_all = true;
-        else if (a == "-h" || a == "--help") {
+        else if (a == "--fail-above") {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for --fail-above\n";
+                usage();
+                return 2;
+            }
+            try {
+                fail_above = std::stod(argv[++i]);
+            } catch (const std::exception &) {
+                std::cerr << "bad --fail-above value\n";
+                return 2;
+            }
+            if (fail_above < 0.0) {
+                std::cerr << "--fail-above must be >= 0\n";
+                return 2;
+            }
+        } else if (a == "-h" || a == "--help") {
             usage();
             return 0;
         } else if (!a.empty() && a[0] == '-') {
@@ -218,11 +296,17 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (fail_above >= 0.0 && files.size() != 2) {
+        std::cerr << "--fail-above needs two stats files to diff\n";
+        return 2;
+    }
+
     try {
         if (files.size() == 1) {
             summarize(loadStats(files[0]));
         } else {
-            diff(loadStats(files[0]), loadStats(files[1]), show_all);
+            return diff(loadStats(files[0]), loadStats(files[1]),
+                        show_all, fail_above);
         }
     } catch (const FatalError &e) {
         std::cerr << "fastats: " << e.message << "\n";
