@@ -27,27 +27,11 @@
 
 namespace fa::bench {
 
-inline unsigned
-envUnsigned(const char *name, unsigned def)
-{
-    const char *v = std::getenv(name);
-    return v && *v ? static_cast<unsigned>(std::strtoul(v, nullptr, 10))
-                   : def;
-}
-
-inline double
-envDouble(const char *name, double def)
-{
-    const char *v = std::getenv(name);
-    return v && *v ? std::strtod(v, nullptr) : def;
-}
-
-inline std::string
-envString(const char *name)
-{
-    const char *v = std::getenv(name);
-    return v ? v : "";
-}
+// Strict env parsing (common/cli): FA_CORES=banana is a FatalError
+// naming the variable, not a silent 0.
+using cli::envDouble;
+using cli::envString;
+using cli::envUnsigned;
 
 struct BenchConfig
 {

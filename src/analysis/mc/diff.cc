@@ -6,25 +6,12 @@
 
 #include "analysis/tso_checker.hh"
 #include "common/log.hh"
+#include "sim/presets.hh"
 #include "sim/system.hh"
 
 namespace fa::mc {
 
 namespace {
-
-sim::MachineConfig
-machinePreset(const std::string &name, unsigned cores)
-{
-    if (name == "icelake")
-        return sim::MachineConfig::icelake(cores);
-    if (name == "skylake")
-        return sim::MachineConfig::skylake(cores);
-    if (name == "sandybridge")
-        return sim::MachineConfig::sandybridge(cores);
-    if (name == "tiny")
-        return sim::MachineConfig::tiny(cores);
-    fatal("unknown machine preset '%s'", name.c_str());
-}
 
 std::string
 replayRecipe(const Model &model, const DiffOpts &opts,
@@ -67,7 +54,7 @@ diffCertify(const Model &model, const ExploreResult &exhaustive,
         const std::uint64_t chaos_seed = opts.chaosSeed0 + i;
 
         sim::MachineConfig cfg =
-            machinePreset(opts.machine, model.numThreads());
+            sim::presets::byName(opts.machine, model.numThreads());
         cfg.core.mode = model.opts().mode;
         cfg.core.fwdChainCap = model.opts().fwdChainCap;
         cfg.recordMemTrace = true;

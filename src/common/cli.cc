@@ -1,0 +1,407 @@
+#include "common/cli.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/log.hh"
+
+namespace fa::cli {
+
+// --- strict scalar parsing --------------------------------------------
+
+namespace {
+
+/** Common prologue: trims nothing, rejects empty tokens. */
+void
+checkNonEmpty(const std::string &v, const std::string &what)
+{
+    if (v.empty())
+        fatal("empty value for %s", what.c_str());
+}
+
+} // namespace
+
+std::uint64_t
+parseU64(const std::string &v, const std::string &what)
+{
+    checkNonEmpty(v, what);
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long x = std::strtoull(v.c_str(), &end, 0);
+    if (errno == ERANGE)
+        fatal("value for %s out of range: '%s'", what.c_str(), v.c_str());
+    if (end == v.c_str() || *end != '\0' || v[0] == '-')
+        fatal("%s needs a non-negative integer, got '%s'", what.c_str(),
+              v.c_str());
+    return static_cast<std::uint64_t>(x);
+}
+
+unsigned
+parseUnsigned(const std::string &v, const std::string &what)
+{
+    std::uint64_t x = parseU64(v, what);
+    if (x > 0xffffffffull)
+        fatal("value for %s out of range: '%s'", what.c_str(), v.c_str());
+    return static_cast<unsigned>(x);
+}
+
+std::int64_t
+parseI64(const std::string &v, const std::string &what)
+{
+    checkNonEmpty(v, what);
+    errno = 0;
+    char *end = nullptr;
+    long long x = std::strtoll(v.c_str(), &end, 0);
+    if (errno == ERANGE)
+        fatal("value for %s out of range: '%s'", what.c_str(), v.c_str());
+    if (end == v.c_str() || *end != '\0')
+        fatal("%s needs an integer, got '%s'", what.c_str(), v.c_str());
+    return static_cast<std::int64_t>(x);
+}
+
+double
+parseDouble(const std::string &v, const std::string &what)
+{
+    checkNonEmpty(v, what);
+    errno = 0;
+    char *end = nullptr;
+    double x = std::strtod(v.c_str(), &end);
+    if (errno == ERANGE)
+        fatal("value for %s out of range: '%s'", what.c_str(), v.c_str());
+    if (end == v.c_str() || *end != '\0')
+        fatal("%s needs a number, got '%s'", what.c_str(), v.c_str());
+    return x;
+}
+
+unsigned
+envUnsigned(const char *name, unsigned def)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return def;
+    return parseUnsigned(v, std::string("env ") + name);
+}
+
+double
+envDouble(const char *name, double def)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return def;
+    return parseDouble(v, std::string("env ") + name);
+}
+
+std::string
+envString(const char *name)
+{
+    const char *v = std::getenv(name);
+    return v ? v : "";
+}
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string::size_type start = 0;
+    while (start <= s.size()) {
+        auto comma = s.find(',', start);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > start)
+            out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+// --- Parser -----------------------------------------------------------
+
+Parser::Parser(std::string prog, std::string summary)
+    : progName(std::move(prog)), summaryText(std::move(summary))
+{}
+
+Parser::Option &
+Parser::add(Kind kind, void *out, const std::string &shortName,
+            const std::string &longName, const std::string &valueName,
+            const std::string &help)
+{
+    Option o;
+    o.kind = kind;
+    o.shortName = shortName;
+    o.longName = longName;
+    o.valueName = valueName;
+    o.help = help;
+    o.target = out;
+    options.push_back(std::move(o));
+    return options.back();
+}
+
+Parser &
+Parser::flag(bool *out, const std::string &shortName,
+             const std::string &longName, const std::string &help)
+{
+    add(Kind::kSwitch, out, shortName, longName, "", help);
+    return *this;
+}
+
+Parser &
+Parser::opt(std::string *out, const std::string &shortName,
+            const std::string &longName, const std::string &valueName,
+            const std::string &help)
+{
+    add(Kind::kString, out, shortName, longName, valueName, help);
+    return *this;
+}
+
+Parser &
+Parser::opt(unsigned *out, const std::string &shortName,
+            const std::string &longName, const std::string &valueName,
+            const std::string &help)
+{
+    add(Kind::kUnsigned, out, shortName, longName, valueName, help);
+    return *this;
+}
+
+Parser &
+Parser::opt(std::uint64_t *out, const std::string &shortName,
+            const std::string &longName, const std::string &valueName,
+            const std::string &help)
+{
+    add(Kind::kU64, out, shortName, longName, valueName, help);
+    return *this;
+}
+
+Parser &
+Parser::opt(std::int64_t *out, const std::string &shortName,
+            const std::string &longName, const std::string &valueName,
+            const std::string &help)
+{
+    add(Kind::kI64, out, shortName, longName, valueName, help);
+    return *this;
+}
+
+Parser &
+Parser::opt(double *out, const std::string &shortName,
+            const std::string &longName, const std::string &valueName,
+            const std::string &help)
+{
+    add(Kind::kDouble, out, shortName, longName, valueName, help);
+    return *this;
+}
+
+Parser &
+Parser::opt(std::vector<std::string> *out, const std::string &shortName,
+            const std::string &longName, const std::string &valueName,
+            const std::string &help)
+{
+    add(Kind::kStringList, out, shortName, longName, valueName, help);
+    return *this;
+}
+
+Parser &
+Parser::alias(const std::string &longName)
+{
+    if (options.empty())
+        panic("cli::Parser::alias() before any option");
+    options.back().aliases.push_back(longName);
+    return *this;
+}
+
+Parser &
+Parser::positional(std::vector<std::string> *out, const std::string &name,
+                   const std::string &help)
+{
+    positionals = out;
+    positionalName = name;
+    positionalHelp = help;
+    return *this;
+}
+
+Parser &
+Parser::epilog(const std::string &text)
+{
+    epilogText = text;
+    return *this;
+}
+
+Parser::Option *
+Parser::find(const std::string &spelling)
+{
+    for (Option &o : options) {
+        if ((!o.shortName.empty() && spelling == o.shortName) ||
+            spelling == o.longName)
+            return &o;
+        for (const std::string &a : o.aliases)
+            if (spelling == a)
+                return &o;
+    }
+    return nullptr;
+}
+
+void
+Parser::assign(Option &o, const std::string &value,
+               const std::string &spelling)
+{
+    switch (o.kind) {
+      case Kind::kSwitch:
+        panic("cli: assign to switch %s", spelling.c_str());
+        break;
+      case Kind::kString:
+        *static_cast<std::string *>(o.target) = value;
+        break;
+      case Kind::kUnsigned:
+        *static_cast<unsigned *>(o.target) =
+            parseUnsigned(value, spelling);
+        break;
+      case Kind::kU64:
+        *static_cast<std::uint64_t *>(o.target) =
+            parseU64(value, spelling);
+        break;
+      case Kind::kI64:
+        *static_cast<std::int64_t *>(o.target) =
+            parseI64(value, spelling);
+        break;
+      case Kind::kDouble:
+        *static_cast<double *>(o.target) = parseDouble(value, spelling);
+        break;
+      case Kind::kStringList:
+        static_cast<std::vector<std::string> *>(o.target)
+            ->push_back(value);
+        break;
+    }
+    o.given = true;
+}
+
+ParseStatus
+Parser::tryParse(int argc, char **argv, std::string *err)
+{
+    auto fail = [&](const std::string &msg) {
+        if (err)
+            *err = msg;
+        return ParseStatus::kError;
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+
+        if (a == "-h" || a == "--help")
+            return ParseStatus::kHelp;
+
+        // Long options may carry their value inline (--flag=value);
+        // short options never split on '='.
+        std::string inlineVal;
+        bool hasInline = false;
+        if (a.rfind("--", 0) == 0) {
+            auto eq = a.find('=');
+            if (eq != std::string::npos) {
+                inlineVal = a.substr(eq + 1);
+                a = a.substr(0, eq);
+                hasInline = true;
+            }
+        }
+
+        if (!a.empty() && a[0] == '-' && a != "-") {
+            Option *o = find(a);
+            if (!o)
+                return fail("unknown option '" + a + "'");
+            if (o->kind == Kind::kSwitch) {
+                if (hasInline)
+                    return fail("option " + a + " takes no value");
+                *static_cast<bool *>(o->target) = true;
+                o->given = true;
+                continue;
+            }
+            std::string value;
+            if (hasInline) {
+                value = inlineVal;
+            } else {
+                if (i + 1 >= argc)
+                    return fail("missing value for " + a);
+                value = argv[++i];
+            }
+            try {
+                assign(*o, value, a);
+            } catch (const FatalError &e) {
+                return fail(e.message);
+            }
+            continue;
+        }
+
+        // Positional argument.
+        if (!positionals)
+            return fail("unexpected argument '" + std::string(argv[i]) +
+                        "'");
+        positionals->push_back(argv[i]);
+    }
+    return ParseStatus::kOk;
+}
+
+void
+Parser::parse(int argc, char **argv)
+{
+    std::string err;
+    switch (tryParse(argc, argv, &err)) {
+      case ParseStatus::kOk:
+        return;
+      case ParseStatus::kHelp:
+        printUsage(std::cout);
+        std::exit(0);
+      case ParseStatus::kError:
+        std::cerr << progName << ": " << err << "\n";
+        printUsage(std::cerr);
+        std::exit(2);
+    }
+}
+
+bool
+Parser::seen(const std::string &name) const
+{
+    std::string longName =
+        name.rfind("--", 0) == 0 ? name : "--" + name;
+    for (const Option &o : options) {
+        if (o.longName == longName || o.shortName == name)
+            return o.given;
+    }
+    return false;
+}
+
+void
+Parser::printUsage(std::ostream &os) const
+{
+    os << "usage: " << progName << " [options]";
+    if (positionals)
+        os << " [" << positionalName << "]";
+    os << "\n";
+    if (!summaryText.empty())
+        os << summaryText << "\n";
+    if (positionals && !positionalHelp.empty())
+        os << "  " << positionalName << "  " << positionalHelp << "\n";
+
+    // Left column: "-w, --workload NAME". Wrap help onto its own
+    // indent when the column runs long.
+    std::vector<std::string> lefts;
+    std::size_t width = 0;
+    for (const Option &o : options) {
+        std::string l = "  ";
+        l += o.shortName.empty() ? "    " : o.shortName + ", ";
+        l += o.longName;
+        if (!o.valueName.empty())
+            l += " " + o.valueName;
+        lefts.push_back(l);
+        if (l.size() > width && l.size() <= 34)
+            width = l.size();
+    }
+    for (std::size_t i = 0; i < options.size(); ++i) {
+        os << lefts[i];
+        if (lefts[i].size() > width)
+            os << "\n" << std::string(width + 2, ' ');
+        else
+            os << std::string(width - lefts[i].size() + 2, ' ');
+        os << options[i].help << "\n";
+    }
+    if (!epilogText.empty())
+        os << epilogText;
+}
+
+} // namespace fa::cli

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Shared command-line argument parser for the fa tools (fasim,
+ * fasoak, famc, falint, fastats, fabench).
+ *
+ * Every tool had grown its own ad-hoc flag loop with slightly
+ * different behaviour (silent strtoul on garbage, `--flag=value`
+ * support in some tools only, inconsistent unknown-flag handling).
+ * This parser gives all of them one contract:
+ *
+ *   - `--flag value` and `--flag=value` are both accepted for long
+ *     options taking a value; short options (`-w x`) take the next
+ *     argument only,
+ *   - boolean switches reject an attached value (`--stats=yes` is a
+ *     usage error, not silently true),
+ *   - unknown options, missing values, and non-numeric values for
+ *     numeric options are usage errors: the tool prints the message
+ *     plus its synthesized usage text and exits with status 2,
+ *   - `-h`/`--help` prints the usage text and exits 0,
+ *   - positional arguments are rejected unless the tool declared a
+ *     positional sink.
+ *
+ * Numeric accessors are strict: the whole token must parse
+ * (`--cores 8x` and `--seed ""` are rejected with a clear message).
+ * The same strict parsers back the env-var fallbacks used by the
+ * bench harnesses (envUnsigned/envDouble), so FA_CORES=banana is an
+ * error instead of silently becoming 0.
+ */
+
+#ifndef FA_COMMON_CLI_HH
+#define FA_COMMON_CLI_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fa::cli {
+
+// --- strict scalar parsing (shared by flags and env fallbacks) --------
+
+/** Parse a full string as unsigned; fatal("...") on garbage.
+ * `what` names the flag or env var for the error message. */
+unsigned parseUnsigned(const std::string &v, const std::string &what);
+std::uint64_t parseU64(const std::string &v, const std::string &what);
+std::int64_t parseI64(const std::string &v, const std::string &what);
+double parseDouble(const std::string &v, const std::string &what);
+
+/** Env-var fallback with validation: unset/empty yields `def`,
+ * garbage is a FatalError naming the variable. */
+unsigned envUnsigned(const char *name, unsigned def);
+double envDouble(const char *name, double def);
+std::string envString(const char *name);
+
+/** Split a comma-separated list, dropping empty items
+ * ("a,b" -> {a,b}; "" -> {}). */
+std::vector<std::string> splitList(const std::string &s);
+
+// --- the parser -------------------------------------------------------
+
+/** Result of Parser::tryParse (the non-exiting entry point). */
+enum class ParseStatus { kOk, kHelp, kError };
+
+/**
+ * Declarative option table + parser. Options bind directly to the
+ * tool's variables; defaults are whatever the variables hold when
+ * parse() runs.
+ *
+ * @code
+ *   cli::Parser p("fasim", "run packaged workloads on the simulator");
+ *   p.opt(&workload, "-w", "--workload", "NAME", "workload (see --list)");
+ *   p.opt(&cores, "-c", "--cores", "N", "threads/cores");
+ *   p.flag(&stats, "", "--stats", "dump aggregated statistics");
+ *   p.parse(argc, argv);   // exits 2 on a usage error, 0 on --help
+ * @endcode
+ */
+class Parser
+{
+  public:
+    Parser(std::string prog, std::string summary);
+
+    /** Boolean switch (takes no value). `shortName` may be "". */
+    Parser &flag(bool *out, const std::string &shortName,
+                 const std::string &longName, const std::string &help);
+
+    /** Value-taking options, one overload per bound type. Numeric
+     * overloads parse strictly (whole token, clear error). */
+    Parser &opt(std::string *out, const std::string &shortName,
+                const std::string &longName, const std::string &valueName,
+                const std::string &help);
+    Parser &opt(unsigned *out, const std::string &shortName,
+                const std::string &longName, const std::string &valueName,
+                const std::string &help);
+    Parser &opt(std::uint64_t *out, const std::string &shortName,
+                const std::string &longName, const std::string &valueName,
+                const std::string &help);
+    Parser &opt(std::int64_t *out, const std::string &shortName,
+                const std::string &longName, const std::string &valueName,
+                const std::string &help);
+    Parser &opt(double *out, const std::string &shortName,
+                const std::string &longName, const std::string &valueName,
+                const std::string &help);
+    /** Repeatable option: every occurrence appends. */
+    Parser &opt(std::vector<std::string> *out, const std::string &shortName,
+                const std::string &longName, const std::string &valueName,
+                const std::string &help);
+
+    /** Extra long-option spelling for the most recently declared
+     * option (keeps old flag names alive across renames). Aliases are
+     * accepted but not listed in the usage text. */
+    Parser &alias(const std::string &longName);
+
+    /** Accept positional arguments into `out` (describes them in the
+     * usage line as `name`). Without this, positionals are errors. */
+    Parser &positional(std::vector<std::string> *out,
+                       const std::string &name, const std::string &help);
+
+    /** Free-form text appended after the option table (exit-status
+     * contracts, examples). */
+    Parser &epilog(const std::string &text);
+
+    /**
+     * Parse argv. On success returns normally. On `-h`/`--help`
+     * prints usage to stdout and exits 0. On any usage error prints
+     * "<prog>: <message>" and the usage text to stderr and exits 2.
+     */
+    void parse(int argc, char **argv);
+
+    /** Non-exiting variant for tests: the error message (if any)
+     * lands in *err. Help output is suppressed. */
+    ParseStatus tryParse(int argc, char **argv, std::string *err);
+
+    /** Was this option given on the command line? Accepts the long
+     * name ("--stats") or bare name ("stats"). */
+    bool seen(const std::string &name) const;
+
+    void printUsage(std::ostream &os) const;
+
+    const std::string &prog() const { return progName; }
+
+  private:
+    enum class Kind : std::uint8_t {
+        kSwitch, kString, kUnsigned, kU64, kI64, kDouble, kStringList,
+    };
+
+    struct Option
+    {
+        Kind kind;
+        std::string shortName;   ///< "-w" or ""
+        std::string longName;    ///< "--workload"
+        std::vector<std::string> aliases;  ///< extra long spellings
+        std::string valueName;   ///< "NAME" (empty for switches)
+        std::string help;
+        void *target = nullptr;
+        bool given = false;
+    };
+
+    Option &add(Kind kind, void *out, const std::string &shortName,
+                const std::string &longName, const std::string &valueName,
+                const std::string &help);
+    Option *find(const std::string &spelling);
+    void assign(Option &o, const std::string &value,
+                const std::string &spelling);
+
+    std::string progName;
+    std::string summaryText;
+    std::string epilogText;
+    std::vector<Option> options;
+    std::vector<std::string> *positionals = nullptr;
+    std::string positionalName;
+    std::string positionalHelp;
+};
+
+} // namespace fa::cli
+
+#endif // FA_COMMON_CLI_HH

@@ -35,6 +35,18 @@ atomicsModeIdent(AtomicsMode mode)
     return "unknown";
 }
 
+AtomicsMode
+parseAtomicsMode(const std::string &s)
+{
+    for (AtomicsMode m :
+         {AtomicsMode::kFenced, AtomicsMode::kSpec, AtomicsMode::kFree,
+          AtomicsMode::kFreeFwd}) {
+        if (s == atomicsModeIdent(m))
+            return m;
+    }
+    fatal("unknown mode '%s' (fenced|spec|free|freefwd)", s.c_str());
+}
+
 namespace {
 
 bool

@@ -39,6 +39,11 @@ const char *atomicsModeName(AtomicsMode mode);
 /** Identifier-safe short name (test names, file names). */
 const char *atomicsModeIdent(AtomicsMode mode);
 
+/** Parse an atomicsModeIdent spelling back ("fenced|spec|free|
+ * freefwd"); FatalError on anything else. The single mode-parse
+ * point for every CLI tool. */
+AtomicsMode parseAtomicsMode(const std::string &s);
+
 /** Core pipeline parameters (Table 1, Icelake-like by default). */
 struct CoreConfig
 {

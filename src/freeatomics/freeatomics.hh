@@ -27,6 +27,7 @@
 #include "analysis/sanitizer/fasan.hh"
 #include "analysis/trace.hh"
 #include "analysis/tso_checker.hh"
+#include "common/cli.hh"
 #include "common/histogram.hh"
 #include "common/json.hh"
 #include "common/log.hh"
@@ -52,7 +53,11 @@
 #include "sim/energy.hh"
 #include "sim/forensics.hh"
 #include "sim/interval_stats.hh"
+#include "sim/presets.hh"
 #include "sim/runner.hh"
+#include "sim/sweep/campaigns.hh"
+#include "sim/sweep/pool.hh"
+#include "sim/sweep/sweep.hh"
 #include "sim/system.hh"
 #include "workloads/synthetic.hh"
 #include "workloads/workload.hh"

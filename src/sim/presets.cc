@@ -1,0 +1,64 @@
+#include "sim/presets.hh"
+
+#include "common/log.hh"
+#include "sim/chaos/chaos.hh"
+
+namespace fa::sim {
+
+namespace presets {
+
+MachineConfig
+paperIcelake(unsigned cores)
+{
+    return MachineConfig::icelake(cores);
+}
+
+MachineConfig
+paperSkylake(unsigned cores)
+{
+    return MachineConfig::skylake(cores);
+}
+
+MachineConfig
+paperSandybridge(unsigned cores)
+{
+    return MachineConfig::sandybridge(cores);
+}
+
+MachineConfig
+tiny(unsigned cores)
+{
+    return MachineConfig::tiny(cores);
+}
+
+MachineConfig
+byName(const std::string &name, unsigned cores)
+{
+    if (name == "icelake")
+        return paperIcelake(cores);
+    if (name == "skylake")
+        return paperSkylake(cores);
+    if (name == "sandybridge")
+        return paperSandybridge(cores);
+    if (name == "tiny")
+        return tiny(cores);
+    fatal("unknown machine '%s' (%s)", name.c_str(), names());
+}
+
+const char *
+names()
+{
+    return "icelake|skylake|sandybridge|tiny";
+}
+
+} // namespace presets
+
+MachineBuilder &
+MachineBuilder::chaosProfile(const std::string &profile, std::uint64_t seed)
+{
+    if (!profile.empty())
+        cfg.chaos = chaos::chaosProfile(profile, seed);
+    return *this;
+}
+
+} // namespace fa::sim

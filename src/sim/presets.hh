@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Named machine presets and a fluent MachineConfig builder.
+ *
+ * Before this header every tool (fasim, falint, mc/diff) carried its
+ * own copy of the name → MachineConfig switch and every bench
+ * harness poked MachineConfig fields by hand. presets::byName is the
+ * single parse point, presets::paper*() name the paper's evaluated
+ * machines, and MachineBuilder chains the common per-experiment
+ * knobs (mode, structure sizes, observability sinks, chaos) without
+ * exposing field-assignment soup at every call site.
+ */
+
+#ifndef FA_SIM_PRESETS_HH
+#define FA_SIM_PRESETS_HH
+
+#include <string>
+
+#include "sim/config.hh"
+
+namespace fa::sim {
+
+namespace presets {
+
+/** The paper's evaluated system (Table 1): Icelake-like, 352 ROB. */
+MachineConfig paperIcelake(unsigned cores = 32);
+
+/** Figure 1's second machine: Skylake-like, 224 ROB. */
+MachineConfig paperSkylake(unsigned cores = 32);
+
+/** Rajaram et al.'s machine for the ROB ablation: 168 ROB. */
+MachineConfig paperSandybridge(unsigned cores = 32);
+
+/** Small caches / short latencies for tests and model checking. */
+MachineConfig tiny(unsigned cores = 4);
+
+/** Parse "icelake|skylake|sandybridge|tiny" (FatalError otherwise).
+ * Replaces the parseMachine copies the tools used to carry. */
+MachineConfig byName(const std::string &name, unsigned cores);
+
+/** Accepted preset names, pipe-separated (usage text). */
+const char *names();
+
+} // namespace presets
+
+/**
+ * Fluent MachineConfig builder.
+ *
+ * @code
+ *   auto machine = sim::MachineBuilder(sim::presets::paperIcelake(8))
+ *                      .mode(core::AtomicsMode::kFreeFwd)
+ *                      .fwdChainCap(8)
+ *                      .recordMemTrace(true)
+ *                      .build();
+ * @endcode
+ */
+class MachineBuilder
+{
+  public:
+    explicit MachineBuilder(MachineConfig base) : cfg(std::move(base)) {}
+
+    /** Start from a named preset (presets::byName). */
+    static MachineBuilder
+    preset(const std::string &name, unsigned cores)
+    {
+        return MachineBuilder(presets::byName(name, cores));
+    }
+
+    MachineBuilder &cores(unsigned n) { cfg.cores = n; return *this; }
+    MachineBuilder &
+    mode(core::AtomicsMode m)
+    {
+        cfg.core.mode = m;
+        return *this;
+    }
+
+    // Structure-size knobs the ablations sweep.
+    MachineBuilder &robSize(unsigned n) { cfg.core.robSize = n; return *this; }
+    MachineBuilder &aqSize(unsigned n) { cfg.core.aqSize = n; return *this; }
+    MachineBuilder &
+    fwdChainCap(unsigned n)
+    {
+        cfg.core.fwdChainCap = n;
+        return *this;
+    }
+    MachineBuilder &
+    watchdogThreshold(unsigned n)
+    {
+        cfg.core.watchdogThreshold = n;
+        return *this;
+    }
+    MachineBuilder &
+    storePrefetch(bool on)
+    {
+        cfg.core.storePrefetch = on;
+        return *this;
+    }
+
+    // Observability / checking sinks.
+    MachineBuilder &
+    recordMemTrace(bool on)
+    {
+        cfg.recordMemTrace = on;
+        return *this;
+    }
+    MachineBuilder &sanitize(bool on) { cfg.sanitize = on; return *this; }
+    MachineBuilder &
+    watchdogForensics(bool on)
+    {
+        cfg.watchdogForensics = on;
+        return *this;
+    }
+    MachineBuilder &
+    pipeview(std::string path)
+    {
+        cfg.pipeviewPath = std::move(path);
+        return *this;
+    }
+    MachineBuilder &
+    intervalStats(std::string path, Cycle period)
+    {
+        cfg.intervalStatsPath = std::move(path);
+        cfg.intervalPeriod = period;
+        return *this;
+    }
+    MachineBuilder &
+    progressWindow(Cycle w)
+    {
+        cfg.progressWindow = w;
+        return *this;
+    }
+
+    /** Arm a named chaos profile ("" leaves chaos off). */
+    MachineBuilder &chaosProfile(const std::string &profile,
+                                 std::uint64_t seed);
+
+    MachineConfig build() const { return cfg; }
+
+  private:
+    MachineConfig cfg;
+};
+
+} // namespace fa::sim
+
+#endif // FA_SIM_PRESETS_HH

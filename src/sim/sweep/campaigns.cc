@@ -1,0 +1,624 @@
+#include "sim/sweep/campaigns.hh"
+
+#include "common/log.hh"
+#include "common/table.hh"
+#include "sim/presets.hh"
+#include "workloads/workload.hh"
+
+namespace fa::sim::sweep {
+
+namespace {
+
+constexpr core::AtomicsMode kAllModes[] = {
+    core::AtomicsMode::kFenced,
+    core::AtomicsMode::kSpec,
+    core::AtomicsMode::kFree,
+    core::AtomicsMode::kFreeFwd,
+};
+
+/** Job factory for one (workload, machine, mode) cell across the
+ * campaign's seeds. */
+void
+pushCell(std::vector<SweepJob> &jobs, const CampaignCfg &cfg,
+         const std::string &bench, const std::string &workload,
+         const std::string &label, const MachineConfig &machine,
+         core::AtomicsMode mode)
+{
+    for (unsigned s = 0; s < cfg.seeds; ++s) {
+        SweepJob j;
+        j.bench = bench;
+        j.workload = workload;
+        j.label = label;
+        j.machine = machine;
+        j.mode = mode;
+        j.cores = cfg.cores;
+        j.scale = cfg.scale;
+        j.seedIndex = s;
+        j.seed = deriveSeed(s);
+        jobs.push_back(std::move(j));
+    }
+}
+
+void
+banner(const CampaignCfg &cfg, const std::string &title,
+       std::ostream &os)
+{
+    os << "== " << title << " ==\n"
+       << "(cores=" << cfg.cores << " scale=" << cfg.scale
+       << " seeds=" << cfg.seeds << ")\n";
+}
+
+void
+emit(const CampaignCfg &cfg, const TablePrinter &t, std::ostream &os)
+{
+    if (cfg.csv)
+        t.printCsv(os);
+    else
+        t.print(os);
+}
+
+/** Failed jobs never abort a campaign; surface them after the table
+ * exactly once (workers stay silent). */
+void
+reportFailures(const SweepReport &report, std::ostream &os)
+{
+    for (const SweepOutcome &o : report.outcomes) {
+        if (!o.run.finished) {
+            os << "warn: " << o.job.workload << " [" << o.job.label
+               << "] seed " << o.job.seed << ": " << o.run.failure
+               << "\n";
+        }
+    }
+}
+
+// --- fig1: cost of fenced atomic RMWs (Skylake vs Icelake) ------------
+
+std::vector<SweepJob>
+fig1Jobs(const CampaignCfg &cfg)
+{
+    std::vector<SweepJob> jobs;
+    for (const auto &w : wl::allWorkloads()) {
+        pushCell(jobs, cfg, "fig1", w.name, "skylake",
+                 presets::paperSkylake(cfg.cores),
+                 core::AtomicsMode::kFenced);
+        pushCell(jobs, cfg, "fig1", w.name, "icelake",
+                 presets::paperIcelake(cfg.cores),
+                 core::AtomicsMode::kFenced);
+    }
+    return jobs;
+}
+
+void
+fig1Render(const CampaignCfg &cfg, const SweepReport &r,
+           std::ostream &os)
+{
+    banner(cfg, "Figure 1: cost of fenced atomic RMWs", os);
+    TablePrinter t({"app", "sky_drain", "sky_atomic", "sky_total",
+                    "ice_drain", "ice_atomic", "ice_total",
+                    "ice_lat_p50", "ice_lat_p99"});
+    double skySum = 0;
+    double iceSum = 0;
+    unsigned n = 0;
+    for (const auto &w : wl::allWorkloads()) {
+        auto mean = [&](const char *label, auto metric) {
+            return r.meanOverSeeds(w.name, label, metric);
+        };
+        const RunResult &ice0 = r.at(w.name, "icelake").run;
+        double skyTotal = mean("skylake",
+            [](const RunResult &x) { return x.avgAtomicCost(); });
+        double iceTotal = mean("icelake",
+            [](const RunResult &x) { return x.avgAtomicCost(); });
+        t.cell(w.name)
+            .cell(mean("skylake", [](const RunResult &x) {
+                      return x.avgDrainSbCycles(); }), 1)
+            .cell(mean("skylake", [](const RunResult &x) {
+                      return x.avgAtomicCycles(); }), 1)
+            .cell(skyTotal, 1)
+            .cell(mean("icelake", [](const RunResult &x) {
+                      return x.avgDrainSbCycles(); }), 1)
+            .cell(mean("icelake", [](const RunResult &x) {
+                      return x.avgAtomicCycles(); }), 1)
+            .cell(iceTotal, 1)
+            .cell(ice0.hists.atomicLatency.p50(), 1)
+            .cell(ice0.hists.atomicLatency.p99(), 1)
+            .endRow();
+        skySum += skyTotal;
+        iceSum += iceTotal;
+        ++n;
+    }
+    t.cell("Average").cell("").cell("").cell(skySum / n, 1)
+        .cell("").cell("").cell(iceSum / n, 1).cell("").cell("")
+        .endRow();
+    emit(cfg, t, os);
+    reportFailures(r, os);
+}
+
+// --- fig12: atomic frequency (APKI) -----------------------------------
+
+std::vector<SweepJob>
+fig12Jobs(const CampaignCfg &cfg)
+{
+    std::vector<SweepJob> jobs;
+    for (const auto &w : wl::allWorkloads()) {
+        pushCell(jobs, cfg, "fig12", w.name, "icelake",
+                 presets::paperIcelake(cfg.cores),
+                 core::AtomicsMode::kFenced);
+    }
+    return jobs;
+}
+
+void
+fig12Render(const CampaignCfg &cfg, const SweepReport &r,
+            std::ostream &os)
+{
+    banner(cfg, "Figure 12: frequency of atomic RMWs (APKI)", os);
+    TablePrinter t({"app", "apki", "class"});
+    for (const auto &w : wl::allWorkloads()) {
+        t.cell(w.name)
+            .cell(r.meanOverSeeds(w.name, "icelake",
+                      [](const RunResult &x) { return x.apki(); }), 2)
+            .cell(w.atomicIntensive ? "atomic-intensive" : "non-AI")
+            .endRow();
+    }
+    emit(cfg, t, os);
+    reportFailures(r, os);
+}
+
+// --- fig13: lock locality ---------------------------------------------
+
+std::vector<SweepJob>
+fig13Jobs(const CampaignCfg &cfg)
+{
+    std::vector<SweepJob> jobs;
+    for (const auto &w : wl::allWorkloads()) {
+        pushCell(jobs, cfg, "fig13", w.name, "fenced",
+                 presets::paperIcelake(cfg.cores),
+                 core::AtomicsMode::kFenced);
+        pushCell(jobs, cfg, "fig13", w.name, "freefwd",
+                 presets::paperIcelake(cfg.cores),
+                 core::AtomicsMode::kFreeFwd);
+    }
+    return jobs;
+}
+
+void
+fig13Render(const CampaignCfg &cfg, const SweepReport &r,
+            std::ostream &os)
+{
+    banner(cfg, "Figure 13: locality of atomics", os);
+    TablePrinter t({"app", "baseline_l1l2", "free_l1l2",
+                    "free_forwarded", "free_total"});
+    for (const auto &w : wl::allWorkloads()) {
+        double base = r.meanOverSeeds(w.name, "fenced",
+            [](const RunResult &x) { return x.lockLocalityRatio(); });
+        double total = r.meanOverSeeds(w.name, "freefwd",
+            [](const RunResult &x) { return x.lockLocalityRatio(); });
+        double fwdShare = r.meanOverSeeds(w.name, "freefwd",
+            [](const RunResult &x) { return x.lockLocalityFwdRatio(); });
+        t.cell(w.name)
+            .cell(base, 3)
+            .cell(total - fwdShare, 3)
+            .cell(fwdShare, 3)
+            .cell(total, 3)
+            .endRow();
+    }
+    emit(cfg, t, os);
+    reportFailures(r, os);
+}
+
+// --- fig14/fig15: normalized execution time / energy ------------------
+
+std::vector<SweepJob>
+allModesJobs(const CampaignCfg &cfg, const std::string &bench)
+{
+    std::vector<SweepJob> jobs;
+    for (const auto &w : wl::allWorkloads())
+        for (core::AtomicsMode m : kAllModes)
+            pushCell(jobs, cfg, bench, w.name,
+                     core::atomicsModeIdent(m),
+                     presets::paperIcelake(cfg.cores), m);
+    return jobs;
+}
+
+/** Shared shape of fig14/fig15: per-app normalized columns for the
+ * three Free flavours plus all/AI averages and a headline line. */
+void
+normalizedRender(const CampaignCfg &cfg, const SweepReport &r,
+                 std::ostream &os, const std::string &title,
+                 const std::vector<std::string> &headers,
+                 const std::function<double(const RunResult &)> &metric,
+                 const std::function<void(TablePrinter &,
+                                          const SweepReport &,
+                                          const std::string &)> &extras,
+                 const char *headline, const char *paperLine)
+{
+    banner(cfg, title, os);
+    TablePrinter t(headers);
+    double sumAll[3] = {0, 0, 0};
+    double sumAi[3] = {0, 0, 0};
+    unsigned nAll = 0;
+    unsigned nAi = 0;
+    for (const auto &w : wl::allWorkloads()) {
+        double base = r.meanOverSeeds(w.name, "fenced", metric);
+        double norm[3] = {
+            r.meanOverSeeds(w.name, "spec", metric) / base,
+            r.meanOverSeeds(w.name, "free", metric) / base,
+            r.meanOverSeeds(w.name, "freefwd", metric) / base,
+        };
+        t.cell(w.name).cell(1.0, 3).cell(norm[0], 3).cell(norm[1], 3)
+            .cell(norm[2], 3);
+        extras(t, r, w.name);
+        t.endRow();
+        for (int i = 0; i < 3; ++i)
+            sumAll[i] += norm[i];
+        ++nAll;
+        if (w.atomicIntensive) {
+            for (int i = 0; i < 3; ++i)
+                sumAi[i] += norm[i];
+            ++nAi;
+        }
+    }
+    t.cell("Average(all)").cell(1.0, 3).cell(sumAll[0] / nAll, 3)
+        .cell(sumAll[1] / nAll, 3).cell(sumAll[2] / nAll, 3)
+        .cell("").cell("").endRow();
+    t.cell("Average(AI)").cell(1.0, 3).cell(sumAi[0] / nAi, 3)
+        .cell(sumAi[1] / nAi, 3).cell(sumAi[2] / nAi, 3)
+        .cell("").cell("").endRow();
+    emit(cfg, t, os);
+    os << "\n" << headline << ": "
+       << fmtDouble(100.0 * (1.0 - sumAll[2] / nAll), 1)
+       << "% (all apps), "
+       << fmtDouble(100.0 * (1.0 - sumAi[2] / nAi), 1)
+       << "% (atomic-intensive)\n" << paperLine << "\n";
+    reportFailures(r, os);
+}
+
+void
+fig14Render(const CampaignCfg &cfg, const SweepReport &r,
+            std::ostream &os)
+{
+    normalizedRender(
+        cfg, r, os, "Figure 14: normalized execution time",
+        {"app", "baseline", "+Spec", "Free", "Free+Fwd", "fwd_active",
+         "fwd_sleep"},
+        [](const RunResult &x) {
+            return static_cast<double>(x.cycles);
+        },
+        [](TablePrinter &t, const SweepReport &rep,
+           const std::string &app) {
+            const RunResult &fwd = rep.at(app, "freefwd").run;
+            double tot = static_cast<double>(fwd.slowestActiveCycles +
+                                             fwd.slowestSleepCycles);
+            t.cell(tot > 0 ? fwd.slowestActiveCycles / tot : 1.0, 2)
+                .cell(tot > 0 ? fwd.slowestSleepCycles / tot : 0.0, 2);
+        },
+        "FreeAtomics+Fwd execution-time reduction",
+        "(paper: 12.5% all, 25.2% atomic-intensive)");
+}
+
+void
+fig15Render(const CampaignCfg &cfg, const SweepReport &r,
+            std::ostream &os)
+{
+    normalizedRender(
+        cfg, r, os, "Figure 15: normalized energy consumption",
+        {"app", "baseline", "+Spec", "Free", "Free+Fwd", "fwd_dynamic",
+         "fwd_static"},
+        [](const RunResult &x) { return x.energy.total(); },
+        [](TablePrinter &t, const SweepReport &rep,
+           const std::string &app) {
+            const RunResult &fwd = rep.at(app, "freefwd").run;
+            t.cell(fwd.energy.dynamicPj / fwd.energy.total(), 2)
+                .cell(fwd.energy.staticPj / fwd.energy.total(), 2);
+        },
+        "FreeAtomics+Fwd energy reduction",
+        "(paper: ~11% all, ~23% atomic-intensive)");
+}
+
+// --- table2: characterization of Free atomics -------------------------
+
+std::vector<SweepJob>
+table2Jobs(const CampaignCfg &cfg)
+{
+    std::vector<SweepJob> jobs;
+    for (const auto &w : wl::allWorkloads()) {
+        pushCell(jobs, cfg, "table2", w.name, "freefwd",
+                 presets::paperIcelake(cfg.cores),
+                 core::AtomicsMode::kFreeFwd);
+    }
+    return jobs;
+}
+
+void
+table2Render(const CampaignCfg &cfg, const SweepReport &r,
+             std::ostream &os)
+{
+    banner(cfg, "Table 2: characterization of Free atomics", os);
+    TablePrinter t({"app", "omitted_fences_pct", "timeouts",
+                    "mdv_pct_squashes", "fba_pct", "fbs_pct"});
+    double sums[5] = {0, 0, 0, 0, 0};
+    unsigned n = 0;
+    const std::function<double(const RunResult &)> metrics[5] = {
+        [](const RunResult &x) { return x.omittedFencePct(); },
+        [](const RunResult &x) {
+            return static_cast<double>(x.core.watchdogTimeouts);
+        },
+        [](const RunResult &x) { return x.mdvPctOfSquashes(); },
+        [](const RunResult &x) { return x.fwdByAtomicPct(); },
+        [](const RunResult &x) { return x.fwdByStorePct(); },
+    };
+    for (const auto &w : wl::allWorkloads()) {
+        double v[5];
+        for (int i = 0; i < 5; ++i) {
+            v[i] = r.meanOverSeeds(w.name, "freefwd", metrics[i]);
+            sums[i] += v[i];
+        }
+        t.cell(w.name).cell(v[0], 2).cell(fmtDouble(v[1], 0))
+            .cell(v[2], 2).cell(v[3], 2).cell(v[4], 3).endRow();
+        ++n;
+    }
+    t.cell("Average").cell(sums[0] / n, 2)
+        .cell(fmtDouble(sums[1] / n, 2)).cell(sums[2] / n, 2)
+        .cell(sums[3] / n, 2).cell(sums[4] / n, 3).endRow();
+    emit(cfg, t, os);
+    reportFailures(r, os);
+}
+
+// --- ablation-rob: fenced cost vs ROB size ----------------------------
+
+const char *const kRobApps[] = {"fft", "radix", "canneal", "barnes"};
+
+std::vector<SweepJob>
+ablationRobJobs(const CampaignCfg &cfg)
+{
+    std::vector<SweepJob> jobs;
+    const MachineConfig machines[] = {
+        presets::paperSandybridge(cfg.cores),
+        presets::paperSkylake(cfg.cores),
+        presets::paperIcelake(cfg.cores),
+    };
+    for (const char *app : kRobApps) {
+        for (const auto &m : machines) {
+            pushCell(jobs, cfg, "ablation-rob", app, m.name + "-fenced",
+                     m, core::AtomicsMode::kFenced);
+            pushCell(jobs, cfg, "ablation-rob", app,
+                     m.name + "-freefwd", m,
+                     core::AtomicsMode::kFreeFwd);
+        }
+    }
+    return jobs;
+}
+
+void
+ablationRobRender(const CampaignCfg &cfg, const SweepReport &r,
+                  std::ostream &os)
+{
+    banner(cfg, "Ablation: fenced atomic cost vs ROB size", os);
+    TablePrinter t({"app", "machine", "rob", "fenced_cost",
+                    "fenced_cycles", "freefwd_cycles"});
+    const MachineConfig machines[] = {
+        presets::paperSandybridge(cfg.cores),
+        presets::paperSkylake(cfg.cores),
+        presets::paperIcelake(cfg.cores),
+    };
+    for (const char *app : kRobApps) {
+        for (const auto &m : machines) {
+            t.cell(app)
+                .cell(m.name)
+                .cell(std::to_string(m.core.robSize))
+                .cell(r.meanOverSeeds(app, m.name + "-fenced",
+                          [](const RunResult &x) {
+                              return x.avgAtomicCost(); }), 1)
+                .cell(r.meanOverSeeds(app, m.name + "-fenced",
+                          [](const RunResult &x) {
+                              return static_cast<double>(x.cycles);
+                          }), 0)
+                .cell(r.meanOverSeeds(app, m.name + "-freefwd",
+                          [](const RunResult &x) {
+                              return static_cast<double>(x.cycles);
+                          }), 0)
+                .endRow();
+        }
+    }
+    emit(cfg, t, os);
+    reportFailures(r, os);
+}
+
+// --- ablation-aq: Atomic Queue depth ----------------------------------
+
+constexpr unsigned kAqSizes[] = {1, 2, 4, 8};
+
+std::vector<SweepJob>
+ablationAqJobs(const CampaignCfg &cfg)
+{
+    std::vector<SweepJob> jobs;
+    for (const auto &w : wl::allWorkloads()) {
+        if (!w.atomicIntensive)
+            continue;
+        for (unsigned s : kAqSizes) {
+            pushCell(jobs, cfg, "ablation-aq", w.name,
+                     "aq" + std::to_string(s),
+                     MachineBuilder(presets::paperIcelake(cfg.cores))
+                         .aqSize(s)
+                         .build(),
+                     core::AtomicsMode::kFreeFwd);
+        }
+    }
+    return jobs;
+}
+
+void
+ablationAqRender(const CampaignCfg &cfg, const SweepReport &r,
+                 std::ostream &os)
+{
+    banner(cfg, "Ablation: Atomic Queue size (Free+Fwd)", os);
+    std::vector<std::string> headers{"app"};
+    for (unsigned s : kAqSizes)
+        headers.push_back("aq" + std::to_string(s) + "_cycles");
+    headers.push_back("aq4_dispatch_stall");
+    TablePrinter t(headers);
+    for (const auto &w : wl::allWorkloads()) {
+        if (!w.atomicIntensive)
+            continue;
+        t.cell(w.name);
+        for (unsigned s : kAqSizes) {
+            t.cell(r.meanOverSeeds(w.name, "aq" + std::to_string(s),
+                       [](const RunResult &x) {
+                           return static_cast<double>(x.cycles);
+                       }), 0);
+        }
+        t.cell(r.meanOverSeeds(w.name, "aq4", [](const RunResult &x) {
+                   return static_cast<double>(
+                       x.core.dispatchStallAqCycles);
+               }), 0);
+        t.endRow();
+    }
+    emit(cfg, t, os);
+    reportFailures(r, os);
+}
+
+// --- ablation-fwd: forwarding-chain cap -------------------------------
+
+constexpr unsigned kFwdCaps[] = {1, 2, 4, 8, 32, 64};
+const char *const kFwdApps[] = {"barnes", "radiosity", "fluidanimate",
+                                "TPCC", "AS", "RBT"};
+
+std::vector<SweepJob>
+ablationFwdJobs(const CampaignCfg &cfg)
+{
+    std::vector<SweepJob> jobs;
+    for (const char *app : kFwdApps) {
+        for (unsigned c : kFwdCaps) {
+            pushCell(jobs, cfg, "ablation-fwd", app,
+                     "cap" + std::to_string(c),
+                     MachineBuilder(presets::paperIcelake(cfg.cores))
+                         .fwdChainCap(c)
+                         .build(),
+                     core::AtomicsMode::kFreeFwd);
+        }
+    }
+    return jobs;
+}
+
+void
+ablationFwdRender(const CampaignCfg &cfg, const SweepReport &r,
+                  std::ostream &os)
+{
+    banner(cfg, "Ablation: forwarding chain cap (Free+Fwd)", os);
+    std::vector<std::string> headers{"app"};
+    for (unsigned c : kFwdCaps)
+        headers.push_back("cap" + std::to_string(c));
+    headers.push_back("fba_pct_cap32");
+    TablePrinter t(headers);
+    for (const char *app : kFwdApps) {
+        t.cell(app);
+        for (unsigned c : kFwdCaps) {
+            t.cell(r.meanOverSeeds(app, "cap" + std::to_string(c),
+                       [](const RunResult &x) {
+                           return static_cast<double>(x.cycles);
+                       }), 0);
+        }
+        t.cell(r.meanOverSeeds(app, "cap32", [](const RunResult &x) {
+                   return x.fwdByAtomicPct(); }), 2);
+        t.endRow();
+    }
+    emit(cfg, t, os);
+    reportFailures(r, os);
+}
+
+// --- sweep: generic cross-product -------------------------------------
+
+std::vector<SweepJob>
+genericJobs(const CampaignCfg &cfg)
+{
+    std::vector<std::string> workloads = cfg.workloads;
+    if (workloads.empty())
+        for (const auto &w : wl::allWorkloads())
+            workloads.push_back(w.name);
+    std::vector<std::string> modes = cfg.modes;
+    if (modes.empty())
+        for (core::AtomicsMode m : kAllModes)
+            modes.push_back(core::atomicsModeIdent(m));
+    std::vector<std::string> machines = cfg.machines;
+    if (machines.empty())
+        machines.push_back("icelake");
+
+    std::vector<SweepJob> jobs;
+    for (const std::string &wname : workloads) {
+        if (!wl::findWorkload(wname))
+            fatal("unknown workload '%s'", wname.c_str());
+        for (const std::string &mach : machines) {
+            for (const std::string &mode : modes) {
+                std::string label =
+                    machines.size() > 1 ? mach + "-" + mode : mode;
+                pushCell(jobs, cfg, "sweep", wname, label,
+                         presets::byName(mach, cfg.cores),
+                         core::parseAtomicsMode(mode));
+            }
+        }
+    }
+    return jobs;
+}
+
+void
+genericRender(const CampaignCfg &cfg, const SweepReport &r,
+              std::ostream &os)
+{
+    banner(cfg, "Generic sweep", os);
+    writeSummaryTable(r, os, cfg.csv);
+    reportFailures(r, os);
+}
+
+} // namespace
+
+const std::vector<Campaign> &
+campaigns()
+{
+    static const std::vector<Campaign> all = {
+        {"fig1", "cost of fenced atomic RMWs (Skylake vs Icelake)",
+         fig1Jobs, fig1Render},
+        {"fig12", "atomic RMW frequency (APKI)", fig12Jobs,
+         fig12Render},
+        {"fig13", "lock locality", fig13Jobs, fig13Render},
+        {"fig14", "normalized execution time",
+         [](const CampaignCfg &c) { return allModesJobs(c, "fig14"); },
+         fig14Render},
+        {"fig15", "normalized energy",
+         [](const CampaignCfg &c) { return allModesJobs(c, "fig15"); },
+         fig15Render},
+        {"table2", "characterization of Free atomics", table2Jobs,
+         table2Render},
+        {"ablation-rob", "fenced cost vs ROB size", ablationRobJobs,
+         ablationRobRender},
+        {"ablation-aq", "Atomic Queue depth", ablationAqJobs,
+         ablationAqRender},
+        {"ablation-fwd", "forwarding-chain cap", ablationFwdJobs,
+         ablationFwdRender},
+        {"sweep", "generic workload x machine x mode x seed sweep",
+         genericJobs, genericRender},
+    };
+    return all;
+}
+
+const Campaign *
+findCampaign(const std::string &name)
+{
+    for (const Campaign &c : campaigns())
+        if (c.name == name)
+            return &c;
+    return nullptr;
+}
+
+std::string
+campaignNames()
+{
+    std::string s;
+    for (const Campaign &c : campaigns()) {
+        if (!s.empty())
+            s += " ";
+        s += c.name;
+    }
+    return s;
+}
+
+} // namespace fa::sim::sweep

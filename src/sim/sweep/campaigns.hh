@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Experiment campaigns: the paper's figures, tables and ablations
+ * expressed as sweep-job lists plus table renderers, so `fabench`
+ * can run any of them across the worker pool.
+ *
+ * A campaign is (a) a pure function from the campaign config to a
+ * job list — workload × machine × mode × seed cells — and (b) a
+ * renderer that reduces the finished SweepReport to the same table
+ * the standalone bench harness prints. Because job lists are built
+ * up front and results land in job-order slots, a campaign's output
+ * is identical at any --threads value.
+ */
+
+#ifndef FA_SIM_SWEEP_CAMPAIGNS_HH
+#define FA_SIM_SWEEP_CAMPAIGNS_HH
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/sweep/sweep.hh"
+
+namespace fa::sim::sweep {
+
+/** Shared knobs of every campaign (fabench flags, with the legacy
+ * FA_* env vars as documented fallbacks). */
+struct CampaignCfg
+{
+    unsigned cores = 32;
+    double scale = 0.5;
+    unsigned seeds = 1;
+    bool csv = false;
+
+    /** Generic-sweep selections (the "sweep" campaign only). Empty
+     * means the campaign default. */
+    std::vector<std::string> workloads;
+    std::vector<std::string> modes;
+    std::vector<std::string> machines;
+};
+
+struct Campaign
+{
+    std::string name;     ///< subcommand ("fig1", "ablation-rob", ...)
+    std::string title;    ///< banner line
+    std::function<std::vector<SweepJob>(const CampaignCfg &)> jobs;
+    std::function<void(const CampaignCfg &, const SweepReport &,
+                       std::ostream &)> render;
+};
+
+/** All registered campaigns, in README order. */
+const std::vector<Campaign> &campaigns();
+
+/** Find by subcommand name; nullptr when unknown. */
+const Campaign *findCampaign(const std::string &name);
+
+/** Names for usage text, space-separated. */
+std::string campaignNames();
+
+} // namespace fa::sim::sweep
+
+#endif // FA_SIM_SWEEP_CAMPAIGNS_HH

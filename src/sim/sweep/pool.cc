@@ -1,0 +1,125 @@
+#include "sim/sweep/pool.hh"
+
+#include <exception>
+#include <limits>
+#include <thread>
+
+namespace fa::sim::sweep {
+
+void
+WorkDeque::push(std::size_t job)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    jobs.push_back(job);
+}
+
+bool
+WorkDeque::popFront(std::size_t *job)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (jobs.empty())
+        return false;
+    *job = jobs.front();
+    jobs.pop_front();
+    return true;
+}
+
+bool
+WorkDeque::stealBack(std::size_t *job)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (jobs.empty())
+        return false;
+    *job = jobs.back();
+    jobs.pop_back();
+    return true;
+}
+
+std::size_t
+WorkDeque::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return jobs.size();
+}
+
+Pool::Pool(unsigned threads)
+    : nthreads(threads == 0 ? hardwareThreads() : threads)
+{}
+
+unsigned
+Pool::hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+void
+Pool::run(std::size_t njobs,
+          const std::function<void(std::size_t)> &fn) const
+{
+    if (njobs == 0)
+        return;
+
+    // First-failure capture, ordered by job index so reruns at a
+    // different thread count report the same error.
+    std::mutex errMu;
+    std::exception_ptr firstError;
+    std::size_t firstErrorJob = std::numeric_limits<std::size_t>::max();
+    auto guarded = [&](std::size_t job) {
+        try {
+            fn(job);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(errMu);
+            if (job < firstErrorJob) {
+                firstErrorJob = job;
+                firstError = std::current_exception();
+            }
+        }
+    };
+
+    if (nthreads == 1 || njobs == 1) {
+        for (std::size_t i = 0; i < njobs; ++i)
+            guarded(i);
+        if (firstError)
+            std::rethrow_exception(firstError);
+        return;
+    }
+
+    unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(nthreads, njobs));
+    std::vector<WorkDeque> deques(workers);
+    for (std::size_t i = 0; i < njobs; ++i)
+        deques[i % workers].push(i);
+
+    auto workerMain = [&](unsigned self) {
+        std::size_t job;
+        for (;;) {
+            if (deques[self].popFront(&job)) {
+                guarded(job);
+                continue;
+            }
+            // Own deque empty: steal from the back of the first
+            // victim that has work, scanning from the next worker.
+            bool stole = false;
+            for (unsigned k = 1; k < workers && !stole; ++k) {
+                unsigned victim = (self + k) % workers;
+                stole = deques[victim].stealBack(&job);
+            }
+            if (!stole)
+                return;  // all deques empty: sweep done
+            guarded(job);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        threads.emplace_back(workerMain, w);
+    for (std::thread &t : threads)
+        t.join();
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace fa::sim::sweep

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fixed-size host-thread worker pool with per-worker work-stealing
+ * deques.
+ *
+ * Jobs are indices [0, njobs): the pool deals them round-robin into
+ * per-worker deques at submission time (a deterministic placement),
+ * each worker pops from the front of its own deque, and an idle
+ * worker steals from the *back* of a victim's deque. Stealing from
+ * the opposite end keeps owner pops and thief steals off the same
+ * elements most of the time and preserves rough submission order per
+ * worker.
+ *
+ * Determinism: the pool itself guarantees nothing about *execution
+ * order* — only that every index runs exactly once. Callers get
+ * bit-identical results at any thread count by making each job a
+ * pure function of its index (own RNG seed derived from the index,
+ * results written to a caller-owned slot per index, no shared
+ * mutable state). Every sweep/soak/model-check driver in this repo
+ * follows that rule, which is what the 1/4/8-thread determinism test
+ * asserts.
+ *
+ * With threads == 1 jobs run inline on the calling thread (no worker
+ * threads are spawned), so a serial run is exactly the old serial
+ * code path.
+ */
+
+#ifndef FA_SIM_SWEEP_POOL_HH
+#define FA_SIM_SWEEP_POOL_HH
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace fa::sim::sweep {
+
+/** One worker's deque. A plain mutex-guarded deque: jobs here are
+ * whole simulations (milliseconds to minutes), so queue operations
+ * are nowhere near the critical path and a lock-free Chase–Lev
+ * structure would buy nothing but risk. */
+class WorkDeque
+{
+  public:
+    void push(std::size_t job);
+    /** Owner takes from the front; false when empty. */
+    bool popFront(std::size_t *job);
+    /** Thief takes from the back; false when empty. */
+    bool stealBack(std::size_t *job);
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mu;
+    std::deque<std::size_t> jobs;
+};
+
+/**
+ * The pool. Construct with a thread count (0 = hardware
+ * concurrency), then call run() as many times as needed; worker
+ * threads live only for the duration of one run() call, so a Pool is
+ * cheap to create and carries no background threads between sweeps.
+ */
+class Pool
+{
+  public:
+    explicit Pool(unsigned threads = 1);
+
+    unsigned threads() const { return nthreads; }
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static unsigned hardwareThreads();
+
+    /**
+     * Run fn(i) for every i in [0, njobs); blocks until all jobs
+     * finished. fn must be safe to call concurrently for distinct i.
+     * If any job throws (FatalError included), the first exception
+     * (lowest job index) is rethrown after every remaining job has
+     * run — jobs are independent, so one failure doesn't silently
+     * skip the rest.
+     */
+    void run(std::size_t njobs,
+             const std::function<void(std::size_t)> &fn) const;
+
+  private:
+    unsigned nthreads;
+};
+
+} // namespace fa::sim::sweep
+
+#endif // FA_SIM_SWEEP_POOL_HH

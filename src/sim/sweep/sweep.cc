@@ -1,0 +1,156 @@
+#include "sim/sweep/sweep.hh"
+
+#include <chrono>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/table.hh"
+#include "workloads/workload.hh"
+
+namespace fa::sim::sweep {
+
+std::uint64_t
+deriveSeed(unsigned seedIndex)
+{
+    return 0xbe9c5 + seedIndex;
+}
+
+const SweepOutcome &
+SweepReport::at(const std::string &workload, const std::string &label,
+                unsigned seedIndex) const
+{
+    for (const SweepOutcome &o : outcomes) {
+        if (o.job.workload == workload && o.job.label == label &&
+            o.job.seedIndex == seedIndex)
+            return o;
+    }
+    fatal("sweep report has no outcome for (%s, %s, seed %u)",
+          workload.c_str(), label.c_str(), seedIndex);
+}
+
+double
+SweepReport::meanOverSeeds(
+    const std::string &workload, const std::string &label,
+    const std::function<double(const RunResult &)> &metric) const
+{
+    double sum = 0.0;
+    unsigned n = 0;
+    for (const SweepOutcome &o : outcomes) {
+        if (o.job.workload == workload && o.job.label == label) {
+            sum += metric(o.run);
+            ++n;
+        }
+    }
+    return n == 0 ? 0.0 : sum / n;
+}
+
+LatencyHists
+SweepReport::mergedHists() const
+{
+    LatencyHists all;
+    for (const SweepOutcome &o : outcomes)
+        all.merge(o.run.hists);
+    return all;
+}
+
+SweepReport
+runSweep(const std::vector<SweepJob> &jobs, const SweepOptions &opts)
+{
+    using clock = std::chrono::steady_clock;
+
+    SweepReport report;
+    report.outcomes.resize(jobs.size());
+    Pool pool(opts.threads);
+    report.threads = pool.threads();
+
+    auto t0 = clock::now();
+    pool.run(jobs.size(), [&](std::size_t i) {
+        const SweepJob &job = jobs[i];
+        const wl::Workload *w = wl::findWorkload(job.workload);
+        if (!w)
+            fatal("unknown workload '%s'", job.workload.c_str());
+        auto j0 = clock::now();
+        RunResult run =
+            wl::runWorkload(*w, job.machine, job.mode, job.cores,
+                            job.scale, job.seed, job.maxCycles);
+        auto j1 = clock::now();
+        SweepOutcome &out = report.outcomes[i];
+        out.job = job;
+        out.run = std::move(run);
+        out.wallSec = std::chrono::duration<double>(j1 - j0).count();
+    });
+    report.wallSec =
+        std::chrono::duration<double>(clock::now() - t0).count();
+
+    for (const SweepOutcome &o : report.outcomes)
+        if (!o.run.finished)
+            ++report.failed;
+    return report;
+}
+
+void
+writeJsonl(const SweepReport &report, std::ostream &os)
+{
+    for (const SweepOutcome &o : report.outcomes) {
+        os << "{\"bench\":\"" << JsonWriter::escape(o.job.bench)
+           << "\",\"workload\":\"" << JsonWriter::escape(o.job.workload)
+           << "\",\"label\":\"" << JsonWriter::escape(o.job.label)
+           << "\",\"seed\":" << o.job.seed << ",\"run\":";
+        o.run.toJson(os);
+        os << "}\n";
+    }
+}
+
+void
+writeSummaryTable(const SweepReport &report, std::ostream &os, bool csv)
+{
+    TablePrinter t({"bench", "workload", "label", "seeds", "cycles",
+                    "ipc", "apki", "failed"});
+    // One row per (workload, label) cell, first-appearance order.
+    std::vector<std::pair<std::string, std::string>> cells;
+    for (const SweepOutcome &o : report.outcomes) {
+        auto cell = std::make_pair(o.job.workload, o.job.label);
+        bool fresh = true;
+        for (const auto &c : cells)
+            if (c == cell)
+                fresh = false;
+        if (fresh)
+            cells.push_back(cell);
+    }
+    for (const auto &[workload, label] : cells) {
+        unsigned seeds = 0;
+        unsigned failed = 0;
+        double cycles = 0;
+        double ipc = 0;
+        double apki = 0;
+        std::string bench;
+        for (const SweepOutcome &o : report.outcomes) {
+            if (o.job.workload != workload || o.job.label != label)
+                continue;
+            ++seeds;
+            bench = o.job.bench;
+            if (!o.run.finished)
+                ++failed;
+            cycles += static_cast<double>(o.run.cycles);
+            double denom = static_cast<double>(o.run.cycles) *
+                o.job.cores;
+            ipc += denom == 0.0
+                ? 0.0
+                : static_cast<double>(o.run.core.committedInsts) / denom;
+            apki += o.run.apki();
+        }
+        t.cell(bench).cell(workload).cell(label)
+            .cell(std::uint64_t{seeds})
+            .cell(cycles / seeds, 0)
+            .cell(ipc / seeds, 2)
+            .cell(apki / seeds, 2)
+            .cell(std::uint64_t{failed})
+            .endRow();
+    }
+    if (csv)
+        t.printCsv(os);
+    else
+        t.print(os);
+}
+
+} // namespace fa::sim::sweep

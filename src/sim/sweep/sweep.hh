@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Host-parallel sweep engine: run a batch of independent simulations
+ * (workload × machine × atomic mode × seed) across a worker pool and
+ * aggregate the per-job RunResults.
+ *
+ * Every experiment campaign in this repo — the paper-figure benches,
+ * the fasoak corpus, the famc litmus sweeps — is embarrassingly
+ * parallel: each job is one single-threaded simulation that is a
+ * pure function of its spec. The engine exploits that:
+ *
+ *   - jobs carry their *own* master seed, derived at job-list
+ *     construction time (deriveSeed), never from execution order,
+ *   - each job's RunResult is written into a result slot indexed by
+ *     the job id,
+ *   - aggregation (JSONL emission, histogram merging, summary
+ *     tables) happens after the pool joins, in job-id order.
+ *
+ * Consequence: per-job results and every aggregate are bit-identical
+ * whether the sweep runs on 1, 4, or 64 host threads (asserted by
+ * sweep_test in tier-1).
+ */
+
+#ifndef FA_SIM_SWEEP_SWEEP_HH
+#define FA_SIM_SWEEP_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/runner.hh"
+#include "sim/sweep/pool.hh"
+
+namespace fa::sim::sweep {
+
+/** One simulation in a sweep: a packaged workload run under one
+ * machine config, atomic mode, and seed. */
+struct SweepJob
+{
+    std::string bench;      ///< campaign name ("fig14", "sweep", ...)
+    std::string workload;   ///< registered workload name
+    std::string label;      ///< series within the campaign ("icelake",
+                            ///< "cap32", a mode ident, ...)
+    MachineConfig machine;
+    core::AtomicsMode mode = core::AtomicsMode::kFreeFwd;
+    unsigned cores = 32;
+    double scale = 0.5;
+    unsigned seedIndex = 0;      ///< which of the campaign's seeds
+    std::uint64_t seed = 0;      ///< materialized master seed
+    Cycle maxCycles = 200'000'000;
+};
+
+/** The bench harnesses' historical seed schedule: seed s of a
+ * campaign is 0xbe9c5 + s. A pure function of the index, so job
+ * lists built in any order get identical seeds. */
+std::uint64_t deriveSeed(unsigned seedIndex);
+
+/** One finished job. */
+struct SweepOutcome
+{
+    SweepJob job;
+    RunResult run;
+    double wallSec = 0.0;   ///< host wall-clock of this job alone
+};
+
+/** A completed sweep, in job order. */
+struct SweepReport
+{
+    std::vector<SweepOutcome> outcomes;
+    unsigned threads = 1;   ///< pool width the sweep ran at
+    double wallSec = 0.0;   ///< host wall-clock of the whole sweep
+    std::size_t failed = 0; ///< jobs with !run.finished
+
+    /** First outcome matching (workload, label, seedIndex);
+     * FatalError when absent. */
+    const SweepOutcome &at(const std::string &workload,
+                           const std::string &label,
+                           unsigned seedIndex = 0) const;
+
+    /** Mean of metric(run) over the campaign's seeds for one
+     * (workload, label) cell. */
+    double meanOverSeeds(
+        const std::string &workload, const std::string &label,
+        const std::function<double(const RunResult &)> &metric) const;
+
+    /** All latency histograms of all jobs merged, in job order. */
+    LatencyHists mergedHists() const;
+};
+
+struct SweepOptions
+{
+    unsigned threads = 1;   ///< 0 = hardware concurrency
+};
+
+/** Run every job across the pool and collect the report. Jobs that
+ * fail (watchdog abort, verify failure, TSO violation) are reported
+ * via RunResult::failure, not exceptions; a warning list is printed
+ * by the callers, never by the workers. */
+SweepReport runSweep(const std::vector<SweepJob> &jobs,
+                     const SweepOptions &opts);
+
+/**
+ * Append one line per outcome to `os` in the bench-telemetry JSONL
+ * format the figure harnesses established via FA_JSON:
+ *   {"bench":...,"workload":...,"label":...,"seed":N,"run":{...}}
+ * with "run" a full fa-run-result-v1 document (fastats --sweep reads
+ * this back).
+ */
+void writeJsonl(const SweepReport &report, std::ostream &os);
+
+/** Per-(workload, label) summary table: cycles, IPC, APKI, failures.
+ * Means over seeds; one row per cell in job order. */
+void writeSummaryTable(const SweepReport &report, std::ostream &os,
+                       bool csv);
+
+} // namespace fa::sim::sweep
+
+#endif // FA_SIM_SWEEP_SWEEP_HH

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit tests for the shared CLI parser (common/cli): both long-option
+ * forms, strict numeric parsing, switches, aliases, positionals, the
+ * validated env-var fallbacks, and list splitting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/log.hh"
+
+namespace fa {
+namespace {
+
+/** argv builder: Argv a({"-c", "8"}); parser.tryParse(a.argc(),
+ * a.argv(), &err). argv[0] is always "prog". */
+struct Argv
+{
+    std::vector<std::string> strs;
+    std::vector<char *> ptrs;
+
+    Argv(std::initializer_list<std::string> args) : strs{"prog"}
+    {
+        strs.insert(strs.end(), args);
+        for (std::string &s : strs)
+            ptrs.push_back(s.data());
+    }
+    int argc() { return static_cast<int>(ptrs.size()); }
+    char **argv() { return ptrs.data(); }
+};
+
+TEST(Cli, LongOptionBothForms)
+{
+    unsigned cores = 0;
+    double scale = 0.0;
+    cli::Parser p("t", "");
+    p.opt(&cores, "-c", "--cores", "N", "");
+    p.opt(&scale, "", "--scale", "F", "");
+
+    Argv a({"--cores", "8", "--scale=0.25"});
+    std::string err;
+    EXPECT_EQ(p.tryParse(a.argc(), a.argv(), &err), cli::ParseStatus::kOk)
+        << err;
+    EXPECT_EQ(cores, 8u);
+    EXPECT_DOUBLE_EQ(scale, 0.25);
+    EXPECT_TRUE(p.seen("--cores"));
+    EXPECT_TRUE(p.seen("scale"));
+}
+
+TEST(Cli, ShortOptionTakesNextArgOnly)
+{
+    unsigned cores = 0;
+    cli::Parser p("t", "");
+    p.opt(&cores, "-c", "--cores", "N", "");
+
+    Argv ok({"-c", "4"});
+    std::string err;
+    EXPECT_EQ(p.tryParse(ok.argc(), ok.argv(), &err),
+              cli::ParseStatus::kOk);
+    EXPECT_EQ(cores, 4u);
+
+    // Short options never split on '=': "-c=4" is an unknown option.
+    Argv bad({"-c=4"});
+    EXPECT_EQ(p.tryParse(bad.argc(), bad.argv(), &err),
+              cli::ParseStatus::kError);
+    EXPECT_NE(err.find("unknown option"), std::string::npos);
+}
+
+TEST(Cli, SwitchRejectsInlineValue)
+{
+    bool stats = false;
+    cli::Parser p("t", "");
+    p.flag(&stats, "", "--stats", "");
+
+    Argv a({"--stats=yes"});
+    std::string err;
+    EXPECT_EQ(p.tryParse(a.argc(), a.argv(), &err),
+              cli::ParseStatus::kError);
+    EXPECT_NE(err.find("takes no value"), std::string::npos);
+    EXPECT_FALSE(stats);
+
+    Argv b({"--stats"});
+    EXPECT_EQ(p.tryParse(b.argc(), b.argv(), &err),
+              cli::ParseStatus::kOk);
+    EXPECT_TRUE(stats);
+}
+
+TEST(Cli, UnknownOptionAndMissingValue)
+{
+    unsigned cores = 0;
+    cli::Parser p("t", "");
+    p.opt(&cores, "-c", "--cores", "N", "");
+
+    std::string err;
+    Argv unknown({"--frobnicate"});
+    EXPECT_EQ(p.tryParse(unknown.argc(), unknown.argv(), &err),
+              cli::ParseStatus::kError);
+    EXPECT_NE(err.find("unknown option '--frobnicate'"),
+              std::string::npos);
+
+    Argv missing({"--cores"});
+    EXPECT_EQ(p.tryParse(missing.argc(), missing.argv(), &err),
+              cli::ParseStatus::kError);
+    EXPECT_NE(err.find("missing value"), std::string::npos);
+}
+
+TEST(Cli, StrictNumericParsing)
+{
+    unsigned u = 0;
+    std::int64_t i = 0;
+    double d = 0.0;
+    cli::Parser p("t", "");
+    p.opt(&u, "", "--cores", "N", "");
+    p.opt(&i, "", "--bound", "N", "");
+    p.opt(&d, "", "--scale", "F", "");
+
+    std::string err;
+    Argv trailing({"--cores", "8x"});
+    EXPECT_EQ(p.tryParse(trailing.argc(), trailing.argv(), &err),
+              cli::ParseStatus::kError);
+
+    Argv empty({"--cores="});
+    EXPECT_EQ(p.tryParse(empty.argc(), empty.argv(), &err),
+              cli::ParseStatus::kError);
+
+    Argv negu({"--cores", "-3"});
+    EXPECT_EQ(p.tryParse(negu.argc(), negu.argv(), &err),
+              cli::ParseStatus::kError);
+
+    Argv badf({"--scale", "0.5yolo"});
+    EXPECT_EQ(p.tryParse(badf.argc(), badf.argv(), &err),
+              cli::ParseStatus::kError);
+
+    // Signed options do take negative values.
+    Argv negi({"--bound", "-1"});
+    EXPECT_EQ(p.tryParse(negi.argc(), negi.argv(), &err),
+              cli::ParseStatus::kOk);
+    EXPECT_EQ(i, -1);
+}
+
+TEST(Cli, AliasKeepsOldSpellingAlive)
+{
+    std::string wl;
+    cli::Parser p("t", "");
+    p.opt(&wl, "-w", "--workloads", "LIST", "").alias("--workload");
+
+    Argv a({"--workload", "dekker"});
+    std::string err;
+    EXPECT_EQ(p.tryParse(a.argc(), a.argv(), &err),
+              cli::ParseStatus::kOk);
+    EXPECT_EQ(wl, "dekker");
+    EXPECT_TRUE(p.seen("--workloads"));
+}
+
+TEST(Cli, RepeatableOptionAppends)
+{
+    std::vector<std::string> progs;
+    cli::Parser p("t", "");
+    p.opt(&progs, "-p", "--program", "FILE", "");
+
+    Argv a({"-p", "a.fasm", "--program", "b.fasm", "--program=c.fasm"});
+    std::string err;
+    EXPECT_EQ(p.tryParse(a.argc(), a.argv(), &err),
+              cli::ParseStatus::kOk);
+    ASSERT_EQ(progs.size(), 3u);
+    EXPECT_EQ(progs[0], "a.fasm");
+    EXPECT_EQ(progs[2], "c.fasm");
+}
+
+TEST(Cli, PositionalsNeedASink)
+{
+    cli::Parser bare("t", "");
+    Argv a({"stray"});
+    std::string err;
+    EXPECT_EQ(bare.tryParse(a.argc(), a.argv(), &err),
+              cli::ParseStatus::kError);
+    EXPECT_NE(err.find("unexpected argument"), std::string::npos);
+
+    std::vector<std::string> files;
+    cli::Parser sink("t", "");
+    sink.positional(&files, "FILE", "");
+    Argv b({"one", "two"});
+    EXPECT_EQ(sink.tryParse(b.argc(), b.argv(), &err),
+              cli::ParseStatus::kOk);
+    ASSERT_EQ(files.size(), 2u);
+    EXPECT_EQ(files[1], "two");
+}
+
+TEST(Cli, HelpShortCircuits)
+{
+    unsigned cores = 0;
+    cli::Parser p("t", "");
+    p.opt(&cores, "-c", "--cores", "N", "");
+    Argv a({"-c", "2", "--help"});
+    std::string err;
+    EXPECT_EQ(p.tryParse(a.argc(), a.argv(), &err),
+              cli::ParseStatus::kHelp);
+}
+
+TEST(Cli, UsageFirstLineNamesTheTool)
+{
+    cli::Parser p("fasim", "summary");
+    std::ostringstream os;
+    p.printUsage(os);
+    EXPECT_EQ(os.str().rfind("usage: fasim", 0), 0u);
+}
+
+TEST(Cli, EnvFallbacksValidate)
+{
+    ::unsetenv("FA_CLI_TEST");
+    EXPECT_EQ(cli::envUnsigned("FA_CLI_TEST", 7), 7u);
+    EXPECT_DOUBLE_EQ(cli::envDouble("FA_CLI_TEST", 0.5), 0.5);
+    EXPECT_EQ(cli::envString("FA_CLI_TEST"), "");
+
+    ::setenv("FA_CLI_TEST", "12", 1);
+    EXPECT_EQ(cli::envUnsigned("FA_CLI_TEST", 7), 12u);
+    EXPECT_DOUBLE_EQ(cli::envDouble("FA_CLI_TEST", 0.5), 12.0);
+
+    // The historical bench helpers silently strtoul'd garbage to 0;
+    // the shared versions refuse, naming the variable.
+    ::setenv("FA_CLI_TEST", "banana", 1);
+    EXPECT_THROW(cli::envUnsigned("FA_CLI_TEST", 7), FatalError);
+    EXPECT_THROW(cli::envDouble("FA_CLI_TEST", 0.5), FatalError);
+    ::unsetenv("FA_CLI_TEST");
+}
+
+TEST(Cli, SplitList)
+{
+    EXPECT_TRUE(cli::splitList("").empty());
+    auto one = cli::splitList("dekker");
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], "dekker");
+    auto many = cli::splitList("a,b,,c,");
+    ASSERT_EQ(many.size(), 3u);
+    EXPECT_EQ(many[0], "a");
+    EXPECT_EQ(many[2], "c");
+}
+
+} // namespace
+} // namespace fa

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tier-1 determinism tests for the host-parallel sweep engine
+ * (sim/sweep): the same job list run at 1, 4, and 8 host threads must
+ * produce byte-identical per-job RunResult JSON, identical aggregate
+ * JSONL/summary output, and identical merged histograms. Also covers
+ * the worker pool's every-index-exactly-once and exception-propagation
+ * contracts and the historical seed schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/presets.hh"
+#include "sim/sweep/campaigns.hh"
+#include "sim/sweep/pool.hh"
+#include "sim/sweep/sweep.hh"
+
+namespace fa {
+namespace {
+
+using sim::sweep::SweepJob;
+using sim::sweep::SweepOptions;
+using sim::sweep::SweepReport;
+
+/** A small cross-product job list: 2 workloads x 2 modes x 2 seeds on
+ * the tiny machine — big enough to exercise stealing, small enough
+ * for tier-1. */
+std::vector<SweepJob>
+smallJobs()
+{
+    std::vector<SweepJob> jobs;
+    for (const char *wl : {"dekker", "mp"}) {
+        for (core::AtomicsMode mode : {core::AtomicsMode::kFenced,
+                                       core::AtomicsMode::kFreeFwd}) {
+            for (unsigned s = 0; s < 2; ++s) {
+                SweepJob j;
+                j.bench = "sweep_test";
+                j.workload = wl;
+                j.label = core::atomicsModeIdent(mode);
+                j.machine = sim::presets::tiny(2);
+                j.mode = mode;
+                j.cores = 2;
+                j.scale = 1.0;
+                j.seedIndex = s;
+                j.seed = sim::sweep::deriveSeed(s);
+                jobs.push_back(j);
+            }
+        }
+    }
+    return jobs;
+}
+
+std::vector<std::string>
+perJobJson(const SweepReport &r)
+{
+    std::vector<std::string> out;
+    for (const auto &o : r.outcomes) {
+        std::ostringstream os;
+        o.run.toJson(os);
+        out.push_back(os.str());
+    }
+    return out;
+}
+
+std::string
+histFingerprint(const LatencyHists &h)
+{
+    std::ostringstream os;
+    h.forEach([&](const std::string &name, const Histogram &hist) {
+        os << name << ":" << hist.count() << "," << hist.sum() << ","
+           << hist.min() << "," << hist.max() << ";";
+    });
+    return os.str();
+}
+
+TEST(Pool, RunsEveryIndexExactlyOnce)
+{
+    sim::sweep::Pool pool(4);
+    std::vector<std::atomic<int>> hits(97);
+    pool.run(hits.size(), [&](std::size_t i) { hits[i]++; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Pool, FirstExceptionByJobIndexWins)
+{
+    sim::sweep::Pool pool(4);
+    std::atomic<int> ran{0};
+    try {
+        pool.run(32, [&](std::size_t i) {
+            ran++;
+            if (i == 3 || i == 17)
+                throw std::runtime_error("job " + std::to_string(i));
+        });
+        FAIL() << "expected the job exception to propagate";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "job 3");
+    }
+    // One failure must not skip the independent remainder.
+    EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(Sweep, SeedScheduleMatchesTheBenchHarnesses)
+{
+    EXPECT_EQ(sim::sweep::deriveSeed(0), 0xbe9c5u);
+    EXPECT_EQ(sim::sweep::deriveSeed(7), 0xbe9c5u + 7);
+}
+
+TEST(Sweep, BitIdenticalAcrossThreadCounts)
+{
+    const auto jobs = smallJobs();
+    SweepReport r1 = sim::sweep::runSweep(jobs, SweepOptions{1});
+    SweepReport r4 = sim::sweep::runSweep(jobs, SweepOptions{4});
+    SweepReport r8 = sim::sweep::runSweep(jobs, SweepOptions{8});
+
+    EXPECT_EQ(r1.failed, 0u);
+    EXPECT_EQ(r4.failed, 0u);
+    EXPECT_EQ(r8.failed, 0u);
+
+    // Per-job telemetry, byte for byte.
+    const auto j1 = perJobJson(r1);
+    EXPECT_EQ(j1, perJobJson(r4));
+    EXPECT_EQ(j1, perJobJson(r8));
+
+    // Aggregates: JSONL stream, summary table, merged histograms.
+    std::ostringstream l1, l4, l8;
+    sim::sweep::writeJsonl(r1, l1);
+    sim::sweep::writeJsonl(r4, l4);
+    sim::sweep::writeJsonl(r8, l8);
+    EXPECT_EQ(l1.str(), l4.str());
+    EXPECT_EQ(l1.str(), l8.str());
+
+    std::ostringstream t1, t8;
+    sim::sweep::writeSummaryTable(r1, t1, false);
+    sim::sweep::writeSummaryTable(r8, t8, false);
+    EXPECT_EQ(t1.str(), t8.str());
+
+    EXPECT_EQ(histFingerprint(r1.mergedHists()),
+              histFingerprint(r8.mergedHists()));
+}
+
+TEST(Sweep, ReportLookupAndMeans)
+{
+    const auto jobs = smallJobs();
+    SweepReport r = sim::sweep::runSweep(jobs, SweepOptions{4});
+
+    const auto &o = r.at("dekker", "fenced", 1);
+    EXPECT_EQ(o.job.seedIndex, 1u);
+    EXPECT_EQ(o.job.seed, sim::sweep::deriveSeed(1));
+    EXPECT_TRUE(o.run.finished);
+
+    double cycles = r.meanOverSeeds(
+        "mp", "freefwd",
+        [](const sim::RunResult &rr) {
+            return static_cast<double>(rr.cycles);
+        });
+    EXPECT_GT(cycles, 0.0);
+}
+
+TEST(Sweep, CampaignJobListsAreDeterministic)
+{
+    sim::sweep::CampaignCfg cfg;
+    cfg.cores = 2;
+    cfg.scale = 1.0;
+    cfg.seeds = 2;
+    cfg.workloads = {"dekker"};
+    cfg.modes = {"fenced", "freefwd"};
+    cfg.machines = {"tiny"};
+
+    const auto *c = sim::sweep::findCampaign("sweep");
+    ASSERT_NE(c, nullptr);
+    auto a = c->jobs(cfg);
+    auto b = c->jobs(cfg);
+    ASSERT_EQ(a.size(), 4u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].workload, b[i].workload);
+        EXPECT_EQ(a[i].label, b[i].label);
+        EXPECT_EQ(a[i].seed, b[i].seed);
+    }
+    EXPECT_EQ(sim::sweep::findCampaign("no-such"), nullptr);
+}
+
+} // namespace
+} // namespace fa

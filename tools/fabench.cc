@@ -1,0 +1,247 @@
+/**
+ * @file
+ * fabench — host-parallel experiment sweep driver.
+ *
+ * Subsumes the env-var-driven bench harnesses behind subcommands:
+ * every campaign (paper figure, table, ablation, or a generic
+ * workload × machine × mode × seed sweep) is expanded into a job
+ * list and executed across a work-stealing worker pool
+ * (sim/sweep). Results are bit-identical at any --threads value;
+ * only the wall-clock changes.
+ *
+ *   fabench list
+ *   fabench fig14 --threads 8
+ *   fabench fig1 --threads 8 --seeds 3 --json fig1.jsonl
+ *   fabench ablation-fwd --threads 8 --cores 16 --scale 0.25
+ *   fabench sweep --workloads dekker,mp --modes fenced,freefwd \
+ *           --machines tiny --threads 4 --summary
+ *   fabench perf --threads 8 --bench-json BENCH_sweep.json
+ *
+ * The legacy bench env knobs remain documented fallbacks: FA_CORES,
+ * FA_SCALE, FA_SEEDS, FA_CSV and FA_JSON seed the defaults of
+ * --cores, --scale, --seeds, --csv and --json.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "freeatomics/freeatomics.hh"
+
+using namespace fa;
+using sim::sweep::CampaignCfg;
+using sim::sweep::SweepOptions;
+using sim::sweep::SweepReport;
+
+namespace {
+
+void
+listCampaigns()
+{
+    TablePrinter t({"campaign", "jobs@seeds=1", "what"});
+    CampaignCfg probe;
+    probe.seeds = 1;
+    for (const auto &c : sim::sweep::campaigns()) {
+        t.cell(c.name)
+            .cell(std::uint64_t{c.jobs(probe).size()})
+            .cell(c.title)
+            .endRow();
+    }
+    t.print(std::cout);
+}
+
+/** Serial-vs-parallel self-measurement: run the fig1 + ablation-rob
+ * job lists at 1 thread and at `threads`, assert bit-identical
+ * per-job results, and record the timings as BENCH JSON. */
+int
+perf(const CampaignCfg &cfg, unsigned threads,
+     const std::string &benchJson)
+{
+    std::vector<sim::sweep::SweepJob> jobs;
+    for (const char *name : {"fig1", "ablation-rob"}) {
+        auto campaignJobs = sim::sweep::findCampaign(name)->jobs(cfg);
+        jobs.insert(jobs.end(), campaignJobs.begin(),
+                    campaignJobs.end());
+    }
+    std::cout << "perf: " << jobs.size() << " jobs (fig1 + "
+              << "ablation-rob), serial then " << threads
+              << " thread(s)\n";
+
+    SweepReport serial = sim::sweep::runSweep(jobs, SweepOptions{1});
+    SweepReport parallel =
+        sim::sweep::runSweep(jobs, SweepOptions{threads});
+
+    // The determinism contract, checked on every perf run: the
+    // parallel sweep must reproduce the serial per-job telemetry
+    // byte for byte.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        std::ostringstream a;
+        std::ostringstream b;
+        serial.outcomes[i].run.toJson(a);
+        parallel.outcomes[i].run.toJson(b);
+        if (a.str() != b.str()) {
+            std::cerr << "fabench: job " << i << " ("
+                      << jobs[i].workload << " [" << jobs[i].label
+                      << "]) differs between serial and " << threads
+                      << "-thread runs\n";
+            return 1;
+        }
+    }
+
+    double speedup = parallel.wallSec > 0.0
+        ? serial.wallSec / parallel.wallSec
+        : 0.0;
+    std::cout << "serial:   " << fmtDouble(serial.wallSec, 2) << "s ("
+              << fmtDouble(jobs.size() / serial.wallSec, 2)
+              << " jobs/s)\n"
+              << "parallel: " << fmtDouble(parallel.wallSec, 2)
+              << "s (" << fmtDouble(jobs.size() / parallel.wallSec, 2)
+              << " jobs/s, " << parallel.threads << " threads)\n"
+              << "speedup:  " << fmtDouble(speedup, 2) << "x\n"
+              << "per-job results: bit-identical\n";
+
+    if (!benchJson.empty()) {
+        std::ofstream os(benchJson);
+        if (!os)
+            fatal("cannot open '%s'", benchJson.c_str());
+        JsonWriter jw(os);
+        jw.beginObject();
+        jw.key("schema").value("fa-bench-sweep-v1");
+        jw.key("campaigns").beginArray();
+        jw.value("fig1").value("ablation-rob");
+        jw.endArray();
+        jw.key("jobs").value(std::uint64_t{jobs.size()});
+        jw.key("cores").value(cfg.cores);
+        jw.key("scale").value(cfg.scale);
+        jw.key("seeds").value(cfg.seeds);
+        jw.key("threads").value(parallel.threads);
+        jw.key("serialSec").value(serial.wallSec);
+        jw.key("parallelSec").value(parallel.wallSec);
+        jw.key("speedup").value(speedup);
+        jw.key("jobsPerSecSerial").value(jobs.size() / serial.wallSec);
+        jw.key("jobsPerSecParallel")
+            .value(jobs.size() / parallel.wallSec);
+        jw.endObject();
+        os << "\n";
+        std::cout << "wrote " << benchJson << "\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned threads = 1;
+    unsigned cores = 0;
+    double scale = -1.0;
+    unsigned seeds = 0;
+    bool csv = false;
+    bool summary = false;
+    std::string jsonPath;
+    std::string workloadsArg;
+    std::string modesArg;
+    std::string machinesArg;
+    std::string benchJson;
+    std::vector<std::string> args;
+
+    cli::Parser p("fabench",
+                  "host-parallel experiment sweeps (campaigns: " +
+                      sim::sweep::campaignNames() + ", list)");
+    p.positional(&args, "CAMPAIGN", "campaign to run (or 'list')");
+    p.opt(&threads, "-t", "--threads", "N",
+          "worker threads, 0 = all hardware threads [1]");
+    p.opt(&cores, "-c", "--cores", "N",
+          "simulated cores [FA_CORES or 32]");
+    p.opt(&scale, "", "--scale", "F",
+          "workload iteration scale [FA_SCALE or 0.5]");
+    p.opt(&seeds, "", "--seeds", "N",
+          "seeded runs per cell [FA_SEEDS or 1]");
+    p.flag(&csv, "", "--csv", "emit CSV tables [FA_CSV]");
+    p.opt(&jsonPath, "", "--json", "FILE",
+          "append per-run telemetry JSONL [FA_JSON]");
+    p.flag(&summary, "", "--summary",
+           "also print the aggregate per-cell summary table");
+    p.opt(&workloadsArg, "-w", "--workloads", "LIST",
+          "(sweep) comma list of workloads [all]");
+    p.opt(&modesArg, "-m", "--modes", "LIST",
+          "(sweep) comma list of modes [all four]");
+    p.opt(&machinesArg, "", "--machines", "LIST",
+          "(sweep) comma list of machine presets [icelake]");
+    p.opt(&benchJson, "", "--bench-json", "FILE",
+          "(perf) write serial-vs-parallel timing JSON");
+    p.epilog("exit status: 0 ok, 1 run/determinism failure, 2 usage\n");
+    p.parse(argc, argv);
+
+    if (args.size() != 1) {
+        std::cerr << "fabench: expected exactly one campaign\n";
+        p.printUsage(std::cerr);
+        return 2;
+    }
+
+    try {
+        CampaignCfg cfg;
+        cfg.cores =
+            p.seen("--cores") ? cores : cli::envUnsigned("FA_CORES", 32);
+        cfg.scale =
+            p.seen("--scale") ? scale : cli::envDouble("FA_SCALE", 0.5);
+        cfg.seeds =
+            p.seen("--seeds") ? seeds : cli::envUnsigned("FA_SEEDS", 1);
+        cfg.csv = csv || cli::envUnsigned("FA_CSV", 0) != 0;
+        if (jsonPath.empty())
+            jsonPath = cli::envString("FA_JSON");
+        cfg.workloads = cli::splitList(workloadsArg);
+        cfg.modes = cli::splitList(modesArg);
+        cfg.machines = cli::splitList(machinesArg);
+        if (cfg.seeds == 0)
+            fatal("--seeds must be >= 1");
+
+        const std::string &name = args[0];
+        if (name == "list") {
+            listCampaigns();
+            return 0;
+        }
+        if (name == "perf")
+            return perf(cfg, threads == 0 ? 0 : threads, benchJson);
+
+        const sim::sweep::Campaign *c = sim::sweep::findCampaign(name);
+        if (!c) {
+            std::cerr << "fabench: unknown campaign '" << name
+                      << "' (try: " << sim::sweep::campaignNames()
+                      << ", list, perf)\n";
+            return 2;
+        }
+
+        auto jobs = c->jobs(cfg);
+        SweepReport report =
+            sim::sweep::runSweep(jobs, SweepOptions{threads});
+        c->render(cfg, report, std::cout);
+        if (summary && name != "sweep") // sweep's renderer IS the summary
+            sim::sweep::writeSummaryTable(report, std::cout, cfg.csv);
+        std::cout << "sweep: " << jobs.size() << " jobs in "
+                  << fmtDouble(report.wallSec, 2) << "s on "
+                  << report.threads << " thread(s)";
+        if (report.failed)
+            std::cout << ", " << report.failed << " FAILED";
+        std::cout << "\n";
+
+        if (!jsonPath.empty()) {
+            std::ofstream os(jsonPath, std::ios::app);
+            if (!os)
+                fatal("cannot open '%s'", jsonPath.c_str());
+            sim::sweep::writeJsonl(report, os);
+            std::cout << "appended " << report.outcomes.size()
+                      << " JSONL line(s) to " << jsonPath << "\n";
+        }
+        return report.failed == 0 ? 0 : 1;
+    } catch (const FatalError &e) {
+        std::cerr << "fabench: " << e.message << "\n";
+        return 1;
+    } catch (const std::exception &e) {
+        std::cerr << "fabench: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -33,62 +33,6 @@ using namespace fa;
 
 namespace {
 
-void
-usage()
-{
-    std::cout <<
-        "usage: falint [options] [FILE.fasm ...]\n"
-        "  positional FILEs      one assembly program per thread\n"
-        "  -w, --workload NAME   lint a packaged workload instead\n"
-        "  -p, --program FILE    one program replicated on all threads\n"
-        "  -t, --threads N       thread count              [2]\n"
-        "      --passes LIST     comma list of cycles,fences,locks [all]\n"
-        "      --check           also run + axiomatic TSO check\n"
-        "  -m, --mode MODE       fenced|spec|free|freefwd (--check) [freefwd]\n"
-        "      --machine NAME    icelake|skylake|sandybridge|tiny  [tiny]\n"
-        "      --scale F         iteration scale (--check) [1.0]\n"
-        "      --seed N          master seed (--check)     [42]\n"
-        "      --quiet           only the summary line\n"
-        "\n"
-        "exit status:\n"
-        "  0  clean — no pass reported a finding\n"
-        "  1  runtime error (bad program, failed run, ...)\n"
-        "  2  usage error\n"
-        "  3  dynamic TSO check failed (--check)\n"
-        "  4  cycle pass: TSO-permitted critical cycle(s) present\n"
-        "  5  fence pass: removable (redundant/vacuous) MFENCE(s)\n"
-        "  6  lock pass: predicted deadlock shape(s)\n"
-        "  7  findings from more than one pass\n";
-}
-
-core::AtomicsMode
-parseMode(const std::string &s)
-{
-    if (s == "fenced")
-        return core::AtomicsMode::kFenced;
-    if (s == "spec")
-        return core::AtomicsMode::kSpec;
-    if (s == "free")
-        return core::AtomicsMode::kFree;
-    if (s == "freefwd")
-        return core::AtomicsMode::kFreeFwd;
-    fatal("unknown mode '%s'", s.c_str());
-}
-
-sim::MachineConfig
-parseMachine(const std::string &s, unsigned cores)
-{
-    if (s == "icelake")
-        return sim::MachineConfig::icelake(cores);
-    if (s == "skylake")
-        return sim::MachineConfig::skylake(cores);
-    if (s == "sandybridge")
-        return sim::MachineConfig::sandybridge(cores);
-    if (s == "tiny")
-        return sim::MachineConfig::tiny(cores);
-    fatal("unknown machine '%s'", s.c_str());
-}
-
 struct PassSelection
 {
     bool cycles = true;
@@ -131,6 +75,7 @@ main(int argc, char **argv)
     std::string program_file;
     std::string mode_s = "freefwd";
     std::string machine_s = "tiny";
+    std::string passes_s;
     unsigned threads = 2;
     double scale = 1.0;
     std::uint64_t seed = 42;
@@ -138,55 +83,47 @@ main(int argc, char **argv)
     bool quiet = false;
     PassSelection passes;
 
+    cli::Parser p("falint",
+                  "static + dynamic memory-ordering linter");
+    p.positional(&files, "FILE.fasm ...",
+                 "one assembly program per thread");
+    p.opt(&workload, "-w", "--workload", "NAME",
+          "lint a packaged workload instead");
+    p.opt(&program_file, "-p", "--program", "FILE",
+          "one program replicated on all threads");
+    p.opt(&threads, "-t", "--threads", "N", "thread count [2]");
+    p.opt(&passes_s, "", "--passes", "LIST",
+          "comma list of cycles,fences,locks [all]");
+    p.flag(&check, "", "--check", "also run + axiomatic TSO check");
+    p.opt(&mode_s, "-m", "--mode", "MODE",
+          "fenced|spec|free|freefwd (--check) [freefwd]");
+    p.opt(&machine_s, "", "--machine", "NAME",
+          std::string(sim::presets::names()) + " [tiny]");
+    p.opt(&scale, "", "--scale", "F", "iteration scale (--check) [1.0]");
+    p.opt(&seed, "", "--seed", "N", "master seed (--check) [42]");
+    p.flag(&quiet, "", "--quiet", "only the summary line");
+    p.epilog(
+        "\nexit status:\n"
+        "  0  clean — no pass reported a finding\n"
+        "  1  runtime error (bad program, failed run, ...)\n"
+        "  2  usage error\n"
+        "  3  dynamic TSO check failed (--check)\n"
+        "  4  cycle pass: TSO-permitted critical cycle(s) present\n"
+        "  5  fence pass: removable (redundant/vacuous) MFENCE(s)\n"
+        "  6  lock pass: predicted deadlock shape(s)\n"
+        "  7  findings from more than one pass\n");
+    p.parse(argc, argv);
+
     try {
-        for (int i = 1; i < argc; ++i) {
-            std::string a = argv[i];
-            auto next = [&]() -> std::string {
-                if (i + 1 >= argc)
-                    fatal("missing value for %s", a.c_str());
-                return argv[++i];
-            };
-            if (a == "-w" || a == "--workload")
-                workload = next();
-            else if (a == "-p" || a == "--program")
-                program_file = next();
-            else if (a == "-t" || a == "--threads")
-                threads = static_cast<unsigned>(std::stoul(next()));
-            else if (a == "--passes")
-                passes = parsePasses(next());
-            else if (a == "--check")
-                check = true;
-            else if (a == "-m" || a == "--mode")
-                mode_s = next();
-            else if (a == "--machine")
-                machine_s = next();
-            else if (a == "--scale")
-                scale = std::stod(next());
-            else if (a == "--seed")
-                seed = std::stoull(next());
-            else if (a == "--quiet")
-                quiet = true;
-            else if (a == "-h" || a == "--help") {
-                usage();
-                return 0;
-            } else if (!a.empty() && a[0] == '-') {
-                std::cerr << "unknown option: " << a << "\n";
-                usage();
-                return 2;
-            } else {
-                files.push_back(a);
-            }
-        }
+        if (p.seen("--passes"))
+            passes = parsePasses(passes_s);
     } catch (const FatalError &e) {
         std::cerr << "falint: " << e.message << "\n";
-        return 2;
-    } catch (const std::exception &e) {
-        std::cerr << "falint: bad argument: " << e.what() << "\n";
         return 2;
     }
 
     if (files.empty() && workload.empty() && program_file.empty()) {
-        usage();
+        p.printUsage(std::cout);
         return 2;
     }
 
@@ -200,8 +137,8 @@ main(int argc, char **argv)
                 fatal("unknown workload '%s'", workload.c_str());
             progs = wl::buildPrograms(*w, threads, scale);
         } else if (!program_file.empty()) {
-            isa::Program p = isa::assembleFile(program_file);
-            progs.assign(threads, p);
+            isa::Program prog = isa::assembleFile(program_file);
+            progs.assign(threads, prog);
         } else {
             for (const std::string &f : files)
                 progs.push_back(isa::assembleFile(f));
@@ -287,10 +224,12 @@ main(int argc, char **argv)
 
         // --- dynamic half ---------------------------------------------
         if (check) {
-            auto machine = parseMachine(machine_s, threads);
-            machine.core.mode = parseMode(mode_s);
-            machine.cores = threads;
-            machine.recordMemTrace = true;
+            auto machine =
+                sim::MachineBuilder::preset(machine_s, threads)
+                    .mode(core::parseAtomicsMode(mode_s))
+                    .cores(threads)
+                    .recordMemTrace(true)
+                    .build();
             sim::RunResult res;
             if (w) {
                 res = wl::runWorkload(*w, machine, machine.core.mode,

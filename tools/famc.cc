@@ -29,10 +29,12 @@
  *   7  cross-mode outcome-set mismatch (--compare-modes)
  */
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -49,58 +51,6 @@ constexpr int kExitTruncated = 4;
 constexpr int kExitUnsound = 5;
 constexpr int kExitCoverage = 6;
 constexpr int kExitModeMismatch = 7;
-
-void
-usage()
-{
-    std::cout <<
-        "usage: famc [options]\n"
-        "workload selection (one of):\n"
-        "  -w NAME             registered workload (litmus & friends)\n"
-        "  -p FILE             .fasm program, one per thread "
-        "(repeatable)\n"
-        "      --soak-seed N   soak-generated program (clamped small)\n"
-        "      --threads N     thread count for -w       [2]\n"
-        "      --scale S       workload scale            [0.03]\n"
-        "model:\n"
-        "  -m, --mode MODE     fenced|spec|free|freefwd  [freefwd]\n"
-        "      --all-modes     check every mode\n"
-        "      --compare-modes assert equal outcome sets across\n"
-        "                      fenced/free/freefwd (exit 7 when not)\n"
-        "      --fault NAME    none|no-lock|commit-no-drain|\n"
-        "                      no-recover|leak-unlock    [none]\n"
-        "      --fwd-cap N     fwd-chain cap (SS3.3.4)     [32]\n"
-        "      --seed N        kRand master seed         [1]\n"
-        "exploration:\n"
-        "      --engine E      graph|dpor                [graph]\n"
-        "      --reorder-bound N  reads past own stores per\n"
-        "                      execution (-1 = unbounded)\n"
-        "      --max-states N  exploration budget        [1000000]\n"
-        "      --certify-tso   dpor: run the axiomatic checker over\n"
-        "                      every complete execution\n"
-        "      --regs          include register files in outcomes\n"
-        "      --no-reduce     disable the persistent-set reduction\n"
-        "      --stats         print exploration statistics\n"
-        "      --out DIR       witness output directory  [.]\n"
-        "differential certification:\n"
-        "      --diff          certify the detailed simulator\n"
-        "      --runs N        simulator runs            [8]\n"
-        "      --machine NAME  preset                    [tiny]\n"
-        "      --chaos-profile NAME  schedule perturbation\n"
-        "                                                [coherence]\n"
-        "      --chaos-seed N  first chaos seed          [1]\n"
-        "      --coverage F    required outcome-set coverage [0]\n"
-        "      --fasan         arm the invariant sanitizer\n"
-        "      --max-cycles N  per-run cycle budget      [20000000]\n";
-}
-
-[[noreturn]] void
-usageError(const std::string &msg)
-{
-    std::cerr << "famc: " << msg << "\n\n";
-    usage();
-    std::exit(kExitUsage);
-}
 
 struct Job
 {
@@ -144,6 +94,7 @@ main(int argc, char **argv)
     std::vector<std::string> prog_files;
     std::int64_t soak_seed = -1;
     unsigned threads = 2;
+    unsigned host_jobs = 1;
     double scale = 0.03;
     std::string mode_name = "freefwd";
     bool all_modes = false;
@@ -156,117 +107,118 @@ main(int argc, char **argv)
     std::uint64_t max_states = 1'000'000;
     bool certify_tso = false;
     bool track_regs = false;
-    bool reduce = true;
+    bool no_reduce = false;
     bool stats = false;
     std::string out_dir = ".";
     bool do_diff = false;
     mc::DiffOpts dopts;
 
-    auto need = [&](int i) -> const char * {
-        if (i + 1 >= argc)
-            usageError(std::string("missing value for ") + argv[i]);
-        return argv[i + 1];
+    cli::Parser p("famc",
+                  "exhaustive x86-TSO model checker and differential "
+                  "certifier");
+    p.opt(&workload, "-w", "--workload", "LIST",
+          "registered workload(s), comma list (litmus & friends)");
+    p.opt(&prog_files, "-p", "--program", "FILE",
+          ".fasm program, one per thread (repeatable)");
+    p.opt(&soak_seed, "", "--soak-seed", "N",
+          "soak-generated program (clamped small)");
+    p.opt(&threads, "", "--threads", "N",
+          "model thread count for -w [2]");
+    p.opt(&host_jobs, "-j", "--jobs", "N",
+          "host worker threads across (workload x mode) sweeps, "
+          "0 = all hardware threads [1]");
+    p.opt(&scale, "", "--scale", "S", "workload scale [0.03]");
+    p.opt(&mode_name, "-m", "--mode", "MODE",
+          "fenced|spec|free|freefwd [freefwd]");
+    p.flag(&all_modes, "", "--all-modes", "check every mode");
+    p.flag(&compare_modes, "", "--compare-modes",
+           "assert equal outcome sets across all modes (exit 7 when "
+           "not)");
+    p.opt(&fault_name, "", "--fault", "NAME",
+          "none|no-lock|commit-no-drain|no-recover|leak-unlock "
+          "[none]");
+    p.opt(&fwd_cap, "", "--fwd-cap", "N",
+          "fwd-chain cap (SS3.3.4) [32]");
+    p.opt(&seed, "", "--seed", "N", "kRand master seed [1]");
+    p.opt(&engine_name, "", "--engine", "E", "graph|dpor [graph]");
+    p.opt(&reorder_bound, "", "--reorder-bound", "N",
+          "reads past own stores per execution (-1 = unbounded)");
+    p.opt(&max_states, "", "--max-states", "N",
+          "exploration budget [1000000]");
+    p.flag(&certify_tso, "", "--certify-tso",
+           "dpor: run the axiomatic checker over every complete "
+           "execution");
+    p.flag(&track_regs, "", "--regs",
+           "include register files in outcomes");
+    p.flag(&no_reduce, "", "--no-reduce",
+           "disable the persistent-set reduction");
+    p.flag(&stats, "", "--stats", "print exploration statistics");
+    p.opt(&out_dir, "", "--out", "DIR",
+          "witness output directory [.]");
+    p.flag(&do_diff, "", "--diff",
+           "certify the detailed simulator against the exhaustive "
+           "outcome set");
+    p.opt(&dopts.runs, "", "--runs", "N", "simulator runs [8]");
+    p.opt(&dopts.machine, "", "--machine", "NAME",
+          "simulator machine preset [tiny]");
+    p.opt(&dopts.chaosProfile, "", "--chaos-profile", "NAME",
+          "schedule perturbation [coherence]");
+    p.opt(&dopts.chaosSeed0, "", "--chaos-seed", "N",
+          "first chaos seed [1]");
+    p.opt(&dopts.minCoverage, "", "--coverage", "F",
+          "required outcome-set coverage [0]");
+    p.flag(&dopts.sanitize, "", "--fasan",
+           "arm the invariant sanitizer during --diff runs");
+    p.opt(&dopts.maxCycles, "", "--max-cycles", "N",
+          "per-run cycle budget [20000000]");
+    p.epilog(
+        "\nexit status: 0 ok, 2 usage, 3 violation (witness written),\n"
+        "4 exploration truncated, 5 diff unsound, 6 diff coverage,\n"
+        "7 cross-mode outcome-set mismatch\n");
+    p.parse(argc, argv);
+
+    bool reduce = !no_reduce;
+    auto usageError = [&](const std::string &msg) -> int {
+        std::cerr << "famc: " << msg << "\n\n";
+        p.printUsage(std::cerr);
+        return kExitUsage;
     };
 
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        if (a == "-w") {
-            workload = need(i); ++i;
-        } else if (a == "-p") {
-            prog_files.push_back(need(i)); ++i;
-        } else if (a == "--soak-seed") {
-            soak_seed = std::strtoll(need(i), nullptr, 0); ++i;
-        } else if (a == "--threads") {
-            threads = static_cast<unsigned>(
-                std::strtoul(need(i), nullptr, 0));
-            ++i;
-        } else if (a == "--scale") {
-            scale = std::strtod(need(i), nullptr); ++i;
-        } else if (a == "-m" || a == "--mode") {
-            mode_name = need(i); ++i;
-        } else if (a == "--all-modes") {
-            all_modes = true;
-        } else if (a == "--compare-modes") {
-            compare_modes = true;
-        } else if (a == "--fault") {
-            fault_name = need(i); ++i;
-        } else if (a == "--fwd-cap") {
-            fwd_cap = static_cast<unsigned>(
-                std::strtoul(need(i), nullptr, 0));
-            ++i;
-        } else if (a == "--seed") {
-            seed = std::strtoull(need(i), nullptr, 0); ++i;
-        } else if (a == "--engine") {
-            engine_name = need(i); ++i;
-        } else if (a == "--reorder-bound") {
-            reorder_bound = std::strtoll(need(i), nullptr, 0); ++i;
-        } else if (a == "--max-states") {
-            max_states = std::strtoull(need(i), nullptr, 0); ++i;
-        } else if (a == "--certify-tso") {
-            certify_tso = true;
-        } else if (a == "--regs") {
-            track_regs = true;
-        } else if (a == "--no-reduce") {
-            reduce = false;
-        } else if (a == "--stats") {
-            stats = true;
-        } else if (a == "--out") {
-            out_dir = need(i); ++i;
-        } else if (a == "--diff") {
-            do_diff = true;
-        } else if (a == "--runs") {
-            dopts.runs = static_cast<unsigned>(
-                std::strtoul(need(i), nullptr, 0));
-            ++i;
-        } else if (a == "--machine") {
-            dopts.machine = need(i); ++i;
-        } else if (a == "--chaos-profile") {
-            dopts.chaosProfile = need(i); ++i;
-        } else if (a == "--chaos-seed") {
-            dopts.chaosSeed0 = std::strtoull(need(i), nullptr, 0);
-            ++i;
-        } else if (a == "--coverage") {
-            dopts.minCoverage = std::strtod(need(i), nullptr); ++i;
-        } else if (a == "--fasan") {
-            dopts.sanitize = true;
-        } else if (a == "--max-cycles") {
-            dopts.maxCycles = std::strtoull(need(i), nullptr, 0);
-            ++i;
-        } else if (a == "-h" || a == "--help") {
-            usage();
-            return kExitOk;
-        } else {
-            usageError("unknown option '" + a + "'");
-        }
-    }
-
-    int specified = (workload.empty() ? 0 : 1) +
+    std::vector<std::string> workloads = cli::splitList(workload);
+    int specified = (workloads.empty() ? 0 : 1) +
         (prog_files.empty() ? 0 : 1) + (soak_seed >= 0 ? 1 : 0);
     if (specified != 1)
-        usageError("specify exactly one of -w, -p, --soak-seed");
+        return usageError("specify exactly one of -w, -p, --soak-seed");
     if (engine_name != "graph" && engine_name != "dpor")
-        usageError("unknown engine '" + engine_name + "'");
+        return usageError("unknown engine '" + engine_name + "'");
     if (certify_tso && engine_name != "dpor")
-        usageError("--certify-tso requires --engine dpor");
+        return usageError("--certify-tso requires --engine dpor");
     mc::Fault fault = mc::Fault::kNone;
     if (!mc::parseFault(fault_name, &fault))
-        usageError("unknown fault '" + fault_name + "'");
+        return usageError("unknown fault '" + fault_name + "'");
 
     try {
-        Job job;
         core::AtomicsMode cli_mode = chaos::soakParseMode(mode_name);
-        if (!workload.empty()) {
-            const wl::Workload *w = wl::findWorkload(workload);
-            if (!w)
-                usageError("unknown workload '" + workload + "'");
-            job.name = workload;
-            job.progs = wl::buildPrograms(*w, threads, scale);
-            if (w->init)
-                job.init = w->init(threads, scale);
+        std::vector<Job> jobs;
+        if (!workloads.empty()) {
+            for (const std::string &name : workloads) {
+                const wl::Workload *w = wl::findWorkload(name);
+                if (!w)
+                    return usageError("unknown workload '" + name +
+                                      "'");
+                Job job;
+                job.name = name;
+                job.progs = wl::buildPrograms(*w, threads, scale);
+                if (w->init)
+                    job.init = w->init(threads, scale);
+                jobs.push_back(std::move(job));
+            }
         } else if (!prog_files.empty()) {
+            Job job;
             job.name = "fasm";
             for (const std::string &f : prog_files)
                 job.progs.push_back(isa::assembleFile(f));
+            jobs.push_back(std::move(job));
         } else {
             // Soak-generated program, clamped small enough for
             // exhaustive exploration.
@@ -277,9 +229,11 @@ main(int argc, char **argv)
             spec.blocks = std::min(spec.blocks, 3u);
             spec.counters = std::min(spec.counters, 2u);
             chaos::SoakCase c = chaos::buildSoakCase(spec);
+            Job job;
             job.name = "soak" + std::to_string(soak_seed);
             job.progs = c.programs;
             job.expectedCounters = c.expectedCounters;
+            jobs.push_back(std::move(job));
         }
 
         std::vector<core::AtomicsMode> modes;
@@ -292,9 +246,31 @@ main(int argc, char **argv)
             modes = {cli_mode};
         }
 
-        int rc = kExitOk;
-        std::vector<std::vector<std::string>> mode_ids;
-        for (core::AtomicsMode mode : modes) {
+        // Every (workload, mode) cell is an independent exploration:
+        // fan them out across the host worker pool (--jobs), buffer
+        // each cell's report, and print in cell order so the output
+        // is byte-identical to a serial run.
+        struct Cell
+        {
+            const Job *job;
+            core::AtomicsMode mode;
+        };
+        std::vector<Cell> cells;
+        for (const Job &job : jobs)
+            for (core::AtomicsMode mode : modes)
+                cells.push_back({&job, mode});
+
+        std::vector<std::string> texts(cells.size());
+        std::vector<int> rcs(cells.size(), kExitOk);
+        std::vector<std::vector<std::string>> cell_ids(cells.size());
+
+        sim::sweep::Pool pool(host_jobs);
+        pool.run(cells.size(), [&](std::size_t idx) {
+            const Job &job = *cells[idx].job;
+            core::AtomicsMode mode = cells[idx].mode;
+            std::ostringstream os;
+            int rc = kExitOk;
+
             const char *mname = core::atomicsModeIdent(mode);
             mc::ModelOpts mopts;
             mopts.mode = mode;
@@ -311,102 +287,111 @@ main(int argc, char **argv)
             eopts.reduce = reduce;
             eopts.trackRegs = track_regs;
             eopts.certifyTso = certify_tso;
-            mc::ExploreResult r =
-                mc::explore(model, job.init, eopts);
+            mc::ExploreResult r = mc::explore(model, job.init, eopts);
 
-            std::cout << job.name << " [" << mname
-                      << "]: " << r.outcomes.size()
-                      << " outcome(s), " << r.violations.size()
-                      << " violation(s)"
-                      << (r.complete ? ""
-                                     : " [TRUNCATED: " +
-                                           r.truncatedReason + "]")
-                      << "\n";
+            os << job.name << " [" << mname
+               << "]: " << r.outcomes.size() << " outcome(s), "
+               << r.violations.size() << " violation(s)"
+               << (r.complete
+                       ? ""
+                       : " [TRUNCATED: " + r.truncatedReason + "]")
+               << "\n";
             if (stats) {
-                std::cout << "  states=" << r.statesExplored
-                          << " transitions=" << r.transitionsTaken
-                          << " finals=" << r.finalStates
-                          << " certified=" << r.executionsCertified
-                          << " reduction="
-                          << (model.reductionAvailable() && reduce
-                                  ? "on"
-                                  : "off")
-                          << "\n";
+                os << "  states=" << r.statesExplored
+                   << " transitions=" << r.transitionsTaken
+                   << " finals=" << r.finalStates
+                   << " certified=" << r.executionsCertified
+                   << " reduction="
+                   << (model.reductionAvailable() && reduce ? "on"
+                                                            : "off")
+                   << "\n";
                 for (const mc::Outcome &o : r.outcomes)
-                    std::cout << "  outcome: " << o.pretty() << "\n";
+                    os << "  outcome: " << o.pretty() << "\n";
             }
 
             for (const mc::ExploreViolation &v : r.violations) {
                 std::string path =
                     writeWitness(out_dir, job, mname, mopts, v);
-                std::cout << "  VIOLATION [" << v.kind
-                          << "]: " << v.detail << "\n"
-                          << "  witness: " << path << " ("
-                          << v.witness.size() << " steps)\n";
+                os << "  VIOLATION [" << v.kind << "]: " << v.detail
+                   << "\n"
+                   << "  witness: " << path << " ("
+                   << v.witness.size() << " steps)\n";
                 rc = std::max(rc, kExitViolation);
             }
             if (!r.complete)
                 rc = std::max(rc, kExitTruncated);
-            if (rc != kExitOk)
-                continue;
 
-            // Soak programs have a deterministic atomic-counter
-            // total: assert it in *every* reachable final state.
-            for (unsigned i = 0; i < job.expectedCounters.size();
-                 ++i) {
-                Addr a = wl::kDataBase + i * kLineBytes;
-                for (const mc::Outcome &o : r.outcomes) {
-                    std::int64_t got = 0;
-                    for (const auto &kv : o.mem)
-                        if (kv.first == a)
-                            got = kv.second;
-                    if (got != job.expectedCounters[i]) {
-                        std::cout << "  VIOLATION [atomicity]: "
-                                  << "counter " << i << " = " << got
-                                  << " in a reachable final state, "
-                                  << "expected "
-                                  << job.expectedCounters[i] << "\n";
-                        rc = std::max(rc, kExitViolation);
+            if (rc == kExitOk) {
+                // Soak programs have a deterministic atomic-counter
+                // total: assert it in *every* reachable final state.
+                for (unsigned i = 0; i < job.expectedCounters.size();
+                     ++i) {
+                    Addr a = wl::kDataBase + i * kLineBytes;
+                    for (const mc::Outcome &o : r.outcomes) {
+                        std::int64_t got = 0;
+                        for (const auto &kv : o.mem)
+                            if (kv.first == a)
+                                got = kv.second;
+                        if (got != job.expectedCounters[i]) {
+                            os << "  VIOLATION [atomicity]: "
+                               << "counter " << i << " = " << got
+                               << " in a reachable final state, "
+                               << "expected "
+                               << job.expectedCounters[i] << "\n";
+                            rc = std::max(rc, kExitViolation);
+                        }
                     }
                 }
             }
 
-            std::vector<std::string> ids;
             for (const mc::Outcome &o : r.outcomes)
-                ids.push_back(o.id);
-            mode_ids.push_back(std::move(ids));
+                cell_ids[idx].push_back(o.id);
 
             if (do_diff && rc == kExitOk) {
                 mc::DiffOpts d = dopts;
                 d.seed0 = seed;
                 mc::DiffResult dr =
                     mc::diffCertify(model, r, job.init, d);
-                std::cout << "  diff [" << mname << "]: "
-                          << dr.runs.size() << " run(s), coverage "
-                          << dr.distinctSeen << "/"
-                          << dr.modelOutcomes << "\n";
+                os << "  diff [" << mname << "]: " << dr.runs.size()
+                   << " run(s), coverage " << dr.distinctSeen << "/"
+                   << dr.modelOutcomes << "\n";
                 if (!dr.sound) {
-                    std::cout << "  UNSOUND: " << dr.error << "\n";
+                    os << "  UNSOUND: " << dr.error << "\n";
                     rc = std::max(rc, kExitUnsound);
                 } else if (!dr.covered) {
-                    std::cout << "  COVERAGE: " << dr.error << "\n";
+                    os << "  COVERAGE: " << dr.error << "\n";
                     rc = std::max(rc, kExitCoverage);
                 }
             }
+
+            texts[idx] = os.str();
+            rcs[idx] = rc;
+        });
+
+        int rc = kExitOk;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            std::cout << texts[i];
+            rc = std::max(rc, rcs[i]);
         }
 
         // §3.2.3: all modes implement the same architectural TSO
         // machine, so their reachable outcome sets must be equal.
         if (compare_modes && rc == kExitOk) {
-            for (std::size_t m = 1; m < mode_ids.size(); ++m) {
-                if (mode_ids[m] != mode_ids[0]) {
+            for (std::size_t j = 0; j < jobs.size(); ++j) {
+                const auto &base = cell_ids[j * modes.size()];
+                for (std::size_t m = 1; m < modes.size(); ++m) {
+                    const auto &cur = cell_ids[j * modes.size() + m];
+                    if (cur == base)
+                        continue;
                     std::cout
-                        << "MODE MISMATCH: "
-                        << core::atomicsModeIdent(modes[m])
-                        << " reaches " << mode_ids[m].size()
+                        << "MODE MISMATCH"
+                        << (jobs.size() > 1 ? " (" + jobs[j].name + ")"
+                                            : std::string())
+                        << ": " << core::atomicsModeIdent(modes[m])
+                        << " reaches " << cur.size()
                         << " outcome(s) but "
                         << core::atomicsModeIdent(modes[0])
-                        << " reaches " << mode_ids[0].size()
+                        << " reaches " << base.size()
                         << " — the modes must be architecturally "
                            "equivalent (§3.2.3)\n";
                     rc = std::max(rc, kExitModeMismatch);
@@ -414,7 +399,7 @@ main(int argc, char **argv)
             }
             if (rc == kExitOk)
                 std::cout << "mode outcome sets identical across "
-                          << mode_ids.size() << " mode(s)\n";
+                          << modes.size() << " mode(s)\n";
         }
         return rc;
     } catch (const FatalError &e) {

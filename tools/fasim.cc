@@ -26,84 +26,6 @@ using namespace fa;
 namespace {
 
 void
-usage()
-{
-    std::cout <<
-        "usage: fasim [options]\n"
-        "  -w, --workload NAME   workload to run (see --list)\n"
-        "  -p, --program FILE    assemble FILE and run it on every core\n"
-        "  -c, --cores N         threads/cores            [8]\n"
-        "  -m, --mode MODE       fenced|spec|free|freefwd [freefwd]\n"
-        "      --machine NAME    icelake|skylake|sandybridge|tiny\n"
-        "                                                 [icelake]\n"
-        "      --scale F         iteration scale          [1.0]\n"
-        "      --seed N          master seed              [42]\n"
-        "      --seeds N         runs to average          [1]\n"
-        "      --all-modes       run all four flavours\n"
-        "      --stats           dump aggregated statistics\n"
-        "      --trace           cycle-level event trace to stderr\n"
-        "      --check           record the memory-event trace and run\n"
-        "                        the axiomatic TSO checker (exits 1 and\n"
-        "                        prints the violating event on failure)\n"
-        "      --stats-json FILE write the full RunResult as JSON\n"
-        "      --pipeview FILE   write a gem5-O3PipeView lifecycle\n"
-        "                        trace (view with Konata)\n"
-        "      --interval-stats FILE\n"
-        "                        write per-interval counter deltas as\n"
-        "                        JSON Lines\n"
-        "      --interval N      interval-stats period in cycles [10000]\n"
-        "      --forensics       capture a pipeline snapshot at the\n"
-        "                        first watchdog firing (printed with\n"
-        "                        --stats, stored in --stats-json)\n"
-        "      --chaos-profile NAME\n"
-        "                        arm the fault-injection engine with a\n"
-        "                        named profile (sim/chaos); see\n"
-        "                        fasoak --list-profiles\n"
-        "      --chaos-seed N    fault-schedule seed (independent of\n"
-        "                        --seed)                  [1]\n"
-        "      --fasan           arm the cycle-level invariant\n"
-        "                        sanitizer (SS3.2/SS3.3 invariants; a\n"
-        "                        violation aborts with forensics)\n"
-        "      --list            list workloads and exit\n";
-}
-
-core::AtomicsMode
-parseMode(const std::string &s)
-{
-    if (s == "fenced")
-        return core::AtomicsMode::kFenced;
-    if (s == "spec")
-        return core::AtomicsMode::kSpec;
-    if (s == "free")
-        return core::AtomicsMode::kFree;
-    if (s == "freefwd")
-        return core::AtomicsMode::kFreeFwd;
-    fatal("unknown mode '%s'", s.c_str());
-}
-
-sim::MachineConfig
-parseMachine(const std::string &s, unsigned cores)
-{
-    if (s == "icelake")
-        return sim::MachineConfig::icelake(cores);
-    if (s == "skylake")
-        return sim::MachineConfig::skylake(cores);
-    if (s == "sandybridge")
-        return sim::MachineConfig::sandybridge(cores);
-    if (s == "tiny")
-        return sim::MachineConfig::tiny(cores);
-    fatal("unknown machine '%s'", s.c_str());
-}
-
-[[noreturn]] void
-usageError(const std::string &msg)
-{
-    std::cerr << "fasim: " << msg << "\n";
-    usage();
-    std::exit(2);
-}
-
-void
 listWorkloads()
 {
     TablePrinter t({"name", "origin", "class"});
@@ -222,118 +144,84 @@ main(int argc, char **argv)
     std::string stats_json;
     std::string pipeview_path;
     std::string interval_path;
-    Cycle interval_period = 10'000;
+    std::uint64_t interval_period = 10'000;
     std::string chaos_profile;
     std::uint64_t chaos_seed = 1;
     bool fasan = false;
+    bool trace = false;
+    bool list = false;
 
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        // Accept both "--flag value" and "--flag=value".
-        std::string inline_val;
-        bool has_inline = false;
-        if (a.rfind("--", 0) == 0) {
-            auto eq = a.find('=');
-            if (eq != std::string::npos) {
-                inline_val = a.substr(eq + 1);
-                a = a.substr(0, eq);
-                has_inline = true;
-            }
-        }
-        auto next = [&]() -> std::string {
-            if (has_inline)
-                return inline_val;
-            if (i + 1 >= argc)
-                usageError("missing value for " + a);
-            return argv[++i];
-        };
-        // Boolean flags take no value; "--stats=foo" is an error,
-        // not silently accepted.
-        auto noVal = [&]() {
-            if (has_inline)
-                usageError("option " + a + " takes no value");
-        };
-        if (a == "-w" || a == "--workload")
-            workload = next();
-        else if (a == "-p" || a == "--program")
-            program_file = next();
-        else if (a == "-c" || a == "--cores")
-            cores = static_cast<unsigned>(std::stoul(next()));
-        else if (a == "-m" || a == "--mode")
-            mode_s = next();
-        else if (a == "--machine")
-            machine_s = next();
-        else if (a == "--scale")
-            scale = std::stod(next());
-        else if (a == "--seed")
-            seed = std::stoull(next());
-        else if (a == "--seeds")
-            seeds = static_cast<unsigned>(std::stoul(next()));
-        else if (a == "--all-modes") {
-            noVal();
-            all_modes = true;
-        } else if (a == "--stats") {
-            noVal();
-            stats = true;
-        } else if (a == "--check") {
-            noVal();
-            check = true;
-        } else if (a == "--forensics") {
-            noVal();
-            forensics = true;
-        } else if (a == "--chaos-profile")
-            chaos_profile = next();
-        else if (a == "--chaos-seed")
-            chaos_seed = std::stoull(next());
-        else if (a == "--fasan") {
-            noVal();
-            fasan = true;
-        }
-        else if (a == "--stats-json")
-            stats_json = next();
-        else if (a == "--pipeview")
-            pipeview_path = next();
-        else if (a == "--interval-stats")
-            interval_path = next();
-        else if (a == "--interval")
-            interval_period = std::stoull(next());
-        else if (a == "--trace") {
-            noVal();
-            setTrace(true);
-        } else if (a == "--list") {
-            noVal();
-            listWorkloads();
-            return 0;
-        } else if (a == "-h" || a == "--help") {
-            usage();
-            return 0;
-        } else {
-            usageError("unknown option '" + a + "'");
-        }
+    cli::Parser p("fasim",
+                  "run a packaged workload or assembled program on the "
+                  "detailed simulator");
+    p.opt(&workload, "-w", "--workload", "NAME",
+          "workload to run (see --list)");
+    p.opt(&program_file, "-p", "--program", "FILE",
+          "assemble FILE and run it on every core");
+    p.opt(&cores, "-c", "--cores", "N", "threads/cores [8]");
+    p.opt(&mode_s, "-m", "--mode", "MODE",
+          "fenced|spec|free|freefwd [freefwd]");
+    p.opt(&machine_s, "", "--machine", "NAME",
+          std::string(sim::presets::names()) + " [icelake]");
+    p.opt(&scale, "", "--scale", "F", "iteration scale [1.0]");
+    p.opt(&seed, "", "--seed", "N", "master seed [42]");
+    p.opt(&seeds, "", "--seeds", "N", "runs to average [1]");
+    p.flag(&all_modes, "", "--all-modes", "run all four flavours");
+    p.flag(&stats, "", "--stats", "dump aggregated statistics");
+    p.flag(&trace, "", "--trace", "cycle-level event trace to stderr");
+    p.flag(&check, "", "--check",
+           "record the memory-event trace and run the axiomatic TSO "
+           "checker (exits 1 and prints the violating event on "
+           "failure)");
+    p.opt(&stats_json, "", "--stats-json", "FILE",
+          "write the full RunResult as JSON");
+    p.opt(&pipeview_path, "", "--pipeview", "FILE",
+          "write a gem5-O3PipeView lifecycle trace (view with Konata)");
+    p.opt(&interval_path, "", "--interval-stats", "FILE",
+          "write per-interval counter deltas as JSON Lines");
+    p.opt(&interval_period, "", "--interval", "N",
+          "interval-stats period in cycles [10000]");
+    p.flag(&forensics, "", "--forensics",
+           "capture a pipeline snapshot at the first watchdog firing "
+           "(printed with --stats, stored in --stats-json)");
+    p.opt(&chaos_profile, "", "--chaos-profile", "NAME",
+          "arm the fault-injection engine with a named profile "
+          "(sim/chaos); see fasoak --list-profiles");
+    p.opt(&chaos_seed, "", "--chaos-seed", "N",
+          "fault-schedule seed (independent of --seed) [1]");
+    p.flag(&fasan, "", "--fasan",
+           "arm the cycle-level invariant sanitizer (SS3.2/SS3.3 "
+           "invariants; a violation aborts with forensics)");
+    p.flag(&list, "", "--list", "list workloads and exit");
+    p.parse(argc, argv);
+
+    if (trace)
+        setTrace(true);
+    if (list) {
+        listWorkloads();
+        return 0;
     }
-
     if (workload.empty() && program_file.empty()) {
-        usage();
+        p.printUsage(std::cout);
         return 2;
     }
 
     try {
-        auto machine = parseMachine(machine_s, cores);
-        machine.recordMemTrace = check;
-        machine.watchdogForensics = forensics;
-        machine.pipeviewPath = pipeview_path;
-        machine.intervalStatsPath = interval_path;
-        machine.intervalPeriod = interval_period;
-        if (!chaos_profile.empty())
-            machine.chaos =
-                chaos::chaosProfile(chaos_profile, chaos_seed);
-        machine.sanitize = fasan;
+        auto machine =
+            sim::MachineBuilder::preset(machine_s, cores)
+                .recordMemTrace(check)
+                .watchdogForensics(forensics)
+                .pipeview(pipeview_path)
+                .intervalStats(interval_path, interval_period)
+                .chaosProfile(chaos_profile, chaos_seed)
+                .sanitize(fasan)
+                .build();
 
         if (!program_file.empty()) {
             isa::Program prog = isa::assembleFile(program_file);
             std::vector<isa::Program> progs(cores, prog);
             sim::RunResult res =
-                sim::runPrograms(machine, parseMode(mode_s), progs, {},
+                sim::runPrograms(machine, core::parseAtomicsMode(mode_s), progs, {},
                                  seed, 500'000'000);
             if (!stats_json.empty())
                 writeStatsJson(stats_json, res);
@@ -370,7 +258,7 @@ main(int argc, char **argv)
                        stats, stats_json);
             }
         } else {
-            runOne(*w, machine, parseMode(mode_s), cores, scale, seed,
+            runOne(*w, machine, core::parseAtomicsMode(mode_s), cores, scale, seed,
                    seeds, stats, stats_json);
         }
     } catch (const FatalError &e) {

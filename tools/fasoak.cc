@@ -9,51 +9,26 @@
  * to a minimal reproducer (.fasm programs + JSON fault file) that
  * `fasoak --replay` re-executes exactly.
  *
- *   fasoak --seeds 32 --mode freefwd --profile all
+ *   fasoak --seeds 32 --mode freefwd --profile all --threads 8
  *   fasoak --seed 7 --mode fenced --profile locks --out repros/
  *   fasoak --replay repros/repro-seed7.json
+ *
+ * --threads fans the seed corpus out across the sweep worker pool;
+ * output, shrinking, and reproducers stay in seed order and are
+ * byte-identical to a serial run.
  */
 
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "freeatomics/freeatomics.hh"
 
 using namespace fa;
 
 namespace {
-
-void
-usage()
-{
-    std::cout <<
-        "usage: fasoak [options]\n"
-        "      --seed N          first seed               [1]\n"
-        "      --seeds N         number of seeds to run   [8]\n"
-        "  -m, --mode MODE       fenced|spec|free|freefwd [freefwd]\n"
-        "      --profile NAME    fault profile            [all]\n"
-        "      --out DIR         reproducer output dir    [.]\n"
-        "      --fasan           arm the cycle-level invariant\n"
-        "                        sanitizer during every run\n"
-        "      --no-shrink       keep failing cases full-size\n"
-        "      --replay FILE     re-run a reproducer JSON and verify\n"
-        "                        it still fails with the recorded\n"
-        "                        signature\n"
-        "      --list-profiles   list fault profiles and exit\n"
-        "\n"
-        "exit status: 0 when every seed certifies (or the replay\n"
-        "reproduces its recorded signature), 1 otherwise.\n";
-}
-
-[[noreturn]] void
-usageError(const std::string &msg)
-{
-    std::cerr << "fasoak: " << msg << "\n\n";
-    usage();
-    std::exit(2);
-}
 
 void
 printResult(std::uint64_t seed, const chaos::SoakResult &r)
@@ -90,53 +65,44 @@ main(int argc, char **argv)
 {
     std::uint64_t seed0 = 1;
     unsigned nseeds = 8;
+    unsigned threads = 1;
     std::string mode_name = "freefwd";
     std::string profile = "all";
     std::string out_dir = ".";
     std::string replay_path;
-    bool do_shrink = true;
+    bool no_shrink = false;
     bool fasan = false;
+    bool list_profiles = false;
 
-    auto need = [&](int i) -> const char * {
-        if (i + 1 >= argc)
-            usageError(std::string("missing value for ") + argv[i]);
-        return argv[i + 1];
-    };
+    cli::Parser p("fasoak",
+                  "seeded liveness-certification (soak) driver");
+    p.opt(&seed0, "", "--seed", "N", "first seed [1]");
+    p.opt(&nseeds, "", "--seeds", "N", "number of seeds to run [8]");
+    p.opt(&threads, "-t", "--threads", "N",
+          "host worker threads for the seed corpus, 0 = all hardware "
+          "threads [1]");
+    p.opt(&mode_name, "-m", "--mode", "MODE",
+          "fenced|spec|free|freefwd [freefwd]");
+    p.opt(&profile, "", "--profile", "NAME", "fault profile [all]");
+    p.opt(&out_dir, "", "--out", "DIR", "reproducer output dir [.]");
+    p.flag(&fasan, "", "--fasan",
+           "arm the cycle-level invariant sanitizer during every run");
+    p.flag(&no_shrink, "", "--no-shrink",
+           "keep failing cases full-size");
+    p.opt(&replay_path, "", "--replay", "FILE",
+          "re-run a reproducer JSON and verify it still fails with "
+          "the recorded signature");
+    p.flag(&list_profiles, "", "--list-profiles",
+           "list fault profiles and exit");
+    p.epilog(
+        "\nexit status: 0 when every seed certifies (or the replay\n"
+        "reproduces its recorded signature), 1 otherwise.\n");
+    p.parse(argc, argv);
 
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        if (a == "--seed") {
-            seed0 = std::strtoull(need(i), nullptr, 0);
-            ++i;
-        } else if (a == "--seeds") {
-            nseeds = static_cast<unsigned>(
-                std::strtoul(need(i), nullptr, 0));
-            ++i;
-        } else if (a == "-m" || a == "--mode") {
-            mode_name = need(i);
-            ++i;
-        } else if (a == "--profile") {
-            profile = need(i);
-            ++i;
-        } else if (a == "--out") {
-            out_dir = need(i);
-            ++i;
-        } else if (a == "--fasan") {
-            fasan = true;
-        } else if (a == "--no-shrink") {
-            do_shrink = false;
-        } else if (a == "--replay") {
-            replay_path = need(i);
-            ++i;
-        } else if (a == "--list-profiles") {
-            std::cout << chaos::chaosProfileNames() << "\n";
-            return 0;
-        } else if (a == "-h" || a == "--help") {
-            usage();
-            return 0;
-        } else {
-            usageError("unknown option '" + a + "'");
-        }
+    bool do_shrink = !no_shrink;
+    if (list_profiles) {
+        std::cout << chaos::chaosProfileNames() << "\n";
+        return 0;
     }
 
     try {
@@ -144,17 +110,36 @@ main(int argc, char **argv)
             return replay(replay_path);
 
         core::AtomicsMode mode = chaos::soakParseMode(mode_name);
-        unsigned failures = 0;
+
+        // Phase 1 (parallel): every seed's certification run is a
+        // pure function of its spec, so the corpus fans out across
+        // the sweep pool. Results land in per-seed slots.
+        std::vector<chaos::SoakSpec> specs;
         for (std::uint64_t s = seed0; s < seed0 + nseeds; ++s) {
             chaos::SoakSpec spec =
                 chaos::makeSoakSpec(s, mode, profile);
             spec.sanitize = fasan;
-            chaos::SoakCase c = chaos::buildSoakCase(spec);
-            chaos::SoakResult r = chaos::runSoakCase(c);
+            specs.push_back(std::move(spec));
+        }
+        std::vector<chaos::SoakResult> results(specs.size());
+        sim::sweep::Pool pool(threads);
+        pool.run(specs.size(), [&](std::size_t i) {
+            chaos::SoakCase c = chaos::buildSoakCase(specs[i]);
+            results[i] = chaos::runSoakCase(c);
+        });
+
+        // Phase 2 (serial, seed order): printing, shrinking, and
+        // reproducer writing — byte-identical to a 1-thread run.
+        unsigned failures = 0;
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            const chaos::SoakSpec &spec = specs[i];
+            std::uint64_t s = seed0 + i;
+            chaos::SoakResult r = results[i];
             printResult(s, r);
             if (r.ok)
                 continue;
             ++failures;
+            chaos::SoakCase c = chaos::buildSoakCase(spec);
             if (do_shrink) {
                 unsigned steps = 0;
                 chaos::SoakSpec small =

@@ -5,6 +5,7 @@
  *   fastats run.json            summarize one run
  *   fastats base.json new.json  diff two runs counter by counter
  *   fastats -a base.json new.json   include unchanged counters
+ *   fastats --sweep runs.jsonl  validate a fabench JSONL stream
  *
  * Reads the "fa-run-result-v1" schema written by
  * fa::sim::RunResult::toJson. Diffing is the intended workflow for
@@ -25,25 +26,6 @@
 using namespace fa;
 
 namespace {
-
-void
-usage()
-{
-    std::cout <<
-        "usage: fastats [-a|--all] [--fail-above PCT] FILE [FILE2]\n"
-        "  one file:  summarize the run\n"
-        "  two files: diff counters, derived metrics and histogram\n"
-        "             percentiles (FILE = baseline, FILE2 = new)\n"
-        "  -a, --all  show unchanged counters in diffs too\n"
-        "  --fail-above PCT\n"
-        "             (diff only) treat any cycles/core.*/mem.*\n"
-        "             counter that grew by more than PCT percent as\n"
-        "             a regression and exit 4, listing the\n"
-        "             offenders — lets CI gate on a stats diff\n"
-        "\n"
-        "exit status: 0 ok, 1 error, 2 usage,\n"
-        "             4 counter regression past --fail-above\n";
-}
 
 JsonValue
 loadStats(const std::string &path)
@@ -252,6 +234,51 @@ diff(const JsonValue &a, const JsonValue &b, bool show_all,
     return 4;
 }
 
+/** Validate a fabench --json JSONL stream: every line must wrap a
+ * finished fa-run-result-v1 run. Lets CI gate on sweep output. */
+int
+validateSweep(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '%s'", path.c_str());
+    std::string line;
+    unsigned lineno = 0;
+    unsigned runs = 0;
+    unsigned bad = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        try {
+            JsonValue doc = JsonValue::parse(line);
+            for (const char *k : {"bench", "workload", "label", "seed"})
+                if (!doc.find(k))
+                    fatal("missing key '%s'", k);
+            const JsonValue *run = doc.find("run");
+            if (!run)
+                fatal("missing key 'run'");
+            const JsonValue *schema = run->find("schema");
+            if (!schema || schema->str != "fa-run-result-v1")
+                fatal("run is not fa-run-result-v1");
+            if (!run->at("finished").boolean)
+                fatal("run did not finish");
+            ++runs;
+        } catch (const FatalError &e) {
+            std::cout << "fastats: " << path << ":" << lineno << ": "
+                      << e.message << "\n";
+            ++bad;
+        } catch (const std::exception &e) {
+            std::cout << "fastats: " << path << ":" << lineno << ": "
+                      << e.what() << "\n";
+            ++bad;
+        }
+    }
+    std::cout << "sweep: " << runs << " valid run(s), " << bad
+              << " bad line(s) in " << path << "\n";
+    return bad == 0 && runs > 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -259,45 +286,52 @@ main(int argc, char **argv)
 {
     bool show_all = false;
     double fail_above = -1.0;
+    std::string sweep_path;
     std::vector<std::string> files;
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        if (a == "-a" || a == "--all")
-            show_all = true;
-        else if (a == "--fail-above") {
-            if (i + 1 >= argc) {
-                std::cerr << "missing value for --fail-above\n";
-                usage();
-                return 2;
-            }
-            try {
-                fail_above = std::stod(argv[++i]);
-            } catch (const std::exception &) {
-                std::cerr << "bad --fail-above value\n";
-                return 2;
-            }
-            if (fail_above < 0.0) {
-                std::cerr << "--fail-above must be >= 0\n";
-                return 2;
-            }
-        } else if (a == "-h" || a == "--help") {
-            usage();
-            return 0;
-        } else if (!a.empty() && a[0] == '-') {
-            std::cerr << "unknown option: " << a << "\n";
-            usage();
+
+    cli::Parser p("fastats",
+                  "summarize and diff fa-run-result-v1 telemetry");
+    p.positional(&files, "FILE [FILE2]",
+                 "one file: summarize; two: diff (FILE = baseline)");
+    p.flag(&show_all, "-a", "--all",
+           "show unchanged counters in diffs too");
+    p.opt(&fail_above, "", "--fail-above", "PCT",
+          "(diff) exit 4 when any cycles/core.*/mem.* counter grew "
+          "by more than PCT percent");
+    p.opt(&sweep_path, "", "--sweep", "FILE",
+          "validate a fabench --json JSONL stream instead");
+    p.epilog("\nexit status: 0 ok, 1 error, 2 usage,\n"
+             "4 counter regression past --fail-above\n");
+    p.parse(argc, argv);
+
+    if (p.seen("--fail-above") && fail_above < 0.0) {
+        std::cerr << "fastats: --fail-above must be >= 0\n";
+        return 2;
+    }
+
+    if (!sweep_path.empty()) {
+        if (!files.empty() || p.seen("--fail-above")) {
+            std::cerr << "fastats: --sweep takes no other input\n";
+            p.printUsage(std::cerr);
             return 2;
-        } else {
-            files.push_back(a);
+        }
+        try {
+            return validateSweep(sweep_path);
+        } catch (const FatalError &e) {
+            std::cerr << "fastats: " << e.message << "\n";
+            return 1;
         }
     }
+
     if (files.empty() || files.size() > 2) {
-        usage();
+        std::cerr << "fastats: expected one or two stats files\n";
+        p.printUsage(std::cerr);
         return 2;
     }
 
     if (fail_above >= 0.0 && files.size() != 2) {
-        std::cerr << "--fail-above needs two stats files to diff\n";
+        std::cerr << "fastats: --fail-above needs two stats files "
+                     "to diff\n";
         return 2;
     }
 
