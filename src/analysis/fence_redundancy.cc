@@ -35,8 +35,10 @@ isLoadLike(AccessKind k)
 
 std::vector<FenceReport>
 analyzeFences(const std::vector<ThreadSummary> &threads,
-              const CycleAnalysis &cycles)
+              const CycleAnalysis &cycles, core::AtomicsMode mode)
 {
+    const bool fence2 = mode == core::AtomicsMode::kFenced ||
+        mode == core::AtomicsMode::kSpec;
     std::vector<FenceReport> reports;
     for (const ThreadSummary &t : threads) {
         const auto &evs = t.events;
@@ -84,11 +86,25 @@ analyzeFences(const std::vector<ThreadSummary> &threads,
                 rep.reason = strfmt(
                     "rmw at pc %d commits with an empty SB; no store "
                     "between it and this fence", covering_rmw_pc);
-            } else if (!load_after && covering_rmw_after >= 0) {
+            } else if (!load_after && covering_rmw_after >= 0 &&
+                       (fence2 || !store_before)) {
+                // Load-side coverage is Mem_Fence2: it only holds
+                // when the adjacent RMW stalls younger loads, i.e.
+                // Fenced/Spec. In Free modes the RMW issues without
+                // either fence, so a buffered earlier store can
+                // still be passed by the later loads.
                 rep.verdict = FenceVerdict::kRedundantByAtomic;
                 rep.reason = strfmt(
                     "rmw at pc %d orders every later load; no load "
                     "between this fence and it", covering_rmw_after);
+            } else if (!load_after && covering_rmw_after >= 0) {
+                rep.verdict = FenceVerdict::kRequired;
+                rep.reason = strfmt(
+                    "store before this fence may still be buffered "
+                    "when the free-mode rmw at pc %d binds early "
+                    "(no Mem_Fence2 under %s); only exhaustive "
+                    "synthesis (fafence) can prove it removable",
+                    covering_rmw_after, core::atomicsModeIdent(mode));
             } else if (!store_before || !load_after) {
                 rep.verdict = FenceVerdict::kVacuous;
                 rep.reason = !store_before

@@ -19,6 +19,7 @@
 
 #include "analysis/cfg.hh"
 #include "analysis/critical_cycle.hh"
+#include "core/core_config.hh"
 
 namespace fa::analysis {
 
@@ -49,10 +50,20 @@ struct FenceReport
  * Classify every MFENCE of every thread. `cycles` should come from
  * findCriticalCycles over the same summaries (its
  * requiredOrderingPoints drive the kRequired verdicts).
+ *
+ * `mode` is the atomics flavour the program will run under, and it
+ * changes the verdicts: the store-side rule (RMW between the store
+ * and the fence) holds in every mode because commit always waits for
+ * an empty SB, but the load-side rule (RMW between the fence and the
+ * load) is Mem_Fence2 — only Fenced/Spec stall younger loads behind
+ * an uncommitted atomic. Under kFree/kFreeFwd a load-side-covered
+ * fence with a store before it is conservatively kRequired; only the
+ * exhaustive synthesizer (fafence) can prove it removable.
  */
 std::vector<FenceReport>
 analyzeFences(const std::vector<ThreadSummary> &threads,
-              const CycleAnalysis &cycles);
+              const CycleAnalysis &cycles,
+              core::AtomicsMode mode = core::AtomicsMode::kFenced);
 
 } // namespace fa::analysis
 

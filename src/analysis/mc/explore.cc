@@ -46,16 +46,34 @@ stateKey(const State &s, std::int64_t bound, std::uint32_t credits)
 }
 
 /** Replay `path` from the initial state, describing each step with
- * its pre-state — the replayable interleaving witness. */
+ * its pre-state — the replayable interleaving witness. When `edges`
+ * is non-null, also record one ReorderEdge per (buffered store,
+ * passing read) pair at every credit-consuming step. */
 std::vector<std::string>
 replayWitness(const Model &model, const MemInit &init,
-              const std::vector<Transition> &path)
+              const std::vector<Transition> &path,
+              std::vector<ReorderEdge> *edges = nullptr)
 {
     std::vector<std::string> lines;
     lines.reserve(path.size() + 1);
     State s = model.initial(init);
     for (const Transition &t : path) {
         lines.push_back(model.describe(t, &s));
+        if (edges && consumesReorderCredit(s, t)) {
+            for (const SbEntry &e : s.threads[t.thread].sb) {
+                ReorderEdge edge;
+                edge.thread = t.thread;
+                edge.storePc = e.pc;
+                edge.storeAddr = e.addr;
+                edge.storeUnlock = e.unlock;
+                edge.opPc = t.pc;
+                edge.opAddr = t.addr;
+                edge.opKind = t.kind;
+                if (std::find(edges->begin(), edges->end(), edge) ==
+                    edges->end())
+                    edges->push_back(edge);
+            }
+        }
         if (model.apply(s, t, nullptr))
             break;  // the final step is the violation itself
     }
@@ -84,6 +102,29 @@ deadlockDetail(const Model &model, const State &s)
 }
 
 } // namespace
+
+std::string
+ReorderEdge::describe() const
+{
+    return strfmt("t%u: %s pc=%d [0x%llx] passed by %s pc=%d [0x%llx]",
+                  (unsigned)thread,
+                  storeUnlock ? "store_unlock" : "store", storePc,
+                  (unsigned long long)storeAddr, tkindName(opKind),
+                  opPc, (unsigned long long)opAddr);
+}
+
+const OutcomeWitness *
+ExploreResult::witnessFor(const std::string &id) const
+{
+    auto it = std::lower_bound(
+        witnesses.begin(), witnesses.end(), id,
+        [](const OutcomeWitness &a, const std::string &b) {
+            return a.outcomeId < b;
+        });
+    if (it != witnesses.end() && it->outcomeId == id)
+        return &*it;
+    return nullptr;
+}
 
 std::string
 Outcome::pretty() const
@@ -185,6 +226,9 @@ exploreGraph(const Model &model, const MemInit &init,
     std::vector<GraphNode> nodes;
     std::unordered_set<std::string> visited;
     std::unordered_map<std::string, Outcome> outcomes;
+    // First node that reached each outcome; BFS order makes the
+    // reconstructed path a minimal-length witness.
+    std::unordered_map<std::string, std::uint64_t> outcomeNode;
 
     struct Pending
     {
@@ -202,8 +246,13 @@ exploreGraph(const Model &model, const MemInit &init,
     auto addViolation = [&](const std::string &kind,
                             const std::string &detail,
                             std::vector<Transition> path) {
-        res.violations.push_back(
-            {kind, detail, replayWitness(model, init, path)});
+        ExploreViolation v;
+        v.kind = kind;
+        v.detail = detail;
+        v.witness = replayWitness(
+            model, init, path,
+            opts.outcomeWitnesses ? &v.edges : nullptr);
+        res.violations.push_back(std::move(v));
         return res.violations.size() >= opts.maxViolations;
     };
 
@@ -230,6 +279,8 @@ exploreGraph(const Model &model, const MemInit &init,
                     continue;
                 }
                 Outcome o = makeOutcome(p.s, opts.trackRegs);
+                if (opts.outcomeWitnesses)
+                    outcomeNode.emplace(o.id, p.node);
                 outcomes.emplace(o.id, std::move(o));
             } else {
                 stop = addViolation("deadlock",
@@ -296,6 +347,19 @@ exploreGraph(const Model &model, const MemInit &init,
               [](const Outcome &a, const Outcome &b) {
                   return a.id < b.id;
               });
+    if (opts.outcomeWitnesses) {
+        for (const Outcome &o : res.outcomes) {
+            auto it = outcomeNode.find(o.id);
+            if (it == outcomeNode.end())
+                continue;
+            OutcomeWitness w;
+            w.outcomeId = o.id;
+            w.steps = replayWitness(
+                model, init, graphPath(nodes, it->second), &w.edges);
+            res.witnesses.push_back(std::move(w));
+        }
+        // res.outcomes is id-sorted, so witnesses already are too.
+    }
     return res;
 }
 
@@ -322,6 +386,10 @@ exploreDpor(const Model &model, const MemInit &init,
 {
     ExploreResult res;
     std::unordered_map<std::string, Outcome> outcomes;
+    // First complete execution that produced each outcome (DFS order
+    // is deterministic; not minimal-length, unlike kGraph).
+    std::unordered_map<std::string, std::vector<Transition>>
+        outcomePaths;
     std::unordered_set<std::string> onPath;
 
     std::vector<Frame> stack;
@@ -334,18 +402,24 @@ exploreDpor(const Model &model, const MemInit &init,
         ++res.statesExplored;
     }
 
-    auto pathWitness = [&](const Transition *extra) {
+    auto stackPath = [&](const Transition *extra) {
         std::vector<Transition> path;
         for (std::size_t i = 1; i < stack.size(); ++i)
             path.push_back(stack[i].via);
         if (extra)
             path.push_back(*extra);
-        return replayWitness(model, init, path);
+        return path;
     };
     auto addViolation = [&](const std::string &kind,
                             const std::string &detail,
                             const Transition *extra) {
-        res.violations.push_back({kind, detail, pathWitness(extra)});
+        ExploreViolation v;
+        v.kind = kind;
+        v.detail = detail;
+        v.witness = replayWitness(
+            model, init, stackPath(extra),
+            opts.outcomeWitnesses ? &v.edges : nullptr);
+        res.violations.push_back(std::move(v));
         return res.violations.size() >= opts.maxViolations;
     };
 
@@ -374,6 +448,10 @@ exploreDpor(const Model &model, const MemInit &init,
                     } else {
                         Outcome o =
                             makeOutcome(top.s, opts.trackRegs);
+                        if (opts.outcomeWitnesses &&
+                            !outcomes.count(o.id))
+                            outcomePaths.emplace(o.id,
+                                                 stackPath(nullptr));
                         outcomes.emplace(o.id, std::move(o));
                         if (opts.certifyTso) {
                             ++res.executionsCertified;
@@ -477,6 +555,18 @@ exploreDpor(const Model &model, const MemInit &init,
               [](const Outcome &a, const Outcome &b) {
                   return a.id < b.id;
               });
+    if (opts.outcomeWitnesses) {
+        for (const Outcome &o : res.outcomes) {
+            auto it = outcomePaths.find(o.id);
+            if (it == outcomePaths.end())
+                continue;
+            OutcomeWitness w;
+            w.outcomeId = o.id;
+            w.steps =
+                replayWitness(model, init, it->second, &w.edges);
+            res.witnesses.push_back(std::move(w));
+        }
+    }
     return res;
 }
 

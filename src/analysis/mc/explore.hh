@@ -59,6 +59,45 @@ struct ExploreOpts
     bool certifyTso = false;
     /** Stop exploring after this many violations. */
     std::uint64_t maxViolations = 1;
+    /** Record a structured witness (minimal trace + reorder edges)
+     * for every distinct outcome; the CEGAR synthesizer's input. */
+    bool outcomeWitnesses = false;
+};
+
+/**
+ * One store->later-op reordering: a visible read (or early atomic
+ * lock) taken while a specific older store of the same thread was
+ * still buffered — the only source of non-SC behaviour on TSO, and
+ * the edge the fence synthesizer must re-order.
+ */
+struct ReorderEdge
+{
+    CoreId thread = 0;
+    std::int32_t storePc = -1;  ///< buffered store's static pc
+    Addr storeAddr = 0;
+    bool storeUnlock = false;   ///< buffered entry is a store_unlock
+    std::int32_t opPc = -1;     ///< the passing read/lock's pc
+    Addr opAddr = 0;
+    TKind opKind = TKind::kRead;
+
+    std::string describe() const;
+    bool operator==(const ReorderEdge &o) const
+    {
+        return thread == o.thread && storePc == o.storePc &&
+            storeAddr == o.storeAddr && storeUnlock == o.storeUnlock &&
+            opPc == o.opPc && opAddr == o.opAddr && opKind == o.opKind;
+    }
+};
+
+/** Structured witness for one outcome: the minimal interleaving that
+ * first reached it (kGraph is BFS, so minimal-length) and every
+ * reorder edge that interleaving used. An outcome unreachable under
+ * SC always carries at least one edge. */
+struct OutcomeWitness
+{
+    std::string outcomeId;
+    std::vector<std::string> steps;
+    std::vector<ReorderEdge> edges;
 };
 
 /** One reachable final state, canonicalized. */
@@ -86,6 +125,8 @@ struct ExploreViolation
     /** Human-readable transition-per-line interleaving from the
      * initial state to the violation. */
     std::vector<std::string> witness;
+    /** Reorder edges along the witness (when outcomeWitnesses). */
+    std::vector<ReorderEdge> edges;
 };
 
 struct ExploreResult
@@ -104,7 +145,13 @@ struct ExploreResult
     std::vector<Outcome> outcomes;
     std::vector<ExploreViolation> violations;
 
+    /** Per-outcome structured witnesses, ascending by outcomeId
+     * (only when opts.outcomeWitnesses). */
+    std::vector<OutcomeWitness> witnesses;
+
     bool hasOutcome(const std::string &id) const;
+    /** Witness for an outcome id; nullptr when absent. */
+    const OutcomeWitness *witnessFor(const std::string &id) const;
 };
 
 /** Canonical outcome for a final state (the same canonicalization the

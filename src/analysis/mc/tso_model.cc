@@ -305,14 +305,15 @@ Model::enumerate(const State &s, std::vector<Transition> &out,
             if (readGate(thr) && !foreignLocked(s, line, t))
                 out.push_back({TKind::kRead, t, thr.pc, addr});
             break;
-          case Op::kRmw:
-            if (fencedSemantics()) {
+          case Op::kRmw: {
+            const core::AtomicsMode site_mode = effectiveMode(inst);
+            if (fencedSemantics(site_mode)) {
                 if (thr.sb.empty() && !foreignLocked(s, line, t))
                     out.push_back({TKind::kRmw, t, thr.pc, addr});
                 break;
             }
             if (int m = newestSbMatch(thr, addr); m >= 0) {
-                if (modelOpts.mode == core::AtomicsMode::kFreeFwd) {
+                if (site_mode == core::AtomicsMode::kFreeFwd) {
                     const SbEntry &e =
                         thr.sb[static_cast<std::size_t>(m)];
                     unsigned chain = e.unlock ? e.chain + 1u : 1u;
@@ -326,6 +327,7 @@ Model::enumerate(const State &s, std::vector<Transition> &out,
                 out.push_back({TKind::kAtLock, t, thr.pc, addr});
             }
             break;
+          }
           case Op::kStoreCond:
             if (!thr.sb.empty())
                 break;  // TSO store->store order (SC at ROB head)
@@ -469,6 +471,7 @@ Model::closure(State &s, CoreId t, EventSink *sink) const
                 static_cast<Addr>(thr.regs[inst.src1] + inst.imm));
             e.value = thr.regs[inst.src2];
             e.seq = thr.nextSeq;
+            e.pc = thr.pc;
             if (sink) {
                 analysis::MemEvent &ev =
                     newEvent(*sink, t, thr.nextSeq, thr.pc,
@@ -695,6 +698,7 @@ Model::apply(State &s, const Transition &tr, EventSink *sink) const
         e.chain = thr.boundChain;
         e.expectOld = thr.boundOld;
         e.seq = thr.nextSeq;
+        e.pc = thr.pc;
         if (sink) {
             analysis::MemEvent &ev =
                 newEvent(*sink, t, thr.nextSeq, thr.pc,

@@ -115,6 +115,7 @@ struct SbEntry
     // --- not part of the canonical key ---
     SeqNum seq = 0;             ///< dynamic seq of the store
     int evIdx = -1;             ///< MemEvent index in the sink
+    std::int32_t pc = -1;       ///< static pc of the buffered store
 };
 
 /** Pending-atomic phase of one thread. */
@@ -282,10 +283,16 @@ class Model
     bool reductionAvailable() const { return reduceOk; }
 
   private:
-    bool fencedSemantics() const
+    /** Effective mode at one RMW site: the instruction's
+     * isa::RmwModeHint overrides the model-wide mode. */
+    core::AtomicsMode effectiveMode(const isa::Inst &inst) const
     {
-        return modelOpts.mode == core::AtomicsMode::kFenced ||
-            modelOpts.mode == core::AtomicsMode::kSpec;
+        return core::resolveAtomicsMode(modelOpts.mode, inst.rmwMode);
+    }
+    static bool fencedSemantics(core::AtomicsMode m)
+    {
+        return m == core::AtomicsMode::kFenced ||
+            m == core::AtomicsMode::kSpec;
     }
     bool foreignLocked(const State &s, Addr line, CoreId t) const;
     /** Reads must not pass a pending store_unlock (atomics order

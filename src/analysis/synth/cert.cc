@@ -1,0 +1,528 @@
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "analysis/synth/synth.hh"
+#include "common/json.hh"
+#include "common/log.hh"
+#include "isa/assembler.hh"
+
+namespace fa::analysis::synth {
+
+namespace {
+
+const char *
+hintIdent(isa::RmwModeHint hint)
+{
+    switch (hint) {
+      case isa::RmwModeHint::kInherit: return "inherit";
+      case isa::RmwModeHint::kFenced:  return "fenced";
+      case isa::RmwModeHint::kSpec:    return "spec";
+      case isa::RmwModeHint::kFree:    return "free";
+      case isa::RmwModeHint::kFreeFwd: return "freefwd";
+    }
+    return "?";
+}
+
+std::int64_t
+asI64(const JsonValue &v)
+{
+    return v.hasExactInt ? static_cast<std::int64_t>(v.exactInt)
+                         : static_cast<std::int64_t>(v.number);
+}
+
+} // namespace
+
+std::string
+writeCert(const SynthResult &r)
+{
+    std::ostringstream os;
+    JsonWriter jw(os);
+    jw.beginObject();
+    jw.key("schema").value("fa-fence-cert-v1");
+    jw.key("name").value(r.name);
+    jw.key("threads").value(
+        static_cast<std::uint64_t>(r.original.size()));
+    jw.key("targetMode")
+        .value(core::atomicsModeIdent(r.opts.targetMode));
+    jw.key("fault").value(mc::faultName(r.opts.fault));
+    jw.key("fwdChainCap").value(r.opts.fwdChainCap);
+    jw.key("masterSeed").value(r.opts.masterSeed);
+    jw.key("maxStates").value(r.opts.maxStates);
+
+    jw.key("spec").beginObject();
+    jw.key("kind").value("subset-of-all-fenced");
+    jw.key("forbid").beginArray();
+    for (const ForbidSpec &f : r.opts.forbid) {
+        jw.beginArray();
+        for (const auto &[addr, val] : f.eq) {
+            jw.beginArray();
+            jw.value(static_cast<std::uint64_t>(addr));
+            jw.value(static_cast<std::int64_t>(val));
+            jw.endArray();
+        }
+        jw.endArray();
+    }
+    jw.endArray();
+    jw.endObject();
+
+    jw.key("programs").beginObject();
+    jw.key("original").beginArray();
+    for (const isa::Program &p : r.original)
+        jw.value(isa::writeAsm(p));
+    jw.endArray();
+    jw.key("patched").beginArray();
+    for (const isa::Program &p : r.patched)
+        jw.value(isa::writeAsm(p));
+    jw.endArray();
+    jw.endObject();
+
+    jw.key("init").beginArray();
+    for (const auto &[addr, val] : r.init) {
+        jw.beginArray();
+        jw.value(static_cast<std::uint64_t>(addr));
+        jw.value(static_cast<std::int64_t>(val));
+        jw.endArray();
+    }
+    jw.endArray();
+
+    jw.key("reference").beginObject();
+    jw.key("outcomes").beginArray();
+    for (const std::string &o : r.refOutcomes)
+        jw.value(o);
+    jw.endArray();
+    jw.key("states").value(r.refStates);
+    jw.endObject();
+
+    jw.key("iterations").beginArray();
+    for (const IterationLog &it : r.iterations) {
+        jw.beginObject();
+        jw.key("step").value(it.step);
+        jw.key("bad").value(it.bad);
+        jw.key("edge").value(it.edge);
+        jw.key("action").value(it.action);
+        jw.endObject();
+    }
+    jw.endArray();
+
+    jw.key("decisions").beginArray();
+    for (const Decision &d : r.decisions) {
+        jw.beginObject();
+        jw.key("kind").value(siteKindName(d.kind));
+        jw.key("thread").value(d.thread);
+        jw.key("origPc").value(d.origPc);
+        jw.key("patchedPc").value(d.patchedPc);
+        if (d.kind == SiteKind::kFence)
+            jw.key("originalFence").value(d.originalFence);
+        else
+            jw.key("mode").value(hintIdent(d.mode));
+        jw.key("witness").beginObject();
+        jw.key("kind").value(d.witness.kind);
+        jw.key("detail").value(d.witness.detail);
+        jw.key("edges").beginArray();
+        for (const std::string &e : d.witness.edges)
+            jw.value(e);
+        jw.endArray();
+        jw.key("steps").value(d.witness.steps);
+        jw.endObject();
+        jw.endObject();
+    }
+    jw.endArray();
+
+    jw.key("final").beginObject();
+    jw.key("modes").beginArray();
+    for (const ModePass &mp : r.finalModes) {
+        jw.beginObject();
+        jw.key("mode").value(core::atomicsModeIdent(mp.mode));
+        jw.key("complete").value(mp.complete);
+        jw.key("states").value(mp.states);
+        jw.key("outcomes").value(mp.outcomes);
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.endObject();
+
+    jw.key("counts").beginObject();
+    jw.key("fencesOriginal").value(r.fencesOriginal);
+    jw.key("fencesKept").value(r.fencesKept);
+    jw.key("fencesInserted").value(r.fencesInserted);
+    jw.key("fencesRemoved").value(r.fencesRemoved);
+    jw.key("rmwDemotions").value(r.rmwDemotions);
+    jw.endObject();
+
+    if (r.speedup.measured) {
+        jw.key("speedup").beginObject();
+        jw.key("machine").value(r.speedup.machine);
+        jw.key("baselineCycles").value(r.speedup.baselineCycles);
+        jw.key("synthCycles").value(r.speedup.synthCycles);
+        jw.endObject();
+    }
+
+    jw.endObject();
+    os << "\n";
+    return os.str();
+}
+
+namespace {
+
+mc::ExploreResult
+exploreCert(const std::vector<isa::Program> &progs,
+            const mc::MemInit &init, core::AtomicsMode mode,
+            mc::Fault fault, unsigned fwdChainCap,
+            std::uint64_t masterSeed, std::uint64_t maxStates)
+{
+    mc::ModelOpts mo;
+    mo.mode = mode;
+    mo.fwdChainCap = fwdChainCap;
+    mo.fault = fault;
+    mo.masterSeed = masterSeed;
+    mc::Model model(progs, mo);
+    mc::ExploreOpts eo;
+    eo.maxStates = maxStates;
+    return mc::explore(model, init, eo);
+}
+
+/** Is this exploration bad w.r.t. the reference set + forbid list?
+ * Returns the offending pretty()/violation detail, "" when safe. */
+std::string
+certBad(const mc::ExploreResult &r,
+        const std::set<std::string> &refPretty,
+        const std::vector<ForbidSpec> &forbid)
+{
+    if (!r.violations.empty())
+        return "[" + r.violations.front().kind + "] " +
+            r.violations.front().detail;
+    for (const mc::Outcome &o : r.outcomes) {
+        if (!refPretty.count(o.pretty()))
+            return o.pretty();
+        for (const ForbidSpec &f : forbid)
+            if (f.matches(o))
+                return o.pretty();
+    }
+    return "";
+}
+
+} // namespace
+
+CertCheck
+checkCert(const std::string &certText)
+{
+    CertCheck chk;
+    auto fail = [&chk](const std::string &msg) -> CertCheck & {
+        chk.ok = false;
+        chk.error = msg;
+        return chk;
+    };
+
+    JsonValue doc;
+    try {
+        doc = JsonValue::parse(certText);
+    } catch (const FatalError &e) {
+        return fail("malformed JSON: " + e.message);
+    }
+
+    try {
+        if (!doc.isObject())
+            return fail("certificate root is not an object");
+        const JsonValue *schema = doc.find("schema");
+        if (!schema || schema->str != "fa-fence-cert-v1")
+            return fail("unknown schema (want fa-fence-cert-v1)");
+        chk.notes.push_back("schema: fa-fence-cert-v1");
+
+        const std::string name = doc.at("name").str;
+        const std::uint64_t threads = doc.at("threads").asU64();
+        const core::AtomicsMode target =
+            core::parseAtomicsMode(doc.at("targetMode").str);
+        mc::Fault fault;
+        if (!mc::parseFault(doc.at("fault").str, &fault))
+            return fail("unknown fault '" + doc.at("fault").str +
+                        "'");
+        const unsigned fwdCap =
+            static_cast<unsigned>(doc.at("fwdChainCap").asU64());
+        const std::uint64_t seed = doc.at("masterSeed").asU64();
+        const std::uint64_t maxStates = doc.at("maxStates").asU64();
+
+        const JsonValue &spec = doc.at("spec");
+        if (spec.at("kind").str != "subset-of-all-fenced")
+            return fail("unknown spec kind '" + spec.at("kind").str +
+                        "'");
+        std::vector<ForbidSpec> forbid;
+        for (const JsonValue &f : spec.at("forbid").arr) {
+            ForbidSpec fs;
+            for (const JsonValue &pair : f.arr)
+                fs.eq.emplace_back(
+                    static_cast<Addr>(pair.arr.at(0).asU64()),
+                    asI64(pair.arr.at(1)));
+            forbid.push_back(std::move(fs));
+        }
+
+        const JsonValue &progsNode = doc.at("programs");
+        std::vector<isa::Program> original, patched;
+        for (const JsonValue &p : progsNode.at("original").arr)
+            original.push_back(
+                isa::assemble(name + "-orig", p.str));
+        for (const JsonValue &p : progsNode.at("patched").arr)
+            patched.push_back(
+                isa::assemble(name + "-patched", p.str));
+        if (original.size() != threads ||
+            patched.size() != threads)
+            return fail(strfmt("thread count mismatch: header %llu, "
+                               "%zu original / %zu patched programs",
+                               (unsigned long long)threads,
+                               original.size(), patched.size()));
+        chk.notes.push_back(strfmt(
+            "programs: %llu thread(s) assembled",
+            (unsigned long long)threads));
+
+        mc::MemInit init;
+        for (const JsonValue &pair : doc.at("init").arr)
+            init.emplace_back(
+                static_cast<Addr>(pair.arr.at(0).asU64()),
+                asI64(pair.arr.at(1)));
+
+        // Structural: each decision points at the instruction it
+        // claims in the patched program.
+        std::vector<Decision> decisions;
+        for (const JsonValue &d : doc.at("decisions").arr) {
+            Decision dec;
+            const std::string kind = d.at("kind").str;
+            dec.thread =
+                static_cast<unsigned>(d.at("thread").asU64());
+            dec.origPc = static_cast<int>(asI64(d.at("origPc")));
+            dec.patchedPc =
+                static_cast<int>(asI64(d.at("patchedPc")));
+            const JsonValue &w = d.at("witness");
+            dec.witness.kind = w.at("kind").str;
+            dec.witness.detail = w.at("detail").str;
+            if (dec.thread >= threads)
+                return fail(strfmt("decision thread %u out of range",
+                                   dec.thread));
+            const isa::Program &pp = patched[dec.thread];
+            if (dec.patchedPc < 0 ||
+                static_cast<std::size_t>(dec.patchedPc) >=
+                    pp.code.size())
+                return fail(strfmt(
+                    "decision t%u patchedPc=%d out of range",
+                    dec.thread, dec.patchedPc));
+            const isa::Inst &inst =
+                pp.code[static_cast<std::size_t>(dec.patchedPc)];
+            if (kind == "fence") {
+                dec.kind = SiteKind::kFence;
+                if (inst.op != isa::Op::kMfence)
+                    return fail(strfmt(
+                        "decision t%u patchedPc=%d claims a fence "
+                        "but the patched instruction is not MFENCE",
+                        dec.thread, dec.patchedPc));
+            } else if (kind == "rmw-mode") {
+                dec.kind = SiteKind::kRmwMode;
+                isa::RmwModeHint hint;
+                if (!isa::parseRmwModeHint(d.at("mode").str, &hint))
+                    return fail("decision has unknown mode '" +
+                                d.at("mode").str + "'");
+                dec.mode = hint;
+                if (inst.op != isa::Op::kRmw ||
+                    inst.rmwMode != hint)
+                    return fail(strfmt(
+                        "decision t%u patchedPc=%d claims rmw mode "
+                        "%s but the patched instruction disagrees",
+                        dec.thread, dec.patchedPc,
+                        d.at("mode").str.c_str()));
+            } else {
+                return fail("decision has unknown kind '" + kind +
+                            "'");
+            }
+            decisions.push_back(std::move(dec));
+        }
+        chk.notes.push_back(strfmt(
+            "structural: %zu decision(s) point at matching "
+            "instructions", decisions.size()));
+
+        // Reference: re-derive the allowed outcome set from scratch.
+        std::vector<isa::Program> refProgs = original;
+        for (isa::Program &p : refProgs)
+            for (isa::Inst &i : p.code)
+                if (i.op == isa::Op::kRmw)
+                    i.rmwMode = isa::RmwModeHint::kFenced;
+        mc::ExploreResult ref =
+            exploreCert(refProgs, init, core::AtomicsMode::kFenced,
+                        fault, fwdCap, seed, maxStates);
+        if (!ref.complete)
+            return fail("reference re-exploration truncated: " +
+                        ref.truncatedReason);
+        if (!ref.violations.empty())
+            return fail("reference re-exploration violates [" +
+                        ref.violations.front().kind + "]");
+        std::set<std::string> refPretty;
+        for (const mc::Outcome &o : ref.outcomes)
+            refPretty.insert(o.pretty());
+        const JsonValue &refNode = doc.at("reference");
+        std::set<std::string> certRef;
+        for (const JsonValue &o : refNode.at("outcomes").arr)
+            certRef.insert(o.str);
+        if (certRef != refPretty)
+            return fail(strfmt(
+                "reference outcome set mismatch: cert lists %zu, "
+                "re-exploration found %zu", certRef.size(),
+                refPretty.size()));
+        if (refNode.at("states").asU64() != ref.statesExplored)
+            return fail(strfmt(
+                "reference state count mismatch: cert %llu, "
+                "re-exploration %llu",
+                (unsigned long long)refNode.at("states").asU64(),
+                (unsigned long long)ref.statesExplored));
+        chk.notes.push_back(strfmt(
+            "reference: %zu outcome(s), %llu state(s) reproduced",
+            refPretty.size(),
+            (unsigned long long)ref.statesExplored));
+        for (const ForbidSpec &f : forbid)
+            for (const mc::Outcome &o : ref.outcomes)
+                if (f.matches(o))
+                    return fail("spec infeasible: forbidden outcome "
+                                "'" + o.pretty() +
+                                "' is fenced-reachable");
+
+        // Final passes: the patched program under every global mode.
+        const JsonValue &modes = doc.at("final").at("modes");
+        if (modes.arr.size() != 4)
+            return fail("final.modes must list all four modes");
+        for (const JsonValue &mpNode : modes.arr) {
+            const core::AtomicsMode mode =
+                core::parseAtomicsMode(mpNode.at("mode").str);
+            mc::ExploreResult r =
+                exploreCert(patched, init, mode, fault, fwdCap,
+                            seed, maxStates);
+            if (!r.complete)
+                return fail(strfmt(
+                    "final pass (%s) re-exploration truncated",
+                    core::atomicsModeIdent(mode)));
+            std::string bad = certBad(r, refPretty, forbid);
+            if (!bad.empty())
+                return fail(strfmt("final pass (%s) unsafe: %s",
+                                   core::atomicsModeIdent(mode),
+                                   bad.c_str()));
+            if (mpNode.at("states").asU64() != r.statesExplored ||
+                mpNode.at("outcomes").asU64() != r.outcomes.size())
+                return fail(strfmt(
+                    "final pass (%s) count mismatch: cert %llu "
+                    "states / %llu outcomes, re-exploration %llu / "
+                    "%zu", core::atomicsModeIdent(mode),
+                    (unsigned long long)mpNode.at("states").asU64(),
+                    (unsigned long long)
+                        mpNode.at("outcomes").asU64(),
+                    (unsigned long long)r.statesExplored,
+                    r.outcomes.size()));
+            chk.notes.push_back(strfmt(
+                "final pass (%s): safe, %llu state(s), %zu "
+                "outcome(s)", core::atomicsModeIdent(mode),
+                (unsigned long long)r.statesExplored,
+                r.outcomes.size()));
+        }
+
+        // Necessity: weaken each decision directly in the patched
+        // program; its badness must reappear.
+        for (const Decision &dec : decisions) {
+            std::vector<isa::Program> weak = patched;
+            isa::Program &wp = weak[dec.thread];
+            if (dec.kind == SiteKind::kFence) {
+                wp.code.erase(wp.code.begin() + dec.patchedPc);
+                for (isa::Inst &i : wp.code) {
+                    if (i.op != isa::Op::kBranch &&
+                        i.op != isa::Op::kJump)
+                        continue;
+                    if (i.target > dec.patchedPc)
+                        --i.target;
+                    else if (i.target == dec.patchedPc &&
+                             static_cast<std::size_t>(i.target) >=
+                                 wp.code.size())
+                        --i.target;
+                }
+                wp.validate();
+            } else {
+                wp.code[static_cast<std::size_t>(dec.patchedPc)]
+                    .rmwMode = weakestHint(target);
+            }
+            mc::ExploreResult r =
+                exploreCert(weak, init, target, fault, fwdCap, seed,
+                            maxStates);
+            if (!r.complete)
+                return fail(strfmt(
+                    "necessity re-exploration (t%u pc=%d) truncated",
+                    dec.thread, dec.patchedPc));
+            std::string bad = certBad(r, refPretty, forbid);
+            if (bad.empty())
+                return fail(strfmt(
+                    "site t%u patchedPc=%d (%s) is NOT load-bearing:"
+                    " weakening it alone stays safe", dec.thread,
+                    dec.patchedPc, siteKindName(dec.kind)));
+            if (dec.witness.kind == "outcome") {
+                const mc::Outcome *found = nullptr;
+                for (const mc::Outcome &o : r.outcomes)
+                    if (o.pretty() == dec.witness.detail) {
+                        found = &o;
+                        break;
+                    }
+                if (!found)
+                    return fail(strfmt(
+                        "site t%u patchedPc=%d necessity witness "
+                        "outcome '%s' not reproduced", dec.thread,
+                        dec.patchedPc, dec.witness.detail.c_str()));
+                if (refPretty.count(dec.witness.detail)) {
+                    // Fenced-reachable, so it can only be bad via an
+                    // explicit forbid rule.
+                    bool matches = false;
+                    for (const ForbidSpec &f : forbid)
+                        if (f.matches(*found))
+                            matches = true;
+                    if (!matches)
+                        return fail(strfmt(
+                            "site t%u patchedPc=%d necessity "
+                            "witness outcome '%s' is allowed by the "
+                            "spec", dec.thread, dec.patchedPc,
+                            dec.witness.detail.c_str()));
+                }
+            }
+            chk.notes.push_back(strfmt(
+                "necessity t%u patchedPc=%d (%s): weakening "
+                "reintroduces '%s'", dec.thread, dec.patchedPc,
+                siteKindName(dec.kind), bad.c_str()));
+        }
+
+        // Counts: recomputable from the two programs alone.
+        const JsonValue &counts = doc.at("counts");
+        unsigned fOrig = 0, fPatched = 0, demoted = 0;
+        for (const isa::Program &p : original)
+            for (const isa::Inst &i : p.code)
+                if (i.op == isa::Op::kMfence)
+                    ++fOrig;
+        for (const isa::Program &p : patched)
+            for (const isa::Inst &i : p.code) {
+                if (i.op == isa::Op::kMfence)
+                    ++fPatched;
+                if (i.op == isa::Op::kRmw &&
+                    i.rmwMode != weakestHint(target))
+                    ++demoted;
+            }
+        const std::uint64_t kept =
+            counts.at("fencesKept").asU64();
+        const std::uint64_t inserted =
+            counts.at("fencesInserted").asU64();
+        if (counts.at("fencesOriginal").asU64() != fOrig ||
+            counts.at("fencesRemoved").asU64() != fOrig - kept ||
+            kept + inserted != fPatched ||
+            counts.at("rmwDemotions").asU64() != demoted)
+            return fail("counts block inconsistent with the "
+                        "embedded programs");
+        chk.notes.push_back(strfmt(
+            "counts: %u original fence(s), %llu kept, %llu "
+            "inserted, %u demotion(s)", fOrig,
+            (unsigned long long)kept, (unsigned long long)inserted,
+            demoted));
+    } catch (const FatalError &e) {
+        return fail("certificate check failed: " + e.message);
+    }
+
+    chk.ok = true;
+    return chk;
+}
+
+} // namespace fa::analysis::synth

@@ -1,0 +1,620 @@
+#include "analysis/synth/synth.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/log.hh"
+#include "sim/presets.hh"
+#include "sim/runner.hh"
+
+namespace fa::analysis::synth {
+
+const char *
+siteKindName(SiteKind kind)
+{
+    switch (kind) {
+      case SiteKind::kFence:   return "fence";
+      case SiteKind::kRmwMode: return "rmw-mode";
+    }
+    return "?";
+}
+
+bool
+ForbidSpec::matches(const mc::Outcome &o) const
+{
+    for (const auto &[addr, want] : eq) {
+        std::int64_t got = 0;
+        for (const auto &kv : o.mem)
+            if (kv.first == addr)
+                got = kv.second;
+        if (got != want)
+            return false;
+    }
+    return !eq.empty();
+}
+
+std::string
+ForbidSpec::describe() const
+{
+    std::string s;
+    for (const auto &[addr, want] : eq) {
+        if (!s.empty())
+            s += " & ";
+        s += strfmt("[0x%llx]=%lld", (unsigned long long)addr,
+                    (long long)want);
+    }
+    return s;
+}
+
+isa::RmwModeHint
+weakestHint(core::AtomicsMode target)
+{
+    switch (target) {
+      case core::AtomicsMode::kFenced:  return isa::RmwModeHint::kFenced;
+      case core::AtomicsMode::kSpec:    return isa::RmwModeHint::kSpec;
+      case core::AtomicsMode::kFree:    return isa::RmwModeHint::kFree;
+      case core::AtomicsMode::kFreeFwd: return isa::RmwModeHint::kFreeFwd;
+    }
+    return isa::RmwModeHint::kFreeFwd;
+}
+
+namespace {
+
+const char *
+hintIdent(isa::RmwModeHint hint)
+{
+    switch (hint) {
+      case isa::RmwModeHint::kInherit: return "inherit";
+      case isa::RmwModeHint::kFenced:  return "fenced";
+      case isa::RmwModeHint::kSpec:    return "spec";
+      case isa::RmwModeHint::kFree:    return "free";
+      case isa::RmwModeHint::kFreeFwd: return "freefwd";
+    }
+    return "?";
+}
+
+/** Candidate point on the strengthening lattice: per thread, the set
+ * of original pcs that get an MFENCE immediately before them (an
+ * original fence at pc P "kept" is exactly P in this set), and the
+ * per-site mode of every RMW. */
+struct Candidate
+{
+    std::vector<std::set<int>> fenceAt;
+    std::vector<std::map<int, isa::RmwModeHint>> rmwMode;
+};
+
+/** Position maps for one materialized thread. */
+struct PatchMap
+{
+    std::vector<int> entry;         ///< orig pc -> patched entry pc
+    std::vector<int> origOf;        ///< patched pc -> orig pc
+    std::vector<char> isCandFence;  ///< patched pc is a candidate MFENCE
+};
+
+isa::Program
+materializeThread(const isa::Program &orig, const std::set<int> &fences,
+                  const std::map<int, isa::RmwModeHint> &hints,
+                  PatchMap &map)
+{
+    isa::Program out;
+    out.name = orig.name;
+    const std::size_t n = orig.code.size();
+    map.entry.assign(n, -1);
+    map.origOf.clear();
+    map.isCandFence.clear();
+
+    for (std::size_t pc = 0; pc < n; ++pc) {
+        map.entry[pc] = static_cast<int>(out.code.size());
+        if (fences.count(static_cast<int>(pc))) {
+            isa::Inst f;
+            f.op = isa::Op::kMfence;
+            out.code.push_back(f);
+            map.origOf.push_back(static_cast<int>(pc));
+            map.isCandFence.push_back(1);
+        }
+        isa::Inst inst = orig.code[pc];
+        if (inst.op == isa::Op::kMfence)
+            continue;  // candidate-controlled; dropped unless kept
+        if (inst.op == isa::Op::kRmw)
+            inst.rmwMode = hints.at(static_cast<int>(pc));
+        out.code.push_back(inst);
+        map.origOf.push_back(static_cast<int>(pc));
+        map.isCandFence.push_back(0);
+    }
+    // A branch to a dropped trailing fence would map past the end;
+    // clamp to the last emitted instruction.
+    const int last = static_cast<int>(out.code.size()) - 1;
+    for (std::size_t pc = 0; pc < n; ++pc)
+        if (map.entry[pc] > last)
+            map.entry[pc] = last;
+    for (isa::Inst &inst : out.code) {
+        if (inst.op == isa::Op::kBranch || inst.op == isa::Op::kJump)
+            inst.target =
+                map.entry[static_cast<std::size_t>(inst.target)];
+    }
+    out.validate();
+    return out;
+}
+
+std::vector<isa::Program>
+materialize(const std::vector<isa::Program> &orig, const Candidate &c,
+            std::vector<PatchMap> &maps)
+{
+    std::vector<isa::Program> out;
+    maps.assign(orig.size(), {});
+    for (std::size_t t = 0; t < orig.size(); ++t)
+        out.push_back(
+            materializeThread(orig[t], c.fenceAt[t], c.rmwMode[t],
+                              maps[t]));
+    return out;
+}
+
+mc::ExploreResult
+exploreProgs(const std::vector<isa::Program> &progs,
+             const mc::MemInit &init, core::AtomicsMode mode,
+             const SynthOpts &opts, bool witnesses)
+{
+    mc::ModelOpts mo;
+    mo.mode = mode;
+    mo.fwdChainCap = opts.fwdChainCap;
+    mo.fault = opts.fault;
+    mo.masterSeed = opts.masterSeed;
+    mc::Model model(progs, mo);
+    mc::ExploreOpts eo;
+    eo.maxStates = opts.maxStates;
+    eo.outcomeWitnesses = witnesses;
+    return mc::explore(model, init, eo);
+}
+
+/** First spec violation of one exploration result, with its
+ * localizing reorder edges. */
+struct Bad
+{
+    bool found = false;
+    bool isViolation = false;
+    std::string kind;    ///< "outcome" or the violation kind
+    std::string detail;  ///< outcome pretty() or violation detail
+    std::vector<mc::ReorderEdge> edges;
+    std::uint64_t steps = 0;
+};
+
+Bad
+findBad(const mc::ExploreResult &r, const mc::ExploreResult &ref,
+        const std::vector<ForbidSpec> &forbid)
+{
+    Bad bad;
+    if (!r.violations.empty()) {
+        const mc::ExploreViolation &v = r.violations.front();
+        bad.found = true;
+        bad.isViolation = true;
+        bad.kind = v.kind;
+        bad.detail = v.detail;
+        bad.edges = v.edges;
+        bad.steps = v.witness.size();
+        return bad;
+    }
+    for (const mc::Outcome &o : r.outcomes) {
+        bool is_bad = !ref.hasOutcome(o.id);
+        if (!is_bad)
+            for (const ForbidSpec &f : forbid)
+                if (f.matches(o)) {
+                    is_bad = true;
+                    break;
+                }
+        if (!is_bad)
+            continue;
+        bad.found = true;
+        bad.kind = "outcome";
+        bad.detail = o.pretty();
+        if (const mc::OutcomeWitness *w = r.witnessFor(o.id)) {
+            bad.edges = w->edges;
+            bad.steps = w->steps.size();
+        }
+        return bad;
+    }
+    return bad;
+}
+
+/** One lattice step down for an RMW site; "" when already at the
+ * bottom (fenced). */
+std::string
+strengthenRmw(Candidate &c, unsigned t, int origPc)
+{
+    isa::RmwModeHint &h = c.rmwMode[t].at(origPc);
+    isa::RmwModeHint next;
+    switch (h) {
+      case isa::RmwModeHint::kFreeFwd:
+        next = isa::RmwModeHint::kFree;
+        break;
+      case isa::RmwModeHint::kFree:
+        next = isa::RmwModeHint::kSpec;
+        break;
+      case isa::RmwModeHint::kSpec:
+        next = isa::RmwModeHint::kFenced;
+        break;
+      default:
+        return "";
+    }
+    h = next;
+    return strfmt("demote rmw t%u pc=%d to %s", t, origPc,
+                  hintIdent(next));
+}
+
+/**
+ * Strengthen exactly one site to break `bad`. Preference order: the
+ * witness's own reorder edges (an atomic that bound early gets
+ * demoted; a plain store passed by a plain load gets an MFENCE
+ * before the load), then restoring a removed original fence, then
+ * demoting any RMW still above the bottom of the lattice. Returns
+ * the action description, "" when the candidate is saturated.
+ */
+std::string
+repair(Candidate &c, const Bad &bad,
+       const std::vector<PatchMap> &maps,
+       const std::vector<isa::Program> &orig, std::string *edgeDesc)
+{
+    for (const mc::ReorderEdge &e : bad.edges) {
+        const unsigned t = e.thread;
+        const int opOrig =
+            maps[t].origOf[static_cast<std::size_t>(e.opPc)];
+        if (e.opKind == mc::TKind::kAtLock ||
+            e.opKind == mc::TKind::kAtFwd) {
+            std::string a = strengthenRmw(c, t, opOrig);
+            if (!a.empty()) {
+                *edgeDesc = e.describe();
+                return a;
+            }
+        } else if (e.storeUnlock) {
+            const int stOrig =
+                maps[t].origOf[static_cast<std::size_t>(e.storePc)];
+            std::string a = strengthenRmw(c, t, stOrig);
+            if (!a.empty()) {
+                *edgeDesc = e.describe();
+                return a;
+            }
+        } else if (!c.fenceAt[t].count(opOrig)) {
+            c.fenceAt[t].insert(opOrig);
+            *edgeDesc = e.describe();
+            return strfmt("insert mfence t%u before pc=%d", t, opOrig);
+        }
+    }
+    // No edge is repairable (or the witness carries none, e.g. a
+    // fault-induced violation): fall back to deterministic global
+    // strengthening so the loop still converges on the strongest
+    // candidate before giving up.
+    for (unsigned t = 0; t < orig.size(); ++t) {
+        for (std::size_t pc = 0; pc < orig[t].code.size(); ++pc) {
+            if (orig[t].code[pc].op != isa::Op::kMfence)
+                continue;
+            const int p = static_cast<int>(pc);
+            if (!c.fenceAt[t].count(p)) {
+                c.fenceAt[t].insert(p);
+                return strfmt("restore original mfence t%u pc=%d", t,
+                              p);
+            }
+        }
+    }
+    for (unsigned t = 0; t < orig.size(); ++t) {
+        for (auto &[pc, hint] : c.rmwMode[t]) {
+            (void)hint;
+            std::string a = strengthenRmw(c, t, pc);
+            if (!a.empty())
+                return "fallback: " + a;
+        }
+    }
+    return "";
+}
+
+} // namespace
+
+std::string
+Decision::describe() const
+{
+    if (kind == SiteKind::kFence)
+        return strfmt("%s mfence t%u before pc=%d (patched pc=%d)",
+                      originalFence ? "keep" : "insert", thread,
+                      origPc, patchedPc);
+    return strfmt("demote rmw t%u pc=%d (patched pc=%d) to %s",
+                  thread, origPc, patchedPc, hintIdent(mode));
+}
+
+SynthResult
+synthesize(const std::string &name,
+           const std::vector<isa::Program> &progs,
+           const mc::MemInit &init, const SynthOpts &opts)
+{
+    SynthResult res;
+    res.name = name;
+    res.opts = opts;
+    res.original = progs;
+    res.init = init;
+    if (progs.empty()) {
+        res.error = "no programs";
+        return res;
+    }
+    for (const isa::Program &p : progs) {
+        p.validate();
+        for (const isa::Inst &i : p.code)
+            if (i.op == isa::Op::kMfence)
+                ++res.fencesOriginal;
+    }
+
+    // Reference pass: the original program at its strongest — every
+    // fence in place, every RMW pinned kFenced — defines the allowed
+    // outcome set O_ref.
+    std::vector<isa::Program> refProgs = progs;
+    for (isa::Program &p : refProgs)
+        for (isa::Inst &i : p.code)
+            if (i.op == isa::Op::kRmw)
+                i.rmwMode = isa::RmwModeHint::kFenced;
+    mc::ExploreResult ref = exploreProgs(
+        refProgs, init, core::AtomicsMode::kFenced, opts, false);
+    if (!ref.complete) {
+        res.error = "reference exploration truncated: " +
+            ref.truncatedReason;
+        return res;
+    }
+    if (!ref.violations.empty()) {
+        res.error = "reference program violates [" +
+            ref.violations.front().kind + "]: " +
+            ref.violations.front().detail;
+        return res;
+    }
+    for (const mc::Outcome &o : ref.outcomes)
+        res.refOutcomes.push_back(o.pretty());
+    res.refStates = ref.statesExplored;
+    for (const ForbidSpec &f : opts.forbid) {
+        for (const mc::Outcome &o : ref.outcomes) {
+            if (f.matches(o)) {
+                res.error = "spec infeasible: forbidden outcome '" +
+                    o.pretty() +
+                    "' is reachable even fully fenced (" +
+                    f.describe() + ")";
+                return res;
+            }
+        }
+    }
+
+    // Weakest candidate: all fences removed, all RMWs pinned to the
+    // target flavour.
+    Candidate cand;
+    cand.fenceAt.resize(progs.size());
+    cand.rmwMode.resize(progs.size());
+    for (std::size_t t = 0; t < progs.size(); ++t)
+        for (std::size_t pc = 0; pc < progs[t].code.size(); ++pc)
+            if (progs[t].code[pc].op == isa::Op::kRmw)
+                cand.rmwMode[t][static_cast<int>(pc)] =
+                    weakestHint(opts.targetMode);
+
+    // --- CEGAR loop ------------------------------------------------------
+    std::vector<PatchMap> maps;
+    bool safe = false;
+    for (unsigned iter = 1; iter <= opts.maxIters; ++iter) {
+        std::vector<isa::Program> candProgs =
+            materialize(progs, cand, maps);
+        mc::ExploreResult r = exploreProgs(
+            candProgs, init, opts.targetMode, opts, true);
+        if (!r.complete) {
+            res.error = "candidate exploration truncated: " +
+                r.truncatedReason;
+            return res;
+        }
+        Bad bad = findBad(r, ref, opts.forbid);
+        if (!bad.found) {
+            safe = true;
+            break;
+        }
+        IterationLog lg;
+        lg.step = iter;
+        lg.bad = bad.isViolation ? "[" + bad.kind + "] " + bad.detail
+                                 : bad.detail;
+        lg.action = repair(cand, bad, maps, progs, &lg.edge);
+        res.iterations.push_back(lg);
+        if (lg.action.empty()) {
+            res.error = "cannot strengthen further: '" + lg.bad +
+                "' persists at the strongest candidate";
+            return res;
+        }
+    }
+    if (!safe) {
+        res.error = strfmt("iteration budget (%u) exhausted",
+                           opts.maxIters);
+        return res;
+    }
+
+    // --- 1-minimality ----------------------------------------------------
+    // Weaken each retained site in isolation: still-safe sites are
+    // dropped for good, load-bearing ones get a necessity witness.
+    if (opts.minimize) {
+        struct SiteRef
+        {
+            SiteKind kind;
+            unsigned thread;
+            int pc;
+        };
+        std::vector<SiteRef> sites;
+        for (unsigned t = 0; t < cand.fenceAt.size(); ++t)
+            for (int pc : cand.fenceAt[t])
+                sites.push_back({SiteKind::kFence, t, pc});
+        for (unsigned t = 0; t < cand.rmwMode.size(); ++t)
+            for (const auto &[pc, hint] : cand.rmwMode[t])
+                if (hint != weakestHint(opts.targetMode))
+                    sites.push_back({SiteKind::kRmwMode, t, pc});
+
+        unsigned step =
+            static_cast<unsigned>(res.iterations.size());
+        for (const SiteRef &site : sites) {
+            Candidate weak = cand;
+            if (site.kind == SiteKind::kFence)
+                weak.fenceAt[site.thread].erase(site.pc);
+            else
+                weak.rmwMode[site.thread].at(site.pc) =
+                    weakestHint(opts.targetMode);
+            std::vector<PatchMap> wmaps;
+            std::vector<isa::Program> weakProgs =
+                materialize(progs, weak, wmaps);
+            mc::ExploreResult r = exploreProgs(
+                weakProgs, init, opts.targetMode, opts, true);
+            if (!r.complete) {
+                res.error = "minimality exploration truncated: " +
+                    r.truncatedReason;
+                return res;
+            }
+            Bad bad = findBad(r, ref, opts.forbid);
+            if (!bad.found) {
+                // Not load-bearing (earlier repairs made it moot):
+                // drop it and record the pruning step.
+                cand = weak;
+                IterationLog lg;
+                lg.step = ++step;
+                lg.bad = "(minimality)";
+                lg.action = site.kind == SiteKind::kFence
+                    ? strfmt("drop unnecessary mfence t%u before "
+                             "pc=%d", site.thread, site.pc)
+                    : strfmt("undo unnecessary demotion of rmw t%u "
+                             "pc=%d", site.thread, site.pc);
+                res.iterations.push_back(lg);
+                continue;
+            }
+            Decision d;
+            d.kind = site.kind;
+            d.thread = site.thread;
+            d.origPc = site.pc;
+            if (site.kind == SiteKind::kFence)
+                d.originalFence =
+                    progs[site.thread]
+                        .code[static_cast<std::size_t>(site.pc)]
+                        .op == isa::Op::kMfence;
+            else
+                d.mode = cand.rmwMode[site.thread].at(site.pc);
+            d.witness.kind = bad.isViolation ? bad.kind : "outcome";
+            d.witness.detail = bad.detail;
+            d.witness.steps = bad.steps;
+            for (const mc::ReorderEdge &e : bad.edges)
+                d.witness.edges.push_back(e.describe());
+            res.decisions.push_back(std::move(d));
+        }
+    } else {
+        for (unsigned t = 0; t < cand.fenceAt.size(); ++t)
+            for (int pc : cand.fenceAt[t]) {
+                Decision d;
+                d.kind = SiteKind::kFence;
+                d.thread = t;
+                d.origPc = pc;
+                d.originalFence =
+                    progs[t].code[static_cast<std::size_t>(pc)].op ==
+                    isa::Op::kMfence;
+                res.decisions.push_back(std::move(d));
+            }
+        for (unsigned t = 0; t < cand.rmwMode.size(); ++t)
+            for (const auto &[pc, hint] : cand.rmwMode[t])
+                if (hint != weakestHint(opts.targetMode)) {
+                    Decision d;
+                    d.kind = SiteKind::kRmwMode;
+                    d.thread = t;
+                    d.origPc = pc;
+                    d.mode = hint;
+                    res.decisions.push_back(std::move(d));
+                }
+    }
+
+    // --- final program, maps, counts -------------------------------------
+    res.patched = materialize(progs, cand, maps);
+    for (Decision &d : res.decisions) {
+        const PatchMap &m = maps[d.thread];
+        if (d.kind == SiteKind::kFence) {
+            d.patchedPc = m.entry[static_cast<std::size_t>(d.origPc)];
+        } else {
+            d.patchedPc = m.entry[static_cast<std::size_t>(d.origPc)] +
+                (cand.fenceAt[d.thread].count(d.origPc) ? 1 : 0);
+        }
+    }
+    for (unsigned t = 0; t < cand.fenceAt.size(); ++t) {
+        for (int pc : cand.fenceAt[t]) {
+            if (progs[t].code[static_cast<std::size_t>(pc)].op ==
+                isa::Op::kMfence)
+                ++res.fencesKept;
+            else
+                ++res.fencesInserted;
+        }
+    }
+    res.fencesRemoved = res.fencesOriginal - res.fencesKept;
+    for (unsigned t = 0; t < cand.rmwMode.size(); ++t)
+        for (const auto &[pc, hint] : cand.rmwMode[t]) {
+            (void)pc;
+            if (hint != weakestHint(opts.targetMode))
+                ++res.rmwDemotions;
+        }
+
+    // --- exhaustive pass under every global mode --------------------------
+    // Every RMW site carries an explicit hint, so the global mode is
+    // architecturally irrelevant to the patched program — which is
+    // exactly the claim; check it rather than assume it.
+    for (core::AtomicsMode mode :
+         {core::AtomicsMode::kFenced, core::AtomicsMode::kSpec,
+          core::AtomicsMode::kFree, core::AtomicsMode::kFreeFwd}) {
+        mc::ExploreResult r =
+            exploreProgs(res.patched, init, mode, opts, false);
+        ModePass mp;
+        mp.mode = mode;
+        mp.complete = r.complete;
+        mp.states = r.statesExplored;
+        mp.outcomes = r.outcomes.size();
+        res.finalModes.push_back(mp);
+        if (!r.complete) {
+            res.error = strfmt("final pass (%s) truncated: %s",
+                               core::atomicsModeIdent(mode),
+                               r.truncatedReason.c_str());
+            return res;
+        }
+        Bad bad = findBad(r, ref, opts.forbid);
+        if (bad.found) {
+            res.error = strfmt("final pass (%s) unsafe: %s",
+                               core::atomicsModeIdent(mode),
+                               bad.detail.c_str());
+            return res;
+        }
+    }
+
+    res.ok = true;
+    return res;
+}
+
+void
+measureSpeedup(SynthResult &result, const std::string &machine,
+               std::uint64_t seed, Cycle maxCycles)
+{
+    std::vector<isa::Program> baseline = result.original;
+    for (isa::Program &p : baseline)
+        for (isa::Inst &i : p.code)
+            if (i.op == isa::Op::kRmw)
+                i.rmwMode = isa::RmwModeHint::kFenced;
+    sim::MemInit init(result.init.begin(), result.init.end());
+
+    auto cfg = sim::MachineBuilder::preset(
+                   machine,
+                   static_cast<unsigned>(result.original.size()))
+                   .cores(static_cast<unsigned>(
+                       result.original.size()))
+                   .build();
+    sim::RunResult base =
+        sim::runPrograms(cfg, core::AtomicsMode::kFenced, baseline,
+                         init, seed, maxCycles);
+    if (!base.finished)
+        fatal("speedup baseline run failed: %s",
+              base.failure.c_str());
+    sim::RunResult syn =
+        sim::runPrograms(cfg, result.opts.targetMode, result.patched,
+                         init, seed, maxCycles);
+    if (!syn.finished)
+        fatal("speedup synthesized run failed: %s",
+              syn.failure.c_str());
+
+    result.speedup.measured = true;
+    result.speedup.machine = machine;
+    result.speedup.baselineCycles = base.cycles;
+    result.speedup.synthCycles = syn.cycles;
+}
+
+} // namespace fa::analysis::synth

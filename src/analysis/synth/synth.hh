@@ -1,0 +1,208 @@
+/**
+ * @file
+ * CEGAR fence & atomic-mode synthesis (the transform side of the
+ * paper's claim that most fences around hardware atomics are
+ * unnecessary).
+ *
+ * Given one program per thread and a safety spec — by default "the
+ * reachable outcome set stays within the all-Fenced reference set",
+ * optionally narrowed by explicit forbidden outcomes — the engine:
+ *
+ *  1. starts from the weakest candidate: every MFENCE removed and
+ *     every RMW pinned to the weakest per-site mode for the target
+ *     flavour (isa::RmwModeHint);
+ *  2. model-checks the candidate exhaustively (mc::explore with
+ *     structured outcome witnesses);
+ *  3. localizes the first forbidden outcome's reorder edge — the
+ *     specific (buffered store, passing read) pair its minimal
+ *     witness used — and strengthens only that site: insert an
+ *     MFENCE before the passing load, or demote the offending RMW
+ *     one step down the mode lattice (freefwd -> free -> spec ->
+ *     fenced);
+ *  4. repeats until exhaustively safe, then runs a 1-minimality
+ *     pass: each retained fence/demotion is weakened in isolation
+ *     and must reintroduce a forbidden outcome, which is recorded as
+ *     that site's necessity witness;
+ *  5. re-checks the final program under all four global modes.
+ *
+ * The result serializes to a machine-checkable `fa-fence-cert-v1`
+ * JSON certificate: checkCert() re-assembles the embedded programs
+ * and independently re-validates every claim (reference set, final
+ * passes, per-site necessity) with fresh explorations.
+ */
+
+#ifndef FA_ANALYSIS_SYNTH_SYNTH_HH
+#define FA_ANALYSIS_SYNTH_SYNTH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/mc/explore.hh"
+#include "analysis/mc/tso_model.hh"
+#include "common/types.hh"
+#include "core/core_config.hh"
+#include "isa/program.hh"
+
+namespace fa::analysis::synth {
+
+/** What one retained strengthening is. */
+enum class SiteKind : std::uint8_t {
+    kFence,    ///< an MFENCE immediately before origPc
+    kRmwMode,  ///< the RMW at origPc runs demoted from the target
+};
+
+const char *siteKindName(SiteKind kind);
+
+/** A forbidden outcome: a conjunction of final-memory constraints
+ * (absent words read as zero). An outcome matching every pair is a
+ * spec violation. */
+struct ForbidSpec
+{
+    std::vector<std::pair<Addr, std::int64_t>> eq;
+
+    bool matches(const mc::Outcome &o) const;
+    std::string describe() const;
+};
+
+struct SynthOpts
+{
+    /** Flavour the synthesized program targets; the weakest per-site
+     * hint RMWs are pinned to. */
+    core::AtomicsMode targetMode = core::AtomicsMode::kFreeFwd;
+    /** Injected model fault the program must stay safe under. Under
+     * faithful semantics (kNone) the four modes are architecturally
+     * equivalent, so mode demotions only become load-bearing when a
+     * fault disables a free-mode mechanism (e.g. commit-no-drain). */
+    mc::Fault fault = mc::Fault::kNone;
+    unsigned fwdChainCap = 32;
+    std::uint64_t masterSeed = 1;
+    std::uint64_t maxStates = 1'000'000;
+    /** CEGAR iteration budget (each iteration strengthens exactly
+     * one site, so the lattice height bounds the walk anyway). */
+    unsigned maxIters = 128;
+    /** Run the 1-minimality pass (off: keep the first safe
+     * candidate, no necessity witnesses). */
+    bool minimize = true;
+    std::vector<ForbidSpec> forbid;
+};
+
+/** Why one retained site is load-bearing: what weakening it alone
+ * reintroduces. */
+struct NecessityWitness
+{
+    std::string kind;    ///< "outcome" or a violation kind
+    std::string detail;  ///< outcome pretty() or violation detail
+    std::vector<std::string> edges;  ///< described reorder edges
+    std::uint64_t steps = 0;         ///< witness interleaving length
+};
+
+/** One retained strengthening, mapped into both programs. */
+struct Decision
+{
+    SiteKind kind = SiteKind::kFence;
+    unsigned thread = 0;
+    int origPc = 0;     ///< position in the original program
+    int patchedPc = 0;  ///< position in the patched program
+    /** kFence: an MFENCE stood at origPc in the original program
+     * (kept) rather than being newly inserted. */
+    bool originalFence = false;
+    /** kRmwMode: the retained demotion. */
+    isa::RmwModeHint mode = isa::RmwModeHint::kInherit;
+    NecessityWitness witness;
+
+    std::string describe() const;
+};
+
+/** One CEGAR refinement step (the candidate-lattice walk). */
+struct IterationLog
+{
+    unsigned step = 0;
+    std::string bad;     ///< forbidden outcome / violation repaired
+    std::string edge;    ///< localized reorder edge ("" = fallback)
+    std::string action;  ///< strengthening applied
+};
+
+/** One final exhaustive pass of the patched program. */
+struct ModePass
+{
+    core::AtomicsMode mode = core::AtomicsMode::kFenced;
+    bool complete = false;
+    std::uint64_t states = 0;
+    std::uint64_t outcomes = 0;
+};
+
+/** Simulator speedup of the synthesized program over the all-Fenced
+ * original (filled by measureSpeedup; informational in the cert). */
+struct SpeedupReport
+{
+    bool measured = false;
+    std::string machine;
+    std::uint64_t baselineCycles = 0;  ///< original, all-Fenced
+    std::uint64_t synthCycles = 0;     ///< patched, target mode
+};
+
+struct SynthResult
+{
+    bool ok = false;
+    std::string error;
+
+    std::string name;
+    SynthOpts opts;
+    std::vector<isa::Program> original;
+    std::vector<isa::Program> patched;
+    mc::MemInit init;
+
+    /** Reference pass: original program, every RMW pinned kFenced,
+     * global mode kFenced. */
+    std::vector<std::string> refOutcomes;  ///< pretty(), id-sorted
+    std::uint64_t refStates = 0;
+
+    std::vector<IterationLog> iterations;
+    std::vector<Decision> decisions;
+    std::vector<ModePass> finalModes;
+    SpeedupReport speedup;
+
+    unsigned fencesOriginal = 0;
+    unsigned fencesKept = 0;
+    unsigned fencesInserted = 0;
+    unsigned fencesRemoved = 0;
+    unsigned rmwDemotions = 0;
+};
+
+/** Weakest per-site hint for a target flavour (what every RMW is
+ * pinned to in the initial candidate). */
+isa::RmwModeHint weakestHint(core::AtomicsMode target);
+
+/** Run the CEGAR loop. Never throws for synthesis failures — check
+ * result.ok / result.error. */
+SynthResult synthesize(const std::string &name,
+                       const std::vector<isa::Program> &progs,
+                       const mc::MemInit &init, const SynthOpts &opts);
+
+/** Run the detailed simulator on both programs and fill
+ * result.speedup (baseline: original with fences and all RMWs
+ * fenced, mode kFenced; synth: patched under the target mode). */
+void measureSpeedup(SynthResult &result, const std::string &machine,
+                    std::uint64_t seed, Cycle maxCycles = 50'000'000);
+
+/** Serialize a successful result as a `fa-fence-cert-v1` JSON
+ * document (deterministic byte-for-byte for a given result). */
+std::string writeCert(const SynthResult &result);
+
+struct CertCheck
+{
+    bool ok = false;
+    std::string error;              ///< first failed check
+    std::vector<std::string> notes; ///< one line per passed check
+};
+
+/** Independently re-validate every claim of a certificate: assemble
+ * the embedded programs, re-run the reference and final-mode
+ * explorations, and re-weaken each decision to confirm its necessity
+ * witness. Trusts nothing but the spec parameters. */
+CertCheck checkCert(const std::string &certText);
+
+} // namespace fa::analysis::synth
+
+#endif // FA_ANALYSIS_SYNTH_SYNTH_HH

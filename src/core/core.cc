@@ -47,6 +47,19 @@ parseAtomicsMode(const std::string &s)
     fatal("unknown mode '%s' (fenced|spec|free|freefwd)", s.c_str());
 }
 
+AtomicsMode
+resolveAtomicsMode(AtomicsMode global, isa::RmwModeHint hint)
+{
+    switch (hint) {
+      case isa::RmwModeHint::kInherit: return global;
+      case isa::RmwModeHint::kFenced:  return AtomicsMode::kFenced;
+      case isa::RmwModeHint::kSpec:    return AtomicsMode::kSpec;
+      case isa::RmwModeHint::kFree:    return AtomicsMode::kFree;
+      case isa::RmwModeHint::kFreeFwd: return AtomicsMode::kFreeFwd;
+    }
+    return global;
+}
+
 namespace {
 
 bool
@@ -444,7 +457,8 @@ Core::commitOne(DynInst *head, Cycle now)
         hists.atomicLatency.record(now - head->dispatchedAt);
         hists.sbDrain.record(head->drainSbCycles);
         hists.fwdChain.record(head->fwdChain);
-        if (isFencedMode(cfg.mode))
+        if (isFencedMode(resolveAtomicsMode(cfg.mode,
+                                            head->si.rmwMode)))
             stats.implicitFencesExecuted += 2;
         else
             stats.implicitFencesOmitted += 2;
@@ -870,12 +884,20 @@ Core::tryIssueMemRead(DynInst *inst, Cycle now)
     }
 
     // Mem_Fence2: with fenced atomics, younger loads (including
-    // younger load_locks) stall until the atomic commits.
-    if (isFencedMode(cfg.mode) && !uncommittedAtomics.empty() &&
-        uncommittedAtomics.front()->seq < inst->seq) {
+    // younger load_locks) stall until the atomic commits. The stall
+    // belongs to the older atomic, so its per-site mode decides.
+    if (!uncommittedAtomics.empty() &&
+        uncommittedAtomics.front()->seq < inst->seq &&
+        isFencedMode(resolveAtomicsMode(
+            cfg.mode, uncommittedAtomics.front()->si.rmwMode))) {
         ++stats.fence2LoadStallCycles;
         return false;
     }
+
+    const AtomicsMode inst_mode =
+        inst->si.op == isa::Op::kRmw
+            ? resolveAtomicsMode(cfg.mode, inst->si.rmwMode)
+            : cfg.mode;
 
     if (inst->isAtomic()) {
         if (cfg.inOrderLockAcquisition) {
@@ -890,7 +912,7 @@ Core::tryIssueMemRead(DynInst *inst, Cycle now)
             inst->seq - rob.front()->seq >= cfg.lockIssueWindow) {
             return false;
         }
-        if (cfg.mode == AtomicsMode::kFenced) {
+        if (inst_mode == AtomicsMode::kFenced) {
             // Mem_Fence1: issue only as the oldest instruction with
             // an empty SB.
             if (rob.empty() || rob.front().get() != inst)
@@ -900,7 +922,7 @@ Core::tryIssueMemRead(DynInst *inst, Cycle now)
                 ++inst->drainSbCycles;
                 return false;
             }
-        } else if (cfg.mode == AtomicsMode::kSpec) {
+        } else if (inst_mode == AtomicsMode::kSpec) {
             // §3.1: speculative issue, but every older memory
             // operation must have performed.
             if (lsq.anyOlderStore(inst->seq)) {
@@ -924,7 +946,7 @@ Core::tryIssueMemRead(DynInst *inst, Cycle now)
     if (st) {
         bool can_fwd;
         if (inst->isAtomic())
-            can_fwd = cfg.mode == AtomicsMode::kFreeFwd;
+            can_fwd = inst_mode == AtomicsMode::kFreeFwd;
         else if (inst->isLoadLinked())
             can_fwd = false;  // the reservation needs a cache access
         else

@@ -9,6 +9,8 @@
 
 #include <string>
 
+#include "isa/program.hh"
+
 namespace fa::core {
 
 /**
@@ -43,6 +45,16 @@ const char *atomicsModeIdent(AtomicsMode mode);
  * freefwd"); FatalError on anything else. The single mode-parse
  * point for every CLI tool. */
 AtomicsMode parseAtomicsMode(const std::string &s);
+
+/**
+ * Effective mode for one RMW site: a per-instruction
+ * isa::RmwModeHint overrides the machine-wide mode; kInherit keeps
+ * it. The single resolution point shared by the detailed core and
+ * the model checker, so synthesized per-site assignments mean the
+ * same thing everywhere.
+ */
+AtomicsMode resolveAtomicsMode(AtomicsMode global,
+                               isa::RmwModeHint hint);
 
 /** Core pipeline parameters (Table 1, Icelake-like by default). */
 struct CoreConfig

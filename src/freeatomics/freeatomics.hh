@@ -25,6 +25,7 @@
 #include "analysis/mc/explore.hh"
 #include "analysis/mc/tso_model.hh"
 #include "analysis/sanitizer/fasan.hh"
+#include "analysis/synth/synth.hh"
 #include "analysis/trace.hh"
 #include "analysis/tso_checker.hh"
 #include "common/cli.hh"

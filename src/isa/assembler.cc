@@ -176,6 +176,19 @@ class Assembler
         for (char &ch : op)
             ch = static_cast<char>(std::tolower(ch));
 
+        // RMW mnemonics take an optional per-site mode suffix
+        // ("fetchadd.spec"); split it off before dispatch.
+        RmwModeHint hint = RmwModeHint::kInherit;
+        if (size_t dot = op.find('.'); dot != std::string::npos) {
+            std::string suffix = op.substr(dot + 1);
+            op = op.substr(0, dot);
+            bool is_rmw = op == "fetchadd" || op == "tas" ||
+                op == "xchg" || op == "cas";
+            if (!is_rmw || !parseRmwModeHint(suffix, &hint))
+                fatal("line %d: unknown mnemonic '%s'", lineNo,
+                      t[0].c_str());
+        }
+
         Reg base;
         std::int64_t imm;
         if (op == "nop") {
@@ -222,20 +235,24 @@ class Assembler
             parseMem(t[2], base, imm);
             builder.fetchAdd(parseReg(t[1]), base, parseReg(t[3]),
                              imm);
+            builder.rmwModeHint(hint);
         } else if (op == "tas") {
             need(t, 2);
             parseMem(t[2], base, imm);
             builder.testAndSet(parseReg(t[1]), base, imm);
+            builder.rmwModeHint(hint);
         } else if (op == "xchg") {
             need(t, 3);
             parseMem(t[2], base, imm);
             builder.exchange(parseReg(t[1]), base, parseReg(t[3]),
                              imm);
+            builder.rmwModeHint(hint);
         } else if (op == "cas") {
             need(t, 4);
             parseMem(t[2], base, imm);
             builder.compareSwap(parseReg(t[1]), base, parseReg(t[3]),
                                 parseReg(t[4]), imm);
+            builder.rmwModeHint(hint);
         } else if (op == "jump") {
             need(t, 1);
             builder.jump(labelRef(t[1]));

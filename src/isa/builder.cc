@@ -176,6 +176,15 @@ ProgramBuilder::compareSwap(Reg dst, Reg addr, Reg expected, Reg desired,
 }
 
 ProgramBuilder &
+ProgramBuilder::rmwModeHint(RmwModeHint hint)
+{
+    if (prog.code.empty() || prog.code.back().op != Op::kRmw)
+        fatal("rmwModeHint: last emitted instruction is not an RMW");
+    prog.code.back().rmwMode = hint;
+    return *this;
+}
+
+ProgramBuilder &
 ProgramBuilder::loadLinked(Reg dst, Reg addr, std::int64_t imm)
 {
     Inst i;

@@ -68,6 +68,11 @@ class ProgramBuilder
                              std::int64_t imm = 0);
     ProgramBuilder &compareSwap(Reg dst, Reg addr, Reg expected,
                                 Reg desired, std::int64_t imm = 0);
+    /**
+     * Pin the most recently emitted instruction (which must be an
+     * RMW) to a per-site atomics mode (assembly `fetchadd.spec`...).
+     */
+    ProgramBuilder &rmwModeHint(RmwModeHint hint);
     ProgramBuilder &loadLinked(Reg dst, Reg addr, std::int64_t imm = 0);
     ProgramBuilder &storeCond(Reg dst, Reg addr, Reg src,
                               std::int64_t imm = 0);

@@ -43,6 +43,35 @@ Program::validate() const
         fatal("program '%s' has no halt", name.c_str());
 }
 
+const char *
+rmwModeHintSuffix(RmwModeHint hint)
+{
+    switch (hint) {
+      case RmwModeHint::kInherit: return "";
+      case RmwModeHint::kFenced:  return ".fenced";
+      case RmwModeHint::kSpec:    return ".spec";
+      case RmwModeHint::kFree:    return ".free";
+      case RmwModeHint::kFreeFwd: return ".freefwd";
+    }
+    return "";
+}
+
+bool
+parseRmwModeHint(const std::string &name, RmwModeHint *out)
+{
+    if (name == "fenced")
+        *out = RmwModeHint::kFenced;
+    else if (name == "spec")
+        *out = RmwModeHint::kSpec;
+    else if (name == "free")
+        *out = RmwModeHint::kFree;
+    else if (name == "freefwd")
+        *out = RmwModeHint::kFreeFwd;
+    else
+        return false;
+    return true;
+}
+
 std::string
 Program::disasm(const Inst &inst)
 {
@@ -76,23 +105,26 @@ Program::disasm(const Inst &inst)
         return strfmt("store [%s + %lld], %s", reg(inst.src1).c_str(),
                       static_cast<long long>(inst.imm),
                       reg(inst.src2).c_str());
-      case Op::kRmw:
+      case Op::kRmw: {
+        const char *suffix = rmwModeHintSuffix(inst.rmwMode);
         switch (inst.rmw) {
           case RmwKind::kFetchAdd:
           case RmwKind::kExchange:
-            return strfmt("%s %s, [%s + %lld], %s",
+            return strfmt("%s%s %s, [%s + %lld], %s",
                           inst.rmw == RmwKind::kFetchAdd ? "fetchadd"
                                                          : "xchg",
+                          suffix,
                           reg(inst.dst).c_str(),
                           reg(inst.src1).c_str(),
                           static_cast<long long>(inst.imm),
                           reg(inst.src2).c_str());
           case RmwKind::kTestAndSet:
-            return strfmt("tas %s, [%s + %lld]", reg(inst.dst).c_str(),
+            return strfmt("tas%s %s, [%s + %lld]", suffix,
+                          reg(inst.dst).c_str(),
                           reg(inst.src1).c_str(),
                           static_cast<long long>(inst.imm));
           case RmwKind::kCompareSwap:
-            return strfmt("cas %s, [%s + %lld], %s, %s",
+            return strfmt("cas%s %s, [%s + %lld], %s, %s", suffix,
                           reg(inst.dst).c_str(),
                           reg(inst.src1).c_str(),
                           static_cast<long long>(inst.imm),
@@ -100,6 +132,7 @@ Program::disasm(const Inst &inst)
                           reg(inst.src3).c_str());
         }
         return "<bad>";
+      }
       case Op::kLoadLinked:
         return strfmt("ll %s, [%s + %lld]", reg(inst.dst).c_str(),
                       reg(inst.src1).c_str(),

@@ -63,6 +63,25 @@ enum class BranchCond : std::uint8_t {
 };
 
 /**
+ * Per-site atomic-mode annotation. The fence/mode synthesizer
+ * (analysis/synth) pins individual RMW instructions to one of the
+ * paper's flavours; kInherit (the default, and the only value plain
+ * hand-written programs use) keeps the machine-wide
+ * core::AtomicsMode. Spelled as a mnemonic suffix in assembly:
+ * `fetchadd.spec r3, [r1], r2`.
+ */
+enum class RmwModeHint : std::uint8_t {
+    kInherit, kFenced, kSpec, kFree, kFreeFwd,
+};
+
+/** Assembly suffix for a hint: "" for kInherit, ".fenced", ... */
+const char *rmwModeHintSuffix(RmwModeHint hint);
+
+/** Parse a suffix spelling ("fenced"|"spec"|"free"|"freefwd");
+ * returns false on unknown names (kInherit has no spelling). */
+bool parseRmwModeHint(const std::string &name, RmwModeHint *out);
+
+/**
  * One static instruction. A fixed-size POD so programs are cheap to
  * copy and index.
  */
@@ -79,6 +98,7 @@ struct Inst
     std::int64_t imm = 0;
     std::int32_t target = 0;   ///< branch/jump destination (pc index)
     std::uint8_t latency = 0;  ///< 0 = class default execution latency
+    RmwModeHint rmwMode = RmwModeHint::kInherit;  ///< kRmw only
 
     bool isMemRef() const
     {

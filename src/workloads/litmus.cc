@@ -6,6 +6,10 @@
  *  - mp: message passing; stale-data outcomes are forbidden by
  *    TSO load->load ordering.
  *  - sb_fenced: store-buffering with MFENCE; (0,0) forbidden.
+ *  - sb_rmw: store-buffering where an atomic RMW sits between the
+ *    store and the MFENCE; the RMW's commit already drains the SB
+ *    (§3.2.2), so the fence is provably removable (fafence drops it)
+ *    while (0,0) stays forbidden.
  *  - atomic_counter: concurrent fetch-add atomicity.
  *  - dl_rmwrmw / dl_storermw / dl_loadrmw: generators for the
  *    deadlock cycles of Figures 5, 6 and 7, recovered by the
@@ -242,6 +246,79 @@ makeSbFenced(std::int64_t rounds)
     return w;
 }
 
+/**
+ * Store-buffering with a redundant fence: each round does
+ * `store mine; fetchadd scratch; mfence; load other`. The RMW's
+ * commit requires an empty SB in every atomics mode (§3.2.2), so the
+ * store of `mine` is globally visible before the load of `other`
+ * with or without the MFENCE — the fence is pure overhead, and the
+ * synthesis engine (fafence) proves it removable. (0,0) per round is
+ * forbidden regardless.
+ */
+Workload
+makeSbRmw(std::int64_t rounds)
+{
+    Workload w;
+    w.name = "sb_rmw";
+    w.origin = "litmus";
+    w.build = [rounds](const BuildCtx &ctx) {
+        if (ctx.numThreads != 2)
+            fatal("sb_rmw requires exactly 2 threads");
+        ProgramBuilder b("sb_rmw");
+        Reg r_bar = b.alloc();
+        Reg r_n = b.alloc();
+        Reg t0 = b.alloc();
+        Reg t1 = b.alloc();
+        Reg t2 = b.alloc();
+        Reg t3 = b.alloc();
+        Reg r_addr = b.alloc();
+        Reg r_one = b.alloc();
+        Reg r_v = b.alloc();
+        Reg r_res = b.alloc();
+        Reg r_scr = b.alloc();
+        b.movi(r_bar, static_cast<std::int64_t>(kBarrierBase));
+        b.movi(r_n, 2);
+        b.movi(r_one, 1);
+        b.movi(r_scr, static_cast<std::int64_t>(
+            kScratchBase + 0x100 + ctx.threadId * 64));
+        std::int64_t n = ctx.iters(rounds);
+        emitRoundBarrier(b, ctx, r_bar, r_n, t0, t1, t2, t3);
+        for (std::int64_t r = 0; r < n; ++r) {
+            Addr block = roundBlock(r);
+            Addr mine = block + (ctx.threadId == 0 ? 0 : 64);
+            Addr other = block + (ctx.threadId == 0 ? 64 : 0);
+            b.movi(r_addr, static_cast<std::int64_t>(mine));
+            b.store(r_addr, r_one);
+            b.fetchAdd(r_v, r_scr, r_one);
+            b.mfence();
+            b.movi(r_addr, static_cast<std::int64_t>(other));
+            b.load(r_v, r_addr);
+            b.movi(r_res, static_cast<std::int64_t>(
+                kResultBase + r * 16 + ctx.threadId * 8));
+            b.store(r_res, r_v);
+        }
+        b.halt();
+        return b.build();
+    };
+    w.verify = [rounds](const sim::System &sys, unsigned,
+                        double scale) {
+        BuildCtx c;
+        c.scale = scale;
+        std::int64_t n = c.iters(rounds);
+        for (std::int64_t r = 0; r < n; ++r) {
+            std::int64_t v0 = sys.readWord(kResultBase + r * 16);
+            std::int64_t v1 = sys.readWord(kResultBase + r * 16 + 8);
+            if (v0 == 0 && v1 == 0) {
+                return strfmt("sb forbidden outcome (0,0) past an "
+                              "rmw in round %lld",
+                              static_cast<long long>(r));
+            }
+        }
+        return std::string();
+    };
+    return w;
+}
+
 Workload
 makeAtomicCounter(std::int64_t iters)
 {
@@ -433,6 +510,7 @@ litmusSuite()
     v.push_back(makeDekker(32));
     v.push_back(makeMp(32));
     v.push_back(makeSbFenced(32));
+    v.push_back(makeSbRmw(32));
     v.push_back(makeAtomicCounter(96));
     v.push_back(makeDeadlock("dl_rmwrmw", DlKind::kRmwRmw, 64));
     v.push_back(makeDeadlock("dl_storermw", DlKind::kStoreRmw, 64));

@@ -274,6 +274,55 @@ TEST(FenceRedundancy, SbFenceIsRequiredAndLoneFenceIsVacuous)
     EXPECT_EQ(lf[0].verdict, FenceVerdict::kVacuous) << lf[0].reason;
 }
 
+TEST(FenceRedundancy, LoadSideCoverageIsModeConditional)
+{
+    // store x; mfence; fetchadd scratch; load y — the fence's only
+    // cover on the load side is the RMW after it (Mem_Fence2), and
+    // that stall only exists under Fenced/Spec atomics. Under the
+    // free modes the RMW binds early and the buffered store can
+    // still pass the load, so the same fence flips to required.
+    ProgramBuilder b("modecond");
+    auto r_x = b.alloc();
+    auto r_y = b.alloc();
+    auto r_s = b.alloc();
+    auto r_one = b.alloc();
+    auto r_old = b.alloc();
+    auto r_v = b.alloc();
+    b.movi(r_x, static_cast<std::int64_t>(wl::kDataBase));
+    b.movi(r_y, static_cast<std::int64_t>(wl::kDataBase + 64));
+    b.movi(r_s, static_cast<std::int64_t>(wl::kDataBase + 128));
+    b.movi(r_one, 1);
+    b.store(r_x, r_one);
+    b.mfence();
+    b.fetchAdd(r_old, r_s, r_one);
+    b.load(r_v, r_y);
+    b.halt();
+
+    std::vector<isa::Program> progs(2, b.build());
+    auto sums = analysis::summarizePrograms(progs);
+    auto ca = analysis::findCriticalCycles(sums);
+
+    for (core::AtomicsMode m :
+         {core::AtomicsMode::kFenced, core::AtomicsMode::kSpec}) {
+        auto fences = analysis::analyzeFences(sums, ca, m);
+        ASSERT_EQ(fences.size(), 2u);
+        for (const auto &f : fences)
+            EXPECT_EQ(f.verdict, FenceVerdict::kRedundantByAtomic)
+                << core::atomicsModeIdent(m) << ": " << f.reason;
+    }
+    for (core::AtomicsMode m :
+         {core::AtomicsMode::kFree, core::AtomicsMode::kFreeFwd}) {
+        auto fences = analysis::analyzeFences(sums, ca, m);
+        ASSERT_EQ(fences.size(), 2u);
+        for (const auto &f : fences) {
+            EXPECT_EQ(f.verdict, FenceVerdict::kRequired)
+                << core::atomicsModeIdent(m) << ": " << f.reason;
+            EXPECT_NE(f.reason.find("fafence"), std::string::npos)
+                << "the free-mode verdict should defer to synthesis";
+        }
+    }
+}
+
 TEST(FenceRedundancy, PackagedSbFencedFencesAllRequired)
 {
     const auto *w = wl::findWorkload("sb_fenced");

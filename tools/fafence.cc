@@ -1,0 +1,459 @@
+/**
+ * @file
+ * fafence — CEGAR-based minimal fence & atomic-mode synthesis with
+ * machine-checkable certificates.
+ *
+ * The analysis-side complement of the paper's claim: most fences
+ * around hardware atomics are unnecessary. `fafence synth` strips a
+ * program down to the weakest candidate (no fences, every RMW at the
+ * weakest per-site mode), model-checks it exhaustively, and puts back
+ * only what a concrete reorder witness proves load-bearing; the
+ * result ships as a patched .fasm per thread plus a `fa-fence-cert-v1`
+ * JSON certificate that `fafence check-cert` re-validates from
+ * scratch — re-exploring the reference set, all four global modes,
+ * and every per-site necessity witness.
+ *
+ *   fafence synth -w sb_fenced --threads 2 --out certs/
+ *   fafence synth -w dekker --threads 2 --fault commit-no-drain
+ *   fafence synth -p t0.fasm -p t1.fasm --forbid 0x20000=0,0x20008=0
+ *   fafence check-cert certs/sb_fenced-cert.json
+ *   fafence diff certs/sb_fenced-cert.json
+ *
+ * exit status:
+ *   0  ok
+ *   1  internal error
+ *   2  usage error
+ *   3  synthesis failed / certificate invalid
+ *   4  exploration truncated — verdict unknown
+ *   6  synthesized program slower than the all-Fenced baseline
+ *      (--require-speedup)
+ */
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "freeatomics/freeatomics.hh"
+
+using namespace fa;
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitFailed = 3;
+constexpr int kExitTruncated = 4;
+constexpr int kExitSlower = 6;
+
+struct Job
+{
+    std::string name;
+    std::vector<isa::Program> progs;
+    mc::MemInit init;
+};
+
+/** Parse one --forbid spec: "ADDR=VAL[,ADDR=VAL...]" (conjunction). */
+analysis::synth::ForbidSpec
+parseForbid(const std::string &s)
+{
+    analysis::synth::ForbidSpec fs;
+    for (const std::string &item : cli::splitList(s)) {
+        std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            fatal("--forbid: expected ADDR=VAL, got '%s'",
+                  item.c_str());
+        fs.eq.emplace_back(
+            static_cast<Addr>(
+                cli::parseU64(item.substr(0, eq), "--forbid addr")),
+            cli::parseI64(item.substr(eq + 1), "--forbid value"));
+    }
+    if (fs.eq.empty())
+        fatal("--forbid: empty spec");
+    return fs;
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal("cannot write %s", path.c_str());
+    f << text;
+}
+
+int
+cmdSynth(int argc, char **argv)
+{
+    std::string workload;
+    std::vector<std::string> prog_files;
+    std::int64_t soak_seed = -1;
+    unsigned threads = 2;
+    double scale = 0.03;
+    std::string mode_name = "freefwd";
+    std::string fault_name = "none";
+    unsigned fwd_cap = 32;
+    std::uint64_t seed = 1;
+    std::uint64_t max_states = 1'000'000;
+    unsigned max_iters = 128;
+    std::vector<std::string> forbid_s;
+    bool no_minimize = false;
+    std::string out_dir = ".";
+    std::string machine = "tiny";
+    bool no_speedup = false;
+    bool require_speedup = false;
+    std::uint64_t max_cycles = 20'000'000;
+
+    cli::Parser p("fafence synth",
+                  "synthesize the minimal fence/mode placement for a "
+                  "program, with certificate");
+    p.opt(&workload, "-w", "--workload", "LIST",
+          "registered workload(s), comma list (litmus & friends)");
+    p.opt(&prog_files, "-p", "--program", "FILE",
+          ".fasm program, one per thread (repeatable)");
+    p.opt(&soak_seed, "", "--soak-seed", "N",
+          "soak-generated program (clamped small)");
+    p.opt(&threads, "", "--threads", "N",
+          "model thread count for -w [2]");
+    p.opt(&scale, "", "--scale", "S", "workload scale [0.03]");
+    p.opt(&mode_name, "-m", "--mode", "MODE",
+          "target flavour: fenced|spec|free|freefwd [freefwd]");
+    p.opt(&fault_name, "", "--fault", "NAME",
+          "none|no-lock|commit-no-drain|no-recover|leak-unlock "
+          "[none]");
+    p.opt(&fwd_cap, "", "--fwd-cap", "N",
+          "fwd-chain cap (SS3.3.4) [32]");
+    p.opt(&seed, "", "--seed", "N", "kRand master seed [1]");
+    p.opt(&max_states, "", "--max-states", "N",
+          "exploration budget per candidate [1000000]");
+    p.opt(&max_iters, "", "--max-iters", "N",
+          "CEGAR iteration budget [128]");
+    p.opt(&forbid_s, "", "--forbid", "SPEC",
+          "forbidden outcome ADDR=VAL[,ADDR=VAL...] (conjunction; "
+          "repeatable)");
+    p.flag(&no_minimize, "", "--no-minimize",
+           "skip the 1-minimality pass (no necessity witnesses)");
+    p.opt(&out_dir, "", "--out", "DIR",
+          "patched .fasm + certificate output directory [.]");
+    p.opt(&machine, "", "--machine", "NAME",
+          "simulator machine preset for the speedup report [tiny]");
+    p.flag(&no_speedup, "", "--no-speedup",
+           "skip the simulator speedup report");
+    p.flag(&require_speedup, "", "--require-speedup",
+           "exit 6 when the synthesized program is slower than the "
+           "all-Fenced baseline");
+    p.opt(&max_cycles, "", "--max-cycles", "N",
+          "per-run cycle budget for the speedup report [20000000]");
+    p.epilog(
+        "\nexit status: 0 ok, 2 usage, 3 synthesis failed,\n"
+        "4 exploration truncated, 6 slower than baseline "
+        "(--require-speedup)\n");
+    p.parse(argc, argv);
+
+    auto usageError = [&](const std::string &msg) -> int {
+        std::cerr << "fafence synth: " << msg << "\n\n";
+        p.printUsage(std::cerr);
+        return kExitUsage;
+    };
+
+    std::vector<std::string> workloads = cli::splitList(workload);
+    int specified = (workloads.empty() ? 0 : 1) +
+        (prog_files.empty() ? 0 : 1) + (soak_seed >= 0 ? 1 : 0);
+    if (specified != 1)
+        return usageError("specify exactly one of -w, -p, --soak-seed");
+    if (require_speedup && no_speedup)
+        return usageError(
+            "--require-speedup conflicts with --no-speedup");
+
+    analysis::synth::SynthOpts opts;
+    opts.targetMode = chaos::soakParseMode(mode_name);
+    if (!mc::parseFault(fault_name, &opts.fault))
+        return usageError("unknown fault '" + fault_name + "'");
+    opts.fwdChainCap = fwd_cap;
+    opts.masterSeed = seed;
+    opts.maxStates = max_states;
+    opts.maxIters = max_iters;
+    opts.minimize = !no_minimize;
+    for (const std::string &s : forbid_s)
+        opts.forbid.push_back(parseForbid(s));
+
+    std::vector<Job> jobs;
+    if (!workloads.empty()) {
+        for (const std::string &name : workloads) {
+            const wl::Workload *w = wl::findWorkload(name);
+            if (!w)
+                return usageError("unknown workload '" + name + "'");
+            Job job;
+            job.name = name;
+            job.progs = wl::buildPrograms(*w, threads, scale);
+            if (w->init)
+                job.init = w->init(threads, scale);
+            jobs.push_back(std::move(job));
+        }
+    } else if (!prog_files.empty()) {
+        Job job;
+        job.name = "fasm";
+        for (const std::string &f : prog_files)
+            job.progs.push_back(isa::assembleFile(f));
+        jobs.push_back(std::move(job));
+    } else {
+        chaos::SoakSpec spec = chaos::makeSoakSpec(
+            static_cast<std::uint64_t>(soak_seed), opts.targetMode,
+            "none");
+        spec.threads = std::min(spec.threads, 3u);
+        spec.blocks = std::min(spec.blocks, 3u);
+        spec.counters = std::min(spec.counters, 2u);
+        chaos::SoakCase c = chaos::buildSoakCase(spec);
+        Job job;
+        job.name = "soak" + std::to_string(soak_seed);
+        job.progs = c.programs;
+        jobs.push_back(std::move(job));
+    }
+
+    std::filesystem::create_directories(out_dir);
+
+    int rc = kExitOk;
+    for (const Job &job : jobs) {
+        analysis::synth::SynthResult r = analysis::synth::synthesize(
+            job.name, job.progs, job.init, opts);
+        if (!r.ok) {
+            std::cout << job.name << ": FAILED: " << r.error << "\n";
+            rc = std::max(rc, r.error.find("truncated") !=
+                                      std::string::npos
+                                  ? kExitTruncated
+                                  : kExitFailed);
+            continue;
+        }
+        if (!no_speedup)
+            analysis::synth::measureSpeedup(r, machine, seed,
+                                            max_cycles);
+
+        std::cout << job.name << ": ok after "
+                  << r.iterations.size() << " refinement(s): fences "
+                  << r.fencesOriginal << " -> "
+                  << (r.fencesKept + r.fencesInserted) << " ("
+                  << r.fencesKept << " kept, " << r.fencesInserted
+                  << " inserted, " << r.fencesRemoved
+                  << " removed), " << r.rmwDemotions
+                  << " rmw demotion(s)\n";
+        for (const analysis::synth::IterationLog &it : r.iterations)
+            std::cout << "  step " << it.step << ": " << it.bad
+                      << (it.edge.empty() ? "" : " via " + it.edge)
+                      << " -> " << it.action << "\n";
+        for (const analysis::synth::Decision &d : r.decisions)
+            std::cout << "  decision: " << d.describe() << "\n";
+        for (const analysis::synth::ModePass &mp : r.finalModes)
+            std::cout << "  final [" << core::atomicsModeIdent(mp.mode)
+                      << "]: safe, " << mp.states << " state(s), "
+                      << mp.outcomes << " outcome(s)\n";
+        if (r.speedup.measured) {
+            std::cout << "  speedup [" << r.speedup.machine
+                      << "]: all-fenced " << r.speedup.baselineCycles
+                      << " cycles, synthesized "
+                      << r.speedup.synthCycles << " cycles\n";
+            if (require_speedup &&
+                r.speedup.synthCycles > r.speedup.baselineCycles) {
+                std::cout << "  SLOWER than the all-Fenced baseline\n";
+                rc = std::max(rc, kExitSlower);
+            }
+        }
+
+        for (std::size_t t = 0; t < r.patched.size(); ++t) {
+            std::string path = out_dir + "/" + job.name + "-t" +
+                std::to_string(t) + ".fasm";
+            writeFile(path, isa::writeAsm(r.patched[t]));
+            std::cout << "  wrote " << path << "\n";
+        }
+        std::string cert_path =
+            out_dir + "/" + job.name + "-cert.json";
+        writeFile(cert_path, analysis::synth::writeCert(r));
+        std::cout << "  wrote " << cert_path << "\n";
+    }
+    return rc;
+}
+
+int
+cmdCheckCert(int argc, char **argv)
+{
+    std::vector<std::string> files;
+    bool verbose = false;
+
+    cli::Parser p("fafence check-cert",
+                  "independently re-validate fa-fence-cert-v1 "
+                  "certificates");
+    p.positional(&files, "CERT.json", "certificate file(s)");
+    p.flag(&verbose, "-v", "--verbose",
+           "print every re-validated claim");
+    p.epilog("\nexit status: 0 all valid, 2 usage, 3 invalid\n");
+    p.parse(argc, argv);
+
+    if (files.empty()) {
+        std::cerr << "fafence check-cert: no certificate files\n\n";
+        p.printUsage(std::cerr);
+        return kExitUsage;
+    }
+
+    int rc = kExitOk;
+    for (const std::string &path : files) {
+        std::ifstream f(path);
+        if (!f) {
+            std::cout << path << ": cannot open\n";
+            rc = std::max(rc, kExitFailed);
+            continue;
+        }
+        std::stringstream ss;
+        ss << f.rdbuf();
+        analysis::synth::CertCheck chk =
+            analysis::synth::checkCert(ss.str());
+        if (chk.ok) {
+            std::cout << path << ": VALID (" << chk.notes.size()
+                      << " claim(s) re-validated)\n";
+            if (verbose)
+                for (const std::string &n : chk.notes)
+                    std::cout << "  " << n << "\n";
+        } else {
+            std::cout << path << ": INVALID: " << chk.error << "\n";
+            rc = std::max(rc, kExitFailed);
+        }
+    }
+    return rc;
+}
+
+int
+cmdDiff(int argc, char **argv)
+{
+    std::vector<std::string> files;
+
+    cli::Parser p("fafence diff",
+                  "show what a certificate's synthesis changed");
+    p.positional(&files, "CERT.json", "certificate file(s)");
+    p.epilog("\nexit status: 0 ok, 2 usage, 3 unreadable\n");
+    p.parse(argc, argv);
+
+    if (files.empty()) {
+        std::cerr << "fafence diff: no certificate files\n\n";
+        p.printUsage(std::cerr);
+        return kExitUsage;
+    }
+
+    int rc = kExitOk;
+    for (const std::string &path : files) {
+        std::ifstream f(path);
+        if (!f) {
+            std::cout << path << ": cannot open\n";
+            rc = std::max(rc, kExitFailed);
+            continue;
+        }
+        std::stringstream ss;
+        ss << f.rdbuf();
+        JsonValue doc = JsonValue::parse(ss.str());
+        const JsonValue *schema = doc.find("schema");
+        if (!schema || schema->str != "fa-fence-cert-v1") {
+            std::cout << path << ": not a fa-fence-cert-v1\n";
+            rc = std::max(rc, kExitFailed);
+            continue;
+        }
+
+        std::cout << doc.at("name").str << " (target "
+                  << doc.at("targetMode").str << ", fault "
+                  << doc.at("fault").str << "):\n";
+        const JsonValue &orig =
+            doc.at("programs").at("original");
+        const JsonValue &patched =
+            doc.at("programs").at("patched");
+        for (std::size_t t = 0; t < orig.arr.size(); ++t) {
+            std::cout << "--- thread " << t << ": original ---\n"
+                      << orig.arr[t].str
+                      << "--- thread " << t << ": patched ---\n"
+                      << patched.arr[t].str;
+        }
+        std::cout << "iterations:\n";
+        for (const JsonValue &it : doc.at("iterations").arr)
+            std::cout << "  step " << it.at("step").asU64() << ": "
+                      << it.at("bad").str << " -> "
+                      << it.at("action").str << "\n";
+        std::cout << "decisions:\n";
+        for (const JsonValue &d : doc.at("decisions").arr) {
+            std::cout << "  " << d.at("kind").str << " t"
+                      << d.at("thread").asU64() << " origPc="
+                      << d.at("origPc").asU64() << " patchedPc="
+                      << d.at("patchedPc").asU64();
+            if (const JsonValue *m = d.find("mode"))
+                std::cout << " mode=" << m->str;
+            const JsonValue &w = d.at("witness");
+            if (!w.at("detail").str.empty())
+                std::cout << " (necessary: " << w.at("kind").str
+                          << " '" << w.at("detail").str << "')";
+            std::cout << "\n";
+        }
+        const JsonValue &c = doc.at("counts");
+        std::cout << "counts: fences "
+                  << c.at("fencesOriginal").asU64() << " -> "
+                  << c.at("fencesKept").asU64() +
+                         c.at("fencesInserted").asU64()
+                  << " (" << c.at("fencesKept").asU64() << " kept, "
+                  << c.at("fencesInserted").asU64() << " inserted, "
+                  << c.at("fencesRemoved").asU64() << " removed), "
+                  << c.at("rmwDemotions").asU64()
+                  << " rmw demotion(s)\n";
+        if (const JsonValue *sp = doc.find("speedup"))
+            std::cout << "speedup [" << sp->at("machine").str
+                      << "]: all-fenced "
+                      << sp->at("baselineCycles").asU64()
+                      << " cycles, synthesized "
+                      << sp->at("synthCycles").asU64()
+                      << " cycles\n";
+    }
+    return rc;
+}
+
+void
+printTopUsage(std::ostream &os)
+{
+    os << "usage: fafence <command> [options]\n\n"
+          "commands:\n"
+          "  synth       synthesize the minimal fence/mode placement "
+          "(writes patched\n"
+          "              .fasm per thread + fa-fence-cert-v1 "
+          "certificate)\n"
+          "  check-cert  independently re-validate certificates\n"
+          "  diff        show what a certificate's synthesis changed\n"
+          "\nrun 'fafence <command> --help' for command options\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        printTopUsage(std::cerr);
+        return kExitUsage;
+    }
+    std::string cmd = argv[1];
+    if (cmd == "-h" || cmd == "--help") {
+        printTopUsage(std::cout);
+        return kExitOk;
+    }
+    try {
+        if (cmd == "synth")
+            return cmdSynth(argc - 1, argv + 1);
+        if (cmd == "check-cert")
+            return cmdCheckCert(argc - 1, argv + 1);
+        if (cmd == "diff")
+            return cmdDiff(argc - 1, argv + 1);
+        std::cerr << "fafence: unknown command '" << cmd << "'\n\n";
+        printTopUsage(std::cerr);
+        return kExitUsage;
+    } catch (const FatalError &e) {
+        std::cerr << "fafence: " << e.message << "\n";
+        return kExitError;
+    } catch (const std::exception &e) {
+        std::cerr << "fafence: " << e.what() << "\n";
+        return kExitError;
+    }
+}

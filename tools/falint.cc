@@ -22,6 +22,8 @@
  *   falint -p examples/programs/counter.fasm --threads 4 --check
  */
 
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -80,6 +82,8 @@ main(int argc, char **argv)
     double scale = 1.0;
     std::uint64_t seed = 42;
     bool check = false;
+    bool fix = false;
+    std::string fix_out = ".";
     bool quiet = false;
     PassSelection passes;
 
@@ -95,8 +99,14 @@ main(int argc, char **argv)
     p.opt(&passes_s, "", "--passes", "LIST",
           "comma list of cycles,fences,locks [all]");
     p.flag(&check, "", "--check", "also run + axiomatic TSO check");
+    p.flag(&fix, "", "--fix",
+           "synthesize the minimal fence/mode placement for -m via "
+           "the fafence engine; writes patched programs + "
+           "certificate");
+    p.opt(&fix_out, "", "--fix-out", "DIR",
+          "output directory for --fix [.]");
     p.opt(&mode_s, "-m", "--mode", "MODE",
-          "fenced|spec|free|freefwd (--check) [freefwd]");
+          "fenced|spec|free|freefwd (fence pass + --check) [freefwd]");
     p.opt(&machine_s, "", "--machine", "NAME",
           std::string(sim::presets::names()) + " [tiny]");
     p.opt(&scale, "", "--scale", "F", "iteration scale (--check) [1.0]");
@@ -175,7 +185,8 @@ main(int argc, char **argv)
         std::vector<analysis::FenceReport> fences;
         unsigned removable_fences = 0;
         if (passes.fences) {
-            fences = analysis::analyzeFences(sums, ca);
+            fences = analysis::analyzeFences(
+                sums, ca, core::parseAtomicsMode(mode_s));
             for (const auto &f : fences) {
                 if (f.verdict != analysis::FenceVerdict::kRequired)
                     ++removable_fences;
@@ -221,6 +232,45 @@ main(int argc, char **argv)
             findings.push_back(5);
         if (!locks.deadlocks.empty())
             findings.push_back(6);
+
+        // --- fence/mode synthesis (--fix) -----------------------------
+        // Where the static fence pass only classifies, --fix proves:
+        // the fafence CEGAR engine strips everything, re-adds only
+        // what an exhaustive-model-check witness requires, and ships
+        // the machine-checkable certificate alongside the patch.
+        if (fix) {
+            analysis::synth::SynthOpts sopts;
+            sopts.targetMode = core::parseAtomicsMode(mode_s);
+            mc::MemInit init;
+            if (w && w->init)
+                init = w->init(threads, scale);
+            const std::string base = w ? workload : "fasm";
+            analysis::synth::SynthResult sr =
+                analysis::synth::synthesize(base, progs, init, sopts);
+            if (!sr.ok)
+                fatal("--fix synthesis failed: %s", sr.error.c_str());
+            std::filesystem::create_directories(fix_out);
+            for (std::size_t t = 0; t < sr.patched.size(); ++t) {
+                std::string path = fix_out + "/" + base + "-t" +
+                    std::to_string(t) + ".fasm";
+                std::ofstream pf(path);
+                if (!pf)
+                    fatal("cannot write %s", path.c_str());
+                pf << isa::writeAsm(sr.patched[t]);
+            }
+            std::string cert_path =
+                fix_out + "/" + base + "-cert.json";
+            std::ofstream cf(cert_path);
+            if (!cf)
+                fatal("cannot write %s", cert_path.c_str());
+            cf << analysis::synth::writeCert(sr);
+            std::cout << "fix: fences " << sr.fencesOriginal << " -> "
+                      << (sr.fencesKept + sr.fencesInserted) << " ("
+                      << sr.fencesRemoved << " removed), "
+                      << sr.rmwDemotions
+                      << " rmw demotion(s); certificate "
+                      << cert_path << "\n";
+        }
 
         // --- dynamic half ---------------------------------------------
         if (check) {

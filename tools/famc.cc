@@ -32,6 +32,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -67,6 +68,7 @@ writeWitness(const std::string &out_dir, const Job &job,
 {
     std::string path = out_dir + "/famc-witness-" + job.name + "-" +
         mode + ".txt";
+    std::filesystem::create_directories(out_dir);
     std::ofstream f(path);
     f << "famc violation witness\n"
       << "workload: " << job.name << "\n"
@@ -106,6 +108,7 @@ main(int argc, char **argv)
     std::int64_t reorder_bound = -1;
     std::uint64_t max_states = 1'000'000;
     bool certify_tso = false;
+    bool witness_edges = false;
     bool track_regs = false;
     bool no_reduce = false;
     bool stats = false;
@@ -148,6 +151,9 @@ main(int argc, char **argv)
     p.flag(&certify_tso, "", "--certify-tso",
            "dpor: run the axiomatic checker over every complete "
            "execution");
+    p.flag(&witness_edges, "", "--witness-edges",
+           "print each outcome's minimal witness reorder edges "
+           "(store passed by later read)");
     p.flag(&track_regs, "", "--regs",
            "include register files in outcomes");
     p.flag(&no_reduce, "", "--no-reduce",
@@ -287,6 +293,7 @@ main(int argc, char **argv)
             eopts.reduce = reduce;
             eopts.trackRegs = track_regs;
             eopts.certifyTso = certify_tso;
+            eopts.outcomeWitnesses = witness_edges;
             mc::ExploreResult r = mc::explore(model, job.init, eopts);
 
             os << job.name << " [" << mname
@@ -308,6 +315,20 @@ main(int argc, char **argv)
                 for (const mc::Outcome &o : r.outcomes)
                     os << "  outcome: " << o.pretty() << "\n";
             }
+            if (witness_edges) {
+                for (const mc::Outcome &o : r.outcomes) {
+                    const mc::OutcomeWitness *w = r.witnessFor(o.id);
+                    os << "  outcome " << o.pretty() << ": ";
+                    if (!w || w->edges.empty()) {
+                        os << "sc-reachable (no reorder edges)\n";
+                        continue;
+                    }
+                    os << w->edges.size() << " reorder edge(s), "
+                       << w->steps.size() << "-step witness\n";
+                    for (const mc::ReorderEdge &e : w->edges)
+                        os << "    edge: " << e.describe() << "\n";
+                }
+            }
 
             for (const mc::ExploreViolation &v : r.violations) {
                 std::string path =
@@ -316,6 +337,9 @@ main(int argc, char **argv)
                    << "\n"
                    << "  witness: " << path << " ("
                    << v.witness.size() << " steps)\n";
+                if (witness_edges)
+                    for (const mc::ReorderEdge &e : v.edges)
+                        os << "    edge: " << e.describe() << "\n";
                 rc = std::max(rc, kExitViolation);
             }
             if (!r.complete)

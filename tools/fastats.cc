@@ -13,6 +13,13 @@
  * change, then diff the two JSON files to see exactly which counters
  * moved (and whether the latency distributions shifted, not just the
  * means).
+ *
+ * With --cert the same one-or-two-file contract applies to
+ * "fa-fence-cert-v1" synthesis certificates (fafence): one file
+ * validates the schema and summarizes what the synthesis changed,
+ * two files diff the retained sites and speedup. This is a schema
+ * check only — `fafence check-cert` does the full semantic
+ * re-validation.
  */
 
 #include <fstream>
@@ -279,12 +286,116 @@ validateSweep(const std::string &path)
     return bad == 0 && runs > 0 ? 0 : 1;
 }
 
+// --- fa-fence-cert-v1 (fafence) ---------------------------------------
+
+JsonValue
+loadCert(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '%s'", path.c_str());
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    JsonValue doc = JsonValue::parse(buf.str());
+    const JsonValue *schema = doc.find("schema");
+    if (!schema || schema->str != "fa-fence-cert-v1")
+        fatal("'%s' is not a fa-fence-cert-v1 certificate",
+              path.c_str());
+    // Structural spine: every block the schema promises must parse.
+    doc.at("name");
+    doc.at("targetMode");
+    doc.at("fault");
+    doc.at("programs").at("original");
+    doc.at("programs").at("patched");
+    doc.at("reference").at("outcomes");
+    doc.at("decisions");
+    doc.at("final").at("modes");
+    doc.at("counts").at("fencesOriginal");
+    return doc;
+}
+
+void
+certSummarize(const JsonValue &doc)
+{
+    const JsonValue &c = doc.at("counts");
+    std::cout << doc.at("name").str << ": target "
+              << doc.at("targetMode").str << ", fault "
+              << doc.at("fault").str << ", "
+              << doc.at("threads").asU64() << " thread(s)\n"
+              << "  fences: " << c.at("fencesOriginal").asU64()
+              << " -> "
+              << c.at("fencesKept").asU64() +
+                     c.at("fencesInserted").asU64()
+              << " (" << c.at("fencesKept").asU64() << " kept, "
+              << c.at("fencesInserted").asU64() << " inserted, "
+              << c.at("fencesRemoved").asU64() << " removed), "
+              << c.at("rmwDemotions").asU64()
+              << " rmw demotion(s)\n"
+              << "  reference: "
+              << doc.at("reference").at("outcomes").arr.size()
+              << " outcome(s); " << doc.at("iterations").arr.size()
+              << " refinement(s); " << doc.at("decisions").arr.size()
+              << " retained site(s)\n";
+    for (const JsonValue &d : doc.at("decisions").arr) {
+        std::cout << "  site: " << d.at("kind").str << " t"
+                  << d.at("thread").asU64() << " patchedPc="
+                  << d.at("patchedPc").asU64();
+        if (const JsonValue *m = d.find("mode"))
+            std::cout << " mode=" << m->str;
+        std::cout << "\n";
+    }
+    for (const JsonValue &m : doc.at("final").at("modes").arr)
+        std::cout << "  final [" << m.at("mode").str << "]: "
+                  << (m.at("complete").boolean ? "complete"
+                                               : "TRUNCATED")
+                  << ", " << m.at("outcomes").asU64()
+                  << " outcome(s)\n";
+    if (const JsonValue *sp = doc.find("speedup"))
+        std::cout << "  speedup [" << sp->at("machine").str
+                  << "]: all-fenced "
+                  << sp->at("baselineCycles").asU64()
+                  << " cycles -> " << sp->at("synthCycles").asU64()
+                  << " cycles\n";
+    std::cout << "note: schema check only — run `fafence check-cert` "
+                 "for full semantic re-validation\n";
+}
+
+int
+certDiff(const JsonValue &a, const JsonValue &b)
+{
+    std::cout << "cert diff: " << a.at("name").str << " -> "
+              << b.at("name").str << "\n";
+    const JsonValue &ca = a.at("counts");
+    const JsonValue &cb = b.at("counts");
+    for (const auto &[key, va] : ca.members) {
+        const JsonValue *vb = cb.find(key);
+        if (!vb)
+            continue;
+        if (va.asU64() != vb->asU64())
+            std::cout << "  " << key << ": " << va.asU64() << " -> "
+                      << vb->asU64() << "\n";
+    }
+    if (a.at("decisions").arr.size() != b.at("decisions").arr.size())
+        std::cout << "  retained sites: "
+                  << a.at("decisions").arr.size() << " -> "
+                  << b.at("decisions").arr.size() << "\n";
+    const JsonValue *sa = a.find("speedup");
+    const JsonValue *sb = b.find("speedup");
+    if (sa && sb) {
+        std::cout << "  synth cycles: "
+                  << sa->at("synthCycles").asU64() << " -> "
+                  << sb->at("synthCycles").asU64() << "\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool show_all = false;
+    bool cert_mode = false;
     double fail_above = -1.0;
     std::string sweep_path;
     std::vector<std::string> files;
@@ -295,6 +406,10 @@ main(int argc, char **argv)
                  "one file: summarize; two: diff (FILE = baseline)");
     p.flag(&show_all, "-a", "--all",
            "show unchanged counters in diffs too");
+    p.flag(&cert_mode, "", "--cert",
+           "treat FILEs as fa-fence-cert-v1 certificates instead "
+           "(schema validate / diff; `fafence check-cert` does the "
+           "full semantic re-validation)");
     p.opt(&fail_above, "", "--fail-above", "PCT",
           "(diff) exit 4 when any cycles/core.*/mem.* counter grew "
           "by more than PCT percent");
@@ -333,6 +448,24 @@ main(int argc, char **argv)
         std::cerr << "fastats: --fail-above needs two stats files "
                      "to diff\n";
         return 2;
+    }
+
+    if (cert_mode) {
+        if (p.seen("--fail-above") || !sweep_path.empty()) {
+            std::cerr << "fastats: --cert cannot be combined with "
+                         "--sweep or --fail-above\n";
+            return 2;
+        }
+        try {
+            if (files.size() == 1) {
+                certSummarize(loadCert(files[0]));
+                return 0;
+            }
+            return certDiff(loadCert(files[0]), loadCert(files[1]));
+        } catch (const FatalError &e) {
+            std::cerr << "fastats: " << e.message << "\n";
+            return 1;
+        }
     }
 
     try {
