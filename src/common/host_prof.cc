@@ -1,0 +1,40 @@
+#include "common/host_prof.hh"
+
+namespace fa {
+
+const char *
+hostPhaseName(HostPhase p)
+{
+    switch (p) {
+      case HostPhase::kCoreEvents: return "core.events";
+      case HostPhase::kCoreCommit: return "core.commit";
+      case HostPhase::kCoreSbDrain: return "core.sbdrain";
+      case HostPhase::kCoreIssue: return "core.issue";
+      case HostPhase::kCoreDispatch: return "core.dispatch";
+      case HostPhase::kCoreChaos: return "core.chaos";
+      case HostPhase::kCoreWatchdog: return "core.watchdog";
+      case HostPhase::kMemDirectory: return "mem.directory";
+      case HostPhase::kMemCoherence: return "mem.coherence";
+      case HostPhase::kMemCrossbar: return "mem.crossbar";
+      case HostPhase::kMemCaches: return "mem.caches";
+      case HostPhase::kMemSweep: return "mem.sweep";
+      case HostPhase::kStats: return "stats";
+      case HostPhase::kNumPhases: break;
+    }
+    return "?";
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+HostProfiler::table() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> rows;
+    const auto n = static_cast<std::size_t>(HostPhase::kNumPhases);
+    rows.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        rows.emplace_back(hostPhaseName(static_cast<HostPhase>(i)),
+                          ns_[i]);
+    }
+    return rows;
+}
+
+} // namespace fa

@@ -1,0 +1,267 @@
+#include "common/span_trace.hh"
+
+namespace fa {
+
+SpanTracer::SpanTracer(std::ostream &os) : out(os), jw(out)
+{
+    jw.beginObject();
+    jw.key("displayTimeUnit").value("ms");
+    jw.key("otherData").beginObject();
+    jw.key("schema").value("fa-trace-v1");
+    jw.key("tsUnit").value("1 cycle = 1 us");
+    jw.endObject();
+    // traceEvents comes last so events can stream until finish().
+    jw.key("traceEvents").beginArray();
+}
+
+void
+SpanTracer::preamble(unsigned cores, unsigned aqEntries)
+{
+    if (closed)
+        return;
+    for (unsigned c = 0; c < cores; ++c) {
+        metadata(c, 0, "process_name", "core " + std::to_string(c));
+        metadata(c, 0, "thread_name", "events");
+        for (unsigned i = 0; i < aqEntries; ++i) {
+            metadata(c, 1 + i, "thread_name",
+                     "aq " + std::to_string(i));
+        }
+    }
+}
+
+void
+SpanTracer::metadata(unsigned pid, unsigned tid, const char *kind,
+                     const std::string &label)
+{
+    jw.beginObject();
+    jw.key("ph").value("M");
+    jw.key("pid").value(pid);
+    jw.key("tid").value(tid);
+    jw.key("name").value(kind);
+    jw.key("args").beginObject();
+    jw.key("name").value(label);
+    jw.endObject();
+    jw.endObject();
+    ++events;
+}
+
+void
+SpanTracer::beginEvent(const char *ph, unsigned pid, unsigned tid,
+                       Cycle ts)
+{
+    jw.beginObject();
+    jw.key("ph").value(ph);
+    jw.key("pid").value(pid);
+    jw.key("tid").value(tid);
+    jw.key("ts").value(ts);
+}
+
+void
+SpanTracer::endEvent()
+{
+    jw.endObject();
+    ++events;
+}
+
+void
+SpanTracer::beginSpan(unsigned pid, unsigned tid, const char *name,
+                      Cycle ts)
+{
+    beginEvent("B", pid, tid, ts);
+    jw.key("name").value(name);
+    endEvent();
+}
+
+void
+SpanTracer::endSpan(unsigned pid, unsigned tid, Cycle ts)
+{
+    beginEvent("E", pid, tid, ts);
+    endEvent();
+}
+
+void
+SpanTracer::closeChild(unsigned pid, unsigned tid, Open &o, Cycle ts)
+{
+    if (o.child != Child::kNone) {
+        endSpan(pid, tid, ts);
+        o.child = Child::kNone;
+    }
+}
+
+void
+SpanTracer::atomicDispatch(CoreId core, int aqIdx, SeqNum seq,
+                           Addr pc, Cycle now)
+{
+    if (closed)
+        return;
+    const unsigned tid = tidFor(aqIdx);
+    beginEvent("B", core, tid, now);
+    jw.key("name").value("atomic");
+    jw.key("args").beginObject();
+    jw.key("seq").value(seq);
+    jw.key("pc").value(pc);
+    jw.endObject();
+    endEvent();
+    beginSpan(core, tid, "acquire", now);
+    open[{core, aqIdx}] = Open{Child::kAcquire, seq};
+}
+
+void
+SpanTracer::atomicAcquired(CoreId core, int aqIdx, Cycle now,
+                           const char *source, unsigned chain)
+{
+    if (closed)
+        return;
+    auto it = open.find({core, aqIdx});
+    if (it == open.end())
+        return;
+    const unsigned tid = tidFor(aqIdx);
+    if (it->second.child == Child::kAcquire) {
+        beginEvent("E", core, tid, now);
+        jw.key("args").beginObject();
+        jw.key("source").value(source);
+        jw.key("chain").value(chain);
+        jw.endObject();
+        endEvent();
+        it->second.child = Child::kNone;
+    }
+    beginSpan(core, tid, "window", now);
+    it->second.child = Child::kWindow;
+}
+
+void
+SpanTracer::atomicRetry(CoreId core, int aqIdx, Cycle now)
+{
+    if (closed)
+        return;
+    beginEvent("i", core, tidFor(aqIdx), now);
+    jw.key("name").value("retry");
+    jw.key("s").value("t");
+    endEvent();
+}
+
+void
+SpanTracer::atomicFwdHop(CoreId core, int aqIdx, SeqNum fromSeq,
+                         unsigned chain, Cycle now)
+{
+    if (closed)
+        return;
+    beginEvent("i", core, tidFor(aqIdx), now);
+    jw.key("name").value("fwd_hop");
+    jw.key("s").value("t");
+    jw.key("args").beginObject();
+    jw.key("fromSeq").value(fromSeq);
+    jw.key("chain").value(chain);
+    jw.endObject();
+    endEvent();
+}
+
+void
+SpanTracer::lockDenied(CoreId core, int aqIdx, Addr line,
+                       CoreId requester, Cycle now)
+{
+    if (closed)
+        return;
+    beginEvent("i", core, tidFor(aqIdx), now);
+    jw.key("name").value("lock_denied");
+    jw.key("s").value("t");
+    jw.key("args").beginObject();
+    jw.key("line").value(line);
+    jw.key("requester").value(requester);
+    jw.endObject();
+    endEvent();
+}
+
+void
+SpanTracer::atomicCommitted(CoreId core, int aqIdx, Cycle now,
+                            unsigned sbDepth, Cycle drainCycles)
+{
+    if (closed)
+        return;
+    auto it = open.find({core, aqIdx});
+    if (it == open.end())
+        return;
+    const unsigned tid = tidFor(aqIdx);
+    closeChild(core, tid, it->second, now);
+    beginEvent("B", core, tid, now);
+    jw.key("name").value("drain");
+    jw.key("args").beginObject();
+    jw.key("sbDepth").value(sbDepth);
+    jw.key("drainCycles").value(drainCycles);
+    jw.endObject();
+    endEvent();
+    it->second.child = Child::kDrain;
+}
+
+void
+SpanTracer::atomicUnlocked(CoreId core, int aqIdx, Cycle now)
+{
+    if (closed)
+        return;
+    auto it = open.find({core, aqIdx});
+    if (it == open.end())
+        return;
+    const unsigned tid = tidFor(aqIdx);
+    closeChild(core, tid, it->second, now);
+    endSpan(core, tid, now);
+    open.erase(it);
+}
+
+void
+SpanTracer::atomicSquashed(CoreId core, int aqIdx, Cycle now,
+                           const char *cause)
+{
+    if (closed)
+        return;
+    auto it = open.find({core, aqIdx});
+    if (it == open.end())
+        return;
+    const unsigned tid = tidFor(aqIdx);
+    closeChild(core, tid, it->second, now);
+    beginEvent("E", core, tid, now);
+    jw.key("args").beginObject();
+    jw.key("squashed").value(true);
+    jw.key("cause").value(cause);
+    jw.endObject();
+    endEvent();
+    open.erase(it);
+}
+
+void
+SpanTracer::coreInstant(CoreId core, const char *name, SeqNum seq,
+                        Cycle now)
+{
+    if (closed)
+        return;
+    beginEvent("i", core, 0, now);
+    jw.key("name").value(name);
+    jw.key("s").value("t");
+    jw.key("args").beginObject();
+    jw.key("seq").value(seq);
+    jw.endObject();
+    endEvent();
+}
+
+void
+SpanTracer::finish(Cycle now)
+{
+    if (closed)
+        return;
+    for (auto &[key, o] : open) {
+        const unsigned tid = tidFor(key.second);
+        closeChild(key.first, tid, o, now);
+        beginEvent("E", key.first, tid, now);
+        jw.key("args").beginObject();
+        jw.key("truncated").value(true);
+        jw.endObject();
+        endEvent();
+    }
+    open.clear();
+    jw.endArray();
+    jw.endObject();
+    out << "\n";
+    out.flush();
+    closed = true;
+}
+
+} // namespace fa

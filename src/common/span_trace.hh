@@ -1,0 +1,145 @@
+/**
+ * @file
+ * faprof simulated-side tracer: emits Chrome trace-event /
+ * Perfetto-compatible JSON (schema `fa-trace-v1`) describing the
+ * lifetime of every atomic transaction — dispatch, AQ lock
+ * acquisition, remote lock denials and retries, fwd-chain hops,
+ * commit, and SB drain — plus instant events for watchdog
+ * victimizations, squash storms, and chaos injections.
+ *
+ * Track layout (stable across runs, asserted by tests):
+ *   pid  = core id            (one Perfetto "process" per core)
+ *   tid 0        = "events"   (core-level instants: watchdog, chaos)
+ *   tid 1 + aqIdx = "aq N"    (span track for AQ entry N)
+ *
+ * An AQ entry holds at most one in-flight atomic at a time, so spans
+ * on an aq track never overlap and synchronous B/E nesting is valid:
+ *
+ *   B atomic ─ B acquire ─ E ─ B window ─ E ─ B drain ─ E ─ E atomic
+ *
+ * Timestamps map 1 simulated cycle = 1 µs (the trace-event `ts`
+ * unit), so Perfetto's time axis reads directly in cycles.
+ *
+ * Zero-cost when off: nothing in core/ or mem/ touches the tracer
+ * except through a nullable pointer guard, same discipline as
+ * pipeview and fasan.
+ */
+
+#ifndef FA_COMMON_SPAN_TRACE_HH
+#define FA_COMMON_SPAN_TRACE_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "common/json.hh"
+#include "common/types.hh"
+
+namespace fa {
+
+class SpanTracer
+{
+  public:
+    /** Streams events to @p os as they arrive; call finish() (or let
+     * the owning System do it) to close the JSON document. */
+    explicit SpanTracer(std::ostream &os);
+
+    /** Emit the metadata events naming every pid/tid track. Call once
+     * before the first span. */
+    void preamble(unsigned cores, unsigned aqEntries);
+
+    /** Atomic entered the ROB and claimed AQ entry @p aqIdx: opens
+     * the top-level "atomic" span and the "acquire" child. */
+    void atomicDispatch(CoreId core, int aqIdx, SeqNum seq, Addr pc,
+                        Cycle now);
+
+    /** Value bound and AQ cacheline lock taken (or SQ-forwarded):
+     * closes "acquire", opens the speculative "window" child.
+     * @p source names where the value came from ("mem", "sq", ...);
+     * @p chain is the fwd-chain depth (0 = direct). */
+    void atomicAcquired(CoreId core, int aqIdx, Cycle now,
+                        const char *source, unsigned chain);
+
+    /** The atomic's load was bounced and re-queued (e.g. remote lock
+     * or MSHR conflict): instant on the aq track. */
+    void atomicRetry(CoreId core, int aqIdx, Cycle now);
+
+    /** Store-queue forwarding chained this atomic onto @p fromSeq. */
+    void atomicFwdHop(CoreId core, int aqIdx, SeqNum fromSeq,
+                      unsigned chain, Cycle now);
+
+    /** A remote core's invalidation/downgrade was denied because this
+     * core's AQ entry holds the line locked. */
+    void lockDenied(CoreId core, int aqIdx, Addr line,
+                    CoreId requester, Cycle now);
+
+    /** Atomic committed: closes "window", opens the "drain" child
+     * covering SB drain until the unlocking store performs. */
+    void atomicCommitted(CoreId core, int aqIdx, Cycle now,
+                         unsigned sbDepth, Cycle drainCycles);
+
+    /** Unlocking store performed and AQ entry released: closes
+     * "drain" and the top-level "atomic" span. */
+    void atomicUnlocked(CoreId core, int aqIdx, Cycle now);
+
+    /** Atomic squashed before completing: closes whatever child is
+     * open, then the top-level span, tagging the squash cause. */
+    void atomicSquashed(CoreId core, int aqIdx, Cycle now,
+                        const char *cause);
+
+    /** Core-level instant on tid 0 (watchdog_victim,
+     * chaos_squash_storm, chaos_stuck_lock, ...). */
+    void coreInstant(CoreId core, const char *name, SeqNum seq,
+                     Cycle now);
+
+    /**
+     * Close any spans still open (tagged truncated=true, in
+     * deterministic (core, aqIdx) order) and terminate the JSON
+     * document. Idempotent; further events are ignored.
+     */
+    void finish(Cycle now);
+
+    /** Events emitted so far (metadata included). */
+    std::uint64_t eventCount() const { return events; }
+
+  private:
+    enum class Child : std::uint8_t { kNone, kAcquire, kWindow,
+                                      kDrain };
+
+    struct Open
+    {
+        Child child = Child::kNone;
+        SeqNum seq = kNoSeq;
+    };
+
+    static unsigned tidFor(int aqIdx) {
+        return 1u + static_cast<unsigned>(aqIdx);
+    }
+
+    /** Start a trace-event record ({"ph":..,"pid":..,"tid":..,"ts"});
+     * caller appends name/args and calls endEvent(). */
+    void beginEvent(const char *ph, unsigned pid, unsigned tid,
+                    Cycle ts);
+    void endEvent();
+
+    void beginSpan(unsigned pid, unsigned tid, const char *name,
+                   Cycle ts);
+    void endSpan(unsigned pid, unsigned tid, Cycle ts);
+    void metadata(unsigned pid, unsigned tid, const char *kind,
+                  const std::string &label);
+    /** Close the open child span (if any) of @p open at @p ts. */
+    void closeChild(unsigned pid, unsigned tid, Open &open, Cycle ts);
+
+    std::ostream &out;
+    JsonWriter jw;
+    bool closed = false;
+    std::uint64_t events = 0;
+    /** Open top-level spans keyed (core, aqIdx); std::map keeps the
+     * finish() sweep deterministic. */
+    std::map<std::pair<CoreId, int>, Open> open;
+};
+
+} // namespace fa
+
+#endif // FA_COMMON_SPAN_TRACE_HH

@@ -103,6 +103,17 @@ AtomicQueue::isLineLocked(Addr line) const
     return false;
 }
 
+int
+AtomicQueue::lockedIndexFor(Addr line) const
+{
+    for (size_t i = 0; i < slots.size(); ++i) {
+        const Entry &e = slots[i];
+        if (e.valid && e.locked && e.line == line)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
 bool
 AtomicQueue::anyLocked() const
 {

@@ -69,6 +69,10 @@ class AtomicQueue
     /** Is `line` locked by any valid entry? (external request CAM) */
     bool isLineLocked(Addr line) const;
 
+    /** Index of the valid entry holding `line` locked; -1 if none
+     * (span tracing attributes remote denials to the AQ track). */
+    int lockedIndexFor(Addr line) const;
+
     /** Any entry currently holding a lock? (watchdog arm condition) */
     bool anyLocked() const;
 

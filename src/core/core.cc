@@ -4,8 +4,10 @@
 
 #include "analysis/sanitizer/fasan.hh"
 #include "analysis/trace.hh"
+#include "common/host_prof.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "common/span_trace.hh"
 #include "core/pipeview.hh"
 #include "sim/chaos/chaos.hh"
 
@@ -68,6 +70,20 @@ isFencedMode(AtomicsMode m)
     return m == AtomicsMode::kFenced || m == AtomicsMode::kSpec;
 }
 
+const char *
+squashCauseName(SquashCause c)
+{
+    switch (c) {
+      case SquashCause::kBranchMispredict: return "branch_mispredict";
+      case SquashCause::kMemDepViolation:  return "memdep_violation";
+      case SquashCause::kInvalidatedLoad:  return "invalidated_load";
+      case SquashCause::kWatchdog:         return "watchdog";
+      case SquashCause::kChaos:            return "chaos";
+      case SquashCause::kNumCauses:        break;
+    }
+    return "?";
+}
+
 } // namespace
 
 Core::Core(CoreId id, const CoreConfig &config, const isa::Program &prog,
@@ -126,6 +142,11 @@ Core::tick(Cycle now)
     ++stats.activeCycles;
     squashedThisCycle = false;
 
+    if (hostProf && hostProf->sampling()) {
+        tickStagesProfiled(now);
+        return;
+    }
+
     processEvents(now);
     commitStage(now);
     sbDrainStage(now);
@@ -134,6 +155,40 @@ Core::tick(Cycle now)
     if (chaos)
         chaosStage(now);
     watchdogStage(now);
+}
+
+void
+Core::tickStagesProfiled(Cycle now)
+{
+    // Keep this in lockstep with tick(): same stages, same order.
+    {
+        HostProfiler::Timer t(*hostProf, HostPhase::kCoreEvents);
+        processEvents(now);
+    }
+    {
+        HostProfiler::Timer t(*hostProf, HostPhase::kCoreCommit);
+        commitStage(now);
+    }
+    {
+        HostProfiler::Timer t(*hostProf, HostPhase::kCoreSbDrain);
+        sbDrainStage(now);
+    }
+    {
+        HostProfiler::Timer t(*hostProf, HostPhase::kCoreIssue);
+        issueStage(now);
+    }
+    {
+        HostProfiler::Timer t(*hostProf, HostPhase::kCoreDispatch);
+        dispatchStage(now);
+    }
+    if (chaos) {
+        HostProfiler::Timer t(*hostProf, HostPhase::kCoreChaos);
+        chaosStage(now);
+    }
+    {
+        HostProfiler::Timer t(*hostProf, HostPhase::kCoreWatchdog);
+        watchdogStage(now);
+    }
 }
 
 // --------------------------------------------------------------------------
@@ -237,10 +292,13 @@ Core::finishExec(DynInst *inst, Cycle now)
 // --------------------------------------------------------------------------
 
 void
-Core::requeueMemRead(DynInst *inst)
+Core::requeueMemRead(DynInst *inst, Cycle now)
 {
-    if (inst->isAtomic() && inst->aqIdx >= 0)
+    if (inst->isAtomic() && inst->aqIdx >= 0) {
         aq.clearForward(inst->aqIdx);
+        if (spans)
+            spans->atomicRetry(coreId, inst->aqIdx, now);
+    }
     inst->fwdKind = FwdKind::kNone;
     inst->fwdFromSeq = kNoSeq;
     inst->fwdChain = 0;
@@ -260,7 +318,7 @@ Core::performLoad(DynInst *inst, Cycle now)
     DynInst *src = lsq.youngestOlderStore(inst->seq, inst->addr);
     if (inst->fwdKind == FwdKind::kNone) {
         if (src) {
-            requeueMemRead(inst);
+            requeueMemRead(inst, now);
             return;
         }
         // Validate residence at perform time: the line may have been
@@ -273,13 +331,13 @@ Core::performLoad(DynInst *inst, Cycle now)
             ? memSys->privHasWritePerm(coreId, inst->line())
             : memSys->privHolds(coreId, inst->line());
         if (!ok) {
-            requeueMemRead(inst);
+            requeueMemRead(inst, now);
             return;
         }
     } else if (src && src->seq > inst->fwdFromSeq) {
         // A store younger than the forwarding source resolved inside
         // the forwarding window: the captured value is stale.
-        requeueMemRead(inst);
+        requeueMemRead(inst, now);
         return;
     }
     if (inst->isLoadLinked()) {
@@ -295,6 +353,14 @@ Core::performLoad(DynInst *inst, Cycle now)
                  (unsigned long long)now, coreId,
                  (unsigned long long)inst->seq, inst->pc,
                  (unsigned long long)inst->line());
+    }
+    if (spans && inst->isAtomic()) {
+        // Value bound: lock taken from the cache, or the AQ entry is
+        // armed to capture it from the forwarding store (§4.2).
+        spans->atomicAcquired(coreId, inst->aqIdx, now,
+                              inst->fwdKind == FwdKind::kNone ? "mem"
+                                                              : "sq",
+                              inst->fwdChain);
     }
 
     if (cfg.strideLoadPrefetch && inst->isLoad() &&
@@ -383,6 +449,19 @@ Core::isLineLocked(Addr line) const
     return aq.isLineLocked(line);
 }
 
+void
+Core::onLockDenied(Addr line, CoreId requester, Cycle now)
+{
+    // Called by the memory system only when span tracing is on (the
+    // default CoreMemIf body is empty): attribute the denial to the
+    // AQ entry holding the line.
+    if (!spans)
+        return;
+    int idx = aq.lockedIndexFor(line);
+    if (idx >= 0)
+        spans->lockDenied(coreId, idx, line, requester, now);
+}
+
 // --------------------------------------------------------------------------
 // Commit
 // --------------------------------------------------------------------------
@@ -452,6 +531,10 @@ Core::commitOne(DynInst *head, Cycle now)
         if (fasan)
             fasan->checkAtomicCommit(coreId, now, head->seq, head->pc,
                                      lsq.sbCount());
+        if (spans)
+            spans->atomicCommitted(coreId, head->aqIdx, now,
+                                   lsq.sqDepthBefore(head->seq),
+                                   head->drainSbCycles);
         ++stats.committedAtomics;
         stats.atomicPostIssueCycles += now - head->issuedAt;
         hists.atomicLatency.record(now - head->dispatchedAt);
@@ -608,6 +691,8 @@ Core::sbDrainStage(Cycle now)
     if (st->isAtomic()) {
         // store_unlock: release this atomic's own AQ entry. The line
         // stays locked iff a younger entry captured it above.
+        if (spans)
+            spans->atomicUnlocked(coreId, st->aqIdx, now);
         aq.release(st->aqIdx);
         if (fasan)
             fasan->checkUnlockHandoff(coreId, now, st->seq, line,
@@ -977,6 +1062,9 @@ Core::tryIssueMemRead(DynInst *inst, Cycle now)
         if (inst->isAtomic()) {
             aq.setForwardedFrom(inst->aqIdx, st->seq);
             inst->lockSource = LockSource::kStoreQueue;
+            if (spans)
+                spans->atomicFwdHop(coreId, inst->aqIdx, st->seq,
+                                    inst->fwdChain, now);
         }
         if (!inst->issuedAt)
             inst->issuedAt = now;
@@ -1105,6 +1193,10 @@ Core::dispatchStage(Cycle now)
             if (inst->aqIdx < 0)
                 panic("AQ allocation failed after full check");
             uncommittedAtomics.push_back(inst);
+            if (spans)
+                spans->atomicDispatch(coreId, inst->aqIdx, inst->seq,
+                                      static_cast<Addr>(inst->pc),
+                                      now);
         }
         if (si.op == isa::Op::kMfence)
             pendingFences.push_back(inst);
@@ -1208,6 +1300,9 @@ Core::squashFrom(SeqNum from_seq, int resume_pc, SquashCause cause,
             }
         }
         if (inst->aqIdx >= 0) {
+            if (spans)
+                spans->atomicSquashed(coreId, inst->aqIdx, now,
+                                      squashCauseName(cause));
             if (inst->lockHeld && chaos && chaos->dropUnlock(coreId)) {
                 // Injected simulator bug: the unlock_on_squash
                 // message is lost and the AQ entry leaks its lock.
@@ -1295,6 +1390,9 @@ Core::chaosStage(Cycle now)
         unsigned idx = chaos->stormVictimIndex(
             static_cast<unsigned>(uncommittedAtomics.size()));
         DynInst *victim = uncommittedAtomics[idx];
+        if (spans)
+            spans->coreInstant(coreId, "chaos_squash_storm",
+                               victim->seq, now);
         squashFrom(victim->seq, victim->pc, SquashCause::kChaos, now);
     }
 
@@ -1383,6 +1481,9 @@ Core::watchdogStage(Cycle now)
                                    true);
     if (watchdogHook)
         watchdogHook(victim->seq, now);
+    if (spans)
+        spans->coreInstant(coreId, "watchdog_victim", victim->seq,
+                           now);
     if (traceEnabled() && !rob.empty()) {
         DynInst *head = rob.front().get();
         FA_TRACE("%llu c%u WDOG victim=%llu robhead seq=%llu pc=%d "

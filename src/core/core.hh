@@ -51,6 +51,11 @@ namespace fa::chaos {
 class ChaosEngine;
 } // namespace fa::chaos
 
+namespace fa {
+class HostProfiler;
+class SpanTracer;
+} // namespace fa
+
 namespace fa::core {
 
 class PipeViewRecorder;
@@ -106,6 +111,14 @@ class Core : public mem::CoreMemIf
      * zero-cost-when-off pattern as the recorders). */
     void attachFasan(analysis::Fasan *f) { fasan = f; }
 
+    /** Attach the faprof transaction-span tracer (null disables;
+     * same zero-cost-when-off pattern as the recorders). */
+    void attachSpanTrace(SpanTracer *st) { spans = st; }
+
+    /** Attach the faprof host-time profiler (null disables). Ticks
+     * switch to the per-stage timed path only on sampled cycles. */
+    void attachHostProfiler(HostProfiler *hp) { hostProf = hp; }
+
     /** End-of-run sanitizer sweep (lock drain at halt). */
     void fasanFinal(Cycle now);
 
@@ -125,6 +138,7 @@ class Core : public mem::CoreMemIf
                 Cycle now) override;
     void onLineLost(Addr line, Cycle now) override;
     bool isLineLocked(Addr line) const override;
+    void onLockDenied(Addr line, CoreId requester, Cycle now) override;
 
     // --- introspection (tests, forensics) ---------------------------------
     size_t robOccupancy() const { return rob.size(); }
@@ -183,6 +197,9 @@ class Core : public mem::CoreMemIf
     enum class EventKind : std::uint8_t { kNone, kExec, kMemPerform };
 
     // --- pipeline stages ----------------------------------------------------
+    /** tick()'s stage sequence with a scoped host timer per stage;
+     * taken only on sampled cycles when a profiler is attached. */
+    void tickStagesProfiled(Cycle now);
     void processEvents(Cycle now);
     void commitStage(Cycle now);
     void sbDrainStage(Cycle now);
@@ -201,7 +218,7 @@ class Core : public mem::CoreMemIf
     void wakeDependents(DynInst *inst);
     void scheduleEvent(DynInst *inst, EventKind kind, Cycle when);
     void requeueIq(DynInst *inst);
-    void requeueMemRead(DynInst *inst);
+    void requeueMemRead(DynInst *inst, Cycle now);
     void eraseFromIq(DynInst *inst);
     void commitOne(DynInst *head, Cycle now);
 
@@ -225,6 +242,8 @@ class Core : public mem::CoreMemIf
     PipeViewRecorder *pipeview = nullptr;
     chaos::ChaosEngine *chaos = nullptr;
     analysis::Fasan *fasan = nullptr;
+    SpanTracer *spans = nullptr;
+    HostProfiler *hostProf = nullptr;
     std::function<void(SeqNum, Cycle)> watchdogHook;
     std::uint64_t randSeed;
 

@@ -40,6 +40,18 @@ LoadStoreQueue::anyOlderStore(SeqNum seq) const
     return !sq.empty() && sq.front()->seq < seq;
 }
 
+unsigned
+LoadStoreQueue::sqDepthBefore(SeqNum seq) const
+{
+    unsigned n = 0;
+    for (const DynInst *st : sq) {
+        if (st->seq >= seq)
+            break;
+        ++n;
+    }
+    return n;
+}
+
 bool
 LoadStoreQueue::allOlderLoadsPerformed(SeqNum seq) const
 {

@@ -49,6 +49,10 @@ class LoadStoreQueue
     /** Any store (resolved or not) older than `seq` still in SQ? */
     bool anyOlderStore(SeqNum seq) const;
 
+    /** Number of SQ entries older than `seq` — the convoy a
+     * committing atomic's store_unlock drains behind (span arg). */
+    unsigned sqDepthBefore(SeqNum seq) const;
+
     /** All loads older than `seq` performed? (Spec-mode gate) */
     bool allOlderLoadsPerformed(SeqNum seq) const;
 

@@ -30,10 +30,12 @@
 #include "analysis/tso_checker.hh"
 #include "common/cli.hh"
 #include "common/histogram.hh"
+#include "common/host_prof.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 #include "common/mem_image.hh"
 #include "common/rng.hh"
+#include "common/span_trace.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "common/types.hh"
@@ -52,6 +54,7 @@
 #include "sim/chaos/soak.hh"
 #include "sim/config.hh"
 #include "sim/energy.hh"
+#include "sim/faprof/bench_core.hh"
 #include "sim/forensics.hh"
 #include "sim/interval_stats.hh"
 #include "sim/presets.hh"

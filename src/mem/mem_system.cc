@@ -1,7 +1,9 @@
 #include "mem/mem_system.hh"
 
 #include "analysis/sanitizer/fasan.hh"
+#include "common/host_prof.hh"
 #include "common/log.hh"
+#include "common/span_trace.hh"
 #include "sim/chaos/chaos.hh"
 
 namespace fa::mem {
@@ -180,14 +182,19 @@ MemSystem::touch(CoreId core, Addr line, Cycle now)
 }
 
 bool
-MemSystem::tryInvalidateCore(CoreId core, Addr line, Cycle now)
+MemSystem::tryInvalidateCore(CoreId core, Addr line, CoreId requester,
+                             Cycle now)
 {
     if (cores[core] && cores[core]->isLineLocked(line)) {
         ++stats.invBlockedRetries;
+        if (spans)
+            cores[core]->onLockDenied(line, requester, now);
         return false;
     }
     if (chaos && chaos->lockStuck(core, line, now)) {
         ++stats.invBlockedRetries;
+        if (spans)
+            spans->coreInstant(core, "chaos_stuck_lock", kNoSeq, now);
         return false;
     }
     PrivCaches &pc = priv[core];
@@ -202,14 +209,18 @@ MemSystem::tryInvalidateCore(CoreId core, Addr line, Cycle now)
 
 bool
 MemSystem::tryDowngradeCore(CoreId core, Addr line, CacheState target,
-                            Cycle now)
+                            CoreId requester, Cycle now)
 {
     if (cores[core] && cores[core]->isLineLocked(line)) {
         ++stats.invBlockedRetries;
+        if (spans)
+            cores[core]->onLockDenied(line, requester, now);
         return false;
     }
     if (chaos && chaos->lockStuck(core, line, now)) {
         ++stats.invBlockedRetries;
+        if (spans)
+            spans->coreInstant(core, "chaos_stuck_lock", kNoSeq, now);
         return false;
     }
     PrivCaches &pc = priv[core];
@@ -289,9 +300,47 @@ MemSystem::tick(Cycle now)
 {
     if (txns.empty())
         return;
+    if (hostProf && hostProf->sampling()) {
+        tickProfiled(now);
+        return;
+    }
     for (size_t i = 0; i < txns.size(); ++i)
         stepTxn(*txns[i], now);
-    // Sweep completed transactions.
+    sweepDone();
+}
+
+void
+MemSystem::tickProfiled(Cycle now)
+{
+    for (size_t i = 0; i < txns.size(); ++i) {
+        // Charge the step to the component doing the work.
+        HostPhase bucket;
+        switch (txns[i]->phase) {
+          case Phase::kDirLookup:
+            bucket = HostPhase::kMemDirectory;
+            break;
+          case Phase::kVictimRecall:
+          case Phase::kInvSharers:
+          case Phase::kDowngradeOwner:
+            bucket = HostPhase::kMemCoherence;
+            break;
+          case Phase::kFill:
+            bucket = HostPhase::kMemCaches;
+            break;
+          default:  // travel / queueing phases
+            bucket = HostPhase::kMemCrossbar;
+            break;
+        }
+        HostProfiler::Timer t(*hostProf, bucket);
+        stepTxn(*txns[i], now);
+    }
+    HostProfiler::Timer t(*hostProf, HostPhase::kMemSweep);
+    sweepDone();
+}
+
+void
+MemSystem::sweepDone()
+{
     size_t keep = 0;
     for (size_t i = 0; i < txns.size(); ++i) {
         if (!txns[i]->done) {
@@ -376,7 +425,7 @@ MemSystem::stepTxn(Txn &txn, Cycle now)
         for (CoreId c = 0; c < numCores && txn.victimMask; ++c) {
             std::uint64_t bit = std::uint64_t{1} << c;
             if ((txn.victimMask & bit) &&
-                tryInvalidateCore(c, txn.victimLine, now)) {
+                tryInvalidateCore(c, txn.victimLine, txn.core, now)) {
                 txn.victimMask &= ~bit;
                 ++stats.networkMsgs;
             }
@@ -407,7 +456,8 @@ MemSystem::stepTxn(Txn &txn, Cycle now)
       case Phase::kInvSharers: {
         for (CoreId c = 0; c < numCores && txn.invMask; ++c) {
             std::uint64_t bit = std::uint64_t{1} << c;
-            if ((txn.invMask & bit) && tryInvalidateCore(c, txn.line, now)) {
+            if ((txn.invMask & bit) &&
+                tryInvalidateCore(c, txn.line, txn.core, now)) {
                 txn.invMask &= ~bit;
                 ++stats.networkMsgs;
             }
@@ -424,7 +474,8 @@ MemSystem::stepTxn(Txn &txn, Cycle now)
             CacheState::kModified;
         CacheState target = moesi && was_dirty ? CacheState::kOwned
                                                : CacheState::kShared;
-        if (!tryDowngradeCore(txn.downgradeCore, txn.line, target, now))
+        if (!tryDowngradeCore(txn.downgradeCore, txn.line, target,
+                              txn.core, now))
             return;  // blocked on a locked line; retry
         ++stats.networkMsgs;
         DirEntry *entry = dir.find(txn.line);

@@ -32,6 +32,10 @@
 
 namespace fa::analysis { class Fasan; }
 namespace fa::chaos { class ChaosEngine; }
+namespace fa {
+class HostProfiler;
+class SpanTracer;
+} // namespace fa
 
 namespace fa::mem {
 
@@ -62,6 +66,20 @@ class CoreMemIf
 
     /** Is this line locked by the core's Atomic Queue? */
     virtual bool isLineLocked(Addr line) const = 0;
+
+    /**
+     * A remote coherence request from `requester` was denied because
+     * this core's Atomic Queue holds `line` locked. Observability
+     * hook only (span tracing); the memory system calls it solely
+     * when a tracer is attached, and the default is a no-op so core
+     * fakes in tests need not implement it.
+     */
+    virtual void onLockDenied(Addr line, CoreId requester, Cycle now)
+    {
+        (void)line;
+        (void)requester;
+        (void)now;
+    }
 };
 
 /** Result of a timed access. */
@@ -93,6 +111,15 @@ class MemSystem
      * per-insert cost beyond one pointer test (§3.2.4 victim
      * exclusion). */
     void attachFasan(analysis::Fasan *f) { fasan = f; }
+
+    /** Optional faprof span tracer; null = no lock-denial callbacks
+     * and no per-denial cost beyond one pointer test. */
+    void attachSpanTrace(SpanTracer *st) { spans = st; }
+
+    /** Optional faprof host profiler; null = the untimed tick path.
+     * Sampled cycles charge each transaction step to the component
+     * doing the work (directory, coherence, crossbar, caches). */
+    void attachHostProfiler(HostProfiler *hp) { hostProf = hp; }
 
     /**
      * Timed access from a core for a full line.
@@ -230,13 +257,16 @@ class MemSystem
     CacheArray::LockedFn lockedFn(CoreId core) const;
 
     /** Try to invalidate a line from a core's private caches.
-     * Returns false (and counts a retry) if the line is locked. */
-    bool tryInvalidateCore(CoreId core, Addr line, Cycle now);
+     * Returns false (and counts a retry) if the line is locked;
+     * `requester` is the core whose transaction wants the line
+     * (span-traced lock denials name it). */
+    bool tryInvalidateCore(CoreId core, Addr line, CoreId requester,
+                           Cycle now);
 
     /** Try to downgrade a core's exclusive copy (to S, or to O
      * under MOESI when dirty). */
     bool tryDowngradeCore(CoreId core, Addr line, CacheState target,
-                          Cycle now);
+                          CoreId requester, Cycle now);
 
     /** Remove a core from a line's directory entry, releasing the
      * entry when it was the last holder. */
@@ -250,6 +280,11 @@ class MemSystem
     bool installLine(Txn &txn, Cycle now);
 
     void stepTxn(Txn &txn, Cycle now);
+    /** tick()'s per-txn loop with a scoped host timer per step,
+     * bucketed by transaction phase; sampled cycles only. */
+    void tickProfiled(Cycle now);
+    /** Compact away completed transactions. */
+    void sweepDone();
     void beginDirLookup(Txn &txn, Cycle now);
     void processAtDir(Txn &txn, Cycle now);
     void finishWriteGrant(Txn &txn, Cycle now);
@@ -260,6 +295,8 @@ class MemSystem
     unsigned numCores;
     chaos::ChaosEngine *chaos = nullptr;
     analysis::Fasan *fasan = nullptr;
+    SpanTracer *spans = nullptr;
+    HostProfiler *hostProf = nullptr;
 
     std::vector<PrivCaches> priv;
     std::vector<CoreMemIf *> cores;

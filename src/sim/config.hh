@@ -65,6 +65,24 @@ struct MachineConfig
      * cycle-identical to a build without the sanitizer. */
     bool sanitize = false;
 
+    /** Write a faprof transaction-span trace (Chrome trace-event /
+     * Perfetto JSON, schema fa-trace-v1) here: one span per atomic
+     * from dispatch through lock acquisition, commit and SB drain,
+     * with denial/retry/fwd child events. Empty disables; when off,
+     * runs are bit-identical to a build without the tracer. */
+    std::string traceSpansPath;
+
+    /** Arm the faprof host-time profiler: sampled scoped timers
+     * attribute cycle-loop wall time to components and the RunResult
+     * gains a "hostProfile" section. Off by default; when off, runs
+     * are bit-identical (cycles and RunResult JSON) to a build
+     * without the profiler. */
+    bool hostProfile = false;
+
+    /** Sampling period for hostProfile, in cycles: timers run only
+     * when `cycle % profilePeriod == 0`, bounding overhead. */
+    Cycle profilePeriod = 64;
+
     /** Icelake-like preset: the paper's evaluated system (Table 1).
      * 352-entry ROB, 128/72 LQ/SQ, 48KB 12-way L1D. */
     static MachineConfig icelake(unsigned cores = 32);

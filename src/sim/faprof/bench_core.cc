@@ -1,0 +1,170 @@
+#include "sim/faprof/bench_core.hh"
+
+#include <chrono>
+
+#include "common/log.hh"
+#include "core/core_config.hh"
+#include "sim/presets.hh"
+#include "sim/runner.hh"
+#include "workloads/workload.hh"
+
+namespace fa::sim::faprof {
+
+std::vector<BenchCell>
+benchCoreCells(double scale, std::uint64_t seed)
+{
+    // Baked-in per-cell scales target a few hundred ms of host time
+    // per cell on the reference container, long enough to swamp
+    // timer noise. sb_rmw is a 2-thread litmus by construction.
+    struct Spec { const char *m, *w; unsigned threads; double s; };
+    static const Spec kSpecs[] = {
+        {"icelake", "sb_rmw", 2, 128.0},
+        {"icelake", "atomic_counter", 8, 96.0},
+        {"skylake", "atomic_counter", 8, 96.0},
+        {"tiny", "atomic_counter", 4, 64.0},
+    };
+    std::vector<BenchCell> cells;
+    for (const Spec &sp : kSpecs) {
+        BenchCell c;
+        c.machine = sp.m;
+        c.workload = sp.w;
+        c.mode = "freefwd";
+        c.cores = sp.threads;
+        c.scale = sp.s * scale;
+        c.seed = seed;
+        cells.push_back(std::move(c));
+    }
+    return cells;
+}
+
+bool
+runBenchCell(BenchCell &cell, unsigned repeats)
+{
+    const wl::Workload *w = wl::findWorkload(cell.workload);
+    if (!w)
+        fatal("bench-core: unknown workload '%s'",
+              cell.workload.c_str());
+    MachineConfig machine = presets::byName(cell.machine, cell.cores);
+    core::AtomicsMode mode = core::parseAtomicsMode(cell.mode);
+
+    if (repeats == 0)
+        repeats = 1;
+    bool ok = false;
+    for (unsigned r = 0; r < repeats; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        RunResult res = wl::runWorkload(*w, machine, mode, cell.cores,
+                                        cell.scale, cell.seed);
+        auto t1 = std::chrono::steady_clock::now();
+        if (!res.finished || !res.failure.empty())
+            return false;
+        double wall =
+            std::chrono::duration<double>(t1 - t0).count();
+        // Keep the fastest repeat: min-of-N strips host scheduler
+        // noise from a throughput measurement.
+        if (!ok || wall < cell.wallSec) {
+            cell.wallSec = wall;
+            cell.cycles = res.cycles;
+            cell.instrs = res.core.committedInsts;
+        }
+        ok = true;
+    }
+    cell.mips = cell.wallSec > 0.0
+        ? static_cast<double>(cell.instrs) / cell.wallSec / 1e6
+        : 0.0;
+    cell.cyclesPerSec = cell.wallSec > 0.0
+        ? static_cast<double>(cell.cycles) / cell.wallSec
+        : 0.0;
+    return ok;
+}
+
+void
+writeBenchCoreJson(const std::vector<BenchCell> &cells,
+                   std::ostream &os)
+{
+    JsonWriter jw(os);
+    jw.beginObject();
+    jw.key("schema").value("fa-bench-core-v1");
+    jw.key("cells").beginArray();
+    for (const BenchCell &c : cells) {
+        jw.beginObject();
+        jw.key("machine").value(c.machine);
+        jw.key("workload").value(c.workload);
+        jw.key("mode").value(c.mode);
+        jw.key("cores").value(c.cores);
+        jw.key("scale").value(c.scale);
+        jw.key("seed").value(c.seed);
+        jw.key("cycles").value(std::uint64_t{c.cycles});
+        jw.key("instrs").value(c.instrs);
+        jw.key("wallSec").value(c.wallSec);
+        jw.key("mips").value(c.mips);
+        jw.key("cyclesPerSec").value(c.cyclesPerSec);
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.endObject();
+    os << '\n';
+}
+
+std::string
+validateBenchCoreJson(const JsonValue &doc)
+{
+    if (!doc.isObject())
+        return "root is not an object";
+    const JsonValue *schema = doc.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->str != "fa-bench-core-v1")
+        return "schema is not \"fa-bench-core-v1\"";
+    const JsonValue *cells = doc.find("cells");
+    if (!cells || !cells->isArray())
+        return "missing \"cells\" array";
+    if (cells->arr.empty())
+        return "\"cells\" is empty";
+    static const struct { const char *key; bool string; } kFields[] = {
+        {"machine", true},   {"workload", true},
+        {"mode", true},      {"cores", false},
+        {"scale", false},    {"seed", false},
+        {"cycles", false},   {"instrs", false},
+        {"wallSec", false},  {"mips", false},
+        {"cyclesPerSec", false},
+    };
+    for (std::size_t i = 0; i < cells->arr.size(); ++i) {
+        const JsonValue &c = cells->arr[i];
+        if (!c.isObject())
+            return "cells[" + std::to_string(i) +
+                "] is not an object";
+        for (const auto &f : kFields) {
+            const JsonValue *v = c.find(f.key);
+            if (!v)
+                return "cells[" + std::to_string(i) +
+                    "] missing \"" + f.key + "\"";
+            if (f.string ? !v->isString() : !v->isNumber())
+                return "cells[" + std::to_string(i) + "].\"" +
+                    f.key + "\" has the wrong type";
+        }
+    }
+    return "";
+}
+
+std::vector<BenchCell>
+readBenchCoreJson(const JsonValue &doc)
+{
+    std::vector<BenchCell> cells;
+    for (const JsonValue &c : doc.at("cells").arr) {
+        BenchCell b;
+        b.machine = c.at("machine").str;
+        b.workload = c.at("workload").str;
+        b.mode = c.at("mode").str;
+        b.cores = static_cast<unsigned>(c.at("cores").asU64());
+        b.scale = c.at("scale").number;
+        b.seed = c.at("seed").asU64();
+        b.cycles = c.at("cycles").asU64();
+        b.instrs = c.at("instrs").asU64();
+        b.wallSec = c.at("wallSec").number;
+        b.mips = c.at("mips").number;
+        b.cyclesPerSec = c.at("cyclesPerSec").number;
+        cells.push_back(std::move(b));
+    }
+    return cells;
+}
+
+} // namespace fa::sim::faprof

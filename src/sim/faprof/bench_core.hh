@@ -1,0 +1,89 @@
+/**
+ * @file
+ * faprof host-throughput bench: the fixed machine x workload matrix
+ * whose simulated-MIPS numbers serve as ROADMAP item 1's regression
+ * oracle (committed as BENCH_core.json, schema "fa-bench-core-v1").
+ *
+ * Each cell times wl::runWorkload with a raw steady_clock pair — no
+ * host profiler attached, so the measured wall time is the plain
+ * simulation loop, not the instrumented one. Cells cover both big
+ * presets, the tiny preset the unit tests use, and the two
+ * atomic-heavy litmus workloads the span tracer targets, all in
+ * freefwd mode (the paper's full mechanism and the slowest per-cycle
+ * path).
+ *
+ * `fabench perf --mips` runs the matrix and writes the JSON;
+ * `fastats diff --fail-above` compares two such files and gates on
+ * MIPS drops.
+ */
+
+#ifndef FA_SIM_FAPROF_BENCH_CORE_HH
+#define FA_SIM_FAPROF_BENCH_CORE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/types.hh"
+
+namespace fa::sim::faprof {
+
+/** One machine x workload throughput measurement. */
+struct BenchCell
+{
+    // Identity (fixed by benchCoreCells).
+    std::string machine;   ///< preset name (presets::byName)
+    std::string workload;  ///< wl::findWorkload name
+    std::string mode;      ///< atomicsModeIdent spelling
+    unsigned cores = 0;
+    double scale = 1.0;
+    std::uint64_t seed = 0;
+
+    // Results (filled by runBenchCell).
+    Cycle cycles = 0;          ///< simulated cycles
+    std::uint64_t instrs = 0;  ///< committed instructions, all cores
+    double wallSec = 0.0;      ///< host wall time of the best run
+    double mips = 0.0;         ///< instrs / wallSec / 1e6
+    double cyclesPerSec = 0.0; ///< cycles / wallSec
+};
+
+/**
+ * The fixed regression matrix. `scale` multiplies each cell's
+ * baked-in workload scale (1.0 = the committed BENCH_core.json
+ * sizes); `seed` is shared by every cell.
+ */
+std::vector<BenchCell> benchCoreCells(double scale,
+                                      std::uint64_t seed);
+
+/**
+ * Run one cell `repeats` times and keep the fastest run (max MIPS;
+ * min-of-N is the standard way to strip scheduler noise from a
+ * throughput bench). FatalError on unknown machine/workload/mode.
+ * Returns false when the simulation did not finish (the cell's
+ * numbers are then meaningless and the bench should fail).
+ */
+bool runBenchCell(BenchCell &cell, unsigned repeats = 3);
+
+/** Serialize cells as one "fa-bench-core-v1" document. */
+void writeBenchCoreJson(const std::vector<BenchCell> &cells,
+                        std::ostream &os);
+
+/**
+ * Structural check of a parsed fa-bench-core-v1 document: schema
+ * tag, cells array, and every per-cell field present with the right
+ * JSON kind. Returns "" when well-formed, else the first problem
+ * (fastats surfaces it verbatim).
+ */
+std::string validateBenchCoreJson(const JsonValue &doc);
+
+/**
+ * Read cells back from a parsed document. Call
+ * validateBenchCoreJson first; this fatal()s on missing members.
+ */
+std::vector<BenchCell> readBenchCoreJson(const JsonValue &doc);
+
+} // namespace fa::sim::faprof
+
+#endif // FA_SIM_FAPROF_BENCH_CORE_HH

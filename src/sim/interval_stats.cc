@@ -38,7 +38,8 @@ writeDelta(JsonWriter &jw, const Stats &cur, const Stats &prev)
 } // namespace
 
 IntervalStatsWriter::IntervalStatsWriter(std::ostream &os, Cycle period)
-    : out(os), periodCycles(period)
+    : out(os), periodCycles(period),
+      prevWall(std::chrono::steady_clock::now())
 {
     if (period == 0)
         fatal("interval-stats period must be positive");
@@ -48,11 +49,23 @@ void
 IntervalStatsWriter::snapshot(Cycle now, const CoreStats &core,
                               const MemStats &mem)
 {
+    auto wall = std::chrono::steady_clock::now();
+    auto host_usec = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            wall - prevWall)
+            .count());
+    std::uint64_t insts = core.committedInsts - prevCore.committedInsts;
+    double mips = host_usec
+        ? static_cast<double>(insts) / static_cast<double>(host_usec)
+        : 0.0;
+
     JsonWriter jw(out);
     jw.beginObject();
     jw.key("interval").value(count);
     jw.key("cycle").value(std::uint64_t{now});
     jw.key("cycles").value(std::uint64_t{now - prevCycle});
+    jw.key("hostUsec").value(host_usec);
+    jw.key("mips").value(mips);
     jw.key("core");
     writeDelta(jw, core, prevCore);
     jw.key("mem");
@@ -63,6 +76,7 @@ IntervalStatsWriter::snapshot(Cycle now, const CoreStats &core,
     prevCycle = now;
     prevCore = core;
     prevMem = mem;
+    prevWall = wall;
     ++count;
 }
 

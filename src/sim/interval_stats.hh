@@ -9,16 +9,22 @@
  * Each line has the shape
  *
  *   {"interval":3,"cycle":4000,"cycles":1000,
+ *    "hostUsec":812,"mips":1.0,
  *    "core":{"committedInsts":812,...},"mem":{"l1Hits":241,...}}
  *
  * where "cycle" is the snapshot cycle, "cycles" the interval length,
  * and every counter is the increment since the previous snapshot.
- * A final partial interval is flushed when the run ends.
+ * "hostUsec" is the host wall time the interval took to simulate and
+ * "mips" the simulated instructions per host second it achieved —
+ * together they expose host-time skew across a run (which intervals
+ * are expensive to simulate, not just long). A final partial
+ * interval is flushed when the run ends.
  */
 
 #ifndef FA_SIM_INTERVAL_STATS_HH
 #define FA_SIM_INTERVAL_STATS_HH
 
+#include <chrono>
 #include <cstdint>
 #include <ostream>
 
@@ -57,6 +63,9 @@ class IntervalStatsWriter
     Cycle prevCycle = 0;
     CoreStats prevCore;
     MemStats prevMem;
+    /** Wall-clock instant of the previous snapshot (construction for
+     * interval 0): hostUsec/mips are deltas against it. */
+    std::chrono::steady_clock::time_point prevWall;
     std::uint64_t count = 0;
 };
 

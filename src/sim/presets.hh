@@ -129,6 +129,19 @@ class MachineBuilder
         cfg.progressWindow = w;
         return *this;
     }
+    MachineBuilder &
+    traceSpans(std::string path)
+    {
+        cfg.traceSpansPath = std::move(path);
+        return *this;
+    }
+    MachineBuilder &
+    hostProfile(bool on, Cycle period = 64)
+    {
+        cfg.hostProfile = on;
+        cfg.profilePeriod = period;
+        return *this;
+    }
 
     /** Arm a named chaos profile ("" leaves chaos off). */
     MachineBuilder &chaosProfile(const std::string &profile,

@@ -210,6 +210,20 @@ RunResult::toJson(std::ostream &os) const
     jw.endObject();
 
     jw.key("forensics").value(forensics);
+
+    if (hostProfiled()) {
+        jw.key("hostProfile").beginObject();
+        jw.key("wallSec").value(hostWallSec);
+        jw.key("mips").value(hostMips());
+        jw.key("cyclesPerSec").value(hostCyclesPerSec());
+        jw.key("sampledCycles").value(std::uint64_t{hostSampledCycles});
+        jw.key("samplePeriod").value(std::uint64_t{hostProfilePeriod});
+        jw.key("phasesNs").beginObject();
+        for (const auto &[name, ns] : hostPhaseNs)
+            jw.key(name).value(ns);
+        jw.endObject();
+        jw.endObject();
+    }
     jw.endObject();
 }
 
@@ -228,6 +242,13 @@ collectRunResult(System &system, const RunOutcome &outcome)
     res.hists = system.histTotals();
     res.energy = computeEnergy(EnergyParams{}, res.core, res.mem);
     res.forensics = outcome.forensics;
+
+    if (const HostProfiler *hp = system.profiler()) {
+        res.hostPhaseNs = hp->table();
+        res.hostWallSec = hp->wallSec();
+        res.hostSampledCycles = hp->sampledCycles();
+        res.hostProfilePeriod = hp->samplePeriod();
+    }
 
     if (system.trace()) {
         analysis::TsoCheckResult tso = analysis::checkTso(*system.trace());

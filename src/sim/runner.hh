@@ -9,6 +9,7 @@
 
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/histogram.hh"
@@ -51,6 +52,33 @@ struct RunResult
 
     /** Forensic snapshot from the run, when one was captured. */
     std::string forensics;
+
+    /**
+     * faprof host-profile report (machine.hostProfile): sampled
+     * per-component wall time, sampling meta and throughput. Emitted
+     * into the JSON as a "hostProfile" object only when the profiler
+     * ran, so disabled runs keep a byte-identical RunResult.
+     */
+    std::vector<std::pair<std::string, std::uint64_t>> hostPhaseNs;
+    double hostWallSec = 0.0;
+    Cycle hostSampledCycles = 0;
+    Cycle hostProfilePeriod = 0;
+    bool hostProfiled() const { return !hostPhaseNs.empty(); }
+    /** Simulated instructions per host second, in millions. */
+    double hostMips() const
+    {
+        return hostWallSec > 0.0
+            ? static_cast<double>(core.committedInsts) / hostWallSec /
+                1e6
+            : 0.0;
+    }
+    /** Simulated cycles per host second. */
+    double hostCyclesPerSec() const
+    {
+        return hostWallSec > 0.0
+            ? static_cast<double>(cycles) / hostWallSec
+            : 0.0;
+    }
 
     // --- derived metrics ---------------------------------------------------
     double apki() const;               ///< atomics per kilo-instruction

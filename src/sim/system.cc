@@ -42,6 +42,21 @@ System::System(const MachineConfig &config,
             *intervalFile, cfg.intervalPeriod);
         intervalStats = ownIntervalStats.get();
     }
+    if (!cfg.traceSpansPath.empty()) {
+        spanTraceFile =
+            std::make_unique<std::ofstream>(cfg.traceSpansPath);
+        if (!*spanTraceFile)
+            fatal("cannot open trace-spans file '%s'",
+                  cfg.traceSpansPath.c_str());
+        ownSpanTrace = std::make_unique<SpanTracer>(*spanTraceFile);
+        ownSpanTrace->preamble(cfg.cores, cfg.core.aqSize);
+        spanTrace = ownSpanTrace.get();
+        memSys->attachSpanTrace(spanTrace);
+    }
+    if (cfg.hostProfile) {
+        hostProf = std::make_unique<HostProfiler>(cfg.profilePeriod);
+        memSys->attachHostProfiler(hostProf.get());
+    }
     cores.reserve(cfg.cores);
     for (unsigned c = 0; c < cfg.cores; ++c) {
         cores.push_back(std::make_unique<core::Core>(
@@ -50,6 +65,8 @@ System::System(const MachineConfig &config,
         cores.back()->attachPipeView(ownPipeview.get());
         cores.back()->attachChaos(chaosEng.get());
         cores.back()->attachFasan(fasanEng.get());
+        cores.back()->attachSpanTrace(spanTrace);
+        cores.back()->attachHostProfiler(hostProf.get());
         if (cfg.watchdogForensics) {
             // Capture pipeline state at the first firing only: the
             // watchdog can fire thousands of times in a legitimately
@@ -102,6 +119,26 @@ System::attachChaos(chaos::ChaosEngine *engine)
 }
 
 void
+System::attachSpanTrace(SpanTracer *st)
+{
+    spanTrace = st;
+    memSys->attachSpanTrace(st);
+    for (auto &c : cores)
+        c->attachSpanTrace(st);
+}
+
+void
+System::finishSinks()
+{
+    if (intervalStats)
+        intervalStats->finish(now, coreTotals(), memSys->stats);
+    if (spanTrace)
+        spanTrace->finish(now);
+    if (hostProf)
+        hostProf->finish();
+}
+
+void
 System::maybeSnapshotInterval()
 {
     if (intervalStats && now != 0 && intervalStats->due(now))
@@ -111,6 +148,18 @@ System::maybeSnapshotInterval()
 void
 System::stepCycle()
 {
+    if (hostProf) {
+        hostProf->beginCycle(now);
+        if (hostProf->sampling()) {
+            memSys->tick(now);
+            for (auto &c : cores)
+                c->tick(now);
+            ++now;
+            HostProfiler::Timer t(*hostProf, HostPhase::kStats);
+            maybeSnapshotInterval();
+            return;
+        }
+    }
     memSys->tick(now);
     for (auto &c : cores)
         c->tick(now);
@@ -133,8 +182,7 @@ System::run(Cycle max_cycles)
                 *this, now,
                 "fasan invariant violation:\n" + fasanEng->report());
             out.forensics = lastForensics;
-            if (intervalStats)
-                intervalStats->finish(now, coreTotals(), memSys->stats);
+            finishSinks();
             return out;
         }
         if (allHalted()) {
@@ -151,16 +199,13 @@ System::run(Cycle max_cycles)
                         "fasan invariant violation:\n" +
                             fasanEng->report());
                     out.forensics = lastForensics;
-                    if (intervalStats)
-                        intervalStats->finish(now, coreTotals(),
-                                              memSys->stats);
+                    finishSinks();
                     return out;
                 }
             }
             out.finished = true;
             out.cycles = now;
-            if (intervalStats)
-                intervalStats->finish(now, coreTotals(), memSys->stats);
+            finishSinks();
             out.forensics = lastForensics;
             return out;
         }
@@ -183,16 +228,14 @@ System::run(Cycle max_cycles)
                 forensicReport(*this, now, "global progress window "
                                            "tripped: " + out.failure);
             out.forensics = lastForensics;
-            if (intervalStats)
-                intervalStats->finish(now, coreTotals(), memSys->stats);
+            finishSinks();
             return out;
         }
     }
     out.cycles = now;
     out.failure = "cycle limit reached";
     out.forensics = lastForensics;
-    if (intervalStats)
-        intervalStats->finish(now, coreTotals(), memSys->stats);
+    finishSinks();
     return out;
 }
 

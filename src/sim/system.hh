@@ -16,6 +16,8 @@
 #include "analysis/sanitizer/fasan.hh"
 #include "analysis/trace.hh"
 #include "common/histogram.hh"
+#include "common/host_prof.hh"
+#include "common/span_trace.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "core/core.hh"
@@ -116,6 +118,17 @@ class System
         intervalStats = w;
     }
 
+    /** Attach an external span tracer to every core and the memory
+     * system (tests; overrides cfg.traceSpansPath). Null detaches.
+     * The caller emits the preamble; run() closes the trace, but
+     * call finish() yourself when driving stepCycle() directly. */
+    void attachSpanTrace(SpanTracer *st);
+
+    /** The host profiler built when cfg.hostProfile is set (nullptr
+     * otherwise). Finished by run(); read the per-phase table from
+     * it after the run. */
+    const HostProfiler *profiler() const { return hostProf.get(); }
+
     /** Forensic report captured during run(); empty when none. */
     const std::string &forensics() const { return lastForensics; }
 
@@ -138,6 +151,9 @@ class System
 
   private:
     void maybeSnapshotInterval();
+    /** Flush every end-of-run sink (interval stats, span trace,
+     * host profiler) at one of run()'s exits. */
+    void finishSinks();
 
     MachineConfig cfg;
     std::vector<isa::Program> programsVec;
@@ -154,6 +170,10 @@ class System
     std::unique_ptr<std::ofstream> intervalFile;
     std::unique_ptr<IntervalStatsWriter> ownIntervalStats;
     IntervalStatsWriter *intervalStats = nullptr;
+    std::unique_ptr<std::ofstream> spanTraceFile;
+    std::unique_ptr<SpanTracer> ownSpanTrace;
+    SpanTracer *spanTrace = nullptr;
+    std::unique_ptr<HostProfiler> hostProf;
 
     std::string lastForensics;
 };

@@ -1,0 +1,445 @@
+/**
+ * @file
+ * faprof tests: the fa-trace-v1 span trace must be structurally
+ * valid (balanced B/E per track, stable pid/tid mapping, squashed
+ * atomics close their spans, monotone per-track timestamps), the
+ * host profiler must sample on its period and never perturb
+ * simulated time, disabled instrumentation must keep the RunResult
+ * JSON byte-identical, interval-stats must carry hostUsec/mips
+ * (including on the partial final interval), and the
+ * fa-bench-core-v1 matrix must round-trip through its validator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "freeatomics/freeatomics.hh"
+
+namespace fa {
+namespace {
+
+using core::AtomicsMode;
+
+sim::System
+makeSystem(const std::string &workload, sim::MachineConfig m,
+           AtomicsMode mode, unsigned threads, double scale,
+           std::uint64_t seed)
+{
+    const auto *w = wl::findWorkload(workload);
+    EXPECT_NE(w, nullptr) << workload;
+    m.cores = threads;
+    m.core.mode = mode;
+    return sim::System(m, wl::buildPrograms(*w, threads, scale), seed);
+}
+
+/** Run `workload` with a SpanTracer attached; returns the parsed
+ * trace document (run() closes the trace via finishSinks). */
+JsonValue
+traceWorkload(const std::string &workload, unsigned threads,
+              AtomicsMode mode, std::ostringstream &os)
+{
+    sim::MachineConfig m = sim::MachineConfig::tiny(threads);
+    SpanTracer st(os);
+    st.preamble(threads, m.core.aqSize);
+    sim::System sys = makeSystem(workload, m, mode, threads, 1.0, 42);
+    sys.attachSpanTrace(&st);
+    auto out = sys.run(10'000'000);
+    EXPECT_TRUE(out.finished) << out.failure;
+    return JsonValue::parse(os.str());
+}
+
+/** Per-(pid,tid) name stack + last ts, replayed over traceEvents. */
+struct TrackCheck
+{
+    std::vector<std::string> stack;
+    std::uint64_t lastTs = 0;
+};
+
+std::map<std::pair<std::uint64_t, std::uint64_t>, TrackCheck>
+replayTracks(const JsonValue &doc)
+{
+    std::map<std::pair<std::uint64_t, std::uint64_t>, TrackCheck> tracks;
+    for (const JsonValue &e : doc.at("traceEvents").arr) {
+        const std::string &ph = e.at("ph").str;
+        if (ph == "M")
+            continue;
+        auto &t = tracks[{e.at("pid").asU64(), e.at("tid").asU64()}];
+        std::uint64_t ts = e.at("ts").asU64();
+        EXPECT_GE(ts, t.lastTs) << "timestamp went backwards";
+        t.lastTs = ts;
+        if (ph == "B") {
+            t.stack.push_back(e.at("name").str);
+        } else if (ph == "E") {
+            EXPECT_FALSE(t.stack.empty()) << "E without B";
+            if (!t.stack.empty())
+                t.stack.pop_back();
+        } else {
+            EXPECT_EQ(ph, "i");
+        }
+    }
+    return tracks;
+}
+
+TEST(SpanTrace, BalancedAndNestedOnEveryTrack)
+{
+    std::ostringstream os;
+    JsonValue doc =
+        traceWorkload("sb_rmw", 2, AtomicsMode::kFreeFwd, os);
+    EXPECT_EQ(doc.at("otherData").at("schema").str, "fa-trace-v1");
+
+    // Replay: every track ends balanced, and nesting is exactly
+    // atomic > {acquire, window, drain}.
+    unsigned spans = 0;
+    std::map<std::pair<std::uint64_t, std::uint64_t>,
+             std::vector<std::string>> stacks;
+    for (const JsonValue &e : doc.at("traceEvents").arr) {
+        const std::string &ph = e.at("ph").str;
+        if (ph == "M" || ph == "i")
+            continue;
+        auto &stack =
+            stacks[{e.at("pid").asU64(), e.at("tid").asU64()}];
+        if (ph == "B") {
+            const std::string &name = e.at("name").str;
+            ++spans;
+            if (stack.empty()) {
+                EXPECT_EQ(name, "atomic");
+            } else {
+                ASSERT_EQ(stack.size(), 1u)
+                    << "children never nest further";
+                EXPECT_EQ(stack[0], "atomic");
+                EXPECT_TRUE(name == "acquire" || name == "window" ||
+                            name == "drain")
+                    << name;
+            }
+            stack.push_back(name);
+        } else {
+            ASSERT_EQ(ph, "E");
+            ASSERT_FALSE(stack.empty());
+            stack.pop_back();
+        }
+    }
+    EXPECT_GT(spans, 0u);
+    for (const auto &[key, stack] : stacks)
+        EXPECT_TRUE(stack.empty())
+            << "unclosed span on pid=" << key.first
+            << " tid=" << key.second;
+}
+
+TEST(SpanTrace, PidTidMappingIsStable)
+{
+    std::ostringstream os;
+    SpanTracer st(os);
+    st.preamble(2, 2);
+    st.finish(0);
+    JsonValue doc = JsonValue::parse(os.str());
+
+    // pid = core id; tid 0 = the per-core instant track; tid 1+i =
+    // AQ entry i. The metadata must pin exactly that mapping.
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::string>
+        threads;
+    std::map<std::uint64_t, std::string> procs;
+    for (const JsonValue &e : doc.at("traceEvents").arr) {
+        ASSERT_EQ(e.at("ph").str, "M");
+        if (e.at("name").str == "process_name")
+            procs[e.at("pid").asU64()] = e.at("args").at("name").str;
+        else
+            threads[{e.at("pid").asU64(), e.at("tid").asU64()}] =
+                e.at("args").at("name").str;
+    }
+    ASSERT_EQ(procs.size(), 2u);
+    EXPECT_EQ(procs[0], "core 0");
+    EXPECT_EQ(procs[1], "core 1");
+    for (std::uint64_t pid = 0; pid < 2; ++pid) {
+        EXPECT_EQ((threads[{pid, 0}]), "events");
+        EXPECT_EQ((threads[{pid, 1}]), "aq 0");
+        EXPECT_EQ((threads[{pid, 2}]), "aq 1");
+    }
+}
+
+TEST(SpanTrace, SquashClosesChildAndTopSpan)
+{
+    // Drive the tracer API directly: dispatch opens atomic+acquire,
+    // a squash mid-acquire must close both, tagged with the cause.
+    std::ostringstream os;
+    SpanTracer st(os);
+    st.atomicDispatch(0, 0, 7, 0x40, 100);
+    st.atomicSquashed(0, 0, 105, "branch_mispredict");
+    st.finish(110);
+    JsonValue doc = JsonValue::parse(os.str());
+
+    std::vector<const JsonValue *> evs;
+    for (const JsonValue &e : doc.at("traceEvents").arr)
+        evs.push_back(&e);
+    ASSERT_EQ(evs.size(), 4u);
+    EXPECT_EQ(evs[0]->at("ph").str, "B"); // atomic
+    EXPECT_EQ(evs[0]->at("name").str, "atomic");
+    EXPECT_EQ(evs[0]->at("args").at("seq").asU64(), 7u);
+    EXPECT_EQ(evs[1]->at("ph").str, "B"); // acquire
+    EXPECT_EQ(evs[2]->at("ph").str, "E"); // closes acquire
+    EXPECT_EQ(evs[3]->at("ph").str, "E"); // closes atomic
+    EXPECT_TRUE(evs[3]->at("args").at("squashed").boolean);
+    EXPECT_EQ(evs[3]->at("args").at("cause").str, "branch_mispredict");
+    EXPECT_TRUE(replayTracks(doc).at({0, 1}).stack.empty());
+}
+
+TEST(SpanTrace, TruncatedSpansCloseOnFinish)
+{
+    std::ostringstream os;
+    SpanTracer st(os);
+    st.atomicDispatch(1, 0, 3, 0x80, 50);
+    st.finish(60); // run ends with the atomic still in flight
+    JsonValue doc = JsonValue::parse(os.str());
+    const auto &evs = doc.at("traceEvents").arr;
+    ASSERT_EQ(evs.size(), 4u);
+    EXPECT_TRUE(evs[3].at("args").at("truncated").boolean);
+    EXPECT_TRUE(replayTracks(doc).at({1, 1}).stack.empty());
+    // finish() is idempotent and drops later events.
+    std::uint64_t n = st.eventCount();
+    st.finish(70);
+    st.atomicDispatch(1, 0, 4, 0x88, 80);
+    EXPECT_EQ(st.eventCount(), n);
+}
+
+TEST(SpanTrace, ContendedRunCarriesChildEvents)
+{
+    // A contended single-line counter must surface the denial /
+    // retry / fwd instants the span model promises, and every
+    // committed atomic must have drained (one "drain" child each).
+    std::ostringstream os;
+    sim::MachineConfig m = sim::MachineConfig::tiny(4);
+    SpanTracer st(os);
+    st.preamble(4, m.core.aqSize);
+    sim::System sys = makeSystem("atomic_counter", m,
+                                 AtomicsMode::kFreeFwd, 4, 1.0, 42);
+    sys.attachSpanTrace(&st);
+    auto out = sys.run(10'000'000);
+    ASSERT_TRUE(out.finished) << out.failure;
+    JsonValue doc = JsonValue::parse(os.str());
+
+    std::uint64_t denied = 0, fwd = 0, drains = 0, squashed = 0;
+    for (const JsonValue &e : doc.at("traceEvents").arr) {
+        const std::string &ph = e.at("ph").str;
+        if (ph == "i") {
+            const std::string &n = e.at("name").str;
+            denied += n == "lock_denied" || n == "retry";
+            fwd += n == "fwd_hop";
+        } else if (ph == "B" && e.at("name").str == "drain") {
+            ++drains;
+        } else if (ph == "E") {
+            const JsonValue *args = e.find("args");
+            if (args && args->find("squashed"))
+                ++squashed;
+        }
+    }
+    EXPECT_GT(denied, 0u);
+    EXPECT_GT(fwd, 0u);
+    EXPECT_EQ(drains, sys.coreTotals().committedAtomics);
+    EXPECT_GE(squashed, 0u);
+    replayTracks(doc); // balance + monotonicity
+}
+
+TEST(SpanTrace, TracingDoesNotPerturbSimulatedTime)
+{
+    sim::MachineConfig m = sim::MachineConfig::tiny(4);
+    sim::System plain = makeSystem("atomic_counter", m,
+                                   AtomicsMode::kFreeFwd, 4, 1.0, 42);
+    auto base = plain.run(10'000'000);
+    ASSERT_TRUE(base.finished) << base.failure;
+
+    std::ostringstream os;
+    SpanTracer st(os);
+    sim::System traced = makeSystem("atomic_counter", m,
+                                    AtomicsMode::kFreeFwd, 4, 1.0, 42);
+    traced.attachSpanTrace(&st);
+    auto obs = traced.run(10'000'000);
+    ASSERT_TRUE(obs.finished) << obs.failure;
+
+    EXPECT_EQ(base.cycles, obs.cycles);
+    EXPECT_EQ(plain.coreTotals().committedInsts,
+              traced.coreTotals().committedInsts);
+}
+
+TEST(HostProfiler, SamplesOnPeriodAndAccumulates)
+{
+    HostProfiler hp(64);
+    for (Cycle c = 0; c < 128; ++c) {
+        hp.beginCycle(c);
+        EXPECT_EQ(hp.sampling(), c % 64 == 0);
+        if (hp.sampling()) {
+            HostProfiler::Timer t(hp, HostPhase::kCoreCommit);
+            // Enough work that even a coarse steady_clock ticks.
+            volatile std::uint64_t sink = 0;
+            for (int i = 0; i < 20000; ++i)
+                sink = sink + static_cast<std::uint64_t>(i);
+        }
+    }
+    hp.finish();
+    EXPECT_EQ(hp.totalCycles(), 128u);
+    EXPECT_EQ(hp.sampledCycles(), 2u);
+    EXPECT_GT(hp.phaseNs(HostPhase::kCoreCommit), 0u);
+    EXPECT_EQ(hp.phaseNs(HostPhase::kMemSweep), 0u);
+    EXPECT_GT(hp.wallSec(), 0.0);
+
+    // table() keeps every phase, zeros included, in enum order.
+    auto table = hp.table();
+    ASSERT_EQ(table.size(),
+              static_cast<std::size_t>(HostPhase::kNumPhases));
+    EXPECT_EQ(table.front().first, "core.events");
+    EXPECT_EQ(table.back().first, "stats");
+    for (std::size_t i = 0; i < table.size(); ++i)
+        EXPECT_EQ(table[i].first,
+                  hostPhaseName(static_cast<HostPhase>(i)));
+}
+
+TEST(HostProfiler, ZeroPeriodClampsToEveryCycle)
+{
+    HostProfiler hp(0);
+    EXPECT_EQ(hp.samplePeriod(), 1u);
+    hp.beginCycle(3);
+    EXPECT_TRUE(hp.sampling());
+}
+
+TEST(HostProfiler, ProfiledRunKeepsIdenticalSimulation)
+{
+    const auto *w = wl::findWorkload("atomic_counter");
+    ASSERT_NE(w, nullptr);
+    auto m = sim::MachineConfig::tiny(4);
+    auto base = wl::runWorkload(*w, m, AtomicsMode::kFreeFwd, 4, 1.0,
+                                42, 10'000'000);
+    ASSERT_TRUE(base.finished) << base.failure;
+    EXPECT_FALSE(base.hostProfiled());
+
+    m.hostProfile = true;
+    m.profilePeriod = 16;
+    auto prof = wl::runWorkload(*w, m, AtomicsMode::kFreeFwd, 4, 1.0,
+                                42, 10'000'000);
+    ASSERT_TRUE(prof.finished) << prof.failure;
+    ASSERT_TRUE(prof.hostProfiled());
+    EXPECT_EQ(prof.hostProfilePeriod, 16u);
+    EXPECT_GT(prof.hostSampledCycles, 0u);
+    EXPECT_GT(prof.hostWallSec, 0.0);
+    EXPECT_GT(prof.hostMips(), 0.0);
+
+    // Zero perturbation of the simulation itself...
+    EXPECT_EQ(base.cycles, prof.cycles);
+    EXPECT_EQ(base.core.committedInsts, prof.core.committedInsts);
+
+    // ...and byte-identity of the shared JSON prefix: the profiled
+    // document is exactly the unprofiled one with a "hostProfile"
+    // object spliced in before the closing brace.
+    std::ostringstream off, on;
+    base.toJson(off);
+    prof.toJson(on);
+    auto pos = on.str().find(",\"hostProfile\":");
+    ASSERT_NE(pos, std::string::npos);
+    EXPECT_EQ(off.str(), on.str().substr(0, pos) + "}");
+    EXPECT_EQ(off.str().find("hostProfile"), std::string::npos);
+
+    // The profile block round-trips through the parser.
+    JsonValue v = JsonValue::parse(on.str());
+    EXPECT_EQ(v.at("hostProfile").at("samplePeriod").asU64(), 16u);
+    EXPECT_EQ(v.at("hostProfile").at("phasesNs").members.size(),
+              static_cast<std::size_t>(HostPhase::kNumPhases));
+}
+
+TEST(IntervalStats, CarriesHostUsecAndMips)
+{
+    std::ostringstream intervals;
+    sim::IntervalStatsWriter iw(intervals, 512);
+    sim::System sys =
+        makeSystem("atomic_counter", sim::MachineConfig::tiny(2),
+                   AtomicsMode::kFreeFwd, 2, 1.0, 42);
+    sys.attachIntervalStats(&iw);
+    auto out = sys.run(10'000'000);
+    ASSERT_TRUE(out.finished) << out.failure;
+    ASSERT_GT(iw.snapshotsWritten(), 1u);
+
+    std::istringstream is(intervals.str());
+    std::string line;
+    std::uint64_t lines = 0;
+    std::uint64_t last_cycle = 0;
+    while (std::getline(is, line)) {
+        JsonValue v = JsonValue::parse(line);
+        ++lines;
+        const JsonValue &usec = v.at("hostUsec");
+        const JsonValue &mips = v.at("mips");
+        ASSERT_TRUE(usec.isNumber());
+        ASSERT_TRUE(mips.isNumber());
+        // mips is insts per hostUsec; a zero-usec interval must
+        // report 0, not inf/NaN (which JSON cannot carry anyway).
+        if (usec.asU64() == 0) {
+            EXPECT_EQ(mips.number, 0.0);
+        }
+        last_cycle = v.at("cycle").asU64();
+    }
+    EXPECT_EQ(lines, iw.snapshotsWritten());
+    // The run length is not a multiple of 512, so the last line is
+    // the flushed partial interval — and it carried the keys too.
+    EXPECT_EQ(last_cycle, out.cycles);
+    EXPECT_NE(out.cycles % 512, 0u);
+}
+
+TEST(BenchCore, SchemaRoundTripsThroughValidator)
+{
+    auto cells = sim::faprof::benchCoreCells(2.0, 7);
+    ASSERT_EQ(cells.size(), 4u);
+    EXPECT_EQ(cells[0].workload, "sb_rmw");
+    EXPECT_EQ(cells[0].cores, 2u);
+    for (auto &c : cells) {
+        EXPECT_EQ(c.mode, "freefwd");
+        EXPECT_EQ(c.seed, 7u);
+        // Fabricate results; running the real matrix is fabench's
+        // job, the schema contract is what this test pins.
+        c.cycles = 1000;
+        c.instrs = 2500;
+        c.wallSec = 0.5;
+        c.mips = 0.005;
+        c.cyclesPerSec = 2000.0;
+    }
+
+    std::ostringstream os;
+    sim::faprof::writeBenchCoreJson(cells, os);
+    JsonValue doc = JsonValue::parse(os.str());
+    EXPECT_EQ(sim::faprof::validateBenchCoreJson(doc), "");
+
+    auto back = sim::faprof::readBenchCoreJson(doc);
+    ASSERT_EQ(back.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        EXPECT_EQ(back[i].machine, cells[i].machine);
+        EXPECT_EQ(back[i].workload, cells[i].workload);
+        EXPECT_EQ(back[i].mode, cells[i].mode);
+        EXPECT_EQ(back[i].cores, cells[i].cores);
+        EXPECT_DOUBLE_EQ(back[i].scale, cells[i].scale);
+        EXPECT_EQ(back[i].seed, cells[i].seed);
+        EXPECT_EQ(back[i].cycles, cells[i].cycles);
+        EXPECT_EQ(back[i].instrs, cells[i].instrs);
+        EXPECT_DOUBLE_EQ(back[i].mips, cells[i].mips);
+    }
+}
+
+TEST(BenchCore, ValidatorRejectsDriftedDocuments)
+{
+    EXPECT_NE(sim::faprof::validateBenchCoreJson(
+                  JsonValue::parse("{\"schema\":\"fa-run-result-v1\","
+                                   "\"cells\":[]}")),
+              "");
+    EXPECT_NE(sim::faprof::validateBenchCoreJson(JsonValue::parse(
+                  "{\"schema\":\"fa-bench-core-v1\",\"cells\":[]}")),
+              "");
+    // A cell missing "mips" is exactly the drift the CI gate reads.
+    EXPECT_NE(
+        sim::faprof::validateBenchCoreJson(JsonValue::parse(
+            "{\"schema\":\"fa-bench-core-v1\",\"cells\":[{"
+            "\"machine\":\"tiny\",\"workload\":\"w\",\"mode\":\"m\","
+            "\"cores\":1,\"scale\":1,\"seed\":1,\"cycles\":1,"
+            "\"instrs\":1,\"wallSec\":1,\"cyclesPerSec\":1}]}")),
+        "");
+}
+
+} // namespace
+} // namespace fa

@@ -1,0 +1,66 @@
+# Exercise the fa-bench-core-v1 path end to end: `fabench perf
+# --mips` emits the matrix, fastats summarizes and diffs it, and the
+# --fail-above gate fires on a MIPS *drop* (reversed direction
+# relative to run-result counters).
+#
+#   cmake -DFABENCH=<fabench> -DFASTATS=<fastats> -DWORKDIR=<dir>
+#         -P check_bench_core_gate.cmake
+
+if(NOT FABENCH OR NOT FASTATS OR NOT WORKDIR)
+    message(FATAL_ERROR "FABENCH, FASTATS and WORKDIR are required")
+endif()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(BASE "${WORKDIR}/bench-base.json")
+set(NEW "${WORKDIR}/bench-new.json")
+
+# Tiny cells (--scale 0.02 on the baked sizes): this test pins the
+# plumbing and gate direction, not real throughput numbers.
+execute_process(
+    COMMAND "${FABENCH}" perf --mips --repeats 1 --scale 0.02
+            --bench-json "${BASE}"
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "fabench perf --mips exited ${rc}")
+endif()
+
+execute_process(
+    COMMAND "${FASTATS}" "${BASE}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "MIPS")
+    message(FATAL_ERROR "bench-core summarize failed (${rc}):\n${out}")
+endif()
+
+# Self-diff at any threshold: identical MIPS never gates.
+execute_process(
+    COMMAND "${FASTATS}" "${BASE}" "${BASE}" --fail-above 0
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "self-diff should exit 0, exited ${rc}")
+endif()
+
+# Doctor a collapsed-throughput "new" file: every cell's MIPS drops
+# to ~0, which must trip the gate with exit 4.
+file(READ "${BASE}" doc)
+string(REGEX REPLACE "\"mips\":[0-9.eE+-]+" "\"mips\":0.000001"
+       doc "${doc}")
+file(WRITE "${NEW}" "${doc}")
+execute_process(
+    COMMAND "${FASTATS}" "${BASE}" "${NEW}" --fail-above 50
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 4)
+    message(FATAL_ERROR
+            "MIPS collapse should gate with exit 4, exited ${rc}")
+endif()
+if(NOT out MATCHES "fastats: FAIL ")
+    message(FATAL_ERROR "gate exit lacked FAIL lines:\n${out}")
+endif()
+
+# The reverse diff (MIPS went *up*) must pass: growth is not a
+# regression for a goodness metric.
+execute_process(
+    COMMAND "${FASTATS}" "${NEW}" "${BASE}" --fail-above 50
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "MIPS gain should pass the gate, exited ${rc}")
+endif()

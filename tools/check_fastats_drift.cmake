@@ -1,0 +1,63 @@
+# Exercise fastats' schema-drift reporting: a counter present in only
+# one of the two RunResult files must be called out in the diff, and
+# under --fail-above a gated counter that *disappears* must itself
+# gate with exit 4 (otherwise CI would pass forever on a counter
+# nobody measures anymore).
+#
+#   cmake -DFASIM=<fasim> -DFASTATS=<fastats> -DWORKDIR=<dir>
+#         -P check_fastats_drift.cmake
+
+if(NOT FASIM OR NOT FASTATS OR NOT WORKDIR)
+    message(FATAL_ERROR "FASIM, FASTATS and WORKDIR are required")
+endif()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(BASE "${WORKDIR}/drift-base.json")
+set(NEW "${WORKDIR}/drift-new.json")
+
+execute_process(
+    COMMAND "${FASIM}" -w atomic_counter -c 2 -m freefwd
+            --scale 0.25 --stats-json "${BASE}"
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "fasim exited ${rc}")
+endif()
+
+# Drop one gated core counter from the "new" file — the shape of a
+# renamed/deleted stats field landing in CI.
+file(READ "${BASE}" doc)
+string(REGEX REPLACE "\"committedAtomics\":[0-9]+," "" doc "${doc}")
+if(doc MATCHES "committedAtomics")
+    message(FATAL_ERROR "fixture edit failed to drop the counter")
+endif()
+file(WRITE "${NEW}" "${doc}")
+
+# Ungated diff: exit 0, but the drift must be reported both ways.
+execute_process(
+    COMMAND "${FASTATS}" "${BASE}" "${NEW}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ungated diff should exit 0, exited ${rc}")
+endif()
+if(NOT out MATCHES "only in base: core.committedAtomics")
+    message(FATAL_ERROR "diff did not report the dropped counter:\n${out}")
+endif()
+execute_process(
+    COMMAND "${FASTATS}" "${NEW}" "${BASE}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "only in new:  core.committedAtomics")
+    message(FATAL_ERROR "diff did not report the added counter:\n${out}")
+endif()
+
+# Gated diff: the disappearance is a regression even at a threshold
+# no counter growth could trip.
+execute_process(
+    COMMAND "${FASTATS}" "${BASE}" "${NEW}" --fail-above 100000
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 4)
+    message(FATAL_ERROR
+            "disappeared counter should gate with exit 4, exited ${rc}")
+endif()
+if(NOT out MATCHES "FAIL core.committedAtomics disappeared")
+    message(FATAL_ERROR "gate lacked the disappearance FAIL line:\n${out}")
+endif()

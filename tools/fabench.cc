@@ -52,6 +52,46 @@ listCampaigns()
     t.print(std::cout);
 }
 
+/**
+ * Host-throughput matrix (`perf --mips`): run the fixed bench-core
+ * cells and report simulated MIPS per cell. With --bench-json the
+ * fa-bench-core-v1 document lands on disk — the committed
+ * BENCH_core.json is exactly this output, and `fastats diff
+ * --fail-above` gates MIPS drops against it in CI.
+ */
+int
+perfMips(double scale, std::uint64_t seed, unsigned repeats,
+         const std::string &benchJson)
+{
+    auto cells = sim::faprof::benchCoreCells(scale, seed);
+    std::cout << "perf --mips: " << cells.size()
+              << " cells, best of " << repeats << " run(s) each\n";
+    TablePrinter t({"cell", "cycles", "instrs", "wall s", "MIPS"});
+    for (auto &c : cells) {
+        if (!sim::faprof::runBenchCell(c, repeats)) {
+            std::cerr << "fabench: bench cell " << c.machine << "/"
+                      << c.workload << " did not finish\n";
+            return 1;
+        }
+        t.cell(c.machine + "/" + c.workload + "/x" +
+               std::to_string(c.cores))
+            .cell(std::uint64_t{c.cycles})
+            .cell(c.instrs)
+            .cell(fmtDouble(c.wallSec, 3))
+            .cell(fmtDouble(c.mips, 2))
+            .endRow();
+    }
+    t.print(std::cout);
+    if (!benchJson.empty()) {
+        std::ofstream os(benchJson);
+        if (!os)
+            fatal("cannot open '%s'", benchJson.c_str());
+        sim::faprof::writeBenchCoreJson(cells, os);
+        std::cout << "wrote " << benchJson << "\n";
+    }
+    return 0;
+}
+
 /** Serial-vs-parallel self-measurement: run the fig1 + ablation-rob
  * job lists at 1 thread and at `threads`, assert bit-identical
  * per-job results, and record the timings as BENCH JSON. */
@@ -146,6 +186,8 @@ main(int argc, char **argv)
     std::string modesArg;
     std::string machinesArg;
     std::string benchJson;
+    bool mips = false;
+    unsigned repeats = 3;
     std::vector<std::string> args;
 
     cli::Parser p("fabench",
@@ -172,7 +214,13 @@ main(int argc, char **argv)
     p.opt(&machinesArg, "", "--machines", "LIST",
           "(sweep) comma list of machine presets [icelake]");
     p.opt(&benchJson, "", "--bench-json", "FILE",
-          "(perf) write serial-vs-parallel timing JSON");
+          "(perf) write serial-vs-parallel timing JSON (with --mips: "
+          "the fa-bench-core-v1 matrix, i.e. BENCH_core.json)");
+    p.flag(&mips, "", "--mips",
+           "(perf) measure simulated-MIPS host throughput on the "
+           "fixed bench-core matrix instead of the sweep timing");
+    p.opt(&repeats, "", "--repeats", "N",
+          "(perf --mips) timed runs per cell, best kept [3]");
     p.epilog("exit status: 0 ok, 1 run/determinism failure, 2 usage\n");
     p.parse(argc, argv);
 
@@ -204,8 +252,17 @@ main(int argc, char **argv)
             listCampaigns();
             return 0;
         }
-        if (name == "perf")
+        if (name == "perf") {
+            if (mips) {
+                // The MIPS matrix carries its own baked-in scales;
+                // --scale multiplies them only when given explicitly
+                // (FA_SCALE's 0.5 default would shrink the committed
+                // baseline silently).
+                return perfMips(p.seen("--scale") ? scale : 1.0, 42,
+                                repeats == 0 ? 1 : repeats, benchJson);
+            }
             return perf(cfg, threads == 0 ? 0 : threads, benchJson);
+        }
 
         const sim::sweep::Campaign *c = sim::sweep::findCampaign(name);
         if (!c) {

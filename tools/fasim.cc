@@ -51,6 +51,34 @@ writeStatsJson(const std::string &path, const sim::RunResult &res)
 }
 
 /**
+ * faprof host-profile report: per-component share of sampled wall
+ * time, plus whole-run throughput (simulated MIPS / cycles per host
+ * second).
+ */
+void
+printHostProfile(const sim::RunResult &res)
+{
+    std::uint64_t total_ns = 0;
+    for (const auto &[name, ns] : res.hostPhaseNs)
+        total_ns += ns;
+    std::cout << "host profile (sampled " << res.hostSampledCycles
+              << " cycles, period " << res.hostProfilePeriod << "):\n";
+    TablePrinter t({"component", "ns", "share"});
+    for (const auto &[name, ns] : res.hostPhaseNs) {
+        double share = total_ns
+            ? 100.0 * static_cast<double>(ns) /
+                static_cast<double>(total_ns)
+            : 0.0;
+        t.cell(name).cell(ns).cell(fmtDouble(share, 1) + "%").endRow();
+    }
+    t.print(std::cout);
+    std::cout << "wall " << fmtDouble(res.hostWallSec, 3) << "s, "
+              << fmtDouble(res.hostMips(), 2) << " MIPS, "
+              << fmtDouble(res.hostCyclesPerSec() / 1e6, 2)
+              << "M cycles/s\n";
+}
+
+/**
  * Shared failure handling: a TSO-check violation prints the
  * violating event explicitly before exiting non-zero.
  */
@@ -122,6 +150,8 @@ runOne(const wl::Workload &w, const sim::MachineConfig &machine,
         if (!last.forensics.empty())
             std::cout << last.forensics;
     }
+    if (last.hostProfiled())
+        printHostProfile(last);
 }
 
 } // namespace
@@ -145,6 +175,9 @@ main(int argc, char **argv)
     std::string pipeview_path;
     std::string interval_path;
     std::uint64_t interval_period = 10'000;
+    std::string trace_spans;
+    bool profile = false;
+    std::uint64_t profile_period = 64;
     std::string chaos_profile;
     std::uint64_t chaos_seed = 1;
     bool fasan = false;
@@ -181,6 +214,14 @@ main(int argc, char **argv)
           "write per-interval counter deltas as JSON Lines");
     p.opt(&interval_period, "", "--interval", "N",
           "interval-stats period in cycles [10000]");
+    p.opt(&trace_spans, "", "--trace-spans", "FILE",
+          "write an fa-trace-v1 transaction-span trace (Chrome "
+          "trace-event JSON; open in Perfetto / chrome://tracing)");
+    p.flag(&profile, "", "--profile",
+           "attribute host wall time to simulator components (faprof "
+           "sampling profiler; report printed after the run)");
+    p.opt(&profile_period, "", "--profile-period", "N",
+          "profile every Nth cycle [64]");
     p.flag(&forensics, "", "--forensics",
            "capture a pipeline snapshot at the first watchdog firing "
            "(printed with --stats, stored in --stats-json)");
@@ -213,6 +254,8 @@ main(int argc, char **argv)
                 .watchdogForensics(forensics)
                 .pipeview(pipeview_path)
                 .intervalStats(interval_path, interval_period)
+                .traceSpans(trace_spans)
+                .hostProfile(profile, profile_period)
                 .chaosProfile(chaos_profile, chaos_seed)
                 .sanitize(fasan)
                 .build();
@@ -243,6 +286,8 @@ main(int argc, char **argv)
                     });
                 t.print(std::cout);
             }
+            if (res.hostProfiled())
+                printHostProfile(res);
             return 0;
         }
         const auto *w = wl::findWorkload(workload);

@@ -6,13 +6,20 @@
  *   fastats base.json new.json  diff two runs counter by counter
  *   fastats -a base.json new.json   include unchanged counters
  *   fastats --sweep runs.jsonl  validate a fabench JSONL stream
+ *   fastats --trace spans.json  validate an fa-trace-v1 span trace
  *
  * Reads the "fa-run-result-v1" schema written by
- * fa::sim::RunResult::toJson. Diffing is the intended workflow for
+ * fa::sim::RunResult::toJson, and the "fa-bench-core-v1" host
+ * throughput matrix written by `fabench perf --mips` (dispatched on
+ * the file's schema tag). Diffing is the intended workflow for
  * performance work: run a litmus or bench config before and after a
  * change, then diff the two JSON files to see exactly which counters
  * moved (and whether the latency distributions shifted, not just the
- * means).
+ * means). Diffs also call out counters present in only one file —
+ * schema drift a plain key-intersection diff would silently hide —
+ * and under --fail-above a gated counter that disappears is itself a
+ * regression (exit 4). For bench-core files the gate direction
+ * flips: MIPS *dropping* by more than the threshold fails.
  *
  * With --cert the same one-or-two-file contract applies to
  * "fa-fence-cert-v1" synthesis certificates (fafence): one file
@@ -35,16 +42,30 @@ using namespace fa;
 namespace {
 
 JsonValue
-loadStats(const std::string &path)
+loadJson(const std::string &path)
 {
     std::ifstream is(path);
     if (!is)
         fatal("cannot open '%s'", path.c_str());
     std::ostringstream buf;
     buf << is.rdbuf();
-    JsonValue doc = JsonValue::parse(buf.str());
-    const JsonValue *schema = doc.find("schema");
-    if (!schema || schema->str != "fa-run-result-v1")
+    return JsonValue::parse(buf.str());
+}
+
+/** Top-level schema tag; "" when absent or not a string. */
+std::string
+schemaOf(const JsonValue &doc)
+{
+    const JsonValue *schema =
+        doc.isObject() ? doc.find("schema") : nullptr;
+    return schema && schema->isString() ? schema->str : "";
+}
+
+JsonValue
+loadStats(const std::string &path)
+{
+    JsonValue doc = loadJson(path);
+    if (schemaOf(doc) != "fa-run-result-v1")
         fatal("'%s' is not a fa-run-result-v1 stats file",
               path.c_str());
     return doc;
@@ -106,7 +127,10 @@ pctChange(double a, double b)
                     : 100.0 * (b - a) / a;
 }
 
-/** Diff one flat numeric object ("core"/"mem"/"derived") by key. */
+/** Diff one flat numeric object ("core"/"mem"/"derived") by key.
+ * Counters present in only one file are called out explicitly:
+ * silently intersecting the key sets would hide schema drift (a
+ * renamed or dropped counter looks identical to an unchanged one). */
 void
 diffSection(const char *section, const JsonValue &a, const JsonValue &b,
             bool show_all, bool integer)
@@ -115,8 +139,14 @@ diffSection(const char *section, const JsonValue &a, const JsonValue &b,
     unsigned rows = 0;
     for (const auto &[name, av] : a.members) {
         const JsonValue *bv = b.find(name);
-        if (!bv)
+        if (!bv) {
+            std::cout << "only in base: " << section << "." << name
+                      << " = "
+                      << (integer ? std::to_string(av.asU64())
+                                  : fmtDouble(av.number, 4))
+                      << " (dropped counter?)\n";
             continue;
+        }
         if (!show_all && av.number == bv->number)
             continue;
         ++rows;
@@ -132,6 +162,15 @@ diffSection(const char *section, const JsonValue &a, const JsonValue &b,
             t.cell(fmtDouble(delta, 4));
         }
         t.cell(fmtDouble(pctChange(av.number, bv->number), 1)).endRow();
+    }
+    for (const auto &[name, bv] : b.members) {
+        if (a.find(name))
+            continue;
+        std::cout << "only in new:  " << section << "." << name
+                  << " = "
+                  << (integer ? std::to_string(bv.asU64())
+                              : fmtDouble(bv.number, 4))
+                  << " (added counter)\n";
     }
     if (rows)
         t.print(std::cout);
@@ -170,24 +209,32 @@ diffHists(const JsonValue &a, const JsonValue &b, bool show_all)
         t.print(std::cout);
 }
 
-/** One counter whose growth exceeded the --fail-above threshold. */
+/** One counter whose growth exceeded the --fail-above threshold, or
+ * that vanished from the new file entirely (`gone`). */
 struct Regression
 {
     std::string counter;
     double base = 0.0;
     double now = 0.0;
     double pct = 0.0;
+    bool gone = false;
 };
 
-/** Collect counters of one section that grew past `threshold`%. */
+/** Collect counters of one section that grew past `threshold`%. A
+ * gated counter missing from the new file is also a regression: the
+ * gate can no longer see it, so a CI pipeline would otherwise pass
+ * forever on a counter nobody measures anymore. */
 void
 gateSection(const char *section, const JsonValue &a, const JsonValue &b,
             double threshold, std::vector<Regression> &out)
 {
     for (const auto &[name, av] : a.members) {
         const JsonValue *bv = b.find(name);
-        if (!bv)
+        if (!bv) {
+            out.push_back({std::string(section) + "." + name,
+                           av.number, 0.0, 0.0, true});
             continue;
+        }
         double pct = pctChange(av.number, bv->number);
         if (pct > threshold) {
             out.push_back({std::string(section) + "." + name,
@@ -232,11 +279,17 @@ diff(const JsonValue &a, const JsonValue &b, bool show_all,
     if (regs.empty())
         return 0;
     for (const Regression &r : regs) {
-        std::cout << "fastats: FAIL " << r.counter << " "
-                  << fmtDouble(r.base, 0) << " -> "
-                  << fmtDouble(r.now, 0) << " (+"
-                  << fmtDouble(r.pct, 1) << "% > "
-                  << fmtDouble(fail_above, 1) << "%)\n";
+        if (r.gone) {
+            std::cout << "fastats: FAIL " << r.counter
+                      << " disappeared from the new file (base "
+                      << fmtDouble(r.base, 0) << ")\n";
+        } else {
+            std::cout << "fastats: FAIL " << r.counter << " "
+                      << fmtDouble(r.base, 0) << " -> "
+                      << fmtDouble(r.now, 0) << " (+"
+                      << fmtDouble(r.pct, 1) << "% > "
+                      << fmtDouble(fail_above, 1) << "%)\n";
+        }
     }
     return 4;
 }
@@ -284,6 +337,196 @@ validateSweep(const std::string &path)
     std::cout << "sweep: " << runs << " valid run(s), " << bad
               << " bad line(s) in " << path << "\n";
     return bad == 0 && runs > 0 ? 0 : 1;
+}
+
+// --- fa-trace-v1 (faprof span traces) ---------------------------------
+
+/**
+ * Validate an fa-trace-v1 span trace (fasim --trace-spans): schema
+ * tag, per-event structure, non-decreasing timestamps per (pid,tid)
+ * track, and strict B/E balance — every span that opens on a track
+ * closes on it, LIFO. Truncated spans are legal (finish() closes
+ * them), so an unbalanced file always means a tracer bug.
+ */
+int
+validateTrace(const std::string &path)
+{
+    JsonValue doc = loadJson(path);
+    const JsonValue *other = doc.find("otherData");
+    if (!other || !other->isObject() ||
+        schemaOf(*other) != "fa-trace-v1") {
+        std::cout << "fastats: " << path
+                  << ": otherData.schema is not \"fa-trace-v1\"\n";
+        return 1;
+    }
+    const JsonValue *evs = doc.find("traceEvents");
+    if (!evs || !evs->isArray()) {
+        std::cout << "fastats: " << path
+                  << ": missing \"traceEvents\" array\n";
+        return 1;
+    }
+
+    // Per-track state: open-span depth and last timestamp.
+    std::map<std::pair<std::uint64_t, std::uint64_t>,
+             std::pair<unsigned, std::uint64_t>> tracks;
+    std::uint64_t spans = 0, instants = 0, meta = 0;
+    unsigned bad = 0;
+    auto complain = [&](std::size_t i, const std::string &what) {
+        if (bad < 20)
+            std::cout << "fastats: " << path << ": traceEvents[" << i
+                      << "]: " << what << "\n";
+        ++bad;
+    };
+    for (std::size_t i = 0; i < evs->arr.size(); ++i) {
+        const JsonValue &e = evs->arr[i];
+        if (!e.isObject()) {
+            complain(i, "not an object");
+            continue;
+        }
+        const JsonValue *ph = e.find("ph");
+        const JsonValue *pid = e.find("pid");
+        const JsonValue *tid = e.find("tid");
+        if (!ph || !ph->isString() || !pid || !pid->isNumber() ||
+            !tid || !tid->isNumber()) {
+            complain(i, "missing ph/pid/tid");
+            continue;
+        }
+        if (ph->str == "M") {
+            if (!e.find("name"))
+                complain(i, "metadata event without name");
+            ++meta;
+            continue;
+        }
+        const JsonValue *ts = e.find("ts");
+        if (!ts || !ts->isNumber()) {
+            complain(i, "missing ts");
+            continue;
+        }
+        auto &track = tracks[{pid->asU64(), tid->asU64()}];
+        if (ts->asU64() < track.second)
+            complain(i, "timestamp went backwards on track");
+        track.second = ts->asU64();
+        if (ph->str == "B") {
+            if (!e.find("name"))
+                complain(i, "B event without name");
+            ++track.first;
+            ++spans;
+        } else if (ph->str == "E") {
+            if (track.first == 0)
+                complain(i, "E without matching B on track");
+            else
+                --track.first;
+        } else if (ph->str == "i") {
+            if (!e.find("name"))
+                complain(i, "instant without name");
+            ++instants;
+        } else {
+            complain(i, "unexpected phase \"" + ph->str + "\"");
+        }
+    }
+    for (const auto &[key, track] : tracks) {
+        if (track.first != 0) {
+            std::cout << "fastats: " << path << ": track pid="
+                      << key.first << " tid=" << key.second << " has "
+                      << track.first << " unclosed span(s)\n";
+            ++bad;
+        }
+    }
+    std::cout << "trace: " << evs->arr.size() << " event(s) — "
+              << spans << " span(s), " << instants << " instant(s), "
+              << meta << " metadata — on " << tracks.size()
+              << " track(s): " << (bad ? "INVALID" : "OK") << "\n";
+    return bad ? 1 : 0;
+}
+
+// --- fa-bench-core-v1 (fabench perf --mips) ---------------------------
+
+std::vector<sim::faprof::BenchCell>
+loadBenchCore(const std::string &path)
+{
+    JsonValue doc = loadJson(path);
+    std::string err = sim::faprof::validateBenchCoreJson(doc);
+    if (!err.empty())
+        fatal("'%s': %s", path.c_str(), err.c_str());
+    return sim::faprof::readBenchCoreJson(doc);
+}
+
+std::string
+benchCellId(const sim::faprof::BenchCell &c)
+{
+    return c.machine + "/" + c.workload + "/" + c.mode + "/x" +
+        std::to_string(c.cores);
+}
+
+void
+benchSummarize(const std::vector<sim::faprof::BenchCell> &cells)
+{
+    TablePrinter t({"cell", "cycles", "instrs", "wall s", "MIPS",
+                    "Mcyc/s"});
+    for (const auto &c : cells) {
+        t.cell(benchCellId(c))
+            .cell(std::uint64_t{c.cycles})
+            .cell(c.instrs)
+            .cell(fmtDouble(c.wallSec, 3))
+            .cell(fmtDouble(c.mips, 2))
+            .cell(fmtDouble(c.cyclesPerSec / 1e6, 2))
+            .endRow();
+    }
+    t.print(std::cout);
+}
+
+/**
+ * Diff two fa-bench-core-v1 matrices cell by cell. The gate
+ * direction is reversed relative to run-result counters: MIPS is a
+ * goodness metric, so a *drop* past --fail-above fails (exit 4), as
+ * does a baseline cell with no counterpart in the new file.
+ */
+int
+benchDiff(const std::vector<sim::faprof::BenchCell> &base,
+          const std::vector<sim::faprof::BenchCell> &now,
+          double fail_above)
+{
+    TablePrinter t({"cell", "base MIPS", "new MIPS", "%"});
+    std::vector<Regression> regs;
+    for (const auto &a : base) {
+        const sim::faprof::BenchCell *b = nullptr;
+        for (const auto &c : now) {
+            if (c.machine == a.machine && c.workload == a.workload &&
+                c.mode == a.mode && c.cores == a.cores) {
+                b = &c;
+                break;
+            }
+        }
+        if (!b) {
+            std::cout << "only in base: " << benchCellId(a) << "\n";
+            regs.push_back({benchCellId(a), a.mips, 0.0, 0.0, true});
+            continue;
+        }
+        double pct = pctChange(a.mips, b->mips);
+        t.cell(benchCellId(a))
+            .cell(fmtDouble(a.mips, 2))
+            .cell(fmtDouble(b->mips, 2))
+            .cell(fmtDouble(pct, 1))
+            .endRow();
+        if (fail_above >= 0.0 && -pct > fail_above)
+            regs.push_back({benchCellId(a), a.mips, b->mips, pct});
+    }
+    t.print(std::cout);
+    if (fail_above < 0.0 || regs.empty())
+        return 0;
+    for (const Regression &r : regs) {
+        if (r.gone) {
+            std::cout << "fastats: FAIL " << r.counter
+                      << " disappeared from the new file\n";
+        } else {
+            std::cout << "fastats: FAIL " << r.counter << " MIPS "
+                      << fmtDouble(r.base, 2) << " -> "
+                      << fmtDouble(r.now, 2) << " ("
+                      << fmtDouble(r.pct, 1) << "% < -"
+                      << fmtDouble(fail_above, 1) << "%)\n";
+        }
+    }
+    return 4;
 }
 
 // --- fa-fence-cert-v1 (fafence) ---------------------------------------
@@ -398,10 +641,12 @@ main(int argc, char **argv)
     bool cert_mode = false;
     double fail_above = -1.0;
     std::string sweep_path;
+    std::string trace_path;
     std::vector<std::string> files;
 
     cli::Parser p("fastats",
-                  "summarize and diff fa-run-result-v1 telemetry");
+                  "summarize and diff fa-run-result-v1 / "
+                  "fa-bench-core-v1 telemetry");
     p.positional(&files, "FILE [FILE2]",
                  "one file: summarize; two: diff (FILE = baseline)");
     p.flag(&show_all, "-a", "--all",
@@ -415,6 +660,9 @@ main(int argc, char **argv)
           "by more than PCT percent");
     p.opt(&sweep_path, "", "--sweep", "FILE",
           "validate a fabench --json JSONL stream instead");
+    p.opt(&trace_path, "", "--trace", "FILE",
+          "validate an fa-trace-v1 span trace (fasim --trace-spans) "
+          "instead");
     p.epilog("\nexit status: 0 ok, 1 error, 2 usage,\n"
              "4 counter regression past --fail-above\n");
     p.parse(argc, argv);
@@ -432,6 +680,20 @@ main(int argc, char **argv)
         }
         try {
             return validateSweep(sweep_path);
+        } catch (const FatalError &e) {
+            std::cerr << "fastats: " << e.message << "\n";
+            return 1;
+        }
+    }
+
+    if (!trace_path.empty()) {
+        if (!files.empty() || p.seen("--fail-above")) {
+            std::cerr << "fastats: --trace takes no other input\n";
+            p.printUsage(std::cerr);
+            return 2;
+        }
+        try {
+            return validateTrace(trace_path);
         } catch (const FatalError &e) {
             std::cerr << "fastats: " << e.message << "\n";
             return 1;
@@ -469,6 +731,17 @@ main(int argc, char **argv)
     }
 
     try {
+        // Dispatch on the first file's schema tag: run-result files
+        // keep the classic counter diff, bench-core matrices get the
+        // MIPS diff (reversed gate direction).
+        if (schemaOf(loadJson(files[0])) == "fa-bench-core-v1") {
+            if (files.size() == 1) {
+                benchSummarize(loadBenchCore(files[0]));
+                return 0;
+            }
+            return benchDiff(loadBenchCore(files[0]),
+                             loadBenchCore(files[1]), fail_above);
+        }
         if (files.size() == 1) {
             summarize(loadStats(files[0]));
         } else {
