@@ -1,6 +1,7 @@
 #include "analysis/mc/explore.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <unordered_map>
 #include <unordered_set>
@@ -197,6 +198,41 @@ makeOutcome(const State &s, bool trackRegs)
 
 namespace {
 
+/** Cooperative wall-clock budget shared by both engines: one
+ * counter test per iteration, a clock read every 4096th. */
+class BudgetGuard
+{
+  public:
+    explicit BudgetGuard(double budgetSec)
+        : budget(budgetSec), start(std::chrono::steady_clock::now())
+    {}
+
+    bool
+    expired()
+    {
+        if (budget <= 0.0 || (++tick & 63) != 0)
+            return false;
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count() > budget;
+    }
+
+  private:
+    double budget;
+    std::chrono::steady_clock::time_point start;
+    std::uint64_t tick = 0;
+};
+
+/** Stamp a budget trip into the result (complete stays false via
+ * the non-empty truncatedReason). */
+void
+markBudgetExceeded(ExploreResult &res, double budgetSec)
+{
+    res.truncatedReason =
+        strfmt("time budget (%gs) exceeded", budgetSec);
+    res.budgetExceeded = true;
+}
+
 struct GraphNode
 {
     std::uint64_t parent;
@@ -263,7 +299,12 @@ exploreGraph(const Model &model, const MemInit &init,
 
     bool stop = false;
     std::vector<Transition> trans;
+    BudgetGuard budget(opts.timeBudgetSec);
     while (!frontier.empty() && !stop) {
+        if (budget.expired()) {
+            markBudgetExceeded(res, opts.timeBudgetSec);
+            break;
+        }
         Pending p = std::move(frontier.front());
         frontier.pop_front();
         last_node = p.node;
@@ -428,7 +469,12 @@ exploreDpor(const Model &model, const MemInit &init,
     std::vector<Transition> deepestPath;
 
     bool stop = false;
+    BudgetGuard budget(opts.timeBudgetSec);
     while (!stack.empty() && !stop) {
+        if (budget.expired()) {
+            markBudgetExceeded(res, opts.timeBudgetSec);
+            break;
+        }
         Frame &top = stack.back();
         if (stack.size() > deepestPath.size() + 1) {
             deepestPath.clear();

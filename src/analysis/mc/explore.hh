@@ -59,6 +59,12 @@ struct ExploreOpts
     bool certifyTso = false;
     /** Stop exploring after this many violations. */
     std::uint64_t maxViolations = 1;
+    /** Soft host wall-clock budget, in seconds; 0 = unbounded.
+     * Checked cooperatively every few dozen loop iterations: on
+     * expiry exploration stops with complete=false,
+     * budgetExceeded=true and the partial state/outcome counts
+     * intact (famc maps this to its own exit code). */
+    double timeBudgetSec = 0.0;
     /** Record a structured witness (minimal trace + reorder edges)
      * for every distinct outcome; the CEGAR synthesizer's input. */
     bool outcomeWitnesses = false;
@@ -135,6 +141,8 @@ struct ExploreResult
      * without hitting maxStates/maxDepth. */
     bool complete = false;
     std::string truncatedReason;
+    /** Truncated specifically by ExploreOpts::timeBudgetSec. */
+    bool budgetExceeded = false;
 
     std::uint64_t statesExplored = 0;
     std::uint64_t transitionsTaken = 0;

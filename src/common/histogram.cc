@@ -108,6 +108,25 @@ Histogram::forEachBucket(
 }
 
 void
+Histogram::restoreMeta(std::uint64_t count, std::uint64_t sum,
+                       std::uint64_t min, std::uint64_t max)
+{
+    buckets.fill(0);
+    n = count;
+    total = sum;
+    // toJson writes min as 0 when empty; the live empty histogram
+    // keeps minV at its ~0 sentinel.
+    minV = count == 0 ? ~std::uint64_t{0} : min;
+    maxV = max;
+}
+
+void
+Histogram::restoreBucket(std::uint64_t lo, std::uint64_t count)
+{
+    buckets[bucketOf(lo)] = count;
+}
+
+void
 LatencyHists::merge(const LatencyHists &other)
 {
     atomicLatency.merge(other.atomicLatency);
@@ -121,6 +140,17 @@ void
 LatencyHists::forEach(
     const std::function<void(const std::string &,
                              const Histogram &)> &fn) const
+{
+    fn("atomicLatency", atomicLatency);
+    fn("sbDrain", sbDrain);
+    fn("lockHold", lockHold);
+    fn("fwdChain", fwdChain);
+    fn("wdBackoff", wdBackoff);
+}
+
+void
+LatencyHists::forEachMut(
+    const std::function<void(const std::string &, Histogram &)> &fn)
 {
     fn("atomicLatency", atomicLatency);
     fn("sbDrain", sbDrain);

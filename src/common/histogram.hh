@@ -66,6 +66,19 @@ class Histogram
         const std::function<void(std::uint64_t, std::uint64_t,
                                  std::uint64_t)> &fn) const;
 
+    // --- serialized-form readback (fa-run-result-v1) -------------------
+
+    /** Reset and restore the summary fields from their serialized
+     * values (count/sum/min/max as toJson wrote them; min arrives as
+     * 0 for an empty histogram). Bucket counts follow via
+     * restoreBucket; the result is bit-identical to the histogram
+     * that was serialized. */
+    void restoreMeta(std::uint64_t count, std::uint64_t sum,
+                     std::uint64_t min, std::uint64_t max);
+
+    /** Restore one serialized bucket by its inclusive lower bound. */
+    void restoreBucket(std::uint64_t lo, std::uint64_t count);
+
     std::uint64_t bucketCount(unsigned b) const { return buckets.at(b); }
 
   private:
@@ -103,6 +116,10 @@ struct LatencyHists
     void forEach(
         const std::function<void(const std::string &,
                                  const Histogram &)> &fn) const;
+
+    /** Mutable visitor, same histograms and order (JSON readback). */
+    void forEachMut(
+        const std::function<void(const std::string &, Histogram &)> &fn);
 };
 
 } // namespace fa

@@ -166,6 +166,7 @@ struct Parser
 {
     const std::string &text;
     std::size_t pos = 0;
+    std::size_t depth = 0;
 
     [[noreturn]] void
     fail(const char *what)
@@ -277,10 +278,14 @@ struct Parser
         JsonValue v;
         if (c == '{') {
             ++pos;
+            if (++depth > JsonValue::kMaxDepth)
+                fail("nesting too deep");
             v.kind = JsonValue::Kind::kObject;
             skipWs();
-            if (consume('}'))
+            if (consume('}')) {
+                --depth;
                 return v;
+            }
             while (true) {
                 skipWs();
                 std::string k = parseString();
@@ -291,21 +296,27 @@ struct Parser
                 if (consume(','))
                     continue;
                 expect('}');
+                --depth;
                 return v;
             }
         }
         if (c == '[') {
             ++pos;
+            if (++depth > JsonValue::kMaxDepth)
+                fail("nesting too deep");
             v.kind = JsonValue::Kind::kArray;
             skipWs();
-            if (consume(']'))
+            if (consume(']')) {
+                --depth;
                 return v;
+            }
             while (true) {
                 v.arr.push_back(parseValue());
                 skipWs();
                 if (consume(','))
                     continue;
                 expect(']');
+                --depth;
                 return v;
             }
         }
@@ -388,6 +399,21 @@ JsonValue::parse(const std::string &text)
     if (p.pos != text.size())
         p.fail("trailing garbage after document");
     return v;
+}
+
+bool
+JsonValue::tryParse(const std::string &text, JsonValue *out,
+                    std::string *err)
+{
+    try {
+        JsonValue v = parse(text);
+        *out = std::move(v);
+        return true;
+    } catch (const FatalError &e) {
+        if (err)
+            *err = e.message;
+        return false;
+    }
 }
 
 } // namespace fa

@@ -10,6 +10,7 @@
 #ifndef FA_COMMON_JSON_HH
 #define FA_COMMON_JSON_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -107,9 +108,24 @@ struct JsonValue
 
     /**
      * Parse a complete document. Throws FatalError (via fatal()) on
-     * malformed input, with a byte offset in the message.
+     * malformed input, with a byte offset in the message. Nesting
+     * deeper than kMaxDepth is rejected (crash-safe readback of
+     * journal/certificate files must never overflow the stack on
+     * garbage input).
      */
     static JsonValue parse(const std::string &text);
+
+    /** Container-nesting limit enforced by parse()/tryParse(). Far
+     * above any schema this repo writes (< 8 levels). */
+    static constexpr std::size_t kMaxDepth = 96;
+
+    /**
+     * Non-throwing parse for files that may be truncated or corrupt
+     * (journals read back after a crash). Returns false and fills
+     * `err` instead of throwing; `out` is untouched on failure.
+     */
+    static bool tryParse(const std::string &text, JsonValue *out,
+                         std::string *err = nullptr);
 };
 
 } // namespace fa

@@ -15,6 +15,15 @@ void
 CoreStats::forEach(
     const std::function<void(const std::string &, std::uint64_t)> &fn) const
 {
+    // One canonical field list, kept in the mutable visitor.
+    const_cast<CoreStats *>(this)->forEachMut(
+        [&](const std::string &name, std::uint64_t &v) { fn(name, v); });
+}
+
+void
+CoreStats::forEachMut(
+    const std::function<void(const std::string &, std::uint64_t &)> &fn)
+{
     fn("committedInsts", committedInsts);
     fn("committedAtomics", committedAtomics);
     fn("committedLoads", committedLoads);
@@ -103,6 +112,14 @@ CoreStats::add(const CoreStats &other)
 void
 MemStats::forEach(
     const std::function<void(const std::string &, std::uint64_t)> &fn) const
+{
+    const_cast<MemStats *>(this)->forEachMut(
+        [&](const std::string &name, std::uint64_t &v) { fn(name, v); });
+}
+
+void
+MemStats::forEachMut(
+    const std::function<void(const std::string &, std::uint64_t &)> &fn)
 {
     fn("l1Hits", l1Hits);
     fn("l1Misses", l1Misses);

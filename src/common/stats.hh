@@ -90,6 +90,11 @@ struct CoreStats
     void forEach(
         const std::function<void(const std::string &,
                                  std::uint64_t)> &fn) const;
+    /** Mutable visitor over the same counters, same order (telemetry
+     * readback: RunResult::fromJson restores counters by name). */
+    void forEachMut(
+        const std::function<void(const std::string &,
+                                 std::uint64_t &)> &fn);
     void add(const CoreStats &other);
 };
 
@@ -120,6 +125,10 @@ struct MemStats
     void forEach(
         const std::function<void(const std::string &,
                                  std::uint64_t)> &fn) const;
+    /** Mutable visitor, same counters and order (JSON readback). */
+    void forEachMut(
+        const std::function<void(const std::string &,
+                                 std::uint64_t &)> &fn);
     void add(const MemStats &other);
 };
 

@@ -58,6 +58,8 @@
 #include "sim/forensics.hh"
 #include "sim/interval_stats.hh"
 #include "sim/presets.hh"
+#include "sim/resilience/journal.hh"
+#include "sim/resilience/resilience.hh"
 #include "sim/runner.hh"
 #include "sim/sweep/campaigns.hh"
 #include "sim/sweep/pool.hh"

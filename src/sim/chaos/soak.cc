@@ -112,6 +112,7 @@ runSoakCase(const SoakCase &c)
     m.recordMemTrace = true;
     m.watchdogForensics = true;
     m.progressWindow = spec.progressWindow;
+    m.wallDeadlineSec = spec.wallDeadlineSec;
     m.chaos = spec.chaos;
     m.sanitize = spec.sanitize;
 
@@ -132,6 +133,12 @@ runSoakCase(const SoakCase &c)
             // invariant so the shrinker preserves the failure mode.
             r.signature =
                 "fasan:" + out.failure.substr(out.failure.rfind(": ") + 2);
+        } else if (out.failure.find("wall-clock deadline") !=
+                   std::string::npos) {
+            // The host budget, not the simulation, gave up: a hung
+            // seed. Shrinking would re-run the hang repeatedly, so
+            // the harness quarantines on this signature instead.
+            r.signature = "wall-deadline";
         } else {
             r.signature = out.failure.find("no core committed") !=
                                   std::string::npos
@@ -288,6 +295,8 @@ writeReproducer(const SoakCase &c, const SoakResult &r,
     jw.key("counters").value(s.counters);
     jw.key("progressWindow").value(std::uint64_t{s.progressWindow});
     jw.key("maxCycles").value(std::uint64_t{s.maxCycles});
+    if (s.wallDeadlineSec > 0.0)
+        jw.key("wallDeadlineSec").value(s.wallDeadlineSec);
     jw.key("sanitize").value(s.sanitize);
     jw.key("chaos").beginObject();
     jw.key("seed").value(std::uint64_t{s.chaos.seed});
@@ -344,6 +353,9 @@ loadReproducer(const std::string &json_path,
     // Absent in pre-fasan reproducers: default off.
     if (const JsonValue *sz = doc.find("sanitize"))
         s.sanitize = sz->boolean;
+    // Absent unless the seed was quarantined for hanging.
+    if (const JsonValue *wd = doc.find("wallDeadlineSec"))
+        s.wallDeadlineSec = wd->number;
     const JsonValue &ch = doc.at("chaos");
     s.chaos.seed = ch.at("seed").asU64();
     auto u = [&ch](const char *k) {

@@ -60,6 +60,11 @@ struct SoakSpec
      * watchdog timeout, else a healthy recovery reads as a wedge. */
     Cycle progressWindow = 500'000;
     Cycle maxCycles = 4'000'000;
+    /** Host wall-clock budget for the run (MachineConfig::
+     * wallDeadlineSec); 0 = unbounded. A tripped budget fails with
+     * signature "wall-deadline" — the harness quarantines such hung
+     * seeds (reproducer, no shrink) instead of aborting the corpus. */
+    double wallDeadlineSec = 0.0;
 };
 
 /** Derive a full case from (seed, mode, profile): dims come from a

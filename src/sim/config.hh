@@ -52,6 +52,18 @@ struct MachineConfig
      * values let deadlock tests trip the abort quickly. */
     Cycle progressWindow = 2'000'000;
 
+    /**
+     * Cooperative host wall-clock deadline for System::run, in
+     * seconds; 0 disables. Checked every few hundred simulated
+     * cycles: when the budget is exhausted the run aborts with the
+     * deterministic failure string "host wall-clock deadline
+     * (<budget>s) exceeded". The resilience layer (sim/resilience)
+     * uses this to bound hung or pathological campaign jobs; the
+     * elapsed time never enters the failure text, so quarantine
+     * records stay byte-stable across runs.
+     */
+    double wallDeadlineSec = 0.0;
+
     /** Fault-injection schedule (sim/chaos/chaos.hh). The engine is
      * constructed and wired into every core and the memory system
      * only when a fault class is armed; otherwise runs are

@@ -1,0 +1,172 @@
+#include "sim/resilience/journal.hh"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#ifdef _WIN32
+#include <io.h>
+#define fa_fileno _fileno
+#define fa_fsync _commit
+#else
+#include <unistd.h>
+#define fa_fileno fileno
+#define fa_fsync fsync
+#endif
+
+#include "common/json.hh"
+#include "common/log.hh"
+
+namespace fa::sim::resilience {
+
+Journal::~Journal()
+{
+    close();
+}
+
+Journal::Journal(Journal &&o) noexcept : f(o.f)
+{
+    o.f = nullptr;
+}
+
+Journal &
+Journal::operator=(Journal &&o) noexcept
+{
+    if (this != &o) {
+        close();
+        f = o.f;
+        o.f = nullptr;
+    }
+    return *this;
+}
+
+Journal
+Journal::openAppend(const std::string &path,
+                    const std::string &campaign, std::size_t njobs)
+{
+    Journal j;
+    j.f = std::fopen(path.c_str(), "ab");
+    if (!j.f)
+        fatal("cannot open journal '%s' for appending", path.c_str());
+    // Header only when the file is empty ("ab" positions at EOF).
+    if (std::ftell(j.f) == 0) {
+        std::ostringstream os;
+        JsonWriter jw(os);
+        jw.beginObject();
+        jw.key("schema").value("fa-journal-v1");
+        jw.key("campaign").value(campaign);
+        jw.key("jobs").value(std::uint64_t{njobs});
+        jw.endObject();
+        os << "\n";
+        const std::string line = os.str();
+        std::fwrite(line.data(), 1, line.size(), j.f);
+        std::fflush(j.f);
+        fa_fsync(fa_fileno(j.f));
+    }
+    return j;
+}
+
+void
+Journal::append(const std::string &jobKey, const std::string &runJson,
+                double wallSec)
+{
+    if (!f)
+        fatal("append to a closed journal");
+    std::ostringstream os;
+    os << "{\"job\":\"" << JsonWriter::escape(jobKey) << "\",";
+    {
+        // Reuse the writer's round-trip double formatting.
+        std::ostringstream ws;
+        JsonWriter jw(ws);
+        jw.value(wallSec);
+        os << "\"wallSec\":" << ws.str() << ",";
+    }
+    os << "\"run\":" << runJson << "}\n";
+    const std::string line = os.str();
+    if (std::fwrite(line.data(), 1, line.size(), f) != line.size())
+        fatal("short write to journal");
+    if (std::fflush(f) != 0)
+        fatal("cannot flush journal");
+    fa_fsync(fa_fileno(f));
+}
+
+void
+Journal::close()
+{
+    if (!f)
+        return;
+    std::fflush(f);
+    fa_fsync(fa_fileno(f));
+    std::fclose(f);
+    f = nullptr;
+}
+
+bool
+Journal::load(const std::string &path, JournalContents *out,
+              std::string *err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (err)
+            *err = "cannot open journal '" + path + "'";
+        return false;
+    }
+
+    std::string line;
+    bool sawHeader = false;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        JsonValue doc;
+        std::string perr;
+        if (!JsonValue::tryParse(line, &doc, &perr)) {
+            // A torn final record (crash mid-write) or stray bytes:
+            // skip — the job it would have recorded simply re-runs.
+            ++out->skippedLines;
+            continue;
+        }
+        if (!sawHeader) {
+            const JsonValue *schema = doc.find("schema");
+            if (!schema || schema->str != "fa-journal-v1") {
+                if (err)
+                    *err = "'" + path +
+                        "': first line is not an fa-journal-v1 header";
+                return false;
+            }
+            out->campaign = doc.at("campaign").str;
+            out->jobs = doc.at("jobs").asU64();
+            sawHeader = true;
+            continue;
+        }
+        const JsonValue *job = doc.find("job");
+        const JsonValue *run = doc.find("run");
+        if (!job || !run || !run->isObject()) {
+            ++out->skippedLines;
+            continue;
+        }
+        JournalRecord rec;
+        // Re-serialization of a parsed subtree is not guaranteed
+        // byte-stable, so slice the verbatim "run" text out of the
+        // line instead: it always extends to the record's closing
+        // brace.
+        std::size_t runPos = line.find("\"run\":");
+        if (runPos == std::string::npos ||
+            line.back() != '}') {
+            ++out->skippedLines;
+            continue;
+        }
+        rec.runJson = line.substr(runPos + 6,
+                                  line.size() - (runPos + 6) - 1);
+        if (const JsonValue *w = doc.find("wallSec"))
+            rec.wallSec = w->number;
+        out->records[job->str] = std::move(rec);
+    }
+    if (!sawHeader) {
+        if (err)
+            *err = "'" + path + "': empty journal (no header line)";
+        return false;
+    }
+    return true;
+}
+
+} // namespace fa::sim::resilience

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Append-only fsync'd campaign journal (schema "fa-journal-v1").
+ *
+ * One JSONL file per campaign run: a header line identifying the
+ * campaign and job count, then one record per *completed* job
+ * carrying the job's key and its full fa-run-result-v1 document
+ * verbatim. Every append is fsync'd, so the journal survives
+ * SIGKILL/power loss up to the last completed record.
+ *
+ *   {"schema":"fa-journal-v1","campaign":"fig1","jobs":52}
+ *   {"job":"fig1|barnes|icelake|...","wallSec":1.25,"run":{...}}
+ *
+ * Resume contract: RunResult::fromJson is an exact inverse of
+ * toJson, so a job restored from the journal re-serializes byte-for-
+ * byte — a resumed campaign's per-job JSONL and every aggregate are
+ * bit-identical to an uninterrupted run (resilience_test asserts
+ * this).
+ *
+ * The reader is deliberately tolerant: a torn final line (the record
+ * being written when the process died) or trailing garbage is
+ * skipped, not fatal — those jobs simply re-run on resume.
+ */
+
+#ifndef FA_SIM_RESILIENCE_JOURNAL_HH
+#define FA_SIM_RESILIENCE_JOURNAL_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace fa::sim::resilience {
+
+/** One journaled job completion. */
+struct JournalRecord
+{
+    std::string runJson;   ///< verbatim fa-run-result-v1 text
+    double wallSec = 0.0;  ///< host wall-clock of the recorded run
+};
+
+/** Parsed journal header + records, keyed by job key. */
+struct JournalContents
+{
+    std::string campaign;
+    std::size_t jobs = 0;       ///< job count the header declares
+    std::size_t skippedLines = 0;  ///< torn/garbage lines ignored
+    std::map<std::string, JournalRecord> records;
+};
+
+/**
+ * Writer. Opens in append mode; when the file is new (or empty) the
+ * header line is written first. Each append() is flushed and
+ * fsync'd before returning, so a record is either fully on disk or
+ * absent — never torn by a graceful shutdown.
+ */
+class Journal
+{
+  public:
+    Journal() = default;
+    ~Journal();
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+    Journal(Journal &&o) noexcept;
+    Journal &operator=(Journal &&o) noexcept;
+
+    /** Open `path` for appending; writes the fa-journal-v1 header
+     * when the file is empty. FatalError when unopenable. */
+    static Journal openAppend(const std::string &path,
+                              const std::string &campaign,
+                              std::size_t njobs);
+
+    /** Append one completed-job record and fsync it. */
+    void append(const std::string &jobKey, const std::string &runJson,
+                double wallSec);
+
+    /** Final flush + fsync + close (also run by the destructor). */
+    void close();
+
+    bool isOpen() const { return f != nullptr; }
+
+    /**
+     * Tolerant reader: parse `path` into `out`. Returns false (with
+     * `err`) only when the file cannot be opened or the header line
+     * is missing/foreign; per-record parse failures are counted in
+     * out->skippedLines and otherwise ignored.
+     */
+    static bool load(const std::string &path, JournalContents *out,
+                     std::string *err = nullptr);
+
+  private:
+    std::FILE *f = nullptr;
+};
+
+} // namespace fa::sim::resilience
+
+#endif // FA_SIM_RESILIENCE_JOURNAL_HH

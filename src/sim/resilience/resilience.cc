@@ -1,0 +1,367 @@
+#include "sim/resilience/resilience.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "sim/resilience/journal.hh"
+#include "workloads/workload.hh"
+
+namespace fa::sim::resilience {
+
+const char *const kInterruptedError = "interrupted by signal";
+
+namespace {
+
+std::vector<std::string>
+splitOn(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+FaultKind
+parseKind(const std::string &s)
+{
+    if (s == "throw")
+        return FaultKind::kThrow;
+    if (s == "stall")
+        return FaultKind::kStall;
+    if (s == "corrupt")
+        return FaultKind::kCorrupt;
+    fatal("unknown fault kind '%s' in --inject (throw|stall|corrupt)",
+          s.c_str());
+}
+
+std::uint64_t
+parseU64(const std::string &s, const char *what)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (s.empty() || end != s.c_str() + s.size())
+        fatal("bad %s '%s' in --inject", what, s.c_str());
+    return v;
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    if (spec.empty())
+        return plan;
+    for (const std::string &tok : splitOn(spec, ',')) {
+        auto parts = splitOn(tok, ':');
+        if (parts.size() == 4 && parts[0] == "rand") {
+            plan.randKind = parseKind(parts[1]);
+            char *end = nullptr;
+            plan.randRate = std::strtod(parts[2].c_str(), &end);
+            if (parts[2].empty() ||
+                end != parts[2].c_str() + parts[2].size() ||
+                plan.randRate < 0.0 || plan.randRate > 1.0)
+                fatal("bad rand rate '%s' in --inject (want [0,1])",
+                      parts[2].c_str());
+            plan.randSeed = parseU64(parts[3], "rand seed");
+        } else if (parts.size() == 2) {
+            Directive d;
+            d.kind = parseKind(parts[0]);
+            std::string job = parts[1];
+            // JOB["x"N]: with the suffix only the first N attempts
+            // fail (the bounded-retry success path in tests).
+            std::size_t x = job.find('x');
+            if (x != std::string::npos) {
+                d.attempts = static_cast<unsigned>(
+                    parseU64(job.substr(x + 1), "attempt count"));
+                job = job.substr(0, x);
+            }
+            d.job = static_cast<std::size_t>(
+                parseU64(job, "job index"));
+            plan.directives.push_back(d);
+        } else {
+            fatal("bad --inject directive '%s' (want KIND:JOB[xN] or "
+                  "rand:KIND:RATE:SEED)",
+                  tok.c_str());
+        }
+    }
+    return plan;
+}
+
+FaultKind
+FaultPlan::actionFor(std::size_t job, unsigned attempt) const
+{
+    for (const Directive &d : directives) {
+        if (d.job == job && (d.attempts == 0 || attempt <= d.attempts))
+            return d.kind;
+    }
+    if (randKind != FaultKind::kNone) {
+        // Hash, not a stream: each job's verdict is independent of
+        // every other job and of execution order.
+        double u = static_cast<double>(
+                       mix64(randSeed, job + 1) >> 11) *
+            (1.0 / 9007199254740992.0);
+        if (u < randRate)
+            return randKind;
+    }
+    return FaultKind::kNone;
+}
+
+std::string
+jobKey(const sweep::SweepJob &job)
+{
+    return job.bench + "|" + job.workload + "|" + job.label + "|" +
+        job.machine.name + "|" + core::atomicsModeIdent(job.mode) +
+        "|" + std::to_string(job.cores) + "|" +
+        strfmt("%.17g", job.scale) + "|" +
+        std::to_string(job.seedIndex) + "|" +
+        std::to_string(job.seed) + "|" + std::to_string(job.maxCycles);
+}
+
+std::string
+replayRecipe(const sweep::SweepJob &job)
+{
+    return "fasim -w " + job.workload + " -c " +
+        std::to_string(job.cores) + " -m " +
+        core::atomicsModeIdent(job.mode) + " --machine " +
+        job.machine.name + " --scale " + strfmt("%g", job.scale) +
+        " --seed " + std::to_string(job.seed);
+}
+
+std::string
+validateRunResult(const RunResult &run)
+{
+    if (run.finished && run.cycles == 0)
+        return "finished run reports 0 cycles";
+    return "";
+}
+
+ResilientReport
+runResilient(const std::vector<sweep::SweepJob> &jobs,
+             const ResilienceOptions &opts,
+             const sweep::SweepOptions &sweepOpts)
+{
+    using clock = std::chrono::steady_clock;
+
+    ResilientReport rr;
+    rr.report.outcomes.resize(jobs.size());
+    sweep::Pool pool(sweepOpts.threads);
+    rr.report.threads = pool.threads();
+    const FaultPlan plan = FaultPlan::parse(opts.inject);
+
+    std::vector<bool> done(jobs.size(), false);
+    std::vector<unsigned> attempts(jobs.size(), 0);
+    std::vector<std::string> lastError(jobs.size());
+
+    if (opts.resume) {
+        if (opts.journalPath.empty())
+            fatal("resume requires a journal path");
+        JournalContents jc;
+        std::string err;
+        if (!Journal::load(opts.journalPath, &jc, &err))
+            fatal("resume: %s", err.c_str());
+        if (jc.campaign != opts.campaign || jc.jobs != jobs.size())
+            fatal("resume: journal '%s' records campaign '%s' with "
+                  "%zu job(s), but this run is campaign '%s' with "
+                  "%zu job(s)",
+                  opts.journalPath.c_str(), jc.campaign.c_str(),
+                  jc.jobs, opts.campaign.c_str(), jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            auto it = jc.records.find(jobKey(jobs[i]));
+            if (it == jc.records.end())
+                continue;
+            sweep::SweepOutcome &out = rr.report.outcomes[i];
+            out.job = jobs[i];
+            out.run = RunResult::fromJson(
+                JsonValue::parse(it->second.runJson));
+            out.wallSec = it->second.wallSec;
+            done[i] = true;
+            ++rr.restored;
+        }
+    }
+
+    Journal journal;
+    if (!opts.journalPath.empty())
+        journal = Journal::openAppend(opts.journalPath, opts.campaign,
+                                      jobs.size());
+    std::mutex journalMu;
+
+    auto interrupted = [&] {
+        return opts.stopSignal &&
+            opts.stopSignal->load(std::memory_order_relaxed) != 0;
+    };
+
+    auto t0 = clock::now();
+    for (unsigned pass = 0; pass <= opts.retries && !interrupted();
+         ++pass) {
+        std::vector<std::size_t> pending;
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            if (!done[i])
+                pending.push_back(i);
+        if (pending.empty())
+            break;
+        if (pass > 0)
+            rr.retried += pending.size();
+
+        auto statuses = pool.runCollect(
+            pending.size(),
+            [&](std::size_t k) {
+                const std::size_t i = pending[k];
+                const sweep::SweepJob &job = jobs[i];
+                const unsigned attempt = ++attempts[i];
+                const FaultKind fault = plan.actionFor(i, attempt);
+                if (fault == FaultKind::kThrow)
+                    fatal("injected fault: throw");
+                if (fault == FaultKind::kStall) {
+                    // Hold the worker slot until the stop signal
+                    // (drained as "interrupted", never journaled) or
+                    // the job budget expires (a plain failure that
+                    // retries and then quarantines).
+                    const double budget = opts.jobTimeoutSec > 0.0
+                        ? opts.jobTimeoutSec
+                        : 600.0;
+                    auto s0 = clock::now();
+                    for (;;) {
+                        if (interrupted())
+                            fatal("%s", kInterruptedError);
+                        if (std::chrono::duration<double>(
+                                clock::now() - s0)
+                                .count() > budget)
+                            fatal("injected stall: job wall-clock "
+                                  "budget exceeded");
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(1));
+                    }
+                }
+
+                const wl::Workload *w = wl::findWorkload(job.workload);
+                if (!w)
+                    fatal("unknown workload '%s'",
+                          job.workload.c_str());
+                MachineConfig m = job.machine;
+                if (opts.jobTimeoutSec > 0.0)
+                    m.wallDeadlineSec = opts.jobTimeoutSec;
+                auto j0 = clock::now();
+                RunResult run =
+                    wl::runWorkload(*w, m, job.mode, job.cores,
+                                    job.scale, job.seed, job.maxCycles);
+                auto j1 = clock::now();
+                if (fault == FaultKind::kCorrupt) {
+                    run.finished = true;
+                    run.cycles = 0;
+                }
+                // A deadline trip is a *host* failure (hung or
+                // pathological job), not a simulation verdict:
+                // surface it through the retry/quarantine path.
+                if (!run.finished &&
+                    run.failure.find("host wall-clock deadline") !=
+                        std::string::npos)
+                    fatal("%s", run.failure.c_str());
+                if (std::string bad = validateRunResult(run);
+                    !bad.empty())
+                    fatal("corrupt result detected: %s", bad.c_str());
+
+                sweep::SweepOutcome &out = rr.report.outcomes[i];
+                out.job = job;
+                out.run = std::move(run);
+                out.wallSec =
+                    std::chrono::duration<double>(j1 - j0).count();
+                out.error.clear();
+                if (journal.isOpen()) {
+                    std::ostringstream os;
+                    out.run.toJson(os);
+                    std::lock_guard<std::mutex> lock(journalMu);
+                    journal.append(jobKey(job), os.str(),
+                                   out.wallSec);
+                }
+            },
+            opts.stopSignal);
+
+        for (std::size_t k = 0; k < pending.size(); ++k) {
+            const std::size_t i = pending[k];
+            if (statuses[k].done()) {
+                done[i] = true;
+                lastError[i].clear();
+            } else if (statuses[k].failed()) {
+                lastError[i] = statuses[k].error;
+            }
+            // kSkipped: untouched — next pass or a resumed run
+            // dispatches it.
+        }
+    }
+    rr.report.wallSec =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    rr.signal = opts.stopSignal
+        ? opts.stopSignal->load(std::memory_order_relaxed)
+        : 0;
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (done[i])
+            continue;
+        sweep::SweepOutcome &out = rr.report.outcomes[i];
+        out.job = jobs[i];
+        out.run = RunResult{};
+        if (attempts[i] == 0) {
+            out.error = "skipped: never dispatched";
+            ++rr.skipped;
+        } else if (lastError[i] == kInterruptedError) {
+            out.error = kInterruptedError;
+            ++rr.skipped;
+        } else {
+            out.error = lastError[i];
+            if (attempts[i] > opts.retries) {
+                QuarantineRecord q;
+                q.jobIndex = i;
+                q.jobKey = jobKey(jobs[i]);
+                q.error = lastError[i];
+                q.attempts = attempts[i];
+                q.replay = replayRecipe(jobs[i]);
+                rr.quarantined.push_back(std::move(q));
+            }
+        }
+        out.run.failure = "host exception: " + out.error;
+    }
+
+    for (const sweep::SweepOutcome &o : rr.report.outcomes)
+        if (!o.run.finished)
+            ++rr.report.failed;
+
+    if (!opts.quarantinePath.empty()) {
+        std::ofstream qs(opts.quarantinePath, std::ios::trunc);
+        if (!qs)
+            fatal("cannot open quarantine file '%s'",
+                  opts.quarantinePath.c_str());
+        writeQuarantine(rr, qs);
+    }
+    return rr;
+}
+
+void
+writeQuarantine(const ResilientReport &r, std::ostream &os)
+{
+    for (const QuarantineRecord &q : r.quarantined) {
+        os << "{\"schema\":\"fa-quarantine-v1\",\"jobIndex\":"
+           << q.jobIndex << ",\"job\":\""
+           << JsonWriter::escape(q.jobKey) << "\",\"error\":\""
+           << JsonWriter::escape(q.error) << "\",\"attempts\":"
+           << q.attempts << ",\"replay\":\""
+           << JsonWriter::escape(q.replay) << "\"}\n";
+    }
+}
+
+} // namespace fa::sim::resilience

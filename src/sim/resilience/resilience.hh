@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Campaign resilience layer: structured per-job failure capture,
+ * bounded retry with deterministic re-execution, quarantine with
+ * exact replay recipes, journaled resume, and graceful
+ * signal-driven shutdown — all on top of the sweep engine.
+ *
+ * Contracts (resilience_test + the CI resilience job assert these):
+ *
+ *  - A job that throws, trips its wall-clock deadline, or produces a
+ *    corrupt result becomes a structured failure in its own outcome
+ *    slot; the other jobs' completed results are always preserved
+ *    and aggregated.
+ *  - A failing job is retried up to `retries` extra times with its
+ *    exact original spec (same seed — jobs are pure functions of
+ *    their spec, so a deterministic failure fails identically and a
+ *    host-transient one recovers). Jobs that exhaust their attempts
+ *    are quarantined with a replay recipe (a runnable fasim command
+ *    line) and the campaign completes partially.
+ *  - With a journal armed, every completed job is appended (fsync'd)
+ *    as it finishes; a resumed campaign restores those jobs via
+ *    RunResult::fromJson and re-runs only the rest. Because fromJson
+ *    is an exact inverse of toJson, resumed per-job JSONL and every
+ *    aggregate are bit-identical to an uninterrupted run.
+ *  - When the stop signal fires (SIGINT/SIGTERM wired in by the
+ *    tool), workers stop dispatching, in-flight jobs drain, the
+ *    journal is flushed, and the partial report comes back with
+ *    `signal` set.
+ *  - The seeded host-fault injector (`--inject`) deterministically
+ *    throws, stalls, or corrupts chosen jobs so tests and CI can
+ *    exercise every one of these paths without a flaky dependency
+ *    on real host faults.
+ */
+
+#ifndef FA_SIM_RESILIENCE_RESILIENCE_HH
+#define FA_SIM_RESILIENCE_RESILIENCE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/sweep/sweep.hh"
+
+namespace fa::sim::resilience {
+
+/** What the injector does to a matched (job, attempt). */
+enum class FaultKind : std::uint8_t {
+    kNone,     ///< run normally
+    kThrow,    ///< throw FatalError from the job body
+    kStall,    ///< spin (cooperatively) until signal or budget
+    kCorrupt,  ///< return a detectably-invalid RunResult
+};
+
+/**
+ * Deterministic host-fault plan, parsed from an `--inject` spec:
+ *
+ *   SPEC    := DIRECTIVE ("," DIRECTIVE)*
+ *   DIRECTIVE := KIND ":" JOB ["x" N]   fault job JOB; with xN only
+ *                                       its first N attempts
+ *              | "rand:" KIND ":" RATE ":" SEED
+ *                                       fault each job independently
+ *                                       with probability RATE (hash
+ *                                       of SEED and the job index —
+ *                                       reproducible, order-free)
+ *   KIND    := "throw" | "stall" | "corrupt"
+ *
+ * Examples: "throw:3", "throw:0x1,corrupt:5", "rand:throw:0.2:42".
+ */
+struct FaultPlan
+{
+    struct Directive
+    {
+        FaultKind kind = FaultKind::kNone;
+        std::size_t job = 0;
+        /** Fail only the first `attempts` attempts; 0 = all. */
+        unsigned attempts = 0;
+    };
+
+    std::vector<Directive> directives;
+    FaultKind randKind = FaultKind::kNone;
+    double randRate = 0.0;
+    std::uint64_t randSeed = 0;
+
+    /** Parse a spec ("" = empty plan); FatalError on bad syntax. */
+    static FaultPlan parse(const std::string &spec);
+
+    bool empty() const
+    {
+        return directives.empty() && randKind == FaultKind::kNone;
+    }
+
+    /** Fault for `job`'s `attempt` (1-based); kNone = run normally. */
+    FaultKind actionFor(std::size_t job, unsigned attempt) const;
+};
+
+/** One job that exhausted its attempts. */
+struct QuarantineRecord
+{
+    std::size_t jobIndex = 0;
+    std::string jobKey;
+    std::string error;     ///< last attempt's failure text
+    unsigned attempts = 0;
+    std::string replay;    ///< exact re-run command line
+};
+
+struct ResilienceOptions
+{
+    std::string campaign = "sweep";  ///< journal-header identity
+    /** Extra attempts after the first failure. */
+    unsigned retries = 1;
+    /** Per-job host wall-clock budget (MachineConfig::
+     * wallDeadlineSec); 0 = unbounded. */
+    double jobTimeoutSec = 0.0;
+    std::string journalPath;     ///< "" = no journal
+    bool resume = false;         ///< restore completed jobs first
+    std::string quarantinePath;  ///< "" = don't write the file
+    std::string inject;          ///< FaultPlan spec
+    /** Signal number lands here (from the tool's handler); non-zero
+     * stops dispatch and drains in-flight jobs. */
+    const std::atomic<int> *stopSignal = nullptr;
+};
+
+/** A resilient campaign's full result. */
+struct ResilientReport
+{
+    sweep::SweepReport report;
+    std::vector<QuarantineRecord> quarantined;
+    std::size_t restored = 0;  ///< jobs restored from the journal
+    std::size_t retried = 0;   ///< re-dispatched job attempts
+    std::size_t skipped = 0;   ///< never dispatched (signal)
+    int signal = 0;            ///< interrupting signal, 0 = none
+};
+
+/** Stable identity of a job inside its campaign (the journal key):
+ * every spec field that affects the result participates. */
+std::string jobKey(const sweep::SweepJob &job);
+
+/** Runnable single-job reproduction command (fasim flags). */
+std::string replayRecipe(const sweep::SweepJob &job);
+
+/** "" when `run` is plausible; else what is corrupt about it. The
+ * cheap structural check that catches kCorrupt-class results before
+ * they poison aggregates. */
+std::string validateRunResult(const RunResult &run);
+
+/** Run the campaign with the full resilience stack. */
+ResilientReport runResilient(const std::vector<sweep::SweepJob> &jobs,
+                             const ResilienceOptions &opts,
+                             const sweep::SweepOptions &sweepOpts);
+
+/** Append fa-quarantine-v1 JSONL records (one per quarantined job). */
+void writeQuarantine(const ResilientReport &r, std::ostream &os);
+
+/** The deterministic failure text of a job interrupted mid-stall by
+ * the stop signal; such jobs are *not* journaled (they re-run on
+ * resume, preserving bit-identical aggregates). */
+extern const char *const kInterruptedError;
+
+} // namespace fa::sim::resilience
+
+#endif // FA_SIM_RESILIENCE_RESILIENCE_HH

@@ -2,6 +2,7 @@
 
 #include "analysis/tso_checker.hh"
 #include "common/json.hh"
+#include "common/log.hh"
 
 namespace fa::sim {
 
@@ -225,6 +226,69 @@ RunResult::toJson(std::ostream &os) const
         jw.endObject();
     }
     jw.endObject();
+}
+
+RunResult
+RunResult::fromJson(const JsonValue &doc)
+{
+    const JsonValue *schema = doc.find("schema");
+    if (!schema || schema->str != "fa-run-result-v1")
+        fatal("not an fa-run-result-v1 document");
+
+    RunResult res;
+    res.machineName = doc.at("machine").str;
+    res.modeName = doc.at("mode").str;
+    res.cores = static_cast<unsigned>(doc.at("cores").asU64());
+    res.finished = doc.at("finished").boolean;
+    res.cycles = doc.at("cycles").asU64();
+    res.failure = doc.at("failure").str;
+
+    const JsonValue &coreObj = doc.at("core");
+    res.core.forEachMut([&](const std::string &name, std::uint64_t &v) {
+        v = coreObj.at(name).asU64();
+    });
+    const JsonValue &memObj = doc.at("mem");
+    res.mem.forEachMut([&](const std::string &name, std::uint64_t &v) {
+        v = memObj.at(name).asU64();
+    });
+
+    const JsonValue &histsObj = doc.at("hists");
+    res.hists.forEachMut([&](const std::string &name, Histogram &h) {
+        const JsonValue &ho = histsObj.at(name);
+        h.restoreMeta(ho.at("count").asU64(), ho.at("sum").asU64(),
+                      ho.at("min").asU64(), ho.at("max").asU64());
+        for (const JsonValue &b : ho.at("buckets").arr) {
+            if (b.arr.size() != 3)
+                fatal("malformed histogram bucket in '%s'",
+                      name.c_str());
+            h.restoreBucket(b.arr[0].asU64(), b.arr[2].asU64());
+        }
+    });
+
+    const JsonValue &energyObj = doc.at("energy");
+    res.energy.dynamicPj = energyObj.at("dynamicPj").number;
+    res.energy.staticPj = energyObj.at("staticPj").number;
+
+    const JsonValue &slowest = doc.at("slowestThread");
+    res.slowestActiveCycles = slowest.at("activeCycles").asU64();
+    res.slowestSleepCycles = slowest.at("sleepCycles").asU64();
+
+    const JsonValue &tso = doc.at("tso");
+    res.tsoChecked = tso.at("checked").boolean;
+    res.tsoEventsChecked =
+        static_cast<std::size_t>(tso.at("eventsChecked").asU64());
+    res.tsoError = tso.at("error").str;
+
+    res.forensics = doc.at("forensics").str;
+
+    if (const JsonValue *hp = doc.find("hostProfile")) {
+        res.hostWallSec = hp->at("wallSec").number;
+        res.hostSampledCycles = hp->at("sampledCycles").asU64();
+        res.hostProfilePeriod = hp->at("samplePeriod").asU64();
+        for (const auto &[name, ns] : hp->at("phasesNs").members)
+            res.hostPhaseNs.emplace_back(name, ns.asU64());
+    }
+    return res;
 }
 
 RunResult

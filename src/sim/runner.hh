@@ -20,6 +20,10 @@
 #include "sim/energy.hh"
 #include "sim/system.hh"
 
+namespace fa {
+struct JsonValue;
+} // namespace fa
+
 namespace fa::sim {
 
 /** Everything a bench needs from one simulation. */
@@ -101,6 +105,16 @@ struct RunResult
      * "fa-run-result-v1"; tools/fastats reads it back).
      */
     void toJson(std::ostream &os) const;
+
+    /**
+     * Exact inverse of toJson for resumable campaigns: rebuild a
+     * RunResult from a parsed fa-run-result-v1 document such that
+     * re-serializing it reproduces the original bytes (derived
+     * metrics are pure functions of the restored counters; doubles
+     * print with round-trip precision). fatal()s on a wrong schema
+     * or missing section.
+     */
+    static RunResult fromJson(const JsonValue &doc);
 };
 
 /**

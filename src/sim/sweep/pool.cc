@@ -1,8 +1,11 @@
 #include "sim/sweep/pool.hh"
 
+#include <algorithm>
 #include <exception>
 #include <limits>
 #include <thread>
+
+#include "common/log.hh"
 
 namespace fa::sim::sweep {
 
@@ -120,6 +123,74 @@ Pool::run(std::size_t njobs,
 
     if (firstError)
         std::rethrow_exception(firstError);
+}
+
+std::vector<JobStatus>
+Pool::runCollect(std::size_t njobs,
+                 const std::function<void(std::size_t)> &fn,
+                 const std::atomic<int> *stop) const
+{
+    std::vector<JobStatus> statuses(njobs);
+    if (njobs == 0)
+        return statuses;
+
+    auto stopping = [&] {
+        return stop != nullptr &&
+            stop->load(std::memory_order_relaxed) != 0;
+    };
+    auto guarded = [&](std::size_t job) {
+        try {
+            fn(job);
+            statuses[job].state = JobStatus::State::kDone;
+        } catch (const FatalError &e) {
+            statuses[job].state = JobStatus::State::kFailed;
+            statuses[job].error = e.message;
+        } catch (const std::exception &e) {
+            statuses[job].state = JobStatus::State::kFailed;
+            statuses[job].error = e.what();
+        } catch (...) {
+            statuses[job].state = JobStatus::State::kFailed;
+            statuses[job].error = "unknown exception";
+        }
+    };
+
+    if (nthreads == 1 || njobs == 1) {
+        for (std::size_t i = 0; i < njobs && !stopping(); ++i)
+            guarded(i);
+        return statuses;
+    }
+
+    unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(nthreads, njobs));
+    std::vector<WorkDeque> deques(workers);
+    for (std::size_t i = 0; i < njobs; ++i)
+        deques[i % workers].push(i);
+
+    auto workerMain = [&](unsigned self) {
+        std::size_t job;
+        while (!stopping()) {
+            if (deques[self].popFront(&job)) {
+                guarded(job);
+                continue;
+            }
+            bool stole = false;
+            for (unsigned k = 1; k < workers && !stole; ++k) {
+                unsigned victim = (self + k) % workers;
+                stole = deques[victim].stealBack(&job);
+            }
+            if (!stole)
+                return;
+            guarded(job);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        threads.emplace_back(workerMain, w);
+    for (std::thread &t : threads)
+        t.join();
+    return statuses;
 }
 
 } // namespace fa::sim::sweep

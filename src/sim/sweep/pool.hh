@@ -28,10 +28,12 @@
 #ifndef FA_SIM_SWEEP_POOL_HH
 #define FA_SIM_SWEEP_POOL_HH
 
+#include <atomic>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <vector>
 
 namespace fa::sim::sweep {
@@ -53,6 +55,23 @@ class WorkDeque
   private:
     mutable std::mutex mu;
     std::deque<std::size_t> jobs;
+};
+
+/** Per-job completion record from Pool::runCollect. */
+struct JobStatus
+{
+    enum class State : std::uint8_t {
+        kDone,     ///< fn returned normally
+        kFailed,   ///< fn threw; `error` carries the text
+        kSkipped,  ///< never dispatched (cancellation requested)
+    };
+
+    State state = State::kSkipped;
+    std::string error;
+
+    bool done() const { return state == State::kDone; }
+    bool failed() const { return state == State::kFailed; }
+    bool skipped() const { return state == State::kSkipped; }
 };
 
 /**
@@ -81,6 +100,20 @@ class Pool
      */
     void run(std::size_t njobs,
              const std::function<void(std::size_t)> &fn) const;
+
+    /**
+     * Structured-failure variant of run(): every job's exception is
+     * captured into its own JobStatus slot instead of being
+     * rethrown, so one poisoned job can never discard the completed
+     * work of the others (the campaign-resilience contract). When
+     * `stop` is non-null, a non-zero value makes workers stop
+     * *dispatching*: in-flight jobs drain normally, undispatched
+     * jobs come back kSkipped — the graceful-shutdown path for
+     * SIGINT/SIGTERM.
+     */
+    std::vector<JobStatus> runCollect(
+        std::size_t njobs, const std::function<void(std::size_t)> &fn,
+        const std::atomic<int> *stop = nullptr) const;
 
   private:
     unsigned nthreads;

@@ -64,21 +64,36 @@ runSweep(const std::vector<SweepJob> &jobs, const SweepOptions &opts)
     report.threads = pool.threads();
 
     auto t0 = clock::now();
-    pool.run(jobs.size(), [&](std::size_t i) {
-        const SweepJob &job = jobs[i];
-        const wl::Workload *w = wl::findWorkload(job.workload);
-        if (!w)
-            fatal("unknown workload '%s'", job.workload.c_str());
-        auto j0 = clock::now();
-        RunResult run =
-            wl::runWorkload(*w, job.machine, job.mode, job.cores,
-                            job.scale, job.seed, job.maxCycles);
-        auto j1 = clock::now();
+    // Structured failure capture: a throwing job lands in its own
+    // slot as a failed outcome; the N-1 completed results survive.
+    std::vector<JobStatus> statuses =
+        pool.runCollect(jobs.size(), [&](std::size_t i) {
+            const SweepJob &job = jobs[i];
+            const wl::Workload *w = wl::findWorkload(job.workload);
+            if (!w)
+                fatal("unknown workload '%s'", job.workload.c_str());
+            auto j0 = clock::now();
+            RunResult run =
+                wl::runWorkload(*w, job.machine, job.mode, job.cores,
+                                job.scale, job.seed, job.maxCycles);
+            auto j1 = clock::now();
+            SweepOutcome &out = report.outcomes[i];
+            out.job = job;
+            out.run = std::move(run);
+            out.wallSec =
+                std::chrono::duration<double>(j1 - j0).count();
+        });
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (statuses[i].done())
+            continue;
         SweepOutcome &out = report.outcomes[i];
-        out.job = job;
-        out.run = std::move(run);
-        out.wallSec = std::chrono::duration<double>(j1 - j0).count();
-    });
+        out.job = jobs[i];
+        out.error = statuses[i].failed() ? statuses[i].error
+                                         : "skipped";
+        out.run = RunResult{};
+        out.run.finished = false;
+        out.run.failure = "host exception: " + out.error;
+    }
     report.wallSec =
         std::chrono::duration<double>(clock::now() - t0).count();
 

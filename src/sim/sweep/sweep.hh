@@ -64,6 +64,11 @@ struct SweepOutcome
     SweepJob job;
     RunResult run;
     double wallSec = 0.0;   ///< host wall-clock of this job alone
+    /** Host-side exception text when the job threw instead of
+     * producing a result; empty for a job that ran to completion.
+     * A throwing job never discards the other jobs' results — it
+     * surfaces here (and in run.failure) instead. */
+    std::string error;
 };
 
 /** A completed sweep, in job order. */

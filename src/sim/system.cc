@@ -1,5 +1,7 @@
 #include "sim/system.hh"
 
+#include <chrono>
+
 #include "common/log.hh"
 #include "common/rng.hh"
 #include "sim/forensics.hh"
@@ -172,8 +174,33 @@ System::run(Cycle max_cycles)
 {
     RunOutcome out;
     Cycle last_progress = now;
+    // Cooperative wall-clock deadline: checked every kDeadlineStride
+    // cycles so the hot loop pays one counter test per cycle, not a
+    // clock read.
+    constexpr Cycle kDeadlineStride = 512;
+    const bool deadline_armed = cfg.wallDeadlineSec > 0.0;
+    const auto wall_start = std::chrono::steady_clock::now();
+    Cycle next_deadline_check = now + kDeadlineStride;
     while (now < max_cycles) {
         stepCycle();
+        if (deadline_armed && now >= next_deadline_check) {
+            next_deadline_check = now + kDeadlineStride;
+            double elapsed = std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                                 .count();
+            if (elapsed > cfg.wallDeadlineSec) {
+                out.cycles = now;
+                out.failure = strfmt(
+                    "host wall-clock deadline (%gs) exceeded",
+                    cfg.wallDeadlineSec);
+                lastForensics = forensicReport(
+                    *this, now,
+                    "wall-clock deadline tripped: " + out.failure);
+                out.forensics = lastForensics;
+                finishSinks();
+                return out;
+            }
+        }
         if (fasanEng && fasanEng->failed()) {
             out.cycles = now;
             out.failure = "fasan: invariant violation: " +

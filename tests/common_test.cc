@@ -462,6 +462,46 @@ TEST(Json, ParseErrors)
     EXPECT_THROW(JsonValue::parse("[1,]"), FatalError);
 }
 
+TEST(Json, DepthLimitRejectsPathologicalNesting)
+{
+    // Under the limit: parses fine.
+    std::string ok;
+    for (int i = 0; i < 40; ++i)
+        ok += '[';
+    ok += '1';
+    for (int i = 0; i < 40; ++i)
+        ok += ']';
+    EXPECT_NO_THROW(JsonValue::parse(ok));
+
+    // A journal scribbled over with '[' must fail gracefully, not
+    // overflow the parser stack.
+    std::string deep(JsonValue::kMaxDepth + 10, '[');
+    EXPECT_THROW(JsonValue::parse(deep), FatalError);
+    std::string deepObj;
+    for (std::size_t i = 0; i <= JsonValue::kMaxDepth; ++i)
+        deepObj += "{\"k\":";
+    EXPECT_THROW(JsonValue::parse(deepObj), FatalError);
+}
+
+TEST(Json, TryParseToleratesTruncationAndGarbage)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_TRUE(JsonValue::tryParse("{\"a\": 7}", &v, &err));
+    EXPECT_EQ(v.at("a").asU64(), 7u);
+
+    // Truncated mid-record (a crashed writer's final line).
+    EXPECT_FALSE(JsonValue::tryParse("{\"job\":3,\"run\":{\"cy", &v,
+                                     &err));
+    EXPECT_FALSE(err.empty());
+    // Untouched on failure.
+    EXPECT_EQ(v.at("a").asU64(), 7u);
+
+    EXPECT_FALSE(JsonValue::tryParse("", &v));
+    EXPECT_FALSE(JsonValue::tryParse("\x01\xff garbage", &v));
+    EXPECT_FALSE(JsonValue::tryParse("{\"a\":1} {\"b\":2}", &v));
+}
+
 TEST(Json, NonFiniteDoublesBecomeNull)
 {
     std::ostringstream os;

@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Tier-1 tests for the campaign resilience layer (sim/resilience):
+ * exact RunResult JSON round-trips, the fsync'd fa-journal-v1
+ * writer/tolerant reader, the deterministic host-fault injector,
+ * bounded retry + quarantine with replay recipes, journaled resume
+ * with bit-identical aggregates, and graceful stop-signal draining.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "sim/presets.hh"
+#include "sim/resilience/journal.hh"
+#include "sim/resilience/resilience.hh"
+#include "sim/sweep/sweep.hh"
+#include "workloads/workload.hh"
+
+namespace fa {
+namespace {
+
+namespace fs = std::filesystem;
+using sim::resilience::FaultKind;
+using sim::resilience::FaultPlan;
+using sim::resilience::Journal;
+using sim::resilience::JournalContents;
+using sim::resilience::ResilienceOptions;
+using sim::resilience::ResilientReport;
+using sim::sweep::SweepJob;
+using sim::sweep::SweepOptions;
+using sim::sweep::SweepReport;
+
+std::string
+tmpPath(const std::string &leaf)
+{
+    return (fs::path(::testing::TempDir()) / leaf).string();
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** The same tiny cross-product job list sweep_test uses: 2 workloads
+ * x 2 modes x 2 seeds on the tiny machine. */
+std::vector<SweepJob>
+smallJobs()
+{
+    std::vector<SweepJob> jobs;
+    for (const char *wl : {"dekker", "mp"}) {
+        for (core::AtomicsMode mode : {core::AtomicsMode::kFenced,
+                                       core::AtomicsMode::kFreeFwd}) {
+            for (unsigned s = 0; s < 2; ++s) {
+                SweepJob j;
+                j.bench = "resilience_test";
+                j.workload = wl;
+                j.label = core::atomicsModeIdent(mode);
+                j.machine = sim::presets::tiny(2);
+                j.mode = mode;
+                j.cores = 2;
+                j.scale = 1.0;
+                j.seedIndex = s;
+                j.seed = sim::sweep::deriveSeed(s);
+                jobs.push_back(j);
+            }
+        }
+    }
+    return jobs;
+}
+
+std::string
+jsonl(const SweepReport &r)
+{
+    std::ostringstream os;
+    sim::sweep::writeJsonl(r, os);
+    return os.str();
+}
+
+TEST(Resilience, RunResultJsonRoundTripIsExact)
+{
+    // The resume contract rests on fromJson being an exact inverse
+    // of toJson: serialize, parse, rebuild, re-serialize — byte
+    // identical.
+    const wl::Workload *w = wl::findWorkload("dekker");
+    ASSERT_NE(w, nullptr);
+    sim::RunResult run =
+        wl::runWorkload(*w, sim::presets::tiny(2),
+                        core::AtomicsMode::kFreeFwd, 2, 1.0,
+                        sim::sweep::deriveSeed(0));
+    std::ostringstream a;
+    run.toJson(a);
+    sim::RunResult back =
+        sim::RunResult::fromJson(JsonValue::parse(a.str()));
+    std::ostringstream b;
+    back.toJson(b);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Resilience, JournalAppendLoadRoundTrip)
+{
+    const std::string path = tmpPath("fa-journal-roundtrip.jsonl");
+    std::remove(path.c_str());
+    {
+        Journal j = Journal::openAppend(path, "fig1", 3);
+        j.append("job-a", "{\"cycles\":1}", 0.5);
+        j.append("job-b", "{\"cycles\":2}", 1.25);
+    }
+    JournalContents jc;
+    std::string err;
+    ASSERT_TRUE(Journal::load(path, &jc, &err)) << err;
+    EXPECT_EQ(jc.campaign, "fig1");
+    EXPECT_EQ(jc.jobs, 3u);
+    EXPECT_EQ(jc.skippedLines, 0u);
+    ASSERT_EQ(jc.records.size(), 2u);
+    // The run document comes back verbatim, not re-serialized.
+    EXPECT_EQ(jc.records.at("job-a").runJson, "{\"cycles\":1}");
+    EXPECT_EQ(jc.records.at("job-b").runJson, "{\"cycles\":2}");
+    EXPECT_DOUBLE_EQ(jc.records.at("job-b").wallSec, 1.25);
+
+    // Re-opening an existing journal must not duplicate the header.
+    {
+        Journal j = Journal::openAppend(path, "fig1", 3);
+        j.append("job-c", "{\"cycles\":3}", 2.0);
+    }
+    JournalContents jc2;
+    ASSERT_TRUE(Journal::load(path, &jc2));
+    EXPECT_EQ(jc2.records.size(), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(Resilience, JournalToleratesTornTailAndGarbage)
+{
+    const std::string path = tmpPath("fa-journal-torn.jsonl");
+    std::remove(path.c_str());
+    {
+        Journal j = Journal::openAppend(path, "fig1", 4);
+        j.append("job-a", "{\"cycles\":1}", 0.5);
+    }
+    {
+        // Simulate SIGKILL mid-append: a torn final record plus a
+        // record with no "run" member.
+        std::ofstream out(path, std::ios::app);
+        out << "{\"job\":\"job-c\",\"wallSec\":0.1}\n";
+        out << "{\"job\":\"job-b\",\"wallSec\":0.2,\"run\":{\"cy";
+    }
+    JournalContents jc;
+    std::string err;
+    ASSERT_TRUE(Journal::load(path, &jc, &err)) << err;
+    EXPECT_EQ(jc.records.size(), 1u);
+    EXPECT_EQ(jc.skippedLines, 2u);
+    EXPECT_TRUE(jc.records.count("job-a"));
+    std::remove(path.c_str());
+}
+
+TEST(Resilience, JournalRejectsMissingOrForeignHeader)
+{
+    JournalContents jc;
+    std::string err;
+    EXPECT_FALSE(Journal::load(tmpPath("fa-no-such-journal"), &jc,
+                               &err));
+    EXPECT_NE(err.find("cannot open"), std::string::npos);
+
+    const std::string path = tmpPath("fa-journal-foreign.jsonl");
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "{\"schema\":\"something-else\"}\n";
+    }
+    err.clear();
+    EXPECT_FALSE(Journal::load(path, &jc, &err));
+    EXPECT_NE(err.find("fa-journal-v1"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Resilience, FaultPlanParsesDirectivesAndAttemptBounds)
+{
+    FaultPlan plan = FaultPlan::parse("throw:3,corrupt:5x2");
+    EXPECT_FALSE(plan.empty());
+    // Unbounded directive: every attempt faults.
+    EXPECT_EQ(plan.actionFor(3, 1), FaultKind::kThrow);
+    EXPECT_EQ(plan.actionFor(3, 99), FaultKind::kThrow);
+    // xN directive: only the first N attempts fault (the
+    // transient-fault retry-recovery path).
+    EXPECT_EQ(plan.actionFor(5, 1), FaultKind::kCorrupt);
+    EXPECT_EQ(plan.actionFor(5, 2), FaultKind::kCorrupt);
+    EXPECT_EQ(plan.actionFor(5, 3), FaultKind::kNone);
+    // Unmentioned jobs run normally.
+    EXPECT_EQ(plan.actionFor(0, 1), FaultKind::kNone);
+
+    EXPECT_TRUE(FaultPlan::parse("").empty());
+    EXPECT_THROW(FaultPlan::parse("explode:1"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("throw"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("throw:abc"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("rand:throw:1.5:1"), FatalError);
+}
+
+TEST(Resilience, FaultPlanRandIsDeterministicAndOrderFree)
+{
+    FaultPlan plan = FaultPlan::parse("rand:throw:0.5:42");
+    // Same (seed, job) -> same verdict, independent of call order.
+    for (std::size_t job = 0; job < 64; ++job)
+        EXPECT_EQ(plan.actionFor(job, 1), plan.actionFor(job, 1));
+    unsigned hits = 0;
+    for (std::size_t job = 0; job < 64; ++job)
+        if (plan.actionFor(job, 1) == FaultKind::kThrow)
+            ++hits;
+    // Rate 0.5 over 64 jobs: some but not all fault.
+    EXPECT_GT(hits, 0u);
+    EXPECT_LT(hits, 64u);
+
+    EXPECT_EQ(FaultPlan::parse("rand:throw:0:7").actionFor(3, 1),
+              FaultKind::kNone);
+    EXPECT_EQ(FaultPlan::parse("rand:stall:1:7").actionFor(3, 1),
+              FaultKind::kStall);
+}
+
+TEST(Resilience, InjectedThrowQuarantinesWithReplayRecipe)
+{
+    const auto jobs = smallJobs();
+    const std::string qpath = tmpPath("fa-quarantine.jsonl");
+    std::remove(qpath.c_str());
+
+    ResilienceOptions opts;
+    opts.inject = "throw:3";
+    opts.retries = 1;
+    opts.quarantinePath = qpath;
+    ResilientReport rr =
+        sim::resilience::runResilient(jobs, opts, SweepOptions{4});
+
+    ASSERT_EQ(rr.report.outcomes.size(), jobs.size());
+    EXPECT_EQ(rr.report.failed, 1u);
+    ASSERT_EQ(rr.quarantined.size(), 1u);
+    const auto &q = rr.quarantined[0];
+    EXPECT_EQ(q.jobIndex, 3u);
+    EXPECT_EQ(q.attempts, 2u);  // initial + 1 retry
+    EXPECT_NE(q.error.find("injected fault: throw"),
+              std::string::npos);
+    EXPECT_NE(q.replay.find("fasim -w "), std::string::npos);
+    EXPECT_NE(q.replay.find("--seed "), std::string::npos);
+    EXPECT_EQ(q.jobKey, sim::resilience::jobKey(jobs[3]));
+    // The retry re-dispatched exactly the one failing job.
+    EXPECT_EQ(rr.retried, 1u);
+
+    // The other N-1 jobs keep their completed results.
+    for (std::size_t i = 0; i < rr.report.outcomes.size(); ++i) {
+        const auto &o = rr.report.outcomes[i];
+        if (i == 3) {
+            EXPECT_FALSE(o.run.finished);
+            EXPECT_NE(o.run.failure.find("host exception"),
+                      std::string::npos);
+        } else {
+            EXPECT_TRUE(o.run.finished) << "job " << i;
+            EXPECT_TRUE(o.error.empty()) << "job " << i;
+        }
+    }
+
+    // And the quarantine file carries a schema-tagged record.
+    const std::string qtext = readFile(qpath);
+    EXPECT_NE(qtext.find("\"schema\":\"fa-quarantine-v1\""),
+              std::string::npos);
+    EXPECT_NE(qtext.find("\"replay\":\"fasim"), std::string::npos);
+    std::remove(qpath.c_str());
+}
+
+TEST(Resilience, BoundedRetryRecoversFromTransientFault)
+{
+    const auto jobs = smallJobs();
+    // Fault only job 3's *first* attempt: the retry must recover it
+    // with the same seed, leaving the campaign bit-identical to an
+    // undisturbed run.
+    ResilienceOptions opts;
+    opts.inject = "throw:3x1";
+    opts.retries = 1;
+    ResilientReport rr =
+        sim::resilience::runResilient(jobs, opts, SweepOptions{4});
+
+    EXPECT_EQ(rr.report.failed, 0u);
+    EXPECT_TRUE(rr.quarantined.empty());
+    EXPECT_EQ(rr.retried, 1u);
+    for (const auto &o : rr.report.outcomes)
+        EXPECT_TRUE(o.run.finished);
+
+    SweepReport clean = sim::sweep::runSweep(jobs, SweepOptions{1});
+    EXPECT_EQ(jsonl(rr.report), jsonl(clean));
+}
+
+TEST(Resilience, CorruptResultIsDetectedNotAggregated)
+{
+    const auto jobs = smallJobs();
+    ResilienceOptions opts;
+    opts.inject = "corrupt:2";
+    opts.retries = 0;
+    ResilientReport rr =
+        sim::resilience::runResilient(jobs, opts, SweepOptions{2});
+
+    EXPECT_EQ(rr.report.failed, 1u);
+    ASSERT_EQ(rr.quarantined.size(), 1u);
+    EXPECT_EQ(rr.quarantined[0].jobIndex, 2u);
+    EXPECT_NE(rr.quarantined[0].error.find("corrupt result"),
+              std::string::npos);
+    // The corrupt run never lands in the outcome slot.
+    EXPECT_FALSE(rr.report.outcomes[2].run.finished);
+    EXPECT_EQ(rr.report.outcomes[2].run.cycles, 0u);
+}
+
+TEST(Resilience, ValidateRunResultFlagsImpossibleRuns)
+{
+    sim::RunResult ok;
+    ok.finished = true;
+    ok.cycles = 100;
+    EXPECT_EQ(sim::resilience::validateRunResult(ok), "");
+
+    sim::RunResult bad;
+    bad.finished = true;
+    bad.cycles = 0;
+    EXPECT_NE(sim::resilience::validateRunResult(bad), "");
+}
+
+TEST(Resilience, ResumeRestoresJournaledJobsBitIdentically)
+{
+    const auto jobs = smallJobs();
+    const std::string jpath = tmpPath("fa-journal-resume.jsonl");
+    std::remove(jpath.c_str());
+
+    // Interrupted campaign: job 5 fails every attempt, the other 7
+    // complete and land in the journal.
+    ResilienceOptions first;
+    first.journalPath = jpath;
+    first.inject = "throw:5";
+    first.retries = 0;
+    ResilientReport partial =
+        sim::resilience::runResilient(jobs, first, SweepOptions{4});
+    EXPECT_EQ(partial.report.failed, 1u);
+    EXPECT_EQ(partial.restored, 0u);
+
+    JournalContents jc;
+    ASSERT_TRUE(Journal::load(jpath, &jc));
+    EXPECT_EQ(jc.records.size(), jobs.size() - 1);
+
+    // Resume with the fault gone: 7 restored, 1 re-run, and every
+    // aggregate byte-identical to an uninterrupted campaign.
+    ResilienceOptions second;
+    second.journalPath = jpath;
+    second.resume = true;
+    ResilientReport resumed =
+        sim::resilience::runResilient(jobs, second, SweepOptions{4});
+    EXPECT_EQ(resumed.restored, jobs.size() - 1);
+    EXPECT_EQ(resumed.report.failed, 0u);
+    EXPECT_TRUE(resumed.quarantined.empty());
+
+    SweepReport clean = sim::sweep::runSweep(jobs, SweepOptions{1});
+    EXPECT_EQ(jsonl(resumed.report), jsonl(clean));
+
+    // The journal now covers the full campaign: a second resume
+    // restores everything and re-runs nothing.
+    ResilientReport full =
+        sim::resilience::runResilient(jobs, second, SweepOptions{4});
+    EXPECT_EQ(full.restored, jobs.size());
+    EXPECT_EQ(jsonl(full.report), jsonl(clean));
+    std::remove(jpath.c_str());
+}
+
+TEST(Resilience, ResumeRejectsMismatchedCampaign)
+{
+    const auto jobs = smallJobs();
+    const std::string jpath = tmpPath("fa-journal-mismatch.jsonl");
+    std::remove(jpath.c_str());
+    {
+        Journal j = Journal::openAppend(jpath, "other-campaign",
+                                        jobs.size());
+    }
+    ResilienceOptions opts;
+    opts.journalPath = jpath;
+    opts.resume = true;
+    EXPECT_THROW(
+        sim::resilience::runResilient(jobs, opts, SweepOptions{1}),
+        FatalError);
+    std::remove(jpath.c_str());
+}
+
+TEST(Resilience, StopSignalDrainsInsteadOfKilling)
+{
+    const auto jobs = smallJobs();
+    std::atomic<int> sig{2};  // SIGINT already pending
+    ResilienceOptions opts;
+    opts.stopSignal = &sig;
+    ResilientReport rr =
+        sim::resilience::runResilient(jobs, opts, SweepOptions{1});
+
+    EXPECT_EQ(rr.signal, 2);
+    EXPECT_EQ(rr.skipped, jobs.size());
+    EXPECT_TRUE(rr.quarantined.empty());
+    for (const auto &o : rr.report.outcomes) {
+        EXPECT_FALSE(o.run.finished);
+        EXPECT_NE(o.error.find("skipped"), std::string::npos);
+    }
+}
+
+TEST(Resilience, JobKeyCoversEverySpecField)
+{
+    auto jobs = smallJobs();
+    const std::string base = sim::resilience::jobKey(jobs[0]);
+    EXPECT_NE(base.find("resilience_test|dekker|"),
+              std::string::npos);
+    EXPECT_NE(base.find("|tiny|"), std::string::npos);
+
+    // Any result-affecting field change must change the key.
+    SweepJob j = jobs[0];
+    j.seed += 1;
+    EXPECT_NE(sim::resilience::jobKey(j), base);
+    j = jobs[0];
+    j.scale = 2.0;
+    EXPECT_NE(sim::resilience::jobKey(j), base);
+    j = jobs[0];
+    j.mode = core::AtomicsMode::kFree;
+    EXPECT_NE(sim::resilience::jobKey(j), base);
+}
+
+} // namespace
+} // namespace fa

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "sim/presets.hh"
 #include "sim/sweep/campaigns.hh"
 #include "sim/sweep/pool.hh"
@@ -104,6 +105,73 @@ TEST(Pool, FirstExceptionByJobIndexWins)
     }
     // One failure must not skip the independent remainder.
     EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(Pool, RunCollectCapturesFailuresPerJob)
+{
+    sim::sweep::Pool pool(4);
+    auto statuses = pool.runCollect(32, [&](std::size_t i) {
+        if (i == 3)
+            throw std::runtime_error("boom 3");
+        if (i == 17)
+            fatal("boom %d", 17);
+    });
+    ASSERT_EQ(statuses.size(), 32u);
+    for (std::size_t i = 0; i < statuses.size(); ++i) {
+        if (i == 3 || i == 17) {
+            EXPECT_TRUE(statuses[i].failed());
+            EXPECT_EQ(statuses[i].error,
+                      "boom " + std::to_string(i));
+        } else {
+            EXPECT_TRUE(statuses[i].done()) << "job " << i;
+        }
+    }
+}
+
+TEST(Pool, RunCollectStopFlagDrainsInsteadOfKilling)
+{
+    // With the stop flag raised before dispatch, a serial pool must
+    // skip every job; statuses come back kSkipped, not kFailed.
+    sim::sweep::Pool pool(1);
+    std::atomic<int> stop{1};
+    std::atomic<int> ran{0};
+    auto statuses = pool.runCollect(
+        8, [&](std::size_t) { ran++; }, &stop);
+    EXPECT_EQ(ran.load(), 0);
+    for (const auto &s : statuses)
+        EXPECT_TRUE(s.skipped());
+}
+
+TEST(Sweep, PoisonedJobDoesNotDiscardTheOthers)
+{
+    // Regression: one throwing job (unknown workload → FatalError in
+    // the worker) must surface as a failed outcome in its own slot
+    // while the other N-1 jobs keep their completed results.
+    auto jobs = smallJobs();
+    const std::size_t poisoned = 3;
+    jobs[poisoned].workload = "no-such-workload";
+
+    SweepReport r = sim::sweep::runSweep(jobs, SweepOptions{4});
+    ASSERT_EQ(r.outcomes.size(), jobs.size());
+    EXPECT_EQ(r.failed, 1u);
+
+    for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
+        const auto &o = r.outcomes[i];
+        if (i == poisoned) {
+            EXPECT_FALSE(o.run.finished);
+            EXPECT_NE(o.error.find("no-such-workload"),
+                      std::string::npos);
+            EXPECT_NE(o.run.failure.find("host exception"),
+                      std::string::npos);
+        } else {
+            EXPECT_TRUE(o.run.finished) << "job " << i;
+            EXPECT_TRUE(o.error.empty()) << "job " << i;
+        }
+    }
+
+    // And the failed slot still identifies its job for replay.
+    EXPECT_EQ(r.outcomes[poisoned].job.seed,
+              jobs[poisoned].seed);
 }
 
 TEST(Sweep, SeedScheduleMatchesTheBenchHarnesses)

@@ -1,0 +1,67 @@
+# Exercise the fabench resilience path end to end with the
+# deterministic host-fault injector: a campaign with one persistently
+# throwing job must exit 3 (completed with quarantined jobs), write a
+# non-empty fa-quarantine-v1 file carrying a replay recipe, and keep
+# the other jobs' results; a transient (first-attempt-only) fault must
+# recover through the bounded retry and exit 0.
+#
+#   cmake -DFABENCH=<fabench> -DWORKDIR=<dir>
+#         -P check_resilience.cmake
+
+if(NOT FABENCH OR NOT WORKDIR)
+    message(FATAL_ERROR "FABENCH and WORKDIR are required")
+endif()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(QFILE "${WORKDIR}/quarantine.jsonl")
+file(REMOVE "${QFILE}")
+
+set(SWEEP_ARGS sweep --workloads dekker,mp --modes fenced,freefwd
+    --machines tiny --cores 2 --scale 1 --seeds 2 --threads 2)
+
+# A job that throws on every attempt: retry once, then quarantine.
+execute_process(
+    COMMAND "${FABENCH}" ${SWEEP_ARGS}
+            --inject throw:3 --retries 1 --quarantine "${QFILE}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 3)
+    message(FATAL_ERROR
+            "quarantined campaign should exit 3, exited '${rc}'\n"
+            "stdout:\n${out}\nstderr:\n${err}")
+endif()
+if(NOT out MATCHES "1 QUARANTINED")
+    message(FATAL_ERROR "summary lacked the quarantine count:\n${out}")
+endif()
+if(NOT out MATCHES "replay: fasim ")
+    message(FATAL_ERROR "summary lacked the replay recipe:\n${out}")
+endif()
+
+if(NOT EXISTS "${QFILE}")
+    message(FATAL_ERROR "quarantine file was not written")
+endif()
+file(READ "${QFILE}" qtext)
+if(NOT qtext MATCHES "\"schema\":\"fa-quarantine-v1\"")
+    message(FATAL_ERROR "quarantine file lacks the schema tag:\n${qtext}")
+endif()
+if(NOT qtext MATCHES "\"replay\":\"fasim")
+    message(FATAL_ERROR "quarantine record lacks a replay recipe:\n${qtext}")
+endif()
+
+# A transient fault (first attempt only) must recover via retry.
+execute_process(
+    COMMAND "${FABENCH}" ${SWEEP_ARGS}
+            --inject throw:3x1 --retries 1 --quarantine "${QFILE}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "transient fault should recover with exit 0, exited "
+            "'${rc}'\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+if(NOT out MATCHES "1 retried")
+    message(FATAL_ERROR "summary lacked the retry count:\n${out}")
+endif()
+# All attempts recovered: the rewritten quarantine file must be empty.
+file(READ "${QFILE}" qtext)
+if(NOT qtext STREQUAL "")
+    message(FATAL_ERROR "recovered campaign left quarantine records:\n${qtext}")
+endif()

@@ -1,0 +1,86 @@
+#!/bin/sh
+# Graceful-interrupt + journaled-resume check, end to end:
+#
+#  1. Run the reference campaign to completion; keep its JSONL.
+#  2. Start the same campaign with the last job stalled by the fault
+#     injector and a journal armed; wait until every other job has
+#     been journaled, then SIGTERM the process.
+#  3. Assert it exits 143 (128+SIGTERM) after draining, with the
+#     journal intact.
+#  4. Re-run with --resume and no fault: the restored + re-run
+#     campaign must exit 0 and emit JSONL byte-identical to the
+#     uninterrupted reference.
+#
+#   check_signal_resume.sh <fabench> <workdir>
+
+set -u
+
+FABENCH="$1"
+WORKDIR="$2"
+
+fail() {
+    echo "check_signal_resume: $*" >&2
+    exit 1
+}
+
+mkdir -p "$WORKDIR" || fail "cannot create $WORKDIR"
+CLEAN="$WORKDIR/clean.jsonl"
+RESUMED="$WORKDIR/resumed.jsonl"
+JOURNAL="$WORKDIR/journal.jsonl"
+rm -f "$CLEAN" "$RESUMED" "$JOURNAL"
+
+# 8 jobs: dekker,mp x fenced,freefwd x 2 seeds; index 7 is the last.
+sweep_args="--workloads dekker,mp --modes fenced,freefwd \
+    --machines tiny --cores 2 --scale 1 --seeds 2 --threads 2"
+
+# 1. Uninterrupted reference.
+$FABENCH sweep $sweep_args --json "$CLEAN" >/dev/null 2>&1 ||
+    fail "reference campaign failed"
+[ -s "$CLEAN" ] || fail "reference campaign wrote no JSONL"
+
+# 2. Stall the last job, journal the rest, then interrupt.
+$FABENCH sweep $sweep_args --journal "$JOURNAL" \
+    --inject stall:7 --retries 0 >"$WORKDIR/interrupted.log" 2>&1 &
+pid=$!
+
+# Wait for the 7 non-stalled jobs (header + 7 records = 8 lines).
+tries=0
+while :; do
+    lines=0
+    [ -f "$JOURNAL" ] && lines=$(wc -l < "$JOURNAL")
+    [ "$lines" -ge 8 ] && break
+    tries=$((tries + 1))
+    [ "$tries" -gt 600 ] && { kill -KILL "$pid" 2>/dev/null;
+        fail "journal never reached 7 records"; }
+    kill -0 "$pid" 2>/dev/null || fail "campaign died before signal:
+$(cat "$WORKDIR/interrupted.log")"
+    sleep 0.1
+done
+
+kill -TERM "$pid"
+wait "$pid"
+rc=$?
+[ "$rc" -eq 143 ] ||
+    fail "interrupted campaign should exit 143, exited $rc:
+$(cat "$WORKDIR/interrupted.log")"
+grep -q "interrupted by signal 15" "$WORKDIR/interrupted.log" ||
+    fail "missing interrupt notice:
+$(cat "$WORKDIR/interrupted.log")"
+
+# 3. The journal must hold exactly the 7 completed jobs.
+lines=$(wc -l < "$JOURNAL")
+[ "$lines" -eq 8 ] || fail "journal has $lines line(s), expected 8"
+
+# 4. Resume without the fault: bit-identical aggregates.
+$FABENCH sweep $sweep_args --journal "$JOURNAL" --resume \
+    --json "$RESUMED" >"$WORKDIR/resumed.log" 2>&1 ||
+    fail "resumed campaign failed:
+$(cat "$WORKDIR/resumed.log")"
+grep -q "7 restored from journal" "$WORKDIR/resumed.log" ||
+    fail "resume did not restore 7 jobs:
+$(cat "$WORKDIR/resumed.log")"
+cmp -s "$CLEAN" "$RESUMED" || fail "resumed JSONL differs from the
+uninterrupted reference ($CLEAN vs $RESUMED)"
+
+echo "check_signal_resume: ok (143 on SIGTERM, resume bit-identical)"
+exit 0

@@ -22,6 +22,8 @@
  * --cores, --scale, --seeds, --csv and --json.
  */
 
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -36,6 +38,16 @@ using sim::sweep::SweepOptions;
 using sim::sweep::SweepReport;
 
 namespace {
+
+/** Signal number from the SIGINT/SIGTERM handler; the resilience
+ * layer polls it to stop dispatching and drain in-flight jobs. */
+std::atomic<int> g_signal{0};
+
+void
+onSignal(int sig)
+{
+    g_signal.store(sig, std::memory_order_relaxed);
+}
 
 void
 listCampaigns()
@@ -188,6 +200,12 @@ main(int argc, char **argv)
     std::string benchJson;
     bool mips = false;
     unsigned repeats = 3;
+    std::string journalPath;
+    bool resume = false;
+    unsigned retries = 1;
+    double jobTimeout = 0.0;
+    std::string injectSpec;
+    std::string quarantinePath;
     std::vector<std::string> args;
 
     cli::Parser p("fabench",
@@ -221,7 +239,27 @@ main(int argc, char **argv)
            "fixed bench-core matrix instead of the sweep timing");
     p.opt(&repeats, "", "--repeats", "N",
           "(perf --mips) timed runs per cell, best kept [3]");
-    p.epilog("exit status: 0 ok, 1 run/determinism failure, 2 usage\n");
+    p.opt(&journalPath, "", "--journal", "FILE",
+          "append-only fsync'd fa-journal-v1 record of completed "
+          "jobs (arms the resilience layer)");
+    p.flag(&resume, "", "--resume",
+           "restore completed jobs from --journal and run only the "
+           "rest (aggregates stay bit-identical)");
+    p.opt(&retries, "", "--retries", "N",
+          "extra attempts for a failing job before quarantine [1]");
+    p.opt(&jobTimeout, "", "--job-timeout", "SECS",
+          "per-job host wall-clock budget; a tripped job fails, "
+          "retries, then quarantines (0 = unbounded) [0]");
+    p.opt(&injectSpec, "", "--inject", "SPEC",
+          "deterministic host-fault injector: KIND:JOB[xN],... or "
+          "rand:KIND:RATE:SEED with KIND throw|stall|corrupt");
+    p.opt(&quarantinePath, "", "--quarantine", "FILE",
+          "write fa-quarantine-v1 JSONL (job, error, attempts, "
+          "replay command) for jobs that exhaust their attempts");
+    p.epilog("exit status: 0 ok, 1 run/determinism failure, 2 usage,\n"
+             "3 campaign completed with quarantined jobs,\n"
+             "130/143 interrupted by SIGINT/SIGTERM (journal "
+             "flushed; --resume continues)\n");
     p.parse(argc, argv);
 
     if (args.size() != 1) {
@@ -273,6 +311,84 @@ main(int argc, char **argv)
         }
 
         auto jobs = c->jobs(cfg);
+
+        // Any resilience flag switches the campaign onto the
+        // journaled/retrying/quarantining path; without them the
+        // plain sweep runs exactly as before.
+        const bool resilient = p.seen("--journal") ||
+            p.seen("--resume") || p.seen("--retries") ||
+            p.seen("--job-timeout") || p.seen("--inject") ||
+            p.seen("--quarantine");
+        if (resilient) {
+            std::signal(SIGINT, onSignal);
+            std::signal(SIGTERM, onSignal);
+            sim::resilience::ResilienceOptions ropts;
+            ropts.campaign = name;
+            ropts.retries = retries;
+            ropts.jobTimeoutSec = jobTimeout;
+            ropts.journalPath = journalPath;
+            ropts.resume = resume;
+            ropts.quarantinePath = quarantinePath;
+            ropts.inject = injectSpec;
+            ropts.stopSignal = &g_signal;
+            sim::resilience::ResilientReport rr =
+                sim::resilience::runResilient(jobs, ropts,
+                                              SweepOptions{threads});
+            const SweepReport &report = rr.report;
+            if (rr.signal == 0) {
+                c->render(cfg, report, std::cout);
+                if (summary && name != "sweep")
+                    sim::sweep::writeSummaryTable(report, std::cout,
+                                                  cfg.csv);
+            }
+            std::cout << "sweep: " << jobs.size() << " jobs in "
+                      << fmtDouble(report.wallSec, 2) << "s on "
+                      << report.threads << " thread(s)";
+            if (rr.restored)
+                std::cout << ", " << rr.restored
+                          << " restored from journal";
+            if (rr.retried)
+                std::cout << ", " << rr.retried << " retried";
+            if (report.failed)
+                std::cout << ", " << report.failed << " FAILED";
+            if (!rr.quarantined.empty())
+                std::cout << ", " << rr.quarantined.size()
+                          << " QUARANTINED";
+            std::cout << "\n";
+            for (const auto &q : rr.quarantined) {
+                std::cout << "quarantined: " << q.jobKey << ": "
+                          << q.error << " (after " << q.attempts
+                          << " attempt(s))\n  replay: " << q.replay
+                          << "\n";
+            }
+            if (!quarantinePath.empty() && !rr.quarantined.empty())
+                std::cout << "wrote " << rr.quarantined.size()
+                          << " quarantine record(s) to "
+                          << quarantinePath << "\n";
+            if (rr.signal != 0) {
+                std::cout << "interrupted by signal " << rr.signal
+                          << ": " << rr.skipped
+                          << " job(s) not run"
+                          << (journalPath.empty()
+                                  ? ""
+                                  : "; journal flushed — rerun with "
+                                    "--resume to finish")
+                          << "\n";
+                return 128 + rr.signal;
+            }
+            if (!jsonPath.empty()) {
+                std::ofstream os(jsonPath, std::ios::app);
+                if (!os)
+                    fatal("cannot open '%s'", jsonPath.c_str());
+                sim::sweep::writeJsonl(report, os);
+                std::cout << "appended " << report.outcomes.size()
+                          << " JSONL line(s) to " << jsonPath << "\n";
+            }
+            if (!rr.quarantined.empty())
+                return 3;
+            return report.failed == 0 ? 0 : 1;
+        }
+
         SweepReport report =
             sim::sweep::runSweep(jobs, SweepOptions{threads});
         c->render(cfg, report, std::cout);

@@ -52,6 +52,7 @@ constexpr int kExitTruncated = 4;
 constexpr int kExitUnsound = 5;
 constexpr int kExitCoverage = 6;
 constexpr int kExitModeMismatch = 7;
+constexpr int kExitBudget = 8;
 
 struct Job
 {
@@ -107,6 +108,7 @@ main(int argc, char **argv)
     std::string engine_name = "graph";
     std::int64_t reorder_bound = -1;
     std::uint64_t max_states = 1'000'000;
+    double time_budget = 0.0;
     bool certify_tso = false;
     bool witness_edges = false;
     bool track_regs = false;
@@ -148,6 +150,10 @@ main(int argc, char **argv)
           "reads past own stores per execution (-1 = unbounded)");
     p.opt(&max_states, "", "--max-states", "N",
           "exploration budget [1000000]");
+    p.opt(&time_budget, "", "--time-budget", "SECS",
+          "soft host wall-clock budget per exploration; on expiry "
+          "the partial state counts are reported and the exit "
+          "status is 8 (0 = unbounded) [0]");
     p.flag(&certify_tso, "", "--certify-tso",
            "dpor: run the axiomatic checker over every complete "
            "execution");
@@ -180,7 +186,8 @@ main(int argc, char **argv)
     p.epilog(
         "\nexit status: 0 ok, 2 usage, 3 violation (witness written),\n"
         "4 exploration truncated, 5 diff unsound, 6 diff coverage,\n"
-        "7 cross-mode outcome-set mismatch\n");
+        "7 cross-mode outcome-set mismatch, 8 --time-budget exceeded\n"
+        "(partial state counts reported)\n");
     p.parse(argc, argv);
 
     bool reduce = !no_reduce;
@@ -289,6 +296,7 @@ main(int argc, char **argv)
             eopts.engine = engine_name == "dpor" ? mc::Engine::kDpor
                                                  : mc::Engine::kGraph;
             eopts.maxStates = max_states;
+            eopts.timeBudgetSec = time_budget;
             eopts.reorderBound = reorder_bound;
             eopts.reduce = reduce;
             eopts.trackRegs = track_regs;
@@ -342,8 +350,21 @@ main(int argc, char **argv)
                         os << "    edge: " << e.describe() << "\n";
                 rc = std::max(rc, kExitViolation);
             }
-            if (!r.complete)
-                rc = std::max(rc, kExitTruncated);
+            if (!r.complete) {
+                if (r.budgetExceeded) {
+                    // Structured budget-exceeded status: the partial
+                    // exploration extent, so a sweep over many cells
+                    // can budget per cell and still report progress.
+                    os << "  budget-exceeded: explored "
+                       << r.statesExplored << " state(s), "
+                       << r.transitionsTaken << " transition(s), "
+                       << r.outcomes.size()
+                       << " outcome(s) so far (partial)\n";
+                    rc = std::max(rc, kExitBudget);
+                } else {
+                    rc = std::max(rc, kExitTruncated);
+                }
+            }
 
             if (rc == kExitOk) {
                 // Soak programs have a deterministic atomic-counter

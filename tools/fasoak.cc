@@ -73,6 +73,7 @@ main(int argc, char **argv)
     bool no_shrink = false;
     bool fasan = false;
     bool list_profiles = false;
+    double seed_timeout = 0.0;
 
     cli::Parser p("fasoak",
                   "seeded liveness-certification (soak) driver");
@@ -94,9 +95,15 @@ main(int argc, char **argv)
           "the recorded signature");
     p.flag(&list_profiles, "", "--list-profiles",
            "list fault profiles and exit");
+    p.opt(&seed_timeout, "", "--seed-timeout", "SECS",
+          "host wall-clock budget per seed; a hung seed is "
+          "quarantined with a reproducer instead of aborting the "
+          "corpus (0 = unbounded) [0]");
     p.epilog(
         "\nexit status: 0 when every seed certifies (or the replay\n"
-        "reproduces its recorded signature), 1 otherwise.\n");
+        "reproduces its recorded signature), 3 when the only\n"
+        "failures are quarantined hung seeds (wall-deadline),\n"
+        "1 otherwise.\n");
     p.parse(argc, argv);
 
     bool do_shrink = !no_shrink;
@@ -119,6 +126,7 @@ main(int argc, char **argv)
             chaos::SoakSpec spec =
                 chaos::makeSoakSpec(s, mode, profile);
             spec.sanitize = fasan;
+            spec.wallDeadlineSec = seed_timeout;
             specs.push_back(std::move(spec));
         }
         std::vector<chaos::SoakResult> results(specs.size());
@@ -131,6 +139,7 @@ main(int argc, char **argv)
         // Phase 2 (serial, seed order): printing, shrinking, and
         // reproducer writing — byte-identical to a 1-thread run.
         unsigned failures = 0;
+        unsigned quarantined = 0;
         for (std::size_t i = 0; i < specs.size(); ++i) {
             const chaos::SoakSpec &spec = specs[i];
             std::uint64_t s = seed0 + i;
@@ -140,6 +149,22 @@ main(int argc, char **argv)
                 continue;
             ++failures;
             chaos::SoakCase c = chaos::buildSoakCase(spec);
+            if (r.signature == "wall-deadline") {
+                // A hung seed: shrinking would replay the hang over
+                // and over, so emit the reproducer as-is and
+                // quarantine — the corpus keeps going.
+                ++quarantined;
+                std::string base = "repro-seed" + std::to_string(s) +
+                                   "-" + mode_name;
+                std::string json =
+                    chaos::writeReproducer(c, r, out_dir, base);
+                std::cout << "  quarantined (hung seed, budget "
+                          << seed_timeout
+                          << "s): reproducer: " << json << "\n";
+                if (!r.forensics.empty())
+                    std::cout << r.forensics;
+                continue;
+            }
             if (do_shrink) {
                 unsigned steps = 0;
                 chaos::SoakSpec small =
@@ -161,8 +186,16 @@ main(int argc, char **argv)
         }
         std::cout << (nseeds - failures) << "/" << nseeds
                   << " seeds certified (mode=" << mode_name
-                  << " profile=" << profile << ")\n";
-        return failures == 0 ? 0 : 1;
+                  << " profile=" << profile << ")";
+        if (quarantined)
+            std::cout << ", " << quarantined << " quarantined";
+        std::cout << "\n";
+        if (failures == 0)
+            return 0;
+        // Only hung-seed quarantines: the corpus completed partially
+        // with reproducers on disk — distinct from a certification
+        // failure.
+        return failures == quarantined ? 3 : 1;
     } catch (const FatalError &e) {
         std::cerr << "fasoak: " << e.message << "\n";
         return 1;
