@@ -436,7 +436,10 @@ exploreDpor(const Model &model, const MemInit &init,
     std::vector<Frame> stack;
     {
         Frame root;
-        root.s = model.initial(init);
+        root.s = model.initial(init,
+                               opts.certifyTso || opts.onExecution
+                                   ? &root.sink
+                                   : nullptr);
         root.key = stateKey(root.s, opts.reorderBound, 0);
         onPath.insert(root.key);
         stack.push_back(std::move(root));
@@ -499,6 +502,8 @@ exploreDpor(const Model &model, const MemInit &init,
                             outcomePaths.emplace(o.id,
                                                  stackPath(nullptr));
                         outcomes.emplace(o.id, std::move(o));
+                        if (opts.onExecution)
+                            opts.onExecution(top.sink.events);
                         if (opts.certifyTso) {
                             ++res.executionsCertified;
                             analysis::TsoCheckResult cr =
@@ -552,7 +557,9 @@ exploreDpor(const Model &model, const MemInit &init,
         child.s = top.s;
         child.sink = top.sink;
         StepViolation v = model.apply(
-            child.s, t, opts.certifyTso ? &child.sink : nullptr);
+            child.s, t,
+            opts.certifyTso || opts.onExecution ? &child.sink
+                                                : nullptr);
         ++res.transitionsTaken;
         if (v) {
             if (addViolation(violationKind(v.kind), v.detail, &t))

@@ -26,6 +26,7 @@
 #define FA_ANALYSIS_MC_EXPLORE_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,15 @@ struct ExploreOpts
     /** Record a structured witness (minimal trace + reorder edges)
      * for every distinct outcome; the CEGAR synthesizer's input. */
     bool outcomeWitnesses = false;
+    /** kDpor only: invoked with every complete execution's event
+     * trace, in global perform order (enables per-execution sinks
+     * even when certifyTso is off). DPOR visits at least one
+     * execution per Mazurkiewicz class, so the union of these traces
+     * realizes every achievable ordering of every dependent pair —
+     * the ground truth the predictive analyzer (analysis/race) is
+     * differentially certified against. Ignored by kGraph. */
+    std::function<void(const std::vector<analysis::MemEvent> &)>
+        onExecution;
 };
 
 /**

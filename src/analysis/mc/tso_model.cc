@@ -168,7 +168,7 @@ Model::Model(std::vector<isa::Program> programs, const ModelOpts &opts)
 }
 
 State
-Model::initial(const MemInit &init) const
+Model::initial(const MemInit &init, EventSink *sink) const
 {
     State s;
     s.threads.resize(progs.size());
@@ -177,7 +177,7 @@ Model::initial(const MemInit &init) const
             s.mem[wordOf(kv.first)] = kv.second;
     }
     for (unsigned t = 0; t < progs.size(); ++t) {
-        StepViolation v = closure(s, t, nullptr);
+        StepViolation v = closure(s, t, sink);
         if (v)
             fatal("mc: local closure diverged at startup: %s",
                   v.detail.c_str());

@@ -244,8 +244,11 @@ class Model
     bool usesRand() const { return anyRand; }
 
     /** Initial state: memory image loaded, every thread's local
-     * closure run up to its first visible operation. */
-    State initial(const MemInit &init) const;
+     * closure run up to its first visible operation. Pass `sink` to
+     * record the startup closure's events (buffered stores before
+     * the first visible op) — without it those events are invisible
+     * to per-execution event streams. */
+    State initial(const MemInit &init, EventSink *sink = nullptr) const;
 
     /**
      * Enumerate the enabled visible transitions of `s`.

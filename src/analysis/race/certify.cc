@@ -1,0 +1,223 @@
+#include "analysis/race/certify.hh"
+
+#include <map>
+#include <sstream>
+
+namespace fa::analysis::race {
+
+namespace {
+
+/** Memory-order stamp of a read's source: 0 for the initial value,
+ * the source write's coherence stamp otherwise (kNoStamp when the
+ * source is unknown — skip such pairs). */
+std::uint64_t
+sourceStamp(const std::vector<MemEvent> &evs,
+            const std::map<std::pair<CoreId, SeqNum>, std::size_t> &idx,
+            const MemEvent &r, bool *known)
+{
+    *known = true;
+    if (r.rfInit)
+        return 0;
+    auto it = idx.find({r.rfThread, r.rfSeq});
+    if (it == idx.end() || evs[it->second].writeStamp == kNoStamp) {
+        *known = false;
+        return 0;
+    }
+    return evs[it->second].writeStamp;
+}
+
+void
+harvestExecution(const std::vector<MemEvent> &evs, OrderCorpus *c)
+{
+    std::map<std::pair<CoreId, SeqNum>, std::size_t> idx;
+    for (std::size_t i = 0; i < evs.size(); ++i)
+        idx.emplace(std::make_pair(evs[i].thread, evs[i].seq), i);
+
+    auto record = [&](const MemEvent &first, const MemEvent &second) {
+        bool swapped = false;
+        std::uint64_t k = OrderCorpus::pairKey(
+            first.thread, first.pc, second.thread, second.pc,
+            &swapped);
+        c->orders[k] |= swapped ? 2 : 1;
+    };
+
+    for (std::size_t i = 0; i < evs.size(); ++i) {
+        const MemEvent &a = evs[i];
+        if (a.kind == EvKind::kFence)
+            continue;
+        for (std::size_t j = i + 1; j < evs.size(); ++j) {
+            const MemEvent &b = evs[j];
+            if (b.kind == EvKind::kFence || a.addr != b.addr ||
+                a.thread == b.thread)
+                continue;
+            if (!a.isWrite() && !b.isWrite())
+                continue;
+            if (a.isWrite() && b.isWrite()) {
+                if (a.writeStamp == kNoStamp ||
+                    b.writeStamp == kNoStamp)
+                    continue;
+                if (a.writeStamp < b.writeStamp)
+                    record(a, b);
+                else
+                    record(b, a);
+            } else {
+                const MemEvent &w = a.isWrite() ? a : b;
+                const MemEvent &r = a.isWrite() ? b : a;
+                if (w.writeStamp == kNoStamp)
+                    continue;
+                bool known = false;
+                std::uint64_t src = sourceStamp(evs, idx, r, &known);
+                if (!known)
+                    continue;
+                // TSO reads the last performed write: the read sits
+                // right after its source in memory order.
+                if (src >= w.writeStamp)
+                    record(w, r);
+                else
+                    record(r, w);
+            }
+        }
+        // Store->read reorderings within thread a's program order.
+        if (a.kind == EvKind::kWrite && a.writeStamp != kNoStamp) {
+            for (std::size_t j = 0; j < evs.size(); ++j) {
+                const MemEvent &r = evs[j];
+                if (r.thread != a.thread || !r.isRead() ||
+                    r.seq <= a.seq || r.addr == a.addr)
+                    continue;
+                bool known = false;
+                std::uint64_t src = sourceStamp(evs, idx, r, &known);
+                if (known && src < a.writeStamp) {
+                    c->reorders.insert(OrderCorpus::reorderKey(
+                        a.thread, a.pc, r.pc));
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+OrderCorpus::addExecution(const std::vector<analysis::MemEvent> &evs)
+{
+    harvestExecution(evs, this);
+}
+
+std::uint64_t
+OrderCorpus::pairKey(CoreId ta, int pca, CoreId tb, int pcb,
+                     bool *swapped)
+{
+    std::uint64_t sa = (std::uint64_t(ta) << 24) |
+        (std::uint32_t(pca) & 0xffffff);
+    std::uint64_t sb = (std::uint64_t(tb) << 24) |
+        (std::uint32_t(pcb) & 0xffffff);
+    *swapped = sa > sb;
+    if (*swapped)
+        std::swap(sa, sb);
+    return (sa << 32) | sb;
+}
+
+std::uint64_t
+OrderCorpus::reorderKey(CoreId t, int store_pc, int read_pc)
+{
+    return (std::uint64_t(t) << 48) |
+        (std::uint64_t(std::uint32_t(store_pc) & 0xffffff) << 24) |
+        (std::uint32_t(read_pc) & 0xffffff);
+}
+
+OrderCorpus
+harvestOrders(const std::vector<isa::Program> &progs,
+              const mc::MemInit &init, const CertifyOpts &opts)
+{
+    OrderCorpus corpus;
+    mc::ModelOpts mopts;
+    mopts.mode = opts.mode;
+    mc::Model model(progs, mopts);
+    mc::ExploreOpts eopts;
+    eopts.engine = mc::Engine::kDpor;
+    eopts.maxStates = opts.maxStates;
+    eopts.maxDepth = opts.maxDepth;
+    eopts.timeBudgetSec = opts.timeBudgetSec;
+    eopts.maxViolations = 1;
+    eopts.onExecution = [&corpus](const std::vector<MemEvent> &evs) {
+        ++corpus.executions;
+        harvestExecution(evs, &corpus);
+    };
+    mc::ExploreResult res = mc::explore(model, init, eopts);
+    corpus.complete = res.complete;
+    corpus.truncatedReason = res.truncatedReason;
+    return corpus;
+}
+
+CertifyResult
+certifyAgainst(const OrderCorpus &corpus, const RaceReport &report)
+{
+    CertifyResult res;
+    res.exploreComplete = corpus.complete;
+    res.truncatedReason = corpus.truncatedReason;
+    res.executions = corpus.executions;
+    for (const Finding &f : report.findings) {
+        ++res.predictions;
+        bool ok = false;
+        std::ostringstream why;
+        switch (f.cat) {
+          case Category::kRace: {
+            bool swapped = false;
+            std::uint64_t k = OrderCorpus::pairKey(
+                f.a.thread, f.a.pc, f.b.thread, f.b.pc, &swapped);
+            auto it = corpus.orders.find(k);
+            std::uint8_t mask =
+                it == corpus.orders.end() ? 0 : it->second;
+            ok = mask == 3;  // both orders realized
+            if (!ok) {
+                why << "realized executions witness "
+                    << (mask == 0 ? "neither order"
+                                  : "only one order")
+                    << " of the conflicting pair";
+            }
+            break;
+          }
+          case Category::kReorder:
+            ok = corpus.reorders.count(OrderCorpus::reorderKey(
+                     f.a.thread, f.a.pc, f.b.pc)) != 0;
+            if (!ok) {
+                why << "no realized execution lets the read take "
+                       "its value before the older store performs";
+            }
+            break;
+          case Category::kAtomicity:
+            ok = false;
+            why << "atomicity-window violations are never realizable "
+                   "in a correct machine: the prediction itself "
+                   "flags a simulator bug";
+            break;
+        }
+        if (ok) {
+            ++res.confirmed;
+        } else {
+            std::ostringstream d;
+            d << categoryName(f.cat) << " t" << unsigned(f.a.thread)
+              << ":pc" << f.a.pc << " vs t" << unsigned(f.b.thread)
+              << ":pc" << f.b.pc << " — " << why.str();
+            res.unconfirmed.push_back(d.str());
+        }
+    }
+    return res;
+}
+
+CertifyResult
+certifyPredictions(const std::vector<isa::Program> &progs,
+                   const mc::MemInit &init,
+                   const std::vector<analysis::MemEvent> &observed,
+                   const RaceReport &report, const CertifyOpts &opts)
+{
+    OrderCorpus corpus = harvestOrders(progs, init, opts);
+    // The observed detailed-simulator execution is itself a realized
+    // execution; it supplies the observed side of every predicted
+    // pair — including the stalling spin-read iterations the DPOR
+    // engine stutter-prunes.
+    corpus.addExecution(observed);
+    return certifyAgainst(corpus, report);
+}
+
+} // namespace fa::analysis::race

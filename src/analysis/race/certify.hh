@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Differential certification of predictive race findings against the
+ * exhaustive model checker.
+ *
+ * farace predicts, from ONE simulated execution, orderings that could
+ * differ in an equivalent execution. famc (analysis/mc) enumerates
+ * EVERY execution of the same program. The gate: each prediction must
+ * be realizable in the union of the exhaustive set and the observed
+ * execution itself (the observed trace is a real machine execution
+ * carrying exact coherence stamps and rf edges, and it is what
+ * supplies spin-loop iterations the explorer stutter-prunes — a
+ * stalling spin read is a distinct interleaving the DPOR engine
+ * deliberately collapses) —
+ *
+ *   - kRace(a, b): one realized execution orders a before b in TSO
+ *     memory order and another orders b before a,
+ *   - kReorder(store, read): some realized execution lets the read
+ *     take its value before the older same-thread store performs
+ *     (the srcStamp(read) < stamp(store) placement),
+ *   - kAtomicity: never realizable in a correct model — a prediction
+ *     is a simulator bug by definition, so any occurrence on a clean
+ *     run fails certification.
+ *
+ * Memory-order placement is exact: writes are ordered by their
+ * coherence stamps; a read sits immediately after the write it reads
+ * from (TSO reads the last performed write, so read r precedes write
+ * w in memory order iff srcStamp(r) < stamp(w)).
+ *
+ * Zero unconfirmed predictions across the litmus corpus x all four
+ * atomics modes is a ctest/CI gate (tools/farace --certify).
+ */
+
+#ifndef FA_ANALYSIS_RACE_CERTIFY_HH
+#define FA_ANALYSIS_RACE_CERTIFY_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/mc/explore.hh"
+#include "analysis/mc/tso_model.hh"
+#include "analysis/race/hb.hh"
+#include "isa/program.hh"
+
+namespace fa::analysis::race {
+
+struct CertifyOpts
+{
+    core::AtomicsMode mode = core::AtomicsMode::kFreeFwd;
+    std::uint64_t maxStates = 2'000'000;
+    std::uint64_t maxDepth = 200'000;
+    double timeBudgetSec = 0.0;
+};
+
+/** Realizable-ordering sets harvested from one exhaustive DPOR
+ * exploration; reusable across several traces of the same program. */
+struct OrderCorpus
+{
+    bool complete = false;       ///< exploration exhausted the space
+    std::string truncatedReason;
+    std::uint64_t executions = 0;
+
+    /** Conflicting site pair -> bitmask of orders seen (bit0: lower
+     * key side first, bit1: reverse). Key via pairKey(). */
+    std::unordered_map<std::uint64_t, std::uint8_t> orders;
+    /** Realized store->read reorderings, via reorderKey(). */
+    std::unordered_set<std::uint64_t> reorders;
+
+    static std::uint64_t pairKey(CoreId ta, int pca, CoreId tb,
+                                 int pcb, bool *swapped);
+    static std::uint64_t reorderKey(CoreId t, int store_pc,
+                                    int read_pc);
+
+    /** Harvest one more realized execution into the corpus. Used to
+     * seed the corpus with the observed detailed-simulator trace
+     * (same MemEvent shape: coherence stamps + rf) before
+     * certification; does not count toward `executions`. */
+    void addExecution(const std::vector<analysis::MemEvent> &evs);
+};
+
+/** Explore `progs` exhaustively under `opts.mode` and harvest the
+ * realizable-ordering corpus. */
+OrderCorpus harvestOrders(const std::vector<isa::Program> &progs,
+                          const mc::MemInit &init,
+                          const CertifyOpts &opts);
+
+struct CertifyResult
+{
+    bool exploreComplete = false;
+    std::string truncatedReason;
+    std::uint64_t executions = 0;
+    std::uint64_t predictions = 0;  ///< findings checked
+    std::uint64_t confirmed = 0;
+    /** Human-readable description of each unconfirmed prediction —
+     * a false positive of the predictive analysis. */
+    std::vector<std::string> unconfirmed;
+
+    bool
+    ok() const
+    {
+        return exploreComplete && unconfirmed.empty();
+    }
+};
+
+/** Check every finding of `report` against the corpus. */
+CertifyResult certifyAgainst(const OrderCorpus &corpus,
+                             const RaceReport &report);
+
+/** Convenience: harvest, seed with the observed trace, certify.
+ * `observed` is the detailed-simulator event stream the report was
+ * built from; it contributes the observed side of each predicted
+ * pair (including spin iterations the explorer stutter-prunes). */
+CertifyResult certifyPredictions(const std::vector<isa::Program> &progs,
+                                 const mc::MemInit &init,
+                                 const std::vector<analysis::MemEvent> &observed,
+                                 const RaceReport &report,
+                                 const CertifyOpts &opts);
+
+} // namespace fa::analysis::race
+
+#endif // FA_ANALYSIS_RACE_CERTIFY_HH

@@ -1,0 +1,580 @@
+#include "analysis/race/hb.hh"
+
+#include "analysis/race/vclock.hh"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/log.hh"
+
+namespace fa::analysis::race {
+
+namespace {
+
+/** Threads above this are certainly torn input, not a machine. */
+constexpr CoreId kMaxThreads = 4096;
+constexpr Cycle kOpenEnd = ~Cycle{0};
+
+struct Window
+{
+    CoreId thread = 0;
+    SeqNum seq = kNoSeq;
+    Cycle lockCycle = 0;
+    Cycle unlockCycle = kOpenEnd;
+    bool closed = false;
+};
+
+struct WriteSnap
+{
+    CoreId thread = 0;
+    SeqNum seq = kNoSeq;
+    VClock clk;
+};
+
+struct AddrState
+{
+    bool haveWrite = false;
+    EventRef lastWrite;
+    VClock lastWriteClk;
+    /** Last few writes, oldest first: reads-from join lookups. */
+    std::deque<WriteSnap> recent;
+    /** Component t = seq of t's latest read of this word. */
+    VClock reads;
+    std::vector<EventRef> lastReadBy;  ///< indexed by thread
+};
+
+struct PendingStore
+{
+    SeqNum seq = kNoSeq;
+    int pc = 0;
+    Addr addr = 0;
+    Cycle performCycle = 0;
+    EventRef ev;
+};
+
+std::string
+evLine(const EventRef &e)
+{
+    std::ostringstream os;
+    os << "t" << unsigned(e.thread) << " seq=" << e.seq << " pc=" << e.pc
+       << " " << evKindName(e.kind) << " 0x" << std::hex << e.addr
+       << std::dec;
+    if (e.cycle)
+        os << " @perform " << e.cycle;
+    return os.str();
+}
+
+EventRef
+refOf(const MemEvent &e)
+{
+    EventRef r;
+    r.thread = e.thread;
+    r.seq = e.seq;
+    r.pc = e.pc;
+    r.kind = e.kind;
+    r.addr = e.addr;
+    r.cycle = e.performCycle ? e.performCycle : e.commitCycle;
+    return r;
+}
+
+class Analyzer
+{
+  public:
+    Analyzer(const std::vector<MemEvent> &events,
+             const std::vector<SyncEvent> &syncs, const RaceOpts &opts)
+        : opts(opts)
+    {
+        rep.mode = core::atomicsModeIdent(opts.mode);
+        ingest(events, syncs);
+    }
+
+    RaceReport
+    run()
+    {
+        buildWindows();
+        clockPass();
+        windowPass();
+        return std::move(rep);
+    }
+
+  private:
+    Addr
+    line(Addr a) const
+    {
+        unsigned lb = opts.lineBytes ? opts.lineBytes : 64;
+        return a & ~Addr{lb - 1};
+    }
+
+    void
+    ingest(const std::vector<MemEvent> &events,
+           const std::vector<SyncEvent> &raw_syncs)
+    {
+        mem.reserve(events.size());
+        for (const MemEvent &e : events) {
+            // Torn/truncated input never crashes the analyzer: a
+            // record missing its commit (an uncommitted perform from
+            // a run that aborted mid-flight) or with an impossible
+            // thread id is skipped and counted.
+            if (e.thread >= kMaxThreads || e.seq == kNoSeq ||
+                e.commitCycle == 0) {
+                ++rep.tornRecords;
+                continue;
+            }
+            mem.push_back(e);
+        }
+        // Commit order linearizes the happens-before relation: po via
+        // in-order commit, rf because an external writer commits no
+        // later than it performs while its reader commits no earlier
+        // than it binds.
+        std::stable_sort(mem.begin(), mem.end(),
+                         [](const MemEvent &a, const MemEvent &b) {
+                             if (a.commitCycle != b.commitCycle)
+                                 return a.commitCycle < b.commitCycle;
+                             if (a.thread != b.thread)
+                                 return a.thread < b.thread;
+                             return a.seq < b.seq;
+                         });
+        for (const SyncEvent &s : raw_syncs) {
+            if (s.thread >= kMaxThreads) {
+                ++rep.tornRecords;
+                continue;
+            }
+            syncs.push_back(s);
+        }
+        std::stable_sort(syncs.begin(), syncs.end(),
+                         [](const SyncEvent &a, const SyncEvent &b) {
+                             return a.cycle < b.cycle;
+                         });
+
+        unsigned maxThread = 0;
+        for (const MemEvent &e : mem)
+            maxThread = std::max(maxThread, unsigned(e.thread) + 1);
+        for (const SyncEvent &s : syncs)
+            maxThread = std::max(maxThread, unsigned(s.thread) + 1);
+        nThreads = maxThread;
+        rep.threads = nThreads;
+        rep.memEvents = mem.size();
+        rep.syncEvents = syncs.size();
+
+        acq.assign(nThreads, VClock(nThreads));
+        rel.assign(nThreads, VClock(nThreads));
+        ownOrdered.assign(nThreads, 0);
+        foreignKnow.assign(nThreads, 0);
+        pending.assign(nThreads, {});
+        byKey.reserve(mem.size());
+        for (std::size_t i = 0; i < mem.size(); ++i)
+            byKey.emplace(packKey(mem[i].thread, mem[i].seq), i);
+    }
+
+    static std::uint64_t
+    packKey(CoreId t, SeqNum s)
+    {
+        return (std::uint64_t(t) << 48) |
+            (s & ((std::uint64_t{1} << 48) - 1));
+    }
+
+    // --- AQ exclusion windows -------------------------------------------
+
+    void
+    buildWindows()
+    {
+        std::map<Addr, std::size_t> open;  // line -> index in windows[line]
+        for (const SyncEvent &s : syncs) {
+            switch (s.kind) {
+              case SyncKind::kLock: {
+                auto it = open.find(s.line);
+                if (it != open.end()) {
+                    // Overlapping lock claims on one line: torn input
+                    // (the hardware serializes line locks). Close the
+                    // stale window at this instant and move on.
+                    windows[s.line][it->second].unlockCycle = s.cycle;
+                    windows[s.line][it->second].closed = true;
+                    ++rep.tornRecords;
+                }
+                Window w;
+                w.thread = s.thread;
+                w.seq = s.seq;
+                w.lockCycle = s.cycle;
+                windows[s.line].push_back(w);
+                open[s.line] = windows[s.line].size() - 1;
+                ++rep.lockWindows;
+                break;
+              }
+              case SyncKind::kUnlock: {
+                auto it = open.find(s.line);
+                if (it == open.end()) {
+                    ++rep.tornRecords;  // unlock without a lock
+                    break;
+                }
+                windows[s.line][it->second].unlockCycle = s.cycle;
+                windows[s.line][it->second].closed = true;
+                open.erase(it);
+                break;
+              }
+              case SyncKind::kFwdHop:
+              case SyncKind::kSquash:
+                break;
+            }
+        }
+        rep.openWindows = open.size();
+    }
+
+    // --- vector-clock pass ----------------------------------------------
+
+    void
+    joinForeign(CoreId t, const VClock &f)
+    {
+        acq[t].join(f);
+        foreignKnow[t] = std::max(foreignKnow[t], f.get(t));
+    }
+
+    AddrState &
+    state(Addr a)
+    {
+        AddrState &st = addrs[a];
+        if (st.lastReadBy.size() < nThreads)
+            st.lastReadBy.resize(nThreads);
+        return st;
+    }
+
+    /** Reads-from join: order the external source write before this
+     * read. Missing snapshots (ring evicted, torn input) fall back
+     * to the last write's clock — joining more only strengthens HB,
+     * which can hide findings but never fabricates one. */
+    void
+    joinRf(const MemEvent &e, AddrState &st)
+    {
+        if (e.rfInit || e.rfThread == e.thread)
+            return;  // init or own-SB forward: po already orders it
+        for (const WriteSnap &ws : st.recent) {
+            if (ws.thread == e.rfThread && ws.seq == e.rfSeq) {
+                joinForeign(e.thread, ws.clk);
+                return;
+            }
+        }
+        if (st.haveWrite)
+            joinForeign(e.thread, st.lastWriteClk);
+    }
+
+    void
+    readChecks(const MemEvent &e, AddrState &st, const VClock &clk)
+    {
+        if (st.haveWrite && st.lastWrite.thread != e.thread &&
+            !clk.covers(st.lastWrite.thread, st.lastWrite.seq)) {
+            finding(Category::kRace, st.lastWrite, refOf(e), e.addr,
+                    "conflicting write and read unordered by "
+                    "happens-before");
+        }
+    }
+
+    void
+    writeChecks(const MemEvent &e, AddrState &st, const VClock &clk)
+    {
+        if (st.haveWrite && st.lastWrite.thread != e.thread &&
+            !clk.covers(st.lastWrite.thread, st.lastWrite.seq)) {
+            finding(Category::kRace, st.lastWrite, refOf(e), e.addr,
+                    "conflicting writes unordered by happens-before");
+        }
+        for (CoreId u = 0; u < nThreads; ++u) {
+            if (u == e.thread)
+                continue;
+            std::uint64_t rs = st.reads.get(u);
+            if (rs != 0 && !clk.covers(u, rs)) {
+                finding(Category::kRace, st.lastReadBy[u], refOf(e),
+                        e.addr,
+                        "read and conflicting write unordered by "
+                        "happens-before");
+            }
+        }
+    }
+
+    void
+    reorderChecks(const MemEvent &e)
+    {
+        CoreId t = e.thread;
+        for (const PendingStore &w : pending[t]) {
+            if (w.addr == e.addr)
+                continue;  // same word: TSO forwards, pair is ordered
+            if (w.seq <= ownOrdered[t] || w.seq <= foreignKnow[t])
+                continue;  // a fence/atomic or a cross-thread path
+                           // orders the store before this read
+            bool observed =
+                w.performCycle == 0 ||
+                (e.performCycle != 0 && w.performCycle > e.performCycle);
+            std::ostringstream d;
+            d << "store buffering may drain the older store after the "
+                 "younger read performs (no fence or atomic between)";
+            if (observed)
+                d << "; this execution already reordered them";
+            finding(Category::kReorder, w.ev, refOf(e), w.addr,
+                    d.str());
+        }
+    }
+
+    void
+    noteWrite(const MemEvent &e, AddrState &st, const VClock &clk)
+    {
+        st.haveWrite = true;
+        st.lastWrite = refOf(e);
+        st.lastWriteClk = clk;
+        st.recent.push_back({e.thread, e.seq, clk});
+        if (st.recent.size() > 8)
+            st.recent.pop_front();
+    }
+
+    void
+    clockPass()
+    {
+        for (const MemEvent &e : mem) {
+            CoreId t = e.thread;
+            switch (e.kind) {
+              case EvKind::kFence:
+                acq[t].join(rel[t]);
+                acq[t].advance(t, e.seq);
+                rel[t] = acq[t];
+                ownOrdered[t] = e.seq;
+                pending[t].clear();
+                break;
+              case EvKind::kRead: {
+                AddrState &st = state(e.addr);
+                joinRf(e, st);
+                readChecks(e, st, acq[t]);
+                reorderChecks(e);
+                acq[t].advance(t, e.seq);
+                st.reads.advance(t, e.seq);
+                st.lastReadBy[t] = refOf(e);
+                break;
+              }
+              case EvKind::kWrite: {
+                AddrState &st = state(e.addr);
+                rel[t].join(acq[t]);
+                rel[t].advance(t, e.seq);
+                writeChecks(e, st, rel[t]);
+                noteWrite(e, st, rel[t]);
+                PendingStore ps;
+                ps.seq = e.seq;
+                ps.pc = e.pc;
+                ps.addr = e.addr;
+                ps.performCycle = e.performCycle;
+                ps.ev = refOf(e);
+                pending[t].push_back(std::move(ps));
+                if (pending[t].size() > opts.storeWindow)
+                    pending[t].pop_front();
+                break;
+              }
+              case EvKind::kRmw: {
+                AddrState &st = state(e.addr);
+                // Per-mode provenance, one closure (§3.2.3): under
+                // kFenced/kSpec the atomic is an explicit full fence
+                // (Mem_Fence1/2); under kFree/kFreeFwd the same
+                // edges arise from the SB drain at commit (older
+                // stores first) and the read gate (no younger read
+                // passes the pending store_unlock).
+                acq[t].join(rel[t]);
+                VClock &l = lineRelease(line(e.addr));
+                joinForeign(t, l);
+                joinRf(e, st);
+                readChecks(e, st, acq[t]);
+                writeChecks(e, st, acq[t]);
+                acq[t].advance(t, e.seq);
+                rel[t] = acq[t];
+                l = acq[t];
+                ownOrdered[t] = e.seq;
+                pending[t].clear();
+                noteWrite(e, st, acq[t]);
+                st.reads.advance(t, e.seq);
+                st.lastReadBy[t] = refOf(e);
+                break;
+              }
+            }
+        }
+    }
+
+    VClock &
+    lineRelease(Addr l)
+    {
+        auto [it, inserted] = lineRel.try_emplace(l, VClock(nThreads));
+        return it->second;
+    }
+
+    // --- atomicity windows ----------------------------------------------
+
+    void
+    windowPass()
+    {
+        for (const MemEvent &e : mem) {
+            if (e.kind == EvKind::kFence || e.performCycle == 0)
+                continue;
+            auto it = windows.find(line(e.addr));
+            if (it == windows.end())
+                continue;
+            // Windows on one line are disjoint and lock-cycle
+            // sorted, so only the last one opening before this
+            // event's perform instant can contain it.
+            const std::vector<Window> &ws = it->second;
+            auto wit = std::upper_bound(
+                ws.begin(), ws.end(), e.performCycle,
+                [](Cycle c, const Window &w) {
+                    return c < w.lockCycle;
+                });
+            if (wit != ws.begin()) {
+                const Window &w = *(wit - 1);
+                if (w.thread != e.thread &&
+                    // the owner (and its fwd chain) may touch its
+                    // own locked line; boundary cycles are the
+                    // bind/release instants themselves
+                    e.performCycle > w.lockCycle &&
+                    e.performCycle < w.unlockCycle) {
+                    EventRef owner;
+                    owner.thread = w.thread;
+                    owner.seq = w.seq;
+                    owner.kind = EvKind::kRmw;
+                    owner.addr = line(e.addr);
+                    owner.cycle = w.lockCycle;
+                    auto oit = byKey.find(packKey(w.thread, w.seq));
+                    if (oit != byKey.end())
+                        owner.pc = mem[oit->second].pc;
+                    else
+                        owner.pc = -1;  // squashed owner
+                    std::ostringstream d;
+                    d << "access performs inside a foreign AQ lock "
+                         "window ["
+                      << w.lockCycle << ", ";
+                    if (w.closed)
+                        d << w.unlockCycle;
+                    else
+                        d << "never unlocked";
+                    d << ") — the hardware must deny it; this is a "
+                         "lock-exclusion (atomicity) failure";
+                    finding(Category::kAtomicity, owner, refOf(e),
+                            line(e.addr), d.str());
+                }
+            }
+        }
+    }
+
+    // --- findings -------------------------------------------------------
+
+    void
+    finding(Category cat, const EventRef &a, const EventRef &b,
+            Addr addr, const std::string &detail)
+    {
+        switch (cat) {
+          case Category::kRace:      ++rep.races; break;
+          case Category::kAtomicity: ++rep.atomicityViolations; break;
+          case Category::kReorder:   ++rep.reorderings; break;
+        }
+        std::uint64_t k = siteKey(cat, a.pc, b.pc);
+        auto it = sites.find(k);
+        if (it != sites.end()) {
+            ++rep.findings[it->second].count;
+            return;
+        }
+        if (rep.findings.size() >= opts.maxFindings)
+            return;
+        Finding f;
+        f.cat = cat;
+        f.a = a;
+        f.b = b;
+        f.addr = addr;
+        f.detail = detail;
+        if (opts.witnesses)
+            f.witness = witnessFor(f);
+        sites.emplace(k, rep.findings.size());
+        rep.findings.push_back(std::move(f));
+    }
+
+    static std::uint64_t
+    siteKey(Category cat, int pc_a, int pc_b)
+    {
+        return (std::uint64_t(std::uint8_t(cat)) << 56) |
+            (std::uint64_t(std::uint32_t(pc_a) & 0xfffffff) << 28) |
+            (std::uint32_t(pc_b) & 0xfffffff);
+    }
+
+    std::vector<std::string>
+    witnessFor(const Finding &f) const
+    {
+        std::vector<std::string> w;
+        w.push_back("observed: " + evLine(f.a));
+        w.push_back("          " + evLine(f.b));
+        switch (f.cat) {
+          case Category::kRace:
+            w.push_back(
+                "no happens-before path orders the pair: an "
+                "equivalent execution commutes them, so either "
+                "access may observe the other's effect");
+            break;
+          case Category::kReorder:
+            w.push_back(
+                "minimal reordering: delay the store in the SB until "
+                "after the read performs (x86-TSO allows it; an "
+                "MFENCE or atomic between the two forbids it)");
+            break;
+          case Category::kAtomicity:
+            w.push_back(
+                "the first line shows the lock-window owner; the "
+                "second access performed while the line lock was "
+                "held by another core");
+            break;
+        }
+        if (!opts.replayCmd.empty())
+            w.push_back("replay: " + opts.replayCmd);
+        return w;
+    }
+
+    const RaceOpts &opts;
+    RaceReport rep;
+
+    std::vector<MemEvent> mem;
+    std::vector<SyncEvent> syncs;
+    unsigned nThreads = 0;
+
+    std::vector<VClock> acq;  ///< orders future reads and writes
+    std::vector<VClock> rel;  ///< orders future writes (older stores)
+    std::vector<std::uint64_t> ownOrdered;
+    std::vector<std::uint64_t> foreignKnow;
+    std::vector<std::deque<PendingStore>> pending;
+
+    std::unordered_map<Addr, AddrState> addrs;
+    std::unordered_map<Addr, VClock> lineRel;
+    std::map<Addr, std::vector<Window>> windows;
+    std::unordered_map<std::uint64_t, std::size_t> byKey;
+    std::unordered_map<std::uint64_t, std::size_t> sites;
+};
+
+} // namespace
+
+const char *
+categoryName(Category cat)
+{
+    switch (cat) {
+      case Category::kRace:      return "race";
+      case Category::kAtomicity: return "atomicity";
+      case Category::kReorder:   return "reorder";
+    }
+    return "?";
+}
+
+RaceReport
+analyze(const std::vector<MemEvent> &events,
+        const std::vector<SyncEvent> &syncs, const RaceOpts &opts)
+{
+    return Analyzer(events, syncs, opts).run();
+}
+
+std::string
+describeFinding(const Finding &f)
+{
+    std::ostringstream os;
+    os << categoryName(f.cat) << " (x" << f.count << "): " << f.detail
+       << "\n";
+    for (const std::string &l : f.witness)
+        os << "  " << l << "\n";
+    return os.str();
+}
+
+} // namespace fa::analysis::race

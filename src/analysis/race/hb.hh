@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Predictive happens-before analysis over one recorded execution.
+ *
+ * Consumes the TraceRecorder streams (committed memory events plus
+ * the AQ lock/unlock/fwd/squash synchronization stream) and builds,
+ * with vector clocks, the happens-before relation the hardware
+ * enforces in EVERY execution equivalent to the observed one:
+ *
+ *   - x86-TSO preserved program order (po minus store->later-load),
+ *   - reads-from edges (writer happens-before its reader),
+ *   - AQ line-lock exclusion windows (release->next-acquire, at line
+ *     granularity — the §3.1 lock that makes atomics atomic),
+ *   - per-mode atomic ordering: under kFenced/kSpec an atomic is a
+ *     full fence (Mem_Fence1/2); under kFree/kFreeFwd the same
+ *     closure arises from SB-drain-at-commit (older stores before
+ *     the atomic, §3.2.3) plus the read gate (no younger read passes
+ *     a pending store_unlock).
+ *
+ * Conflicting accesses unordered by this relation can occur in the
+ * opposite order in some execution of the same Mazurkiewicz class —
+ * a *predicted* violation, checkable in O(events) at core counts
+ * where exhaustive exploration (analysis/mc) is infeasible. The
+ * construction is deliberately under-approximating (it may add
+ * orderings, never drop them), so predictions are sound: the
+ * differential gate (analysis/race/certify.hh) asserts every one is
+ * realizable in the exhaustive set on the litmus corpus.
+ *
+ * Finding categories:
+ *   - kRace: conflicting plain accesses unordered by HB,
+ *   - kAtomicity: an access of another core performing inside a
+ *     locked atomic's acquire->drain window (hardware must deny it;
+ *     a finding is a simulator/hardware bug, e.g. a leaked lock),
+ *   - kReorder: an older store and a younger read of one thread with
+ *     no fence/atomic between and no cross-thread HB path — the
+ *     store buffer may reorder them in an equivalent execution (the
+ *     fence a programmer "lost" relative to SC).
+ */
+
+#ifndef FA_ANALYSIS_RACE_HB_HH
+#define FA_ANALYSIS_RACE_HB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/trace.hh"
+#include "core/core_config.hh"
+
+namespace fa::analysis::race {
+
+enum class Category : std::uint8_t {
+    kRace,       ///< conflicting accesses unordered by HB
+    kAtomicity,  ///< foreign access inside a lock window
+    kReorder,    ///< SB store->load reordering with no fence
+};
+
+const char *categoryName(Category cat);
+
+/** One side of a finding: a concrete dynamic event. */
+struct EventRef
+{
+    CoreId thread = 0;
+    SeqNum seq = kNoSeq;
+    int pc = 0;
+    EvKind kind = EvKind::kRead;
+    Addr addr = 0;
+    Cycle cycle = 0;  ///< perform cycle (visibility instant)
+};
+
+struct Finding
+{
+    Category cat = Category::kRace;
+    /** The two events, in observed order (a first). For kReorder,
+     * `a` is the buffered store and `b` the passing read. */
+    EventRef a, b;
+    Addr addr = 0;  ///< conflicting word (kAtomicity: the locked line)
+    /** Dynamic instances folded into this static site pair. */
+    std::uint64_t count = 1;
+    std::string detail;
+    /** Minimal witness: the reordering of the observed trace that
+     * realizes the violation, as human-readable lines. */
+    std::vector<std::string> witness;
+};
+
+struct RaceOpts
+{
+    core::AtomicsMode mode = core::AtomicsMode::kFreeFwd;
+    /** AQ lock granularity; must match the recording machine. */
+    unsigned lineBytes = 64;
+    /** Static (pc-pair) finding cap; dynamic repeats only bump
+     * `count` on the first instance. */
+    std::size_t maxFindings = 64;
+    /** Per-thread window of still-reorderable older stores examined
+     * per read (bounds kReorder work; the hardware analogue is SB
+     * capacity). */
+    std::size_t storeWindow = 64;
+    bool witnesses = true;
+    /** Command line that reproduces the recorded run; embedded in
+     * each finding's replay recipe. */
+    std::string replayCmd;
+};
+
+struct RaceReport
+{
+    std::string mode;
+    unsigned threads = 0;
+    std::uint64_t memEvents = 0;
+    std::uint64_t syncEvents = 0;
+    std::uint64_t lockWindows = 0;
+    /** Lock windows never closed by an unlock — leaked locks unless
+     * the trace was truncated mid-window. */
+    std::uint64_t openWindows = 0;
+    /** Malformed records skipped (torn/truncated input). */
+    std::uint64_t tornRecords = 0;
+
+    std::vector<Finding> findings;  ///< deterministic order
+    std::uint64_t races = 0;        ///< dynamic kRace instances
+    std::uint64_t atomicityViolations = 0;
+    std::uint64_t reorderings = 0;
+
+    /** No findings at all (clean trace). */
+    bool clean() const { return findings.empty(); }
+    /** No hardware-correctness findings (kAtomicity). kRace/kReorder
+     * are program properties, legal under TSO. */
+    bool hardwareClean() const { return atomicityViolations == 0; }
+};
+
+/** Analyze one recorded execution. Robust against adversarial input:
+ * torn or truncated streams are skipped and counted, never crash. */
+RaceReport analyze(const std::vector<MemEvent> &events,
+                   const std::vector<SyncEvent> &syncs,
+                   const RaceOpts &opts);
+
+/** Render a finding as text (category, events, witness, replay). */
+std::string describeFinding(const Finding &f);
+
+} // namespace fa::analysis::race
+
+#endif // FA_ANALYSIS_RACE_HB_HH

@@ -1,0 +1,78 @@
+#include "analysis/race/report.hh"
+
+#include <ostream>
+
+#include "common/json.hh"
+
+namespace fa::analysis::race {
+
+namespace {
+
+void
+writeEventRef(JsonWriter &jw, const EventRef &e)
+{
+    jw.beginObject();
+    jw.key("thread").value(unsigned(e.thread));
+    jw.key("seq").value(std::uint64_t{e.seq});
+    jw.key("pc").value(e.pc);
+    jw.key("kind").value(evKindName(e.kind));
+    jw.key("addr").value(std::uint64_t{e.addr});
+    jw.key("cycle").value(std::uint64_t{e.cycle});
+    jw.endObject();
+}
+
+} // namespace
+
+void
+writeReport(std::ostream &os, const std::string &name,
+            const RaceReport &rep, const CertifyResult *cert)
+{
+    JsonWriter jw(os);
+    jw.beginObject();
+    jw.key("schema").value(kRaceReportSchema);
+    jw.key("name").value(name);
+    jw.key("mode").value(rep.mode);
+    jw.key("threads").value(rep.threads);
+    jw.key("memEvents").value(rep.memEvents);
+    jw.key("syncEvents").value(rep.syncEvents);
+    jw.key("lockWindows").value(rep.lockWindows);
+    jw.key("openWindows").value(rep.openWindows);
+    jw.key("tornRecords").value(rep.tornRecords);
+    jw.key("races").value(rep.races);
+    jw.key("atomicityViolations").value(rep.atomicityViolations);
+    jw.key("reorderings").value(rep.reorderings);
+    jw.key("findings").beginArray();
+    for (const Finding &f : rep.findings) {
+        jw.beginObject();
+        jw.key("category").value(categoryName(f.cat));
+        jw.key("a");
+        writeEventRef(jw, f.a);
+        jw.key("b");
+        writeEventRef(jw, f.b);
+        jw.key("addr").value(std::uint64_t{f.addr});
+        jw.key("count").value(f.count);
+        jw.key("detail").value(f.detail);
+        jw.key("witness").beginArray();
+        for (const std::string &l : f.witness)
+            jw.value(l);
+        jw.endArray();
+        jw.endObject();
+    }
+    jw.endArray();
+    if (cert) {
+        jw.key("certify").beginObject();
+        jw.key("exploreComplete").value(cert->exploreComplete);
+        jw.key("executions").value(cert->executions);
+        jw.key("predictions").value(cert->predictions);
+        jw.key("confirmed").value(cert->confirmed);
+        jw.key("unconfirmed").beginArray();
+        for (const std::string &u : cert->unconfirmed)
+            jw.value(u);
+        jw.endArray();
+        jw.endObject();
+    }
+    jw.endObject();
+    os << "\n";
+}
+
+} // namespace fa::analysis::race

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * fa-race-report-v1: machine-readable farace output, following the
+ * fa-*-v1 artifact conventions (schema field first, stable key
+ * order, deterministic content so byte-diffs are meaningful).
+ */
+
+#ifndef FA_ANALYSIS_RACE_REPORT_HH
+#define FA_ANALYSIS_RACE_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/race/certify.hh"
+#include "analysis/race/hb.hh"
+
+namespace fa::analysis::race {
+
+constexpr const char *kRaceReportSchema = "fa-race-report-v1";
+
+/** Write one analyzed trace's report (plus the differential verdict
+ * when `cert` is non-null) as a JSON document. */
+void writeReport(std::ostream &os, const std::string &name,
+                 const RaceReport &rep, const CertifyResult *cert);
+
+} // namespace fa::analysis::race
+
+#endif // FA_ANALYSIS_RACE_REPORT_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Vector clocks over per-thread sequence numbers.
+ *
+ * A component value `c[t] = s` means: every event of thread t with
+ * seq <= s happens-before the point this clock describes. Clocks form
+ * a join-semilattice under pointwise max; `leq` is the induced
+ * partial order. The predictive analyzer (analysis/race/hb.hh) keeps
+ * one clock per thread frontier and per shared address, so the whole
+ * pass is O(events * threads) time and O(addresses * threads) space —
+ * no per-event clock storage.
+ */
+
+#ifndef FA_ANALYSIS_RACE_VCLOCK_HH
+#define FA_ANALYSIS_RACE_VCLOCK_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fa::analysis::race {
+
+class VClock
+{
+  public:
+    VClock() = default;
+    explicit VClock(std::size_t threads) : c(threads, 0) {}
+
+    std::size_t size() const { return c.size(); }
+
+    /** Component for thread t; absent components read as 0. */
+    std::uint64_t
+    get(CoreId t) const
+    {
+        return t < c.size() ? c[t] : 0;
+    }
+
+    void
+    set(CoreId t, std::uint64_t v)
+    {
+        grow(t + 1u);
+        c[t] = v;
+    }
+
+    /** set(t, max(get(t), v)): record one more event of thread t. */
+    void
+    advance(CoreId t, std::uint64_t v)
+    {
+        grow(t + 1u);
+        c[t] = std::max(c[t], v);
+    }
+
+    /** Does thread t's event `seq` happen-before this point? */
+    bool
+    covers(CoreId t, std::uint64_t seq) const
+    {
+        return get(t) >= seq;
+    }
+
+    /** Pointwise max (least upper bound). */
+    void
+    join(const VClock &o)
+    {
+        grow(o.c.size());
+        for (std::size_t i = 0; i < o.c.size(); ++i)
+            c[i] = std::max(c[i], o.c[i]);
+    }
+
+    /** Pointwise <=: this point happens-before-or-equals `o`. */
+    bool
+    leq(const VClock &o) const
+    {
+        for (std::size_t i = 0; i < c.size(); ++i)
+            if (c[i] > o.get(static_cast<CoreId>(i)))
+                return false;
+        return true;
+    }
+
+    bool
+    operator==(const VClock &o) const
+    {
+        std::size_t n = std::max(c.size(), o.c.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            CoreId t = static_cast<CoreId>(i);
+            if (get(t) != o.get(t))
+                return false;
+        }
+        return true;
+    }
+
+    std::string
+    str() const
+    {
+        std::string s = "[";
+        for (std::size_t i = 0; i < c.size(); ++i) {
+            if (i)
+                s += ",";
+            s += std::to_string(c[i]);
+        }
+        return s + "]";
+    }
+
+  private:
+    void
+    grow(std::size_t n)
+    {
+        if (c.size() < n)
+            c.resize(n, 0);
+    }
+
+    std::vector<std::uint64_t> c;
+};
+
+} // namespace fa::analysis::race
+
+#endif // FA_ANALYSIS_RACE_VCLOCK_HH

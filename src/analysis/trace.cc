@@ -16,6 +16,18 @@ evKindName(EvKind kind)
     return "?";
 }
 
+const char *
+syncKindName(SyncKind kind)
+{
+    switch (kind) {
+      case SyncKind::kLock:   return "lock";
+      case SyncKind::kUnlock: return "unlock";
+      case SyncKind::kFwdHop: return "fwd_hop";
+      case SyncKind::kSquash: return "squash";
+    }
+    return "?";
+}
+
 MemEvent &
 TraceRecorder::eventFor(CoreId thread, SeqNum seq)
 {
@@ -33,7 +45,8 @@ void
 TraceRecorder::recordCommit(CoreId thread, SeqNum seq, int pc,
                             EvKind kind, Addr addr,
                             std::int64_t value_read, bool rf_init,
-                            CoreId rf_thread, SeqNum rf_seq)
+                            CoreId rf_thread, SeqNum rf_seq,
+                            Cycle commit_cycle, Cycle perform_cycle)
 {
     MemEvent &ev = eventFor(thread, seq);
     ev.pc = pc;
@@ -43,11 +56,14 @@ TraceRecorder::recordCommit(CoreId thread, SeqNum seq, int pc,
     ev.rfInit = rf_init;
     ev.rfThread = rf_thread;
     ev.rfSeq = rf_seq;
+    ev.commitCycle = commit_cycle;
+    ev.performCycle = perform_cycle;
 }
 
 void
 TraceRecorder::recordStoreCommit(CoreId thread, SeqNum seq, int pc,
-                                 Addr addr, std::int64_t value)
+                                 Addr addr, std::int64_t value,
+                                 Cycle commit_cycle)
 {
     // An SC performs at issue, before it commits; the perform hook may
     // have created the event (and stamped it) already. A plain store
@@ -57,11 +73,13 @@ TraceRecorder::recordStoreCommit(CoreId thread, SeqNum seq, int pc,
     ev.kind = EvKind::kWrite;
     ev.addr = addr;
     ev.valueWritten = value;
+    ev.commitCycle = commit_cycle;
 }
 
 void
 TraceRecorder::recordWritePerform(CoreId thread, SeqNum seq, Addr addr,
-                                  std::int64_t value)
+                                  std::int64_t value,
+                                  Cycle perform_cycle)
 {
     MemEvent &ev = eventFor(thread, seq);
     if (ev.writeStamp != kNoStamp) {
@@ -71,7 +89,62 @@ TraceRecorder::recordWritePerform(CoreId thread, SeqNum seq, Addr addr,
     ev.addr = addr;
     ev.valueWritten = value;
     ev.writeStamp = nextStamp++;
+    ev.performCycle = perform_cycle;
     lastWriter[addr] = {thread, seq};
+}
+
+void
+TraceRecorder::recordLock(CoreId thread, SeqNum seq, Addr line,
+                          Cycle now)
+{
+    SyncEvent ev;
+    ev.kind = SyncKind::kLock;
+    ev.thread = thread;
+    ev.seq = seq;
+    ev.line = line;
+    ev.cycle = now;
+    syncs.push_back(std::move(ev));
+}
+
+void
+TraceRecorder::recordUnlock(CoreId thread, SeqNum seq, Addr line,
+                            Cycle now, const char *cause)
+{
+    SyncEvent ev;
+    ev.kind = SyncKind::kUnlock;
+    ev.thread = thread;
+    ev.seq = seq;
+    ev.line = line;
+    ev.cycle = now;
+    ev.cause = cause;
+    syncs.push_back(std::move(ev));
+}
+
+void
+TraceRecorder::recordFwdHop(CoreId thread, SeqNum seq, SeqNum from_seq,
+                            std::uint32_t chain, Cycle now)
+{
+    SyncEvent ev;
+    ev.kind = SyncKind::kFwdHop;
+    ev.thread = thread;
+    ev.seq = seq;
+    ev.cycle = now;
+    ev.fwdFromSeq = from_seq;
+    ev.fwdChain = chain;
+    syncs.push_back(std::move(ev));
+}
+
+void
+TraceRecorder::recordSquash(CoreId thread, SeqNum seq, Cycle now,
+                            const char *cause)
+{
+    SyncEvent ev;
+    ev.kind = SyncKind::kSquash;
+    ev.thread = thread;
+    ev.seq = seq;
+    ev.cycle = now;
+    ev.cause = cause;
+    syncs.push_back(std::move(ev));
 }
 
 bool

@@ -12,15 +12,25 @@
  * word. Squashed instructions never reach commit, so the trace holds
  * exactly the committed execution.
  *
+ * Beyond the committed memory events, the recorder keeps a second,
+ * chronological *synchronization* stream: AQ line-lock acquisitions
+ * and releases (including releases forced by a squash), SQ->AQ
+ * forwarding hops, and pipeline squashes of in-flight atomics. The
+ * predictive race analyzer (analysis/race) turns lock..unlock pairs
+ * into exclusion windows and release->acquire happens-before edges;
+ * a window that never closes is exactly a leaked lock.
+ *
  * Recording is off unless sim::MachineConfig::recordMemTrace is set;
  * when off the core carries a null recorder pointer and pays one
- * branch per hook.
+ * branch per hook — cycles and RunResult JSON are bit-identical to a
+ * build without the recorder.
  */
 
 #ifndef FA_ANALYSIS_TRACE_HH
 #define FA_ANALYSIS_TRACE_HH
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -60,6 +70,13 @@ struct MemEvent
     CoreId rfThread = 0;
     SeqNum rfSeq = kNoSeq;
 
+    /** Cycle the instruction committed (architectural order). */
+    Cycle commitCycle = 0;
+    /** Cycle the access became visible: a read's value-binding
+     * instant, a write's cache-perform instant. 0 = unknown (e.g. a
+     * store still buffered when the run ended). */
+    Cycle performCycle = 0;
+
     bool
     isWrite() const
     {
@@ -72,30 +89,81 @@ struct MemEvent
     }
 };
 
+/** Synchronization-stream event kinds (§3.1–§3.3 mechanisms). */
+enum class SyncKind : std::uint8_t {
+    kLock,    ///< AQ entry locked its line (load_lock bound from mem)
+    kUnlock,  ///< the line became unlocked on this core
+    kFwdHop,  ///< an atomic bound its value from an in-flight store
+    kSquash,  ///< an in-flight atomic was squashed
+};
+
+const char *syncKindName(SyncKind kind);
+
+/** One synchronization event, chronological across all cores. */
+struct SyncEvent
+{
+    SyncKind kind = SyncKind::kLock;
+    CoreId thread = 0;
+    SeqNum seq = kNoSeq;  ///< owning (or squashed) instruction
+    Addr line = 0;        ///< locked line (kLock/kUnlock)
+    Cycle cycle = 0;
+    SeqNum fwdFromSeq = kNoSeq;   ///< kFwdHop: source store
+    std::uint32_t fwdChain = 0;   ///< kFwdHop: §3.3.4 chain depth
+    /** Provenance: "drain" | "squash" for kUnlock; the squash cause
+     * name ("watchdog", "branch", ...) for kSquash. */
+    std::string cause;
+};
+
 class TraceRecorder
 {
   public:
     /** Commit a read-side or fence event (load, LL, RMW, MFENCE).
-     * For RMWs the write half is filled in by recordWritePerform. */
+     * For RMWs the write half is filled in by recordWritePerform.
+     * `perform_cycle` is the value-binding instant captured at
+     * perform time (== commit_cycle for fences). */
     void recordCommit(CoreId thread, SeqNum seq, int pc, EvKind kind,
                       Addr addr, std::int64_t value_read, bool rf_init,
-                      CoreId rf_thread, SeqNum rf_seq);
+                      CoreId rf_thread, SeqNum rf_seq,
+                      Cycle commit_cycle, Cycle perform_cycle);
 
     /** Commit a store or successful store-conditional. A store
      * performs later (via the SB); an SC has already performed. */
     void recordStoreCommit(CoreId thread, SeqNum seq, int pc, Addr addr,
-                           std::int64_t value);
+                           std::int64_t value, Cycle commit_cycle);
 
     /** A write became globally visible (cache write performed).
      * Assigns the next coherence stamp. */
     void recordWritePerform(CoreId thread, SeqNum seq, Addr addr,
-                            std::int64_t value);
+                            std::int64_t value, Cycle perform_cycle);
 
     /** Reads-from source for a load reading the memory system: the
      * last recorded writer of `addr`. False = initial value. */
     bool currentWriter(Addr addr, CoreId *thread, SeqNum *seq) const;
 
+    // --- synchronization stream ------------------------------------------
+
+    /** An AQ entry locked `line` for the atomic (thread, seq). */
+    void recordLock(CoreId thread, SeqNum seq, Addr line, Cycle now);
+
+    /** `line` became unlocked on this core: the chain-final
+     * store_unlock performed ("drain") or a squash released a held
+     * lock ("squash"). Chain-internal releases whose lock a younger
+     * forwarded atomic captured are not line unlocks and must not be
+     * recorded. */
+    void recordUnlock(CoreId thread, SeqNum seq, Addr line, Cycle now,
+                      const char *cause);
+
+    /** The atomic (thread, seq) bound its value from the in-flight
+     * store (thread, from_seq) at forwarding depth `chain`. */
+    void recordFwdHop(CoreId thread, SeqNum seq, SeqNum from_seq,
+                      std::uint32_t chain, Cycle now);
+
+    /** An in-flight atomic was squashed (never committed). */
+    void recordSquash(CoreId thread, SeqNum seq, Cycle now,
+                      const char *cause);
+
     const std::vector<MemEvent> &events() const { return evs; }
+    const std::vector<SyncEvent> &syncEvents() const { return syncs; }
     std::size_t size() const { return evs.size(); }
 
   private:
@@ -111,6 +179,7 @@ class TraceRecorder
     }
 
     std::vector<MemEvent> evs;
+    std::vector<SyncEvent> syncs;
     std::unordered_map<std::uint64_t, std::size_t> byKey;
     std::unordered_map<Addr, std::pair<CoreId, SeqNum>> lastWriter;
     std::uint64_t nextStamp = 1;

@@ -1,0 +1,196 @@
+#include "analysis/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/log.hh"
+
+namespace fa::analysis {
+
+namespace {
+
+bool
+parseEvKind(const std::string &s, EvKind *out)
+{
+    if (s == "R") *out = EvKind::kRead;
+    else if (s == "W") *out = EvKind::kWrite;
+    else if (s == "U") *out = EvKind::kRmw;
+    else if (s == "F") *out = EvKind::kFence;
+    else return false;
+    return true;
+}
+
+bool
+parseSyncKind(const std::string &s, SyncKind *out)
+{
+    if (s == "lock") *out = SyncKind::kLock;
+    else if (s == "unlock") *out = SyncKind::kUnlock;
+    else if (s == "fwd_hop") *out = SyncKind::kFwdHop;
+    else if (s == "squash") *out = SyncKind::kSquash;
+    else return false;
+    return true;
+}
+
+std::uint64_t
+u64Of(const JsonValue &obj, const char *k)
+{
+    const JsonValue *v = obj.find(k);
+    return v ? v->asU64() : 0;
+}
+
+std::int64_t
+i64Of(const JsonValue &obj, const char *k)
+{
+    const JsonValue *v = obj.find(k);
+    if (!v)
+        return 0;
+    if (v->hasExactInt)
+        return static_cast<std::int64_t>(v->exactInt);
+    return static_cast<std::int64_t>(v->number);
+}
+
+} // namespace
+
+void
+writeMemTrace(std::ostream &os, const std::string &workload,
+              const std::string &mode, unsigned cores,
+              const std::vector<MemEvent> &events,
+              const std::vector<SyncEvent> &syncs)
+{
+    JsonWriter jw(os);
+    jw.beginObject();
+    jw.key("schema").value(kMemTraceSchema);
+    jw.key("workload").value(workload);
+    jw.key("mode").value(mode);
+    jw.key("cores").value(cores);
+    jw.key("events").beginArray();
+    for (const MemEvent &e : events) {
+        jw.beginObject();
+        jw.key("t").value(unsigned(e.thread));
+        jw.key("seq").value(std::uint64_t{e.seq});
+        jw.key("pc").value(e.pc);
+        jw.key("kind").value(evKindName(e.kind));
+        jw.key("addr").value(std::uint64_t{e.addr});
+        jw.key("rd").value(std::int64_t{e.valueRead});
+        jw.key("wr").value(std::int64_t{e.valueWritten});
+        jw.key("stamp").value(e.writeStamp);
+        jw.key("rfInit").value(e.rfInit);
+        if (!e.rfInit) {
+            jw.key("rfT").value(unsigned(e.rfThread));
+            jw.key("rfSeq").value(std::uint64_t{e.rfSeq});
+        }
+        jw.key("commit").value(std::uint64_t{e.commitCycle});
+        jw.key("perform").value(std::uint64_t{e.performCycle});
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.key("syncs").beginArray();
+    for (const SyncEvent &s : syncs) {
+        jw.beginObject();
+        jw.key("kind").value(syncKindName(s.kind));
+        jw.key("t").value(unsigned(s.thread));
+        jw.key("seq").value(std::uint64_t{s.seq});
+        jw.key("line").value(std::uint64_t{s.line});
+        jw.key("cycle").value(std::uint64_t{s.cycle});
+        if (s.kind == SyncKind::kFwdHop) {
+            jw.key("from").value(std::uint64_t{s.fwdFromSeq});
+            jw.key("chain").value(s.fwdChain);
+        }
+        if (!s.cause.empty())
+            jw.key("cause").value(s.cause);
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.endObject();
+    os << "\n";
+}
+
+MemTraceFile
+readMemTrace(const JsonValue &doc)
+{
+    const JsonValue *schema = doc.isObject() ? doc.find("schema")
+                                             : nullptr;
+    if (!schema || !schema->isString() ||
+        schema->str != kMemTraceSchema) {
+        fatal("not an %s document (schema '%s')", kMemTraceSchema,
+              schema && schema->isString() ? schema->str.c_str()
+                                           : "<missing>");
+    }
+    MemTraceFile f;
+    if (const JsonValue *w = doc.find("workload"))
+        f.workload = w->str;
+    if (const JsonValue *m = doc.find("mode"))
+        f.mode = m->str;
+    f.cores = static_cast<unsigned>(u64Of(doc, "cores"));
+
+    const JsonValue &evs = doc.at("events");
+    for (const JsonValue &e : evs.arr) {
+        if (!e.isObject())
+            fatal("fa-mem-trace-v1: non-object event record");
+        MemEvent m;
+        m.thread = static_cast<CoreId>(u64Of(e, "t"));
+        m.seq = u64Of(e, "seq");
+        m.pc = static_cast<int>(i64Of(e, "pc"));
+        const JsonValue *k = e.find("kind");
+        if (!k || !k->isString() || !parseEvKind(k->str, &m.kind))
+            fatal("fa-mem-trace-v1: bad event kind '%s'",
+                  k && k->isString() ? k->str.c_str() : "<missing>");
+        m.addr = u64Of(e, "addr");
+        m.valueRead = i64Of(e, "rd");
+        m.valueWritten = i64Of(e, "wr");
+        m.writeStamp = u64Of(e, "stamp");
+        const JsonValue *ri = e.find("rfInit");
+        m.rfInit = !ri || !ri->isBool() || ri->boolean;
+        if (!m.rfInit) {
+            m.rfThread = static_cast<CoreId>(u64Of(e, "rfT"));
+            m.rfSeq = u64Of(e, "rfSeq");
+        }
+        m.commitCycle = u64Of(e, "commit");
+        m.performCycle = u64Of(e, "perform");
+        f.events.push_back(m);
+    }
+
+    if (const JsonValue *syncs = doc.find("syncs")) {
+        for (const JsonValue &s : syncs->arr) {
+            if (!s.isObject())
+                fatal("fa-mem-trace-v1: non-object sync record");
+            SyncEvent se;
+            const JsonValue *k = s.find("kind");
+            if (!k || !k->isString() ||
+                !parseSyncKind(k->str, &se.kind)) {
+                fatal("fa-mem-trace-v1: bad sync kind '%s'",
+                      k && k->isString() ? k->str.c_str()
+                                         : "<missing>");
+            }
+            se.thread = static_cast<CoreId>(u64Of(s, "t"));
+            se.seq = u64Of(s, "seq");
+            se.line = u64Of(s, "line");
+            se.cycle = u64Of(s, "cycle");
+            if (se.kind == SyncKind::kFwdHop) {
+                se.fwdFromSeq = u64Of(s, "from");
+                se.fwdChain =
+                    static_cast<std::uint32_t>(u64Of(s, "chain"));
+            }
+            if (const JsonValue *c = s.find("cause"))
+                se.cause = c->str;
+            f.syncs.push_back(std::move(se));
+        }
+    }
+    return f;
+}
+
+MemTraceFile
+loadMemTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file '%s'", path.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return readMemTrace(JsonValue::parse(buf.str()));
+}
+
+} // namespace fa::analysis

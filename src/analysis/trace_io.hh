@@ -1,0 +1,57 @@
+/**
+ * @file
+ * fa-mem-trace-v1: serialized memory-event + synchronization streams.
+ *
+ * `fasim --dump-trace` writes one of these from a recording run;
+ * `farace --trace` reads it back and analyzes offline. The format
+ * carries exactly the TraceRecorder state — committed memory events
+ * with rf sources and commit/perform cycles, plus the chronological
+ * sync stream (lock/unlock/fwd-hop/squash) — so an offline analysis
+ * is indistinguishable from an in-process one.
+ */
+
+#ifndef FA_ANALYSIS_TRACE_IO_HH
+#define FA_ANALYSIS_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/trace.hh"
+
+namespace fa {
+struct JsonValue;
+} // namespace fa
+
+namespace fa::analysis {
+
+constexpr const char *kMemTraceSchema = "fa-mem-trace-v1";
+
+/** A deserialized trace file: identity plus the two streams. */
+struct MemTraceFile
+{
+    std::string workload;
+    std::string mode;
+    unsigned cores = 0;
+    std::vector<MemEvent> events;
+    std::vector<SyncEvent> syncs;
+};
+
+/** Write both recorder streams as one fa-mem-trace-v1 document. */
+void writeMemTrace(std::ostream &os, const std::string &workload,
+                   const std::string &mode, unsigned cores,
+                   const std::vector<MemEvent> &events,
+                   const std::vector<SyncEvent> &syncs);
+
+/** Rebuild the streams from a parsed document. fatal()s on a wrong
+ * schema or a structurally broken record (unknown kind, non-object
+ * event); missing numeric fields read as 0 so farace's torn-record
+ * path — not the parser — decides what a damaged event means. */
+MemTraceFile readMemTrace(const JsonValue &doc);
+
+/** Convenience: parse `path` and readMemTrace it. */
+MemTraceFile loadMemTrace(const std::string &path);
+
+} // namespace fa::analysis
+
+#endif // FA_ANALYSIS_TRACE_IO_HH

@@ -349,6 +349,8 @@ Core::performLoad(DynInst *inst, Cycle now)
         aq.lock(inst->aqIdx, inst->line());
         inst->lockHeld = true;
         inst->lockAcquiredAt = now;
+        if (tracer)
+            tracer->recordLock(coreId, inst->seq, inst->line(), now);
         FA_TRACE("%llu c%u LOCK seq=%llu pc=%d line=%llx",
                  (unsigned long long)now, coreId,
                  (unsigned long long)inst->seq, inst->pc,
@@ -377,6 +379,7 @@ Core::performLoad(DynInst *inst, Cycle now)
         : memSys->readWord(inst->addr);
     inst->result = old_val;
     inst->performed = true;
+    inst->performedAt = now;
     if (tracer) {
         // Capture the reads-from source at the binding instant: a
         // forwarded load names the in-flight store it forwarded from
@@ -598,7 +601,8 @@ Core::commitOne(DynInst *head, Cycle now)
             tracer->recordCommit(coreId, head->seq, head->pc,
                                  analysis::EvKind::kRead, head->addr,
                                  head->result, head->rfInit,
-                                 head->rfThread, head->rfSeq);
+                                 head->rfThread, head->rfSeq, now,
+                                 head->performedAt);
             break;
           case isa::Op::kRmw:
             // Read half; the write half is stamped when the
@@ -606,23 +610,25 @@ Core::commitOne(DynInst *head, Cycle now)
             tracer->recordCommit(coreId, head->seq, head->pc,
                                  analysis::EvKind::kRmw, head->addr,
                                  head->result, head->rfInit,
-                                 head->rfThread, head->rfSeq);
+                                 head->rfThread, head->rfSeq, now,
+                                 head->performedAt);
             break;
           case isa::Op::kStore:
             tracer->recordStoreCommit(coreId, head->seq, head->pc,
-                                      head->addr, head->storeData);
+                                      head->addr, head->storeData, now);
             break;
           case isa::Op::kStoreCond:
             // A failed SC writes nothing: no memory event.
             if (!head->scFailed) {
                 tracer->recordStoreCommit(coreId, head->seq, head->pc,
-                                          head->addr, head->storeData);
+                                          head->addr, head->storeData,
+                                          now);
             }
             break;
           case isa::Op::kMfence:
             tracer->recordCommit(coreId, head->seq, head->pc,
                                  analysis::EvKind::kFence, 0, 0, true,
-                                 0, kNoSeq);
+                                 0, kNoSeq, now, now);
             break;
           default:
             break;
@@ -676,7 +682,7 @@ Core::sbDrainStage(Cycle now)
     st->performedAt = now;
     if (tracer)
         tracer->recordWritePerform(coreId, st->seq, st->addr,
-                                   st->storeData);
+                                   st->storeData, now);
     ++stats.sbStoresPerformed;
     FA_TRACE("%llu c%u STPERF seq=%llu pc=%d %s addr=%llx val=%lld",
              (unsigned long long)now, coreId,
@@ -694,6 +700,12 @@ Core::sbDrainStage(Cycle now)
         if (spans)
             spans->atomicUnlocked(coreId, st->aqIdx, now);
         aq.release(st->aqIdx);
+        if (tracer && !aq.isLineLocked(line)) {
+            // Chain-final drain: the line is genuinely unlocked. A
+            // release whose lock a younger forwarded entry captured
+            // (do_not_unlock handoff) keeps the window open instead.
+            tracer->recordUnlock(coreId, st->seq, line, now, "drain");
+        }
         if (fasan)
             fasan->checkUnlockHandoff(coreId, now, st->seq, line,
                                       captures, aq.isLineLocked(line));
@@ -706,11 +718,16 @@ Core::sbDrainStage(Cycle now)
         hists.lockHold.record(
             now - (st->lockAcquiredAt ? st->lockAcquiredAt
                                       : st->committedAt));
-    } else if (fasan && captures > 0) {
+    } else if (captures > 0) {
         // lock_on_access from an ordinary store: the capture must
-        // leave the line locked.
-        fasan->checkUnlockHandoff(coreId, now, st->seq, line,
-                                  captures, aq.isLineLocked(line));
+        // leave the line locked. The exclusion window opens here —
+        // the forwarded atomic's lock tenure starts at its source's
+        // perform, not at its own bind.
+        if (tracer)
+            tracer->recordLock(coreId, st->seq, line, now);
+        if (fasan)
+            fasan->checkUnlockHandoff(coreId, now, st->seq, line,
+                                      captures, aq.isLineLocked(line));
     }
     if (pipeview)
         pipeview->retire(coreId, *st, false);
@@ -739,14 +756,18 @@ Core::sbDrainStage(Cycle now)
             if (tracer)
                 tracer->recordWritePerform(coreId, next_st->seq,
                                            next_st->addr,
-                                           next_st->storeData);
+                                           next_st->storeData, now);
             ++stats.sbStoresPerformed;
             ++stats.sbCoalescedStores;
             unsigned cap2 = aq.broadcastStorePerform(next_st->seq, line);
-            if (fasan && cap2 > 0)
-                fasan->checkUnlockHandoff(coreId, now, next_st->seq,
-                                          line, cap2,
-                                          aq.isLineLocked(line));
+            if (cap2 > 0) {
+                if (tracer)
+                    tracer->recordLock(coreId, next_st->seq, line, now);
+                if (fasan)
+                    fasan->checkUnlockHandoff(coreId, now, next_st->seq,
+                                              line, cap2,
+                                              aq.isLineLocked(line));
+            }
             if (pipeview)
                 pipeview->retire(coreId, *next_st, false);
             lsq.popFrontStore(next_st);
@@ -925,7 +946,7 @@ Core::tryIssueStoreCond(DynInst *inst, Cycle now)
         inst->performedAt = now;
         if (tracer)
             tracer->recordWritePerform(coreId, inst->seq, inst->addr,
-                                       inst->storeData);
+                                       inst->storeData, now);
         inst->result = 0;
     } else {
         inst->scFailed = true;
@@ -1065,6 +1086,9 @@ Core::tryIssueMemRead(DynInst *inst, Cycle now)
             if (spans)
                 spans->atomicFwdHop(coreId, inst->aqIdx, st->seq,
                                     inst->fwdChain, now);
+            if (tracer)
+                tracer->recordFwdHop(coreId, inst->seq, st->seq,
+                                     inst->fwdChain, now);
         }
         if (!inst->issuedAt)
             inst->issuedAt = now;
@@ -1303,6 +1327,9 @@ Core::squashFrom(SeqNum from_seq, int resume_pc, SquashCause cause,
             if (spans)
                 spans->atomicSquashed(coreId, inst->aqIdx, now,
                                       squashCauseName(cause));
+            if (tracer)
+                tracer->recordSquash(coreId, inst->seq, now,
+                                     squashCauseName(cause));
             if (inst->lockHeld && chaos && chaos->dropUnlock(coreId)) {
                 // Injected simulator bug: the unlock_on_squash
                 // message is lost and the AQ entry leaks its lock.
@@ -1316,8 +1343,14 @@ Core::squashFrom(SeqNum from_seq, int resume_pc, SquashCause cause,
                 // responsibility take-back: clearing the entry both
                 // lifts a held lock and cancels a pending SQid
                 // capture.
+                bool held = inst->lockHeld;
                 aq.release(inst->aqIdx);
                 inst->aqIdx = -1;
+                if (held && tracer && !aq.isLineLocked(inst->line())) {
+                    // unlock_on_squash closed the exclusion window.
+                    tracer->recordUnlock(coreId, inst->seq,
+                                         inst->line(), now, "squash");
+                }
                 if (inst->lockHeld) {
                     inst->lockHeld = false;
                     inst->lockReleasedAt = now;

@@ -24,9 +24,14 @@
 #include "analysis/mc/diff.hh"
 #include "analysis/mc/explore.hh"
 #include "analysis/mc/tso_model.hh"
+#include "analysis/race/certify.hh"
+#include "analysis/race/hb.hh"
+#include "analysis/race/report.hh"
+#include "analysis/race/vclock.hh"
 #include "analysis/sanitizer/fasan.hh"
 #include "analysis/synth/synth.hh"
 #include "analysis/trace.hh"
+#include "analysis/trace_io.hh"
 #include "analysis/tso_checker.hh"
 #include "common/cli.hh"
 #include "common/histogram.hh"

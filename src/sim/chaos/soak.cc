@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/race/hb.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
@@ -168,6 +169,29 @@ runSoakCase(const SoakCase &c)
             return r;
         }
     }
+    if (spec.race) {
+        const analysis::TraceRecorder *tr = sys.trace();
+        analysis::race::RaceOpts ro;
+        ro.mode = spec.mode;
+        ro.witnesses = false;
+        analysis::race::RaceReport rep = analysis::race::analyze(
+            tr->events(), tr->syncEvents(), ro);
+        if (!rep.hardwareClean()) {
+            r.signature = "race:atomicity";
+            std::ostringstream os;
+            os << rep.atomicityViolations
+               << " predicted atomicity-window violation(s), "
+               << rep.tornRecords << " torn record(s)";
+            for (const auto &f : rep.findings) {
+                if (f.cat == analysis::race::Category::kAtomicity) {
+                    os << "\n" << analysis::race::describeFinding(f);
+                    break;
+                }
+            }
+            r.detail = os.str();
+            return r;
+        }
+    }
     r.ok = true;
     return r;
 }
@@ -298,6 +322,7 @@ writeReproducer(const SoakCase &c, const SoakResult &r,
     if (s.wallDeadlineSec > 0.0)
         jw.key("wallDeadlineSec").value(s.wallDeadlineSec);
     jw.key("sanitize").value(s.sanitize);
+    jw.key("race").value(s.race);
     jw.key("chaos").beginObject();
     jw.key("seed").value(std::uint64_t{s.chaos.seed});
     jw.key("delayProb").value(s.chaos.delayProb);
@@ -353,6 +378,9 @@ loadReproducer(const std::string &json_path,
     // Absent in pre-fasan reproducers: default off.
     if (const JsonValue *sz = doc.find("sanitize"))
         s.sanitize = sz->boolean;
+    // Absent in pre-farace reproducers: default off.
+    if (const JsonValue *rc = doc.find("race"))
+        s.race = rc->boolean;
     // Absent unless the seed was quarantined for hanging.
     if (const JsonValue *wd = doc.find("wallDeadlineSec"))
         s.wallDeadlineSec = wd->number;

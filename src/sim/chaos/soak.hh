@@ -55,6 +55,11 @@ struct SoakSpec
      * online; a violation fails the run with signature
      * "fasan:<invariant>". */
     bool sanitize = false;
+    /** Run farace (analysis/race) over the recorded trace when the
+     * run is otherwise clean: a predicted atomicity-window violation
+     * fails the case with signature "race:atomicity" and shrinks
+     * like any other failure class. */
+    bool race = false;
 
     /** Progress window: must exceed the worst-case backed-off
      * watchdog timeout, else a healthy recovery reads as a wedge. */

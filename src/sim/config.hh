@@ -29,6 +29,15 @@ struct MachineConfig
      * cores pay a branch per commit. */
     bool recordMemTrace = false;
 
+    /** Write the recorded memory-event and synchronization streams
+     * as one fa-mem-trace-v1 document (analysis/trace_io.hh) here at
+     * the end of the run. Implies recordMemTrace; empty disables.
+     * farace --trace reads the dump back for offline analysis. */
+    std::string memTracePath;
+
+    /** Identity label stored in the dump's "workload" field. */
+    std::string memTraceLabel;
+
     // --- observability (all off by default; zero cost when off) ----------
 
     /** Write a gem5-O3PipeView-compatible per-instruction lifecycle

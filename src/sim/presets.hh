@@ -104,6 +104,15 @@ class MachineBuilder
         return *this;
     }
     MachineBuilder &sanitize(bool on) { cfg.sanitize = on; return *this; }
+    /** Dump the recorded streams as fa-mem-trace-v1 at end of run
+     * (empty path disables; implies trace recording). */
+    MachineBuilder &
+    memTrace(std::string path, std::string label)
+    {
+        cfg.memTracePath = std::move(path);
+        cfg.memTraceLabel = std::move(label);
+        return *this;
+    }
     MachineBuilder &
     watchdogForensics(bool on)
     {

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "analysis/trace_io.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
 #include "sim/forensics.hh"
@@ -16,7 +17,7 @@ System::System(const MachineConfig &config,
         fatal("system has %u cores but %zu programs", cfg.cores,
               progs.size());
     memSys = std::make_unique<mem::MemSystem>(cfg.mem, cfg.cores);
-    if (cfg.recordMemTrace)
+    if (cfg.recordMemTrace || !cfg.memTracePath.empty())
         tracer = std::make_unique<analysis::TraceRecorder>();
     if (cfg.chaos.anyEnabled()) {
         chaosEng = std::make_unique<chaos::ChaosEngine>(cfg.chaos);
@@ -138,6 +139,17 @@ System::finishSinks()
         spanTrace->finish(now);
     if (hostProf)
         hostProf->finish();
+    if (tracer && !cfg.memTracePath.empty() && !memTraceWritten) {
+        memTraceWritten = true;
+        std::ofstream out(cfg.memTracePath);
+        if (!out)
+            fatal("cannot open mem-trace file '%s'",
+                  cfg.memTracePath.c_str());
+        analysis::writeMemTrace(out, cfg.memTraceLabel,
+                                core::atomicsModeIdent(cfg.core.mode),
+                                cfg.cores, tracer->events(),
+                                tracer->syncEvents());
+    }
 }
 
 void

@@ -174,6 +174,7 @@ class System
     std::unique_ptr<SpanTracer> ownSpanTrace;
     SpanTracer *spanTrace = nullptr;
     std::unique_ptr<HostProfiler> hostProf;
+    bool memTraceWritten = false;
 
     std::string lastForensics;
 };

@@ -302,6 +302,28 @@ TEST(McFaults, NoLockBreaksAtomicity)
     EXPECT_FALSE(r.violations.front().witness.empty());
 }
 
+/** The SB shape with per-thread RMW scratch lines: no cross-thread
+ * lock serialization, so only the RMW's own drain-at-commit orders
+ * store before load — exactly what kCommitNoDrain removes. (With a
+ * shared scratch line the lock handoff re-orders the threads through
+ * SB FIFO even under the fault, and the cycle cannot form.) */
+isa::Program
+sbThreadPrivateScratch(unsigned t)
+{
+    ProgramBuilder b("sb_ps_t" + std::to_string(t));
+    b.movi(1, static_cast<std::int64_t>(t == 0 ? kX : kY))
+        .movi(2, static_cast<std::int64_t>(t == 0 ? kY : kX))
+        .movi(3, 1)
+        .store(1, 3)
+        .movi(4, static_cast<std::int64_t>(kS + t * 0x100))
+        .fetchAdd(5, 4, 3)
+        .load(6, 2)
+        .movi(7, static_cast<std::int64_t>(t == 0 ? kR0 : kR1))
+        .store(7, 6)
+        .halt();
+    return b.build();
+}
+
 TEST(McFaults, CommitNoDrainViolatesAxiomaticTso)
 {
     // With the SB-empty-at-commit rule gone, the RMW no longer
@@ -309,9 +331,9 @@ TEST(McFaults, CommitNoDrainViolatesAxiomaticTso)
     mc::ExploreOpts d;
     d.engine = mc::Engine::kDpor;
     d.certifyTso = true;
-    mc::ExploreResult r =
-        exploreMode(sbPrograms(true), AtomicsMode::kFreeFwd, d, {},
-                    mc::Fault::kCommitNoDrain);
+    mc::ExploreResult r = exploreMode(
+        {sbThreadPrivateScratch(0), sbThreadPrivateScratch(1)},
+        AtomicsMode::kFreeFwd, d, {}, mc::Fault::kCommitNoDrain);
     ASSERT_FALSE(r.violations.empty());
     EXPECT_EQ(r.violations.front().kind, "tso");
     EXPECT_FALSE(r.violations.front().witness.empty());

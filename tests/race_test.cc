@@ -1,0 +1,553 @@
+/**
+ * @file
+ * farace (analysis/race) tests:
+ *  - vector-clock lattice laws: join is a least upper bound, leq is
+ *    the induced partial order, covers/advance agree with components,
+ *  - happens-before construction on hand-built traces: rf edges order
+ *    message passing, store-buffer patterns race and reorder, a fence
+ *    (or an atomic) suppresses the reordering, AQ line-lock exclusion
+ *    orders two rf-less RMWs, and the closure is identical across all
+ *    four atomics modes (§3.2.3: modes change edge provenance, never
+ *    the edge set),
+ *  - AQ exclusion windows: a foreign access performing strictly
+ *    inside a lock..unlock window is an atomicity violation; boundary
+ *    instants and the owner itself are not; a window that never
+ *    closes is a leaked lock,
+ *  - adversarial input: torn/truncated records are counted and
+ *    skipped, never a crash,
+ *  - recorder neutrality: recording on vs off is cycle-identical, and
+ *    two recording-off runs serialize byte-identical RunResult JSON,
+ *  - end-to-end: dekker's predictions certify against the exhaustive
+ *    explorer, and a trace survives the fa-mem-trace-v1 round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "freeatomics/freeatomics.hh"
+
+namespace fa {
+namespace {
+
+using analysis::EvKind;
+using analysis::MemEvent;
+using analysis::SyncEvent;
+using analysis::SyncKind;
+using analysis::race::Category;
+using analysis::race::RaceOpts;
+using analysis::race::RaceReport;
+using analysis::race::VClock;
+using core::AtomicsMode;
+
+// --------------------------------------------------------------------------
+// Vector-clock lattice laws
+// --------------------------------------------------------------------------
+
+VClock
+clk(std::initializer_list<std::uint64_t> comps)
+{
+    VClock c;
+    CoreId t = 0;
+    for (std::uint64_t v : comps)
+        c.set(t++, v);
+    return c;
+}
+
+VClock
+joined(VClock a, const VClock &b)
+{
+    a.join(b);
+    return a;
+}
+
+TEST(RaceVClock, JoinIsCommutativeAssociativeIdempotent)
+{
+    VClock a = clk({3, 0, 7});
+    VClock b = clk({1, 5});
+    VClock c = clk({0, 2, 2, 9});
+
+    EXPECT_TRUE(joined(a, b) == joined(b, a));
+    EXPECT_TRUE(joined(joined(a, b), c) == joined(a, joined(b, c)));
+    EXPECT_TRUE(joined(a, a) == a);
+}
+
+TEST(RaceVClock, JoinIsTheLeastUpperBound)
+{
+    VClock a = clk({3, 0, 7});
+    VClock b = clk({1, 5});
+    VClock j = joined(a, b);
+
+    EXPECT_TRUE(a.leq(j));
+    EXPECT_TRUE(b.leq(j));
+    // Any other upper bound dominates the join.
+    VClock u = clk({4, 6, 8, 1});
+    ASSERT_TRUE(a.leq(u));
+    ASSERT_TRUE(b.leq(u));
+    EXPECT_TRUE(j.leq(u));
+}
+
+TEST(RaceVClock, LeqIsAPartialOrder)
+{
+    VClock a = clk({3, 0, 7});
+    VClock b = clk({3, 1, 7});
+    VClock c = clk({5, 1, 7});
+
+    EXPECT_TRUE(a.leq(a));                      // reflexive
+    EXPECT_TRUE(a.leq(b) && b.leq(c) && a.leq(c));  // transitive
+    EXPECT_FALSE(b.leq(a));                     // antisymmetric
+    // Incomparable pair: neither direction holds.
+    VClock d = clk({0, 9});
+    EXPECT_FALSE(a.leq(d));
+    EXPECT_FALSE(d.leq(a));
+}
+
+TEST(RaceVClock, AdvanceCoversAndAbsentComponentsReadZero)
+{
+    VClock c;
+    EXPECT_EQ(c.get(7), 0u);
+    EXPECT_TRUE(c.covers(7, 0));
+    EXPECT_FALSE(c.covers(7, 1));
+
+    c.advance(2, 5);
+    EXPECT_EQ(c.get(2), 5u);
+    c.advance(2, 3);  // advance never lowers
+    EXPECT_EQ(c.get(2), 5u);
+    EXPECT_TRUE(c.covers(2, 5));
+    EXPECT_FALSE(c.covers(2, 6));
+    EXPECT_EQ(c.get(0), 0u);  // grown intermediate components
+}
+
+// --------------------------------------------------------------------------
+// Happens-before construction on hand-built traces
+// --------------------------------------------------------------------------
+
+MemEvent
+mev(CoreId t, SeqNum seq, int pc, EvKind kind, Addr addr, Cycle commit,
+    Cycle perform, std::uint64_t stamp = 0)
+{
+    MemEvent e;
+    e.thread = t;
+    e.seq = seq;
+    e.pc = pc;
+    e.kind = kind;
+    e.addr = addr;
+    e.commitCycle = commit;
+    e.performCycle = perform;
+    e.writeStamp = stamp;
+    return e;
+}
+
+MemEvent
+readsFrom(MemEvent e, CoreId t, SeqNum seq)
+{
+    e.rfInit = false;
+    e.rfThread = t;
+    e.rfSeq = seq;
+    return e;
+}
+
+RaceReport
+run(const std::vector<MemEvent> &evs, const std::vector<SyncEvent> &syncs,
+    AtomicsMode mode = AtomicsMode::kFreeFwd)
+{
+    RaceOpts o;
+    o.mode = mode;
+    return analysis::race::analyze(evs, syncs, o);
+}
+
+TEST(RaceHb, RfEdgesOrderMessagePassing)
+{
+    // mp with the reader's rf edges intact: writer po (W data; W flag)
+    // plus flag's rf edge transitively orders W data before R data.
+    constexpr Addr kData = 0x100, kFlag = 0x140;
+    std::vector<MemEvent> evs = {
+        mev(0, 1, 0, EvKind::kWrite, kData, 10, 11, 1),
+        mev(0, 2, 1, EvKind::kWrite, kFlag, 20, 21, 2),
+        readsFrom(mev(1, 1, 10, EvKind::kRead, kFlag, 30, 30), 0, 2),
+        readsFrom(mev(1, 2, 11, EvKind::kRead, kData, 40, 40), 0, 1),
+    };
+    RaceReport rep = run(evs, {});
+    EXPECT_TRUE(rep.clean()) << rep.findings.size() << " finding(s)";
+    EXPECT_EQ(rep.memEvents, 4u);
+    EXPECT_EQ(rep.threads, 2u);
+}
+
+TEST(RaceHb, StoreBufferPatternRacesAndReorders)
+{
+    // Dekker/SB core: each thread stores its word then reads the
+    // other's with nothing between. The reads race with the foreign
+    // stores, and each (store, read) pair is SB-reorderable.
+    constexpr Addr kX = 0x100, kY = 0x140;
+    std::vector<MemEvent> evs = {
+        mev(0, 1, 0, EvKind::kWrite, kX, 10, 30, 1),
+        mev(1, 1, 10, EvKind::kWrite, kY, 12, 32, 2),
+        mev(0, 2, 1, EvKind::kRead, kY, 20, 20),
+        mev(1, 2, 11, EvKind::kRead, kX, 22, 22),
+    };
+    RaceReport rep = run(evs, {});
+    EXPECT_EQ(rep.races, 2u);
+    EXPECT_EQ(rep.reorderings, 2u);
+    EXPECT_EQ(rep.atomicityViolations, 0u);
+    EXPECT_FALSE(rep.clean());
+    EXPECT_TRUE(rep.hardwareClean());  // races are program properties
+    ASSERT_EQ(rep.findings.size(), 4u);
+    for (const auto &f : rep.findings) {
+        EXPECT_FALSE(f.witness.empty());
+        EXPECT_FALSE(analysis::race::describeFinding(f).empty());
+    }
+}
+
+TEST(RaceHb, FenceSuppressesTheReordering)
+{
+    // Same shape with an MFENCE between store and read: the reorder
+    // disappears; the read still races with the foreign store (the
+    // fence orders the thread's own accesses, not the other core's).
+    constexpr Addr kX = 0x100, kY = 0x140;
+    std::vector<MemEvent> evs = {
+        mev(0, 1, 0, EvKind::kWrite, kX, 10, 30, 1),
+        mev(1, 1, 10, EvKind::kWrite, kY, 11, 31, 2),
+        mev(0, 2, 1, EvKind::kFence, 0, 12, 12),
+        mev(0, 3, 2, EvKind::kRead, kY, 20, 20),
+    };
+    RaceReport rep = run(evs, {});
+    EXPECT_EQ(rep.reorderings, 0u);
+    EXPECT_EQ(rep.races, 1u);
+}
+
+TEST(RaceHb, SameWordStoreLoadPairNeverReorders)
+{
+    // TSO forwards a same-word load from the SB: the pair is ordered
+    // by definition and must not be flagged.
+    constexpr Addr kX = 0x100;
+    std::vector<MemEvent> evs = {
+        mev(0, 1, 0, EvKind::kWrite, kX, 10, 30, 1),
+        readsFrom(mev(0, 2, 1, EvKind::kRead, kX, 20, 20), 0, 1),
+    };
+    RaceReport rep = run(evs, {});
+    EXPECT_TRUE(rep.clean());
+}
+
+TEST(RaceHb, LineLockExclusionOrdersRmwsWithoutRfEdges)
+{
+    // Two RMWs on one cache line with NO rf information: the AQ
+    // release->acquire line-clock edge alone must order them (§3.1
+    // lock exclusion), so neither side races.
+    constexpr Addr kCtr = 0x200;
+    std::vector<MemEvent> evs = {
+        mev(0, 1, 0, EvKind::kRmw, kCtr, 10, 10, 1),
+        mev(1, 1, 10, EvKind::kRmw, kCtr, 20, 20, 2),
+    };
+    for (AtomicsMode mode :
+         {AtomicsMode::kFenced, AtomicsMode::kSpec, AtomicsMode::kFree,
+          AtomicsMode::kFreeFwd}) {
+        RaceReport rep = run(evs, {}, mode);
+        EXPECT_TRUE(rep.clean()) << core::atomicsModeName(mode);
+    }
+}
+
+TEST(RaceHb, RmwDrainsTheStoreBufferLikeAFence)
+{
+    // Older store, then an atomic, then a foreign read: the SB drain
+    // at commit (kFree*) / the full fence (kFenced/kSpec) orders the
+    // store before everything after the atomic — no reorder finding.
+    constexpr Addr kX = 0x100, kCtr = 0x200, kY = 0x140;
+    std::vector<MemEvent> evs = {
+        mev(0, 1, 0, EvKind::kWrite, kX, 10, 12, 1),
+        mev(0, 2, 1, EvKind::kRmw, kCtr, 14, 14, 2),
+        mev(0, 3, 2, EvKind::kRead, kY, 20, 20),
+    };
+    RaceReport rep = run(evs, {});
+    EXPECT_EQ(rep.reorderings, 0u);
+}
+
+TEST(RaceHb, ClosureIsIdenticalAcrossAllFourModes)
+{
+    // §3.2.3: the four modes build the same happens-before edges from
+    // different mechanisms, so one trace must yield the same findings
+    // under every mode.
+    constexpr Addr kX = 0x100, kY = 0x140, kCtr = 0x200;
+    std::vector<MemEvent> evs = {
+        mev(0, 1, 0, EvKind::kWrite, kX, 10, 30, 1),
+        mev(1, 1, 10, EvKind::kWrite, kY, 12, 32, 2),
+        mev(0, 2, 1, EvKind::kRead, kY, 20, 20),
+        mev(1, 2, 11, EvKind::kRead, kX, 22, 22),
+        mev(0, 3, 2, EvKind::kRmw, kCtr, 40, 40, 3),
+        readsFrom(mev(1, 3, 12, EvKind::kRmw, kCtr, 50, 50, 4), 0, 3),
+    };
+    RaceReport base = run(evs, {}, AtomicsMode::kFenced);
+    for (AtomicsMode mode : {AtomicsMode::kSpec, AtomicsMode::kFree,
+                             AtomicsMode::kFreeFwd}) {
+        RaceReport rep = run(evs, {}, mode);
+        EXPECT_EQ(rep.races, base.races)
+            << core::atomicsModeName(mode);
+        EXPECT_EQ(rep.reorderings, base.reorderings)
+            << core::atomicsModeName(mode);
+        ASSERT_EQ(rep.findings.size(), base.findings.size());
+        for (std::size_t i = 0; i < rep.findings.size(); ++i) {
+            EXPECT_EQ(rep.findings[i].cat, base.findings[i].cat);
+            EXPECT_EQ(rep.findings[i].a.pc, base.findings[i].a.pc);
+            EXPECT_EQ(rep.findings[i].b.pc, base.findings[i].b.pc);
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// AQ exclusion windows
+// --------------------------------------------------------------------------
+
+SyncEvent
+sync(SyncKind kind, CoreId t, SeqNum seq, Addr line, Cycle cycle)
+{
+    SyncEvent s;
+    s.kind = kind;
+    s.thread = t;
+    s.seq = seq;
+    s.line = line;
+    s.cycle = cycle;
+    return s;
+}
+
+TEST(RaceWindow, ForeignAccessInsideLockWindowIsAtomicityViolation)
+{
+    constexpr Addr kLine = 0x100;
+    std::vector<SyncEvent> syncs = {
+        sync(SyncKind::kLock, 0, 1, kLine, 10),
+        sync(SyncKind::kUnlock, 0, 1, kLine, 50),
+    };
+    std::vector<MemEvent> evs = {
+        // The owner's own access inside its window: legal.
+        mev(0, 1, 0, EvKind::kRmw, kLine + 0x20, 30, 30, 1),
+        // A foreign write performing strictly inside (10, 50): the
+        // hardware must have denied it — atomicity failure.
+        mev(1, 1, 10, EvKind::kWrite, kLine + 0x10, 31, 30, 2),
+        // Boundary instants are the bind/release cycles themselves.
+        mev(1, 2, 11, EvKind::kWrite, kLine + 0x18, 32, 10, 3),
+        mev(1, 3, 12, EvKind::kWrite, kLine + 0x18, 33, 50, 4),
+    };
+    RaceReport rep = run(evs, syncs);
+    EXPECT_EQ(rep.lockWindows, 1u);
+    EXPECT_EQ(rep.openWindows, 0u);
+    EXPECT_EQ(rep.atomicityViolations, 1u);
+    EXPECT_FALSE(rep.hardwareClean());
+    bool found = false;
+    for (const auto &f : rep.findings) {
+        if (f.cat != Category::kAtomicity)
+            continue;
+        found = true;
+        EXPECT_EQ(f.addr, kLine);
+        EXPECT_EQ(f.a.thread, 0);  // window owner
+        EXPECT_EQ(f.b.thread, 1);  // intruder
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(RaceWindow, UnclosedWindowIsALeakedLock)
+{
+    constexpr Addr kLine = 0x100;
+    std::vector<SyncEvent> syncs = {
+        sync(SyncKind::kLock, 0, 1, kLine, 10),
+    };
+    RaceReport rep = run({}, syncs);
+    EXPECT_EQ(rep.lockWindows, 1u);
+    EXPECT_EQ(rep.openWindows, 1u);
+}
+
+// --------------------------------------------------------------------------
+// Adversarial input
+// --------------------------------------------------------------------------
+
+TEST(RaceTorn, TornRecordsAreCountedAndSkipped)
+{
+    std::vector<MemEvent> evs = {
+        mev(0, 1, 0, EvKind::kWrite, 0x100, 10, 11, 1),
+        // Impossible thread id (torn header).
+        mev(5000, 1, 0, EvKind::kWrite, 0x100, 12, 13, 2),
+        // Never committed (truncated run).
+        mev(1, kNoSeq, 0, EvKind::kRead, 0x100, 14, 14),
+        mev(1, 2, 0, EvKind::kRead, 0x100, 0, 14),
+    };
+    std::vector<SyncEvent> syncs = {
+        // Unlock without a lock.
+        sync(SyncKind::kUnlock, 0, 1, 0x200, 20),
+        // Overlapping lock claims on one line.
+        sync(SyncKind::kLock, 0, 2, 0x300, 30),
+        sync(SyncKind::kLock, 1, 1, 0x300, 40),
+    };
+    RaceReport rep = run(evs, syncs);
+    EXPECT_EQ(rep.memEvents, 1u);
+    EXPECT_EQ(rep.tornRecords, 5u);
+    // The stale overlapped window was force-closed; the second claim
+    // stays open.
+    EXPECT_EQ(rep.lockWindows, 2u);
+    EXPECT_EQ(rep.openWindows, 1u);
+}
+
+TEST(RaceTorn, EmptyTraceIsCleanNotACrash)
+{
+    RaceReport rep = run({}, {});
+    EXPECT_TRUE(rep.clean());
+    EXPECT_EQ(rep.threads, 0u);
+    EXPECT_EQ(rep.memEvents, 0u);
+}
+
+// --------------------------------------------------------------------------
+// Recorder neutrality (zero cost when off)
+// --------------------------------------------------------------------------
+
+sim::RunResult
+runRecorded(bool record, AtomicsMode mode)
+{
+    const wl::Workload *w = wl::findWorkload("sb_rmw");
+    EXPECT_NE(w, nullptr);
+    sim::MachineConfig m = sim::MachineConfig::tiny(2);
+    m.cores = 2;
+    m.recordMemTrace = record;
+    auto progs = wl::buildPrograms(*w, 2, 1.0);
+    sim::MemInit init =
+        w->init ? w->init(2, 1.0) : sim::MemInit{};
+    return sim::runPrograms(m, mode, progs, init, 42);
+}
+
+TEST(RaceNeutrality, RecordingOnVsOffIsCycleIdentical)
+{
+    // The recorder — including the sync-stream hooks the race
+    // analyzer added — observes, never steers: arming it must not
+    // move a single cycle.
+    for (AtomicsMode mode :
+         {AtomicsMode::kFenced, AtomicsMode::kFreeFwd}) {
+        sim::RunResult off = runRecorded(false, mode);
+        sim::RunResult on = runRecorded(true, mode);
+        ASSERT_TRUE(off.finished) << off.failure;
+        ASSERT_TRUE(on.finished) << on.failure;
+        EXPECT_TRUE(on.tsoOk()) << on.tsoError;
+        EXPECT_EQ(off.cycles, on.cycles)
+            << core::atomicsModeName(mode);
+        EXPECT_EQ(off.core.committedInsts, on.core.committedInsts);
+    }
+}
+
+TEST(RaceNeutrality, RecordingOffRunResultJsonIsByteIdentical)
+{
+    sim::RunResult a = runRecorded(false, AtomicsMode::kFreeFwd);
+    sim::RunResult b = runRecorded(false, AtomicsMode::kFreeFwd);
+    std::ostringstream ja, jb;
+    a.toJson(ja);
+    b.toJson(jb);
+    EXPECT_EQ(ja.str(), jb.str());
+    EXPECT_FALSE(a.tsoChecked);
+}
+
+// --------------------------------------------------------------------------
+// End-to-end: analyze a real run, certify, round-trip the trace
+// --------------------------------------------------------------------------
+
+struct RecordedRun
+{
+    std::vector<isa::Program> progs;
+    sim::MemInit init;
+    std::vector<MemEvent> events;
+    std::vector<SyncEvent> syncs;
+};
+
+RecordedRun
+recordWorkload(const std::string &name, AtomicsMode mode,
+               double scale = 0.03)
+{
+    const wl::Workload *w = wl::findWorkload(name);
+    EXPECT_NE(w, nullptr) << name;
+    sim::MachineConfig m = sim::MachineConfig::tiny(2);
+    m.cores = 2;
+    m.core.mode = mode;
+    m.recordMemTrace = true;
+    RecordedRun r;
+    // The gate configuration: tools/farace certifies the litmus
+    // corpus at its default scale, where the exhaustive exploration
+    // is tractable.
+    r.progs = wl::buildPrograms(*w, 2, scale);
+    if (w->init)
+        r.init = w->init(2, scale);
+    sim::System sys(m, r.progs, 42);
+    sys.initMemory(r.init);
+    sim::RunOutcome out = sys.run(40'000'000);
+    EXPECT_TRUE(out.finished) << out.failure;
+    const analysis::TraceRecorder *tr = sys.trace();
+    EXPECT_NE(tr, nullptr);
+    r.events = tr->events();
+    r.syncs = tr->syncEvents();
+    return r;
+}
+
+TEST(RaceCertify, DekkerPredictionsCertifyAgainstExhaustiveSet)
+{
+    AtomicsMode mode = AtomicsMode::kFreeFwd;
+    RecordedRun rr = recordWorkload("dekker", mode);
+    ASSERT_FALSE(rr.events.empty());
+
+    RaceOpts ro;
+    ro.mode = mode;
+    RaceReport rep = analysis::race::analyze(rr.events, rr.syncs, ro);
+    EXPECT_TRUE(rep.hardwareClean());
+    EXPECT_EQ(rep.tornRecords, 0u);
+    // Dekker's whole point: the flag handshake races under TSO.
+    EXPECT_GT(rep.races, 0u);
+
+    analysis::race::CertifyOpts co;
+    co.mode = mode;
+    analysis::race::CertifyResult cert =
+        analysis::race::certifyPredictions(rr.progs, rr.init,
+                                           rr.events, rep, co);
+    EXPECT_TRUE(cert.exploreComplete) << cert.truncatedReason;
+    EXPECT_EQ(cert.predictions, rep.findings.size());
+    EXPECT_EQ(cert.confirmed, cert.predictions);
+    for (const std::string &u : cert.unconfirmed)
+        ADD_FAILURE() << "unconfirmed prediction: " << u;
+    EXPECT_TRUE(cert.ok());
+}
+
+TEST(RaceTraceIo, MemTraceRoundTripPreservesTheAnalysis)
+{
+    AtomicsMode mode = AtomicsMode::kFreeFwd;
+    RecordedRun rr = recordWorkload("sb_rmw", mode);
+    ASSERT_FALSE(rr.events.empty());
+
+    std::ostringstream os;
+    analysis::writeMemTrace(os, "sb_rmw", "freefwd", 2, rr.events,
+                            rr.syncs);
+    analysis::MemTraceFile f =
+        analysis::readMemTrace(JsonValue::parse(os.str()));
+    EXPECT_EQ(f.workload, "sb_rmw");
+    EXPECT_EQ(f.mode, "freefwd");
+    EXPECT_EQ(f.cores, 2u);
+    ASSERT_EQ(f.events.size(), rr.events.size());
+    ASSERT_EQ(f.syncs.size(), rr.syncs.size());
+    for (std::size_t i = 0; i < f.events.size(); ++i) {
+        EXPECT_EQ(f.events[i].thread, rr.events[i].thread);
+        EXPECT_EQ(f.events[i].seq, rr.events[i].seq);
+        EXPECT_EQ(f.events[i].kind, rr.events[i].kind);
+        EXPECT_EQ(f.events[i].addr, rr.events[i].addr);
+        EXPECT_EQ(f.events[i].writeStamp, rr.events[i].writeStamp);
+        EXPECT_EQ(f.events[i].rfInit, rr.events[i].rfInit);
+        EXPECT_EQ(f.events[i].commitCycle, rr.events[i].commitCycle);
+    }
+
+    RaceOpts ro;
+    ro.mode = mode;
+    RaceReport direct = analysis::race::analyze(rr.events, rr.syncs, ro);
+    RaceReport offline = analysis::race::analyze(f.events, f.syncs, ro);
+    EXPECT_EQ(offline.races, direct.races);
+    EXPECT_EQ(offline.reorderings, direct.reorderings);
+    EXPECT_EQ(offline.atomicityViolations, direct.atomicityViolations);
+    EXPECT_EQ(offline.findings.size(), direct.findings.size());
+}
+
+TEST(RaceTraceIo, WrongSchemaIsRejected)
+{
+    EXPECT_THROW(analysis::readMemTrace(JsonValue::parse(
+                     "{\"schema\": \"fa-run-result-v1\"}")),
+                 FatalError);
+}
+
+} // namespace
+} // namespace fa

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * farace — predictive happens-before race & atomicity analyzer.
+ *
+ * Runs a workload (or reads a recorded fa-mem-trace-v1 dump), builds
+ * the happens-before relation the hardware enforces over the observed
+ * execution (analysis/race), and reports predicted data races,
+ * atomicity-window violations, and lost-fence store->load
+ * reorderings, each with a minimal witness reordering and a replay
+ * recipe. One pass is O(events), so the analysis scales to core
+ * counts where famc's exhaustive exploration cannot go.
+ *
+ * With --certify every prediction is differentially checked against
+ * famc's exhaustive DPOR outcome set: zero unconfirmed predictions on
+ * the litmus corpus x all four modes is the CI gate.
+ *
+ *   farace -w dekker --threads 2 --all-modes
+ *   farace -w dekker,mp,sb_fenced,sb_rmw --threads 2 --all-modes \
+ *          --certify --gate
+ *   farace --soak-seed 7 --threads 64 --blocks 48 -m freefwd \
+ *          --min-events 1000000
+ *   fasim -w sb_rmw -c 2 --dump-trace t.json && farace --trace t.json
+ *
+ * exit status:
+ *   0  clean (with --gate: no atomicity findings, certify ok)
+ *   2  usage error
+ *   3  findings reported (with --gate: hardware-correctness findings)
+ *   4  trace below --min-events, torn, or exploration truncated
+ *   5  differential certification failed (unconfirmed prediction)
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "freeatomics/freeatomics.hh"
+
+using namespace fa;
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitFindings = 3;
+constexpr int kExitTruncated = 4;
+constexpr int kExitUnconfirmed = 5;
+
+struct Job
+{
+    std::string name;
+    std::vector<isa::Program> progs;
+    sim::MemInit init;
+    std::string replayBase;  ///< replay recipe minus the mode
+};
+
+void
+writeJsonReport(const std::string &path, const std::string &name,
+                const analysis::race::RaceReport &rep,
+                const analysis::race::CertifyResult *cert)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open report file '%s'", path.c_str());
+    analysis::race::writeReport(os, name, rep, cert);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload;
+    std::vector<std::string> prog_files;
+    std::int64_t soak_seed = -1;
+    std::string trace_file;
+    unsigned threads = 2;
+    unsigned blocks = 0;
+    unsigned counters = 0;
+    double scale = 0.03;
+    std::string mode_name = "freefwd";
+    bool all_modes = false;
+    std::string machine_s = "tiny";
+    std::uint64_t seed = 1;
+    std::uint64_t max_cycles = 100'000'000;
+    std::uint64_t max_findings = 64;
+    std::uint64_t store_window = 64;
+    bool no_witness = false;
+    bool certify = false;
+    bool gate = false;
+    std::uint64_t max_states = 2'000'000;
+    double time_budget = 0.0;
+    std::uint64_t min_events = 0;
+    std::string json_path;
+    std::string out_dir;
+    bool quiet = false;
+
+    cli::Parser p("farace",
+                  "predictive happens-before race & atomicity "
+                  "analyzer");
+    p.opt(&workload, "-w", "--workload", "LIST",
+          "registered workload(s), comma list");
+    p.opt(&prog_files, "-p", "--program", "FILE",
+          ".fasm program, one per thread (repeatable)");
+    p.opt(&soak_seed, "", "--soak-seed", "N",
+          "soak-generated program (threads/blocks overridable)");
+    p.opt(&trace_file, "", "--trace", "FILE",
+          "analyze a recorded fa-mem-trace-v1 dump offline");
+    p.opt(&threads, "", "--threads", "N",
+          "thread count for -w / --soak-seed [2]");
+    p.opt(&blocks, "", "--blocks", "N",
+          "override soak program blocks per thread [spec-derived]");
+    p.opt(&counters, "", "--counters", "N",
+          "override soak shared counters [spec-derived]");
+    p.opt(&scale, "", "--scale", "S", "workload scale [0.03]");
+    p.opt(&mode_name, "-m", "--mode", "MODE",
+          "fenced|spec|free|freefwd [freefwd]");
+    p.flag(&all_modes, "", "--all-modes", "analyze every mode");
+    p.opt(&machine_s, "", "--machine", "NAME",
+          std::string(sim::presets::names()) + " [tiny]");
+    p.opt(&seed, "", "--seed", "N", "master seed [1]");
+    p.opt(&max_cycles, "", "--max-cycles", "N",
+          "recording-run cycle budget [100000000]");
+    p.opt(&max_findings, "", "--max-findings", "N",
+          "static finding cap per trace [64]");
+    p.opt(&store_window, "", "--store-window", "N",
+          "older-store window examined per read [64]");
+    p.flag(&no_witness, "", "--no-witness",
+           "omit witness reorderings from findings");
+    p.flag(&certify, "", "--certify",
+           "differentially certify every prediction against the "
+           "exhaustive DPOR outcome set (small programs only)");
+    p.flag(&gate, "", "--gate",
+           "CI gate semantics: confirmed program-level findings "
+           "(race/reorder) exit 0; only atomicity findings, "
+           "truncation, or unconfirmed predictions fail");
+    p.opt(&max_states, "", "--max-states", "N",
+          "certify exploration budget [2000000]");
+    p.opt(&time_budget, "", "--time-budget", "SECS",
+          "certify wall-clock budget (0 = unbounded) [0]");
+    p.opt(&min_events, "", "--min-events", "N",
+          "fail (exit 4) when the trace holds fewer committed memory "
+          "events — scale-run guard [0]");
+    p.opt(&json_path, "", "--json", "FILE",
+          "write the fa-race-report-v1 document (single cell only)");
+    p.opt(&out_dir, "", "--out", "DIR",
+          "write farace-<name>-<mode>.json per analyzed cell");
+    p.flag(&quiet, "-q", "--quiet", "suppress per-finding text");
+    p.epilog("\nexit status: 0 clean, 2 usage, 3 findings, 4 trace "
+             "below --min-events or\ntruncated, 5 unconfirmed "
+             "prediction (differential gate failed)\n");
+    p.parse(argc, argv);
+
+    auto usageError = [&](const std::string &msg) -> int {
+        std::cerr << "farace: " << msg << "\n\n";
+        p.printUsage(std::cerr);
+        return kExitUsage;
+    };
+
+    std::vector<std::string> workloads = cli::splitList(workload);
+    int specified = (workloads.empty() ? 0 : 1) +
+        (prog_files.empty() ? 0 : 1) + (soak_seed >= 0 ? 1 : 0) +
+        (trace_file.empty() ? 0 : 1);
+    if (specified != 1) {
+        return usageError(
+            "specify exactly one of -w, -p, --soak-seed, --trace");
+    }
+    if (certify && !trace_file.empty())
+        return usageError("--certify needs the program (-w, -p or "
+                          "--soak-seed), not a trace dump");
+
+    try {
+        core::AtomicsMode cli_mode = chaos::soakParseMode(mode_name);
+
+        // --- offline dump path --------------------------------------------
+        if (!trace_file.empty()) {
+            analysis::MemTraceFile f =
+                analysis::loadMemTrace(trace_file);
+            analysis::race::RaceOpts ropts;
+            ropts.mode = f.mode.empty()
+                ? cli_mode
+                : chaos::soakParseMode(f.mode);
+            ropts.maxFindings = max_findings;
+            ropts.storeWindow = store_window;
+            ropts.witnesses = !no_witness;
+            ropts.replayCmd = "farace --trace " + trace_file;
+            analysis::race::RaceReport rep = analysis::race::analyze(
+                f.events, f.syncs, ropts);
+            std::string name =
+                f.workload.empty() ? trace_file : f.workload;
+            std::cout << name << " [" << rep.mode << "]: "
+                      << rep.memEvents << " mem events, "
+                      << rep.syncEvents << " sync events, "
+                      << rep.lockWindows << " lock windows ("
+                      << rep.openWindows << " open, "
+                      << rep.tornRecords << " torn) — "
+                      << rep.races << " race(s), "
+                      << rep.atomicityViolations << " atomicity, "
+                      << rep.reorderings << " reorder(s)\n";
+            if (!quiet) {
+                for (const auto &fd : rep.findings)
+                    std::cout << analysis::race::describeFinding(fd);
+            }
+            if (!json_path.empty())
+                writeJsonReport(json_path, name, rep, nullptr);
+            if (min_events && rep.memEvents < min_events) {
+                std::cerr << "farace: trace holds " << rep.memEvents
+                          << " events, below --min-events "
+                          << min_events << "\n";
+                return kExitTruncated;
+            }
+            if (gate)
+                return rep.hardwareClean() ? kExitOk : kExitFindings;
+            return rep.clean() ? kExitOk : kExitFindings;
+        }
+
+        // --- recording-run paths ------------------------------------------
+        std::vector<Job> jobs;
+        if (!workloads.empty()) {
+            for (const std::string &name : workloads) {
+                const wl::Workload *w = wl::findWorkload(name);
+                if (!w)
+                    return usageError("unknown workload '" + name +
+                                      "'");
+                Job job;
+                job.name = name;
+                job.progs = wl::buildPrograms(*w, threads, scale);
+                if (w->init)
+                    job.init = w->init(threads, scale);
+                job.replayBase = "fasim -w " + name + " -c " +
+                    std::to_string(threads) + " --machine " +
+                    machine_s + " --seed " + std::to_string(seed) +
+                    " --check";
+                jobs.push_back(std::move(job));
+            }
+        } else if (!prog_files.empty()) {
+            Job job;
+            job.name = "fasm";
+            std::string replay = "famc";
+            for (const std::string &f : prog_files) {
+                job.progs.push_back(isa::assembleFile(f));
+                replay += " -p " + f;
+            }
+            job.replayBase = std::move(replay);
+            jobs.push_back(std::move(job));
+        } else {
+            chaos::SoakSpec spec = chaos::makeSoakSpec(
+                static_cast<std::uint64_t>(soak_seed), cli_mode,
+                "none");
+            spec.threads = threads;
+            if (blocks)
+                spec.blocks = blocks;
+            if (counters)
+                spec.counters = counters;
+            chaos::SoakCase c = chaos::buildSoakCase(spec);
+            Job job;
+            job.name = "soak" + std::to_string(soak_seed) + "x" +
+                std::to_string(spec.threads);
+            job.progs = std::move(c.programs);
+            job.replayBase = "farace --soak-seed " +
+                std::to_string(soak_seed) + " --threads " +
+                std::to_string(spec.threads) + " --blocks " +
+                std::to_string(spec.blocks) + " --seed " +
+                std::to_string(seed);
+            jobs.push_back(std::move(job));
+        }
+
+        std::vector<core::AtomicsMode> modes;
+        if (all_modes) {
+            modes = {core::AtomicsMode::kFenced,
+                     core::AtomicsMode::kSpec,
+                     core::AtomicsMode::kFree,
+                     core::AtomicsMode::kFreeFwd};
+        } else {
+            modes = {cli_mode};
+        }
+        if (!json_path.empty() && jobs.size() * modes.size() != 1)
+            return usageError("--json needs exactly one (workload, "
+                              "mode) cell; use --out DIR");
+
+        int rc = kExitOk;
+        for (const Job &job : jobs) {
+            for (core::AtomicsMode mode : modes) {
+                const char *mname = core::atomicsModeIdent(mode);
+                unsigned ncores =
+                    static_cast<unsigned>(job.progs.size());
+                auto machine =
+                    sim::MachineBuilder::preset(machine_s, ncores)
+                        .mode(mode)
+                        .recordMemTrace(true)
+                        .build();
+                sim::System sys(machine, job.progs, seed);
+                sys.initMemory(job.init);
+                sim::RunOutcome out = sys.run(max_cycles);
+                if (!out.finished)
+                    fatal("%s [%s]: recording run failed: %s",
+                          job.name.c_str(), mname,
+                          out.failure.c_str());
+
+                const analysis::TraceRecorder *tr = sys.trace();
+                analysis::race::RaceOpts ropts;
+                ropts.mode = mode;
+                ropts.maxFindings = max_findings;
+                ropts.storeWindow = store_window;
+                ropts.witnesses = !no_witness;
+                ropts.replayCmd =
+                    job.replayBase + " -m " + mname;
+                analysis::race::RaceReport rep =
+                    analysis::race::analyze(tr->events(),
+                                            tr->syncEvents(), ropts);
+
+                std::cout << job.name << " [" << mname << "]: "
+                          << rep.memEvents << " mem events, "
+                          << rep.syncEvents << " sync events, "
+                          << rep.lockWindows << " lock windows ("
+                          << rep.openWindows << " open) — "
+                          << rep.races << " race(s), "
+                          << rep.atomicityViolations
+                          << " atomicity, " << rep.reorderings
+                          << " reorder(s)\n";
+                if (!quiet) {
+                    for (const auto &fd : rep.findings)
+                        std::cout
+                            << analysis::race::describeFinding(fd);
+                }
+
+                if (min_events && rep.memEvents < min_events) {
+                    std::cerr << "farace: " << job.name << " ["
+                              << mname << "] trace holds "
+                              << rep.memEvents
+                              << " events, below --min-events "
+                              << min_events << "\n";
+                    rc = std::max(rc, kExitTruncated);
+                }
+
+                analysis::race::CertifyResult cert;
+                bool have_cert = false;
+                if (certify) {
+                    analysis::race::CertifyOpts copts;
+                    copts.mode = mode;
+                    copts.maxStates = max_states;
+                    copts.timeBudgetSec = time_budget;
+                    cert = analysis::race::certifyPredictions(
+                        job.progs, job.init, tr->events(), rep,
+                        copts);
+                    have_cert = true;
+                    std::cout << "  certify [" << mname << "]: "
+                              << cert.executions << " execution(s), "
+                              << cert.confirmed << "/"
+                              << cert.predictions
+                              << " prediction(s) confirmed"
+                              << (cert.exploreComplete
+                                      ? ""
+                                      : " [TRUNCATED: " +
+                                          cert.truncatedReason + "]")
+                              << "\n";
+                    for (const std::string &u : cert.unconfirmed)
+                        std::cout << "  UNCONFIRMED: " << u << "\n";
+                    if (!cert.exploreComplete)
+                        rc = std::max(rc, kExitTruncated);
+                    if (!cert.unconfirmed.empty())
+                        rc = std::max(rc, kExitUnconfirmed);
+                }
+
+                if (!json_path.empty()) {
+                    writeJsonReport(json_path, job.name, rep,
+                                    have_cert ? &cert : nullptr);
+                } else if (!out_dir.empty()) {
+                    std::filesystem::create_directories(out_dir);
+                    writeJsonReport(out_dir + "/farace-" + job.name +
+                                        "-" + mname + ".json",
+                                    job.name, rep,
+                                    have_cert ? &cert : nullptr);
+                }
+
+                if (gate) {
+                    if (!rep.hardwareClean())
+                        rc = std::max(rc, kExitFindings);
+                } else if (!rep.clean()) {
+                    rc = std::max(rc, kExitFindings);
+                }
+            }
+        }
+        return rc;
+    } catch (const FatalError &e) {
+        std::cerr << "farace: " << e.message << "\n";
+        return 1;
+    } catch (const std::exception &e) {
+        std::cerr << "farace: " << e.what() << "\n";
+        return 1;
+    }
+}

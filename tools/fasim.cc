@@ -176,6 +176,7 @@ main(int argc, char **argv)
     std::string interval_path;
     std::uint64_t interval_period = 10'000;
     std::string trace_spans;
+    std::string dump_trace;
     bool profile = false;
     std::uint64_t profile_period = 64;
     std::string chaos_profile;
@@ -217,6 +218,10 @@ main(int argc, char **argv)
     p.opt(&trace_spans, "", "--trace-spans", "FILE",
           "write an fa-trace-v1 transaction-span trace (Chrome "
           "trace-event JSON; open in Perfetto / chrome://tracing)");
+    p.opt(&dump_trace, "", "--dump-trace", "FILE",
+          "record the memory-event + sync streams and write them as "
+          "an fa-mem-trace-v1 document (read back with farace "
+          "--trace)");
     p.flag(&profile, "", "--profile",
            "attribute host wall time to simulator components (faprof "
            "sampling profiler; report printed after the run)");
@@ -255,6 +260,8 @@ main(int argc, char **argv)
                 .pipeview(pipeview_path)
                 .intervalStats(interval_path, interval_period)
                 .traceSpans(trace_spans)
+                .memTrace(dump_trace, workload.empty() ? program_file
+                                                       : workload)
                 .hostProfile(profile, profile_period)
                 .chaosProfile(chaos_profile, chaos_seed)
                 .sanitize(fasan)

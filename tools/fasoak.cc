@@ -72,6 +72,7 @@ main(int argc, char **argv)
     std::string replay_path;
     bool no_shrink = false;
     bool fasan = false;
+    bool race = false;
     bool list_profiles = false;
     double seed_timeout = 0.0;
 
@@ -88,6 +89,11 @@ main(int argc, char **argv)
     p.opt(&out_dir, "", "--out", "DIR", "reproducer output dir [.]");
     p.flag(&fasan, "", "--fasan",
            "arm the cycle-level invariant sanitizer during every run");
+    p.flag(&race, "", "--race",
+           "run the predictive race analysis (farace) over each "
+           "otherwise-clean seed's trace; a predicted "
+           "atomicity-window violation fails the seed with signature "
+           "race:atomicity and shrinks like any other failure");
     p.flag(&no_shrink, "", "--no-shrink",
            "keep failing cases full-size");
     p.opt(&replay_path, "", "--replay", "FILE",
@@ -126,6 +132,7 @@ main(int argc, char **argv)
             chaos::SoakSpec spec =
                 chaos::makeSoakSpec(s, mode, profile);
             spec.sanitize = fasan;
+            spec.race = race;
             spec.wallDeadlineSec = seed_timeout;
             specs.push_back(std::move(spec));
         }

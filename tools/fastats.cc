@@ -347,6 +347,13 @@ validateSweep(const std::string &path)
  * track, and strict B/E balance — every span that opens on a track
  * closes on it, LIFO. Truncated spans are legal (finish() closes
  * them), so an unbalanced file always means a tracer bug.
+ *
+ * AQ tracks (tid >= 1) additionally get semantic checks: one atomic
+ * transaction at a time per AQ entry ("atomic" only opens at depth
+ * 0, so a double-lock is impossible to miss), lock windows balance
+ * (a "window" span left open means a locked line was never
+ * released), and every "fwd_hop" instant carries a valid source
+ * (args.fromSeq) and a §3.3.4 chain depth >= 1.
  */
 int
 validateTrace(const std::string &path)
@@ -366,10 +373,15 @@ validateTrace(const std::string &path)
         return 1;
     }
 
-    // Per-track state: open-span depth and last timestamp.
-    std::map<std::pair<std::uint64_t, std::uint64_t>,
-             std::pair<unsigned, std::uint64_t>> tracks;
+    // Per-track state: open-span name stack and last timestamp.
+    struct Track
+    {
+        std::vector<std::string> open;
+        std::uint64_t lastTs = 0;
+    };
+    std::map<std::pair<std::uint64_t, std::uint64_t>, Track> tracks;
     std::uint64_t spans = 0, instants = 0, meta = 0;
+    std::uint64_t locks = 0, unlocks = 0, fwdHops = 0;
     unsigned bad = 0;
     auto complain = [&](std::size_t i, const std::string &what) {
         if (bad < 20)
@@ -403,38 +415,91 @@ validateTrace(const std::string &path)
             continue;
         }
         auto &track = tracks[{pid->asU64(), tid->asU64()}];
-        if (ts->asU64() < track.second)
+        const bool aq_track = tid->asU64() >= 1;
+        if (ts->asU64() < track.lastTs)
             complain(i, "timestamp went backwards on track");
-        track.second = ts->asU64();
+        track.lastTs = ts->asU64();
         if (ph->str == "B") {
-            if (!e.find("name"))
+            const JsonValue *name = e.find("name");
+            if (!name || !name->isString())
                 complain(i, "B event without name");
-            ++track.first;
+            const std::string n =
+                name && name->isString() ? name->str : "";
+            if (aq_track) {
+                // AQ entry lifecycle: one transaction at a time,
+                // with acquire/window/drain nested directly inside.
+                if (n == "atomic" && !track.open.empty())
+                    complain(i, "\"atomic\" opened while the AQ "
+                                "entry's previous transaction is "
+                                "still open (double lock)");
+                else if ((n == "acquire" || n == "window" ||
+                          n == "drain") &&
+                         (track.open.empty() ||
+                          track.open.back() != "atomic"))
+                    complain(i, "\"" + n + "\" span outside an "
+                                "\"atomic\" transaction");
+                if (n == "window")
+                    ++locks;
+            }
+            track.open.push_back(n);
             ++spans;
         } else if (ph->str == "E") {
-            if (track.first == 0)
+            if (track.open.empty()) {
                 complain(i, "E without matching B on track");
-            else
-                --track.first;
+            } else {
+                if (aq_track && track.open.back() == "window")
+                    ++unlocks;
+                track.open.pop_back();
+            }
         } else if (ph->str == "i") {
-            if (!e.find("name"))
+            const JsonValue *name = e.find("name");
+            if (!name || !name->isString())
                 complain(i, "instant without name");
+            else if (name->str == "fwd_hop") {
+                // §3.3.4 forwarding hop: must name its source store
+                // and carry a chain depth of at least one.
+                const JsonValue *args = e.find("args");
+                const JsonValue *from =
+                    args && args->isObject() ? args->find("fromSeq")
+                                             : nullptr;
+                const JsonValue *chain =
+                    args && args->isObject() ? args->find("chain")
+                                             : nullptr;
+                if (!from || !from->isNumber() || !chain ||
+                    !chain->isNumber() || chain->asU64() < 1)
+                    complain(i, "fwd_hop instant without valid "
+                                "fromSeq/chain args");
+                else
+                    ++fwdHops;
+            }
             ++instants;
         } else {
             complain(i, "unexpected phase \"" + ph->str + "\"");
         }
     }
     for (const auto &[key, track] : tracks) {
-        if (track.first != 0) {
-            std::cout << "fastats: " << path << ": track pid="
-                      << key.first << " tid=" << key.second << " has "
-                      << track.first << " unclosed span(s)\n";
+        if (!track.open.empty()) {
+            std::ostringstream os;
+            os << "fastats: " << path << ": track pid=" << key.first
+               << " tid=" << key.second << " has "
+               << track.open.size() << " unclosed span(s)";
+            for (const std::string &n : track.open)
+                if (n == "window")
+                    os << " — a locked AQ line was never released";
+            std::cout << os.str() << "\n";
             ++bad;
         }
     }
+    if (locks != unlocks) {
+        std::cout << "fastats: " << path << ": " << locks
+                  << " lock window(s) opened but " << unlocks
+                  << " closed\n";
+        ++bad;
+    }
     std::cout << "trace: " << evs->arr.size() << " event(s) — "
               << spans << " span(s), " << instants << " instant(s), "
-              << meta << " metadata — on " << tracks.size()
+              << meta << " metadata — " << locks << " lock window(s), "
+              << fwdHops << " fwd hop(s) — on " << tracks.size()
               << " track(s): " << (bad ? "INVALID" : "OK") << "\n";
     return bad ? 1 : 0;
 }
@@ -710,6 +775,31 @@ main(int argc, char **argv)
         std::cerr << "fastats: --fail-above needs two stats files "
                      "to diff\n";
         return 2;
+    }
+
+    // Refuse to diff artifacts of different fa-*-v1 schemas up
+    // front: dispatching on the first file's tag alone would blame
+    // the second file for not matching whatever the first happened
+    // to be, and a future lenient loader could silently "diff"
+    // unrelated documents.
+    if (files.size() == 2) {
+        try {
+            std::string s0 = schemaOf(loadJson(files[0]));
+            std::string s1 = schemaOf(loadJson(files[1]));
+            if (s0 != s1) {
+                std::cerr << "fastats: schema mismatch: '" << files[0]
+                          << "' is "
+                          << (s0.empty() ? "untagged" : s0)
+                          << " but '" << files[1] << "' is "
+                          << (s1.empty() ? "untagged" : s1)
+                          << " — cannot diff different artifact "
+                             "kinds\n";
+                return 1;
+            }
+        } catch (const FatalError &e) {
+            std::cerr << "fastats: " << e.message << "\n";
+            return 1;
+        }
     }
 
     if (cert_mode) {
